@@ -1,0 +1,96 @@
+"""Future work 1: does optimal scheduling beat the heuristics on
+small blocks?
+
+The paper's planned extension: "determining if an optimal
+branch-and-bound scheduler would benefit performance for small basic
+blocks."  This bench runs the branch-and-bound scheduler against the
+six published algorithms on small blocks (<= 10 instructions) of a
+benchmark and reports how often each heuristic algorithm is already
+optimal and the total cycles left on the table.
+
+Blocks whose search exceeds the expansion budget (wide, flat DAGs have
+factorial order spaces) are excluded from the comparison rather than
+compared against an unproven bound; the emitted table reports how many
+were proved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.scheduling.algorithms import ALL_ALGORITHMS
+from repro.scheduling.branch_and_bound import branch_and_bound_schedule
+from benchmarks.conftest import record_row
+
+MAX_SMALL_BLOCK = 10
+MAX_EXPANSIONS = 300_000
+
+_optimal: dict[int, int] = {}
+
+
+@pytest.fixture(scope="module")
+def small_blocks(workloads):
+    return [b for b in workloads["lloops"]
+            if 3 <= b.size <= MAX_SMALL_BLOCK][:80]
+
+
+def test_optimal_baseline(benchmark, small_blocks, machine):
+    def run():
+        proved_count = 0
+        for block in small_blocks:
+            dag = TableForwardBuilder(machine).build(block).dag
+            backward_pass(dag)
+            result, proved = branch_and_bound_schedule(
+                dag, machine, max_block_size=MAX_SMALL_BLOCK,
+                max_expansions=MAX_EXPANSIONS)
+            if proved:
+                _optimal[block.index] = result.makespan
+                proved_count += 1
+        return proved_count
+
+    proved_count = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = sum(_optimal.values())
+    record_row("branch_and_bound",
+               "Future work 1: optimal vs heuristics (lloops blocks "
+               f"<= {MAX_SMALL_BLOCK} insts)", {
+                   "scheduler": "branch & bound (optimal)",
+                   "total makespan": total,
+                   "blocks optimal": proved_count,
+                   "excess cycles": 0,
+               })
+    # The search must prove optimality for the large majority of
+    # small blocks.
+    assert proved_count >= 0.8 * len(small_blocks)
+
+
+@pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS,
+                         ids=lambda c: c.name.replace(" ", "_"))
+def test_heuristic_vs_optimal(benchmark, small_blocks, machine,
+                              algorithm_cls):
+    if not _optimal:
+        pytest.skip("optimal baseline did not run")
+    proved_blocks = [b for b in small_blocks if b.index in _optimal]
+
+    def run():
+        total = 0
+        hits = 0
+        for block in proved_blocks:
+            result = algorithm_cls(machine).schedule_block(block)
+            total += result.makespan
+            if result.makespan == _optimal[block.index]:
+                hits += 1
+        return total, hits
+
+    total, hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    optimal_total = sum(_optimal[b.index] for b in proved_blocks)
+    record_row("branch_and_bound",
+               "Future work 1: optimal vs heuristics (lloops blocks "
+               f"<= {MAX_SMALL_BLOCK} insts)", {
+                   "scheduler": algorithm_cls.name,
+                   "total makespan": total,
+                   "blocks optimal": hits,
+                   "excess cycles": total - optimal_total,
+               })
+    assert total >= optimal_total

@@ -1,0 +1,59 @@
+"""Future work 2: which heuristics actually decide, per benchmark.
+
+"characterizing the attributes of larger basic blocks that enable
+certain heuristics to outperform others" (paper section 7).  This
+bench records every scheduling decision of the section 6 winnowing
+priority over four structurally different benchmarks and histograms
+the rank that decided each pick.
+
+The expected pattern, confirmed in the emitted table: on system codes
+(tiny blocks) most picks are uncontested or fall through to original
+order; on FP codes with large blocks the critical-path ranks do real
+work, and the max-delay refinement (rank 2) earns its keep exactly
+where multi-cycle operations dominate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.decisions import decision_histogram
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.scheduling.list_scheduler import Decision, schedule_forward
+from repro.scheduling.priority import winnowing
+from benchmarks.conftest import record_row
+
+TERMS = ("max_path_to_leaf", "max_delay_to_leaf", "max_delay_to_child")
+PRIORITY = winnowing(*TERMS)
+
+
+@pytest.mark.parametrize("name", ["grep", "linpack", "tomcatv", "lloops"])
+def test_deciding_heuristics(benchmark, workloads, machine, name):
+    blocks = [b for b in workloads[name] if b.size]
+
+    def run():
+        decisions: list[Decision] = []
+        for block in blocks:
+            dag = TableForwardBuilder(machine).build(block).dag
+            backward_pass(dag, require_est=False)
+            schedule_forward(dag, machine, PRIORITY, decisions=decisions)
+        return decisions
+
+    decisions = benchmark.pedantic(run, rounds=1, iterations=1)
+    hist = decision_histogram(decisions, TERMS)
+    contested = sum(hist.values()) - hist["no choice"]
+    record_row("deciding_heuristics",
+               "Future work 2: which rank decides each pick (section 6 "
+               "priority)", {
+                   "benchmark": name,
+                   "picks": sum(hist.values()),
+                   "no choice": hist["no choice"],
+                   "rank1 path": hist["max_path_to_leaf"],
+                   "rank2 delay": hist["max_delay_to_leaf"],
+                   "rank3 child": hist["max_delay_to_child"],
+                   "orig order": hist["original order"],
+                   "contested %": round(
+                       100 * contested / max(1, sum(hist.values())), 1),
+               })
+    assert sum(hist.values()) == len(decisions)

@@ -1,0 +1,108 @@
+"""Figure 1: the importance of transitive arcs.
+
+Quantifies the paper's Figure 1 argument end to end:
+
+* every construction algorithm is benchmarked on the Figure 1 block;
+* the timing-essential transitive arc (RAW, 20 cycles) is identified;
+* the damage from removing it is measured twice -- as static-heuristic
+  error (EST off by 15 cycles) and as *schedule* damage (the earliest-
+  execution-time scheduler mistimes node 3 when the arc is gone).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import (
+    ALL_BUILDERS,
+    LandskovBuilder,
+    TableBackwardBuilder,
+)
+from repro.dag.transitive import (
+    remove_transitive_arcs,
+    timing_essential_arcs,
+)
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.machine import generic_risc
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate
+from repro.workloads import kernel_source
+from benchmarks.conftest import record_row
+
+MACHINE = generic_risc()
+
+
+def figure1_block():
+    return partition_blocks(parse_asm(kernel_source("figure1")))[0]
+
+
+@pytest.mark.parametrize("builder_cls", ALL_BUILDERS,
+                         ids=lambda c: c.name.replace(" ", "_"))
+def test_figure1_construction(benchmark, builder_cls):
+    block = figure1_block()
+    outcome = benchmark(lambda: builder_cls(MACHINE).build(block))
+    keeps = any(a.parent.id == 0 and a.child.id == 2
+                for a in outcome.dag.arcs())
+    record_row("figure1", "Figure 1: transitive-arc retention", {
+        "builder": builder_cls.name,
+        "arcs": outcome.dag.n_arcs,
+        "keeps 20-cycle arc": "yes" if keeps else "NO",
+    })
+    if builder_cls is LandskovBuilder:
+        assert not keeps  # the paper's criticism, reproduced
+    else:
+        assert keeps
+
+
+def test_figure1_est_error(benchmark):
+    dag = benchmark(
+        lambda: TableBackwardBuilder(MACHINE).build(figure1_block()).dag)
+    essential = timing_essential_arcs(dag)
+    assert [(a.parent.id, a.child.id, a.delay)
+            for a in essential] == [(0, 2, 20)]
+
+    forward_pass(dag)
+    est_with = dag.nodes[2].est
+    remove_transitive_arcs(dag)
+    forward_pass(dag)
+    est_without = dag.nodes[2].est
+    record_row("figure1_error", "Figure 1: heuristic error from removal", {
+        "quantity": "EST of node 3",
+        "with arc": est_with,
+        "without arc": est_without,
+        "error (cycles)": est_with - est_without,
+    })
+    assert est_with == 20 and est_without == 5
+
+
+def test_figure1_schedule_mistiming(benchmark):
+    """Earliest-execution-time is wrong without the arc: the scheduler
+    believes node 3 is ready at cycle 5 when its data arrives at 20."""
+    machine = MACHINE
+    priority = winnowing("max_delay_to_leaf")
+
+    intact = benchmark(
+        lambda: TableBackwardBuilder(machine).build(figure1_block()).dag)
+    backward_pass(intact)
+    good = schedule_forward(intact, machine, priority)
+
+    pruned = TableBackwardBuilder(machine).build(figure1_block()).dag
+    remove_transitive_arcs(pruned)
+    backward_pass(pruned)
+    bad = schedule_forward(pruned, machine, priority)
+    # Re-time the pruned schedule against the TRUE dependences.
+    true_timing = simulate([intact.nodes[n.id] for n in bad.order], machine)
+
+    believed = bad.timing.makespan
+    actual = true_timing.makespan
+    record_row("figure1_schedule", "Figure 1: schedule-level effect", {
+        "quantity": "makespan of pruned-DAG schedule",
+        "believed (pruned DAG)": believed,
+        "actual (true delays)": actual,
+        "underestimate": actual - believed,
+    })
+    assert believed < actual  # the pruned DAG lies about readiness
+    assert good.makespan == actual  # same order; intact DAG timed right

@@ -1,0 +1,58 @@
+"""Conclusion 4: level algorithm vs reverse walk.
+
+"Level algorithms are no better for calculation of remaining static
+heuristics than a reverse walk of a linked list of the instructions."
+Both drivers are timed over the same pre-built DAGs; they must produce
+identical annotations (asserted) and comparable times, with the level
+algorithm paying extra for building its level lists.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass, backward_pass_levels
+from benchmarks.conftest import record_row
+
+
+@pytest.fixture(scope="module")
+def fpppp_dags(workloads, machine):
+    return [TableForwardBuilder(machine).build(b).dag
+            for b in workloads["fpppp"] if b.size]
+
+
+@pytest.mark.parametrize("driver,label", [
+    (backward_pass, "reverse walk"),
+    (backward_pass_levels, "level algorithm"),
+])
+def test_heuristic_pass_driver(benchmark, fpppp_dags, driver, label):
+    def run():
+        for dag in fpppp_dags:
+            driver(dag, require_est=False)
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    elapsed = time.perf_counter() - start
+    record_row("heuristic_pass",
+               "Conclusion 4: intermediate-pass drivers on fpppp", {
+                   "driver": label,
+                   "2-round seconds": round(elapsed, 3),
+                   "blocks": len(fpppp_dags),
+               })
+
+
+def test_drivers_equivalent(benchmark, fpppp_dags, machine, workloads):
+    a = benchmark.pedantic(
+        lambda: TableForwardBuilder(machine).build(
+            max(workloads["fpppp"], key=lambda b: b.size)).dag,
+        rounds=1, iterations=1)
+    b = TableForwardBuilder(machine).build(
+        max(workloads["fpppp"], key=lambda b: b.size)).dag
+    backward_pass(a, require_est=False)
+    backward_pass_levels(b, require_est=False)
+    for na, nb in zip(a.nodes, b.nodes):
+        assert na.max_delay_to_leaf == nb.max_delay_to_leaf
+        assert na.max_path_to_leaf == nb.max_path_to_leaf

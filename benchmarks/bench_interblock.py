@@ -1,0 +1,85 @@
+"""Future work 3: the benefit of global (cross-block) information.
+
+"determining the benefits of global scheduling information (e.g.,
+operation latencies inherited from previous basic blocks)" -- paper
+section 7.
+
+Model: execute a benchmark's blocks in program order (a straight-line
+approximation).  Each block inherits the residual operation latencies
+of its predecessor's schedule.  Two schedulers are compared:
+
+* **local** -- schedules each block in isolation (the paper's
+  algorithms); its schedule still *pays* the inherited stalls when
+  re-timed against them;
+* **global** -- sees the inherited latencies as pseudo-arcs and can
+  cover them with independent work.
+
+The bench reports total cycles for both; the delta is the measured
+benefit of future work 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.scheduling.interblock import apply_inherited, residual_latencies
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate
+from benchmarks.conftest import record_row
+
+PRIORITY = winnowing("max_path_to_leaf", "max_delay_to_leaf",
+                     "max_delay_to_child")
+
+
+def _run_chain(blocks, machine, use_global: bool) -> int:
+    """Total cycles executing the blocks in order with inheritance."""
+    total = 0
+    residuals = []
+    for block in blocks:
+        # The scheduling DAG: with pseudo-arcs when global info is on.
+        dag = TableForwardBuilder(machine).build(block).dag
+        if use_global:
+            apply_inherited(dag, residuals)
+        backward_pass(dag, require_est=False)
+        result = schedule_forward(dag, machine, PRIORITY)
+
+        # The TRUE cost always includes the inherited latencies.
+        truth = TableForwardBuilder(machine).build(block).dag
+        apply_inherited(truth, residuals)
+        order = [truth.nodes[n.id] for n in result.order]
+        timing = simulate(order, machine)
+        total += timing.makespan
+
+        from repro.scheduling.list_scheduler import ScheduleResult
+        residuals = residual_latencies(ScheduleResult(order, timing),
+                                       machine)
+    return total
+
+
+@pytest.mark.parametrize("mode", ["local", "global"])
+def test_interblock_inheritance(benchmark, workloads, machine, mode):
+    blocks = [b for b in workloads["lloops"] if b.size][:150]
+    total = benchmark.pedantic(
+        lambda: _run_chain(blocks, machine, use_global=(mode == "global")),
+        rounds=1, iterations=1)
+    record_row("interblock",
+               "Future work 3: inherited latencies across blocks "
+               "(lloops, straight-line)", {
+                   "scheduler": mode,
+                   "total cycles": total,
+               })
+    _totals[mode] = total
+
+
+_totals: dict[str, int] = {}
+
+
+def test_global_never_worse(benchmark):
+    benchmark(lambda: None)
+    if len(_totals) < 2:
+        pytest.skip("inheritance benches did not run")
+    # Seeing the inherited stalls can only help the list scheduler.
+    assert _totals["global"] <= _totals["local"]

@@ -1,0 +1,125 @@
+"""Conclusions 1-2: construction-cost scaling with block size.
+
+The paper: "The table-building methods are significantly faster for
+large basic blocks than the compare-against-all (n**2) approach" and
+"are robust and do not require instruction windows even for extremely
+large basic blocks."  This bench sweeps single-block workloads from 50
+to 3200 instructions and records, per algorithm, wall-clock and the
+machine-independent work counter; the n**2 work must grow quadratically
+while table building stays near-linear.
+
+Also reproduces the practicality threshold: with a 300-400 instruction
+window the n**2 method stays competitive (the paper's recommendation).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cfg import apply_window
+from repro.dag.builders import (
+    CompareAllBuilder,
+    TableBackwardBuilder,
+    TableForwardBuilder,
+)
+from repro.machine import sparcstation2_like
+from repro.workloads import generate_blocks
+from repro.workloads.profiles import WorkloadProfile
+from benchmarks.conftest import record_row
+
+MACHINE = sparcstation2_like()
+SIZES = (50, 100, 200, 400, 800, 1600, 3200)
+
+
+def sweep_profile(size: int) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=f"sweep-{size}", n_blocks=1, total_insts=size,
+        max_block=size, giant_blocks=(size,), typical_cap=size,
+        mem_max_per_block=max(2, size // 12),
+        mem_avg_per_block=max(1.0, size / 14), fp_fraction=0.6)
+
+
+_work: dict[tuple[str, int], int] = {}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("builder_cls",
+                         (CompareAllBuilder, TableForwardBuilder,
+                          TableBackwardBuilder),
+                         ids=("n2", "table_fwd", "table_bwd"))
+def test_scaling(benchmark, builder_cls, size):
+    block = generate_blocks(sweep_profile(size))[0]
+    outcome = benchmark.pedantic(
+        lambda: builder_cls(MACHINE).build(block), rounds=1, iterations=1)
+    work = outcome.stats.comparisons or outcome.stats.table_probes
+    _work[(builder_cls.name, size)] = work
+    record_row("scaling_sweep",
+               "Conclusions 1-2: construction work vs block size", {
+                   "builder": builder_cls.name,
+                   "block size": size,
+                   "work units": work,
+                   "arcs": outcome.dag.n_arcs,
+               })
+
+
+def test_scaling_shape(benchmark):
+    """n**2 work grows ~quadratically; table building ~linearly."""
+    if ("n**2 forward", 3200) not in _work:
+        import pytest
+        pytest.skip("scaling benches did not run")
+    benchmark(lambda: None)
+    n2_small = _work[("n**2 forward", 200)]
+    n2_big = _work[("n**2 forward", 3200)]
+    tbl_small = _work[("table forward", 200)]
+    tbl_big = _work[("table forward", 3200)]
+    # 16x size increase: n**2 work must grow ~256x, table < ~40x.
+    assert n2_big / n2_small > 100
+    assert tbl_big / tbl_small < 60
+    record_row("scaling_shape", "Scaling shape (200 -> 3200 insts)", {
+        "builder": "n**2 forward",
+        "work growth": round(n2_big / n2_small, 1),
+        "expected": "~256x (quadratic)",
+    })
+    record_row("scaling_shape", "Scaling shape (200 -> 3200 insts)", {
+        "builder": "table forward",
+        "work growth": round(tbl_big / tbl_small, 1),
+        "expected": "~16x (linear-ish)",
+    })
+
+
+def test_window_rescues_n2(benchmark):
+    """The paper's window recommendation: cap blocks at 300-400 for
+    the n**2 method to remain practical."""
+    blocks = generate_blocks(sweep_profile(3200))
+
+    def unwindowed():
+        return CompareAllBuilder(MACHINE).build(blocks[0]).stats.comparisons
+
+    def windowed():
+        total = 0
+        for chunk in apply_window(blocks, 400):
+            total += CompareAllBuilder(MACHINE).build(
+                chunk).stats.comparisons
+        return total
+
+    start = time.perf_counter()
+    full = unwindowed()
+    t_full = time.perf_counter() - start
+    start = time.perf_counter()
+    capped = benchmark.pedantic(windowed, rounds=1, iterations=1)
+    t_capped = time.perf_counter() - start
+    record_row("n2_window", "n**2 with and without a 400-inst window "
+                            "(3200-inst block)", {
+                   "variant": "unwindowed",
+                   "comparisons": full,
+                   "seconds": round(t_full, 3),
+               })
+    record_row("n2_window", "n**2 with and without a 400-inst window "
+                            "(3200-inst block)", {
+                   "variant": "window=400",
+                   "comparisons": capped,
+                   "seconds": round(t_capped, 3),
+               })
+    assert capped < full / 4

@@ -1,0 +1,74 @@
+"""Table 1: the 26-heuristic catalog, verified live.
+
+Regenerates Table 1 and proves every row is *implemented*: each static
+heuristic is evaluated on real DAG nodes after the appropriate pass,
+and each dynamic heuristic is evaluated against a live scheduler
+state.  The timed portion benchmarks the full heuristic-annotation
+machinery (forward pass + backward pass with descendants + register
+usage) over a benchmark's blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table1_rows
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.base import PassKind
+from repro.heuristics.catalog import CATALOG
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.heuristics.register_usage import annotate_register_usage
+from repro.scheduling.list_scheduler import SchedulerState
+from benchmarks.conftest import record_row
+
+
+def test_table1_catalog_rows(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 26
+    for row in rows:
+        record_row("table1", "Table 1: heuristic catalog", row)
+
+
+def test_every_heuristic_evaluates_on_live_dag(benchmark, workloads,
+                                               machine):
+    blocks = [b for b in workloads["linpack"] if b.size >= 4][:20]
+    state = SchedulerState(machine)
+
+    def evaluate_all():
+        for block in blocks:
+            dag = TableForwardBuilder(machine).build(block).dag
+            forward_pass(dag)
+            backward_pass(dag, descendants=True, require_est=False)
+            annotate_register_usage(dag)
+            dag.reset_schedule_state()
+            for heuristic in CATALOG:
+                for node in dag.real_nodes():
+                    value = heuristic.value(node, state)
+                    assert isinstance(value, (int, bool, float)), \
+                        heuristic.key
+
+    benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+
+
+def test_annotation_passes(benchmark, workloads, machine):
+    """Time the full static-heuristic annotation over linpack."""
+    blocks = workloads["linpack"]
+    dags = [TableForwardBuilder(machine).build(b).dag
+            for b in blocks if b.size]
+
+    def annotate():
+        for dag in dags:
+            forward_pass(dag)
+            backward_pass(dag, descendants=True, require_est=False)
+            annotate_register_usage(dag)
+
+    benchmark.pedantic(annotate, rounds=3, iterations=1)
+
+
+def test_dynamic_vs_static_split(benchmark):
+    benchmark(lambda: [h.pass_kind for h in CATALOG])
+    dynamic = [h for h in CATALOG if h.pass_kind is PassKind.VISIT]
+    static = [h for h in CATALOG if h.pass_kind is not PassKind.VISIT]
+    # Table 1: 7 'v' rows, 19 others.
+    assert len(dynamic) == 7
+    assert len(static) == 19

@@ -1,0 +1,70 @@
+"""Table 3: structural data for benchmarks, independent of approach.
+
+Regenerates the paper's Table 3 columns (#blocks, #insts, insts/block
+max+avg, unique memory expressions/block max+avg) for all nine
+benchmarks plus the three fpppp window variants, and benchmarks the
+cost of the structural scan itself.
+
+Paper values are embedded for side-by-side comparison in the emitted
+table; exact block/instruction counts must match at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table3_row
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    FPPPP_SCALE,
+    TABLE3_ROWS,
+    record_row,
+)
+
+#: Paper Table 3, for the emitted comparison table.
+PAPER_TABLE3 = {
+    "grep": (730, 1739, 34, 2.38, 5, 0.32),
+    "regex": (873, 2417, 52, 2.77, 9, 0.31),
+    "dfa": (1623, 4760, 45, 2.93, 13, 0.67),
+    "cccp": (3480, 8831, 36, 2.54, 10, 0.35),
+    "linpack": (390, 3391, 145, 8.69, 62, 2.58),
+    "lloops": (263, 3753, 124, 14.27, 40, 4.37),
+    "tomcatv": (112, 1928, 326, 17.21, 68, 5.24),
+    "nasa7": (756, 10654, 284, 14.09, 60, 4.23),
+    "fpppp-1000": (675, 25545, 1000, 37.84, 120, 5.92),
+    "fpppp-2000": (668, 25545, 2000, 38.24, 161, 5.34),
+    "fpppp-4000": (664, 25545, 4000, 38.47, 209, 5.02),
+    "fpppp": (662, 25545, 11750, 38.59, 324, 4.76),
+}
+
+
+@pytest.mark.parametrize("name", TABLE3_ROWS)
+def test_table3_structure(benchmark, workloads, name):
+    blocks = workloads[name]
+    row = benchmark.pedantic(lambda: table3_row(name, blocks),
+                             rounds=1, iterations=1)
+    paper = PAPER_TABLE3[name]
+    record_row("table3", "Table 3: structural data (measured vs paper)", {
+        "benchmark": name,
+        "blocks": row["blocks"],
+        "blocks(paper)": paper[0],
+        "insts": row["insts"],
+        "insts(paper)": paper[1],
+        "bb max": row["insts/bb max"],
+        "bb max(paper)": paper[2],
+        "bb avg": row["insts/bb avg"],
+        "bb avg(paper)": paper[3],
+        "mem max": row["memexpr/bb max"],
+        "mem max(paper)": paper[4],
+        "mem avg": row["memexpr/bb avg"],
+        "mem avg(paper)": paper[5],
+    })
+
+    full_scale = BENCH_SCALE >= 1.0 and (FPPPP_SCALE >= 1.0
+                                         or not name.startswith("fpppp"))
+    if full_scale:
+        # Exact structural calibration at full scale.
+        assert row["insts"] == paper[1]
+        assert row["insts/bb max"] == paper[2]
+        if not name.startswith("fpppp-"):
+            assert row["blocks"] == paper[0]

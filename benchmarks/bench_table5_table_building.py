@@ -1,0 +1,101 @@
+"""Table 5: the two table-building approaches -- run times and
+structural data.
+
+Runs the section 6 pipeline with the forward and backward table
+builders over all twelve benchmark rows (including full fpppp -- the
+table-building methods "do not require the use of instruction
+windows").  The paper's headline findings checked here:
+
+* forward and backward table building are essentially equivalent
+  (identical DAGs, near-identical work);
+* arc density is far below the n**2 approach's (most transitive arcs
+  omitted);
+* cost grows roughly linearly with block size -- full fpppp is only a
+  small factor more expensive than grep per instruction, where n**2
+  blows up quadratically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table45_row
+from repro.dag.builders import TableBackwardBuilder, TableForwardBuilder
+from benchmarks.conftest import TABLE5_ROWS, record_row
+
+#: Paper Table 5: fwd s, bwd s, children max/avg, arcs max/avg.
+PAPER_TABLE5 = {
+    "grep": (2.0, 2.0, 4, 0.52, 42, 1.23),
+    "regex": (2.7, 2.7, 4, 0.53, 41, 1.46),
+    "dfa": (4.5, 4.5, 10, 0.62, 65, 1.81),
+    "cccp": (8.1, 8.0, 7, 0.52, 47, 1.31),
+    "linpack": (3.4, 3.4, 17, 1.02, 258, 8.88),
+    "lloops": (3.7, 3.7, 9, 1.07, 219, 15.29),
+    "tomcatv": (2.3, 2.2, 9, 1.52, 744, 26.14),
+    "nasa7": (9.3, 9.2, 26, 1.26, 572, 17.73),
+    "fpppp-1000": (23.2, 23.1, 185, 2.33, 3098, 88.35),
+    "fpppp-2000": (23.9, 23.6, 403, 2.43, 6345, 93.10),
+    "fpppp-4000": (24.5, 24.5, 503, 2.53, 13059, 97.15),
+    "fpppp": (26.5, 26.8, 503, 2.60, 37881, 100.27),
+}
+
+_rows_cache: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("name", TABLE5_ROWS)
+def test_table5_forward(benchmark, workloads, machine, name):
+    blocks = workloads[name]
+    row = benchmark.pedantic(
+        lambda: table45_row(name, blocks, machine,
+                            lambda: TableForwardBuilder(machine)),
+        rounds=1, iterations=1)
+    _rows_cache[name] = row
+    assert row["comparisons"] == 0
+    assert row["table probes"] > 0
+
+
+@pytest.mark.parametrize("name", TABLE5_ROWS)
+def test_table5_backward(benchmark, workloads, machine, name):
+    blocks = workloads[name]
+    bwd = benchmark.pedantic(
+        lambda: table45_row(name, blocks, machine,
+                            lambda: TableBackwardBuilder(machine)),
+        rounds=1, iterations=1)
+    fwd = _rows_cache.get(name)
+    paper = PAPER_TABLE5[name]
+    record_row("table5",
+               "Table 5: table-building approaches (measured vs paper)", {
+                   "benchmark": name,
+                   "fwd (s)": fwd["run time (s)"] if fwd else "-",
+                   "bwd (s)": bwd["run time (s)"],
+                   "fwd/bwd(paper)": f"{paper[0]}/{paper[1]}",
+                   "ch max": bwd["children max"],
+                   "ch max(p)": paper[2],
+                   "ch avg": bwd["children avg"],
+                   "ch avg(p)": paper[3],
+                   "arcs max": bwd["arcs/bb max"],
+                   "arcs max(p)": paper[4],
+                   "arcs avg": bwd["arcs/bb avg"],
+                   "arcs avg(p)": paper[5],
+               })
+    if fwd is not None:
+        # Paper finding: "the two table-building methods are
+        # essentially equivalent even at large basic block sizes" --
+        # they build identical DAGs here.
+        assert fwd["children max"] == bwd["children max"]
+        assert fwd["arcs/bb max"] == bwd["arcs/bb max"]
+        assert fwd["makespan"] == bwd["makespan"]
+
+
+def test_table5_shape(benchmark):
+    """Arc-density ordering across benchmarks must match the paper's,
+    and a single scale factor must roughly map measured onto paper."""
+    benchmark(lambda: None)
+    if len(_rows_cache) < len(TABLE5_ROWS):
+        pytest.skip("table 5 benches did not all run")
+    from repro.analysis.compare import log_ratio_spread, rank_correlation
+    names = [n for n in TABLE5_ROWS if not n.startswith("fpppp")]
+    measured = [_rows_cache[n]["arcs/bb avg"] for n in names]
+    paper = [PAPER_TABLE5[n][5] for n in names]
+    assert rank_correlation(measured, paper) > 0.85
+    assert log_ratio_spread(measured, paper) < 0.4

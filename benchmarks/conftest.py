@@ -1,0 +1,91 @@
+"""Shared benchmark fixtures: calibrated workloads, machines, and the
+table collector that writes each regenerated paper table to
+``benchmarks/results/``.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` -- scale factor for the eight ordinary
+  benchmarks (default 1.0 = the paper's full Table 3 sizes; they are
+  cheap).
+* ``REPRO_FPPPP_SCALE`` -- scale factor for fpppp (default 0.25: the
+  giant 11750-instruction block is kept full-size -- it carries the
+  paper's story -- but the count of small blocks is reduced).  Set to
+  1.0 to reproduce the full 25545-instruction benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import render_rows
+from repro.cfg import apply_window
+from repro.machine import sparcstation2_like
+from repro.workloads import generate_blocks, get_profile, scaled_profile
+from repro.workloads.profiles import TABLE_ORDER
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+FPPPP_SCALE = float(os.environ.get("REPRO_FPPPP_SCALE", "0.25"))
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_TABLES: dict[str, list[dict]] = defaultdict(list)
+_TITLES: dict[str, str] = {}
+
+
+def record_row(table: str, title: str, row: dict) -> None:
+    """Collect one row of a regenerated table (written at session end)."""
+    _TITLES[table] = title
+    _TABLES[table].append(row)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TABLES:
+        return
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    print("\n\n================ regenerated paper tables ================")
+    for table in sorted(_TABLES):
+        text = render_rows(_TABLES[table], _TITLES[table])
+        (_RESULTS_DIR / f"{table}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+    print(f"\n(also written to {_RESULTS_DIR}/)")
+
+
+def _profile_for(name: str):
+    if name == "fpppp":
+        return (get_profile(name) if FPPPP_SCALE >= 1.0
+                else scaled_profile(name, FPPPP_SCALE))
+    if BENCH_SCALE >= 1.0:
+        return get_profile(name)
+    return scaled_profile(name, BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The SPARCstation-2-flavoured measurement machine."""
+    return sparcstation2_like()
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """All nine benchmarks' basic blocks, generated once per session.
+
+    The fpppp windowed variants (fpppp-1000/2000/4000) are derived by
+    :func:`apply_window`, exactly as the paper derived them.
+    """
+    blocks = {name: generate_blocks(_profile_for(name))
+              for name in TABLE_ORDER}
+    for window in (1000, 2000, 4000):
+        blocks[f"fpppp-{window}"] = apply_window(blocks["fpppp"], window)
+    return blocks
+
+
+#: Row order used by the Table 3/4/5 benchmarks.
+TABLE3_ROWS = ("grep", "regex", "dfa", "cccp", "linpack", "lloops",
+               "tomcatv", "nasa7", "fpppp-1000", "fpppp-2000",
+               "fpppp-4000", "fpppp")
+TABLE4_ROWS = ("grep", "regex", "dfa", "cccp", "linpack", "lloops",
+               "tomcatv", "nasa7", "fpppp-1000")
+TABLE5_ROWS = TABLE3_ROWS

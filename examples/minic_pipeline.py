@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The full compiler-backend story: mini-C -> assembly -> scheduled.
+
+Compiles a small arithmetic kernel with the deliberately naive mini-C
+code generator (a load per variable reference, conversion through
+memory, remainder lowering -- classic unoptimized late-80s compiler
+output), then shows what each published scheduler recovers.
+
+Run:  python examples/minic_pipeline.py
+"""
+
+from repro import generic_risc
+from repro.analysis.gantt import render_gantt
+from repro.cfg import partition_blocks
+from repro.minic import compile_minic, compile_to_program
+from repro.scheduling.algorithms import ALL_ALGORITHMS
+
+SOURCE = """
+double a, b, c, d;
+int i, j, n;
+c = a * b + c / a;              // FP divide shadows to fill
+d = (a - b) * (c + 1.5);
+j = (i + 1) * (i - 1) % 7;      // remainder lowering
+n = (j << 2 & 255) + i / 3;
+"""
+
+
+def main() -> None:
+    print("mini-C source:")
+    print(SOURCE)
+    asm = compile_minic(SOURCE)
+    print(f"compiled to {asm.count(chr(10)) - 2} instructions:\n")
+    print(asm)
+
+    machine = generic_risc()
+    block = partition_blocks(compile_to_program(SOURCE))[0]
+    print(f"{'algorithm':24s} {'makespan':>8s}  speedup")
+    best = None
+    for cls in ALL_ALGORITHMS:
+        result = cls(machine).schedule_block(block)
+        print(f"{cls.name:24s} {result.makespan:8d}  "
+              f"{result.speedup:.2f}x")
+        if best is None or result.makespan < best.makespan:
+            best = result
+    print(f"{'(original order)':24s} "
+          f"{best.original_timing.makespan:8d}\n")
+    print(render_gantt(best.order, best.timing, machine, max_width=80))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Regeneration of the paper's tables as structured rows + text."""
+
+from repro.analysis.tables import (
+    table1_rows,
+    table2_rows,
+    table3_row,
+    table3_rows,
+    table45_row,
+)
+from repro.analysis.report import format_table, render_rows
+from repro.analysis.gantt import render_gantt
+from repro.analysis.decisions import deciding_rank, decision_histogram
+from repro.analysis.compare import (
+    comparison_rows,
+    log_ratio_spread,
+    rank_correlation,
+)
+
+__all__ = [
+    "render_gantt",
+    "deciding_rank",
+    "decision_histogram",
+    "comparison_rows",
+    "log_ratio_spread",
+    "rank_correlation",
+    "table1_rows",
+    "table2_rows",
+    "table3_row",
+    "table3_rows",
+    "table45_row",
+    "format_table",
+    "render_rows",
+]

@@ -1,0 +1,75 @@
+"""Quantitative paper-vs-measured shape comparison.
+
+Absolute 1991 numbers are not reproducible; the *shape* is: which
+benchmark is most expensive, by roughly what factor, where the
+ordering crosses over.  This module turns "the shape holds" into
+numbers:
+
+* :func:`rank_correlation` -- Spearman rank correlation between a
+  measured series and the paper's (1.0 = identical ordering);
+* :func:`log_ratio_spread` -- how far the measured/paper ratios vary
+  across a series (0 = one constant scale factor separates them);
+* :func:`comparison_rows` -- per-item ratio table for reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def rank_correlation(measured: Sequence[float],
+                     paper: Sequence[float]) -> float:
+    """Spearman rank correlation between two equal-length series.
+
+    Raises:
+        ValueError: on length mismatch or fewer than 3 points.
+    """
+    if len(measured) != len(paper):
+        raise ValueError("series lengths differ")
+    if len(measured) < 3:
+        raise ValueError("need at least 3 points")
+    from scipy.stats import spearmanr
+    rho, _ = spearmanr(list(measured), list(paper))
+    return float(rho)
+
+
+def log_ratio_spread(measured: Sequence[float],
+                     paper: Sequence[float]) -> float:
+    """Std-dev of log10(measured/paper) across the series.
+
+    0 means a single constant factor maps the paper's numbers onto the
+    measurements (a perfect shape match); values around 0.3 mean the
+    per-item factors wander within about 2x of each other.
+
+    Raises:
+        ValueError: on length mismatch or non-positive entries.
+    """
+    if len(measured) != len(paper):
+        raise ValueError("series lengths differ")
+    logs = []
+    for m, p in zip(measured, paper):
+        if m <= 0 or p <= 0:
+            raise ValueError("entries must be positive")
+        logs.append(math.log10(m / p))
+    mean = sum(logs) / len(logs)
+    return math.sqrt(sum((x - mean) ** 2 for x in logs) / len(logs))
+
+
+def comparison_rows(measured: Mapping[str, float],
+                    paper: Mapping[str, float]) -> list[dict]:
+    """Per-item measured/paper/ratio rows (shared keys, paper order)."""
+    rows = []
+    for key, paper_value in paper.items():
+        if key not in measured:
+            continue
+        measured_value = measured[key]
+        ratio = (measured_value / paper_value if paper_value else
+                 float("inf"))
+        rows.append({
+            "item": key,
+            "measured": measured_value,
+            "paper": paper_value,
+            "ratio": round(ratio, 3),
+        })
+    return rows

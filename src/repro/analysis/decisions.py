@@ -1,0 +1,67 @@
+"""Heuristic forensics: which heuristic actually decides?
+
+The paper's future work #2 asks for "characterizing the attributes of
+larger basic blocks that enable certain heuristics to outperform
+others".  The first step is knowing which heuristic *acts*: in a
+winnowing priority, each pick is decided by the first rank at which
+the chosen candidate beats every rival — or by nothing at all (the
+original-order tie break).
+
+Feed :func:`deciding_rank` the :class:`~repro.scheduling.
+list_scheduler.Decision` records of a scheduling run (winnowing
+priorities produce tuple values) and aggregate with
+:func:`decision_histogram`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.scheduling.list_scheduler import Decision
+
+
+def deciding_rank(decision: Decision) -> int | None:
+    """The winnowing rank (0-based) that decided one pick.
+
+    Returns None when the pick fell through every rank to the
+    original-order tie break, or when there was no choice (a single
+    candidate).  Requires tuple-valued (winnowing) priorities.
+    """
+    if len(decision.candidates) < 2:
+        return None
+    chosen = decision.priorities[decision.chosen]
+    if not isinstance(chosen, tuple):
+        raise TypeError("deciding_rank needs winnowing (tuple) priorities")
+    rivals = [decision.priorities[c] for c in decision.candidates
+              if c != decision.chosen]
+    for rank in range(len(chosen)):
+        if all(rival[:rank + 1] < chosen[:rank + 1] for rival in rivals):
+            return rank
+    return None
+
+
+def decision_histogram(decisions: Iterable[Decision],
+                       term_names: Sequence[str]) -> dict[str, int]:
+    """Histogram of deciding heuristics over a run.
+
+    Args:
+        decisions: recorded picks (winnowing priorities).
+        term_names: names of the priority's terms, rank order.
+
+    Returns:
+        Mapping term name (plus ``"original order"`` and
+        ``"no choice"``) to pick counts.
+    """
+    counts: Counter[str] = Counter()
+    for decision in decisions:
+        if len(decision.candidates) < 2:
+            counts["no choice"] += 1
+            continue
+        rank = deciding_rank(decision)
+        if rank is None:
+            counts["original order"] += 1
+        else:
+            counts[term_names[rank]] += 1
+    return {name: counts.get(name, 0)
+            for name in (*term_names, "original order", "no choice")}

@@ -1,0 +1,60 @@
+"""Text Gantt charts for schedules.
+
+A quick visual check of where the stalls went: one row per
+instruction, one column per cycle, ``#`` for the issue cycle, ``=``
+while the operation is still executing, ``.`` for idle columns.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import DagNode
+from repro.machine.model import MachineModel
+from repro.scheduling.timing import ScheduleTiming
+
+
+def render_gantt(order: list[DagNode], timing: ScheduleTiming,
+                 machine: MachineModel, max_width: int = 100) -> str:
+    """Render a schedule as a text Gantt chart.
+
+    Args:
+        order: the scheduled nodes.
+        timing: their issue times (from :func:`simulate`).
+        machine: supplies execution times for the bar lengths.
+        max_width: truncate charts wider than this many cycles.
+
+    Returns:
+        A multi-line chart; empty schedules render as a single note.
+    """
+    if not order:
+        return "(empty schedule)"
+    makespan = timing.makespan
+    width = min(makespan, max_width)
+    truncated = makespan > max_width
+    label_width = max(len(node.instr.render()) if node.instr else 7
+                      for node in order)
+    label_width = min(label_width, 32)
+
+    lines = []
+    ruler = " " * (label_width + 2)
+    ruler += "".join(str(c // 10 % 10) if c % 10 == 0 else " "
+                     for c in range(width))
+    lines.append(ruler)
+    for node, issue in zip(order, timing.issue_times):
+        text = node.instr.render() if node.instr else "<dummy>"
+        if len(text) > label_width:
+            text = text[:label_width - 1] + "~"
+        exec_time = (machine.execution_time(node.instr)
+                     if node.instr else 1)
+        row = []
+        for cycle in range(width):
+            if cycle == issue:
+                row.append("#")
+            elif issue < cycle < issue + exec_time:
+                row.append("=")
+            else:
+                row.append(".")
+        suffix = "+" if truncated else ""
+        lines.append(f"{text.ljust(label_width)}  {''.join(row)}{suffix}")
+    lines.append(f"makespan: {makespan} cycles"
+                 + (" (chart truncated)" if truncated else ""))
+    return "\n".join(lines)

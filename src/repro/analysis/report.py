@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list[Any]],
+                 title: str | None = None) -> str:
+    """Align a header + rows into a monospace table."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Iterable[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def render_rows(rows: list[dict[str, Any]], title: str | None = None) -> str:
+    """Render a list of uniform dict rows (keys become headers)."""
+    if not rows:
+        return title or "(no rows)"
+    headers = list(rows[0].keys())
+    table = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, table, title)

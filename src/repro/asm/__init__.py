@@ -1,0 +1,15 @@
+"""Assembly front end: lexing, parsing, and re-emitting SPARC-like text."""
+
+from repro.asm.lexer import LexedLine, lex_lines
+from repro.asm.parser import parse_asm, parse_instruction_text
+from repro.asm.program import Program
+from repro.asm.writer import render_program
+
+__all__ = [
+    "LexedLine",
+    "lex_lines",
+    "parse_asm",
+    "parse_instruction_text",
+    "Program",
+    "render_program",
+]

@@ -1,0 +1,119 @@
+"""Line-oriented lexer for the SPARC-like assembly dialect.
+
+The dialect is deliberately simple:
+
+* one instruction per line;
+* ``!`` and ``#`` start a comment running to end of line;
+* a label is an identifier followed by ``:``, optionally sharing the
+  line with an instruction;
+* lines starting with ``.`` are assembler directives and are passed
+  through untouched for the parser to record or skip;
+* operands are comma-separated at the top level; commas inside
+  ``[...]`` or ``(...)`` do not split.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AsmSyntaxError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+
+@dataclass(frozen=True, slots=True)
+class LexedLine:
+    """One meaningful source line, split into its parts.
+
+    Attributes:
+        number: 1-based line number.
+        labels: labels defined on this line (before any instruction).
+        mnemonic: instruction mnemonic (lower case, annul suffix kept),
+            or None for a label-only or directive line.
+        operand_texts: raw operand strings, stripped.
+        directive: the directive text for ``.``-lines, else None.
+    """
+
+    number: int
+    labels: tuple[str, ...] = ()
+    mnemonic: str | None = None
+    operand_texts: tuple[str, ...] = ()
+    directive: str | None = None
+
+
+def strip_comment(text: str) -> str:
+    """Remove ``!`` / ``#`` comments (quotes are not part of the dialect)."""
+    for marker in ("!", "#"):
+        pos = text.find(marker)
+        if pos >= 0:
+            text = text[:pos]
+    return text
+
+
+def split_operands(text: str, line_number: int) -> tuple[str, ...]:
+    """Split an operand list on top-level commas.
+
+    Commas nested inside ``[...]`` or ``(...)`` (memory operands,
+    ``%hi(...)``) do not split.
+
+    Raises:
+        AsmSyntaxError: on unbalanced brackets.
+    """
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+            if depth < 0:
+                raise AsmSyntaxError("unbalanced brackets", line_number, text)
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise AsmSyntaxError("unbalanced brackets", line_number, text)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    if any(not p for p in parts):
+        raise AsmSyntaxError("empty operand", line_number, text)
+    return tuple(parts)
+
+
+def lex_lines(text: str) -> list[LexedLine]:
+    """Lex assembly source into :class:`LexedLine` records.
+
+    Blank and comment-only lines are dropped; labels stack onto the
+    next instruction-bearing line only if they are on that line, else
+    they appear as label-only records.
+    """
+    out: list[LexedLine] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = strip_comment(raw).strip()
+        if not line:
+            continue
+        labels: list[str] = []
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            labels.append(match.group(1))
+            line = line[match.end():].strip()
+        if not line:
+            out.append(LexedLine(number, tuple(labels)))
+            continue
+        if line.startswith("."):
+            out.append(LexedLine(number, tuple(labels), directive=line))
+            continue
+        fields = line.split(None, 1)
+        mnemonic = fields[0].lower()
+        operand_texts: tuple[str, ...] = ()
+        if len(fields) == 2:
+            operand_texts = split_operands(fields[1], number)
+        out.append(LexedLine(number, tuple(labels), mnemonic, operand_texts))
+    return out

@@ -1,0 +1,198 @@
+"""Parser: lexed lines -> :class:`~repro.asm.program.Program`.
+
+Operands are recognized by shape:
+
+* ``%``-prefixed register names -> :class:`RegOperand`;
+* ``%hi(sym)`` / ``%lo(sym)`` -> :class:`SymImmOperand`;
+* ``[...]`` -> :class:`MemOperand` (see :func:`parse_mem_expr` for the
+  accepted addressing shapes);
+* integers (decimal or ``0x`` hex, optionally negative) ->
+  :class:`ImmOperand`;
+* anything else that looks like an identifier -> :class:`LabelOperand`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AsmSyntaxError, OperandError
+from repro.asm.lexer import LexedLine, lex_lines, split_operands
+from repro.asm.program import Program
+from repro.isa.instruction import Instruction
+from repro.isa.memory import MemExpr
+from repro.isa.opcodes import lookup_opcode
+from repro.isa.operands import (
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    RegOperand,
+    SymImmOperand,
+)
+from repro.isa.registers import canonical_name, is_register_name, parse_register
+
+_INT_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+_HILO_RE = re.compile(r"^%(hi|lo)\(([\w.$]+)\)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def parse_mem_expr(inner: str, line_number: int = 0) -> MemExpr:
+    """Parse the inside of a ``[...]`` memory operand.
+
+    Accepted shapes: ``reg``, ``reg+reg``, ``reg+imm``, ``reg-imm``,
+    ``sym``, ``sym+imm``, ``sym-imm``, ``reg+%lo(sym)``.
+
+    Raises:
+        AsmSyntaxError: on any other shape.
+    """
+    text = inner.replace(" ", "")
+    if not text:
+        raise AsmSyntaxError("empty memory expression", line_number, inner)
+
+    # Split on the FIRST top-level + or - (not the leading sign).
+    split_at = -1
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch in "+-" and i > 0 and depth == 0:
+            split_at = i
+            break
+    head = text[:split_at] if split_at >= 0 else text
+    tail = text[split_at:] if split_at >= 0 else ""
+
+    def as_reg(token: str) -> str | None:
+        if token.startswith("%") and is_register_name(token):
+            return canonical_name(token)
+        return None
+
+    head_reg = as_reg(head)
+    if head_reg is not None:
+        if not tail:
+            return MemExpr(base=head_reg)
+        op_sign, rest = tail[0], tail[1:]
+        rest_reg = as_reg(rest)
+        if rest_reg is not None:
+            if op_sign == "-":
+                raise AsmSyntaxError("register index cannot be subtracted",
+                                     line_number, inner)
+            return MemExpr(base=head_reg, index=rest_reg)
+        lo = _HILO_RE.match(rest)
+        if lo is not None:
+            if lo.group(1) != "lo" or op_sign == "-":
+                raise AsmSyntaxError("only +%lo(sym) is addressable",
+                                     line_number, inner)
+            return MemExpr(base=head_reg, symbol=lo.group(2))
+        if _INT_RE.match(rest):
+            offset = _parse_int(rest)
+            return MemExpr(base=head_reg,
+                           offset=-offset if op_sign == "-" else offset)
+        raise AsmSyntaxError(f"bad memory displacement {rest!r}",
+                             line_number, inner)
+
+    if _IDENT_RE.match(head):
+        if not tail:
+            return MemExpr(symbol=head)
+        op_sign, rest = tail[0], tail[1:]
+        if _INT_RE.match(rest):
+            offset = _parse_int(rest)
+            return MemExpr(symbol=head,
+                           offset=-offset if op_sign == "-" else offset)
+        raise AsmSyntaxError(f"bad symbol displacement {rest!r}",
+                             line_number, inner)
+
+    raise AsmSyntaxError(f"bad memory expression {inner!r}", line_number,
+                         inner)
+
+
+def parse_operand(text: str, line_number: int = 0) -> Operand:
+    """Parse one operand string (see module docstring for shapes)."""
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        return MemOperand(parse_mem_expr(text[1:-1], line_number))
+    hilo = _HILO_RE.match(text)
+    if hilo is not None:
+        return SymImmOperand(hilo.group(1), hilo.group(2))
+    if text.startswith("%"):
+        if is_register_name(text):
+            return RegOperand(parse_register(text))
+        raise AsmSyntaxError(f"unknown register {text!r}", line_number, text)
+    if _INT_RE.match(text):
+        return ImmOperand(_parse_int(text))
+    if _IDENT_RE.match(text):
+        return LabelOperand(text)
+    raise AsmSyntaxError(f"cannot parse operand {text!r}", line_number, text)
+
+
+def _parse_mnemonic(raw: str, line_number: int) -> tuple[str, bool]:
+    """Split an ``,a`` annul suffix off a branch mnemonic."""
+    if "," not in raw:
+        return raw, False
+    base, _, suffix = raw.partition(",")
+    if suffix != "a":
+        raise AsmSyntaxError(f"unknown mnemonic suffix {suffix!r}",
+                             line_number, raw)
+    return base, True
+
+
+def parse_asm(text: str, name: str = "<asm>") -> Program:
+    """Parse assembly source text into a :class:`Program`.
+
+    Args:
+        text: assembly source.
+        name: source name for diagnostics and reports.
+
+    Raises:
+        AsmSyntaxError: on lexical or syntactic errors.
+        UnknownOpcodeError: for unknown mnemonics.
+        CfgError: for duplicate labels.
+    """
+    program = Program(name)
+    pending_labels: list[str] = []
+    for line in lex_lines(text):
+        pending_labels.extend(line.labels)
+        if line.directive is not None:
+            program.directives.append(line.directive)
+            continue
+        if line.mnemonic is None:
+            continue
+        mnemonic, annulled = _parse_mnemonic(line.mnemonic, line.number)
+        opcode = lookup_opcode(mnemonic)
+        if annulled and not opcode.delayed:
+            raise AsmSyntaxError(
+                f"{mnemonic} cannot carry an annul suffix", line.number)
+        operands = tuple(parse_operand(t, line.number)
+                         for t in line.operand_texts)
+        index = len(program.instructions)
+        label = pending_labels[0] if pending_labels else None
+        instr = Instruction(index, opcode, operands, label=label,
+                            annulled=annulled, source_line=line.number)
+        # Validate operands eagerly so parse errors surface here, not
+        # at DAG-build time.
+        from repro.isa.resources import defs_and_uses
+        try:
+            defs_and_uses(instr)
+        except OperandError as exc:
+            raise AsmSyntaxError(str(exc), line.number) from exc
+        program.instructions.append(instr)
+        for lbl in pending_labels:
+            program.add_label(lbl, index)
+        pending_labels = []
+    for lbl in pending_labels:
+        program.add_label(lbl, len(program.instructions))
+    return program
+
+
+def parse_instruction_text(text: str, index: int = 0) -> Instruction:
+    """Parse a single instruction line (convenience for tests/examples)."""
+    program = parse_asm(text)
+    if len(program) != 1:
+        raise AsmSyntaxError(
+            f"expected exactly one instruction, got {len(program)}")
+    return program.instructions[0].with_index(index)

@@ -1,0 +1,52 @@
+"""The :class:`Program` container produced by the parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CfgError
+from repro.isa.instruction import Instruction
+
+
+@dataclass
+class Program:
+    """A parsed assembly program (one translation unit).
+
+    Attributes:
+        name: source name, for reports.
+        instructions: all instructions in source order, with
+            ``Instruction.index`` equal to list position.
+        labels: label name -> index of the labeled instruction.  A
+            label at end-of-file maps to ``len(instructions)``.
+        directives: assembler directives in source order (kept for
+            round-tripping; semantically ignored).
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    directives: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def add_label(self, name: str, index: int) -> None:
+        """Record a label definition.
+
+        Raises:
+            CfgError: if the label is already defined at another index.
+        """
+        existing = self.labels.get(name)
+        if existing is not None and existing != index:
+            raise CfgError(f"duplicate label {name!r}")
+        self.labels[name] = index
+
+    def label_targets(self) -> set[int]:
+        """Instruction indices that are branch-target label sites."""
+        return {i for i in self.labels.values() if i < len(self.instructions)}

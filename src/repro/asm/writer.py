@@ -1,0 +1,38 @@
+"""Re-emit programs and schedules as assembly text."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.asm.program import Program
+from repro.isa.instruction import Instruction
+
+
+def render_instruction(instr: Instruction, with_label: bool = True) -> str:
+    """Render one instruction, label first when present."""
+    body = "\t" + instr.render()
+    if with_label and instr.label:
+        return f"{instr.label}:\n{body}"
+    return body
+
+
+def render_instructions(instructions: Iterable[Instruction]) -> str:
+    """Render a sequence of instructions, one per line."""
+    return "\n".join(render_instruction(i) for i in instructions)
+
+
+def render_program(program: Program) -> str:
+    """Render a whole program back to assembly text.
+
+    Labels that map past the last instruction are emitted at the end;
+    directives are not round-tripped into position (they are appended
+    as a header) because their placement is semantically irrelevant to
+    this library.
+    """
+    lines: list[str] = list(program.directives)
+    end_labels = [name for name, idx in program.labels.items()
+                  if idx >= len(program.instructions)]
+    lines.append(render_instructions(program.instructions))
+    for name in end_labels:
+        lines.append(f"{name}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,8 @@
+"""Basic blocks: partitioning and instruction windows."""
+
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.partition import partition_blocks, pin_delay_slot_occupants
+from repro.cfg.windows import apply_window
+
+__all__ = ["BasicBlock", "partition_blocks", "pin_delay_slot_occupants",
+           "apply_window"]

@@ -1,0 +1,72 @@
+"""The :class:`BasicBlock` value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.memory import MemExpr
+from repro.isa.opcodes import InstructionClass
+from repro.isa.resources import defs_and_uses, ResourceKind
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending at most once in control flow.
+
+    Attributes:
+        index: 0-based block number within the program.
+        instructions: the block's instructions in original order.
+        label: label of the first instruction, if any.
+        windowed_from: when this block was produced by instruction-
+            window splitting (:func:`repro.cfg.windows.apply_window`),
+            the index of the original unsplit block; else None.
+    """
+
+    index: int
+    instructions: list[Instruction] = field(default_factory=list)
+    label: str | None = None
+    windowed_from: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The block-ending control transfer / window op, if the block
+        ends with one."""
+        if not self.instructions:
+            return None
+        last = self.instructions[-1]
+        return last if last.opcode.ends_block else None
+
+    def unique_memory_exprs(self) -> set[str]:
+        """Keys of the distinct symbolic memory expressions in the block.
+
+        This is the quantity tabulated per block in the paper's
+        Table 3: one expression per load/store *operand*, counted
+        textually (a double-word access is one expression here even
+        though dependence analysis tracks both of its word slots).
+        """
+        keys: set[str] = set()
+        for instr in self.instructions:
+            mem = instr.mem_operand()
+            if mem is not None:
+                keys.add(mem.expr.key())
+        return keys
+
+    def instruction_class_counts(self) -> dict[InstructionClass, int]:
+        """Histogram of instruction classes in the block."""
+        counts: dict[InstructionClass, int] = {}
+        for instr in self.instructions:
+            counts[instr.opcode.iclass] = counts.get(
+                instr.opcode.iclass, 0) + 1
+        return counts

@@ -1,0 +1,92 @@
+"""Leader-based basic-block partitioning.
+
+Block boundaries follow section 2 of the paper:
+
+* branches, calls, and returns end the block they appear in;
+* on this delayed-branch target, the *delay-slot* instruction
+  (including an annulling branch's slot) "is included in the counts
+  for the basic block following the branch" -- so the slot instruction
+  becomes the first instruction of the next block;
+* register-window instructions SAVE and RESTORE also end basic blocks,
+  "since register identifiers name different physical resources on
+  different sides of these instructions";
+* every branch-target label starts a new block.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.cfg.basic_block import BasicBlock
+from repro.isa.instruction import Instruction
+
+
+def _leaders(program: Program) -> set[int]:
+    """Indices of instructions that start a basic block."""
+    n = len(program.instructions)
+    if n == 0:
+        return set()
+    leaders = {0}
+    leaders.update(program.label_targets())
+    for instr in program.instructions:
+        if instr.opcode.ends_block:
+            # The instruction after the terminator starts a new block.
+            # For delayed transfers that instruction is the delay slot,
+            # which the paper counts with the FOLLOWING block.
+            if instr.index + 1 < n:
+                leaders.add(instr.index + 1)
+    return leaders
+
+
+def pin_delay_slot_occupants(blocks: list[BasicBlock]) -> list[BasicBlock]:
+    """Isolate delay-slot occupants into single-instruction blocks.
+
+    The paper counts a delay-slot instruction with the *following*
+    block, and per-block scheduling is free to reorder that block --
+    which would change WHICH instruction sits in the preceding
+    branch's delay slot when the program is re-linearized.  For
+    layout-preserving transformations (``repro.transform``, the CLI),
+    the occupant must stay put: this pass splits it into its own
+    block so schedulers cannot move anything across it.
+
+    Blocks are renumbered consecutively; labels stay with the
+    occupant (the original block start).
+    """
+    out: list[BasicBlock] = []
+    previous_delayed = False
+    for block in blocks:
+        instrs = block.instructions
+        if previous_delayed and instrs:
+            out.append(BasicBlock(len(out), [instrs[0]], block.label,
+                                  block.windowed_from))
+            rest = instrs[1:]
+            if rest:
+                out.append(BasicBlock(len(out), list(rest), None,
+                                      block.windowed_from))
+        else:
+            out.append(BasicBlock(len(out), list(instrs), block.label,
+                                  block.windowed_from))
+        last = instrs[-1] if instrs else None
+        previous_delayed = (last is not None and last.opcode.ends_block
+                            and last.opcode.delayed)
+    return out
+
+
+def partition_blocks(program: Program) -> list[BasicBlock]:
+    """Partition a program into basic blocks.
+
+    Every instruction lands in exactly one block; blocks preserve the
+    original instruction order.
+    """
+    leaders = sorted(_leaders(program))
+    blocks: list[BasicBlock] = []
+    for block_number, start in enumerate(leaders):
+        end = (leaders[block_number + 1]
+               if block_number + 1 < len(leaders)
+               else len(program.instructions))
+        instrs: list[Instruction] = program.instructions[start:end]
+        blocks.append(BasicBlock(
+            index=block_number,
+            instructions=instrs,
+            label=instrs[0].label if instrs else None,
+        ))
+    return blocks

@@ -1,0 +1,26 @@
+"""Dependence DAGs: structure, reachability, transitive arcs, statistics."""
+
+from repro.dag.graph import Arc, Dag, DagNode
+from repro.dag.bitmap import ReachabilityMap
+from repro.dag.forest import attach_dummy_leaf, attach_dummy_root, forest_roots
+from repro.dag.transitive import (
+    classify_arcs,
+    remove_transitive_arcs,
+    timing_essential_arcs,
+)
+from repro.dag.stats import BlockDagStats, dag_stats
+
+__all__ = [
+    "Arc",
+    "Dag",
+    "DagNode",
+    "ReachabilityMap",
+    "attach_dummy_root",
+    "attach_dummy_leaf",
+    "forest_roots",
+    "classify_arcs",
+    "remove_transitive_arcs",
+    "timing_essential_arcs",
+    "BlockDagStats",
+    "dag_stats",
+]

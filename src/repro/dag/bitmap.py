@@ -1,0 +1,95 @@
+"""Reachability bit maps.
+
+Section 2 of the paper: "These maps use one bit position per node to
+indicate descendants.  Each node's map is initialized to indicate that
+a node can reach itself."  The paper recommends them both for
+preventing transitive arcs during backward construction and for
+computing the #descendants heuristic cheaply ("the #descendants is
+then merely the population count on the reachability bit map minus
+one").
+
+Python integers are arbitrary-precision bit vectors with C-speed OR
+and popcount, so a map is just an ``int`` per node.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import Dag, DagNode
+
+
+class ReachabilityMap:
+    """Descendant bitsets, one per node id.
+
+    The map for node ``i`` has bit ``j`` set iff ``j`` is ``i`` itself
+    or a descendant of ``i``.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        self._maps: list[int] = [1 << i for i in range(n_nodes)]
+        self.words_touched = 0  # work counter for benchmarks
+
+    def __len__(self) -> int:
+        return len(self._maps)
+
+    def grow_to(self, n_nodes: int) -> None:
+        """Extend the map set to cover ``n_nodes`` node ids."""
+        for i in range(len(self._maps), n_nodes):
+            self._maps.append(1 << i)
+
+    def reaches(self, a: int, b: int) -> bool:
+        """True when node ``a`` can already reach node ``b``."""
+        return bool(self._maps[a] >> b & 1)
+
+    def absorb(self, a: int, b: int) -> None:
+        """Record that ``a`` now reaches everything ``b`` reaches.
+
+        This is the paper's ``bitmap_for_a = bitmap_for_a OR
+        bitmap_for_b`` step, performed when the arc a->b is inserted.
+        """
+        self._maps[a] |= self._maps[b]
+        self.words_touched += 1
+
+    def descendant_count(self, a: int) -> int:
+        """#descendants of ``a``: popcount of its map minus one."""
+        return self._maps[a].bit_count() - 1
+
+    def descendants(self, a: int) -> list[int]:
+        """Descendant node ids of ``a`` (excluding ``a``), ascending."""
+        bits = self._maps[a] & ~(1 << a)
+        out: list[int] = []
+        while bits:
+            low = bits & -bits
+            out.append(low.bit_length() - 1)
+            bits ^= low
+        return out
+
+    def raw(self, a: int) -> int:
+        """The raw bitset for node ``a`` (self bit included)."""
+        return self._maps[a]
+
+
+def compute_reachability(dag: Dag) -> ReachabilityMap:
+    """Compute full descendant maps for an already-built DAG.
+
+    Works in reverse topological order so each node ORs its children's
+    completed maps -- the same discipline backward table-building uses
+    incrementally.
+    """
+    rmap = ReachabilityMap(len(dag))
+    for node in reversed(dag.topological_order()):
+        for arc in node.out_arcs:
+            rmap.absorb(node.id, arc.child.id)
+    return rmap
+
+
+def ancestor_maps(dag: Dag) -> list[int]:
+    """Ancestor bitsets (self bit included), the mirror of descendants.
+
+    Used by the Landskov-style builder, which excludes the ancestors of
+    any node already connected to the new node.
+    """
+    maps = [1 << i for i in range(len(dag))]
+    for node in dag.topological_order():
+        for arc in node.out_arcs:
+            maps[arc.child.id] |= maps[node.id]
+    return maps

@@ -1,0 +1,92 @@
+"""Forests and dummy nodes.
+
+"A basic block may result in a collection of one or more DAGs, called a
+*forest*.  Some construction algorithms connect all DAGs in a forest by
+using a unique dummy root node as the parent of all true roots ...
+Additionally, some algorithms use a unique dummy leaf node or connect
+all true leaves to the block-ending branch node to ensure that the
+branch is the last node to be scheduled." (paper section 2)
+"""
+
+from __future__ import annotations
+
+from repro.dep import DepType
+from repro.dag.graph import Dag, DagNode
+
+
+def forest_roots(dag: Dag) -> list[DagNode]:
+    """True roots of the forest (dummy nodes excluded)."""
+    return [n for n in dag.nodes
+            if not n.is_dummy and all(a.parent.is_dummy for a in n.in_arcs)]
+
+
+def forest_leaves(dag: Dag) -> list[DagNode]:
+    """True leaves of the forest (dummy nodes excluded)."""
+    return [n for n in dag.nodes
+            if not n.is_dummy and all(a.child.is_dummy for a in n.out_arcs)]
+
+
+def forest_components(dag: Dag) -> list[list[DagNode]]:
+    """Connected components of the (undirected view of the) forest.
+
+    Dummy nodes are ignored; each component is returned in node-id
+    order.
+    """
+    real = [n for n in dag.nodes if not n.is_dummy]
+    seen: set[int] = set()
+    components: list[list[DagNode]] = []
+    for start in real:
+        if start.id in seen:
+            continue
+        stack = [start]
+        seen.add(start.id)
+        component: list[DagNode] = []
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for arc in node.out_arcs:
+                other = arc.child
+                if not other.is_dummy and other.id not in seen:
+                    seen.add(other.id)
+                    stack.append(other)
+            for arc in node.in_arcs:
+                other = arc.parent
+                if not other.is_dummy and other.id not in seen:
+                    seen.add(other.id)
+                    stack.append(other)
+        component.sort(key=lambda n: n.id)
+        components.append(component)
+    return components
+
+
+def attach_dummy_root(dag: Dag) -> DagNode:
+    """Connect all true roots under a unique dummy root (delay 0 arcs).
+
+    The dummy root represents the initial candidate list for a
+    forward scheduling pass.  Idempotent.
+    """
+    if dag.dummy_root is not None:
+        return dag.dummy_root
+    roots = forest_roots(dag)
+    dummy = dag.add_node(None, execution_time=0)
+    dag.dummy_root = dummy
+    for root in roots:
+        dag.add_arc(dummy, root, DepType.RAW, 0)
+    return dummy
+
+
+def attach_dummy_leaf(dag: Dag) -> DagNode:
+    """Connect all true leaves to a unique dummy leaf.
+
+    The arc delay is the leaf's execution time, so the dummy leaf's
+    earliest start time equals the block's critical-path length --
+    exactly what the Schlansker EST/LST formulation needs.  Idempotent.
+    """
+    if dag.dummy_leaf is not None:
+        return dag.dummy_leaf
+    leaves = forest_leaves(dag)
+    dummy = dag.add_node(None, execution_time=0)
+    dag.dummy_leaf = dummy
+    for leaf in leaves:
+        dag.add_arc(leaf, dummy, DepType.RAW, leaf.execution_time)
+    return dummy

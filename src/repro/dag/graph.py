@@ -1,0 +1,311 @@
+"""The dependence DAG.
+
+Nodes are instructions; arcs are data dependences weighted by delay
+(paper section 2).  ``Dag.add_arc`` is the single choke point every
+construction algorithm funnels through, and it maintains -- exactly as
+Table 1's legend describes for the ``a`` entries -- the heuristic
+values "determined when an instruction node or dependency arc is added
+to the DAG": #children, #parents, the φ-delay aggregates, and the
+interlock-with-child predicate.
+
+Parallel arcs (same parent and child through different resources) are
+merged into a single arc keeping the maximum delay; the merge count is
+reported so builders can account for the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dep import DepType
+from repro.errors import DagError
+from repro.isa.instruction import Instruction
+from repro.isa.resources import Resource
+
+
+@dataclass(slots=True, eq=False)
+class Arc:
+    """One dependence arc.
+
+    Attributes:
+        parent: the earlier instruction's node.
+        child: the later, dependent node.
+        dep: dependence type of the strongest (max-delay) merge.
+        delay: arc weight in cycles.
+        resource: the resource that carried the (strongest) dependence,
+            None for structural arcs to/from dummy nodes.
+    """
+
+    parent: "DagNode"
+    child: "DagNode"
+    dep: DepType
+    delay: int
+    resource: Resource | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Arc({self.parent.id}->{self.child.id}, {self.dep}, "
+                f"delay={self.delay})")
+
+
+class DagNode:
+    """One DAG node: an instruction plus its heuristic annotations.
+
+    Attribute groups:
+
+    * structural: ``out_arcs`` / ``in_arcs`` and the ``a``-class
+      counters maintained by :meth:`Dag.add_arc`;
+    * static heuristics filled by the intermediate passes
+      (:mod:`repro.heuristics.passes`): path/delay extrema, EST/LST/
+      slack, descendant aggregates, register-usage measures;
+    * dynamic scheduling state, reset by
+      :meth:`Dag.reset_schedule_state` before every scheduling pass.
+    """
+
+    __slots__ = (
+        "id", "instr", "out_arcs", "in_arcs",
+        # a-class heuristics (maintained by add_arc)
+        "n_children", "n_parents",
+        "sum_delays_to_children", "max_delay_to_child",
+        "sum_delays_from_parents", "max_delay_from_parent",
+        "interlock_with_child", "execution_time",
+        # pass-computed static heuristics
+        "max_path_to_leaf", "max_delay_to_leaf",
+        "max_path_from_root", "max_delay_from_root",
+        "est", "lst", "slack",
+        "n_descendants", "sum_exec_descendants",
+        "registers_born", "registers_killed", "liveness",
+        "level",
+        # dynamic scheduling state
+        "unscheduled_parents", "unscheduled_children",
+        "earliest_exec_time", "issue_time", "scheduled",
+        "priority_bias",
+    )
+
+    def __init__(self, node_id: int, instr: Instruction | None,
+                 execution_time: int = 1) -> None:
+        self.id = node_id
+        self.instr = instr
+        self.out_arcs: list[Arc] = []
+        self.in_arcs: list[Arc] = []
+        self.n_children = 0
+        self.n_parents = 0
+        self.sum_delays_to_children = 0
+        self.max_delay_to_child = 0
+        self.sum_delays_from_parents = 0
+        self.max_delay_from_parent = 0
+        self.interlock_with_child = False
+        self.execution_time = execution_time
+        self.max_path_to_leaf = 0
+        self.max_delay_to_leaf = 0
+        self.max_path_from_root = 0
+        self.max_delay_from_root = 0
+        self.est = 0
+        self.lst = 0
+        self.slack = 0
+        self.n_descendants = 0
+        self.sum_exec_descendants = 0
+        self.registers_born = 0
+        self.registers_killed = 0
+        self.liveness = 0
+        self.level = 0
+        self.unscheduled_parents = 0
+        self.unscheduled_children = 0
+        self.earliest_exec_time = 0
+        self.issue_time = -1
+        self.scheduled = False
+        self.priority_bias = 0
+
+    @property
+    def is_dummy(self) -> bool:
+        """True for synthetic root/leaf nodes with no instruction."""
+        return self.instr is None
+
+    @property
+    def is_root(self) -> bool:
+        """True when the node has no parents."""
+        return self.n_parents == 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.n_children == 0
+
+    def children(self) -> list["DagNode"]:
+        """Child nodes (one per deduplicated out-arc)."""
+        return [arc.child for arc in self.out_arcs]
+
+    def parents(self) -> list["DagNode"]:
+        """Parent nodes (one per deduplicated in-arc)."""
+        return [arc.parent for arc in self.in_arcs]
+
+    def arc_to(self, child: "DagNode") -> Arc | None:
+        """The arc to ``child``, if one exists."""
+        for arc in self.out_arcs:
+            if arc.child is child:
+                return arc
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        text = self.instr.render() if self.instr else "<dummy>"
+        return f"DagNode({self.id}: {text})"
+
+
+class Dag:
+    """A dependence DAG (possibly a forest) over one basic block.
+
+    Nodes are created up front in original instruction order; arcs are
+    added by a construction algorithm through :meth:`add_arc`.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: list[DagNode] = []
+        self.n_arcs = 0
+        self.n_merged_arcs = 0
+        self.dummy_root: DagNode | None = None
+        self.dummy_leaf: DagNode | None = None
+        # Maps child id -> Arc per parent for O(1) duplicate detection.
+        self._arc_index: dict[tuple[int, int], Arc] = {}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def add_node(self, instr: Instruction | None,
+                 execution_time: int = 1) -> DagNode:
+        """Append a node; its id is its position in creation order."""
+        node = DagNode(len(self.nodes), instr, execution_time)
+        self.nodes.append(node)
+        return node
+
+    def real_nodes(self) -> list[DagNode]:
+        """Nodes that carry instructions (dummies excluded)."""
+        return [n for n in self.nodes if not n.is_dummy]
+
+    def add_arc(self, parent: DagNode, child: DagNode, dep: DepType,
+                delay: int, resource: Resource | None = None) -> Arc | None:
+        """Add (or merge) a dependence arc and maintain ``a``-heuristics.
+
+        A second arc between the same node pair is merged into the
+        existing one, keeping the larger delay; merged arcs do not
+        change #children/#parents but do update the delay aggregates
+        when the delay grew.
+
+        Args:
+            parent: the earlier node.
+            child: the later node.
+            dep: dependence type.
+            delay: arc weight in cycles (>= 0; 0 only for dummy arcs).
+
+        Returns:
+            The new arc, or None when the arc merged into an existing
+            one.
+
+        Raises:
+            DagError: on a self-arc or an arc from a later to an
+                earlier node (which would create a cycle).
+        """
+        if parent is child:
+            raise DagError(f"self-arc on node {parent.id}")
+        if (not parent.is_dummy and not child.is_dummy
+                and parent.id > child.id):
+            raise DagError(
+                f"arc {parent.id}->{child.id} points backwards in time")
+        key = (parent.id, child.id)
+        existing = self._arc_index.get(key)
+        if existing is not None:
+            self.n_merged_arcs += 1
+            if delay > existing.delay:
+                parent.sum_delays_to_children += delay - existing.delay
+                child.sum_delays_from_parents += delay - existing.delay
+                existing.delay = delay
+                existing.dep = dep
+                existing.resource = resource
+                if delay > parent.max_delay_to_child:
+                    parent.max_delay_to_child = delay
+                if delay > child.max_delay_from_parent:
+                    child.max_delay_from_parent = delay
+                if delay > 1:
+                    parent.interlock_with_child = True
+            return None
+        arc = Arc(parent, child, dep, delay, resource)
+        self._arc_index[key] = arc
+        parent.out_arcs.append(arc)
+        child.in_arcs.append(arc)
+        self.n_arcs += 1
+        parent.n_children += 1
+        child.n_parents += 1
+        parent.sum_delays_to_children += delay
+        child.sum_delays_from_parents += delay
+        if delay > parent.max_delay_to_child:
+            parent.max_delay_to_child = delay
+        if delay > child.max_delay_from_parent:
+            child.max_delay_from_parent = delay
+        if delay > 1:
+            parent.interlock_with_child = True
+        return arc
+
+    def remove_arc(self, arc: Arc) -> None:
+        """Remove an arc, reversing its effect on the simple counters.
+
+        The φ-delay *max* aggregates are recomputed from the remaining
+        arcs (removal is used by transitive-arc experiments, not hot
+        paths).
+        """
+        key = (arc.parent.id, arc.child.id)
+        if self._arc_index.get(key) is not arc:
+            raise DagError(f"arc {key} is not in this DAG")
+        del self._arc_index[key]
+        arc.parent.out_arcs.remove(arc)
+        arc.child.in_arcs.remove(arc)
+        self.n_arcs -= 1
+        parent, child = arc.parent, arc.child
+        parent.n_children -= 1
+        child.n_parents -= 1
+        parent.sum_delays_to_children -= arc.delay
+        child.sum_delays_from_parents -= arc.delay
+        parent.max_delay_to_child = max(
+            (a.delay for a in parent.out_arcs), default=0)
+        child.max_delay_from_parent = max(
+            (a.delay for a in child.in_arcs), default=0)
+        parent.interlock_with_child = any(
+            a.delay > 1 for a in parent.out_arcs)
+
+    def arcs(self) -> list[Arc]:
+        """All arcs, in parent-id order."""
+        return [arc for node in self.nodes for arc in node.out_arcs]
+
+    def roots(self) -> list[DagNode]:
+        """Nodes with no parents (dummies included if present)."""
+        return [n for n in self.nodes if n.n_parents == 0]
+
+    def leaves(self) -> list[DagNode]:
+        """Nodes with no children (dummies included if present)."""
+        return [n for n in self.nodes if n.n_children == 0]
+
+    def reset_schedule_state(self) -> None:
+        """Prepare the dynamic per-node state for a scheduling pass.
+
+        Dummy nodes do not gate readiness: the counters only track
+        real parents/children.
+        """
+        for node in self.nodes:
+            node.unscheduled_parents = sum(
+                1 for a in node.in_arcs if not a.parent.is_dummy)
+            node.unscheduled_children = sum(
+                1 for a in node.out_arcs if not a.child.is_dummy)
+            node.earliest_exec_time = 0
+            node.issue_time = -1
+            node.scheduled = False
+            node.priority_bias = 0
+
+    def topological_order(self) -> list[DagNode]:
+        """Nodes in a topological order (original order is one, since
+        arcs always point forward in time; dummies are placed at the
+        boundaries)."""
+        real = [n for n in self.nodes if not n.is_dummy]
+        order: list[DagNode] = []
+        if self.dummy_root is not None:
+            order.append(self.dummy_root)
+        order.extend(real)
+        if self.dummy_leaf is not None:
+            order.append(self.dummy_leaf)
+        return order

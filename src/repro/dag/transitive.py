@@ -1,0 +1,115 @@
+"""Transitive-arc analysis.
+
+"A transitive arc is a parent-to-child connection between two nodes
+that also have an indirect ancestor-to-descendant connection through
+intermediate nodes." (paper section 2)
+
+The paper's Figure 1 argument: a transitive arc is *timing-essential*
+when its delay exceeds the total delay of every alternative path, so
+removing it corrupts earliest-execution-time and delay-sum heuristics.
+This module classifies arcs, finds the timing-essential ones, and can
+strip transitive arcs (the Landskov policy the paper recommends
+against) so the damage can be measured.
+"""
+
+from __future__ import annotations
+
+from repro.dag.bitmap import ReachabilityMap, compute_reachability
+from repro.dag.graph import Arc, Dag
+
+
+def classify_arcs(dag: Dag,
+                  rmap: ReachabilityMap | None = None) -> dict[Arc, bool]:
+    """Label every arc as transitive (True) or essential (False).
+
+    An arc ``u -> v`` is transitive iff some *other* child ``w`` of
+    ``u`` reaches ``v``.
+
+    Args:
+        dag: the DAG to analyze.
+        rmap: a precomputed reachability map, or None to compute one.
+    """
+    if rmap is None:
+        rmap = compute_reachability(dag)
+    labels: dict[Arc, bool] = {}
+    for node in dag.nodes:
+        for arc in node.out_arcs:
+            transitive = any(
+                other.child is not arc.child
+                and rmap.reaches(other.child.id, arc.child.id)
+                for other in node.out_arcs)
+            labels[arc] = transitive
+    return labels
+
+
+def longest_alternative_delay(dag: Dag, arc: Arc) -> int | None:
+    """Longest total delay from ``arc.parent`` to ``arc.child`` not
+    using ``arc`` itself.
+
+    Returns None when no alternative path exists (the arc is
+    essential).  Runs a longest-path DP over the parent's descendant
+    cone, in node-id (= topological) order.
+    """
+    source, target = arc.parent, arc.child
+    best: dict[int, int] = {source.id: 0}
+    order = dag.topological_order()
+    start = next(i for i, n in enumerate(order) if n is source)
+    for node in order[start:]:
+        here = best.get(node.id)
+        if here is None:
+            continue
+        for out in node.out_arcs:
+            if out is arc:
+                continue
+            child_id = out.child.id
+            candidate = here + out.delay
+            if candidate > best.get(child_id, -1):
+                best[child_id] = candidate
+    return best.get(target.id)
+
+
+def timing_essential_arcs(dag: Dag,
+                          rmap: ReachabilityMap | None = None) -> list[Arc]:
+    """Transitive arcs whose delay exceeds every alternative path.
+
+    These are exactly the arcs Figure 1 warns about: structurally
+    redundant but carrying timing information (e.g. a 20-cycle RAW arc
+    bridging a WAR(1)+RAW(4) path).
+    """
+    labels = classify_arcs(dag, rmap)
+    essential: list[Arc] = []
+    for arc, transitive in labels.items():
+        if not transitive:
+            continue
+        alternative = longest_alternative_delay(dag, arc)
+        if alternative is None or arc.delay > alternative:
+            essential.append(arc)
+    return essential
+
+
+def remove_transitive_arcs(dag: Dag,
+                           keep_timing_essential: bool = False) -> list[Arc]:
+    """Strip transitive arcs from the DAG.
+
+    Args:
+        dag: mutated in place.
+        keep_timing_essential: when True, transitive arcs whose delay
+            exceeds every alternative path are retained (the policy a
+            timing-aware pruner would want; the plain Landskov policy
+            uses False).
+
+    Returns:
+        The arcs removed.
+    """
+    labels = classify_arcs(dag)
+    removed: list[Arc] = []
+    for arc, transitive in labels.items():
+        if not transitive:
+            continue
+        if keep_timing_essential:
+            alternative = longest_alternative_delay(dag, arc)
+            if alternative is None or arc.delay > alternative:
+                continue
+        dag.remove_arc(arc)
+        removed.append(arc)
+    return removed

@@ -1,0 +1,21 @@
+"""Dependence types shared by the DAG and machine subpackages."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DepType(enum.Enum):
+    """Data dependence classification (paper section 1).
+
+    RAW (read-after-write) is the true dependence; WAR (write-after-
+    read) is the anti-dependence; WAW (write-after-write) is the
+    output dependence.
+    """
+
+    RAW = "RAW"
+    WAR = "WAR"
+    WAW = "WAW"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

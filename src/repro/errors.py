@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from scheduling errors when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AsmSyntaxError(ReproError):
+    """Raised when assembly text cannot be tokenized or parsed.
+
+    Attributes:
+        line_number: 1-based line number of the offending line, if known.
+        line_text: the raw text of the offending line, if known.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line_text: str | None = None) -> None:
+        self.line_number = line_number
+        self.line_text = line_text
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class UnknownOpcodeError(AsmSyntaxError):
+    """Raised when an instruction mnemonic is not in the opcode table."""
+
+
+class OperandError(AsmSyntaxError):
+    """Raised when an instruction has the wrong operands for its opcode."""
+
+
+class CfgError(ReproError):
+    """Raised for malformed control-flow constructs (e.g. duplicate labels)."""
+
+
+class DagError(ReproError):
+    """Raised for structural DAG violations (e.g. an arc creating a cycle)."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler cannot produce a valid schedule."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload profile is inconsistent."""

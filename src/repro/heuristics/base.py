@@ -1,0 +1,87 @@
+"""Heuristic metadata: Table 1's rows as first-class objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Any
+
+from repro.dag.graph import DagNode
+
+
+class Category(enum.Enum):
+    """The six broad classifications of paper section 1 / Table 1."""
+
+    STALL = "stall behavior"
+    INSTRUCTION_CLASS = "instruction class"
+    CRITICAL_PATH = "critical path"
+    UNCOVERING = "uncovering"
+    STRUCTURAL = "structural"
+    REGISTER_USAGE = "register usage"
+
+
+class PassKind(enum.Enum):
+    """When a heuristic's value becomes available (Table 1 legend)."""
+
+    ADD_ARC = "a"             # determined when node/arc is added to DAG
+    FORWARD = "f"             # requires a forward pass over the block
+    BACKWARD = "b"            # requires a backward pass over the block
+    FORWARD_BACKWARD = "f+b"  # requires both (slack)
+    VISIT = "v"               # requires node visitation during scheduling
+
+
+@dataclass(frozen=True)
+class Heuristic:
+    """One Table 1 row, bound to its implementation.
+
+    Attributes:
+        key: stable identifier, also the scheduler priority key.
+        title: the paper's row title.
+        category: one of the six broad classes.
+        timing_based: True for the "timing-based" column, False for
+            "relationship-based".
+        pass_kind: when the value can be computed.
+        transitive_sensitive: True for the ``**`` rows -- "calculation
+            is affected by the presence of transitive arcs".
+        static_attr: name of the :class:`DagNode` attribute holding the
+            value, for static (a/f/b) heuristics.
+        dynamic_fn: callable ``(node, state) -> value`` for dynamic
+            (v) heuristics; ``state`` is the scheduler's state object.
+        description: one-line summary from the paper's section 3.
+    """
+
+    key: str
+    title: str
+    category: Category
+    timing_based: bool
+    pass_kind: PassKind
+    transitive_sensitive: bool = False
+    static_attr: str | None = None
+    dynamic_fn: Callable[[DagNode, Any], float] | None = None
+    description: str = ""
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True for heuristics that need the scheduling-time state."""
+        return self.pass_kind is PassKind.VISIT
+
+    def value(self, node: DagNode, state: Any = None) -> float:
+        """Evaluate the heuristic for ``node``.
+
+        Args:
+            node: the candidate node.
+            state: the scheduler state; required for dynamic
+                heuristics, ignored for static ones.
+
+        Raises:
+            ValueError: if a dynamic heuristic is evaluated without a
+                scheduler state.
+        """
+        if self.dynamic_fn is not None:
+            if state is None:
+                raise ValueError(
+                    f"heuristic {self.key!r} is dynamic and needs a "
+                    "scheduler state")
+            return self.dynamic_fn(node, state)
+        assert self.static_attr is not None
+        return getattr(node, self.static_attr)

@@ -1,0 +1,171 @@
+"""The complete Table 1 catalog: all 26 heuristics, bound to code.
+
+``CATALOG`` reproduces the paper's Table 1 row by row -- category,
+relationship- vs timing-based column, calculation pass (``a``/``f``/
+``b``/``v``), and the ``**`` transitive-arc-sensitivity marker -- and
+binds each row to its implementation (a :class:`DagNode` attribute or
+a dynamic calculator).  The Table 1 verification benchmark walks this
+list and evaluates every entry on live DAGs.
+"""
+
+from __future__ import annotations
+
+from repro.heuristics.base import Category, Heuristic, PassKind
+from repro.heuristics import instruction_class as _ic
+from repro.heuristics import register_usage as _reg
+from repro.heuristics import stall as _stall
+from repro.heuristics import uncovering as _unc
+
+_C = Category
+_P = PassKind
+
+CATALOG: tuple[Heuristic, ...] = (
+    # --- stall behavior ---------------------------------------------------
+    Heuristic("interlock_with_previous", "interlock with previous inst.",
+              _C.STALL, timing_based=False, pass_kind=_P.VISIT,
+              dynamic_fn=_stall.interlock_with_previous,
+              description="candidate stalls against the most recently "
+                          "scheduled node"),
+    Heuristic("earliest_execution_time", "earliest execution time",
+              _C.STALL, timing_based=True, pass_kind=_P.VISIT,
+              transitive_sensitive=True,
+              dynamic_fn=_stall.earliest_execution_time,
+              description="dynamic ready time maintained as parents issue"),
+    Heuristic("interlock_with_child", "interlock with child",
+              _C.STALL, timing_based=False, pass_kind=_P.ADD_ARC,
+              transitive_sensitive=True, static_attr="interlock_with_child",
+              description="some child cannot execute in the next cycle "
+                          "(any out-arc delay > 1)"),
+    Heuristic("execution_time", "execution time",
+              _C.STALL, timing_based=True, pass_kind=_P.ADD_ARC,
+              static_attr="execution_time",
+              description="operation latency of the node"),
+    # --- instruction class ------------------------------------------------
+    Heuristic("alternate_type", "alternate type",
+              _C.INSTRUCTION_CLASS, timing_based=False, pass_kind=_P.VISIT,
+              dynamic_fn=_ic.alternate_type,
+              description="issue class differs from the last scheduled "
+                          "instruction (superscalar pairing)"),
+    Heuristic("fpu_busy_time", "busy times for flt. pt. function units",
+              _C.INSTRUCTION_CLASS, timing_based=True, pass_kind=_P.VISIT,
+              dynamic_fn=_ic.fpu_busy_time,
+              description="structural-hazard wait on non-pipelined units"),
+    # --- critical path ----------------------------------------------------
+    Heuristic("max_path_to_leaf", "max path length to a leaf",
+              _C.CRITICAL_PATH, timing_based=False, pass_kind=_P.BACKWARD,
+              static_attr="max_path_to_leaf",
+              description="arcs to the most distant leaf"),
+    Heuristic("max_delay_to_leaf", "max total delay to a leaf",
+              _C.CRITICAL_PATH, timing_based=True, pass_kind=_P.BACKWARD,
+              static_attr="max_delay_to_leaf",
+              description="summed arc delays to the most distant leaf"),
+    Heuristic("max_path_from_root", "max path length from root",
+              _C.CRITICAL_PATH, timing_based=False, pass_kind=_P.FORWARD,
+              static_attr="max_path_from_root",
+              description="arcs from the most distant root"),
+    Heuristic("max_delay_from_root", "max total delay from root",
+              _C.CRITICAL_PATH, timing_based=True, pass_kind=_P.FORWARD,
+              static_attr="max_delay_from_root",
+              description="summed arc delays from the most distant root"),
+    Heuristic("est", "earliest start time (EST)",
+              _C.CRITICAL_PATH, timing_based=True, pass_kind=_P.FORWARD,
+              transitive_sensitive=True, static_attr="est",
+              description="max over parents of EST(p) + arc delay"),
+    Heuristic("lst", "latest start time (LST)",
+              _C.CRITICAL_PATH, timing_based=True, pass_kind=_P.BACKWARD,
+              transitive_sensitive=True, static_attr="lst",
+              description="min over children of LST(c) - arc delay"),
+    Heuristic("slack", "slack (= LST-EST)",
+              _C.CRITICAL_PATH, timing_based=True,
+              pass_kind=_P.FORWARD_BACKWARD, transitive_sensitive=True,
+              static_attr="slack",
+              description="zero slack marks the critical path"),
+    # --- uncovering ---------------------------------------------------------
+    Heuristic("n_children", "#children",
+              _C.UNCOVERING, timing_based=False, pass_kind=_P.ADD_ARC,
+              transitive_sensitive=True, static_attr="n_children",
+              description="outgoing arcs; estimates candidate-list growth"),
+    Heuristic("sum_delays_to_children", "phi delays to children",
+              _C.UNCOVERING, timing_based=True, pass_kind=_P.ADD_ARC,
+              transitive_sensitive=True,
+              static_attr="sum_delays_to_children",
+              description="phi=sum of out-arc delays (phi=max equals "
+                          "execution time)"),
+    Heuristic("n_single_parent_children", "#single-parent children",
+              _C.UNCOVERING, timing_based=False, pass_kind=_P.VISIT,
+              dynamic_fn=_unc.n_single_parent_children,
+              description="children whose only unscheduled parent is the "
+                          "candidate"),
+    Heuristic("sum_delays_single_parent_children",
+              "sum of delays to single-parent children",
+              _C.UNCOVERING, timing_based=True, pass_kind=_P.VISIT,
+              dynamic_fn=_unc.sum_delays_single_parent_children,
+              description="delay-weighted #single-parent children"),
+    Heuristic("n_uncovered_children", "#uncovered children",
+              _C.UNCOVERING, timing_based=False, pass_kind=_P.VISIT,
+              dynamic_fn=_unc.n_uncovered_children,
+              description="children that join the candidate list at once "
+                          "(single unscheduled parent AND delay 1)"),
+    # --- structural ---------------------------------------------------------
+    Heuristic("n_parents", "#parents",
+              _C.STRUCTURAL, timing_based=False, pass_kind=_P.ADD_ARC,
+              transitive_sensitive=True, static_attr="n_parents",
+              description="incoming arcs; Shieh & Papachristou use it "
+                          "inversely"),
+    Heuristic("sum_delays_from_parents", "phi delays from parents",
+              _C.STRUCTURAL, timing_based=True, pass_kind=_P.ADD_ARC,
+              transitive_sensitive=True,
+              static_attr="sum_delays_from_parents",
+              description="phi=sum of in-arc delays"),
+    Heuristic("n_descendants", "#descendants",
+              _C.STRUCTURAL, timing_based=False, pass_kind=_P.BACKWARD,
+              static_attr="n_descendants",
+              description="popcount of the reachability bitmap minus one"),
+    Heuristic("sum_exec_descendants",
+              "sum of execution times of descendants",
+              _C.STRUCTURAL, timing_based=True, pass_kind=_P.BACKWARD,
+              static_attr="sum_exec_descendants",
+              description="execution-time-weighted #descendants"),
+    # --- register usage -----------------------------------------------------
+    Heuristic("registers_born", "#registers born",
+              _C.REGISTER_USAGE, timing_based=False, pass_kind=_P.ADD_ARC,
+              static_attr="registers_born",
+              description="values created that stay live (inverse "
+                          "heuristic prepass)"),
+    Heuristic("registers_killed", "#registers killed",
+              _C.REGISTER_USAGE, timing_based=False, pass_kind=_P.ADD_ARC,
+              static_attr="registers_killed",
+              description="last uses performed (GCC v2's addition to "
+                          "Tiemann)"),
+    Heuristic("liveness", "liveness",
+              _C.REGISTER_USAGE, timing_based=False, pass_kind=_P.ADD_ARC,
+              static_attr="liveness",
+              description="Warren's net register-pressure measure "
+                          "(born - killed here)"),
+    Heuristic("birthing", "birthing instruction",
+              _C.REGISTER_USAGE, timing_based=False, pass_kind=_P.ADD_ARC,
+              static_attr="priority_bias",
+              description="Tiemann's upward bias on RAW parents of the "
+                          "most recently scheduled node"),
+)
+
+_BY_KEY: dict[str, Heuristic] = {h.key: h for h in CATALOG}
+
+
+def catalog() -> tuple[Heuristic, ...]:
+    """All 26 heuristics in Table 1 order."""
+    return CATALOG
+
+
+def heuristic_by_key(key: str) -> Heuristic:
+    """Look a heuristic up by its stable key.
+
+    Raises:
+        KeyError: for unknown keys.
+    """
+    return _BY_KEY[key]
+
+
+def by_category(category: Category) -> list[Heuristic]:
+    """The catalog rows in one category, in table order."""
+    return [h for h in CATALOG if h.category is category]

@@ -1,0 +1,33 @@
+"""Critical-path heuristics (Table 1, third block).
+
+All values here are static and live directly on :class:`DagNode`
+slots, filled by :mod:`repro.heuristics.passes`:
+
+* ``max_path_to_leaf`` / ``max_delay_to_leaf`` -- backward pass;
+* ``max_path_from_root`` / ``max_delay_from_root`` -- forward pass;
+* ``est`` (earliest start time) -- forward pass;
+* ``lst`` (latest start time) -- backward pass, seeded from the
+  critical-path length;
+* ``slack = lst - est`` -- both; zero-slack nodes form the critical
+  path.
+
+This module provides small helpers on top of those attributes.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import Dag, DagNode
+
+
+def critical_path_nodes(dag: Dag) -> list[DagNode]:
+    """Nodes with zero slack (after both passes have run).
+
+    "Those nodes with a slack of zero are on the critical path."
+    """
+    return [n for n in dag.nodes if not n.is_dummy and n.slack == 0]
+
+
+def critical_path_length(dag: Dag) -> int:
+    """The block's critical-path length (max EST + execution time)."""
+    return max((n.est + n.execution_time for n in dag.nodes
+                if not n.is_dummy), default=0)

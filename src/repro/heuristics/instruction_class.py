@@ -1,0 +1,38 @@
+"""Instruction-class heuristics (Table 1, second block)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dag.graph import DagNode
+
+
+def alternate_type(node: DagNode, state: Any) -> int:
+    """1 when the candidate's issue class differs from the most
+    recently scheduled instruction's.
+
+    On a superscalar processor, alternating classes lets more
+    instructions issue per cycle (section 3); the heuristic "is useful
+    in either direction".
+    """
+    last = state.last_scheduled
+    if last is None or last.instr is None or node.instr is None:
+        return 1
+    return int(node.instr.opcode.issue_class
+               is not last.instr.opcode.issue_class)
+
+
+def fpu_busy_time(node: DagNode, state: Any) -> int:
+    """Cycles the candidate would wait for its (non-pipelined) unit.
+
+    0 means no structural stall.  Used as an inverse heuristic
+    (smaller is better); Krishnamurthy ranks it second in his priority
+    function.
+    """
+    if node.instr is None:
+        return 0
+    unit = state.machine.units.unit_for(node.instr.opcode.iclass)
+    if unit.pipelined:
+        return 0
+    free = state.unit_free.get(unit.name, 0)
+    return max(0, free - state.current_time)

@@ -1,0 +1,77 @@
+"""Register-usage heuristics (Table 1, sixth block).
+
+These matter for *prepass* scheduling (before register allocation),
+where lengthening live ranges raises register pressure:
+
+* ``#registers born`` -- values this instruction creates that stay
+  live (an inverse heuristic: postpone pressure increases);
+* ``#registers killed`` -- last uses this instruction performs
+  (schedule pressure *decreases* early; GCC v2 added this to
+  Tiemann's algorithm);
+* ``liveness`` -- Warren's net measure, modeled here as
+  born - killed;
+* ``birthing instruction`` -- Tiemann's dynamic bias: each RAW parent
+  of the most recently scheduled node (in his backward pass) gets its
+  priority adjusted upward to shorten the new live range.  The bias
+  lives in ``DagNode.priority_bias`` and is maintained by the Tiemann
+  scheduler.
+
+Block-local analysis convention: nothing is assumed live out of the
+block, so a value defined and never used locally is born dead (born
+does not count it) and the last local use of any register kills it.
+This is the standard prepass approximation; Warren's full liveness
+uses global information this library intentionally keeps out of scope
+(the paper's future work item 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dag.graph import Dag, DagNode
+from repro.isa.resources import ResourceKind, defs_and_uses
+
+
+def annotate_register_usage(dag: Dag) -> None:
+    """Fill ``registers_born`` / ``registers_killed`` / ``liveness``.
+
+    One backward walk over the block maintaining the live set:
+
+    * an instruction kills every register it uses that is not live
+      below it (it performs the last use);
+    * an instruction gives birth to every register it defines that IS
+      live below it (the value has a consumer).
+    """
+    live: set[str] = set()
+    for node in reversed(dag.topological_order()):
+        if node.instr is None:
+            continue
+        defs, uses = defs_and_uses(node.instr)
+        reg_defs = [r.name for r in defs if r.kind is ResourceKind.REG]
+        reg_uses = [r.name for r in uses if r.kind is ResourceKind.REG]
+        node.registers_born = sum(1 for name in set(reg_defs)
+                                  if name in live)
+        for name in reg_defs:
+            live.discard(name)
+        killed = sum(1 for name in set(reg_uses) if name not in live)
+        node.registers_killed = killed
+        live.update(reg_uses)
+        node.liveness = node.registers_born - node.registers_killed
+
+
+def birthing_bias(node: DagNode, state: Any) -> int:
+    """The dynamic Tiemann birthing-instruction priority adjustment."""
+    return node.priority_bias
+
+
+def apply_birthing_adjustment(scheduled: DagNode, amount: int = 1) -> None:
+    """Raise the priority of each RAW parent of a just-scheduled node.
+
+    Called by the Tiemann backward scheduler after every selection so
+    the defining instructions of the values just consumed are chosen
+    soon, shortening register lifetimes.
+    """
+    from repro.dep import DepType
+    for arc in scheduled.in_arcs:
+        if arc.dep is DepType.RAW and not arc.parent.scheduled:
+            arc.parent.priority_bias += amount

@@ -1,0 +1,62 @@
+"""Stall-behavior heuristics (Table 1, first block)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dag.graph import DagNode
+
+
+def interlock_with_previous(node: DagNode, state: Any) -> int:
+    """1 when the candidate cannot execute in the next cycle because of
+    a dependence on the most recently scheduled node.
+
+    Implemented the cheap way the paper describes: follow the
+    candidate's parent links looking for the most recently scheduled
+    node with an arc delay greater than one.  Instructions scheduled
+    earlier than the most recent are NOT considered (the paper notes
+    this blind spot -- "its function is much better performed by
+    earliest execution time").
+    """
+    last = state.last_scheduled
+    if last is None:
+        return 0
+    for arc in node.in_arcs:
+        if arc.parent is last and arc.delay > 1:
+            return 1
+    return 0
+
+
+def no_interlock_with_previous(node: DagNode, state: Any) -> int:
+    """1 when the candidate is free of interlock with the previous
+    instruction (the polarity Gibbons & Muchnick rank first)."""
+    return 1 - interlock_with_previous(node, state)
+
+
+def earliest_execution_time(node: DagNode, state: Any) -> int:
+    """The dynamic earliest-execution-time value.
+
+    Maintained by the forward scheduler: when a parent issues, each
+    child's value becomes ``max(previous value, issue time + arc
+    delay)``.  "This measure may be inaccurate when all transitive
+    arcs are removed" -- which is exactly what the Figure 1 benchmark
+    demonstrates.
+    """
+    return node.earliest_exec_time
+
+
+def earliest_execution_time_with_units(node: DagNode, state: Any) -> int:
+    """Earliest execution time extended with function-unit busy times.
+
+    "If the function units are not pipelined, then structural hazards
+    can be considered by performing a maximum earliest starting time
+    calculation that includes the finish times of any required
+    function units." (section 3)
+    """
+    base = node.earliest_exec_time
+    if node.instr is None:
+        return base
+    unit = state.machine.units.unit_for(node.instr.opcode.iclass)
+    if unit.pipelined:
+        return base
+    return max(base, state.unit_free.get(unit.name, 0))

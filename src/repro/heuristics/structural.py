@@ -1,0 +1,31 @@
+"""Structural heuristics (Table 1, fifth block).
+
+"Structural heuristics help balance progress through the DAG."
+
+* ``#parents`` and the φ-delays-from-parents aggregates are ``a``-class
+  values maintained by ``add_arc`` (and, as the paper warns, inflated
+  by transitive arcs).
+* ``#descendants`` and the sum of descendant execution times are
+  ``b``-class values: "a better approach is for add_arc to maintain
+  reachability bit maps ... the #descendants is then merely the
+  population count on the reachability bit map minus one."  Our
+  backward pass computes them exactly that way
+  (:func:`repro.heuristics.passes.backward_pass` with
+  ``descendants=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dag.graph import DagNode
+
+
+def inverse_n_parents(node: DagNode, state: Any = None) -> int:
+    """Negated #parents, for ranking where fewer parents is better.
+
+    Shieh & Papachristou recommend #parents as an *inverse* heuristic
+    for forward scheduling: more parents means more completions to
+    wait for.
+    """
+    return -node.n_parents

@@ -1,0 +1,60 @@
+"""Uncovering heuristics (Table 1, fourth block).
+
+Uncovering heuristics "try to enlarge the candidate list": choosing a
+node whose children then become ready gives the scheduler more choice
+on later cycles.  Three refinements of the same idea, from crudest to
+exact:
+
+* **#children** -- static, inflated by transitive arcs;
+* **#single-parent children** -- dynamic, counts children whose only
+  unscheduled parent is this candidate;
+* **#uncovered children** -- dynamic, additionally requires the arc
+  delay to be one, measuring "exactly how many nodes will be added to
+  the candidate list" (Warren's measure).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dag.graph import DagNode
+
+
+def n_single_parent_children(node: DagNode, state: Any) -> int:
+    """Children whose only unscheduled parent is this candidate.
+
+    Implements the paper's pseudocode using the per-node
+    ``#unscheduled_parents`` counter that the scheduler decrements as
+    parents issue.
+    """
+    count = 0
+    for arc in node.out_arcs:
+        if arc.child.unscheduled_parents == 1:
+            count += 1
+    return count
+
+
+def sum_delays_single_parent_children(node: DagNode, state: Any) -> int:
+    """Like #single-parent children, weighting each child by its arc
+    delay -- raises the priority of nodes feeding multi-cycle arcs."""
+    total = 0
+    for arc in node.out_arcs:
+        if arc.child.unscheduled_parents == 1:
+            total += arc.delay
+    return total
+
+
+def n_uncovered_children(node: DagNode, state: Any) -> int:
+    """Children that would join the candidate list immediately.
+
+    The refinement of #single-parent children: the arc delay must also
+    be one, otherwise the child becomes ready only after the delay
+    elapses.  "Due to multiple resource definitions and asymmetric
+    bypass paths, #uncovered children can be different from
+    #single-parent children and yet be greater than zero."
+    """
+    count = 0
+    for arc in node.out_arcs:
+        if arc.child.unscheduled_parents == 1 and arc.delay <= 1:
+            count += 1
+    return count

@@ -1,0 +1,568 @@
+"""An architectural interpreter for straight-line blocks.
+
+Executes instruction sequences over a concrete machine state (32-bit
+integer registers, IEEE single/double FP register file modeled as
+32-bit words, byte-addressable memory, ``%icc``/``%fcc``/``%y``).  Its
+purpose is *semantic validation of scheduling*: transformations "must
+preserve data dependencies" (paper section 1), so executing a block in
+its original order and in any legal schedule from the same initial
+state must produce bit-for-bit identical final states.  The property
+suite (``tests/test_semantics.py``) checks exactly that across random
+blocks, mini-C output, and every scheduler in the repository.
+
+Deliberate simplifications (all deterministic, all order-insensitive,
+each documented at its implementation):
+
+* ``sdiv``/``udiv`` divide 32/32 (the real V8 uses ``%y:rs1`` as a
+  64-bit dividend); ``%y`` is still written (zero) so WAW/WAR ordering
+  stays observable.
+* ``mulscc`` implements a deterministic multiply-step approximation.
+* ``fsqrts/d`` of a negative operand yields the square root of the
+  absolute value (no NaN plumbing).
+* Conditional branches are evaluated against the condition codes:
+  NOT-taken branches fall through (with correct annul-the-slot
+  semantics for ``,a`` branches), so whole programs whose conditions
+  all evaluate false execute linearly -- this is what validates the
+  delay-slot layout decisions of :mod:`repro.transform`.  TAKEN
+  branches, ``ba``, calls, and returns raise
+  :class:`UnsupportedInstruction` (there is no control-flow graph to
+  follow).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.isa.instruction import Instruction
+from repro.isa.memory import MemExpr
+from repro.isa.opcodes import OperandFormat
+from repro.isa.operands import ImmOperand, RegOperand, SymImmOperand
+
+_WORD = 1 << 32
+_INT_MIN = -(1 << 31)
+
+
+class UnsupportedInstruction(ReproError):
+    """Raised for instructions the interpreter does not execute."""
+
+
+def _u32(value: int) -> int:
+    return value & (_WORD - 1)
+
+
+def _s32(value: int) -> int:
+    value = _u32(value)
+    return value - _WORD if value >= (1 << 31) else value
+
+
+@dataclass
+class MachineState:
+    """Concrete architectural state.
+
+    Attributes:
+        int_regs: integer register values (unsigned 32-bit), canonical
+            names; ``%g0`` reads as zero regardless of content.
+        fp_regs: 32-bit word per single FP register name.
+        memory: byte-addressable memory (sparse).
+        symbols: symbolic-address assignment for direct references.
+        y: the %y register (unsigned 32-bit).
+        icc: integer condition codes (n, z, v, c).
+        fcc: fp compare result: 0 equal, 1 less, 2 greater.
+    """
+
+    int_regs: dict[str, int] = field(default_factory=dict)
+    fp_regs: dict[str, int] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    y: int = 0
+    icc: tuple[bool, bool, bool, bool] = (False, True, False, False)
+    fcc: int = 0
+
+    # -- register access ---------------------------------------------------
+
+    def read_int(self, name: str) -> int:
+        if name == "%g0":
+            return 0
+        return self.int_regs.get(name, 0)
+
+    def write_int(self, name: str, value: int) -> None:
+        if name != "%g0":
+            self.int_regs[name] = _u32(value)
+
+    def read_fp_word(self, name: str) -> int:
+        return self.fp_regs.get(name, 0)
+
+    def write_fp_word(self, name: str, value: int) -> None:
+        self.fp_regs[name] = _u32(value)
+
+    def read_double(self, even: str) -> float:
+        number = int(even[2:])
+        high = self.read_fp_word(even)
+        low = self.read_fp_word(f"%f{number + 1}")
+        return struct.unpack(">d", struct.pack(">II", high, low))[0]
+
+    def write_double(self, even: str, value: float) -> None:
+        high, low = struct.unpack(">II", struct.pack(">d", value))
+        number = int(even[2:])
+        self.write_fp_word(even, high)
+        self.write_fp_word(f"%f{number + 1}", low)
+
+    def read_single(self, name: str) -> float:
+        return struct.unpack(">f",
+                             struct.pack(">I", self.read_fp_word(name)))[0]
+
+    def write_single(self, name: str, value: float) -> None:
+        try:
+            word = struct.unpack(">I", struct.pack(">f", value))[0]
+        except OverflowError:
+            word = 0x7F800000  # +inf
+        self.write_fp_word(name, word)
+
+    # -- memory access -----------------------------------------------------
+
+    def address_of(self, expr: MemExpr) -> int:
+        address = expr.offset
+        if expr.base is not None:
+            address += _s32(self.read_int(expr.base))
+        if expr.index is not None:
+            address += _s32(self.read_int(expr.index))
+        if expr.symbol is not None:
+            if expr.symbol not in self.symbols:
+                self.symbols[expr.symbol] = 0x40000000 \
+                    + 256 * len(self.symbols)
+            address += self.symbols[expr.symbol]
+        return address
+
+    def load_bytes(self, address: int, n: int) -> int:
+        value = 0
+        for i in range(n):
+            value = (value << 8) | (self.memory.get(address + i, 0) & 0xFF)
+        return value
+
+    def store_bytes(self, address: int, n: int, value: int) -> None:
+        for i in range(n):
+            shift = 8 * (n - 1 - i)
+            self.memory[address + i] = (value >> shift) & 0xFF
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """A hashable, comparable digest of the full state."""
+        return (tuple(sorted(self.int_regs.items())),
+                tuple(sorted(self.fp_regs.items())),
+                tuple(sorted(self.memory.items())),
+                self.y, self.icc, self.fcc)
+
+    def copy(self) -> "MachineState":
+        clone = MachineState(dict(self.int_regs), dict(self.fp_regs),
+                             dict(self.memory), dict(self.symbols),
+                             self.y, self.icc, self.fcc)
+        return clone
+
+
+def _alu_icc(result: int, carry: bool, overflow: bool) -> tuple:
+    value = _u32(result)
+    return (value >= 1 << 31, value == 0, overflow, carry)
+
+
+_INT_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "andn": lambda a, b: a & ~b,
+    "orn": lambda a, b: a | ~b,
+    "xnor": lambda a, b: ~(a ^ b),
+    "sll": lambda a, b: a << (b & 31),
+    "srl": lambda a, b: _u32(a) >> (b & 31),
+    "sra": lambda a, b: _s32(a) >> (b & 31),
+    "taddcc": lambda a, b: a + b,
+    "tsubcc": lambda a, b: a - b,
+}
+
+_FP3 = {
+    "faddd": lambda a, b: a + b, "fsubd": lambda a, b: a - b,
+    "fmuld": lambda a, b: a * b,
+    "fdivd": lambda a, b: a / b if b != 0.0 else math.inf * (
+        1 if a >= 0 else -1),
+    "fadds": lambda a, b: a + b, "fsubs": lambda a, b: a - b,
+    "fmuls": lambda a, b: a * b,
+    "fdivs": lambda a, b: a / b if b != 0.0 else math.inf * (
+        1 if a >= 0 else -1),
+}
+
+_LOAD_SIZES = {"ld": 4, "ldub": 1, "lduh": 2, "ldsb": 1, "ldsh": 2,
+               "ldd": 8}
+_STORE_SIZES = {"st": 4, "stb": 1, "sth": 2, "std": 8}
+
+
+class Interpreter:
+    """Executes straight-line instruction sequences."""
+
+    def __init__(self, state: MachineState) -> None:
+        self.state = state
+        self._annul_next = False
+
+    # -- operand helpers ---------------------------------------------------
+
+    def _src(self, operand) -> int:
+        if isinstance(operand, RegOperand):
+            return _s32(self.state.read_int(operand.register.name))
+        if isinstance(operand, ImmOperand):
+            return operand.value
+        if isinstance(operand, SymImmOperand):
+            address = self.state.address_of(MemExpr(symbol=operand.symbol))
+            return (address >> 10 if operand.part == "hi"
+                    else address & 0x3FF)
+        raise UnsupportedInstruction(f"bad source operand {operand!r}")
+
+    def _dest_name(self, operand) -> str:
+        assert isinstance(operand, RegOperand)
+        return operand.register.name
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, instructions: list[Instruction]) -> MachineState:
+        """Execute the sequence; returns the (mutated) state.
+
+        A not-taken annulling branch squashes the following (delay
+        slot) instruction, per the SPARC ``,a`` semantics.
+        """
+        for instr in instructions:
+            if self._annul_next:
+                self._annul_next = False
+                continue
+            self.step(instr)
+        return self.state
+
+    def step(self, instr: Instruction) -> None:
+        op = instr.opcode
+        fmt = op.fmt
+        handler = getattr(self, f"_exec_{fmt.value}", None)
+        if handler is None:
+            raise UnsupportedInstruction(
+                f"cannot interpret {op.mnemonic} ({fmt.value})")
+        handler(instr)
+
+    # ALU family ------------------------------------------------------------
+
+    def _int_result(self, instr: Instruction) -> tuple[int, int, int]:
+        a = self._src(instr.operands[0])
+        b = self._src(instr.operands[1])
+        return a, b, 0
+
+    def _exec_alu3(self, instr: Instruction) -> None:
+        a, b, _ = self._int_result(instr)
+        mnemonic = instr.opcode.mnemonic
+        if mnemonic in ("smul", "umul"):  # via MULDIV fall-through
+            raise AssertionError
+        if mnemonic in ("save", "restore"):
+            raise UnsupportedInstruction("register windows not modeled")
+        result = _INT_BINOPS[mnemonic](a, b)
+        self.state.write_int(self._dest_name(instr.operands[2]), result)
+
+    def _exec_alu3_cc(self, instr: Instruction) -> None:
+        a, b, _ = self._int_result(instr)
+        mnemonic = instr.opcode.mnemonic
+        base = mnemonic[:-2] if mnemonic.endswith("cc") else mnemonic
+        if mnemonic in ("taddcc", "tsubcc"):
+            base = mnemonic
+        result = _INT_BINOPS[base](a, b)
+        carry = bool(_u32(a) + _u32(b) >= _WORD) if "add" in base \
+            else bool(_u32(a) < _u32(b))
+        overflow = not (_INT_MIN <= result < 1 << 31)
+        self.state.icc = _alu_icc(result, carry, overflow)
+        self.state.write_int(self._dest_name(instr.operands[2]), result)
+
+    def _exec_alu3_c(self, instr: Instruction) -> None:
+        a, b, _ = self._int_result(instr)
+        carry_in = 1 if self.state.icc[3] else 0
+        if instr.opcode.mnemonic == "addx":
+            result = a + b + carry_in
+        else:
+            result = a - b - carry_in
+        self.state.write_int(self._dest_name(instr.operands[2]), result)
+
+    def _exec_alu3_cc2(self, instr: Instruction) -> None:
+        a, b, _ = self._int_result(instr)
+        carry_in = 1 if self.state.icc[3] else 0
+        if instr.opcode.mnemonic == "addxcc":
+            result = a + b + carry_in
+            carry = bool(_u32(a) + _u32(b) + carry_in >= _WORD)
+        else:
+            result = a - b - carry_in
+            carry = bool(_u32(a) < _u32(b) + carry_in)
+        overflow = not (_INT_MIN <= result < 1 << 31)
+        self.state.icc = _alu_icc(result, carry, overflow)
+        self.state.write_int(self._dest_name(instr.operands[2]), result)
+
+    def _exec_muldiv(self, instr: Instruction) -> None:
+        a, b, _ = self._int_result(instr)
+        mnemonic = instr.opcode.mnemonic
+        dest = self._dest_name(instr.operands[2])
+        if mnemonic == "smul":
+            product = a * b
+            self.state.y = _u32(product >> 32)
+            self.state.write_int(dest, product)
+        elif mnemonic == "umul":
+            product = _u32(a) * _u32(b)
+            self.state.y = _u32(product >> 32)
+            self.state.write_int(dest, product)
+        elif mnemonic == "sdiv":
+            # Simplification: 32/32 divide (no %y:rs1 dividend), %y
+            # deterministically zeroed.
+            quotient = int(a / b) if b != 0 else 0
+            self.state.y = 0
+            self.state.write_int(dest, quotient)
+        else:  # udiv
+            quotient = _u32(a) // _u32(b) if b != 0 else 0
+            self.state.y = 0
+            self.state.write_int(dest, quotient)
+
+    def _exec_mulscc(self, instr: Instruction) -> None:
+        # Deterministic multiply-step approximation: conditional add
+        # on %y's low bit, then rotate the bit stream.
+        a, b, _ = self._int_result(instr)
+        addend = b if (self.state.y & 1) else 0
+        result = a + addend
+        self.state.y = _u32((self.state.y >> 1) | ((_u32(a) & 1) << 31))
+        carry = bool(_u32(a) + _u32(addend) >= _WORD)
+        overflow = not (_INT_MIN <= result < 1 << 31)
+        self.state.icc = _alu_icc(result, carry, overflow)
+        self.state.write_int(self._dest_name(instr.operands[2]), result)
+
+    def _exec_cmp(self, instr: Instruction) -> None:
+        a = self._src(instr.operands[0])
+        b = self._src(instr.operands[1]) if len(instr.operands) > 1 else 0
+        result = a - b
+        carry = bool(_u32(a) < _u32(b))
+        overflow = not (_INT_MIN <= result < 1 << 31)
+        self.state.icc = _alu_icc(result, carry, overflow)
+
+    def _exec_mov(self, instr: Instruction) -> None:
+        self.state.write_int(self._dest_name(instr.operands[1]),
+                             self._src(instr.operands[0]))
+
+    def _exec_sethi(self, instr: Instruction) -> None:
+        value = self._src(instr.operands[0])
+        self.state.write_int(self._dest_name(instr.operands[1]),
+                             value << 10)
+
+    def _exec_rdy(self, instr: Instruction) -> None:
+        self.state.write_int(self._dest_name(instr.operands[1]),
+                             self.state.y)
+
+    def _exec_wry(self, instr: Instruction) -> None:
+        self.state.y = _u32(self._src(instr.operands[0]))
+
+    # memory ------------------------------------------------------------------
+
+    def _exec_load(self, instr: Instruction) -> None:
+        mem = instr.mem_operand()
+        assert mem is not None
+        address = self.state.address_of(mem.expr)
+        mnemonic = instr.opcode.mnemonic
+        size = _LOAD_SIZES[mnemonic]
+        dest = instr.operands[1]
+        assert isinstance(dest, RegOperand)
+        name = dest.register.name
+        is_fp = name.startswith("%f")
+        if mnemonic == "ldd":
+            high = self.state.load_bytes(address, 4)
+            low = self.state.load_bytes(address + 4, 4)
+            number = int(name[2:]) if is_fp else None
+            if is_fp:
+                self.state.write_fp_word(name, high)
+                self.state.write_fp_word(f"%f{number + 1}", low)
+            else:
+                from repro.isa.registers import integer_pair, parse_register
+                even, odd = integer_pair(parse_register(name))
+                self.state.write_int(even.name, high)
+                self.state.write_int(odd.name, low)
+            return
+        value = self.state.load_bytes(address, size)
+        if mnemonic == "ldsb" and value >= 1 << 7:
+            value -= 1 << 8
+        if mnemonic == "ldsh" and value >= 1 << 15:
+            value -= 1 << 16
+        if is_fp:
+            self.state.write_fp_word(name, _u32(value))
+        else:
+            self.state.write_int(name, value)
+
+    def _exec_store(self, instr: Instruction) -> None:
+        mem = instr.mem_operand()
+        assert mem is not None
+        address = self.state.address_of(mem.expr)
+        mnemonic = instr.opcode.mnemonic
+        src = instr.operands[0]
+        assert isinstance(src, RegOperand)
+        name = src.register.name
+        is_fp = name.startswith("%f")
+        if mnemonic == "std":
+            if is_fp:
+                number = int(name[2:])
+                high = self.state.read_fp_word(name)
+                low = self.state.read_fp_word(f"%f{number + 1}")
+            else:
+                from repro.isa.registers import integer_pair, parse_register
+                even, odd = integer_pair(parse_register(name))
+                high = self.state.read_int(even.name)
+                low = self.state.read_int(odd.name)
+            self.state.store_bytes(address, 4, high)
+            self.state.store_bytes(address + 4, 4, low)
+            return
+        value = (self.state.read_fp_word(name) if is_fp
+                 else self.state.read_int(name))
+        self.state.store_bytes(address, _STORE_SIZES[mnemonic], value)
+
+    def _exec_loadstore(self, instr: Instruction) -> None:
+        mem = instr.mem_operand()
+        assert mem is not None
+        address = self.state.address_of(mem.expr)
+        dest = self._dest_name(instr.operands[1])
+        if instr.opcode.mnemonic == "swap":
+            old = self.state.load_bytes(address, 4)
+            self.state.store_bytes(address, 4,
+                                   self.state.read_int(dest))
+            self.state.write_int(dest, old)
+        else:  # ldstub
+            old = self.state.load_bytes(address, 1)
+            self.state.store_bytes(address, 1, 0xFF)
+            self.state.write_int(dest, old)
+
+    # floating point -----------------------------------------------------------
+
+    def _exec_fpop3(self, instr: Instruction) -> None:
+        mnemonic = instr.opcode.mnemonic
+        double = instr.opcode.double
+        read = (self.state.read_double if double
+                else self.state.read_single)
+        write = (self.state.write_double if double
+                 else self.state.write_single)
+        a = read(self._dest_name(instr.operands[0]))
+        b = read(self._dest_name(instr.operands[1]))
+        write(self._dest_name(instr.operands[2]), _FP3[mnemonic](a, b))
+
+    def _exec_fpop2(self, instr: Instruction) -> None:
+        mnemonic = instr.opcode.mnemonic
+        src = self._dest_name(instr.operands[0])
+        dst = self._dest_name(instr.operands[1])
+        state = self.state
+        if mnemonic == "fmovs":
+            state.write_fp_word(dst, state.read_fp_word(src))
+        elif mnemonic == "fnegs":
+            state.write_fp_word(dst, state.read_fp_word(src) ^ (1 << 31))
+        elif mnemonic == "fabss":
+            state.write_fp_word(dst, state.read_fp_word(src)
+                                & ~(1 << 31))
+        elif mnemonic == "fsqrts":
+            # Simplification: sqrt of |x| (no NaN plumbing).
+            state.write_single(dst, math.sqrt(abs(state.read_single(src))))
+        elif mnemonic == "fsqrtd":
+            state.write_double(dst, math.sqrt(abs(state.read_double(src))))
+        elif mnemonic == "fitos":
+            state.write_single(dst, float(_s32(state.read_fp_word(src))))
+        elif mnemonic == "fitod":
+            state.write_double(dst, float(_s32(state.read_fp_word(src))))
+        elif mnemonic == "fstoi":
+            state.write_fp_word(dst, _u32(int(state.read_single(src))))
+        elif mnemonic == "fdtoi":
+            value = state.read_double(src)
+            if math.isinf(value) or math.isnan(value):
+                value = 0.0
+            clamped = max(_INT_MIN, min((1 << 31) - 1, int(value)))
+            state.write_fp_word(dst, _u32(clamped))
+        elif mnemonic == "fstod":
+            state.write_double(dst, state.read_single(src))
+        elif mnemonic == "fdtos":
+            state.write_single(dst, state.read_double(src))
+        else:  # pragma: no cover - table is closed
+            raise UnsupportedInstruction(mnemonic)
+
+    def _exec_fcmp(self, instr: Instruction) -> None:
+        double = instr.opcode.double
+        read = (self.state.read_double if double
+                else self.state.read_single)
+        a = read(self._dest_name(instr.operands[0]))
+        b = read(self._dest_name(instr.operands[1]))
+        self.state.fcc = 0 if a == b else (1 if a < b else 2)
+
+    # control / misc -------------------------------------------------------------
+
+    def _exec_none(self, instr: Instruction) -> None:
+        pass
+
+    def _branch_taken(self, mnemonic: str) -> bool:
+        n, z, v, c = self.state.icc
+        fcc = self.state.fcc
+        conditions = {
+            "ba": True, "bn": False,
+            "be": z, "bne": not z,
+            "bl": n != v, "bge": n == v,
+            "ble": z or (n != v), "bg": not (z or (n != v)),
+            "bleu": c or z, "bgu": not (c or z),
+            "bcc": not c, "bcs": c,
+            "bpos": not n, "bneg": n,
+            "bvc": not v, "bvs": v,
+            "fbe": fcc == 0, "fbne": fcc != 0,
+            "fbl": fcc == 1, "fbg": fcc == 2,
+            "fbge": fcc in (0, 2), "fble": fcc in (0, 1),
+        }
+        return conditions[mnemonic]
+
+    def _exec_branch(self, instr: Instruction) -> None:
+        if self._branch_taken(instr.opcode.mnemonic):
+            raise UnsupportedInstruction(
+                f"taken branch {instr.opcode.mnemonic} (no CFG to follow)")
+        # Not taken: fall through; an annulling branch squashes its
+        # delay slot.
+        if instr.annulled:
+            self._annul_next = True
+
+    def _exec_call(self, instr: Instruction) -> None:
+        raise UnsupportedInstruction("calls are not executed")
+
+    def _exec_return(self, instr: Instruction) -> None:
+        raise UnsupportedInstruction("returns are not executed")
+
+
+def assign_symbols(state: MachineState,
+                   instructions: list[Instruction]) -> None:
+    """Pre-assign addresses for every symbol the code references.
+
+    Assignment is by sorted symbol name, so it is independent of
+    instruction order -- two schedules of the same block always see
+    the same addresses (first-touch assignment would break the
+    semantic-equivalence comparisons).
+    """
+    names: set[str] = set()
+    for instr in instructions:
+        mem = instr.mem_operand()
+        if mem is not None and mem.expr.symbol is not None:
+            names.add(mem.expr.symbol)
+        for operand in instr.operands:
+            if isinstance(operand, SymImmOperand):
+                names.add(operand.symbol)
+    for name in sorted(names):
+        if name not in state.symbols:
+            state.symbols[name] = 0x40000000 + 256 * len(state.symbols)
+
+
+def execute(instructions: list[Instruction],
+            state: MachineState) -> MachineState:
+    """Execute ``instructions`` on a copy of ``state``; returns it.
+
+    Symbol addresses are pre-assigned in sorted order (see
+    :func:`assign_symbols`) so execution results are independent of
+    instruction order for symbol discovery.
+    """
+    instructions = list(instructions)
+    clone = state.copy()
+    assign_symbols(clone, instructions)
+    interp = Interpreter(clone)
+    return interp.run(instructions)

@@ -1,0 +1,88 @@
+"""SPARC-like instruction-set substrate.
+
+This subpackage models just enough of a SPARC-style RISC instruction set
+for basic-block instruction scheduling research:
+
+* :mod:`repro.isa.registers` -- integer/float/condition-code register
+  files, including the ``%sp``/``%fp`` aliases and FP register pairs.
+* :mod:`repro.isa.operands` -- operand value objects (register,
+  immediate, memory, label).
+* :mod:`repro.isa.memory` -- symbolic memory expressions and the three
+  disambiguation policies discussed in the paper (strict serialization,
+  base+offset, Warren-style storage classes).
+* :mod:`repro.isa.opcodes` -- the opcode table with instruction classes
+  and operand formats.
+* :mod:`repro.isa.instruction` -- the :class:`Instruction` value object.
+* :mod:`repro.isa.resources` -- extraction of defined/used resources
+  from an instruction, and the interning :class:`ResourceSpace`.
+"""
+
+from repro.isa.registers import (
+    Register,
+    RegisterKind,
+    parse_register,
+    fp_pair,
+    G0,
+    ICC,
+    FCC,
+)
+from repro.isa.operands import (
+    Operand,
+    RegOperand,
+    ImmOperand,
+    MemOperand,
+    LabelOperand,
+    SymImmOperand,
+)
+from repro.isa.memory import (
+    MemExpr,
+    AliasPolicy,
+    StorageClass,
+    storage_class_of,
+    may_alias,
+)
+from repro.isa.opcodes import (
+    InstructionClass,
+    OperandFormat,
+    Opcode,
+    OPCODE_TABLE,
+    lookup_opcode,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.resources import (
+    Resource,
+    ResourceKind,
+    ResourceSpace,
+    defs_and_uses,
+)
+
+__all__ = [
+    "Register",
+    "RegisterKind",
+    "parse_register",
+    "fp_pair",
+    "G0",
+    "ICC",
+    "FCC",
+    "Operand",
+    "RegOperand",
+    "ImmOperand",
+    "MemOperand",
+    "LabelOperand",
+    "SymImmOperand",
+    "MemExpr",
+    "AliasPolicy",
+    "StorageClass",
+    "storage_class_of",
+    "may_alias",
+    "InstructionClass",
+    "OperandFormat",
+    "Opcode",
+    "OPCODE_TABLE",
+    "lookup_opcode",
+    "Instruction",
+    "Resource",
+    "ResourceKind",
+    "ResourceSpace",
+    "defs_and_uses",
+]

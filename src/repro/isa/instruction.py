@@ -1,0 +1,84 @@
+"""The :class:`Instruction` value object.
+
+An instruction is an opcode plus an operand tuple, tagged with its
+position in the enclosing program.  Def/use extraction lives in
+:mod:`repro.isa.resources` because it needs the memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode, OperandFormat
+from repro.isa.operands import (
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    RegOperand,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One assembly instruction.
+
+    Attributes:
+        index: 0-based position within the enclosing program; unique
+            and stable, used as the node identity in DAGs.
+        opcode: the opcode table entry.
+        operands: operand tuple in source order.
+        label: label attached to this instruction's address, if any.
+        annulled: True when a branch carries the ``,a`` annul suffix.
+            Per the paper, the delay-slot instruction of an annulling
+            branch still counts with the *following* basic block.
+        source_line: 1-based source line for diagnostics (0 if synthetic).
+    """
+
+    index: int
+    opcode: Opcode
+    operands: tuple[Operand, ...] = ()
+    label: str | None = None
+    annulled: bool = False
+    source_line: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        """The opcode mnemonic, with the annul suffix when present."""
+        if self.annulled:
+            return self.opcode.mnemonic + ",a"
+        return self.opcode.mnemonic
+
+    def branch_target(self) -> str | None:
+        """The label a branch/call transfers to, or None."""
+        for op in self.operands:
+            if isinstance(op, LabelOperand):
+                return op.name
+        return None
+
+    def render(self) -> str:
+        """Re-emit the instruction as assembly text (without its label)."""
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(str(op) for op in self.operands)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.index}: {self.render()}"
+
+    def with_index(self, index: int) -> "Instruction":
+        """A copy of this instruction renumbered to ``index``."""
+        return Instruction(index, self.opcode, self.operands, self.label,
+                           self.annulled, self.source_line)
+
+    # -- operand accessors used by def/use extraction ----------------------
+
+    def reg_operands(self) -> tuple[RegOperand, ...]:
+        """All register operands, in source order."""
+        return tuple(op for op in self.operands if isinstance(op, RegOperand))
+
+    def mem_operand(self) -> MemOperand | None:
+        """The memory operand of a load/store, or None."""
+        for op in self.operands:
+            if isinstance(op, MemOperand):
+                return op
+        return None

@@ -1,0 +1,190 @@
+"""Symbolic memory expressions and disambiguation policies.
+
+After compilation there is often not enough information to disambiguate
+memory references, so -- as the paper discusses in section 2 -- a DAG
+builder may have to treat memory as a single resource, serializing all
+loads and stores.  Two refinements are modeled:
+
+* **base+offset**: two references through the *same* base register but
+  *different* offsets cannot refer to the same location; references
+  through different base registers must still be assumed to conflict.
+* **storage classes** (Warren): references to distinct storage classes
+  (e.g. stack vs. heap/static) typically cannot overlap, and base
+  registers for these areas can sometimes be identified -- the stack
+  pointer and frame pointer address the stack, symbolic addresses
+  address static storage.
+
+Both refinements are expressed through :func:`may_alias`, the single
+aliasing oracle every DAG builder consults.
+
+Granularity note: the same-base/different-offset rule (and the
+EXPRESSION policy) assume *naturally aligned, word-sized* accesses.
+Double-word instructions therefore contribute BOTH word slots to their
+def/use sets (see :func:`repro.isa.resources.defs_and_uses`), so a
+``std [%fp-12]`` correctly conflicts with a ``ld [%fp-8]``.  Sub-word
+accesses that straddle word slots (e.g. an unaligned ``sth``) are
+outside the model, exactly as they are outside the paper's rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AliasPolicy(enum.Enum):
+    """How aggressively memory references are disambiguated.
+
+    ``STRICT`` serializes all memory traffic (memory is one resource).
+    ``EXPRESSION`` gives every unique symbolic memory expression its
+    own resource and assumes distinct expressions never overlap -- the
+    policy implied by the paper's implementation (Table 3 counts
+    "unique memory expressions", and the resource bitmaps grow one
+    position per new expression).
+    ``BASE_OFFSET`` applies the same-base/different-offset rule but
+    conservatively serializes references through different bases.
+    ``STORAGE_CLASS`` additionally separates stack from static storage,
+    following Warren's observation.
+    """
+
+    STRICT = "strict"
+    EXPRESSION = "expression"
+    BASE_OFFSET = "base_offset"
+    STORAGE_CLASS = "storage_class"
+
+
+class StorageClass(enum.Enum):
+    """Coarse storage area a memory expression refers to."""
+
+    STACK = "stack"
+    STATIC = "static"
+    UNKNOWN = "unknown"
+
+
+_STACK_BASES = frozenset({"%o6", "%i6"})  # canonical %sp / %fp
+
+
+@dataclass(frozen=True, slots=True)
+class MemExpr:
+    """A symbolic memory address expression from a load or store.
+
+    Exactly one addressing shape is populated:
+
+    * register + immediate offset: ``base`` set, ``index`` None
+      (``[%fp-8]``, ``[%o0]``);
+    * register + register: ``base`` and ``index`` set (``[%o0+%o1]``);
+    * absolute symbol + offset: ``symbol`` set (``[counter+4]``);
+    * register + symbolic low part: ``base`` and ``symbol`` set
+      (``[%o0+%lo(counter)]``, the sethi/or static-data idiom).
+
+    Attributes:
+        base: canonical base register name, or None for symbolic.
+        index: canonical index register name for reg+reg addressing.
+        offset: immediate displacement (0 when none was written).
+        symbol: symbol name for direct/static addressing.
+    """
+
+    base: str | None = None
+    index: str | None = None
+    offset: int = 0
+    symbol: str | None = None
+
+    def key(self) -> str:
+        """Canonical text of the expression, used as the resource name.
+
+        Unique keys are what Table 3's "unique memory expressions"
+        column counts.
+        """
+        if self.symbol is not None:
+            text = self.symbol
+            if self.base is not None:
+                text = f"{self.base}+%lo({self.symbol})"
+            if self.offset:
+                text += f"{self.offset:+d}"
+            return text
+        if self.index is not None:
+            text = f"{self.base}+{self.index}"
+            if self.offset:
+                text += f"{self.offset:+d}"
+            return text
+        if self.offset:
+            return f"{self.base}{self.offset:+d}"
+        return f"{self.base}" if self.base is not None else "<mem>"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.key()}]"
+
+    @property
+    def address_registers(self) -> tuple[str, ...]:
+        """Registers read to form the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+
+def storage_class_of(expr: MemExpr) -> StorageClass:
+    """Classify a memory expression into a coarse storage class.
+
+    Stack-pointer and frame-pointer based references address the stack;
+    symbolic references address static storage; anything else is
+    unknown (could point anywhere except, per Warren, the stack).
+    """
+    if expr.symbol is not None:
+        return StorageClass.STATIC
+    if expr.base in _STACK_BASES and expr.index is None:
+        return StorageClass.STACK
+    return StorageClass.UNKNOWN
+
+
+def _same_base_shape(a: MemExpr, b: MemExpr) -> bool:
+    """True when both expressions use the identical base/index registers."""
+    return a.base == b.base and a.index == b.index and a.symbol == b.symbol
+
+
+def may_alias(a: MemExpr, b: MemExpr, policy: AliasPolicy) -> bool:
+    """Decide whether two memory expressions may refer to one location.
+
+    This is deliberately conservative: it only returns False when the
+    active policy *proves* the references are distinct.
+
+    Args:
+        a: first memory expression.
+        b: second memory expression.
+        policy: the disambiguation policy in force.
+
+    Returns:
+        True if the references must be assumed to conflict.
+    """
+    if policy is AliasPolicy.STRICT:
+        return True
+
+    # Identical symbolic expressions always alias (same location).
+    if a == b:
+        return True
+
+    if policy is AliasPolicy.EXPRESSION:
+        return False
+
+    # Same-base / different-offset rule.  It applies to matching
+    # register bases and to matching symbols alike, but never to
+    # reg+reg addressing (the index register hides the offset).
+    if _same_base_shape(a, b) and a.index is None:
+        if a.symbol is not None or a.base is not None:
+            return a.offset == b.offset
+
+    if policy is AliasPolicy.STORAGE_CLASS:
+        ca, cb = storage_class_of(a), storage_class_of(b)
+        distinct = {ca, cb}
+        if StorageClass.UNKNOWN not in distinct and ca is not cb:
+            return False
+        # Warren: unknown (heap-ish) pointers do not point into the
+        # stack frame, so UNKNOWN vs STACK cannot overlap either.
+        if distinct == {StorageClass.UNKNOWN, StorageClass.STACK}:
+            return False
+
+    # Different base registers (or symbol vs register) with no storage
+    # class proof: must serialize.
+    return True

@@ -1,0 +1,364 @@
+"""The opcode table for the SPARC-like target.
+
+Each :class:`Opcode` records the *semantic shape* of an instruction:
+its instruction class (which drives latency and function-unit choice in
+the machine model), its operand format (which drives def/use
+extraction), and its control-flow behaviour (which drives basic-block
+partitioning).
+
+Cycle counts deliberately do NOT live here -- operation latencies are a
+property of the *machine*, not the ISA, and are supplied by
+:mod:`repro.machine.latency`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownOpcodeError
+
+
+class InstructionClass(enum.Enum):
+    """Coarse operation class; the machine model assigns latencies per class."""
+
+    IALU = "ialu"            # integer add/sub/logic/shift
+    IMUL = "imul"            # integer multiply
+    IDIV = "idiv"            # integer divide
+    COMPARE = "compare"      # integer compare (writes %icc)
+    SETHI = "sethi"          # set-high immediate
+    LOAD = "load"            # memory load (int or fp destination)
+    STORE = "store"          # memory store
+    BRANCH = "branch"        # conditional/unconditional branch
+    CALL = "call"            # procedure call
+    RETURN = "return"        # procedure return
+    FPADD = "fpadd"          # fp add/sub/convert/move/neg/abs
+    FPMUL = "fpmul"          # fp multiply
+    FPDIV = "fpdiv"          # fp divide
+    FPSQRT = "fpsqrt"        # fp square root
+    FPCOMPARE = "fpcompare"  # fp compare (writes %fcc)
+    WINDOW = "window"        # SAVE / RESTORE register-window ops
+    NOP = "nop"
+
+
+class IssueClass(enum.Enum):
+    """Superscalar issue class, used by the "alternate type" heuristic."""
+
+    INT = "int"
+    FP = "fp"
+    MEM = "mem"
+    CTRL = "ctrl"
+
+
+_ISSUE_CLASS: dict[InstructionClass, IssueClass] = {
+    InstructionClass.IALU: IssueClass.INT,
+    InstructionClass.IMUL: IssueClass.INT,
+    InstructionClass.IDIV: IssueClass.INT,
+    InstructionClass.COMPARE: IssueClass.INT,
+    InstructionClass.SETHI: IssueClass.INT,
+    InstructionClass.LOAD: IssueClass.MEM,
+    InstructionClass.STORE: IssueClass.MEM,
+    InstructionClass.BRANCH: IssueClass.CTRL,
+    InstructionClass.CALL: IssueClass.CTRL,
+    InstructionClass.RETURN: IssueClass.CTRL,
+    InstructionClass.FPADD: IssueClass.FP,
+    InstructionClass.FPMUL: IssueClass.FP,
+    InstructionClass.FPDIV: IssueClass.FP,
+    InstructionClass.FPSQRT: IssueClass.FP,
+    InstructionClass.FPCOMPARE: IssueClass.FP,
+    InstructionClass.WINDOW: IssueClass.INT,
+    InstructionClass.NOP: IssueClass.INT,
+}
+
+
+class OperandFormat(enum.Enum):
+    """How an opcode's operand tuple maps onto defs and uses."""
+
+    ALU3 = "alu3"            # op rs1, rs2_or_imm, rd
+    ALU3_CC = "alu3_cc"      # op rs1, rs2_or_imm, rd  (also defines %icc)
+    ALU3_USE_CC = "alu3_c"   # addx: like ALU3 but also USES %icc (carry)
+    ALU3_USE_DEF_CC = "alu3_cc2"  # addxcc: uses AND defines %icc
+    CMP = "cmp"              # cmp rs1, rs2_or_imm     (defines %icc)
+    MOV = "mov"              # mov rs_or_imm, rd
+    SETHI = "sethi"          # sethi imm, rd
+    LOAD = "load"            # ld [mem], rd
+    STORE = "store"          # st rs, [mem]
+    LOADSTORE = "loadstore"  # swap/ldstub [mem], rd (atomic read-modify-write)
+    BRANCH = "branch"        # b<cond> label
+    CALL = "call"            # call label
+    RETURN = "return"        # retl / ret
+    FPOP3 = "fpop3"          # fop rs1, rs2, rd
+    FPOP2 = "fpop2"          # fop rs, rd
+    FCMP = "fcmp"            # fcmp rs1, rs2           (defines %fcc)
+    MULDIV = "muldiv"        # op rs1, rs2_or_imm, rd  (also defines %y)
+    MULSCC = "mulscc"        # multiply step: uses+defines %icc and %y
+    RDY = "rdy"              # rd %y, rd
+    WRY = "wry"              # wr rs, %y
+    NONE = "none"            # nop
+
+
+class CcUse(enum.Enum):
+    """Which condition code a branch reads (if any)."""
+
+    NONE = "none"
+    ICC = "icc"
+    FCC = "fcc"
+
+
+@dataclass(frozen=True, slots=True)
+class Opcode:
+    """Static description of one mnemonic.
+
+    Attributes:
+        mnemonic: assembly mnemonic, lower case.
+        iclass: coarse operation class (drives machine latency).
+        fmt: operand format (drives def/use extraction).
+        double: True for double-precision / double-word operations whose
+            FP (or integer, for ``ldd``/``std``) register operands are
+            even/odd pairs.
+        delayed: True for control transfers with an architectural delay
+            slot.
+        ends_block: True when the instruction terminates a basic block
+            (branches, calls, returns, and -- per the paper's SPARC
+            discussion -- the register-window instructions SAVE and
+            RESTORE).
+        cc_use: condition code read by a conditional branch.
+        conditional: True for branches that may fall through.
+        description: one-line human description.
+    """
+
+    mnemonic: str
+    iclass: InstructionClass
+    fmt: OperandFormat
+    double: bool = False
+    delayed: bool = False
+    ends_block: bool = False
+    cc_use: CcUse = CcUse.NONE
+    conditional: bool = False
+    description: str = ""
+
+    @property
+    def issue_class(self) -> IssueClass:
+        """Superscalar issue class for the alternate-type heuristic."""
+        return _ISSUE_CLASS[self.iclass]
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.iclass in (InstructionClass.LOAD, InstructionClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        """True for branches, calls and returns."""
+        return self.iclass in (InstructionClass.BRANCH, InstructionClass.CALL,
+                               InstructionClass.RETURN)
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point arithmetic/compare opcodes."""
+        return self.iclass in (InstructionClass.FPADD, InstructionClass.FPMUL,
+                               InstructionClass.FPDIV, InstructionClass.FPSQRT,
+                               InstructionClass.FPCOMPARE)
+
+
+def _alu(mnemonic: str, desc: str, cc: bool = False) -> Opcode:
+    return Opcode(mnemonic, InstructionClass.IALU,
+                  OperandFormat.ALU3_CC if cc else OperandFormat.ALU3,
+                  description=desc)
+
+
+def _branch(mnemonic: str, cc_use: CcUse, desc: str,
+            conditional: bool = True) -> Opcode:
+    return Opcode(mnemonic, InstructionClass.BRANCH, OperandFormat.BRANCH,
+                  delayed=True, ends_block=True, cc_use=cc_use,
+                  conditional=conditional, description=desc)
+
+
+def _fpop3(mnemonic: str, iclass: InstructionClass, double: bool,
+           desc: str) -> Opcode:
+    return Opcode(mnemonic, iclass, OperandFormat.FPOP3, double=double,
+                  description=desc)
+
+
+def _build_table() -> dict[str, Opcode]:
+    ops: list[Opcode] = [
+        # --- integer ALU ---------------------------------------------------
+        _alu("add", "integer add"),
+        _alu("sub", "integer subtract"),
+        _alu("and", "bitwise and"),
+        _alu("or", "bitwise or"),
+        _alu("xor", "bitwise xor"),
+        _alu("andn", "bitwise and-not"),
+        _alu("orn", "bitwise or-not"),
+        _alu("sll", "shift left logical"),
+        _alu("srl", "shift right logical"),
+        _alu("sra", "shift right arithmetic"),
+        _alu("xnor", "bitwise exclusive-nor"),
+        _alu("addcc", "integer add, set icc", cc=True),
+        _alu("subcc", "integer subtract, set icc", cc=True),
+        _alu("andcc", "bitwise and, set icc", cc=True),
+        _alu("orcc", "bitwise or, set icc", cc=True),
+        _alu("xorcc", "bitwise xor, set icc", cc=True),
+        _alu("xnorcc", "bitwise exclusive-nor, set icc", cc=True),
+        _alu("andncc", "bitwise and-not, set icc", cc=True),
+        _alu("orncc", "bitwise or-not, set icc", cc=True),
+        _alu("taddcc", "tagged add, set icc", cc=True),
+        _alu("tsubcc", "tagged subtract, set icc", cc=True),
+        Opcode("addx", InstructionClass.IALU, OperandFormat.ALU3_USE_CC,
+               description="add with carry (reads %icc)"),
+        Opcode("subx", InstructionClass.IALU, OperandFormat.ALU3_USE_CC,
+               description="subtract with carry (reads %icc)"),
+        Opcode("addxcc", InstructionClass.IALU,
+               OperandFormat.ALU3_USE_DEF_CC,
+               description="add with carry, set icc"),
+        Opcode("subxcc", InstructionClass.IALU,
+               OperandFormat.ALU3_USE_DEF_CC,
+               description="subtract with carry, set icc"),
+        Opcode("mulscc", InstructionClass.IALU, OperandFormat.MULSCC,
+               description="multiply step (reads/writes %icc and %y)"),
+        Opcode("rd", InstructionClass.IALU, OperandFormat.RDY,
+               description="read the %y register"),
+        Opcode("wr", InstructionClass.IALU, OperandFormat.WRY,
+               description="write the %y register"),
+        Opcode("cmp", InstructionClass.COMPARE, OperandFormat.CMP,
+               description="compare (subcc with %g0 destination)"),
+        Opcode("tst", InstructionClass.COMPARE, OperandFormat.CMP,
+               description="test register against zero"),
+        Opcode("mov", InstructionClass.IALU, OperandFormat.MOV,
+               description="register/immediate move"),
+        Opcode("sethi", InstructionClass.SETHI, OperandFormat.SETHI,
+               description="set high 22 bits of register"),
+        Opcode("smul", InstructionClass.IMUL, OperandFormat.MULDIV,
+               description="signed multiply (also writes %y)"),
+        Opcode("umul", InstructionClass.IMUL, OperandFormat.MULDIV,
+               description="unsigned multiply (also writes %y)"),
+        Opcode("sdiv", InstructionClass.IDIV, OperandFormat.MULDIV,
+               description="signed divide (also writes %y)"),
+        Opcode("udiv", InstructionClass.IDIV, OperandFormat.MULDIV,
+               description="unsigned divide (also writes %y)"),
+        # --- memory --------------------------------------------------------
+        Opcode("ldub", InstructionClass.LOAD, OperandFormat.LOAD,
+               description="load unsigned byte"),
+        Opcode("lduh", InstructionClass.LOAD, OperandFormat.LOAD,
+               description="load unsigned halfword"),
+        Opcode("ldsb", InstructionClass.LOAD, OperandFormat.LOAD,
+               description="load signed byte"),
+        Opcode("ldsh", InstructionClass.LOAD, OperandFormat.LOAD,
+               description="load signed halfword"),
+        Opcode("swap", InstructionClass.LOAD, OperandFormat.LOADSTORE,
+               description="atomically swap register with memory"),
+        Opcode("ldstub", InstructionClass.LOAD, OperandFormat.LOADSTORE,
+               description="atomic load-store unsigned byte "
+                           "(test-and-set)"),
+        Opcode("ld", InstructionClass.LOAD, OperandFormat.LOAD,
+               description="load word (integer or single fp destination)"),
+        Opcode("ldd", InstructionClass.LOAD, OperandFormat.LOAD, double=True,
+               description="load doubleword into even/odd register pair"),
+        Opcode("stb", InstructionClass.STORE, OperandFormat.STORE,
+               description="store byte"),
+        Opcode("sth", InstructionClass.STORE, OperandFormat.STORE,
+               description="store halfword"),
+        Opcode("st", InstructionClass.STORE, OperandFormat.STORE,
+               description="store word"),
+        Opcode("std", InstructionClass.STORE, OperandFormat.STORE,
+               double=True,
+               description="store doubleword from even/odd register pair"),
+        # --- control transfer ----------------------------------------------
+        _branch("ba", CcUse.NONE, "branch always", conditional=False),
+        _branch("bn", CcUse.NONE, "branch never"),
+        _branch("be", CcUse.ICC, "branch on equal"),
+        _branch("bne", CcUse.ICC, "branch on not equal"),
+        _branch("bg", CcUse.ICC, "branch on greater"),
+        _branch("bge", CcUse.ICC, "branch on greater or equal"),
+        _branch("bl", CcUse.ICC, "branch on less"),
+        _branch("ble", CcUse.ICC, "branch on less or equal"),
+        _branch("bgu", CcUse.ICC, "branch on greater unsigned"),
+        _branch("bleu", CcUse.ICC, "branch on less or equal unsigned"),
+        _branch("bcc", CcUse.ICC, "branch on carry clear"),
+        _branch("bcs", CcUse.ICC, "branch on carry set"),
+        _branch("bpos", CcUse.ICC, "branch on positive"),
+        _branch("bneg", CcUse.ICC, "branch on negative"),
+        _branch("bvc", CcUse.ICC, "branch on overflow clear"),
+        _branch("bvs", CcUse.ICC, "branch on overflow set"),
+        _branch("fbe", CcUse.FCC, "fp branch on equal"),
+        _branch("fbne", CcUse.FCC, "fp branch on not equal"),
+        _branch("fbg", CcUse.FCC, "fp branch on greater"),
+        _branch("fbge", CcUse.FCC, "fp branch on greater or equal"),
+        _branch("fbl", CcUse.FCC, "fp branch on less"),
+        _branch("fble", CcUse.FCC, "fp branch on less or equal"),
+        Opcode("call", InstructionClass.CALL, OperandFormat.CALL,
+               delayed=True, ends_block=True,
+               description="procedure call (defines %o7)"),
+        Opcode("retl", InstructionClass.RETURN, OperandFormat.RETURN,
+               delayed=True, ends_block=True,
+               description="leaf return (jmpl %o7+8)"),
+        Opcode("ret", InstructionClass.RETURN, OperandFormat.RETURN,
+               delayed=True, ends_block=True,
+               description="return (jmpl %i7+8)"),
+        # --- register windows ----------------------------------------------
+        Opcode("save", InstructionClass.WINDOW, OperandFormat.ALU3,
+               ends_block=True,
+               description="push register window (ends basic block)"),
+        Opcode("restore", InstructionClass.WINDOW, OperandFormat.ALU3,
+               ends_block=True,
+               description="pop register window (ends basic block)"),
+        # --- floating point --------------------------------------------------
+        _fpop3("fadds", InstructionClass.FPADD, False, "fp add single"),
+        _fpop3("faddd", InstructionClass.FPADD, True, "fp add double"),
+        _fpop3("fsubs", InstructionClass.FPADD, False, "fp subtract single"),
+        _fpop3("fsubd", InstructionClass.FPADD, True, "fp subtract double"),
+        _fpop3("fmuls", InstructionClass.FPMUL, False, "fp multiply single"),
+        _fpop3("fmuld", InstructionClass.FPMUL, True, "fp multiply double"),
+        _fpop3("fdivs", InstructionClass.FPDIV, False, "fp divide single"),
+        _fpop3("fdivd", InstructionClass.FPDIV, True, "fp divide double"),
+        Opcode("fsqrts", InstructionClass.FPSQRT, OperandFormat.FPOP2,
+               description="fp square root single"),
+        Opcode("fsqrtd", InstructionClass.FPSQRT, OperandFormat.FPOP2,
+               double=True, description="fp square root double"),
+        Opcode("fmovs", InstructionClass.FPADD, OperandFormat.FPOP2,
+               description="fp move single"),
+        Opcode("fnegs", InstructionClass.FPADD, OperandFormat.FPOP2,
+               description="fp negate single"),
+        Opcode("fabss", InstructionClass.FPADD, OperandFormat.FPOP2,
+               description="fp absolute value single"),
+        Opcode("fitod", InstructionClass.FPADD, OperandFormat.FPOP2,
+               double=True, description="convert int to double"),
+        Opcode("fitos", InstructionClass.FPADD, OperandFormat.FPOP2,
+               description="convert int to single"),
+        Opcode("fdtoi", InstructionClass.FPADD, OperandFormat.FPOP2,
+               double=True, description="convert double to int"),
+        Opcode("fstoi", InstructionClass.FPADD, OperandFormat.FPOP2,
+               description="convert single to int"),
+        Opcode("fstod", InstructionClass.FPADD, OperandFormat.FPOP2,
+               double=True, description="convert single to double"),
+        Opcode("fdtos", InstructionClass.FPADD, OperandFormat.FPOP2,
+               double=True, description="convert double to single"),
+        Opcode("fcmps", InstructionClass.FPCOMPARE, OperandFormat.FCMP,
+               description="fp compare single (writes %fcc)"),
+        Opcode("fcmpd", InstructionClass.FPCOMPARE, OperandFormat.FCMP,
+               double=True, description="fp compare double (writes %fcc)"),
+        # --- misc ------------------------------------------------------------
+        Opcode("nop", InstructionClass.NOP, OperandFormat.NONE,
+               description="no operation"),
+    ]
+    table = {}
+    for op in ops:
+        if op.mnemonic in table:
+            raise ValueError(f"duplicate opcode {op.mnemonic}")
+        table[op.mnemonic] = op
+    return table
+
+
+OPCODE_TABLE: dict[str, Opcode] = _build_table()
+
+
+def lookup_opcode(mnemonic: str) -> Opcode:
+    """Find an opcode by mnemonic (case-insensitive).
+
+    Raises:
+        UnknownOpcodeError: if the mnemonic is not in the table.
+    """
+    op = OPCODE_TABLE.get(mnemonic.lower())
+    if op is None:
+        raise UnknownOpcodeError(f"unknown opcode {mnemonic!r}")
+    return op

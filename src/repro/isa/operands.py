@@ -1,0 +1,74 @@
+"""Operand value objects.
+
+An :class:`~repro.isa.instruction.Instruction` carries a tuple of
+operands; each operand is one of the four shapes defined here.  All
+operand types are immutable and hashable so they can be shared freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.memory import MemExpr
+from repro.isa.registers import Register
+
+
+class Operand:
+    """Abstract base for instruction operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class RegOperand(Operand):
+    """A register operand such as ``%o3`` or ``%f10``."""
+
+    register: Register
+
+    def __str__(self) -> str:
+        return self.register.name
+
+
+@dataclass(frozen=True, slots=True)
+class ImmOperand(Operand):
+    """An immediate integer operand such as ``42`` or ``-8``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class MemOperand(Operand):
+    """A memory operand such as ``[%fp-8]`` or ``[counter]``."""
+
+    expr: MemExpr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True, slots=True)
+class LabelOperand(Operand):
+    """A code label operand used by branches and calls."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SymImmOperand(Operand):
+    """A symbolic immediate, ``%hi(sym)`` or ``%lo(sym)``.
+
+    Behaves like an immediate for dependence purposes (it names no
+    register or memory resource).
+    """
+
+    part: str   # "hi" or "lo"
+    symbol: str
+
+    def __str__(self) -> str:
+        return f"%{self.part}({self.symbol})"

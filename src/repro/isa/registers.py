@@ -1,0 +1,170 @@
+"""Register model for the SPARC-like target.
+
+The register file follows the SPARC V8 conventions that matter for
+dependence analysis:
+
+* 32 integer registers ``%g0-%g7``, ``%o0-%o7``, ``%l0-%l7``,
+  ``%i0-%i7``, with the conventional aliases ``%sp`` (= ``%o6``) and
+  ``%fp`` (= ``%i6``).
+* ``%g0`` is hard-wired to zero: writes to it define nothing and reads
+  of it carry no dependence.
+* 32 single-precision floating point registers ``%f0-%f31``; a
+  double-precision value occupies an even/odd *pair* (``%f0``/``%f1``
+  and so on).  Double-word loads therefore define two registers, and --
+  as the paper notes -- the RAW delays to the two halves of the pair
+  can differ by a cycle or two.
+* Condition-code "registers" ``%icc`` and ``%fcc`` modeling the integer
+  and floating-point condition codes, plus the ``%y`` register used by
+  multiply/divide step instructions.
+
+We additionally accept generic ``%r0-%r31`` names so small hand-written
+examples (like the paper's Figure 1, which uses ``R1``-style names) can
+be expressed directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import OperandError
+
+
+class RegisterKind(enum.Enum):
+    """Which register file a register lives in."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    CONDITION = "condition"
+    SPECIAL = "special"
+
+
+@dataclass(frozen=True, slots=True)
+class Register:
+    """A single architectural register.
+
+    Attributes:
+        name: canonical name, e.g. ``"%o6"`` (never an alias like
+            ``"%sp"``).
+        kind: the register file this register belongs to.
+        number: index within its file (0-31 for integer/float).
+    """
+
+    name: str
+    kind: RegisterKind
+    number: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_zero(self) -> bool:
+        """True for ``%g0``, which carries no dependences."""
+        return self.name == "%g0"
+
+
+def _build_register_map() -> dict[str, Register]:
+    regs: dict[str, Register] = {}
+    for group_index, group in enumerate(("g", "o", "l", "i")):
+        for i in range(8):
+            number = group_index * 8 + i
+            name = f"%{group}{i}"
+            regs[name] = Register(name, RegisterKind.INTEGER, number)
+    for i in range(32):
+        name = f"%f{i}"
+        regs[name] = Register(name, RegisterKind.FLOAT, i)
+    # Generic %rN names for hand-written examples; they map onto the
+    # flat integer file so %r6 and %o6 are DIFFERENT resources -- the
+    # generic namespace is its own 32-register window-less file.
+    for i in range(32):
+        name = f"%r{i}"
+        regs[name] = Register(name, RegisterKind.INTEGER, 32 + i)
+    regs["%icc"] = Register("%icc", RegisterKind.CONDITION, 0)
+    regs["%fcc"] = Register("%fcc", RegisterKind.CONDITION, 1)
+    regs["%y"] = Register("%y", RegisterKind.SPECIAL, 0)
+    return regs
+
+
+_REGISTERS: dict[str, Register] = _build_register_map()
+
+_ALIASES: dict[str, str] = {
+    "%sp": "%o6",
+    "%fp": "%i6",
+}
+
+G0: Register = _REGISTERS["%g0"]
+ICC: Register = _REGISTERS["%icc"]
+FCC: Register = _REGISTERS["%fcc"]
+YREG: Register = _REGISTERS["%y"]
+
+
+def canonical_name(name: str) -> str:
+    """Return the canonical name for ``name``, resolving ``%sp``/``%fp``."""
+    return _ALIASES.get(name, name)
+
+
+def parse_register(name: str) -> Register:
+    """Look up a register by (possibly aliased) name.
+
+    Args:
+        name: register syntax such as ``"%o3"``, ``"%sp"``, ``"%f10"``.
+
+    Returns:
+        The canonical :class:`Register`.
+
+    Raises:
+        OperandError: if the name is not a known register.
+    """
+    reg = _REGISTERS.get(canonical_name(name))
+    if reg is None:
+        raise OperandError(f"unknown register {name!r}")
+    return reg
+
+
+def is_register_name(name: str) -> bool:
+    """True if ``name`` (after alias resolution) names a register."""
+    return canonical_name(name) in _REGISTERS
+
+
+def fp_pair(reg: Register) -> tuple[Register, Register]:
+    """Return the even/odd FP register pair anchored at ``reg``.
+
+    Double-precision operands must name the even register of the pair.
+
+    Raises:
+        OperandError: if ``reg`` is not an even FP register, or is
+            ``%f31`` (which has no pair partner).
+    """
+    if reg.kind is not RegisterKind.FLOAT:
+        raise OperandError(f"{reg.name} is not a floating point register")
+    if reg.number % 2 != 0:
+        raise OperandError(
+            f"double-precision operand {reg.name} must use an even register")
+    partner = _REGISTERS[f"%f{reg.number + 1}"]
+    return (reg, partner)
+
+
+def integer_pair(reg: Register) -> tuple[Register, Register]:
+    """Return the even/odd integer pair for ``ldd``/``std``.
+
+    Raises:
+        OperandError: if ``reg`` is not an even integer register.
+    """
+    if reg.kind is not RegisterKind.INTEGER:
+        raise OperandError(f"{reg.name} is not an integer register")
+    if reg.number % 2 != 0:
+        raise OperandError(
+            f"double-word operand {reg.name} must use an even register")
+    # Recover the canonical name from the flat number.
+    number = reg.number + 1
+    if number < 32:
+        group = "goli"[number // 8]
+        partner = _REGISTERS[f"%{group}{number % 8}"]
+    else:
+        partner = _REGISTERS[f"%r{number - 32}"]
+    return (reg, partner)
+
+
+def all_registers() -> tuple[Register, ...]:
+    """Every architectural register, in a stable order."""
+    return tuple(_REGISTERS.values())

@@ -1,0 +1,339 @@
+"""Resource extraction and interning.
+
+The dependences in section 2 of the paper are defined over *resources*:
+general registers, special-purpose registers (e.g. condition codes),
+and memory locations.  :func:`defs_and_uses` maps an instruction to the
+resources it defines and uses; :class:`ResourceSpace` interns resources
+to dense integer ids so DAG builders can use array indexing in the hot
+path.
+
+Memory references intern one resource per *unique symbolic memory
+expression* -- the quantity Table 3 of the paper reports -- and the
+builders apply the aliasing oracle of :mod:`repro.isa.memory` across
+the population of memory resources.  This mirrors the paper's
+implementation note that resource tables grow "whenever a new memory
+address expression is encountered".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import OperandError
+from repro.isa.instruction import Instruction
+from repro.isa.memory import MemExpr
+from repro.isa.opcodes import CcUse, InstructionClass, OperandFormat
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    RegOperand,
+    SymImmOperand,
+)
+from repro.isa.registers import (
+    Register,
+    RegisterKind,
+    fp_pair,
+    integer_pair,
+    parse_register,
+)
+
+
+class ResourceKind(enum.Enum):
+    """What a resource names."""
+
+    REG = "reg"
+    CC = "cc"
+    SPECIAL = "special"
+    MEM = "mem"
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """A schedulable resource: a register, condition code, or memory expression.
+
+    Attributes:
+        kind: the resource category.
+        name: canonical name (register name, ``%icc``, or the memory
+            expression key).
+        mem: the structured memory expression for MEM resources, used
+            by the aliasing oracle.
+    """
+
+    kind: ResourceKind
+    name: str
+    mem: MemExpr | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _reg_resource(reg: Register) -> Resource:
+    if reg.kind is RegisterKind.CONDITION:
+        return Resource(ResourceKind.CC, reg.name)
+    if reg.kind is RegisterKind.SPECIAL:
+        return Resource(ResourceKind.SPECIAL, reg.name)
+    return Resource(ResourceKind.REG, reg.name)
+
+
+ICC_RESOURCE = Resource(ResourceKind.CC, "%icc")
+FCC_RESOURCE = Resource(ResourceKind.CC, "%fcc")
+Y_RESOURCE = Resource(ResourceKind.SPECIAL, "%y")
+
+
+def mem_resource(expr: MemExpr) -> Resource:
+    """The resource naming one symbolic memory expression."""
+    return Resource(ResourceKind.MEM, expr.key(), expr)
+
+
+def _second_word(expr: MemExpr) -> MemExpr:
+    """The word slot 4 bytes past ``expr`` (a double's odd half)."""
+    return MemExpr(base=expr.base, index=expr.index,
+                   offset=expr.offset + 4, symbol=expr.symbol)
+
+
+def _mem_resources(expr: MemExpr, double: bool) -> list[Resource]:
+    """Word-granular resources for one memory access.
+
+    Double-word accesses touch two word slots; emitting both keeps the
+    same-base/different-offset disambiguation sound when double and
+    single accesses overlap (e.g. ``std [%fp-12]`` vs ``ld [%fp-8]``).
+    """
+    resources = [mem_resource(expr)]
+    if double:
+        resources.append(mem_resource(_second_word(expr)))
+    return resources
+
+
+def _expand_pair(reg: Register, double: bool) -> list[Register]:
+    """Expand a register operand to its even/odd pair for double ops."""
+    if not double:
+        return [reg]
+    if reg.kind is RegisterKind.FLOAT:
+        return list(fp_pair(reg))
+    return list(integer_pair(reg))
+
+
+def _append_reg(out: list[Resource], reg: Register, double: bool = False) -> None:
+    """Append register resources, dropping the hard-wired zero register."""
+    for r in _expand_pair(reg, double):
+        if not r.is_zero:
+            out.append(_reg_resource(r))
+
+
+def defs_and_uses(instr: Instruction) -> tuple[list[Resource], list[Resource]]:
+    """Compute the resources an instruction defines and uses.
+
+    Args:
+        instr: the instruction to analyze.
+
+    Returns:
+        ``(defs, uses)`` lists of :class:`Resource`.  Operand order is
+        preserved within each list; the *first* source operand comes
+        first in ``uses``, which the asymmetric-bypass latency model
+        relies on (paper section 2's RS/6000 example).
+
+    Raises:
+        OperandError: if the operand tuple does not match the opcode's
+            format.
+    """
+    op = instr.opcode
+    fmt = op.fmt
+    defs: list[Resource] = []
+    uses: list[Resource] = []
+
+    def reg_at(i: int) -> Register:
+        operand = instr.operands[i]
+        if not isinstance(operand, RegOperand):
+            raise OperandError(
+                f"{op.mnemonic}: operand {i} must be a register, "
+                f"got {operand!r}")
+        return operand.register
+
+    def require(n: int) -> None:
+        if len(instr.operands) != n:
+            raise OperandError(
+                f"{op.mnemonic}: expected {n} operands, "
+                f"got {len(instr.operands)}")
+
+    if fmt in (OperandFormat.ALU3, OperandFormat.ALU3_CC,
+               OperandFormat.ALU3_USE_CC, OperandFormat.ALU3_USE_DEF_CC,
+               OperandFormat.MULDIV, OperandFormat.MULSCC):
+        require(3)
+        _append_reg(uses, reg_at(0))
+        second = instr.operands[1]
+        if isinstance(second, RegOperand):
+            _append_reg(uses, second.register)
+        elif not isinstance(second, (ImmOperand, SymImmOperand)):
+            raise OperandError(
+                f"{op.mnemonic}: operand 1 must be register or immediate")
+        _append_reg(defs, reg_at(2))
+        if fmt in (OperandFormat.ALU3_CC, OperandFormat.ALU3_USE_DEF_CC,
+                   OperandFormat.MULSCC):
+            defs.append(ICC_RESOURCE)
+        if fmt in (OperandFormat.ALU3_USE_CC,
+                   OperandFormat.ALU3_USE_DEF_CC, OperandFormat.MULSCC):
+            uses.append(ICC_RESOURCE)
+        if fmt in (OperandFormat.MULDIV, OperandFormat.MULSCC):
+            defs.append(Y_RESOURCE)
+        if fmt is OperandFormat.MULSCC:
+            uses.append(Y_RESOURCE)
+    elif fmt is OperandFormat.CMP:
+        if op.mnemonic == "tst":
+            require(1)
+            _append_reg(uses, reg_at(0))
+        else:
+            require(2)
+            _append_reg(uses, reg_at(0))
+            second = instr.operands[1]
+            if isinstance(second, RegOperand):
+                _append_reg(uses, second.register)
+        defs.append(ICC_RESOURCE)
+    elif fmt is OperandFormat.MOV:
+        require(2)
+        first = instr.operands[0]
+        if isinstance(first, RegOperand):
+            _append_reg(uses, first.register)
+        _append_reg(defs, reg_at(1))
+    elif fmt is OperandFormat.SETHI:
+        require(2)
+        _append_reg(defs, reg_at(1))
+    elif fmt is OperandFormat.LOAD:
+        require(2)
+        mem = instr.mem_operand()
+        if mem is None:
+            raise OperandError(f"{op.mnemonic}: missing memory operand")
+        for reg_name in mem.expr.address_registers:
+            _append_reg(uses, parse_register(reg_name))
+        uses.extend(_mem_resources(mem.expr, op.double))
+        _append_reg(defs, reg_at(1), double=op.double)
+    elif fmt is OperandFormat.STORE:
+        require(2)
+        _append_reg(uses, reg_at(0), double=op.double)
+        mem = instr.mem_operand()
+        if mem is None:
+            raise OperandError(f"{op.mnemonic}: missing memory operand")
+        for reg_name in mem.expr.address_registers:
+            _append_reg(uses, parse_register(reg_name))
+        defs.extend(_mem_resources(mem.expr, op.double))
+    elif fmt is OperandFormat.LOADSTORE:
+        # swap/ldstub: an atomic read-modify-write of one location.
+        require(2)
+        mem = instr.mem_operand()
+        if mem is None:
+            raise OperandError(f"{op.mnemonic}: missing memory operand")
+        for reg_name in mem.expr.address_registers:
+            _append_reg(uses, parse_register(reg_name))
+        resource = mem_resource(mem.expr)
+        uses.append(resource)
+        if op.mnemonic == "swap":
+            _append_reg(uses, reg_at(1))
+        _append_reg(defs, reg_at(1))
+        defs.append(resource)
+    elif fmt is OperandFormat.RDY:
+        require(2)
+        if not (isinstance(instr.operands[0], RegOperand)
+                and instr.operands[0].register.name == "%y"):
+            raise OperandError(f"{op.mnemonic}: first operand must be %y")
+        uses.append(Y_RESOURCE)
+        _append_reg(defs, reg_at(1))
+    elif fmt is OperandFormat.WRY:
+        require(2)
+        if not (isinstance(instr.operands[1], RegOperand)
+                and instr.operands[1].register.name == "%y"):
+            raise OperandError(f"{op.mnemonic}: second operand must be %y")
+        first = instr.operands[0]
+        if isinstance(first, RegOperand):
+            _append_reg(uses, first.register)
+        defs.append(Y_RESOURCE)
+    elif fmt is OperandFormat.BRANCH:
+        require(1)
+        if op.cc_use is CcUse.ICC:
+            uses.append(ICC_RESOURCE)
+        elif op.cc_use is CcUse.FCC:
+            uses.append(FCC_RESOURCE)
+    elif fmt is OperandFormat.CALL:
+        require(1)
+        # A call defines the return-address register.  Calls end basic
+        # blocks, so argument/clobber modeling is not needed for
+        # block-local scheduling (paper section 2).
+        defs.append(_reg_resource(parse_register("%o7")))
+    elif fmt is OperandFormat.RETURN:
+        require(0)
+        ra = "%o7" if op.mnemonic == "retl" else "%i7"
+        uses.append(_reg_resource(parse_register(ra)))
+    elif fmt is OperandFormat.FPOP3:
+        require(3)
+        _append_reg(uses, reg_at(0), double=op.double)
+        _append_reg(uses, reg_at(1), double=op.double)
+        _append_reg(defs, reg_at(2), double=op.double)
+    elif fmt is OperandFormat.FPOP2:
+        require(2)
+        # Conversions read/write mixed widths; model the source at the
+        # opcode's precision only when the source really is double.
+        src_double = op.double and op.mnemonic in ("fsqrtd", "fdtoi", "fdtos")
+        dst_double = op.double and op.mnemonic not in ("fdtoi", "fdtos")
+        _append_reg(uses, reg_at(0), double=src_double)
+        _append_reg(defs, reg_at(1), double=dst_double)
+    elif fmt is OperandFormat.FCMP:
+        require(2)
+        _append_reg(uses, reg_at(0), double=op.double)
+        _append_reg(uses, reg_at(1), double=op.double)
+        defs.append(FCC_RESOURCE)
+    elif fmt is OperandFormat.NONE:
+        require(0)
+    else:  # pragma: no cover - table is closed
+        raise OperandError(f"unhandled operand format {fmt}")
+
+    return defs, uses
+
+
+class ResourceSpace:
+    """Interns :class:`Resource` objects to dense integer ids.
+
+    A fresh space is typically created per basic block (matching the
+    paper's per-block resource tables); ids are assigned in first-seen
+    order, and the set of memory-expression ids is tracked separately
+    because the builders' aliasing sweep iterates over exactly that
+    population.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[Resource, int] = {}
+        self._resources: list[Resource] = []
+        self._memory_ids: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def intern(self, resource: Resource) -> int:
+        """Return the id for ``resource``, assigning one if new."""
+        rid = self._ids.get(resource)
+        if rid is None:
+            rid = len(self._resources)
+            self._ids[resource] = rid
+            self._resources.append(resource)
+            if resource.kind is ResourceKind.MEM:
+                self._memory_ids.append(rid)
+        return rid
+
+    def resource(self, rid: int) -> Resource:
+        """The resource with id ``rid``."""
+        return self._resources[rid]
+
+    @property
+    def memory_ids(self) -> tuple[int, ...]:
+        """Ids of all interned memory-expression resources."""
+        return tuple(self._memory_ids)
+
+    @property
+    def n_memory_exprs(self) -> int:
+        """Number of unique memory expressions seen (Table 3 statistic)."""
+        return len(self._memory_ids)
+
+    def intern_instruction(
+            self, instr: Instruction) -> tuple[list[int], list[int]]:
+        """Intern an instruction's defs and uses; returns id lists."""
+        defs, uses = defs_and_uses(instr)
+        return ([self.intern(r) for r in defs],
+                [self.intern(r) for r in uses])

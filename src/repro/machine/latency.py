@@ -1,0 +1,125 @@
+"""Operation latencies and dependence arc delays.
+
+Section 2 of the paper spends several paragraphs on how arc weights
+vary with dependence type and even with operand position:
+
+* WAR delays can be *shorter* than RAW delays because the parent reads
+  its source early in the pipeline (Figure 1 uses a WAR delay of 1
+  against a RAW delay of 20) -- unless the machine must hold source
+  registers for exception repair, in which case WAR delays revert to
+  the safe value.
+* From the same parent, different RAW delays can reach different
+  children: the odd half of a double-word load's register pair can be
+  a cycle later than the even half; a bypassed RAW to a *store* can be
+  shorter than to an arithmetic consumer; and on machines with
+  asymmetric bypass paths (IBM RS/6000) the delay depends on whether
+  the child consumes the value as its first or second source operand.
+
+:class:`LatencyModel` encodes all of these knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dep import DepType
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstructionClass
+from repro.isa.resources import Resource, ResourceKind
+
+
+_DEFAULT_CLASS_LATENCY: dict[InstructionClass, int] = {
+    InstructionClass.IALU: 1,
+    InstructionClass.IMUL: 5,
+    InstructionClass.IDIV: 18,
+    InstructionClass.COMPARE: 1,
+    InstructionClass.SETHI: 1,
+    InstructionClass.LOAD: 2,
+    InstructionClass.STORE: 1,
+    InstructionClass.BRANCH: 1,
+    InstructionClass.CALL: 1,
+    InstructionClass.RETURN: 1,
+    InstructionClass.FPADD: 4,
+    InstructionClass.FPMUL: 6,
+    InstructionClass.FPDIV: 20,
+    InstructionClass.FPSQRT: 30,
+    InstructionClass.FPCOMPARE: 2,
+    InstructionClass.WINDOW: 1,
+    InstructionClass.NOP: 1,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Cycle counts for one machine.
+
+    Attributes:
+        class_latency: operation latency per instruction class.
+        mnemonic_latency: per-mnemonic overrides (take precedence).
+        war_delay: delay on WAR (anti-dependence) arcs.  1 on machines
+            whose parent reads sources early; equal to the safe value
+            on machines that hold sources for exception handlers.
+        waw_delay: delay on WAW (output-dependence) arcs.
+        raw_store_forward_discount: cycles subtracted from a RAW delay
+            whose consumer is a store (the store needs its data late in
+            the pipe).  Never reduces a delay below 1.
+        pair_second_extra: extra cycles for the RAW delay from the
+            *odd* register of a double-word load's destination pair.
+        bypass_second_operand_penalty: extra cycles added to a RAW
+            delay when the child consumes the value as its second (or
+            later) source operand -- the asymmetric-bypass case.
+    """
+
+    class_latency: dict[InstructionClass, int] = field(
+        default_factory=lambda: dict(_DEFAULT_CLASS_LATENCY))
+    mnemonic_latency: dict[str, int] = field(default_factory=dict)
+    war_delay: int = 1
+    waw_delay: int = 1
+    raw_store_forward_discount: int = 0
+    pair_second_extra: int = 0
+    bypass_second_operand_penalty: int = 0
+
+    def execution_time(self, instr: Instruction) -> int:
+        """The operation latency of ``instr`` (Table 1's "execution time")."""
+        override = self.mnemonic_latency.get(instr.opcode.mnemonic)
+        if override is not None:
+            return override
+        return self.class_latency[instr.opcode.iclass]
+
+    def raw_delay(self, parent: Instruction, child: Instruction,
+                  resource: Resource, def_index: int = 0,
+                  use_index: int = 0) -> int:
+        """RAW arc delay from ``parent`` to ``child`` through ``resource``.
+
+        Args:
+            parent: the defining instruction.
+            child: the using instruction.
+            resource: the resource carrying the dependence.
+            def_index: position of ``resource`` within the parent's def
+                list (index 1 of a load pair is the late half).
+            use_index: position of ``resource`` within the child's use
+                list (operand position for asymmetric bypass).
+        """
+        delay = self.execution_time(parent)
+        if (self.pair_second_extra and parent.opcode.double
+                and parent.opcode.iclass is InstructionClass.LOAD
+                and def_index == 1):
+            delay += self.pair_second_extra
+        if (self.raw_store_forward_discount
+                and child.opcode.iclass is InstructionClass.STORE
+                and resource.kind is ResourceKind.REG):
+            delay = max(1, delay - self.raw_store_forward_discount)
+        if self.bypass_second_operand_penalty and use_index >= 1:
+            delay += self.bypass_second_operand_penalty
+        return max(1, delay)
+
+    def arc_delay(self, dep: DepType, parent: Instruction,
+                  child: Instruction, resource: Resource,
+                  def_index: int = 0, use_index: int = 0) -> int:
+        """Arc delay for any dependence type (the builders' single entry)."""
+        if dep is DepType.RAW:
+            return self.raw_delay(parent, child, resource, def_index,
+                                  use_index)
+        if dep is DepType.WAR:
+            return max(1, self.war_delay)
+        return max(1, self.waw_delay)

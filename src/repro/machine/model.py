@@ -1,0 +1,61 @@
+"""The :class:`MachineModel` facade.
+
+DAG builders and schedulers see the machine through this one object:
+arc delays, operation latencies, function units, issue width, and the
+delayed-branch convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dep import DepType
+from repro.isa.instruction import Instruction
+from repro.isa.memory import AliasPolicy
+from repro.isa.resources import Resource
+from repro.machine.latency import LatencyModel
+from repro.machine.reservation import UsagePattern, pattern_for
+from repro.machine.units import FunctionUnitSet, default_units
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Everything timing-related about one target machine.
+
+    Attributes:
+        name: human-readable machine name.
+        latency: the cycle-count model.
+        units: function units (for structural hazards).
+        issue_width: instructions issued per cycle (1 = scalar).
+        branch_delay_slots: architectural delay slots after a taken
+            control transfer (1 on SPARC).
+        alias_policy: default memory disambiguation policy used when a
+            pipeline does not override it.
+    """
+
+    name: str
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    units: FunctionUnitSet = field(default_factory=default_units)
+    issue_width: int = 1
+    branch_delay_slots: int = 1
+    alias_policy: AliasPolicy = AliasPolicy.EXPRESSION
+
+    def execution_time(self, instr: Instruction) -> int:
+        """Operation latency of ``instr``."""
+        return self.latency.execution_time(instr)
+
+    def arc_delay(self, dep: DepType, parent: Instruction,
+                  child: Instruction, resource: Resource,
+                  def_index: int = 0, use_index: int = 0) -> int:
+        """Delay for one dependence arc (delegates to the latency model)."""
+        return self.latency.arc_delay(dep, parent, child, resource,
+                                      def_index, use_index)
+
+    def usage_pattern(self, instr: Instruction) -> UsagePattern:
+        """Busy-cycle pattern of ``instr`` for reservation-table scheduling."""
+        return pattern_for(instr, self.units, self.execution_time(instr))
+
+    @property
+    def is_superscalar(self) -> bool:
+        """True when more than one instruction can issue per cycle."""
+        return self.issue_width > 1

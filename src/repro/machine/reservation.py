@@ -1,0 +1,142 @@
+"""Resource reservation tables.
+
+Section 1: "A more refined form of scheduling uses an explicit resource
+reservation table ... scheduling involves pattern matching these blocks
+[of busy cycles] into a partially-filled reservation table as well as
+considering operand dependencies."
+
+:class:`ReservationTable` is a growing grid of (cycle, unit-instance)
+slots; :class:`UsagePattern` is the aggregate structure of busy cycles
+an instruction occupies.  The reservation-table scheduler
+(:mod:`repro.scheduling.reservation_scheduler`) places the highest
+priority instruction into the earliest slots where its pattern fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.machine.units import FunctionUnitSet
+
+
+@dataclass(frozen=True, slots=True)
+class UnitUse:
+    """One contiguous busy interval on one unit."""
+
+    unit: str
+    start: int      # offset from issue cycle
+    duration: int   # busy cycles
+
+
+@dataclass(frozen=True, slots=True)
+class UsagePattern:
+    """The blocks of busy cycles an instruction needs.
+
+    A simple pipelined instruction uses its unit for one cycle; an
+    unpipelined multi-cycle operation uses it for its whole latency.
+    """
+
+    uses: tuple[UnitUse, ...]
+
+    @property
+    def span(self) -> int:
+        """Total cycles from issue to the last busy cycle."""
+        return max((u.start + u.duration for u in self.uses), default=1)
+
+
+def pattern_for(instr: Instruction, units: FunctionUnitSet,
+                latency: int) -> UsagePattern:
+    """Build the usage pattern for an instruction on a unit set.
+
+    Pipelined units are occupied for one cycle (the issue cycle);
+    unpipelined units are occupied for the full operation latency.
+
+    Machines that declare a ``wb`` (writeback/result bus) unit get the
+    paper's "multiple resource usage instructions": every
+    result-producing instruction also occupies the bus for one cycle
+    when its result retires, so two operations of different latencies
+    can collide on the bus even though their function units are free.
+    """
+    unit = units.unit_for(instr.opcode.iclass)
+    duration = 1 if unit.pipelined else max(1, latency)
+    uses = [UnitUse(unit.name, 0, duration)]
+    if "wb" in units.unit_names():
+        from repro.isa.resources import defs_and_uses
+        defs, _ = defs_and_uses(instr)
+        if defs:
+            uses.append(UnitUse("wb", max(0, latency - 1), 1))
+    return UsagePattern(tuple(uses))
+
+
+class ReservationTable:
+    """A partially filled grid of busy unit slots.
+
+    The table grows on demand; cycle indices are absolute (cycle 0 is
+    the start of the basic block).
+    """
+
+    def __init__(self, units: FunctionUnitSet) -> None:
+        self._units = units
+        # busy[unit_name] -> set of busy cycle indices, per instance.
+        self._busy: dict[str, list[set[int]]] = {
+            name: [set() for _ in range(units.unit(name).copies)]
+            for name in units.unit_names()
+        }
+
+    def _instance_fits(self, busy: set[int], start: int,
+                       use: UnitUse) -> bool:
+        return all(start + use.start + k not in busy
+                   for k in range(use.duration))
+
+    def fits_at(self, pattern: UsagePattern, cycle: int) -> bool:
+        """True if ``pattern`` can issue at ``cycle`` without conflicts."""
+        for use in pattern.uses:
+            instances = self._busy[use.unit]
+            if not any(self._instance_fits(inst, cycle, use)
+                       for inst in instances):
+                return False
+        return True
+
+    def earliest_fit(self, pattern: UsagePattern, not_before: int,
+                     horizon: int = 1 << 20) -> int:
+        """Earliest cycle >= ``not_before`` where the pattern fits.
+
+        Raises:
+            RuntimeError: if no slot is found within ``horizon`` cycles
+                (indicates a malformed pattern).
+        """
+        cycle = not_before
+        while cycle < not_before + horizon:
+            if self.fits_at(pattern, cycle):
+                return cycle
+            cycle += 1
+        raise RuntimeError("reservation table: no fit within horizon")
+
+    def place(self, pattern: UsagePattern, cycle: int) -> None:
+        """Mark the pattern's busy cycles starting at ``cycle``.
+
+        Raises:
+            ValueError: if the pattern does not fit at ``cycle``.
+        """
+        if not self.fits_at(pattern, cycle):
+            raise ValueError(f"pattern does not fit at cycle {cycle}")
+        for use in pattern.uses:
+            for inst in self._busy[use.unit]:
+                if self._instance_fits(inst, cycle, use):
+                    for k in range(use.duration):
+                        inst.add(cycle + use.start + k)
+                    break
+
+    def busy_until(self, unit_name: str) -> int:
+        """One past the last busy cycle on any instance of ``unit_name``."""
+        cycles = [max(inst) + 1 for inst in self._busy[unit_name] if inst]
+        return max(cycles, default=0)
+
+    def next_free(self, unit_name: str, not_before: int) -> int:
+        """Earliest cycle >= ``not_before`` with a free instance of the unit."""
+        cycle = not_before
+        while True:
+            if any(cycle not in inst for inst in self._busy[unit_name]):
+                return cycle
+            cycle += 1

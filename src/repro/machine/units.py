@@ -1,0 +1,129 @@
+"""Function units.
+
+Structural hazards "are not represented in the DAG because they are
+essentially undirected arcs; instead, they are handled by timing
+heuristics or resource reservation tables" (paper section 1).  The
+timing-heuristic route needs to know which unit each instruction class
+occupies and whether that unit is pipelined; the dynamic "busy times
+for floating point function units" heuristic and the extended earliest
+execution time calculation both consult this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import InstructionClass
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionUnit:
+    """One execution resource.
+
+    Attributes:
+        name: unit name, e.g. ``"fdiv"``.
+        pipelined: True if a new operation can start every cycle;
+            False if the unit is busy for the whole operation latency
+            (the structural-hazard case the paper's FPU heuristic
+            targets).
+        copies: number of identical instances of this unit.
+    """
+
+    name: str
+    pipelined: bool = True
+    copies: int = 1
+
+
+_DEFAULT_UNIT_OF_CLASS: dict[InstructionClass, str] = {
+    InstructionClass.IALU: "ialu",
+    InstructionClass.IMUL: "imul",
+    InstructionClass.IDIV: "imul",
+    InstructionClass.COMPARE: "ialu",
+    InstructionClass.SETHI: "ialu",
+    InstructionClass.LOAD: "mem",
+    InstructionClass.STORE: "mem",
+    InstructionClass.BRANCH: "branch",
+    InstructionClass.CALL: "branch",
+    InstructionClass.RETURN: "branch",
+    InstructionClass.FPADD: "fpadd",
+    InstructionClass.FPMUL: "fpmul",
+    InstructionClass.FPDIV: "fdiv",
+    InstructionClass.FPSQRT: "fdiv",
+    InstructionClass.FPCOMPARE: "fpadd",
+    InstructionClass.WINDOW: "ialu",
+    InstructionClass.NOP: "ialu",
+}
+
+
+class FunctionUnitSet:
+    """The machine's function units plus the class-to-unit mapping."""
+
+    def __init__(self, units: list[FunctionUnit],
+                 unit_of_class: dict[InstructionClass, str] | None = None
+                 ) -> None:
+        """Args:
+            units: the available units.
+            unit_of_class: which unit each instruction class executes
+                on; defaults to the conventional RISC split.
+
+        Raises:
+            ValueError: if the mapping names a unit not in ``units``.
+        """
+        self._units = {u.name: u for u in units}
+        mapping = dict(_DEFAULT_UNIT_OF_CLASS if unit_of_class is None
+                       else unit_of_class)
+        for iclass, name in mapping.items():
+            if name not in self._units:
+                raise ValueError(
+                    f"class {iclass.value} mapped to unknown unit {name!r}")
+        self._unit_of_class = mapping
+
+    def unit_for(self, iclass: InstructionClass) -> FunctionUnit:
+        """The function unit an instruction class executes on."""
+        return self._units[self._unit_of_class[iclass]]
+
+    def unit_names(self) -> tuple[str, ...]:
+        """All unit names, in declaration order."""
+        return tuple(self._units)
+
+    def unit(self, name: str) -> FunctionUnit:
+        """Look up a unit by name (KeyError if absent)."""
+        return self._units[name]
+
+    @property
+    def has_unpipelined(self) -> bool:
+        """True when any unit is not pipelined (structural hazards exist)."""
+        return any(not u.pipelined for u in self._units.values())
+
+
+def default_units(unpipelined_fp: bool = True) -> FunctionUnitSet:
+    """The conventional unit set: one of each, FP divide optionally unpipelined."""
+    return FunctionUnitSet([
+        FunctionUnit("ialu"),
+        FunctionUnit("imul", pipelined=False),
+        FunctionUnit("mem"),
+        FunctionUnit("branch"),
+        FunctionUnit("fpadd", pipelined=not unpipelined_fp),
+        FunctionUnit("fpmul", pipelined=not unpipelined_fp),
+        FunctionUnit("fdiv", pipelined=False),
+    ])
+
+
+def units_with_writeback(unpipelined_fp: bool = False) -> FunctionUnitSet:
+    """Default units plus a shared single-ported writeback bus.
+
+    Gives reservation-table scheduling the paper's "multiple resource
+    usage instructions": results from units of different latencies can
+    collide on the bus cycle, which only an explicit reservation table
+    resolves (timing heuristics alone cannot see it).
+    """
+    return FunctionUnitSet([
+        FunctionUnit("ialu"),
+        FunctionUnit("imul", pipelined=False),
+        FunctionUnit("mem"),
+        FunctionUnit("branch"),
+        FunctionUnit("fpadd", pipelined=not unpipelined_fp),
+        FunctionUnit("fpmul", pipelined=not unpipelined_fp),
+        FunctionUnit("fdiv", pipelined=False),
+        FunctionUnit("wb"),
+    ])

@@ -1,0 +1,30 @@
+"""mini-C: a tiny straight-line expression compiler.
+
+The paper's benchmarks are *compiler output* — instruction streams
+with redundant loads, deep expression temporaries, and long-latency
+operations exactly where a naive code generator put them.  This
+subpackage provides that substrate end to end: a C-like declaration +
+assignment language, compiled with deliberately naive (no-CSE,
+load-per-use) code generation into the repository's SPARC-like
+assembly, ready for the DAG builders and schedulers.
+
+::
+
+    from repro.minic import compile_minic
+
+    asm = compile_minic('''
+        double a, b, c;
+        int i, j;
+        c = a * b + c / a;
+        j = (i + 1) * (i - 1) % 7;
+    ''')
+
+Pipeline: :mod:`lexer` -> :mod:`parser` (precedence climbing) ->
+:mod:`codegen` (pool-based register allocation, int/double typing with
+conversion-through-memory, remainder lowering).
+"""
+
+from repro.minic.codegen import compile_minic, compile_to_program
+from repro.minic.parser import parse_minic
+
+__all__ = ["compile_minic", "compile_to_program", "parse_minic"]

@@ -1,0 +1,79 @@
+"""mini-C abstract syntax."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CType(enum.Enum):
+    """mini-C's two types."""
+
+    INT = "int"
+    DOUBLE = "double"
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Abstract expression node."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """An array element reference: ``name[index]``."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str          # "-"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str          # + - * / % & | ^ << >>
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Decl:
+    """A declaration statement: ``int a, b;`` / ``double x[8];``.
+
+    Array sizes are recorded but semantically unused (slots are
+    symbolic); a declared size marks the name as an array.
+    """
+
+    ctype: CType
+    names: tuple[str, ...]
+    array_sizes: tuple[int | None, ...] = ()
+
+
+@dataclass(frozen=True)
+class Assign:
+    """An assignment statement: ``name = expr;`` or ``name[i] = expr;``."""
+
+    name: str
+    expr: Expr
+    index: Expr | None = None
+
+
+Statement = "Decl | Assign"

@@ -1,0 +1,351 @@
+"""mini-C code generation.
+
+Deliberately *naive* codegen — the style of unoptimized late-1980s
+compiler output the paper's schedulers were built for:
+
+* every variable reference loads from its memory slot (no CSE, no
+  register promotion), so blocks are dense with load delay slots;
+* expression temporaries live in a small register pool (allocation
+  failure is a compile error rather than spilling);
+* int/double conversions go through memory staging slots, exactly as
+  SPARC V8 code generators did (``st``/``ld``/``fitod``);
+* ``%`` lowers to the classic divide/multiply/subtract triple;
+* double negation is the even-half ``fnegs`` + odd-half ``fmovs``
+  pair, V8-style;
+* double constants are materialized from synthetic constant-pool
+  slots (``.LC<n>``).
+
+The output is assembly text for :func:`repro.asm.parse_asm`; it forms
+a single basic block (no terminator), ready for any builder/scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.parser import parse_asm
+from repro.asm.program import Program
+from repro.minic.ast import (
+    Assign,
+    Binary,
+    CType,
+    Decl,
+    Expr,
+    FloatLit,
+    Index,
+    IntLit,
+    Unary,
+    Var,
+)
+from repro.minic.lexer import MiniCError
+from repro.minic.parser import parse_minic
+
+_INT_POOL = tuple(f"%o{i}" for i in range(6)) \
+    + tuple(f"%l{i}" for i in range(2, 8))
+_FP_POOL = tuple(f"%f{i}" for i in range(0, 32, 2))
+
+_INT_OPS = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+            "<<": "sll", ">>": "sra", "*": "smul", "/": "sdiv"}
+_FP_OPS = {"+": "faddd", "-": "fsubd", "*": "fmuld", "/": "fdivd"}
+_INT_ONLY_OPS = {"%", "&", "|", "^", "<<", ">>"}
+
+_IMM_MIN, _IMM_MAX = -4096, 4095
+
+
+@dataclass
+class _Value:
+    """An expression result: a register or an inline immediate."""
+
+    ctype: CType
+    reg: str | None = None
+    imm: int | None = None
+
+    @property
+    def is_imm(self) -> bool:
+        return self.imm is not None
+
+
+@dataclass
+class _Codegen:
+    types: dict[str, CType] = field(default_factory=dict)
+    lines: list[str] = field(default_factory=list)
+    free_int: list[str] = field(default_factory=lambda: list(_INT_POOL))
+    free_fp: list[str] = field(default_factory=lambda: list(_FP_POOL))
+    constants: dict[float, str] = field(default_factory=dict)
+    n_temps: int = 0
+
+    # -- infrastructure ----------------------------------------------------
+
+    def emit(self, text: str, comment: str = "") -> None:
+        line = f"\t{text}"
+        if comment:
+            line += f"\t! {comment}"
+        self.lines.append(line)
+
+    def alloc(self, ctype: CType) -> str:
+        pool = self.free_fp if ctype is CType.DOUBLE else self.free_int
+        if not pool:
+            raise MiniCError("expression too deep: temporary register "
+                             "pool exhausted")
+        return pool.pop(0)
+
+    def free(self, value: _Value) -> None:
+        if value.reg is None:
+            return
+        pool = (self.free_fp if value.ctype is CType.DOUBLE
+                else self.free_int)
+        if value.reg not in pool:
+            pool.insert(0, value.reg)
+
+    def var_type(self, name: str) -> CType:
+        # Undeclared identifiers default to int (documented).
+        return self.types.get(name, CType.INT)
+
+    def const_slot(self, value: float) -> str:
+        slot = self.constants.get(value)
+        if slot is None:
+            slot = f".LC{len(self.constants)}"
+            self.constants[value] = slot
+        return slot
+
+    def temp_slot(self) -> str:
+        self.n_temps += 1
+        return f".T{self.n_temps - 1}"
+
+    # -- materialization ---------------------------------------------------
+
+    def load_int_literal(self, value: int) -> _Value:
+        reg = self.alloc(CType.INT)
+        if _IMM_MIN <= value <= _IMM_MAX:
+            self.emit(f"mov {value}, {reg}")
+        else:
+            high, low = (value >> 10) & 0x3FFFFF, value & 0x3FF
+            self.emit(f"sethi {high}, {reg}")
+            if low:
+                self.emit(f"or {reg}, {low}, {reg}")
+        return _Value(CType.INT, reg=reg)
+
+    def to_reg(self, value: _Value) -> _Value:
+        if not value.is_imm:
+            return value
+        return self.load_int_literal(value.imm)
+
+    def to_double(self, value: _Value) -> _Value:
+        """Coerce an int value to double via a memory staging slot."""
+        if value.ctype is CType.DOUBLE:
+            return value
+        value = self.to_reg(value)
+        slot = self.temp_slot()
+        freg = self.alloc(CType.DOUBLE)
+        self.emit(f"st {value.reg}, [{slot}]", "int -> double staging")
+        self.emit(f"ld [{slot}], {freg}")
+        self.emit(f"fitod {freg}, {freg}")
+        self.free(value)
+        return _Value(CType.DOUBLE, reg=freg)
+
+    def to_int(self, value: _Value) -> _Value:
+        """Coerce a double value to int (fdtoi + store/load staging)."""
+        if value.ctype is not CType.DOUBLE:
+            return self.to_reg(value)
+        single = self.alloc(CType.DOUBLE)  # staging pair; even half used
+        self.emit(f"fdtoi {value.reg}, {single}")
+        slot = self.temp_slot()
+        self.emit(f"st {single}, [{slot}]", "double -> int staging")
+        reg = self.alloc(CType.INT)
+        self.emit(f"ld [{slot}], {reg}")
+        self.free(value)
+        self.free(_Value(CType.DOUBLE, reg=single))
+        return _Value(CType.INT, reg=reg)
+
+    # -- expressions -------------------------------------------------------
+
+    def gen(self, expr: Expr) -> _Value:
+        if isinstance(expr, IntLit):
+            if _IMM_MIN <= expr.value <= _IMM_MAX:
+                return _Value(CType.INT, imm=expr.value)
+            return self.load_int_literal(expr.value)
+        if isinstance(expr, FloatLit):
+            slot = self.const_slot(expr.value)
+            reg = self.alloc(CType.DOUBLE)
+            self.emit(f"ldd [{slot}], {reg}", f"constant {expr.value}")
+            return _Value(CType.DOUBLE, reg=reg)
+        if isinstance(expr, Var):
+            ctype = self.var_type(expr.name)
+            reg = self.alloc(ctype)
+            if ctype is CType.DOUBLE:
+                self.emit(f"ldd [{expr.name}], {reg}")
+            else:
+                self.emit(f"ld [{expr.name}], {reg}")
+            return _Value(ctype, reg=reg)
+        if isinstance(expr, Index):
+            ctype = self.var_type(expr.name)
+            address, temps = self.element_address(expr.name, expr.index,
+                                                  ctype)
+            reg = self.alloc(ctype)
+            mnemonic = "ldd" if ctype is CType.DOUBLE else "ld"
+            self.emit(f"{mnemonic} [{address}], {reg}")
+            for temp in temps:
+                self.free(temp)
+            return _Value(ctype, reg=reg)
+        if isinstance(expr, Unary):
+            return self.gen_negate(expr.operand)
+        assert isinstance(expr, Binary)
+        return self.gen_binary(expr)
+
+    def element_address(self, name: str, index: Expr,
+                        ctype: CType) -> tuple[str, list[_Value]]:
+        """Address text for ``name[index]`` plus temporaries to free.
+
+        Constant indices fold into a symbol+offset expression; variable
+        indices produce the scale-shift + sethi/or base materialization
+        idiom (``[base_reg + scaled_reg]``).
+        """
+        shift = 3 if ctype is CType.DOUBLE else 2
+        if isinstance(index, IntLit):
+            offset = index.value << shift
+            return (f"{name}+{offset}" if offset >= 0
+                    else f"{name}{offset}") if offset else name, []
+        value = self.gen(index)
+        if value.ctype is not CType.INT:
+            raise MiniCError("array index must be an int expression")
+        value = self.to_reg(value)
+        scaled = self.alloc(CType.INT)
+        self.emit(f"sll {value.reg}, {shift}, {scaled}",
+                  f"scale index by {1 << shift}")
+        self.free(value)
+        base = self.alloc(CType.INT)
+        self.emit(f"sethi %hi({name}), {base}")
+        self.emit(f"or {base}, %lo({name}), {base}")
+        return f"{base}+{scaled}", [_Value(CType.INT, reg=scaled),
+                                    _Value(CType.INT, reg=base)]
+
+    def gen_negate(self, operand: Expr) -> _Value:
+        value = self.gen(operand)
+        if value.ctype is CType.DOUBLE:
+            even = value.reg
+            odd_src = f"%f{int(even[2:]) + 1}"
+            dest = self.alloc(CType.DOUBLE)
+            odd_dest = f"%f{int(dest[2:]) + 1}"
+            self.emit(f"fnegs {even}, {dest}", "double negate, V8 style")
+            self.emit(f"fmovs {odd_src}, {odd_dest}")
+            self.free(value)
+            return _Value(CType.DOUBLE, reg=dest)
+        value = self.to_reg(value)
+        dest = self.alloc(CType.INT)
+        self.emit(f"sub %g0, {value.reg}, {dest}")
+        self.free(value)
+        return _Value(CType.INT, reg=dest)
+
+    def gen_binary(self, expr: Binary) -> _Value:
+        left = self.gen(expr.left)
+        right = self.gen(expr.right)
+        is_double = (left.ctype is CType.DOUBLE
+                     or right.ctype is CType.DOUBLE)
+        if is_double and expr.op in _INT_ONLY_OPS:
+            raise MiniCError(
+                f"operator {expr.op!r} is not defined for double")
+        if is_double:
+            left = self.to_double(left)
+            right = self.to_double(right)
+            dest = self.alloc(CType.DOUBLE)
+            self.emit(f"{_FP_OPS[expr.op]} {left.reg}, {right.reg}, {dest}")
+            self.free(left)
+            self.free(right)
+            return _Value(CType.DOUBLE, reg=dest)
+        if expr.op == "%":
+            return self.gen_remainder(left, right)
+        left = self.to_reg(left)
+        rhs = str(right.imm) if right.is_imm else right.reg
+        dest = self.alloc(CType.INT)
+        self.emit(f"{_INT_OPS[expr.op]} {left.reg}, {rhs}, {dest}")
+        self.free(left)
+        self.free(right)
+        return _Value(CType.INT, reg=dest)
+
+    def gen_remainder(self, left: _Value, right: _Value) -> _Value:
+        """a % b  ->  a - (a / b) * b  (SPARC has no remainder)."""
+        left = self.to_reg(left)
+        right = self.to_reg(right)
+        quotient = self.alloc(CType.INT)
+        self.emit(f"sdiv {left.reg}, {right.reg}, {quotient}",
+                  "remainder: quotient")
+        product = self.alloc(CType.INT)
+        self.emit(f"smul {quotient}, {right.reg}, {product}")
+        dest = self.alloc(CType.INT)
+        self.emit(f"sub {left.reg}, {product}, {dest}")
+        for v in (left, right, _Value(CType.INT, reg=quotient),
+                  _Value(CType.INT, reg=product)):
+            self.free(v)
+        return _Value(CType.INT, reg=dest)
+
+    # -- statements --------------------------------------------------------
+
+    def gen_assign(self, statement: Assign) -> None:
+        target_type = self.var_type(statement.name)
+        value = self.gen(statement.expr)
+        if target_type is CType.DOUBLE:
+            value = self.to_double(value)
+            mnemonic = "std"
+        else:
+            value = self.to_int(value)
+            mnemonic = "st"
+        if statement.index is not None:
+            address, temps = self.element_address(
+                statement.name, statement.index, target_type)
+            self.emit(f"{mnemonic} {value.reg}, [{address}]")
+            for temp in temps:
+                self.free(temp)
+        else:
+            self.emit(f"{mnemonic} {value.reg}, [{statement.name}]")
+        self.free(value)
+
+    def _constant_init_lines(self) -> list[str]:
+        """Initialization code for the double constant pool.
+
+        There is no data section in this dialect, so constants are
+        materialized at block start: each 64-bit pattern is built in
+        ``%g1`` word by word (sethi/or) and stored into its slot.
+        This keeps compiled programs executable by ``repro.interp``.
+        """
+        import struct
+        lines: list[str] = []
+        for value, slot in self.constants.items():
+            high, low = struct.unpack(">II", struct.pack(">d", value))
+            for word, offset in ((high, 0), (low, 4)):
+                lines.append(f"\tsethi {word >> 10}, %g1")
+                if word & 0x3FF:
+                    lines.append(f"\tor %g1, {word & 0x3FF}, %g1")
+                where = f"{slot}+{offset}" if offset else slot
+                lines.append(f"\tst %g1, [{where}]\t! init {value}")
+        return lines
+
+    def run(self, statements) -> str:
+        for statement in statements:
+            if isinstance(statement, Decl):
+                for name in statement.names:
+                    if name in self.types \
+                            and self.types[name] is not statement.ctype:
+                        raise MiniCError(
+                            f"conflicting declaration of {name!r}")
+                    self.types[name] = statement.ctype
+            else:
+                self.gen_assign(statement)
+        header = ["! generated by repro.minic"]
+        for value, slot in self.constants.items():
+            header.append(f"! constant pool: [{slot}] = {value}")
+        return "\n".join(header + self._constant_init_lines()
+                         + self.lines) + "\n"
+
+
+def compile_minic(source: str) -> str:
+    """Compile mini-C source to SPARC-like assembly text.
+
+    Raises:
+        MiniCError: on lexical, syntax, type, or capacity errors.
+    """
+    return _Codegen().run(parse_minic(source))
+
+
+def compile_to_program(source: str, name: str = "<minic>") -> Program:
+    """Compile mini-C and parse the result into a :class:`Program`."""
+    return parse_asm(compile_minic(source), name)

@@ -1,0 +1,80 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class MiniCError(ReproError):
+    """Raised for mini-C lexical, syntactic, or type errors."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"         # integer literal
+    FLOAT = "float"     # floating literal
+    OP = "op"           # operator / punctuation
+    KEYWORD = "keyword"  # int / double
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+_KEYWORDS = {"int", "double"}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d*|\.\d+)
+  | (?P<int>0x[0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><<|>>|[-+*/%&|^()=;,\[\]])
+""", re.VERBOSE | re.DOTALL)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C source.
+
+    Raises:
+        MiniCError: on unrecognized characters.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise MiniCError(f"unexpected character {source[pos]!r}", line)
+        text = match.group(0)
+        line += text.count("\n")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        if match.lastgroup == "float":
+            tokens.append(Token(TokKind.FLOAT, text, line))
+        elif match.lastgroup == "int":
+            tokens.append(Token(TokKind.INT, text, line))
+        elif match.lastgroup == "ident":
+            kind = TokKind.KEYWORD if text in _KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token(TokKind.OP, text, line))
+    tokens.append(Token(TokKind.EOF, "", line))
+    return tokens

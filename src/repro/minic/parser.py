@@ -1,0 +1,147 @@
+"""Recursive-descent / precedence-climbing parser for mini-C."""
+
+from __future__ import annotations
+
+from repro.minic.ast import (
+    Assign,
+    Binary,
+    CType,
+    Decl,
+    Expr,
+    FloatLit,
+    Index,
+    IntLit,
+    Unary,
+    Var,
+)
+from repro.minic.lexer import MiniCError, TokKind, Token, tokenize
+
+#: Binding powers, C-like.
+_PRECEDENCE = {
+    "|": 10,
+    "^": 20,
+    "&": 30,
+    "<<": 40, ">>": 40,
+    "+": 50, "-": 50,
+    "*": 60, "/": 60, "%": 60,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise MiniCError(
+                f"expected {text!r}, got {token.text or 'end of input'!r}",
+                token.line)
+        return token
+
+    # -- expressions -------------------------------------------------------
+
+    def _primary(self) -> Expr:
+        token = self._next()
+        if token.kind is TokKind.INT:
+            return IntLit(int(token.text, 0))
+        if token.kind is TokKind.FLOAT:
+            return FloatLit(float(token.text))
+        if token.kind is TokKind.IDENT:
+            if self._peek().text == "[":
+                self._next()
+                index = self._expression(0)
+                self._expect("]")
+                return Index(token.text, index)
+            return Var(token.text)
+        if token.text == "(":
+            inner = self._expression(0)
+            self._expect(")")
+            return inner
+        if token.text == "-":
+            return Unary("-", self._primary())
+        raise MiniCError(f"unexpected token {token.text!r}", token.line)
+
+    def _expression(self, min_power: int) -> Expr:
+        left = self._primary()
+        while True:
+            token = self._peek()
+            power = _PRECEDENCE.get(token.text)
+            if token.kind is not TokKind.OP or power is None \
+                    or power < min_power:
+                return left
+            self._next()
+            right = self._expression(power + 1)
+            left = Binary(token.text, left, right)
+
+    # -- statements --------------------------------------------------------
+
+    def _declaration(self) -> Decl:
+        keyword = self._next()
+        ctype = CType.INT if keyword.text == "int" else CType.DOUBLE
+        names = []
+        sizes: list[int | None] = []
+        while True:
+            token = self._next()
+            if token.kind is not TokKind.IDENT:
+                raise MiniCError("expected identifier in declaration",
+                                 token.line)
+            names.append(token.text)
+            if self._peek().text == "[":
+                self._next()
+                size_token = self._next()
+                if size_token.kind is not TokKind.INT:
+                    raise MiniCError("expected array size", size_token.line)
+                sizes.append(int(size_token.text, 0))
+                self._expect("]")
+            else:
+                sizes.append(None)
+            token = self._next()
+            if token.text == ";":
+                break
+            if token.text != ",":
+                raise MiniCError("expected ',' or ';' in declaration",
+                                 token.line)
+        return Decl(ctype, tuple(names), tuple(sizes))
+
+    def _assignment(self) -> Assign:
+        token = self._next()
+        if token.kind is not TokKind.IDENT:
+            raise MiniCError(f"expected identifier, got {token.text!r}",
+                             token.line)
+        index: Expr | None = None
+        if self._peek().text == "[":
+            self._next()
+            index = self._expression(0)
+            self._expect("]")
+        self._expect("=")
+        expr = self._expression(0)
+        self._expect(";")
+        return Assign(token.text, expr, index)
+
+    def parse(self) -> list:
+        statements = []
+        while self._peek().kind is not TokKind.EOF:
+            if self._peek().kind is TokKind.KEYWORD:
+                statements.append(self._declaration())
+            else:
+                statements.append(self._assignment())
+        return statements
+
+
+def parse_minic(source: str) -> list:
+    """Parse mini-C source into a statement list.
+
+    Raises:
+        MiniCError: on lexical or syntax errors.
+    """
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,116 @@
+"""End-to-end scheduling pipeline: the paper's section 6 experiment.
+
+The section 6 comparison pairs each DAG construction algorithm "with a
+simple forward scheduling pass", using three backward static
+heuristics: *max path to leaf*, *max delay to leaf*, and *max delay to
+child*.  Each approach makes two passes over the instructions (DAG
+construction + intermediate heuristic pass) and then one scheduling
+pass over the DAG -- :func:`run_pipeline` reproduces exactly that
+structure per basic block, accumulating the structural statistics of
+Tables 4 and 5 and the construction work counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Type
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders.base import BuildStats, DagBuilder
+from repro.dag.stats import ProgramDagStats
+from repro.heuristics.passes import backward_pass, backward_pass_levels
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate
+
+#: The section 6 priority: max path to leaf, then max delay to leaf,
+#: then max delay to child (an ``a``-class value maintained by add_arc).
+SECTION6_PRIORITY = winnowing(
+    "max_path_to_leaf",
+    "max_delay_to_leaf",
+    "max_delay_to_child",
+)
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated outcome of scheduling a whole benchmark.
+
+    Attributes:
+        approach: the builder's display name.
+        n_blocks: basic blocks processed.
+        n_instructions: total instructions scheduled.
+        build_stats: summed construction work counters.
+        dag_stats: Table 4/5 structural statistics.
+        total_makespan: summed per-block makespans of the schedules.
+        total_original_makespan: summed makespans of original orders.
+        unique_memory_exprs_max: largest per-block unique-memory-
+            expression count (Table 3 column).
+    """
+
+    approach: str
+    n_blocks: int = 0
+    n_instructions: int = 0
+    build_stats: BuildStats = field(default_factory=BuildStats)
+    dag_stats: ProgramDagStats = field(default_factory=ProgramDagStats)
+    total_makespan: int = 0
+    total_original_makespan: int = 0
+    unique_memory_exprs_max: int = 0
+
+    @property
+    def speedup(self) -> float:
+        """Original total makespan over scheduled total makespan."""
+        if self.total_makespan == 0:
+            return 1.0
+        return self.total_original_makespan / self.total_makespan
+
+
+def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
+                 builder_factory: Callable[[], DagBuilder],
+                 priority: Callable | None = None,
+                 heuristic_driver: str = "reverse_walk",
+                 schedule: bool = True) -> PipelineResult:
+    """Run construction + heuristic pass + forward scheduling per block.
+
+    Args:
+        blocks: the benchmark's basic blocks (window already applied).
+        machine: timing model.
+        builder_factory: zero-argument callable producing a fresh
+            builder (builders are stateful per block).
+        priority: scheduling priority; defaults to the section 6
+            three-heuristic winnowing.
+        heuristic_driver: "reverse_walk" or "levels" -- the two
+            intermediate-pass drivers of section 4.
+        schedule: when False, stop after construction + heuristic pass
+            (for construction-only measurements).
+
+    Returns:
+        Aggregated statistics for the whole benchmark.
+    """
+    if priority is None:
+        priority = SECTION6_PRIORITY
+    driver = (backward_pass_levels if heuristic_driver == "levels"
+              else backward_pass)
+    builder_name = builder_factory().name
+    result = PipelineResult(approach=builder_name)
+    for block in blocks:
+        if not block.instructions:
+            continue
+        outcome = builder_factory().build(block)
+        dag = outcome.dag
+        # Intermediate pass (the second pass over the instructions).
+        driver(dag, require_est=False)
+        result.build_stats.merge(outcome.stats)
+        result.dag_stats.add_dag(dag)
+        result.n_blocks += 1
+        result.n_instructions += len(block.instructions)
+        n_mem_exprs = len(block.unique_memory_exprs())
+        if n_mem_exprs > result.unique_memory_exprs_max:
+            result.unique_memory_exprs_max = n_mem_exprs
+        if schedule:
+            sched = schedule_forward(dag, machine, priority)
+            original = simulate(list(dag.real_nodes()), machine)
+            result.total_makespan += sched.timing.makespan
+            result.total_original_makespan += original.makespan
+    return result

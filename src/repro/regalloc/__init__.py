@@ -1,0 +1,7 @@
+"""Register liveness and pressure (substrate for prepass scheduling)."""
+
+from repro.regalloc.liveness import block_liveness, LivenessInfo
+from repro.regalloc.pressure import max_pressure, pressure_profile
+
+__all__ = ["block_liveness", "LivenessInfo", "max_pressure",
+           "pressure_profile"]

@@ -1,0 +1,55 @@
+"""Block-local register liveness.
+
+Prepass scheduling cares about the number of simultaneously live
+values (paper section 3, register-usage heuristics).  This module
+computes, for an instruction sequence, which registers are live below
+each position -- the standard backward dataflow restricted to one
+block, with nothing assumed live out (the paper's algorithms are
+block-local; cross-block liveness is its future-work item 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.resources import ResourceKind, defs_and_uses
+
+
+@dataclass(frozen=True)
+class LivenessInfo:
+    """Liveness of one instruction sequence.
+
+    Attributes:
+        live_below: for each position i, the set of register names
+            live immediately *after* instruction i executes.
+        births: per position, registers this instruction defines that
+            are used later.
+        deaths: per position, registers whose last use is here.
+    """
+
+    live_below: tuple[frozenset[str], ...]
+    births: tuple[frozenset[str], ...]
+    deaths: tuple[frozenset[str], ...]
+
+
+def _reg_names(resources) -> set[str]:
+    return {r.name for r in resources if r.kind is ResourceKind.REG}
+
+
+def block_liveness(instructions: list[Instruction]) -> LivenessInfo:
+    """Compute block-local liveness for an instruction sequence."""
+    n = len(instructions)
+    live_below: list[frozenset[str]] = [frozenset()] * n
+    births: list[frozenset[str]] = [frozenset()] * n
+    deaths: list[frozenset[str]] = [frozenset()] * n
+    live: set[str] = set()
+    for i in range(n - 1, -1, -1):
+        live_below[i] = frozenset(live)
+        defs, uses = defs_and_uses(instructions[i])
+        reg_defs, reg_uses = _reg_names(defs), _reg_names(uses)
+        births[i] = frozenset(reg_defs & live)
+        live -= reg_defs
+        deaths[i] = frozenset(name for name in reg_uses if name not in live)
+        live |= reg_uses
+    return LivenessInfo(tuple(live_below), tuple(births), tuple(deaths))

@@ -1,0 +1,24 @@
+"""Register pressure of an instruction order.
+
+Used by the prepass-scheduling experiments: a scheduler that hoists
+all loads to the top of the block lengthens live ranges and raises the
+maximum number of simultaneously live registers -- the quantity the
+#registers-born/killed/liveness heuristics try to control.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.regalloc.liveness import block_liveness
+
+
+def pressure_profile(instructions: list[Instruction]) -> list[int]:
+    """Simultaneously-live register count after each position."""
+    info = block_liveness(instructions)
+    return [len(s) for s in info.live_below]
+
+
+def max_pressure(instructions: list[Instruction]) -> int:
+    """Maximum simultaneous register pressure over the sequence."""
+    profile = pressure_profile(instructions)
+    return max(profile, default=0)

@@ -1,0 +1,47 @@
+"""Schedulers: generic list scheduling, the six published algorithms,
+postpass fixup, reservation tables, and an optimal branch-and-bound
+scheduler."""
+
+from repro.scheduling.timing import ScheduleTiming, simulate, verify_order
+from repro.scheduling.priority import (
+    by_key,
+    weighted,
+    winnowing,
+)
+from repro.scheduling.list_scheduler import (
+    Decision,
+    SchedulerState,
+    ScheduleResult,
+    schedule_backward,
+    schedule_forward,
+)
+from repro.scheduling.fixup import delay_slot_fixup
+from repro.scheduling.branch_and_bound import branch_and_bound_schedule
+from repro.scheduling.reservation_scheduler import schedule_with_reservation
+from repro.scheduling.backward_timed import schedule_backward_timed
+from repro.scheduling.delay_slots import fill_delay_slot
+from repro.scheduling.interblock import (
+    apply_inherited,
+    residual_latencies,
+)
+
+__all__ = [
+    "Decision",
+    "schedule_backward_timed",
+    "fill_delay_slot",
+    "apply_inherited",
+    "residual_latencies",
+    "ScheduleTiming",
+    "simulate",
+    "verify_order",
+    "by_key",
+    "weighted",
+    "winnowing",
+    "SchedulerState",
+    "ScheduleResult",
+    "schedule_forward",
+    "schedule_backward",
+    "delay_slot_fixup",
+    "branch_and_bound_schedule",
+    "schedule_with_reservation",
+]

@@ -1,0 +1,33 @@
+"""The six published instruction scheduling algorithms of Table 2."""
+
+from repro.scheduling.algorithms.base import (
+    AlgorithmResult,
+    PublishedAlgorithm,
+)
+from repro.scheduling.algorithms.gibbons_muchnick import GibbonsMuchnick
+from repro.scheduling.algorithms.krishnamurthy import Krishnamurthy
+from repro.scheduling.algorithms.schlansker import Schlansker
+from repro.scheduling.algorithms.shieh_papachristou import ShiehPapachristou
+from repro.scheduling.algorithms.tiemann import Tiemann
+from repro.scheduling.algorithms.warren import Warren
+
+ALL_ALGORITHMS = (
+    GibbonsMuchnick,
+    Krishnamurthy,
+    Schlansker,
+    ShiehPapachristou,
+    Tiemann,
+    Warren,
+)
+
+__all__ = [
+    "AlgorithmResult",
+    "PublishedAlgorithm",
+    "GibbonsMuchnick",
+    "Krishnamurthy",
+    "Schlansker",
+    "ShiehPapachristou",
+    "Tiemann",
+    "Warren",
+    "ALL_ALGORITHMS",
+]

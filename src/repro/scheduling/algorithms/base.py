@@ -1,0 +1,104 @@
+"""Base class and result type for the six published algorithms.
+
+Each algorithm bundles the paper's three steps (Table 2 columns):
+
+1. **DAG construction** -- which algorithm and pass direction;
+2. **intermediate heuristic calculation** -- only the passes the
+   algorithm's heuristics actually need;
+3. **scheduling pass** -- direction, heuristic ranking, and whether
+   the heuristics combine into a single priority value or winnow.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders.base import BuildOutcome, DagBuilder
+from repro.dag.graph import Dag, DagNode
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import ScheduleResult
+from repro.scheduling.timing import ScheduleTiming, simulate, verify_order
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of one algorithm on one block.
+
+    Attributes:
+        algorithm: the algorithm's display name.
+        order: scheduled instruction order.
+        timing: pipeline timing of the schedule.
+        original_timing: timing of the block's original order.
+        build: the DAG construction outcome (dag + work counters).
+    """
+
+    algorithm: str
+    order: list[DagNode]
+    timing: ScheduleTiming
+    original_timing: ScheduleTiming
+    build: BuildOutcome
+
+    @property
+    def makespan(self) -> int:
+        """Completion cycle of the produced schedule."""
+        return self.timing.makespan
+
+    @property
+    def speedup(self) -> float:
+        """Original makespan divided by scheduled makespan."""
+        if self.timing.makespan == 0:
+            return 1.0
+        return self.original_timing.makespan / self.timing.makespan
+
+
+class PublishedAlgorithm(abc.ABC):
+    """One row of Table 2.
+
+    Class attributes mirror the table: construction pass/algorithm,
+    scheduling pass, priority-function vs winnowing, and the ranked
+    heuristics (rank string as printed in the table, heuristic title).
+    """
+
+    #: display name
+    name: str = "abstract"
+    #: literature reference as cited by the paper
+    reference: str = ""
+    #: DAG construction pass: "f", "b", or "n.g." (not given)
+    dag_pass: str = "n.g."
+    #: DAG construction algorithm: "n**2", "table building", or "n.g."
+    dag_algorithm: str = "n.g."
+    #: scheduling pass: "f", "b", "f+postpass"
+    sched_pass: str = "f"
+    #: True when heuristics combine into a single priority value
+    priority_fn: bool = False
+    #: ranked heuristics: (rank label, Table 2 row title)
+    ranking: tuple[tuple[str, str], ...] = ()
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+
+    @abc.abstractmethod
+    def make_builder(self) -> DagBuilder:
+        """The DAG construction algorithm this scheduler pairs with."""
+
+    @abc.abstractmethod
+    def prepare(self, dag: Dag) -> None:
+        """Run the intermediate heuristic passes this algorithm needs."""
+
+    @abc.abstractmethod
+    def run(self, dag: Dag) -> ScheduleResult:
+        """Run the scheduling pass."""
+
+    def schedule_block(self, block: BasicBlock) -> AlgorithmResult:
+        """Apply all three steps to one basic block."""
+        outcome = self.make_builder().build(block)
+        self.prepare(outcome.dag)
+        result = self.run(outcome.dag)
+        verify_order(result.order, outcome.dag)
+        original = simulate(
+            [outcome.dag.nodes[i] for i in range(len(block.instructions))],
+            self.machine)
+        return AlgorithmResult(self.name, result.order, result.timing,
+                               original, outcome)

@@ -1,0 +1,66 @@
+"""Krishnamurthy [8]: table-building forward, forward pass + fixup.
+
+Table 2 row: construction ``f`` / table building; scheduling
+``f+postpass``; single priority value combining (in rank order):
+
+1. (v) earliest execution time (inverse -- ready sooner is better),
+2. (v) fpu interlocks (inverse -- busy unit is worse),
+3. (b) max path length to a leaf,
+4. execution time,
+5. (b) max total delay to a leaf.
+
+The postpass "fixup" tries to fill more operation delay slots than the
+heuristic pass filled.
+"""
+
+from __future__ import annotations
+
+from repro.dag.builders.base import DagBuilder
+from repro.dag.builders.table_forward import TableForwardBuilder
+from repro.dag.graph import Dag
+from repro.heuristics.passes import backward_pass
+from repro.scheduling.algorithms.base import PublishedAlgorithm
+from repro.scheduling.fixup import delay_slot_fixup
+from repro.scheduling.list_scheduler import ScheduleResult, schedule_forward
+from repro.scheduling.priority import weighted
+from repro.scheduling.timing import simulate
+
+# Integer weight ladder: each rank dominates everything below it for
+# any realistic block (values stay far below each step's span).
+_W1, _W2, _W3, _W4, _W5 = 10**16, 10**12, 10**8, 10**4, 1
+
+
+class Krishnamurthy(PublishedAlgorithm):
+    """Krishnamurthy's multi-cycle-operation scheduler for pipelined RISC."""
+
+    name = "Krishnamurthy"
+    reference = "[8]"
+    dag_pass = "f"
+    dag_algorithm = "table building"
+    sched_pass = "f+postpass"
+    priority_fn = True
+    ranking = (
+        ("1v", "earliest time"),
+        ("2v", "fpu interlocks"),
+        ("3b", "max path to leaf"),
+        ("4", "execution time"),
+        ("5b", "max delay to leaf"),
+    )
+
+    def make_builder(self) -> DagBuilder:
+        return TableForwardBuilder(self.machine)
+
+    def prepare(self, dag: Dag) -> None:
+        backward_pass(dag)
+
+    def run(self, dag: Dag) -> ScheduleResult:
+        priority = weighted(
+            ("earliest_execution_time", _W1, "min"),
+            ("fpu_busy_time", _W2, "min"),
+            ("max_path_to_leaf", _W3),
+            ("execution_time", _W4),
+            ("max_delay_to_leaf", _W5),
+        )
+        result = schedule_forward(dag, self.machine, priority)
+        fixed = delay_slot_fixup(result.order, self.machine)
+        return ScheduleResult(fixed, simulate(fixed, self.machine))

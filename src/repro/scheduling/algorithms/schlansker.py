@@ -1,0 +1,60 @@
+"""Schlansker [12]: critical-path (slack) backward scheduling.
+
+Table 2 row: DAG construction not given (we pair the backward table
+builder, matching the backward scheduling pass); scheduling pass ``b``;
+single priority value over:
+
+1. (f+b) slack -- zero-slack nodes are on the critical path;
+2. (b) latest start time.
+
+Polarity note: the backward pass selects instructions for the *end* of
+the block first, so the highest backward priority goes to nodes that
+can afford to start late -- LARGE slack and LARGE latest start time.
+Critical (zero-slack) nodes are therefore selected last and end up at
+the front of the schedule, exactly where a critical-path algorithm
+wants them.
+
+This is the one algorithm in Table 2 whose need for both a forward and
+a backward heuristic pass is unavoidable (slack = LST - EST).
+"""
+
+from __future__ import annotations
+
+from repro.dag.builders.base import DagBuilder
+from repro.dag.builders.table_backward import TableBackwardBuilder
+from repro.dag.graph import Dag
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.scheduling.algorithms.base import PublishedAlgorithm
+from repro.scheduling.list_scheduler import ScheduleResult, schedule_backward
+from repro.scheduling.priority import weighted
+
+_W1, _W2 = 10**8, 1
+
+
+class Schlansker(PublishedAlgorithm):
+    """Schlansker's VLIW/superscalar critical-path scheduler."""
+
+    name = "Schlansker"
+    reference = "[12]"
+    dag_pass = "n.g."
+    dag_algorithm = "n.g."
+    sched_pass = "b"
+    priority_fn = True
+    ranking = (
+        ("1f+b", "slack time"),
+        ("2b", "latest start time"),
+    )
+
+    def make_builder(self) -> DagBuilder:
+        return TableBackwardBuilder(self.machine)
+
+    def prepare(self, dag: Dag) -> None:
+        forward_pass(dag)
+        backward_pass(dag, require_est=False)
+
+    def run(self, dag: Dag) -> ScheduleResult:
+        priority = weighted(
+            ("slack", _W1),
+            ("lst", _W2),
+        )
+        return schedule_backward(dag, self.machine, priority)

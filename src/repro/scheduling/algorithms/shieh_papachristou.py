@@ -1,0 +1,71 @@
+"""Shieh & Papachristou [13]: forward winnowing over five heuristics.
+
+Table 2 row: construction not given (we pair the forward table
+builder); forward scheduling; winnowing order:
+
+1. (b) max total delay to a leaf,
+2. execution time,
+3. number of children,
+4. number of parents,
+5. (f) max path length from root.
+
+This is the second algorithm needing heuristics from both directions,
+but the paper observes that the fifth heuristic "could possibly be
+omitted or replaced with little effect because it is the last
+heuristic to be applied" -- the ``drop_path_to_root`` switch exists so
+that claim can be benchmarked.
+"""
+
+from __future__ import annotations
+
+from repro.dag.builders.base import DagBuilder
+from repro.dag.builders.table_forward import TableForwardBuilder
+from repro.dag.graph import Dag
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.scheduling.algorithms.base import PublishedAlgorithm
+from repro.scheduling.list_scheduler import ScheduleResult, schedule_forward
+from repro.scheduling.priority import winnowing
+
+
+class ShiehPapachristou(PublishedAlgorithm):
+    """Shieh & Papachristou's pipelined-stream reordering algorithm."""
+
+    name = "Shieh & Papachristou"
+    reference = "[13]"
+    dag_pass = "n.g."
+    dag_algorithm = "n.g."
+    sched_pass = "f"
+    priority_fn = False
+    ranking = (
+        ("1b", "max delay to leaf"),
+        ("2", "execution time"),
+        ("3", "number of children"),
+        ("4", "number of parents"),
+        ("5f", "max path to root"),
+    )
+
+    def __init__(self, machine, drop_path_to_root: bool = False) -> None:
+        super().__init__(machine)
+        self.drop_path_to_root = drop_path_to_root
+
+    def make_builder(self) -> DagBuilder:
+        return TableForwardBuilder(self.machine)
+
+    def prepare(self, dag: Dag) -> None:
+        backward_pass(dag)
+        if not self.drop_path_to_root:
+            forward_pass(dag)
+
+    def run(self, dag: Dag) -> ScheduleResult:
+        terms = [
+            "max_delay_to_leaf",
+            "execution_time",
+            "n_children",
+            "n_parents",
+        ]
+        if not self.drop_path_to_root:
+            # The paper refers to this last heuristic as "minimum path
+            # to a root": among otherwise equal candidates, prefer the
+            # shallower node so deep chains are started sooner.
+            terms.append(("max_path_from_root", "min"))
+        return schedule_forward(dag, self.machine, winnowing(*terms))

@@ -1,0 +1,83 @@
+"""Tiemann (the GNU instruction scheduler) [15]: backward priority pass.
+
+Table 2 row: table-building forward construction; backward scheduling
+pass; single priority value over:
+
+1. (f) max total delay from root,
+2. birthing instruction -- "each RAW parent of the most recently
+   scheduled node has its priority adjusted upward so that each is
+   more likely to be chosen next and thus shorten the lifetime of the
+   corresponding live register";
+3. original order.
+
+The ``gcc2_registers_killed`` switch adds the #registers-killed
+refinement that "the version 2 GNU C compiler includes ... as a
+modification to Tiemann's algorithm" [17].
+"""
+
+from __future__ import annotations
+
+from repro.dag.builders.base import DagBuilder
+from repro.dag.builders.table_forward import TableForwardBuilder
+from repro.dag.graph import Dag, DagNode
+from repro.heuristics.passes import forward_pass
+from repro.heuristics.register_usage import (
+    annotate_register_usage,
+    apply_birthing_adjustment,
+)
+from repro.scheduling.algorithms.base import PublishedAlgorithm
+from repro.scheduling.list_scheduler import (
+    ScheduleResult,
+    SchedulerState,
+    schedule_backward,
+)
+from repro.scheduling.priority import weighted
+
+_W1, _W2, _W3 = 10**8, 10**2, 1
+
+
+class Tiemann(PublishedAlgorithm):
+    """Tiemann's GNU scheduler (prepass and postpass capable)."""
+
+    name = "Tiemann (GCC)"
+    reference = "[15]"
+    dag_pass = "f"
+    dag_algorithm = "table building"
+    sched_pass = "b"
+    priority_fn = True
+    ranking = (
+        ("1f", "max delay to root"),
+        ("2", "birthing instruction"),
+        ("3", "original order"),
+    )
+
+    def __init__(self, machine, gcc2_registers_killed: bool = False) -> None:
+        super().__init__(machine)
+        self.gcc2_registers_killed = gcc2_registers_killed
+
+    def make_builder(self) -> DagBuilder:
+        return TableForwardBuilder(self.machine)
+
+    def prepare(self, dag: Dag) -> None:
+        forward_pass(dag)
+        if self.gcc2_registers_killed:
+            annotate_register_usage(dag)
+
+    def run(self, dag: Dag) -> ScheduleResult:
+        terms: list[tuple] = [
+            ("max_delay_from_root", _W1),
+            ("birthing", _W2),
+        ]
+        if self.gcc2_registers_killed:
+            # In the backward pass, favoring nodes that *birth* few /
+            # kill many registers keeps live ranges short.
+            terms.append(("registers_killed", _W3))
+        priority = weighted(*terms)
+
+        def adjust(node: DagNode, state: SchedulerState) -> None:
+            apply_birthing_adjustment(node)
+
+        # Original order is the built-in tie break of the backward
+        # scheduler (highest id is placed nearest the end).
+        return schedule_backward(dag, self.machine, priority,
+                                 on_schedule=adjust)

@@ -1,0 +1,72 @@
+"""Warren [16]: the IBM RISC System/6000 scheduler.
+
+Table 2 row: ``n**2`` forward construction; forward scheduling;
+winnowing order:
+
+1. (v) earliest (execution) time,
+2. alternate type -- balance the superscalar's instruction classes,
+3. (b) max total delay to a leaf,
+4. register liveness,
+5. (v) number of uncovered children -- Warren's exact measure of
+   candidate-list growth,
+6. original order.
+
+Warren's algorithm "is designed to be performed both prepass as well
+as postpass"; the ``prepass`` flag keeps or drops the liveness term
+accordingly (after register allocation, pressure no longer matters).
+"""
+
+from __future__ import annotations
+
+from repro.dag.builders.base import DagBuilder
+from repro.dag.builders.compare_all import CompareAllBuilder
+from repro.dag.graph import Dag
+from repro.heuristics.passes import backward_pass
+from repro.heuristics.register_usage import annotate_register_usage
+from repro.scheduling.algorithms.base import PublishedAlgorithm
+from repro.scheduling.list_scheduler import ScheduleResult, schedule_forward
+from repro.scheduling.priority import winnowing
+
+
+class Warren(PublishedAlgorithm):
+    """Warren's RS/6000 scheduler."""
+
+    name = "Warren"
+    reference = "[16]"
+    dag_pass = "f"
+    dag_algorithm = "n**2"
+    sched_pass = "f"
+    priority_fn = False
+    ranking = (
+        ("1v", "earliest time"),
+        ("2", "alternate type"),
+        ("3b", "max delay to leaf"),
+        ("4", "register liveness"),
+        ("5v", "number uncovered"),
+        ("6", "original order"),
+    )
+
+    def __init__(self, machine, prepass: bool = True) -> None:
+        super().__init__(machine)
+        self.prepass = prepass
+
+    def make_builder(self) -> DagBuilder:
+        return CompareAllBuilder(self.machine)
+
+    def prepare(self, dag: Dag) -> None:
+        backward_pass(dag)
+        if self.prepass:
+            annotate_register_usage(dag)
+
+    def run(self, dag: Dag) -> ScheduleResult:
+        terms: list = [
+            ("earliest_execution_time", "min"),
+            "alternate_type",
+            "max_delay_to_leaf",
+        ]
+        if self.prepass:
+            # Lower liveness (more kills than births) shrinks pressure.
+            terms.append(("liveness", "min"))
+        terms.append("n_uncovered_children")
+        # Original order is the scheduler's built-in tie break.
+        return schedule_forward(dag, self.machine, winnowing(*terms))

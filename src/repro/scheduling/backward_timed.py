@@ -1,0 +1,100 @@
+"""Clock-driven backward list scheduling.
+
+The plain backward pass (:func:`~repro.scheduling.list_scheduler.
+schedule_backward`) is priority-only: it fixes an order and lets the
+pipeline sort out the stalls, which on machines with long latencies or
+non-pipelined units can regress below the original order (measured in
+``bench_table2_algorithms.py``).
+
+This extension runs the backward pass against a *reverse clock*,
+mirroring the forward scheduler exactly: reverse time ``rt`` counts
+cycles back from the block's end; placing a node at ``rt`` makes each
+parent ready no earlier than ``rt + arc delay`` (the parent must issue
+that much before its child).  Candidates whose reverse-ready time lies
+in the future wait, and the clock advances over reverse stalls --
+giving the backward scheduler the same stall-awareness Table 1's
+"earliest execution time" gives the forward one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dag.graph import Dag, DagNode
+from repro.errors import SchedulingError
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import (
+    ScheduleResult,
+    SchedulerState,
+    _find_terminator,
+)
+from repro.scheduling.timing import simulate
+
+
+def schedule_backward_timed(dag: Dag, machine: MachineModel,
+                            priority: Callable[[DagNode, Any], Any],
+                            pin_terminator: bool = True,
+                            on_schedule: Callable[[DagNode, SchedulerState],
+                                                  None] | None = None
+                            ) -> ScheduleResult:
+    """Backward list scheduling with a reverse clock.
+
+    Args:
+        dag: the block's DAG.
+        machine: timing model (scalar reverse clock; function-unit
+            hazards are still resolved by the final simulation).
+        priority: ``(node, state) -> comparable``; largest wins among
+            reverse-ready candidates, ties broken by latest original
+            position (preserving original order).
+        pin_terminator: place the block-ending transfer at the end.
+        on_schedule: hook per selection (e.g. Tiemann's birthing bias).
+
+    Raises:
+        SchedulingError: on a cyclic DAG.
+    """
+    dag.reset_schedule_state()
+    state = SchedulerState(machine)
+    real = dag.real_nodes()
+    terminator = _find_terminator(dag) if pin_terminator else None
+    # Reverse-ready time per node id: min cycles from block end at
+    # which the node may issue (0 = the last cycle).
+    reverse_ready: dict[int, int] = {n.id: 0 for n in real}
+    candidates = [n for n in real if n.unscheduled_children == 0]
+    reversed_order: list[DagNode] = []
+    rt = 0  # reverse clock
+
+    while len(reversed_order) < len(real):
+        if not candidates:
+            raise SchedulingError("no candidates but schedule incomplete "
+                                  "(cyclic DAG?)")
+        if terminator is not None and not reversed_order \
+                and terminator in candidates:
+            best = terminator
+        else:
+            ready = [c for c in candidates if reverse_ready[c.id] <= rt]
+            if not ready:
+                rt = min(reverse_ready[c.id] for c in candidates)
+                continue
+            best = max(ready, key=lambda c: (priority(c, state), c.id))
+        candidates.remove(best)
+        best.scheduled = True
+        reversed_order.append(best)
+        for arc in best.in_arcs:
+            parent = arc.parent
+            if parent.is_dummy:
+                continue
+            parent.unscheduled_children -= 1
+            need = rt + arc.delay
+            if need > reverse_ready[parent.id]:
+                reverse_ready[parent.id] = need
+            if parent.unscheduled_children == 0:
+                candidates.append(parent)
+        state.last_scheduled = best
+        state.n_scheduled += 1
+        state.current_time = rt
+        if on_schedule is not None:
+            on_schedule(best, state)
+        rt += 1
+
+    order = list(reversed(reversed_order))
+    return ScheduleResult(order, simulate(order, machine))

@@ -1,0 +1,139 @@
+"""Optimal basic-block scheduling by branch and bound.
+
+The paper's first future-work item: "determining if an optimal
+branch-and-bound scheduler would benefit performance for small basic
+blocks."  Finding the optimal order is NP-complete [6], so this
+scheduler is capped to small blocks and prunes with:
+
+* an **incumbent** from a heuristic schedule (max delay to leaf);
+* an admissible **lower bound**: an unscheduled node issuing at cycle
+  ``t`` forces a makespan of at least ``t + max_delay_to_leaf + 1``
+  (its longest downstream delay chain plus one cycle for the final
+  leaf's execution).
+
+The search explores selection orders for an in-order, scalar issue
+model (the issue cycle of each selection is forced, so orders are the
+whole search space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.graph import Dag, DagNode
+from repro.errors import SchedulingError
+from repro.heuristics.passes import backward_pass
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import ScheduleResult, schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate
+
+
+@dataclass
+class _SearchStats:
+    nodes_expanded: int = 0
+    pruned_by_bound: int = 0
+
+
+def branch_and_bound_schedule(dag: Dag, machine: MachineModel,
+                              max_block_size: int = 16,
+                              max_expansions: int = 200_000
+                              ) -> tuple[ScheduleResult, bool]:
+    """Find a makespan-optimal schedule for a small block.
+
+    Args:
+        dag: the block's DAG; the backward pass is run if needed.
+        machine: timing model (scalar in-order issue assumed).
+        max_block_size: refuse blocks larger than this.
+        max_expansions: search-effort cap; when hit, the best schedule
+            found so far is returned with ``proved_optimal=False``.
+
+    Returns:
+        ``(result, proved_optimal)``.
+
+    Raises:
+        SchedulingError: if the block exceeds ``max_block_size``.
+    """
+    real = dag.real_nodes()
+    n = len(real)
+    if n > max_block_size:
+        raise SchedulingError(
+            f"branch and bound capped at {max_block_size} instructions; "
+            f"block has {n}")
+    if all(node.max_delay_to_leaf == 0 for node in real):
+        backward_pass(dag)
+
+    # Incumbent from the standard critical-path heuristic.
+    incumbent = schedule_forward(
+        dag, machine, winnowing("max_delay_to_leaf", "max_delay_to_child"))
+    best_order = list(incumbent.order)
+    best_makespan = incumbent.makespan
+
+    id_to_pos = {node.id: i for i, node in enumerate(real)}
+    out_arcs = [[(id_to_pos[a.child.id], a.delay)
+                 for a in node.out_arcs if not a.child.is_dummy]
+                for node in real]
+    n_parents = [sum(1 for a in node.in_arcs if not a.parent.is_dummy)
+                 for node in real]
+    tails = [node.max_delay_to_leaf + 1 for node in real]
+    exec_times = [node.execution_time for node in real]
+    units = [machine.units.unit_for(node.instr.opcode.iclass)
+             if node.instr is not None else None for node in real]
+
+    stats = _SearchStats()
+    order_stack: list[int] = []
+
+    def dfs(ready: list[int], pending_parents: list[int],
+            eet: list[int], cycle: int, finish_max: int,
+            unit_free: dict[str, int]) -> None:
+        nonlocal best_order, best_makespan
+        if stats.nodes_expanded >= max_expansions:
+            return
+        stats.nodes_expanded += 1
+        if not ready:
+            if finish_max < best_makespan:
+                best_makespan = finish_max
+                best_order = [real[i] for i in order_stack]
+            return
+        # Explore most promising first: longest tail.
+        for pick in sorted(ready, key=lambda i: -tails[i]):
+            unit = units[pick]
+            start = max(cycle, eet[pick])
+            if unit is not None and not unit.pipelined:
+                start = max(start, unit_free.get(unit.name, 0))
+            if start + tails[pick] >= best_makespan:
+                stats.pruned_by_bound += 1
+                continue
+            finish = start + exec_times[pick]
+            new_finish_max = max(finish_max, finish)
+            new_ready = [r for r in ready if r != pick]
+            changed_eet: list[tuple[int, int]] = []
+            appended = 0
+            for child, delay in out_arcs[pick]:
+                pending_parents[child] -= 1
+                t = start + delay
+                if t > eet[child]:
+                    changed_eet.append((child, eet[child]))
+                    eet[child] = t
+                if pending_parents[child] == 0:
+                    new_ready.append(child)
+                    appended += 1
+            new_unit_free = unit_free
+            if unit is not None and not unit.pipelined:
+                new_unit_free = dict(unit_free)
+                new_unit_free[unit.name] = finish
+            order_stack.append(pick)
+            dfs(new_ready, pending_parents, eet, start + 1,
+                new_finish_max, new_unit_free)
+            order_stack.pop()
+            for child, old in changed_eet:
+                eet[child] = old
+            for child, _ in out_arcs[pick]:
+                pending_parents[child] += 1
+
+    initial_ready = [i for i in range(n) if n_parents[i] == 0]
+    dfs(initial_ready, list(n_parents), [0] * n, 0, 0, {})
+
+    timing = simulate(best_order, machine)
+    proved = stats.nodes_expanded < max_expansions
+    return ScheduleResult(best_order, timing), proved

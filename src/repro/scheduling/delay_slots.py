@@ -1,0 +1,75 @@
+"""Branch delay-slot filling.
+
+Paper section 1: control hazards "can also be handled in a special
+manner, possibly by a delay slot scheduler."  On the SPARC-like target
+every taken control transfer executes one following instruction; the
+compiler conventionally parks a ``nop`` there and a delay-slot
+scheduler tries to replace it with useful work hoisted from above the
+branch.
+
+:func:`fill_delay_slot` implements the classic from-above filler: the
+candidate must not feed the branch (directly or transitively), must
+not define anything the branch reads, and moving it below the branch
+must not violate any of its own consumers -- which is guaranteed here
+because the slot instruction still executes before the branch target.
+"""
+
+from __future__ import annotations
+
+from repro.dag.bitmap import compute_reachability
+from repro.dag.graph import Dag, DagNode
+
+
+def fill_delay_slot(order: list[DagNode], dag: Dag,
+                    slot_nop: DagNode | None = None
+                    ) -> tuple[list[DagNode], DagNode | None]:
+    """Move a safe instruction into the terminator's delay slot.
+
+    Args:
+        order: a scheduled order whose last element is the block's
+            delayed control transfer.
+        dag: the block's DAG (used for the safety analysis).
+        slot_nop: the current slot instruction (a nop from the
+            following block's head) if the caller tracks one; purely
+            informational.
+
+    Returns:
+        ``(new_order, filler)`` where ``filler`` is the instruction
+        moved after the branch (now in the slot), or None when nothing
+        was safe to move.  ``new_order`` lists the filler last, after
+        the branch.
+    """
+    if not order:
+        return order, None
+    branch = order[-1]
+    if branch.instr is None or not branch.instr.opcode.delayed:
+        return order, None
+    if branch.instr.annulled:
+        # An annulling branch executes its slot only when taken;
+        # hoisting an instruction into it would delete that
+        # instruction from the fall-through path.
+        return order, None
+    rmap = compute_reachability(dag)
+    # Walk candidates from nearest-to-branch upward: the latest legal
+    # instruction keeps the rest of the schedule untouched.
+    for i in range(len(order) - 2, -1, -1):
+        candidate = order[i]
+        if candidate.instr is None or candidate.instr.opcode.ends_block:
+            continue
+        # Must not be an ancestor of the branch (its result feeds the
+        # branch or something the branch waits on).
+        if rmap.reaches(candidate.id, branch.id):
+            continue
+        # Every consumer of the candidate must tolerate the move: the
+        # slot executes immediately after the branch, i.e. exactly one
+        # position later, so consumers *inside this block* would now
+        # precede their producer -- only candidates with no in-block
+        # children below them in the schedule are safe.  Since the
+        # candidate is not an ancestor of the branch, its children are
+        # all scheduled after it; requiring it to have no real
+        # children at all keeps the move trivially sound.
+        if any(not a.child.is_dummy for a in candidate.out_arcs):
+            continue
+        new_order = order[:i] + order[i + 1:] + [candidate]
+        return new_order, candidate
+    return order, None

@@ -1,0 +1,84 @@
+"""Postpass delay-slot fixup.
+
+"Some algorithms (e.g., Krishnamurthy) use a postpass 'fixup' to try
+to fill more operation delay slots than are filled by the heuristic
+scheduling pass." (paper section 5)
+
+The fixup simulates the schedule, finds issue stalls, and tries to
+hoist a later, already-ready instruction into each stall; it repeats
+until a pass makes no improvement.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import DagNode
+from repro.machine.model import MachineModel
+from repro.scheduling.timing import simulate
+
+
+def _hoist_candidate(order: list[DagNode], position: dict[int, int],
+                     issue_times: tuple[int, ...], stall_pos: int,
+                     stall_cycle: int) -> int | None:
+    """Find the first later instruction legally hoistable to the stall.
+
+    Legal means every parent is placed before the stall position with
+    its arc delay satisfied at the stall cycle.
+    """
+    for j in range(stall_pos + 1, len(order)):
+        node = order[j]
+        legal = True
+        for arc in node.in_arcs:
+            if arc.parent.is_dummy:
+                continue
+            ppos = position.get(arc.parent.id)
+            if ppos is None or ppos >= stall_pos:
+                legal = False
+                break
+            if issue_times[ppos] + arc.delay > stall_cycle:
+                legal = False
+                break
+        if legal:
+            return j
+    return None
+
+
+def delay_slot_fixup(order: list[DagNode], machine: MachineModel,
+                     max_passes: int = 4) -> list[DagNode]:
+    """Krishnamurthy-style postpass: move ready instructions into stalls.
+
+    Args:
+        order: a legal schedule (not mutated).
+        machine: timing model.
+        max_passes: upper bound on improvement sweeps.
+
+    Returns:
+        A schedule whose makespan is less than or equal to the input's.
+    """
+    best = list(order)
+    best_timing = simulate(best, machine)
+    for _ in range(max_passes):
+        timing = simulate(best, machine)
+        position = {n.id: i for i, n in enumerate(best)}
+        improved = False
+        expected = 0
+        for i, node in enumerate(best):
+            issue = timing.issue_times[i]
+            if issue > expected:
+                # Stall before position i: try to fill cycle `expected`.
+                j = _hoist_candidate(best, position, timing.issue_times,
+                                     i, expected)
+                if j is not None:
+                    moved = best.pop(j)
+                    best.insert(i, moved)
+                    new_timing = simulate(best, machine)
+                    if new_timing.makespan <= best_timing.makespan:
+                        best_timing = new_timing
+                        improved = True
+                        break
+                    # Revert a non-improving move.
+                    best.pop(i)
+                    best.insert(j, moved)
+            expected = issue + 1
+        if not improved:
+            break
+    return best

@@ -1,0 +1,124 @@
+"""Cross-block scheduling information: inherited latencies.
+
+Paper section 2: "If global information (i.e., across basic blocks) is
+considered, there may be pseudo-nodes and arcs to represent operation
+latencies inherited from immediately preceding blocks.  This extra
+information can be used to avoid dependency stalls and structural
+hazards that a purely local algorithm would ignore."  Section 7 lists
+measuring this benefit as future work.
+
+:func:`residual_latencies` extracts, from a scheduled predecessor
+block, the resources whose producing operations are still in flight
+when the block falls through; :func:`apply_inherited` seeds the
+successor DAG with pseudo-arcs from a dummy entry node so that both
+the static heuristics and the dynamic earliest-execution-time see the
+inherited delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dep import DepType
+from repro.dag.graph import Dag, DagNode
+from repro.isa.resources import Resource, defs_and_uses
+from repro.machine.model import MachineModel
+from repro.scheduling.list_scheduler import ScheduleResult
+
+
+@dataclass(frozen=True)
+class ResidualLatency:
+    """A value still being produced when control leaves the block.
+
+    Attributes:
+        resource: the resource being defined.
+        remaining: cycles (measured from block exit) until the value
+            is available.
+    """
+
+    resource: Resource
+    remaining: int
+
+
+def residual_latencies(result: ScheduleResult,
+                       machine: MachineModel) -> list[ResidualLatency]:
+    """Latencies outliving a scheduled block.
+
+    An instruction issued at cycle ``t`` with operation latency ``L``
+    delivers its results at ``t + L``; if the block's last issue is at
+    cycle ``T``, anything with ``t + L > T + 1`` is still in flight
+    ``(t + L) - (T + 1)`` cycles into the successor.
+    """
+    if not result.order:
+        return []
+    exit_cycle = result.timing.issue_times[-1] + 1
+    residuals: dict[Resource, int] = {}
+    for node, issue in zip(result.order, result.timing.issue_times):
+        if node.instr is None:
+            continue
+        remaining = issue + machine.execution_time(node.instr) - exit_cycle
+        if remaining <= 0:
+            continue
+        defs, _ = defs_and_uses(node.instr)
+        for resource in defs:
+            # Later redefinitions overwrite earlier residuals.
+            residuals[resource] = remaining
+    return [ResidualLatency(res, rem)
+            for res, rem in sorted(residuals.items(),
+                                   key=lambda kv: kv[0].name)]
+
+
+def apply_inherited(dag: Dag, inherited: list[ResidualLatency]) -> DagNode:
+    """Attach a pseudo entry node carrying inherited latencies.
+
+    For every first use (or definition) of an inherited resource in
+    the block, an arc from the pseudo node with the residual delay is
+    added.  The pseudo node is a dummy: schedulers ignore it, but the
+    forward pass and the earliest-execution-time machinery see the
+    delays, so the scheduler will cover the inherited stall with
+    independent work instead of issuing a dependent instruction into
+    it.
+
+    Returns:
+        The pseudo entry node (also recorded as ``dag.dummy_root``).
+    """
+    pseudo = dag.add_node(None, execution_time=0)
+    if dag.dummy_root is None:
+        dag.dummy_root = pseudo
+    if not inherited:
+        return pseudo
+    remaining = {r.resource: r.remaining for r in inherited}
+    pending = set(remaining)
+    for node in dag.real_nodes():
+        if not pending:
+            break
+        if node.instr is None:
+            continue
+        defs, uses = defs_and_uses(node.instr)
+        for resource in uses:
+            if resource in pending:
+                dag.add_arc(pseudo, node, DepType.RAW,
+                            remaining[resource], resource)
+                pending.discard(resource)
+        for resource in defs:
+            if resource in pending:
+                # A redefinition must also wait (the in-flight write
+                # lands later: WAW with the residual delay).
+                dag.add_arc(pseudo, node, DepType.WAW,
+                            remaining[resource], resource)
+                pending.discard(resource)
+    return pseudo
+
+
+def seed_schedule_state(dag: Dag) -> None:
+    """Initialize earliest execution times from the pseudo entry node.
+
+    Call after ``dag.reset_schedule_state()`` (the forward scheduler
+    does this itself when it sees a dummy root with delayed arcs).
+    """
+    pseudo = dag.dummy_root
+    if pseudo is None:
+        return
+    for arc in pseudo.out_arcs:
+        if arc.delay > arc.child.earliest_exec_time:
+            arc.child.earliest_exec_time = arc.delay

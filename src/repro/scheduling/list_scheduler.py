@@ -1,0 +1,281 @@
+"""Generic list scheduling, forward and backward.
+
+"List scheduling algorithms examine a candidate list of ready-to-
+execute instructions at each time step and apply one or more
+heuristics to determine the 'best' instruction to issue." (section 1)
+
+The forward scheduler maintains a current time and the dynamic
+earliest-execution-time values; "nodes are admitted to the candidate
+list when all parents are scheduled and the earliest execution time is
+less than or equal to the current time" (section 3).  The backward
+scheduler (Tiemann/Schlansker style) selects from nodes whose children
+are all scheduled, building the instruction sequence from the end.
+
+Both pin the basic block's terminating control transfer to its
+position (first pick of the backward pass, last pick of the forward
+pass) so the branch stays the final instruction of the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dag.graph import Dag, DagNode
+from repro.errors import SchedulingError
+from repro.machine.model import MachineModel
+from repro.scheduling.timing import ScheduleTiming, simulate
+
+
+@dataclass
+class SchedulerState:
+    """Scheduling-time state the dynamic (``v``) heuristics read.
+
+    Attributes:
+        machine: the timing model.
+        current_time: the scheduler's clock (forward pass only).
+        last_scheduled: most recently selected node.
+        unit_free: next free cycle of each non-pipelined unit.
+        n_scheduled: how many nodes are placed so far.
+    """
+
+    machine: MachineModel
+    current_time: int = 0
+    last_scheduled: DagNode | None = None
+    unit_free: dict[str, int] = field(default_factory=dict)
+    n_scheduled: int = 0
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduling decision, for heuristic forensics.
+
+    Attributes:
+        time: the scheduler clock at the pick.
+        chosen: node id selected.
+        candidates: node ids that were ready (chosen included).
+        priorities: priority value per candidate id at pick time.
+    """
+
+    time: int
+    chosen: int
+    candidates: tuple[int, ...]
+    priorities: dict[int, Any]
+
+
+@dataclass
+class ScheduleResult:
+    """A finished schedule with its timing.
+
+    Attributes:
+        order: the scheduled instruction order (real nodes only).
+        timing: simulated pipeline timing of that order.
+        original_timing: timing of the block's original order, for
+            speedup reporting.
+    """
+
+    order: list[DagNode]
+    timing: ScheduleTiming
+    original_timing: ScheduleTiming | None = None
+
+    @property
+    def makespan(self) -> int:
+        """Completion cycle of the schedule."""
+        return self.timing.makespan
+
+
+PriorityFn = Callable[[DagNode, Any], Any]
+
+
+def _find_terminator(dag: Dag) -> DagNode | None:
+    """The block-terminating control node (always last in block order)."""
+    real = dag.real_nodes()
+    if real and real[-1].instr is not None \
+            and real[-1].instr.opcode.ends_block:
+        return real[-1]
+    return None
+
+
+def _ready_time(node: DagNode, state: SchedulerState,
+                consider_units: bool) -> int:
+    """Earliest cycle the node could issue at, deps and units included."""
+    ready = node.earliest_exec_time
+    if consider_units and node.instr is not None:
+        unit = state.machine.units.unit_for(node.instr.opcode.iclass)
+        if not unit.pipelined:
+            free = state.unit_free.get(unit.name, 0)
+            if free > ready:
+                ready = free
+    return ready
+
+
+def schedule_forward(dag: Dag, machine: MachineModel,
+                     priority: PriorityFn,
+                     pin_terminator: bool = True,
+                     consider_units: bool = True,
+                     on_schedule: Callable[[DagNode, SchedulerState], None]
+                     | None = None,
+                     decisions: list["Decision"] | None = None
+                     ) -> ScheduleResult:
+    """Forward list scheduling.
+
+    Args:
+        dag: the block's dependence DAG (dummy nodes allowed; ignored).
+        machine: timing model (drives the clock and unit busy times).
+        priority: ``(node, state) -> comparable``; the LARGEST value
+            wins, ties broken by original instruction order.
+        pin_terminator: keep the block-ending branch/call last.
+        consider_units: model non-pipelined function-unit hazards.
+        on_schedule: optional hook called after each selection.
+        decisions: when a list is supplied, a :class:`Decision` record
+            is appended for every pick (heuristic forensics; see
+            :mod:`repro.analysis.decisions`).
+
+    Raises:
+        SchedulingError: if the DAG cannot be fully scheduled (cycle).
+    """
+    dag.reset_schedule_state()
+    # Inherited-latency pseudo-arcs from a dummy root seed the initial
+    # earliest execution times (see repro.scheduling.interblock).
+    if dag.dummy_root is not None:
+        for arc in dag.dummy_root.out_arcs:
+            if arc.delay > arc.child.earliest_exec_time:
+                arc.child.earliest_exec_time = arc.delay
+    state = SchedulerState(machine)
+    real = dag.real_nodes()
+    terminator = _find_terminator(dag) if pin_terminator else None
+    candidates: list[DagNode] = [n for n in real
+                                 if n.unscheduled_parents == 0]
+    order: list[DagNode] = []
+    width = machine.issue_width
+    slots_left = width
+    # Per-cycle unit occupancy (superscalar pairing constraint).
+    cycle_units: dict[str, int] = {}
+    n_total = len(real)
+
+    def slot_blocked(c: DagNode) -> bool:
+        if not consider_units or c.instr is None:
+            return False
+        unit = machine.units.unit_for(c.instr.opcode.iclass)
+        return cycle_units.get(unit.name, 0) >= unit.copies
+
+    while len(order) < n_total:
+        if not candidates:
+            raise SchedulingError("no candidates but schedule incomplete "
+                                  "(cyclic DAG?)")
+        pool = candidates
+        if terminator is not None and len(order) < n_total - 1 \
+                and len(pool) > 1:
+            pool = [c for c in pool if c is not terminator]
+        ready = [c for c in pool
+                 if _ready_time(c, state, consider_units)
+                 <= state.current_time and not slot_blocked(c)]
+        if not ready or slots_left == 0:
+            # Stall: advance the clock to the earliest availability.
+            next_time = min(
+                max(_ready_time(c, state, consider_units),
+                    state.current_time + 1 if slot_blocked(c) else 0)
+                for c in pool)
+            state.current_time = max(next_time, state.current_time + 1)
+            slots_left = width
+            cycle_units = {}
+            continue
+        best = max(ready, key=lambda c: (priority(c, state), -c.id))
+        if decisions is not None:
+            decisions.append(Decision(
+                time=state.current_time,
+                chosen=best.id,
+                candidates=tuple(c.id for c in ready),
+                priorities={c.id: priority(c, state) for c in ready}))
+        candidates.remove(best)
+        best.scheduled = True
+        best.issue_time = state.current_time
+        order.append(best)
+        slots_left -= 1
+        if consider_units and best.instr is not None:
+            unit = machine.units.unit_for(best.instr.opcode.iclass)
+            cycle_units[unit.name] = cycle_units.get(unit.name, 0) + 1
+            if not unit.pipelined:
+                state.unit_free[unit.name] = (state.current_time
+                                              + best.execution_time)
+        for arc in best.out_arcs:
+            child = arc.child
+            if child.is_dummy:
+                continue
+            child.unscheduled_parents -= 1
+            t = state.current_time + arc.delay
+            if t > child.earliest_exec_time:
+                child.earliest_exec_time = t
+            if child.unscheduled_parents == 0:
+                candidates.append(child)
+        state.last_scheduled = best
+        state.n_scheduled += 1
+        if on_schedule is not None:
+            on_schedule(best, state)
+        if width == 1:
+            state.current_time += 1
+            slots_left = 1
+            cycle_units = {}
+
+    timing = simulate(order, machine, consider_units)
+    return ScheduleResult(order, timing)
+
+
+def schedule_backward(dag: Dag, machine: MachineModel,
+                      priority: PriorityFn,
+                      pin_terminator: bool = True,
+                      on_schedule: Callable[[DagNode, SchedulerState], None]
+                      | None = None,
+                      decisions: list["Decision"] | None = None
+                      ) -> ScheduleResult:
+    """Backward list scheduling (Tiemann / Schlansker style).
+
+    Selects from nodes whose children are all placed, building the
+    sequence from the last instruction toward the first.  The backward
+    pass is priority-driven (no clock): timing of the resulting order
+    is evaluated by the same simulator as the forward pass.
+    """
+    dag.reset_schedule_state()
+    state = SchedulerState(machine)
+    real = dag.real_nodes()
+    terminator = _find_terminator(dag) if pin_terminator else None
+    candidates: list[DagNode] = [n for n in real
+                                 if n.unscheduled_children == 0]
+    reversed_order: list[DagNode] = []
+    n_total = len(real)
+
+    while len(reversed_order) < n_total:
+        if not candidates:
+            raise SchedulingError("no candidates but schedule incomplete "
+                                  "(cyclic DAG?)")
+        if terminator is not None and not reversed_order \
+                and terminator in candidates:
+            best = terminator
+        else:
+            best = max(candidates,
+                       key=lambda c: (priority(c, state), c.id))
+        if decisions is not None:
+            decisions.append(Decision(
+                time=state.n_scheduled,
+                chosen=best.id,
+                candidates=tuple(c.id for c in candidates),
+                priorities={c.id: priority(c, state)
+                            for c in candidates}))
+        candidates.remove(best)
+        best.scheduled = True
+        reversed_order.append(best)
+        for arc in best.in_arcs:
+            parent = arc.parent
+            if parent.is_dummy:
+                continue
+            parent.unscheduled_children -= 1
+            if parent.unscheduled_children == 0:
+                candidates.append(parent)
+        state.last_scheduled = best
+        state.n_scheduled += 1
+        if on_schedule is not None:
+            on_schedule(best, state)
+
+    order = list(reversed(reversed_order))
+    timing = simulate(order, machine)
+    return ScheduleResult(order, timing)

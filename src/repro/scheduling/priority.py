@@ -1,0 +1,117 @@
+"""Priority-function combinators.
+
+"Some algorithms combine the heuristic information into a single
+priority value per node, while others apply heuristics in a given
+order in a winnowing-like process." (paper section 5)
+
+* :func:`winnowing` builds a lexicographic priority: the first
+  heuristic decides, later ones only break ties -- equivalent to
+  repeatedly winnowing the candidate list.
+* :func:`weighted` builds a single scalar priority value.
+
+Both return ``priority(node, state) -> comparable``; the schedulers
+select the candidate with the *largest* priority, breaking remaining
+ties by original instruction order.  A term may be a catalog key
+(string) or any ``(node, state) -> number`` callable; ``minimize=``
+terms are negated so that smaller raw values rank higher.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dag.graph import DagNode
+from repro.heuristics.catalog import heuristic_by_key
+
+Term = Callable[[DagNode, Any], float]
+
+
+def by_key(key: "str | Term", minimize: bool = False) -> Term:
+    """Resolve a catalog key (or pass through a callable) as a term.
+
+    Args:
+        key: a Table 1 catalog key like ``"max_delay_to_leaf"``, or a
+            ``(node, state) -> number`` callable.
+        minimize: negate the value so smaller raw values win.
+    """
+    if callable(key):
+        fn = key
+    else:
+        try:
+            heuristic = heuristic_by_key(key)
+        except KeyError:
+            heuristic = None
+        if heuristic is not None and heuristic.dynamic_fn is not None:
+            fn = heuristic.dynamic_fn
+        else:
+            # Catalog static attribute, or a raw DagNode slot (e.g.
+            # "max_delay_to_child", the phi=max variant section 6 uses).
+            attr = heuristic.static_attr if heuristic is not None else key
+            assert attr is not None
+            if attr not in DagNode.__slots__:
+                raise KeyError(f"unknown heuristic key {key!r}")
+
+            def fn(node: DagNode, state: Any, _attr: str = attr) -> float:
+                return getattr(node, _attr)
+
+    if not minimize:
+        return fn
+
+    def negated(node: DagNode, state: Any) -> float:
+        return -fn(node, state)
+
+    return negated
+
+
+def winnowing(*terms: "str | Term | tuple") -> Callable[[DagNode, Any], tuple]:
+    """Lexicographic (winnowing) priority over the given terms.
+
+    Each term is a key/callable, or a ``(key, "min")`` tuple for
+    inverse heuristics.
+
+    Example::
+
+        priority = winnowing("max_delay_to_leaf",
+                             ("earliest_execution_time", "min"),
+                             "n_children")
+    """
+    resolved: list[Term] = []
+    for term in terms:
+        if isinstance(term, tuple):
+            key, direction = term
+            resolved.append(by_key(key, minimize=(direction == "min")))
+        else:
+            resolved.append(by_key(term))
+
+    def priority(node: DagNode, state: Any) -> tuple:
+        return tuple(fn(node, state) for fn in resolved)
+
+    return priority
+
+
+def weighted(*terms: "tuple") -> Callable[[DagNode, Any], float]:
+    """Single-scalar (priority-function) combination of weighted terms.
+
+    Each term is ``(key_or_callable, weight)`` or
+    ``(key_or_callable, weight, "min")``.
+
+    Example::
+
+        priority = weighted(("earliest_execution_time", 100.0, "min"),
+                            ("max_path_to_leaf", 10.0),
+                            ("execution_time", 1.0))
+    """
+    resolved: list[tuple[Term, float]] = []
+    for term in terms:
+        if len(term) == 3:
+            key, weight, direction = term
+            resolved.append((by_key(key, minimize=(direction == "min")),
+                             weight))
+        else:
+            key, weight = term
+            resolved.append((by_key(key), weight))
+
+    def priority(node: DagNode, state: Any) -> float:
+        return sum(weight * fn(node, state) for fn, weight in resolved)
+
+    return priority

@@ -1,0 +1,91 @@
+"""Resource-reservation-table scheduling.
+
+"A more refined form of scheduling uses an explicit resource
+reservation table ... This latter approach always inserts the 'highest
+priority' instruction into the earliest empty slots of the table"
+(paper section 1).  Each instruction is an aggregate block of busy
+cycles (:class:`~repro.machine.reservation.UsagePattern`); scheduling
+pattern-matches those blocks into the partially filled table while
+honoring operand dependences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.dag.graph import Dag, DagNode
+from repro.errors import SchedulingError
+from repro.machine.model import MachineModel
+from repro.machine.reservation import ReservationTable
+from repro.scheduling.list_scheduler import ScheduleResult, SchedulerState
+from repro.scheduling.timing import ScheduleTiming
+
+
+def schedule_with_reservation(dag: Dag, machine: MachineModel,
+                              priority: Callable[[DagNode, Any], Any],
+                              pin_terminator: bool = True) -> ScheduleResult:
+    """Greedy reservation-table scheduling.
+
+    Repeatedly takes the highest-priority candidate (all parents
+    placed) and places its usage pattern at the earliest cycle that
+    satisfies both its dependence delays and the reservation table.
+
+    The returned order is by placed cycle; its timing comes from the
+    placements themselves (not re-simulated), since the table already
+    encodes the structural hazards.
+    """
+    dag.reset_schedule_state()
+    state = SchedulerState(machine)
+    table = ReservationTable(machine.units)
+    real = dag.real_nodes()
+    terminator = (real[-1] if pin_terminator and real
+                  and real[-1].instr is not None
+                  and real[-1].instr.opcode.ends_block else None)
+    candidates = [n for n in real if n.unscheduled_parents == 0]
+    placed: list[tuple[int, DagNode]] = []
+    n_total = len(real)
+
+    while len(placed) < n_total:
+        if not candidates:
+            raise SchedulingError("no candidates but schedule incomplete")
+        pool = candidates
+        if terminator is not None and len(placed) < n_total - 1 \
+                and len(pool) > 1:
+            pool = [c for c in pool if c is not terminator]
+        best = max(pool, key=lambda c: (priority(c, state), -c.id))
+        candidates.remove(best)
+        pattern = machine.usage_pattern(best.instr) if best.instr else None
+        start = best.earliest_exec_time
+        if best is terminator and placed:
+            # The block terminator must issue strictly after everything
+            # already placed.
+            start = max(start, 1 + max(t for t, _ in placed))
+        if pattern is not None:
+            start = table.earliest_fit(pattern, start)
+            table.place(pattern, start)
+        best.scheduled = True
+        best.issue_time = start
+        placed.append((start, best))
+        state.last_scheduled = best
+        state.current_time = start
+        for arc in best.out_arcs:
+            child = arc.child
+            if child.is_dummy:
+                continue
+            child.unscheduled_parents -= 1
+            t = start + arc.delay
+            if t > child.earliest_exec_time:
+                child.earliest_exec_time = t
+            if child.unscheduled_parents == 0:
+                candidates.append(child)
+
+    placed.sort(key=lambda pair: (pair[0], pair[1].issue_time, pair[1].id))
+    order = [node for _, node in placed]
+    issue_times = tuple(t for t, _ in placed)
+    makespan = max((t + node.execution_time for t, node in placed),
+                   default=0)
+    width = machine.issue_width
+    minimal = (n_total + width - 1) // width
+    stall = max(0, (issue_times[-1] + 1) - minimal) if issue_times else 0
+    timing = ScheduleTiming(issue_times, makespan, stall)
+    return ScheduleResult(order, timing)

@@ -1,0 +1,115 @@
+"""Pipeline timing: evaluate an instruction order on a machine.
+
+The simulator models in-order issue: each instruction issues at the
+earliest cycle that satisfies (a) its dependence-arc delays from
+already-issued parents, (b) the busy time of a non-pipelined function
+unit, (c) the per-cycle capacity of its (pipelined) function unit --
+a superscalar can only pair instructions whose units have free copies,
+which is what the alternate-type heuristic exploits -- and (d) the
+machine's issue width.  ``makespan`` (completion of the last finishing
+instruction) is the figure of merit schedules are compared on;
+``stall_cycles`` counts issue cycles lost beyond the width-limited
+minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.dag.graph import Dag, DagNode
+from repro.machine.model import MachineModel
+
+
+@dataclass(frozen=True)
+class ScheduleTiming:
+    """Timing of one schedule.
+
+    Attributes:
+        issue_times: issue cycle per node, in schedule order.
+        makespan: completion cycle of the last finishing instruction.
+        stall_cycles: issue cycles beyond the width-limited minimum
+            (0 for a perfectly packed schedule).
+    """
+
+    issue_times: tuple[int, ...]
+    makespan: int
+    stall_cycles: int
+
+
+def verify_order(order: list[DagNode], dag: Dag) -> None:
+    """Check that ``order`` is a legal (topological, complete) schedule.
+
+    Raises:
+        SchedulingError: if any real node is missing/duplicated or any
+            arc points from a later to an earlier position.
+    """
+    real_ids = {n.id for n in dag.real_nodes()}
+    seen_ids = [n.id for n in order]
+    if sorted(seen_ids) != sorted(real_ids):
+        raise SchedulingError(
+            f"schedule covers {len(seen_ids)} nodes, block has "
+            f"{len(real_ids)}")
+    position = {nid: i for i, nid in enumerate(seen_ids)}
+    for node in order:
+        for arc in node.out_arcs:
+            if arc.child.is_dummy:
+                continue
+            if position[arc.child.id] < position[node.id]:
+                raise SchedulingError(
+                    f"arc {node.id}->{arc.child.id} violated by schedule")
+
+
+def simulate(order: list[DagNode], machine: MachineModel,
+             consider_units: bool = True) -> ScheduleTiming:
+    """Simulate in-order issue of ``order`` and return its timing."""
+    width = machine.issue_width
+    issue_time: dict[int, int] = {}
+    unit_free: dict[str, int] = {}
+    # Per-cycle unit occupancy: unit name -> count issued in `cycle`.
+    cycle_units: dict[str, int] = {}
+    issue_times: list[int] = []
+    cycle = 0
+    slots_left = width
+    makespan = 0
+    for node in order:
+        ready = 0
+        for arc in node.in_arcs:
+            parent_issue = issue_time.get(arc.parent.id)
+            if parent_issue is None and arc.parent.is_dummy:
+                # Pseudo entry nodes (inherited latencies) issue at
+                # cycle 0 by definition.
+                parent_issue = 0
+            if parent_issue is not None:
+                t = parent_issue + arc.delay
+                if t > ready:
+                    ready = t
+        unit = None
+        if consider_units and node.instr is not None:
+            unit = machine.units.unit_for(node.instr.opcode.iclass)
+            if not unit.pipelined:
+                free = unit_free.get(unit.name, 0)
+                if free > ready:
+                    ready = free
+        unit_full = (unit is not None
+                     and cycle_units.get(unit.name, 0) >= unit.copies)
+        if ready > cycle or slots_left == 0 or unit_full:
+            cycle = max(ready, cycle + (1 if slots_left == 0 or unit_full
+                                        else 0))
+            slots_left = width
+            cycle_units = {}
+        issue_time[node.id] = cycle
+        issue_times.append(cycle)
+        finish = cycle + node.execution_time
+        if finish > makespan:
+            makespan = finish
+        if unit is not None:
+            cycle_units[unit.name] = cycle_units.get(unit.name, 0) + 1
+            if not unit.pipelined:
+                unit_free[unit.name] = finish
+        slots_left -= 1
+    n = len(order)
+    minimal_issue_span = (n + width - 1) // width
+    last_issue = issue_times[-1] if issue_times else -1
+    stall = max(0, (last_issue + 1) - minimal_issue_span)
+    return ScheduleTiming(tuple(issue_times), makespan, stall)

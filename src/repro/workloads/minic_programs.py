@@ -1,0 +1,114 @@
+"""Random mini-C programs: compiler-output-shaped workloads.
+
+The synthetic assembly generator (:mod:`repro.workloads.synthetic`)
+matches the paper's Table 3 *statistics*; this module generates
+workloads with the *dataflow shape* of real compiler output instead:
+expression trees become dependence chains, variable reuse creates
+store-to-load forwarding, naive codegen sprays redundant loads, and
+int/double mixing inserts conversion-through-memory sequences.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cfg import partition_blocks
+from repro.cfg.basic_block import BasicBlock
+from repro.minic import compile_to_program
+
+_INT_VARS = ("i", "j", "k", "m", "n")
+_DOUBLE_VARS = ("a", "b", "c", "d", "x", "y")
+_INT_OPS = "+-*&|^"
+_DOUBLE_OPS = "+-*/"
+
+
+@dataclass(frozen=True)
+class MiniCWorkloadSpec:
+    """Shape parameters for a random mini-C program.
+
+    Attributes:
+        n_statements: assignments per program.
+        max_depth: expression-tree depth bound.
+        double_fraction: probability a statement computes in doubles.
+        allow_mixing: permit int subexpressions inside double
+            statements (forces conversion-through-memory codegen).
+        seed: RNG seed.
+    """
+
+    n_statements: int = 6
+    max_depth: int = 3
+    double_fraction: float = 0.5
+    allow_mixing: bool = True
+    seed: int = 1991
+
+
+def _int_expr(rng: random.Random, depth: int) -> str:
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.35:
+            return str(rng.randrange(1, 100))
+        return rng.choice(_INT_VARS)
+    op = rng.choice(_INT_OPS)
+    left = _int_expr(rng, depth - 1)
+    right = _int_expr(rng, depth - 1)
+    if op in "*" and rng.random() < 0.3:
+        # Occasional division/remainder for long-latency chains.
+        op = rng.choice(("/", "%"))
+        right = str(rng.randrange(1, 16))  # avoid interesting-free /0
+    return f"({left} {op} {right})"
+
+
+def _double_expr(rng: random.Random, depth: int, allow_mixing: bool) -> str:
+    if depth == 0 or rng.random() < 0.25:
+        roll = rng.random()
+        if roll < 0.2:
+            return f"{rng.randrange(1, 9)}.{rng.randrange(0, 99):02d}"
+        if allow_mixing and roll < 0.35:
+            return rng.choice(_INT_VARS)
+        return rng.choice(_DOUBLE_VARS)
+    op = rng.choice(_DOUBLE_OPS)
+    left = _double_expr(rng, depth - 1, allow_mixing)
+    right = _double_expr(rng, depth - 1, allow_mixing)
+    return f"({left} {op} {right})"
+
+
+def generate_minic_source(spec: MiniCWorkloadSpec) -> str:
+    """A random mini-C program per ``spec`` (deterministic)."""
+    rng = random.Random(f"minic:{spec.seed}")
+    lines = [f"int {', '.join(_INT_VARS)};",
+             f"double {', '.join(_DOUBLE_VARS)};"]
+    for _ in range(spec.n_statements):
+        if rng.random() < spec.double_fraction:
+            target = rng.choice(_DOUBLE_VARS)
+            expr = _double_expr(rng, spec.max_depth, spec.allow_mixing)
+        else:
+            target = rng.choice(_INT_VARS)
+            expr = _int_expr(rng, spec.max_depth)
+        lines.append(f"{target} = {expr};")
+    return "\n".join(lines)
+
+
+def generate_minic_blocks(spec: MiniCWorkloadSpec) -> list[BasicBlock]:
+    """Compile a random mini-C program and return its basic blocks."""
+    source = generate_minic_source(spec)
+    return partition_blocks(compile_to_program(source, f"minic-{spec.seed}"))
+
+
+def minic_workload(n_programs: int = 20, seed: int = 1991,
+                   **spec_overrides) -> list[BasicBlock]:
+    """A batch of compiled mini-C blocks for benchmarking.
+
+    Args:
+        n_programs: how many independent programs to generate.
+        seed: base seed; program ``k`` uses ``seed + k``.
+        **spec_overrides: forwarded to :class:`MiniCWorkloadSpec`.
+    """
+    blocks: list[BasicBlock] = []
+    for k in range(n_programs):
+        spec = MiniCWorkloadSpec(seed=seed + k, **spec_overrides)
+        for block in generate_minic_blocks(spec):
+            blocks.append(BasicBlock(len(blocks), block.instructions,
+                                     block.label))
+    return blocks

@@ -1,0 +1,187 @@
+"""Structural fingerprints of the paper's nine benchmarks (Table 3).
+
+Each :class:`WorkloadProfile` captures the columns of Table 3 plus two
+behavioural knobs the paper's section 6 discussion motivates:
+
+* ``fp_fraction`` -- FP-heavy scientific codes (linpack/lloops/
+  tomcatv/nasa7/fpppp) vs integer system codes (grep/regex/dfa/cccp);
+* ``mem_at_end`` -- fpppp's "placement of symbolic memory address
+  expressions more toward the end of the large basic block", the
+  mechanism behind the forward/backward table-building asymmetry.
+
+Paper values for reference (Table 3):
+
+===========  ========  =======  ====  ======  =======  =====
+benchmark    #blocks   #insts   max   avg     mem max  mem avg
+===========  ========  =======  ====  ======  =======  =====
+grep         730       1739     34    2.38    5        0.32
+regex        873       2417     52    2.77    9        0.31
+dfa          1623      4760     45    2.93    13       0.67
+cccp         3480      8831     36    2.54    10       0.35
+linpack      390       3391     145   8.69    62       2.58
+lloops       263       3753     124   14.27   40       4.37
+tomcatv      112       1928     326   17.21   68       5.24
+nasa7        756       10654    284   14.09   60       4.23
+fpppp        662       25545    11750 38.59   324      4.76
+===========  ========  =======  ====  ======  =======  =====
+
+The fpppp-1000/2000/4000 rows of Table 3 come from applying
+:func:`repro.cfg.windows.apply_window` to the fpppp profile, exactly
+as the paper did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One benchmark's structural fingerprint.
+
+    Attributes:
+        name: benchmark name.
+        n_blocks: number of basic blocks.
+        total_insts: total instruction count.
+        max_block: largest basic block size.
+        giant_blocks: explicit sizes of outlier blocks (always includes
+            ``max_block``); the rest of the size distribution is drawn
+            around the residual average.
+        typical_cap: clip for non-giant block sizes.
+        mem_max_per_block: Table 3 "unique memory exprs / block, max".
+        mem_avg_per_block: Table 3 "unique memory exprs / block, avg".
+        fp_fraction: fraction of non-memory instructions that are FP.
+        mem_fraction: fraction of instructions that are loads/stores.
+        mem_at_end: concentrate memory references near block ends
+            (the fpppp quirk).
+        seed: base RNG seed; generation is fully deterministic.
+    """
+
+    name: str
+    n_blocks: int
+    total_insts: int
+    max_block: int
+    giant_blocks: tuple[int, ...]
+    typical_cap: int
+    mem_max_per_block: int
+    mem_avg_per_block: float
+    fp_fraction: float
+    mem_fraction: float = 0.3
+    mem_at_end: bool = False
+    seed: int = 1991
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0 or self.total_insts <= 0:
+            raise WorkloadError(f"{self.name}: empty profile")
+        if not self.giant_blocks or max(self.giant_blocks) != self.max_block:
+            raise WorkloadError(
+                f"{self.name}: giant_blocks must include max_block")
+        if sum(self.giant_blocks) > self.total_insts:
+            raise WorkloadError(
+                f"{self.name}: giant blocks exceed total instructions")
+        if len(self.giant_blocks) > self.n_blocks:
+            raise WorkloadError(f"{self.name}: more giants than blocks")
+
+    @property
+    def avg_block(self) -> float:
+        """Average instructions per block."""
+        return self.total_insts / self.n_blocks
+
+
+def _profile(name: str, n_blocks: int, total: int, max_block: int,
+             mem_max: int, mem_avg: float, fp: float,
+             giants: tuple[int, ...] | None = None,
+             typical_cap: int | None = None,
+             mem_at_end: bool = False) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        n_blocks=n_blocks,
+        total_insts=total,
+        max_block=max_block,
+        giant_blocks=giants if giants is not None else (max_block,),
+        typical_cap=typical_cap if typical_cap is not None
+        else max(4, max_block // 3),
+        mem_max_per_block=mem_max,
+        mem_avg_per_block=mem_avg,
+        fp_fraction=fp,
+    mem_at_end=mem_at_end,
+    )
+
+
+PROFILES: dict[str, WorkloadProfile] = {
+    p.name: p for p in (
+        _profile("grep", 730, 1739, 34, 5, 0.32, fp=0.0),
+        _profile("regex", 873, 2417, 52, 9, 0.31, fp=0.0),
+        _profile("dfa", 1623, 4760, 45, 13, 0.67, fp=0.0),
+        _profile("cccp", 3480, 8831, 36, 10, 0.35, fp=0.0),
+        _profile("linpack", 390, 3391, 145, 62, 2.58, fp=0.55,
+                 giants=(145, 120, 96), typical_cap=60),
+        _profile("lloops", 263, 3753, 124, 40, 4.37, fp=0.6,
+                 giants=(124, 110, 90, 80), typical_cap=70),
+        _profile("tomcatv", 112, 1928, 326, 68, 5.24, fp=0.65,
+                 giants=(326, 280, 200), typical_cap=90),
+        _profile("nasa7", 756, 10654, 284, 60, 4.23, fp=0.6,
+                 giants=(284, 260, 240, 200, 180), typical_cap=80),
+        _profile("fpppp", 662, 25545, 11750, 324, 4.76, fp=0.7,
+                 giants=(11750, 2400, 1100), typical_cap=60,
+                 mem_at_end=True),
+    )
+}
+
+#: Table 3/4/5 row order.
+TABLE_ORDER: tuple[str, ...] = (
+    "grep", "regex", "dfa", "cccp", "linpack", "lloops", "tomcatv",
+    "nasa7", "fpppp",
+)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a benchmark profile by name.
+
+    Raises:
+        WorkloadError: for unknown benchmark names.
+    """
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {sorted(PROFILES)}")
+    return profile
+
+
+def scaled_profile(name: str, factor: float,
+                   keep_giants: bool = True) -> WorkloadProfile:
+    """A reduced-size variant of a profile for quick benchmark runs.
+
+    Scales the block count and total size by ``factor`` while (by
+    default) preserving the giant-block sizes that drive the paper's
+    asymptotic story -- an ``n**2`` blow-up needs the big blocks, not
+    the many small ones.
+
+    Args:
+        name: base profile name.
+        factor: in (0, 1]; 1 returns the profile unchanged.
+        keep_giants: keep outlier block sizes unscaled.
+
+    Raises:
+        WorkloadError: if ``factor`` is out of range.
+    """
+    if not 0 < factor <= 1:
+        raise WorkloadError(f"scale factor must be in (0, 1], got {factor}")
+    base = get_profile(name)
+    if factor == 1:
+        return base
+    giants = (base.giant_blocks if keep_giants
+              else tuple(max(1, int(g * factor)) for g in base.giant_blocks))
+    n_blocks = max(len(giants) + 1, int(base.n_blocks * factor))
+    floor = sum(giants) + (n_blocks - len(giants))
+    total = max(floor, int(base.total_insts * factor))
+    return replace(
+        base,
+        name=f"{base.name}@{factor:g}",
+        n_blocks=n_blocks,
+        total_insts=total,
+        max_block=max(giants),
+        giant_blocks=giants,
+    )

@@ -1,0 +1,355 @@
+"""Deterministic synthetic instruction streams matching a profile.
+
+The generator emits SPARC-like basic blocks whose *structure* -- block
+sizes, def/use chain density, unique memory expressions per block,
+instruction-class mix, block terminators with delay slots -- matches a
+:class:`~repro.workloads.profiles.WorkloadProfile`.  Everything is
+seeded, so two calls with the same profile produce identical programs.
+
+Conventions matching the paper's measurement setup:
+
+* blocks end in conditional branches, calls, returns, or SAVE/RESTORE;
+* delayed control transfers push their delay-slot instruction into the
+  *following* block (where Table 3 counts it);
+* the fpppp profile concentrates memory references toward the end of
+  its giant block ("placement of symbolic memory address expressions
+  more toward the end of the large basic block", section 6).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.asm.program import Program
+from repro.cfg.basic_block import BasicBlock
+from repro.errors import WorkloadError
+from repro.isa.instruction import Instruction
+from repro.isa.memory import MemExpr
+from repro.isa.opcodes import lookup_opcode
+from repro.isa.operands import (
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    Operand,
+    RegOperand,
+)
+from repro.isa.registers import parse_register
+from repro.workloads.profiles import WorkloadProfile
+
+_POINTER_REGS = ("%l0", "%l1", "%i0", "%i1", "%o0")
+# Pointer bases are never ALU destinations: a base-address definition
+# stays live across the whole block, parenting every reference through
+# it (the paper's high max-children counts come from exactly this).
+_INT_REGS = tuple(r for r in (
+    tuple(f"%o{i}" for i in range(6))
+    + tuple(f"%l{i}" for i in range(8))
+    + tuple(f"%i{i}" for i in range(6)))
+    if r not in _POINTER_REGS)
+_FP_EVEN = tuple(f"%f{i}" for i in range(0, 32, 2))
+_INT_OPS = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra")
+_FP_OPS = ("faddd", "fsubd", "fmuld", "faddd", "fsubd", "fmuld", "fdivd")
+
+
+def _block_sizes(profile: WorkloadProfile, rng: random.Random) -> list[int]:
+    """Block sizes with exact count, sum, and maximum.
+
+    The giant blocks are placed explicitly; the rest are drawn from an
+    exponential around the residual mean (compiled code is mostly tiny
+    blocks with a long tail), then nudged to hit the exact total.
+    """
+    giants = list(profile.giant_blocks)
+    n_rest = profile.n_blocks - len(giants)
+    rest_total = profile.total_insts - sum(giants)
+    if n_rest == 0:
+        return giants
+    mean = rest_total / n_rest
+    cap = max(2, min(profile.typical_cap, profile.max_block))
+    sizes = [max(1, min(cap, round(rng.expovariate(1.0 / mean) + 0.5)))
+             for _ in range(n_rest)]
+    # Nudge to the exact total.
+    delta = rest_total - sum(sizes)
+    guard = 0
+    while delta != 0 and guard < 10 * profile.total_insts:
+        i = rng.randrange(n_rest)
+        if delta > 0 and sizes[i] < cap:
+            sizes[i] += 1
+            delta -= 1
+        elif delta < 0 and sizes[i] > 1:
+            sizes[i] -= 1
+            delta += 1
+        guard += 1
+    if delta != 0:
+        raise WorkloadError(
+            f"{profile.name}: cannot reach total {profile.total_insts} "
+            f"with cap {cap}")
+    # Interleave the giants at deterministic positions.
+    out = sizes
+    for k, g in enumerate(giants):
+        out.insert((k * 97) % (len(out) + 1), g)
+    return out
+
+
+def _mem_pool(profile: WorkloadProfile, size: int, block_seed: str,
+              rng: random.Random) -> list[MemExpr]:
+    """The block's distinct symbolic memory expressions."""
+    if size < 1:
+        return []
+    scale = size / max(profile.avg_block, 1.0)
+    # Expectation-exact integerization (calibrated against the Table 3
+    # averages; the 1.1 factor compensates for clipping losses on
+    # small blocks).
+    lam = profile.mem_avg_per_block * scale * 1.1
+    target = int(lam) + (1 if rng.random() < lam - int(lam) else 0)
+    target = max(0, min(target, profile.mem_max_per_block, size))
+    if size == profile.max_block:
+        # The biggest block carries the Table 3 per-block maximum.
+        target = min(profile.mem_max_per_block, max(1, size - 2))
+    pool: list[MemExpr] = []
+    for k in range(target):
+        shape = rng.random()
+        if shape < 0.5:
+            pool.append(MemExpr(base="%i6", offset=-4 * (k + 1)))
+        elif shape < 0.85:
+            base = rng.choice(_POINTER_REGS)
+            pool.append(MemExpr(base=base, offset=4 * k))
+        else:
+            pool.append(MemExpr(symbol=f"g{block_seed}_{k}"))
+    return pool
+
+
+class _BlockBuilder:
+    """Generates one block's instruction bodies with realistic chains."""
+
+    def __init__(self, profile: WorkloadProfile, rng: random.Random) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.defined_int: list[str] = []
+        self.defined_fp: list[str] = []
+        self._int_cursor = 0
+        self._fp_cursor = 0
+        # Reuse-locality window for memory expressions.
+        self.recent: list[MemExpr] = []
+        self.recent_cap = max(4, profile.mem_max_per_block // 4)
+
+    def _next_int_dest(self) -> str:
+        reg = _INT_REGS[self._int_cursor % len(_INT_REGS)]
+        self._int_cursor += 1
+        self.defined_int.append(reg)
+        if len(self.defined_int) > 8:
+            self.defined_int.pop(0)
+        return reg
+
+    def _next_fp_dest(self) -> str:
+        reg = _FP_EVEN[self._fp_cursor % len(_FP_EVEN)]
+        self._fp_cursor += 1
+        self.defined_fp.append(reg)
+        if len(self.defined_fp) > 6:
+            self.defined_fp.pop(0)
+        return reg
+
+    def _int_source(self) -> str:
+        if self.defined_int and self.rng.random() < 0.75:
+            return self.rng.choice(self.defined_int)
+        return self.rng.choice(_INT_REGS)
+
+    def _fp_source(self) -> str:
+        if self.defined_fp and self.rng.random() < 0.75:
+            return self.rng.choice(self.defined_fp)
+        return self.rng.choice(_FP_EVEN)
+
+    def _make(self, mnemonic: str, *operands: Operand) -> Instruction:
+        # Index is patched by the caller.
+        return Instruction(0, lookup_opcode(mnemonic), tuple(operands))
+
+    def alu(self) -> Instruction:
+        rng = self.rng
+        if rng.random() < 0.08:
+            return self._make("sethi", ImmOperand(rng.randrange(1 << 20)),
+                              RegOperand(parse_register(self._next_int_dest())))
+        op = rng.choice(_INT_OPS)
+        src1 = RegOperand(parse_register(self._int_source()))
+        second: Operand
+        if rng.random() < 0.4:
+            second = ImmOperand(rng.randrange(1, 128))
+        else:
+            second = RegOperand(parse_register(self._int_source()))
+        dest = RegOperand(parse_register(self._next_int_dest()))
+        return self._make(op, src1, second, dest)
+
+    def fp(self) -> Instruction:
+        rng = self.rng
+        weights_pick = rng.random()
+        op = _FP_OPS[-1] if weights_pick < 0.05 \
+            else rng.choice(_FP_OPS[:-1])
+        src1 = RegOperand(parse_register(self._fp_source()))
+        src2 = RegOperand(parse_register(self._fp_source()))
+        dest = RegOperand(parse_register(self._next_fp_dest()))
+        return self._make(op, src1, src2, dest)
+
+    def load(self, expr: MemExpr, fp: bool) -> Instruction:
+        mem = MemOperand(expr)
+        if fp:
+            dest = RegOperand(parse_register(self._next_fp_dest()))
+            return self._make("ldd", mem, dest)
+        dest = RegOperand(parse_register(self._next_int_dest()))
+        return self._make("ld", mem, dest)
+
+    def store(self, expr: MemExpr, fp: bool) -> Instruction:
+        mem = MemOperand(expr)
+        if fp and self.defined_fp:
+            src = RegOperand(parse_register(self.rng.choice(self.defined_fp)))
+            return self._make("std", src, mem)
+        src = RegOperand(parse_register(self._int_source()))
+        return self._make("st", src, mem)
+
+    def body_instruction(self, position: int, body_len: int,
+                         pool: list[MemExpr],
+                         untouched: list[MemExpr]) -> Instruction:
+        """One body instruction, honoring the memory/FP mix.
+
+        Every expression in the block's pool is guaranteed to be
+        referenced: once the remaining body positions are about to run
+        out, untouched expressions are emitted unconditionally (this
+        also realizes the fpppp-style end-of-block concentration).
+        """
+        rng = self.rng
+        profile = self.profile
+        positions_left = body_len - position
+        force_mem = bool(untouched) and positions_left <= len(untouched)
+        mem_p = profile.mem_fraction
+        if profile.mem_at_end and body_len >= 8:
+            mem_p *= 0.35 if position < 0.6 * body_len else 2.0
+        if pool and (force_mem or rng.random() < mem_p):
+            # First references to pool expressions are paced across the
+            # block; repeat references favor recently used expressions
+            # (real code has strong reuse locality -- this is what
+            # bounds the per-window distinct-expression counts the
+            # paper reports for fpppp-1000/2000/4000).
+            p_new = min(1.0, 1.5 * len(untouched) / max(1, positions_left))
+            if untouched and (force_mem or rng.random() < p_new):
+                expr = untouched.pop()
+            elif self.recent and rng.random() < 0.85:
+                expr = rng.choice(self.recent)
+            else:
+                expr = rng.choice(pool)
+            if expr not in self.recent:
+                self.recent.append(expr)
+                if len(self.recent) > self.recent_cap:
+                    self.recent.pop(0)
+            fp = profile.fp_fraction > 0 and rng.random() < profile.fp_fraction
+            if rng.random() < 0.6:
+                return self.load(expr, fp)
+            return self.store(expr, fp)
+        if rng.random() < profile.fp_fraction:
+            return self.fp()
+        return self.alu()
+
+
+def _terminator(rng: random.Random, profile: WorkloadProfile,
+                n_blocks: int, block_index: int,
+                builder: _BlockBuilder) -> tuple[list[Instruction], bool]:
+    """Block-ending instructions; returns (instructions, delayed?)."""
+    style = rng.random()
+    if block_index == n_blocks - 1:
+        return [builder._make("retl")], True
+    if style < 0.55:
+        cmp = builder._make("cmp",
+                            RegOperand(parse_register(builder._int_source())),
+                            ImmOperand(rng.randrange(1, 64)))
+        cond = rng.choice(("be", "bne", "bl", "ble", "bg", "bge"))
+        target = rng.randrange(n_blocks)
+        branch = builder._make(cond, LabelOperand(f"L{target}"))
+        return [cmp, branch], True
+    if style < 0.65:
+        target = rng.randrange(n_blocks)
+        return [builder._make("ba", LabelOperand(f"L{target}"))], True
+    if style < 0.73 and profile.fp_fraction == 0:
+        return [builder._make("call", LabelOperand("helper"))], True
+    if style < 0.78 and profile.fp_fraction == 0:
+        op = "save" if rng.random() < 0.5 else "restore"
+        sp = RegOperand(parse_register("%sp"))
+        return [builder._make(op, sp, ImmOperand(-96), sp)], False
+    return [], False  # fall through to the next block's label
+
+
+def generate_blocks(profile: WorkloadProfile,
+                    seed: int | None = None) -> list[BasicBlock]:
+    """Generate the benchmark's basic blocks directly.
+
+    This is the fast path the benchmarks use (no text round trip).
+    Instruction indices are global and consecutive, exactly as
+    :func:`repro.cfg.partition.partition_blocks` would number them.
+    """
+    base_seed = profile.seed if seed is None else seed
+    master = random.Random(f"{profile.name}:{base_seed}:sizes")
+    sizes = _block_sizes(profile, master)
+    blocks: list[BasicBlock] = []
+    next_index = 0
+    pending_delay_slot = False
+    for block_index, size in enumerate(sizes):
+        rng = random.Random(f"{profile.name}:{base_seed}:{block_index}")
+        builder = _BlockBuilder(profile, rng)
+        instrs: list[Instruction] = []
+        remaining = size
+        if pending_delay_slot and remaining > 0:
+            # The previous block's delayed transfer: its slot
+            # instruction opens this block (paper's counting rule).
+            slot = builder.alu() if rng.random() < 0.6 \
+                else builder._make("nop")
+            instrs.append(slot)
+            remaining -= 1
+        tail: list[Instruction] = []
+        delayed = False
+        if remaining >= 3:
+            tail, delayed = _terminator(rng, profile, len(sizes),
+                                        block_index, builder)
+            remaining -= len(tail)
+        pool = _mem_pool(profile, size, f"{block_index}", rng)
+        untouched = list(pool)
+        rng.shuffle(untouched)
+        # Pointer bases referenced by the pool are defined once at the
+        # top of large blocks -- the high-fanout nodes behind the
+        # paper's large max-children counts (a base-address definition
+        # parents every memory reference through it).
+        if remaining >= 12:
+            bases = sorted({e.base for e in pool
+                            if e.base is not None and e.base != "%i6"})
+            for base in bases:
+                if remaining <= len(pool):
+                    break
+                instrs.append(builder._make(
+                    "sethi", ImmOperand(rng.randrange(1 << 20)),
+                    RegOperand(parse_register(base))))
+                remaining -= 1
+        for position in range(remaining):
+            instrs.append(builder.body_instruction(position, remaining,
+                                                   pool, untouched))
+        instrs.extend(tail)
+        pending_delay_slot = delayed
+        numbered = [ins.with_index(next_index + k)
+                    for k, ins in enumerate(instrs)]
+        next_index += len(numbered)
+        blocks.append(BasicBlock(block_index, numbered, label=None))
+    return blocks
+
+
+def generate_program(profile: WorkloadProfile,
+                     seed: int | None = None) -> Program:
+    """Generate the benchmark as a parseable :class:`Program`.
+
+    Every block start carries a label ``L<k>`` so that
+    :func:`partition_blocks` reproduces the generator's block
+    boundaries; used by round-trip tests and the text-based examples.
+    """
+    blocks = generate_blocks(profile, seed)
+    program = Program(profile.name)
+    for block in blocks:
+        start = len(program.instructions)
+        program.add_label(f"L{block.index}", start)
+        for k, ins in enumerate(block.instructions):
+            label = f"L{block.index}" if k == 0 else None
+            program.instructions.append(
+                Instruction(len(program.instructions), ins.opcode,
+                            ins.operands, label=label,
+                            annulled=ins.annulled))
+    return program

@@ -1,0 +1,76 @@
+"""Shared fixtures: machines, the paper's Figure 1 block, kernels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.machine import (
+    generic_risc,
+    rs6000_like,
+    sparcstation2_like,
+    superscalar2,
+)
+from repro.workloads import kernel_source
+
+
+@pytest.fixture
+def machine():
+    """The default scalar machine (Figure 1 latencies)."""
+    return generic_risc()
+
+
+@pytest.fixture
+def sparc_machine():
+    return sparcstation2_like()
+
+
+@pytest.fixture
+def rs6000_machine():
+    return rs6000_like()
+
+
+@pytest.fixture
+def wide_machine():
+    return superscalar2()
+
+
+@pytest.fixture
+def figure1_block():
+    """The paper's Figure 1 three-instruction block."""
+    program = parse_asm(kernel_source("figure1"), "figure1")
+    blocks = partition_blocks(program)
+    assert len(blocks) == 1
+    return blocks[0]
+
+
+def block_from(source: str, index: int = 0):
+    """Parse assembly text and return one of its basic blocks."""
+    blocks = partition_blocks(parse_asm(source))
+    return blocks[index]
+
+
+@pytest.fixture
+def daxpy_block():
+    """The daxpy kernel's main block."""
+    return block_from(kernel_source("daxpy"))
+
+
+@pytest.fixture
+def mixed_block():
+    """A block mixing int/FP/memory work with a branch terminator."""
+    return block_from("""
+    loop:
+        ld [%fp-8], %o1
+        ld [%fp-12], %o2
+        add %o1, %o2, %o3
+        smul %o3, %o1, %o4
+        st %o4, [%fp-16]
+        fdivd %f0, %f2, %f4
+        faddd %f6, %f8, %f0
+        faddd %f0, %f4, %f10
+        cmp %o4, 100
+        bl loop
+        nop
+    """)

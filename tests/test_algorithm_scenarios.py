@@ -1,0 +1,181 @@
+"""Crafted scenarios exercising each algorithm's *ranked* heuristics.
+
+Each test constructs a block where the algorithm's top-ranked
+heuristic disagrees with a lower-ranked one and checks the documented
+rank order wins -- the behavioural content of Table 2, beyond "it
+schedules legally".
+"""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.machine import generic_risc
+from repro.scheduling.algorithms import (
+    GibbonsMuchnick,
+    Krishnamurthy,
+    Schlansker,
+    ShiehPapachristou,
+    Tiemann,
+    Warren,
+)
+
+
+def block_of(source: str):
+    blocks = partition_blocks(parse_asm(source))
+    assert len(blocks) == 1
+    return blocks[0]
+
+
+class TestGibbonsMuchnickRanking:
+    def test_no_interlock_beats_path_length(self):
+        # After the load issues, its consumer interlocks; G&M rank 1
+        # (no interlock with previous) must prefer the independent mov
+        # even though the consumer chain is longer (rank 4 would pick
+        # the chain).
+        result = GibbonsMuchnick(generic_risc()).schedule_block(block_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            add %o1, 1, %o2
+            add %o2, 1, %o3
+            mov 7, %o5
+        """))
+        ids = [n.id for n in result.order]
+        assert ids[0] == 0          # load first (longest path)
+        assert ids[1] == 4          # mov fills the interlock slot
+
+    def test_interlock_with_child_rank2(self):
+        # Two ready roots, neither interlocking with the previous
+        # instruction; rank 2 prefers the one whose child interlocks
+        # (the load, delay 2) over the plain mov chain.
+        result = GibbonsMuchnick(generic_risc()).schedule_block(block_of("""
+            mov 1, %o0
+            ld [%fp-8], %o1
+            add %o1, 1, %o2
+            add %o0, 1, %o3
+        """))
+        assert result.order[0].id == 1  # the load goes first
+
+
+class TestKrishnamurthyRanking:
+    def test_earliest_time_dominates(self):
+        # Both candidates ready at time 0 initially; after issuing the
+        # load, its consumer is NOT ready (eet=2) while the mov is --
+        # the rank 1 earliest-time term picks the mov regardless of the
+        # consumer's longer path to leaf.
+        result = Krishnamurthy(generic_risc()).schedule_block(block_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            add %o1, 1, %o2
+            mov 7, %o5
+        """))
+        ids = [n.id for n in result.order]
+        assert ids.index(3) == 1
+
+    def test_execution_time_rank4_breaks_path_ties(self):
+        # Equal max-path-to-leaf (both leaves, both ready): the
+        # longer-latency divide is chosen first by rank 4.
+        result = Krishnamurthy(generic_risc()).schedule_block(block_of("""
+            faddd %f0, %f2, %f4
+            fdivd %f6, %f8, %f10
+        """))
+        assert result.order[0].id == 1
+
+
+class TestSchlanskerRanking:
+    def test_zero_slack_chain_scheduled_contiguously_first(self):
+        # Critical chain (divide + dependent add) vs slack-rich movs:
+        # the backward pass places the movs at the end, critical ops at
+        # the front.
+        result = Schlansker(generic_risc()).schedule_block(block_of("""
+            mov 1, %o0
+            mov 2, %o1
+            fdivd %f0, %f2, %f4
+            faddd %f4, %f6, %f8
+        """))
+        ids = [n.id for n in result.order]
+        assert ids[0] == 2  # the divide leads
+
+
+class TestShiehPapachristouRanking:
+    def test_max_delay_to_leaf_rank1(self):
+        # The divide has the largest total delay to a leaf and must be
+        # issued first even though the loads have more children.
+        result = ShiehPapachristou(generic_risc()).schedule_block(block_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            fdivd %f0, %f2, %f4
+            faddd %f4, %f6, %f8
+        """))
+        assert result.order[0].id == 2
+
+    def test_n_children_rank3_breaks_ties(self):
+        # Equal delay/exec profiles; the mov feeding two consumers
+        # outranks the mov feeding one.
+        result = ShiehPapachristou(generic_risc()).schedule_block(block_of("""
+            mov 1, %o0
+            mov 2, %o1
+            add %o0, %o0, %o2
+            add %o0, 3, %o3
+            add %o1, 4, %o4
+        """))
+        ids = [n.id for n in result.order]
+        assert ids.index(0) < ids.index(1)
+
+
+class TestTiemannRanking:
+    def test_max_delay_from_root_places_deep_nodes_late(self):
+        # Backward pass: the node deepest from a root (largest
+        # max-delay-from-root) is picked first, i.e. placed last.
+        result = Tiemann(generic_risc()).schedule_block(block_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            mov 7, %o5
+        """))
+        assert result.order[-1].id == 1
+
+    def test_original_order_rank3(self):
+        # All-independent movs: backward tie-breaking reproduces the
+        # original order exactly.
+        result = Tiemann(generic_risc()).schedule_block(block_of(
+            "mov 1, %o0\nmov 2, %o1\nmov 3, %o2"))
+        assert [n.id for n in result.order] == [0, 1, 2]
+
+
+class TestWarrenRanking:
+    def test_earliest_time_rank1(self):
+        # A candidate whose data is not yet ready loses to a ready one
+        # regardless of critical path.
+        result = Warren(generic_risc()).schedule_block(block_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            add %o1, 1, %o2
+            mov 7, %o5
+        """))
+        ids = [n.id for n in result.order]
+        assert ids.index(3) == 1  # mov covers the load delay
+
+    def test_alternate_type_rank2(self):
+        # Two ready candidates with equal timing: Warren prefers the
+        # one whose issue class differs from the last scheduled.
+        result = Warren(generic_risc()).schedule_block(block_of("""
+            add %o0, 1, %o1
+            sub %o0, 2, %o2
+            faddd %f0, %f2, %f4
+            fsubd %f6, %f8, %f10
+        """))
+        classes = [n.instr.opcode.issue_class.value for n in result.order]
+        # Perfect alternation (the starting class falls to the lower-
+        # ranked liveness tiebreak).
+        assert all(a != b for a, b in zip(classes, classes[1:]))
+
+    def test_uncovered_children_rank5(self):
+        # Timing/type/delay all tie; the candidate that uncovers a
+        # child wins over one that uncovers none.
+        result = Warren(generic_risc()).schedule_block(block_of("""
+            mov 1, %o0
+            mov 2, %o1
+            add %o0, 3, %o2
+        """))
+        ids = [n.id for n in result.order]
+        assert ids.index(0) < ids.index(1)

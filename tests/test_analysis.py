@@ -1,0 +1,89 @@
+"""Tests for table regeneration and text reports."""
+
+from repro.analysis.report import format_table, render_rows
+from repro.analysis.tables import (
+    table1_rows,
+    table2_rows,
+    table3_row,
+    table3_rows,
+    table45_row,
+)
+from repro.dag.builders import TableForwardBuilder
+from repro.machine import sparcstation2_like
+from repro.scheduling.algorithms import ALL_ALGORITHMS
+from repro.workloads import generate_blocks, scaled_profile
+
+
+class TestTable1:
+    def test_26_rows(self):
+        assert len(table1_rows()) == 26
+
+    def test_transitive_markers_present(self):
+        rows = table1_rows()
+        marked = [r for r in rows if r["heuristic"].endswith("**")]
+        assert len(marked) == 9
+
+    def test_pass_values_valid(self):
+        assert {r["pass"] for r in table1_rows()} <= \
+            {"a", "b", "f", "v", "f+b"}
+
+
+class TestTable2:
+    def test_six_rows(self):
+        assert len(table2_rows(ALL_ALGORITHMS)) == 6
+
+    def test_columns(self):
+        row = table2_rows(ALL_ALGORITHMS)[0]
+        assert set(row) == {"algorithm", "dag pass", "dag algorithm",
+                            "sched pass", "combination", "heuristics"}
+
+    def test_heuristic_rankings_included(self):
+        rows = {r["algorithm"]: r for r in table2_rows(ALL_ALGORITHMS)}
+        assert "1f+b slack time" in rows["Schlansker"]["heuristics"]
+
+
+class TestTable3:
+    def test_row_matches_profile(self):
+        profile = scaled_profile("grep", 0.2)
+        blocks = generate_blocks(profile)
+        row = table3_row("grep", blocks)
+        assert row["blocks"] == profile.n_blocks
+        assert row["insts"] == profile.total_insts
+        assert row["insts/bb max"] == profile.max_block
+
+    def test_rows_for_multiple_benchmarks(self):
+        benchmarks = {
+            name: generate_blocks(scaled_profile(name, 0.05))
+            for name in ("grep", "regex")
+        }
+        rows = table3_rows(benchmarks)
+        assert [r["benchmark"] for r in rows] == ["grep", "regex"]
+
+
+class TestTable45:
+    def test_row_contents(self):
+        machine = sparcstation2_like()
+        blocks = generate_blocks(scaled_profile("linpack", 0.1))
+        row = table45_row("linpack", blocks, machine,
+                          lambda: TableForwardBuilder(machine))
+        assert row["run time (s)"] >= 0
+        assert row["children max"] > 0
+        assert row["table probes"] > 0
+        assert row["comparisons"] == 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        assert "2.50" in text
+
+    def test_render_rows(self):
+        text = render_rows([{"x": 1, "y": "z"}], title="T")
+        assert text.startswith("T")
+        assert "x" in text and "z" in text
+
+    def test_render_empty(self):
+        assert render_rows([], title="none") == "none"

@@ -1,0 +1,256 @@
+"""Tests for the assembly lexer, parser, and writer."""
+
+import pytest
+
+from repro.asm.lexer import lex_lines, split_operands, strip_comment
+from repro.asm.parser import (
+    parse_asm,
+    parse_instruction_text,
+    parse_mem_expr,
+    parse_operand,
+)
+from repro.asm.writer import render_instructions, render_program
+from repro.errors import AsmSyntaxError, CfgError, UnknownOpcodeError
+from repro.isa.memory import MemExpr
+from repro.isa.operands import (
+    ImmOperand,
+    LabelOperand,
+    MemOperand,
+    RegOperand,
+    SymImmOperand,
+)
+
+
+class TestLexer:
+    def test_strip_bang_comment(self):
+        assert strip_comment("add %o1, %o2, %o3 ! hi") == "add %o1, %o2, %o3 "
+
+    def test_strip_hash_comment(self):
+        assert strip_comment("# whole line") == ""
+
+    def test_blank_lines_dropped(self):
+        assert lex_lines("\n\n  \n") == []
+
+    def test_label_only_line(self):
+        lines = lex_lines("start:")
+        assert lines[0].labels == ("start",)
+        assert lines[0].mnemonic is None
+
+    def test_label_and_instruction_same_line(self):
+        lines = lex_lines("loop: add %o1, %o2, %o3")
+        assert lines[0].labels == ("loop",)
+        assert lines[0].mnemonic == "add"
+
+    def test_multiple_labels(self):
+        lines = lex_lines("a: b: nop")
+        assert lines[0].labels == ("a", "b")
+
+    def test_directive(self):
+        lines = lex_lines(".global main")
+        assert lines[0].directive == ".global main"
+
+    def test_line_numbers(self):
+        lines = lex_lines("nop\n\nnop")
+        assert [l.number for l in lines] == [1, 3]
+
+    def test_operand_split_basic(self):
+        assert split_operands("%o1, %o2, %o3", 1) == ("%o1", "%o2", "%o3")
+
+    def test_operand_split_brackets(self):
+        assert split_operands("[%fp-8], %o0", 1) == ("[%fp-8]", "%o0")
+
+    def test_operand_split_unbalanced_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            split_operands("[%fp-8, %o0", 1)
+
+    def test_empty_operand_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            split_operands("%o1,, %o3", 1)
+
+    def test_mnemonic_lowercased(self):
+        assert lex_lines("NOP")[0].mnemonic == "nop"
+
+
+class TestMemExprParsing:
+    def test_base_only(self):
+        assert parse_mem_expr("%o0") == MemExpr(base="%o0")
+
+    def test_base_plus_offset(self):
+        assert parse_mem_expr("%o0+8") == MemExpr(base="%o0", offset=8)
+
+    def test_base_minus_offset(self):
+        assert parse_mem_expr("%fp-8") == MemExpr(base="%i6", offset=-8)
+
+    def test_alias_canonicalized(self):
+        assert parse_mem_expr("%sp+4").base == "%o6"
+
+    def test_base_plus_index(self):
+        assert parse_mem_expr("%o0+%o1") == MemExpr(base="%o0", index="%o1")
+
+    def test_index_subtraction_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_mem_expr("%o0-%o1")
+
+    def test_symbol(self):
+        assert parse_mem_expr("counter") == MemExpr(symbol="counter")
+
+    def test_symbol_with_offset(self):
+        assert parse_mem_expr("counter+4") == \
+            MemExpr(symbol="counter", offset=4)
+
+    def test_base_plus_lo(self):
+        assert parse_mem_expr("%o0+%lo(sym)") == \
+            MemExpr(base="%o0", symbol="sym")
+
+    def test_hi_in_memory_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_mem_expr("%o0+%hi(sym)")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_mem_expr("")
+
+    def test_hex_offset(self):
+        assert parse_mem_expr("%o0+0x10").offset == 16
+
+    def test_whitespace_tolerated(self):
+        assert parse_mem_expr("%o0 + 8") == MemExpr(base="%o0", offset=8)
+
+
+class TestOperandParsing:
+    def test_register(self):
+        op = parse_operand("%o3")
+        assert isinstance(op, RegOperand)
+
+    def test_immediate(self):
+        assert parse_operand("42") == ImmOperand(42)
+        assert parse_operand("-8") == ImmOperand(-8)
+        assert parse_operand("0x1f") == ImmOperand(31)
+
+    def test_memory(self):
+        op = parse_operand("[%fp-8]")
+        assert isinstance(op, MemOperand)
+
+    def test_label(self):
+        assert parse_operand("loop") == LabelOperand("loop")
+
+    def test_hi_lo(self):
+        assert parse_operand("%hi(sym)") == SymImmOperand("hi", "sym")
+        assert parse_operand("%lo(sym)") == SymImmOperand("lo", "sym")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_operand("%qq")
+
+    def test_garbage_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_operand("@#$")
+
+
+class TestParseAsm:
+    def test_basic_program(self):
+        program = parse_asm("add %o1, %o2, %o3\nnop\n")
+        assert len(program) == 2
+        assert program[0].opcode.mnemonic == "add"
+
+    def test_labels_recorded(self):
+        program = parse_asm("start:\n  nop\nend:\n")
+        assert program.labels["start"] == 0
+        assert program.labels["end"] == 1
+
+    def test_end_label_past_last_instruction(self):
+        program = parse_asm("nop\ndone:")
+        assert program.labels["done"] == 1
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(CfgError):
+            parse_asm("x: nop\nx: nop\n")
+
+    def test_same_label_twice_same_target_ok(self):
+        program = parse_asm("x: y: nop")
+        assert program.labels["x"] == program.labels["y"] == 0
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            parse_asm("bogus %o1")
+
+    def test_annul_suffix(self):
+        program = parse_asm("be,a target\nnop")
+        assert program[0].annulled
+        assert program[0].mnemonic == "be,a"
+
+    def test_annul_on_non_branch_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("add,a %o1, %o2, %o3")
+
+    def test_bad_suffix_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("be,x target")
+
+    def test_operand_validation_at_parse_time(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("add %o1, %o2")  # missing destination
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmSyntaxError) as exc:
+            parse_asm("nop\nadd %o1, %o2\n")
+        assert "line 2" in str(exc.value)
+
+    def test_directives_collected(self):
+        program = parse_asm(".text\nnop\n.align 8\n")
+        assert program.directives == [".text", ".align 8"]
+
+    def test_instruction_indices_sequential(self):
+        program = parse_asm("nop\nnop\nnop\n")
+        assert [i.index for i in program] == [0, 1, 2]
+
+    def test_branch_target_helper(self):
+        program = parse_asm("ba somewhere\nnop")
+        assert program[0].branch_target() == "somewhere"
+
+    def test_parse_instruction_text_single(self):
+        instr = parse_instruction_text("faddd %f0, %f2, %f4", index=7)
+        assert instr.index == 7
+
+    def test_parse_instruction_text_rejects_multiple(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_instruction_text("nop\nnop")
+
+
+class TestWriter:
+    def test_render_instruction(self):
+        instr = parse_instruction_text("add %o1, 4, %o3")
+        assert instr.render() == "add %o1, 4, %o3"
+
+    def test_render_memory(self):
+        instr = parse_instruction_text("ld [%fp-8], %o0")
+        assert instr.render() == "ld [%i6-8], %o0"
+
+    def test_render_annulled(self):
+        program = parse_asm("be,a target\nnop")
+        assert program[0].render() == "be,a target"
+
+    def test_round_trip(self):
+        source = """
+        start:
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            cmp %o1, 10
+            bl start
+            nop
+            st %o1, [counter+4]
+            sethi %hi(sym), %o2
+            retl
+            nop
+        """
+        first = parse_asm(source)
+        text = render_program(first)
+        second = parse_asm(text)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.render() == b.render()
+        assert first.labels == second.labels
+
+    def test_render_instructions_multiline(self):
+        program = parse_asm("nop\nnop")
+        assert render_instructions(program.instructions).count("\n") == 1

@@ -1,0 +1,93 @@
+"""Tests for the clock-driven backward scheduler extension."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.machine import generic_risc
+from repro.scheduling.backward_timed import schedule_backward_timed
+from repro.scheduling.list_scheduler import schedule_backward
+from repro.scheduling.priority import weighted, winnowing
+from repro.scheduling.timing import simulate, verify_order
+from repro.workloads import generate_blocks, kernel_source, scaled_profile
+
+SLACK_PRIORITY = weighted(("slack", 10**8), ("lst", 1))
+
+
+def prepared(source: str, machine):
+    blocks = partition_blocks(parse_asm(source))
+    dag = TableForwardBuilder(machine).build(blocks[0]).dag
+    forward_pass(dag)
+    backward_pass(dag, require_est=False)
+    return dag
+
+
+class TestBackwardTimed:
+    def test_legal_on_kernels(self):
+        machine = generic_risc()
+        for kernel in ("figure1", "daxpy", "livermore1", "dot_product"):
+            dag = prepared(kernel_source(kernel), machine)
+            result = schedule_backward_timed(dag, machine, SLACK_PRIORITY)
+            verify_order(result.order, dag)
+
+    def test_respects_reverse_delays(self):
+        # The critical chain (divide -> add) is pushed to the front by
+        # the reverse clock; the schedule is legal and no worse than
+        # the untimed backward pass.
+        machine = generic_risc()
+        dag = prepared("""
+            mov 1, %o0
+            mov 2, %o1
+            mov 3, %o2
+            fdivd %f0, %f2, %f4
+            faddd %f4, %f6, %f8
+        """, machine)
+        result = schedule_backward_timed(dag, machine, SLACK_PRIORITY)
+        verify_order(result.order, dag)
+        assert result.order[0].id == 3  # divide first
+        untimed = schedule_backward(dag, machine, SLACK_PRIORITY)
+        assert result.makespan <= untimed.makespan
+
+    def test_terminator_pinned(self):
+        machine = generic_risc()
+        dag = prepared("mov 1, %o0\ncmp %o0, 2\nbe out", machine)
+        result = schedule_backward_timed(dag, machine, SLACK_PRIORITY)
+        assert result.order[-1].instr.opcode.mnemonic == "be"
+
+    def test_never_worse_than_untimed_on_workload(self):
+        machine = generic_risc()
+        blocks = [b for b in generate_blocks(scaled_profile("lloops", 0.2))
+                  if b.size >= 2]
+        timed_total = untimed_total = 0
+        for block in blocks:
+            dag = TableForwardBuilder(machine).build(block).dag
+            forward_pass(dag)
+            backward_pass(dag, require_est=False)
+            timed_total += schedule_backward_timed(
+                dag, machine, SLACK_PRIORITY).makespan
+            untimed_total += schedule_backward(
+                dag, machine, SLACK_PRIORITY).makespan
+        assert timed_total <= untimed_total
+
+    def test_deterministic(self):
+        machine = generic_risc()
+        dag = prepared(kernel_source("livermore1"), machine)
+        r1 = schedule_backward_timed(dag, machine, SLACK_PRIORITY)
+        r2 = schedule_backward_timed(dag, machine, SLACK_PRIORITY)
+        assert [n.id for n in r1.order] == [n.id for n in r2.order]
+
+    def test_on_schedule_hook(self):
+        machine = generic_risc()
+        dag = prepared("mov 1, %o0\nadd %o0, 1, %o1", machine)
+        seen = []
+        schedule_backward_timed(dag, machine, SLACK_PRIORITY,
+                                on_schedule=lambda n, s: seen.append(n.id))
+        assert seen == [1, 0]
+
+    def test_matches_forward_quality_on_figure1(self):
+        machine = generic_risc()
+        dag = prepared(kernel_source("figure1"), machine)
+        result = schedule_backward_timed(dag, machine, SLACK_PRIORITY)
+        assert result.makespan == 24

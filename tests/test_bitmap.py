@@ -1,0 +1,113 @@
+"""Tests for reachability bitmaps."""
+
+from repro.asm.parser import parse_instruction_text
+from repro.dep import DepType
+from repro.dag.bitmap import (
+    ReachabilityMap,
+    ancestor_maps,
+    compute_reachability,
+)
+from repro.dag.graph import Dag
+
+
+def chain_dag(n: int) -> Dag:
+    """0 -> 1 -> ... -> n-1."""
+    dag = Dag()
+    for i in range(n):
+        dag.add_node(parse_instruction_text("nop", index=i))
+    for i in range(n - 1):
+        dag.add_arc(dag.nodes[i], dag.nodes[i + 1], DepType.RAW, 1)
+    return dag
+
+
+def diamond_dag() -> Dag:
+    """0 -> {1, 2} -> 3."""
+    dag = Dag()
+    for i in range(4):
+        dag.add_node(parse_instruction_text("nop", index=i))
+    dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+    dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 1)
+    dag.add_arc(dag.nodes[1], dag.nodes[3], DepType.RAW, 1)
+    dag.add_arc(dag.nodes[2], dag.nodes[3], DepType.RAW, 1)
+    return dag
+
+
+class TestReachabilityMap:
+    def test_initialized_to_self(self):
+        # "Each node's map is initialized to indicate that a node can
+        # reach itself."
+        rmap = ReachabilityMap(4)
+        for i in range(4):
+            assert rmap.reaches(i, i)
+            assert rmap.descendant_count(i) == 0
+
+    def test_absorb(self):
+        rmap = ReachabilityMap(3)
+        rmap.absorb(1, 2)
+        rmap.absorb(0, 1)
+        assert rmap.reaches(0, 2)
+        assert rmap.reaches(0, 1)
+        assert not rmap.reaches(2, 0)
+
+    def test_descendants_listing(self):
+        rmap = ReachabilityMap(4)
+        rmap.absorb(0, 2)
+        rmap.absorb(0, 3)
+        assert rmap.descendants(0) == [2, 3]
+
+    def test_grow_to(self):
+        rmap = ReachabilityMap(2)
+        rmap.grow_to(5)
+        assert len(rmap) == 5
+        assert rmap.reaches(4, 4)
+
+    def test_words_touched_counter(self):
+        rmap = ReachabilityMap(3)
+        rmap.absorb(0, 1)
+        rmap.absorb(0, 2)
+        assert rmap.words_touched == 2
+
+
+class TestComputeReachability:
+    def test_chain(self):
+        dag = chain_dag(5)
+        rmap = compute_reachability(dag)
+        assert rmap.descendant_count(0) == 4
+        assert rmap.descendant_count(4) == 0
+        assert rmap.reaches(1, 4)
+        assert not rmap.reaches(3, 1)
+
+    def test_diamond_no_double_counting(self):
+        # "#descendants ... its calculation must avoid double counting
+        # when arcs converge on the same descendant node."
+        dag = diamond_dag()
+        rmap = compute_reachability(dag)
+        assert rmap.descendant_count(0) == 3
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        dag = diamond_dag()
+        g = nx.DiGraph()
+        for node in dag.nodes:
+            g.add_node(node.id)
+            for arc in node.out_arcs:
+                g.add_edge(node.id, arc.child.id)
+        rmap = compute_reachability(dag)
+        for node in dag.nodes:
+            assert set(rmap.descendants(node.id)) == \
+                nx.descendants(g, node.id)
+
+
+class TestAncestorMaps:
+    def test_chain(self):
+        dag = chain_dag(4)
+        maps = ancestor_maps(dag)
+        assert maps[3] == 0b1111
+        assert maps[0] == 0b0001
+
+    def test_diamond(self):
+        dag = diamond_dag()
+        maps = ancestor_maps(dag)
+        assert maps[3] == 0b1111
+        assert maps[1] == 0b0011
+        assert maps[2] == 0b0101

@@ -1,0 +1,96 @@
+"""Tests for the optimal branch-and-bound scheduler."""
+
+import itertools
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.errors import SchedulingError
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc
+from repro.scheduling.branch_and_bound import branch_and_bound_schedule
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate, verify_order
+from repro.workloads import kernel_source
+
+
+def dag_of(source: str):
+    blocks = partition_blocks(parse_asm(source))
+    dag = TableForwardBuilder(generic_risc()).build(blocks[0]).dag
+    backward_pass(dag)
+    return dag
+
+
+def brute_force_makespan(dag, machine) -> int:
+    """Exhaustive minimum over all topological orders."""
+    nodes = dag.real_nodes()
+    pos = {n.id: i for i, n in enumerate(nodes)}
+    best = None
+    for perm in itertools.permutations(nodes):
+        order_pos = {n.id: i for i, n in enumerate(perm)}
+        legal = all(order_pos[a.child.id] > order_pos[n.id]
+                    for n in nodes for a in n.out_arcs)
+        if not legal:
+            continue
+        makespan = simulate(list(perm), machine).makespan
+        if best is None or makespan < best:
+            best = makespan
+    assert best is not None
+    return best
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("source", [
+        "ld [%fp-8], %o0\nadd %o0, 1, %o1\nmov 7, %o2",
+        kernel_source("figure1"),
+        """
+            ld [%fp-8], %o0
+            ld [%fp-12], %o1
+            add %o0, %o1, %o2
+            smul %o2, 3, %o3
+            mov 1, %o4
+            mov 2, %o5
+        """,
+        kernel_source("dot_product"),
+    ])
+    def test_matches_brute_force(self, source):
+        machine = generic_risc()
+        dag = dag_of(source)
+        result, proved = branch_and_bound_schedule(dag, machine)
+        assert proved
+        verify_order(result.order, dag)
+        assert result.makespan == brute_force_makespan(dag, machine)
+
+    def test_never_worse_than_heuristics(self):
+        machine = generic_risc()
+        for kernel in ("figure1", "dot_product", "superscalar_mix"):
+            dag = dag_of(kernel_source(kernel))
+            optimal, proved = branch_and_bound_schedule(dag, machine)
+            heuristic = schedule_forward(dag, machine,
+                                         winnowing("max_delay_to_leaf"))
+            assert optimal.makespan <= heuristic.makespan
+            assert proved
+
+    def test_block_size_cap(self):
+        dag = dag_of("\n".join(f"mov {i}, %o0" for i in range(20)))
+        with pytest.raises(SchedulingError):
+            branch_and_bound_schedule(dag, generic_risc(),
+                                      max_block_size=16)
+
+    def test_expansion_cap_returns_feasible(self):
+        dag = dag_of(kernel_source("daxpy"))
+        result, proved = branch_and_bound_schedule(
+            dag, generic_risc(), max_expansions=10)
+        verify_order(result.order, dag)
+        # With so few expansions the incumbent is returned unproved.
+        assert not proved
+
+    def test_runs_backward_pass_if_needed(self):
+        blocks = partition_blocks(parse_asm(kernel_source("figure1")))
+        dag = TableForwardBuilder(generic_risc()).build(blocks[0]).dag
+        result, proved = branch_and_bound_schedule(dag, generic_risc())
+        assert proved
+        assert result.makespan == 24

@@ -1,0 +1,173 @@
+"""Tests for basic-block partitioning and instruction windows."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import apply_window, partition_blocks
+from repro.cfg.basic_block import BasicBlock
+from repro.isa.opcodes import InstructionClass
+
+
+def blocks_of(source: str):
+    return partition_blocks(parse_asm(source))
+
+
+class TestPartitioning:
+    def test_straight_line_is_one_block(self):
+        blocks = blocks_of("add %o1, %o2, %o3\nsub %o3, 1, %o4\n")
+        assert len(blocks) == 1
+        assert blocks[0].size == 2
+
+    def test_branch_ends_block(self):
+        blocks = blocks_of("""
+            cmp %o1, 0
+            be out
+            nop
+            add %o1, 1, %o2
+        out:
+            nop
+        """)
+        # Block 0: cmp + be.  Block 1: delay-slot nop + add.  Block 2: out.
+        assert [b.size for b in blocks] == [2, 2, 1]
+
+    def test_delay_slot_counts_with_following_block(self):
+        # The paper: "A delay slot instruction, including that for an
+        # annulling branch, is included in the counts for the basic
+        # block following the branch."
+        blocks = blocks_of("ba out\nnop\nout: nop\n")
+        assert blocks[0].instructions[-1].opcode.mnemonic == "ba"
+        assert blocks[1].instructions[0].opcode.mnemonic == "nop"
+
+    def test_annulled_branch_same_rule(self):
+        blocks = blocks_of("be,a out\nadd %o1, 1, %o2\nout: nop\n")
+        assert blocks[0].size == 1
+        assert blocks[1].instructions[0].opcode.mnemonic == "add"
+
+    def test_call_ends_block(self):
+        blocks = blocks_of("call helper\nnop\nadd %o1, 1, %o2\n")
+        assert blocks[0].size == 1
+        assert blocks[1].size == 2
+
+    def test_save_restore_end_blocks(self):
+        blocks = blocks_of("""
+            save %sp, -96, %sp
+            add %i0, %i1, %l0
+            restore %g0, %g0, %g0
+            nop
+        """)
+        assert [b.size for b in blocks] == [1, 2, 1]
+
+    def test_label_starts_block(self):
+        blocks = blocks_of("nop\nmid: nop\nnop\n")
+        assert [b.size for b in blocks] == [1, 2]
+        assert blocks[1].label == "mid"
+
+    def test_return_ends_block(self):
+        blocks = blocks_of("retl\nnop\n")
+        assert [b.size for b in blocks] == [1, 1]
+
+    def test_every_instruction_in_exactly_one_block(self):
+        source = """
+        a:  cmp %o1, 0
+            be b
+            nop
+            add %o1, 1, %o2
+        b:  call x
+            nop
+            retl
+            nop
+        """
+        program = parse_asm(source)
+        blocks = partition_blocks(program)
+        seen = [i.index for b in blocks for i in b.instructions]
+        assert sorted(seen) == list(range(len(program)))
+        assert len(seen) == len(set(seen))
+
+    def test_blocks_numbered_consecutively(self):
+        blocks = blocks_of("ba x\nnop\nx: ba y\nnop\ny: nop\n")
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_empty_program(self):
+        assert blocks_of("") == []
+
+    def test_terminator_property(self):
+        blocks = blocks_of("cmp %o0, 1\nbe z\nnop\nz: nop")
+        assert blocks[0].terminator is not None
+        assert blocks[0].terminator.opcode.mnemonic == "be"
+        assert blocks[1].terminator is None
+
+
+class TestBlockHelpers:
+    def test_unique_memory_exprs(self):
+        block = blocks_of("""
+            ld [%fp-8], %o0
+            ld [%fp-8], %o1
+            st %o0, [%fp-12]
+            ld [counter], %o2
+        """)[0]
+        assert block.unique_memory_exprs() == {"%i6-8", "%i6-12", "counter"}
+
+    def test_instruction_class_counts(self):
+        block = blocks_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            faddd %f0, %f2, %f4
+        """)[0]
+        counts = block.instruction_class_counts()
+        assert counts[InstructionClass.LOAD] == 1
+        assert counts[InstructionClass.IALU] == 1
+        assert counts[InstructionClass.FPADD] == 1
+
+    def test_iteration_and_len(self):
+        block = blocks_of("nop\nnop\n")[0]
+        assert len(block) == 2
+        assert len(list(block)) == 2
+
+
+class TestWindows:
+    def _block(self, n: int, index: int = 0) -> BasicBlock:
+        program = parse_asm("\n".join("nop" for _ in range(n)))
+        return BasicBlock(index, program.instructions)
+
+    def test_no_window_returns_input(self):
+        blocks = [self._block(10)]
+        assert apply_window(blocks, None) is blocks
+
+    def test_small_blocks_untouched(self):
+        out = apply_window([self._block(10)], 20)
+        assert [b.size for b in out] == [10]
+
+    def test_split_exact_multiple(self):
+        out = apply_window([self._block(20)], 10)
+        assert [b.size for b in out] == [10, 10]
+
+    def test_split_with_remainder(self):
+        out = apply_window([self._block(25)], 10)
+        assert [b.size for b in out] == [10, 10, 5]
+
+    def test_windowed_from_backref(self):
+        out = apply_window([self._block(25, index=3)], 10)
+        assert all(b.windowed_from == 3 for b in out)
+
+    def test_unsplit_blocks_have_no_backref(self):
+        out = apply_window([self._block(5, index=1)], 10)
+        assert out[0].windowed_from is None
+
+    def test_renumbering(self):
+        out = apply_window([self._block(25), self._block(5, 1)], 10)
+        assert [b.index for b in out] == [0, 1, 2, 3]
+
+    def test_instructions_preserved_in_order(self):
+        block = self._block(25)
+        out = apply_window([block], 10)
+        flattened = [i for b in out for i in b.instructions]
+        assert flattened == block.instructions
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            apply_window([self._block(5)], 0)
+
+    def test_double_windowing_keeps_original_backref(self):
+        out1 = apply_window([self._block(40, index=7)], 20)
+        out2 = apply_window(out1, 10)
+        assert all(b.windowed_from == 7 for b in out2)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, BUILDERS, MACHINES, main
+from repro.workloads import kernel_source
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "kernel.s"
+    path.write_text(kernel_source("daxpy"))
+    return str(path)
+
+
+def run_cli(argv):
+    lines: list[str] = []
+    status = main(argv, out=lines.append)
+    return status, "\n".join(lines)
+
+
+class TestScheduleCommand:
+    def test_section6_default(self, asm_file):
+        status, text = run_cli(["schedule", asm_file])
+        assert status == 0
+        assert "total:" in text
+        assert "ldd" in text
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm(self, asm_file, algorithm):
+        status, text = run_cli(["schedule", asm_file,
+                                "--algorithm", algorithm])
+        assert status == 0
+        assert "block 0:" in text
+
+    @pytest.mark.parametrize("machine", sorted(MACHINES))
+    def test_every_machine(self, asm_file, machine):
+        status, _ = run_cli(["schedule", asm_file, "--machine", machine])
+        assert status == 0
+
+    def test_schedule_reports_improvement(self, asm_file):
+        _, text = run_cli(["schedule", asm_file, "--machine", "sparc"])
+        summary = [l for l in text.splitlines() if l.startswith("! total")]
+        assert len(summary) == 1
+        assert "->" in summary[0]
+
+    def test_window_option(self, asm_file):
+        status, text = run_cli(["schedule", asm_file, "--window", "4"])
+        assert status == 0
+        assert text.count("! block") >= 3  # daxpy split into chunks
+
+    def test_emits_all_instructions(self, asm_file):
+        _, text = run_cli(["schedule", asm_file])
+        body = [l for l in text.splitlines() if l.startswith("\t")]
+        from repro.asm import parse_asm
+        assert len(body) == len(parse_asm(kernel_source("daxpy")))
+
+
+class TestDagCommand:
+    @pytest.mark.parametrize("builder", sorted(BUILDERS))
+    def test_every_builder(self, asm_file, builder):
+        status, text = run_cli(["dag", asm_file, "--builder", builder])
+        assert status == 0
+        assert "arcs" in text
+        assert "RAW" in text
+
+    def test_dag_lists_nodes(self, asm_file):
+        _, text = run_cli(["dag", asm_file])
+        assert "fmuld" in text
+
+    def test_dag_dot_output(self, asm_file):
+        status, text = run_cli(["dag", asm_file, "--dot"])
+        assert status == 0
+        assert text.startswith("digraph")
+        assert "->" in text
+
+
+class TestStatsCommand:
+    def test_table3_row(self, asm_file):
+        status, text = run_cli(["stats", asm_file])
+        assert status == 0
+        assert "insts/bb max" in text
+
+    def test_stats_with_window(self, asm_file):
+        _, unwindowed = run_cli(["stats", asm_file])
+        _, windowed = run_cli(["stats", asm_file, "--window", "3"])
+        assert unwindowed != windowed
+
+
+class TestMinicCommand:
+    @pytest.fixture
+    def c_file(self, tmp_path):
+        path = tmp_path / "kernel.c"
+        path.write_text("double a, b, c; int i;\n"
+                        "c = a * b + c / a;\n"
+                        "i = (i + 1) % 5;\n")
+        return str(path)
+
+    def test_compile_only(self, c_file):
+        status, text = run_cli(["minic", c_file])
+        assert status == 0
+        assert "fdivd" in text
+        assert "sdiv" in text
+
+    def test_compile_and_schedule(self, c_file):
+        status, text = run_cli(["minic", c_file, "--schedule"])
+        assert status == 0
+        assert "-> " in text and "cycles" in text
+
+    def test_machine_option(self, c_file):
+        status, _ = run_cli(["minic", c_file, "--schedule",
+                             "--machine", "sparc"])
+        assert status == 0
+
+
+class TestParser:
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            run_cli(["bogus"])
+
+    def test_unknown_algorithm_fails(self, asm_file):
+        with pytest.raises(SystemExit):
+            run_cli(["schedule", asm_file, "--algorithm", "nope"])
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_cli(["schedule", "/nonexistent/file.s"])

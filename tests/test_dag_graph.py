@@ -1,0 +1,183 @@
+"""Tests for the DAG data structure and add_arc counter maintenance."""
+
+import pytest
+
+from repro.asm.parser import parse_instruction_text
+from repro.dep import DepType
+from repro.dag.graph import Dag
+from repro.errors import DagError
+
+
+def make_dag(n: int) -> Dag:
+    dag = Dag()
+    for i in range(n):
+        dag.add_node(parse_instruction_text("nop", index=i),
+                     execution_time=1)
+    return dag
+
+
+class TestAddArc:
+    def test_arc_links_both_sides(self):
+        dag = make_dag(2)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 2)
+        assert arc in dag.nodes[0].out_arcs
+        assert arc in dag.nodes[1].in_arcs
+
+    def test_counters_maintained(self):
+        # Table 1 legend "a": determined when the arc is added.
+        dag = make_dag(3)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 2)
+        dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 5)
+        n0 = dag.nodes[0]
+        assert n0.n_children == 2
+        assert n0.sum_delays_to_children == 7
+        assert n0.max_delay_to_child == 5
+        assert dag.nodes[2].n_parents == 1
+        assert dag.nodes[2].sum_delays_from_parents == 5
+        assert dag.nodes[2].max_delay_from_parent == 5
+
+    def test_interlock_with_child_flag(self):
+        # "initialized as false and then set to true whenever the
+        # add_arc procedure is called with an arc delay greater than 1"
+        dag = make_dag(3)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        assert not dag.nodes[0].interlock_with_child
+        dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 2)
+        assert dag.nodes[0].interlock_with_child
+
+    def test_parallel_arcs_merge(self):
+        dag = make_dag(2)
+        first = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.WAR, 1)
+        second = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 4)
+        assert second is None
+        assert dag.n_arcs == 1
+        assert dag.n_merged_arcs == 1
+        assert first.delay == 4
+        assert first.dep is DepType.RAW
+
+    def test_merge_keeps_larger_delay(self):
+        dag = make_dag(2)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 5)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.WAW, 1)
+        assert arc.delay == 5
+        assert arc.dep is DepType.RAW
+
+    def test_merge_updates_aggregates(self):
+        dag = make_dag(2)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.WAR, 1)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 4)
+        assert dag.nodes[0].sum_delays_to_children == 4
+        assert dag.nodes[0].n_children == 1
+
+    def test_self_arc_raises(self):
+        dag = make_dag(1)
+        with pytest.raises(DagError):
+            dag.add_arc(dag.nodes[0], dag.nodes[0], DepType.RAW, 1)
+
+    def test_backward_arc_raises(self):
+        dag = make_dag(2)
+        with pytest.raises(DagError):
+            dag.add_arc(dag.nodes[1], dag.nodes[0], DepType.RAW, 1)
+
+
+class TestRemoveArc:
+    def test_remove_reverses_counters(self):
+        dag = make_dag(3)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 5)
+        dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 2)
+        dag.remove_arc(arc)
+        n0 = dag.nodes[0]
+        assert n0.n_children == 1
+        assert n0.sum_delays_to_children == 2
+        assert n0.max_delay_to_child == 2
+        assert dag.nodes[1].n_parents == 0
+
+    def test_remove_updates_interlock(self):
+        dag = make_dag(2)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 4)
+        assert dag.nodes[0].interlock_with_child
+        dag.remove_arc(arc)
+        assert not dag.nodes[0].interlock_with_child
+
+    def test_remove_unknown_arc_raises(self):
+        dag = make_dag(2)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        dag.remove_arc(arc)
+        with pytest.raises(DagError):
+            dag.remove_arc(arc)
+
+    def test_arc_can_be_readded_after_removal(self):
+        dag = make_dag(2)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        dag.remove_arc(arc)
+        assert dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.WAW, 2) \
+            is not None
+
+
+class TestQueries:
+    def test_roots_and_leaves(self):
+        dag = make_dag(3)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        assert [n.id for n in dag.roots()] == [0, 2]
+        assert [n.id for n in dag.leaves()] == [1, 2]
+
+    def test_children_parents_lists(self):
+        dag = make_dag(3)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 1)
+        assert [c.id for c in dag.nodes[0].children()] == [1, 2]
+        assert [p.id for p in dag.nodes[1].parents()] == [0]
+
+    def test_arc_to(self):
+        dag = make_dag(2)
+        arc = dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        assert dag.nodes[0].arc_to(dag.nodes[1]) is arc
+        assert dag.nodes[1].arc_to(dag.nodes[0]) is None
+
+    def test_arcs_listing(self):
+        dag = make_dag(3)
+        dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 1)
+        dag.add_arc(dag.nodes[1], dag.nodes[2], DepType.RAW, 1)
+        assert len(dag.arcs()) == 2
+
+    def test_real_nodes_excludes_dummies(self):
+        dag = make_dag(2)
+        dag.add_node(None)
+        assert len(dag.real_nodes()) == 2
+        assert len(dag) == 3
+
+
+class TestScheduleState:
+    def test_reset_counts_real_neighbors_only(self):
+        from repro.dag.forest import attach_dummy_root
+        dag = make_dag(2)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        attach_dummy_root(dag)
+        dag.reset_schedule_state()
+        assert dag.nodes[0].unscheduled_parents == 0
+        assert dag.nodes[1].unscheduled_parents == 1
+        assert dag.nodes[0].unscheduled_children == 1
+
+    def test_reset_clears_dynamic_state(self):
+        dag = make_dag(1)
+        node = dag.nodes[0]
+        node.scheduled = True
+        node.issue_time = 9
+        node.earliest_exec_time = 4
+        node.priority_bias = 2
+        dag.reset_schedule_state()
+        assert not node.scheduled
+        assert node.issue_time == -1
+        assert node.earliest_exec_time == 0
+        assert node.priority_bias == 0
+
+    def test_topological_order_places_dummies_at_boundaries(self):
+        from repro.dag.forest import attach_dummy_leaf, attach_dummy_root
+        dag = make_dag(2)
+        dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+        attach_dummy_root(dag)
+        attach_dummy_leaf(dag)
+        order = dag.topological_order()
+        assert order[0] is dag.dummy_root
+        assert order[-1] is dag.dummy_leaf
+        assert [n.id for n in order[1:-1]] == [0, 1]

@@ -1,0 +1,107 @@
+"""Tests for scheduling-decision recording and heuristic forensics."""
+
+import pytest
+
+from repro.analysis.decisions import decision_histogram, deciding_rank
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc
+from repro.scheduling.list_scheduler import Decision, schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.workloads import kernel_source
+
+TERMS = ("max_path_to_leaf", "max_delay_to_leaf", "max_delay_to_child")
+PRIORITY = winnowing(*TERMS)
+
+
+def run_with_decisions(source: str):
+    machine = generic_risc()
+    blocks = partition_blocks(parse_asm(source))
+    dag = TableForwardBuilder(machine).build(blocks[0]).dag
+    backward_pass(dag, require_est=False)
+    decisions: list[Decision] = []
+    result = schedule_forward(dag, machine, PRIORITY,
+                              decisions=decisions)
+    return result, decisions
+
+
+class TestDecisionRecording:
+    def test_one_decision_per_pick(self):
+        result, decisions = run_with_decisions(kernel_source("daxpy"))
+        assert len(decisions) == len(result.order)
+
+    def test_chosen_matches_order(self):
+        result, decisions = run_with_decisions(kernel_source("daxpy"))
+        assert [d.chosen for d in decisions] == \
+            [n.id for n in result.order]
+
+    def test_chosen_in_candidates(self):
+        _, decisions = run_with_decisions(kernel_source("livermore1"))
+        for d in decisions:
+            assert d.chosen in d.candidates
+            assert set(d.priorities) == set(d.candidates)
+
+    def test_chosen_has_max_priority(self):
+        _, decisions = run_with_decisions(kernel_source("livermore1"))
+        for d in decisions:
+            best = max(d.priorities.values())
+            assert d.priorities[d.chosen] == best
+
+    def test_no_recording_by_default(self):
+        machine = generic_risc()
+        blocks = partition_blocks(parse_asm("nop"))
+        dag = TableForwardBuilder(machine).build(blocks[0]).dag
+        backward_pass(dag, require_est=False)
+        result = schedule_forward(dag, machine, PRIORITY)
+        assert result.order  # simply runs without a decisions list
+
+
+class TestDecidingRank:
+    def test_single_candidate_is_no_choice(self):
+        d = Decision(0, 5, (5,), {5: (1, 2, 3)})
+        assert deciding_rank(d) is None
+
+    def test_first_rank_decides(self):
+        d = Decision(0, 1, (1, 2), {1: (5, 0, 0), 2: (3, 9, 9)})
+        assert deciding_rank(d) == 0
+
+    def test_later_rank_decides_after_tie(self):
+        d = Decision(0, 1, (1, 2), {1: (5, 7, 0), 2: (5, 3, 9)})
+        assert deciding_rank(d) == 1
+
+    def test_full_tie_falls_to_original_order(self):
+        d = Decision(0, 1, (1, 2), {1: (5, 7, 2), 2: (5, 7, 2)})
+        assert deciding_rank(d) is None
+
+    def test_three_way(self):
+        d = Decision(0, 3, (1, 2, 3),
+                     {1: (4, 9, 9), 2: (5, 1, 9), 3: (5, 2, 0)})
+        assert deciding_rank(d) == 1
+
+    def test_non_tuple_priorities_rejected(self):
+        d = Decision(0, 1, (1, 2), {1: 10, 2: 5})
+        with pytest.raises(TypeError):
+            deciding_rank(d)
+
+
+class TestHistogram:
+    def test_counts_sum_to_decisions(self):
+        _, decisions = run_with_decisions(kernel_source("livermore1"))
+        hist = decision_histogram(decisions, TERMS)
+        assert sum(hist.values()) == len(decisions)
+
+    def test_all_terms_present(self):
+        _, decisions = run_with_decisions(kernel_source("daxpy"))
+        hist = decision_histogram(decisions, TERMS)
+        assert set(hist) == {*TERMS, "original order", "no choice"}
+
+    def test_critical_path_dominates_on_daxpy(self):
+        _, decisions = run_with_decisions(kernel_source("daxpy"))
+        hist = decision_histogram(decisions, TERMS)
+        contested = sum(hist.values()) - hist["no choice"]
+        assert contested > 0
+        # The first two critical-path ranks decide most contested picks.
+        assert hist["max_path_to_leaf"] + hist["max_delay_to_leaf"] \
+            >= hist["original order"]

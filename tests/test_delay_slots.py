@@ -1,0 +1,102 @@
+"""Tests for the branch delay-slot filler."""
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc
+from repro.scheduling.delay_slots import fill_delay_slot
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+
+
+def scheduled(source: str):
+    machine = generic_risc()
+    block = partition_blocks(parse_asm(source))[0]
+    dag = TableForwardBuilder(machine).build(block).dag
+    backward_pass(dag)
+    result = schedule_forward(dag, machine, winnowing("max_delay_to_leaf"))
+    return dag, result.order
+
+
+class TestFillDelaySlot:
+    def test_moves_safe_instruction_after_branch(self):
+        dag, order = scheduled("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            st %o1, [%fp-16]
+            cmp %o0, 5
+            bl loop
+        """)
+        new_order, filler = fill_delay_slot(order, dag)
+        assert filler is not None
+        assert new_order[-1] is filler
+        assert new_order[-2].instr.opcode.mnemonic == "bl"
+        # The store is the natural filler: leaf node, branch-independent.
+        assert filler.instr.opcode.mnemonic == "st"
+
+    def test_branch_feeder_not_moved(self):
+        dag, order = scheduled("""
+            ld [%fp-8], %o0
+            cmp %o0, 5
+            bl loop
+        """)
+        new_order, filler = fill_delay_slot(order, dag)
+        # Both remaining instructions feed the branch via %icc/%o0.
+        assert filler is None
+        assert new_order == order
+
+    def test_instruction_with_consumers_not_moved(self):
+        dag, order = scheduled("""
+            mov 4, %o3
+            add %o3, 1, %o4
+            cmp %o1, 5
+            bl loop
+        """)
+        new_order, filler = fill_delay_slot(order, dag)
+        # mov feeds add, so only add (a leaf, branch-independent) can
+        # fill the slot.
+        assert filler is not None
+        assert filler.instr.opcode.mnemonic == "add"
+
+    def test_annulled_branch_never_filled(self):
+        # be,a executes its slot only when taken: filling it would
+        # remove the filler from the fall-through path.
+        dag, order = scheduled("""
+            st %o0, [%fp-8]
+            cmp %o1, 5
+            be,a loop
+        """)
+        new_order, filler = fill_delay_slot(order, dag)
+        assert filler is None
+        assert new_order == order
+
+    def test_non_delayed_terminator_untouched(self):
+        dag, order = scheduled("""
+            add %i0, %i1, %l0
+            mov 1, %l1
+            save %sp, -96, %sp
+        """)
+        new_order, filler = fill_delay_slot(order, dag)
+        assert filler is None
+
+    def test_no_terminator(self):
+        dag, order = scheduled("mov 1, %o0\nmov 2, %o1")
+        new_order, filler = fill_delay_slot(order, dag)
+        assert filler is None
+        assert new_order == order
+
+    def test_empty_order(self):
+        from repro.dag.graph import Dag
+        assert fill_delay_slot([], Dag()) == ([], None)
+
+    def test_prefers_latest_legal_instruction(self):
+        dag, order = scheduled("""
+            st %o0, [%fp-8]
+            st %o1, [%fp-12]
+            cmp %o2, 5
+            bl loop
+        """)
+        _, filler = fill_delay_slot(order, dag)
+        # Both stores are legal; the one nearest the branch moves.
+        assert filler.instr.render() == "st %o1, [%i6-12]"

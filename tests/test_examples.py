@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs and prints its key lines."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "DAG:" in out
+        assert "scheduled order" in out
+        assert "cycle" in out
+
+    def test_transitive_arcs(self, capsys):
+        out = run_example("transitive_arcs.py", capsys)
+        assert "LOSES it" in out
+        assert "keeps the 20-cycle arc" in out
+        assert "wrong by 15" in out
+
+    def test_compare_schedulers(self, capsys):
+        out = run_example("compare_schedulers.py", capsys)
+        assert "Warren" in out
+        assert "figure1" in out
+        assert "original" in out
+
+    def test_large_blocks(self, capsys):
+        out = run_example("large_blocks.py", capsys)
+        assert "block size" in out
+        assert "window" in out
+
+    def test_prepass_pressure(self, capsys):
+        out = run_example("prepass_pressure.py", capsys)
+        assert "max pressure" in out
+
+    def test_superscalar_pairing(self, capsys):
+        out = run_example("superscalar_pairing.py", capsys)
+        assert "alternate-type schedule" in out
+
+    def test_minic_pipeline(self, capsys):
+        out = run_example("minic_pipeline.py", capsys)
+        assert "compiled to" in out
+        assert "fdivd" in out
+        assert "makespan" in out
+
+    def test_all_examples_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {"quickstart.py", "transitive_arcs.py",
+                  "compare_schedulers.py", "large_blocks.py",
+                  "prepass_pressure.py", "superscalar_pairing.py",
+                  "minic_pipeline.py"}
+        assert scripts == tested

@@ -1,0 +1,79 @@
+"""Tests for DAG export (DOT / networkx)."""
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableBackwardBuilder
+from repro.dag.export import to_dot, to_networkx
+from repro.dag.forest import attach_dummy_root
+from repro.machine import generic_risc
+from repro.workloads import kernel_source
+
+
+def figure1_dag():
+    blocks = partition_blocks(parse_asm(kernel_source("figure1")))
+    return TableBackwardBuilder(generic_risc()).build(blocks[0]).dag
+
+
+class TestToDot:
+    def test_valid_digraph_shape(self):
+        dot = to_dot(figure1_dag(), name="fig1")
+        assert dot.startswith('digraph "fig1" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_all_nodes_and_arcs_present(self):
+        dag = figure1_dag()
+        dot = to_dot(dag)
+        for node in dag.nodes:
+            assert f"n{node.id} [" in dot
+        assert dot.count("->") == dag.n_arcs
+
+    def test_dep_styles(self):
+        dot = to_dot(figure1_dag())
+        assert "style=dashed" in dot   # WAR
+        assert "style=solid" in dot    # RAW
+
+    def test_transitive_highlighting(self):
+        dot = to_dot(figure1_dag(), highlight_transitive=True)
+        # Figure 1's transitive arc is timing-essential: bold red.
+        assert "color=red penwidth=2" in dot
+
+    def test_dummy_nodes_rendered(self):
+        dag = figure1_dag()
+        attach_dummy_root(dag)
+        dot = to_dot(dag)
+        assert "entry/exit" in dot
+
+    def test_label_escaping(self):
+        dot = to_dot(figure1_dag(), name='we"ird')
+        assert 'digraph "we\\"ird"' in dot
+
+
+class TestToNetworkx:
+    def test_structure_matches(self):
+        dag = figure1_dag()
+        graph = to_networkx(dag)
+        assert graph.number_of_nodes() == len(dag)
+        assert graph.number_of_edges() == dag.n_arcs
+
+    def test_attributes(self):
+        dag = figure1_dag()
+        graph = to_networkx(dag)
+        assert graph.nodes[0]["execution_time"] == 20
+        assert graph.edges[0, 2]["delay"] == 20
+        assert graph.edges[0, 1]["dep"] == "WAR"
+
+    def test_is_a_dag(self):
+        import networkx as nx
+        assert nx.is_directed_acyclic_graph(to_networkx(figure1_dag()))
+
+    def test_longest_path_matches_critical_length(self):
+        import networkx as nx
+        from repro.heuristics.critical_path import critical_path_length
+        from repro.heuristics.passes import forward_pass
+        dag = figure1_dag()
+        forward_pass(dag)
+        graph = to_networkx(dag)
+        longest = nx.dag_longest_path_length(graph, weight="delay")
+        # Longest delay path (20) + the final leaf's execution (4).
+        assert longest + dag.nodes[2].execution_time == \
+            critical_path_length(dag)

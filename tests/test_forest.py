@@ -1,0 +1,97 @@
+"""Tests for forests and dummy nodes."""
+
+from repro.asm.parser import parse_instruction_text
+from repro.dep import DepType
+from repro.dag.forest import (
+    attach_dummy_leaf,
+    attach_dummy_root,
+    forest_components,
+    forest_leaves,
+    forest_roots,
+)
+from repro.dag.graph import Dag
+
+
+def two_tree_forest() -> Dag:
+    """Components {0->1, 0->2} and {3->4}."""
+    dag = Dag()
+    for i in range(5):
+        dag.add_node(parse_instruction_text("nop", index=i),
+                     execution_time=i + 1)
+    dag.add_arc(dag.nodes[0], dag.nodes[1], DepType.RAW, 1)
+    dag.add_arc(dag.nodes[0], dag.nodes[2], DepType.RAW, 1)
+    dag.add_arc(dag.nodes[3], dag.nodes[4], DepType.RAW, 1)
+    return dag
+
+
+class TestForestQueries:
+    def test_roots(self):
+        dag = two_tree_forest()
+        assert [n.id for n in forest_roots(dag)] == [0, 3]
+
+    def test_leaves(self):
+        dag = two_tree_forest()
+        assert [n.id for n in forest_leaves(dag)] == [1, 2, 4]
+
+    def test_components(self):
+        dag = two_tree_forest()
+        comps = forest_components(dag)
+        assert [[n.id for n in c] for c in comps] == [[0, 1, 2], [3, 4]]
+
+    def test_isolated_node_is_own_component(self):
+        dag = Dag()
+        dag.add_node(parse_instruction_text("nop"))
+        assert len(forest_components(dag)) == 1
+
+
+class TestDummyRoot:
+    def test_connects_all_roots(self):
+        # "a unique dummy root node as the parent of all true roots"
+        dag = two_tree_forest()
+        dummy = attach_dummy_root(dag)
+        assert dag.dummy_root is dummy
+        assert {a.child.id for a in dummy.out_arcs} == {0, 3}
+
+    def test_dummy_arcs_have_zero_delay(self):
+        dag = two_tree_forest()
+        dummy = attach_dummy_root(dag)
+        assert all(a.delay == 0 for a in dummy.out_arcs)
+
+    def test_idempotent(self):
+        dag = two_tree_forest()
+        d1 = attach_dummy_root(dag)
+        d2 = attach_dummy_root(dag)
+        assert d1 is d2
+        assert len(dag) == 6
+
+    def test_roots_after_attachment(self):
+        dag = two_tree_forest()
+        attach_dummy_root(dag)
+        assert forest_roots(dag) != []  # true roots still identified
+
+
+class TestDummyLeaf:
+    def test_connects_all_leaves(self):
+        dag = two_tree_forest()
+        dummy = attach_dummy_leaf(dag)
+        assert {a.parent.id for a in dummy.in_arcs} == {1, 2, 4}
+
+    def test_leaf_arc_delay_is_execution_time(self):
+        # So the dummy leaf's EST equals the critical path length.
+        dag = two_tree_forest()
+        dummy = attach_dummy_leaf(dag)
+        for arc in dummy.in_arcs:
+            assert arc.delay == arc.parent.execution_time
+
+    def test_idempotent(self):
+        dag = two_tree_forest()
+        assert attach_dummy_leaf(dag) is attach_dummy_leaf(dag)
+
+    def test_est_of_dummy_leaf_is_critical_path(self):
+        from repro.heuristics.passes import forward_pass
+        dag = two_tree_forest()
+        dummy = attach_dummy_leaf(dag)
+        forward_pass(dag)
+        # Critical path: 0 (exec 1) -> arc 1 -> 2 (exec 3) -> dummy: 1+3=4;
+        # component 2: 3 -> 4 (exec 5): 1 + 5 = 6.
+        assert dummy.est == 6

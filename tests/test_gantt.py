@@ -1,0 +1,72 @@
+"""Tests for the text Gantt renderer."""
+
+from repro.analysis.gantt import render_gantt
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.workloads import kernel_source
+
+
+def figure1_schedule():
+    machine = generic_risc()
+    blocks = partition_blocks(parse_asm(kernel_source("figure1")))
+    dag = TableForwardBuilder(machine).build(blocks[0]).dag
+    backward_pass(dag)
+    result = schedule_forward(dag, machine, winnowing("max_delay_to_leaf"))
+    return result, machine
+
+
+class TestRenderGantt:
+    def test_row_per_instruction(self):
+        result, machine = figure1_schedule()
+        chart = render_gantt(result.order, result.timing, machine)
+        lines = chart.splitlines()
+        assert len(lines) == 2 + len(result.order)  # ruler + rows + footer
+
+    @staticmethod
+    def _bar(row: str, order) -> str:
+        label_width = min(32, max(len(n.instr.render()) for n in order))
+        return row[label_width + 2:]
+
+    def test_issue_marks_align_with_issue_times(self):
+        result, machine = figure1_schedule()
+        chart = render_gantt(result.order, result.timing, machine)
+        rows = chart.splitlines()[1:-1]
+        for row, issue in zip(rows, result.timing.issue_times):
+            assert self._bar(row, result.order).index("#") == issue
+
+    def test_execution_bars_have_exec_length(self):
+        result, machine = figure1_schedule()
+        chart = render_gantt(result.order, result.timing, machine)
+        divider_row = next(r for r in chart.splitlines() if "fdivd" in r)
+        # 1 issue mark + 19 continuation cells for the 20-cycle divide.
+        assert self._bar(divider_row, result.order).count("=") == 19
+
+    def test_makespan_footer(self):
+        result, machine = figure1_schedule()
+        chart = render_gantt(result.order, result.timing, machine)
+        assert chart.splitlines()[-1] == \
+            f"makespan: {result.makespan} cycles"
+
+    def test_truncation(self):
+        result, machine = figure1_schedule()
+        chart = render_gantt(result.order, result.timing, machine,
+                             max_width=5)
+        assert "truncated" in chart
+        assert any(line.endswith("+") for line in chart.splitlines())
+
+    def test_empty_schedule(self):
+        from repro.scheduling.timing import ScheduleTiming
+        assert "(empty schedule)" in render_gantt(
+            [], ScheduleTiming((), 0, 0), generic_risc())
+
+    def test_long_mnemonics_truncated(self):
+        result, machine = figure1_schedule()
+        chart = render_gantt(result.order, result.timing, machine)
+        for line in chart.splitlines():
+            label = line.split("  ")[0]
+            assert len(label) <= 32

@@ -1,0 +1,155 @@
+"""Tests for the intermediate heuristic-calculation passes (section 4)."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableBackwardBuilder, TableForwardBuilder
+from repro.dag.forest import attach_dummy_leaf, attach_dummy_root
+from repro.heuristics.passes import (
+    backward_pass,
+    backward_pass_levels,
+    compute_levels,
+    forward_pass,
+)
+from repro.heuristics.critical_path import (
+    critical_path_length,
+    critical_path_nodes,
+)
+from repro.machine import generic_risc
+from repro.workloads import kernel_source
+
+
+def build_dag(source: str):
+    blocks = partition_blocks(parse_asm(source))
+    return TableForwardBuilder(generic_risc()).build(blocks[0]).dag
+
+
+@pytest.fixture
+def fig1():
+    dag = build_dag(kernel_source("figure1"))
+    return dag
+
+
+class TestForwardPass:
+    def test_figure1_values(self, fig1):
+        forward_pass(fig1)
+        n = fig1.nodes
+        assert [x.max_path_from_root for x in n] == [0, 1, 2]
+        assert [x.max_delay_from_root for x in n] == [0, 1, 20]
+        assert [x.est for x in n] == [0, 1, 20]
+
+    def test_roots_are_zero(self, fig1):
+        forward_pass(fig1)
+        assert fig1.nodes[0].est == 0
+        assert fig1.nodes[0].max_path_from_root == 0
+
+    def test_est_uses_arc_delays_not_path_length(self):
+        dag = build_dag("fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8")
+        forward_pass(dag)
+        assert dag.nodes[1].est == 20
+
+    def test_rerun_is_idempotent(self, fig1):
+        forward_pass(fig1)
+        first = [n.est for n in fig1.nodes]
+        forward_pass(fig1)
+        assert [n.est for n in fig1.nodes] == first
+
+
+class TestBackwardPass:
+    def test_figure1_values(self, fig1):
+        backward_pass(fig1)
+        n = fig1.nodes
+        assert [x.max_path_to_leaf for x in n] == [2, 1, 0]
+        assert [x.max_delay_to_leaf for x in n] == [20, 4, 0]
+
+    def test_lst_and_slack(self, fig1):
+        backward_pass(fig1)
+        n = fig1.nodes
+        # Critical length = est(2) + exec(2) = 24.
+        assert [x.lst for x in n] == [0, 16, 20]
+        assert [x.slack for x in n] == [0, 15, 0]
+
+    def test_critical_path_nodes(self, fig1):
+        backward_pass(fig1)
+        assert [x.id for x in critical_path_nodes(fig1)] == [0, 2]
+
+    def test_critical_path_length(self, fig1):
+        backward_pass(fig1)
+        assert critical_path_length(fig1) == 24
+
+    def test_slack_nonnegative(self):
+        dag = build_dag(kernel_source("daxpy"))
+        backward_pass(dag)
+        assert all(n.slack >= 0 for n in dag.nodes)
+
+    def test_auto_runs_forward_pass(self, fig1):
+        # require_est=True (default) triggers the forward pass.
+        backward_pass(fig1)
+        assert fig1.nodes[2].est == 20
+
+    def test_descendants_computed_on_request(self, fig1):
+        backward_pass(fig1, descendants=True)
+        assert [n.n_descendants for n in fig1.nodes] == [2, 1, 0]
+
+    def test_sum_exec_descendants(self, fig1):
+        backward_pass(fig1, descendants=True)
+        # Node 0's descendants are the two 4-cycle adds.
+        assert fig1.nodes[0].sum_exec_descendants == 8
+        assert fig1.nodes[1].sum_exec_descendants == 4
+
+    def test_descendants_skipped_by_default(self, fig1):
+        backward_pass(fig1)
+        assert all(n.n_descendants == 0 for n in fig1.nodes)
+
+
+class TestLevels:
+    def test_figure1_levels(self, fig1):
+        levels = compute_levels(fig1)
+        assert [[n.id for n in lvl] for lvl in levels] == [[0], [1], [2]]
+
+    def test_forest_levels(self):
+        dag = build_dag("mov 1, %o0\nmov 2, %o1\nadd %o0, %o1, %o2")
+        levels = compute_levels(dag)
+        assert [[n.id for n in lvl] for lvl in levels] == [[0, 1], [2]]
+
+    def test_levels_with_dummies(self, fig1):
+        attach_dummy_root(fig1)
+        attach_dummy_leaf(fig1)
+        levels = compute_levels(fig1)
+        assert fig1.dummy_root.level == 0
+        assert fig1.dummy_leaf.level == len(levels) - 1
+
+
+class TestDriverEquivalence:
+    """Paper conclusion 4: the level algorithm computes nothing the
+    reverse walk does not."""
+
+    @pytest.mark.parametrize("kernel", ["figure1", "daxpy", "livermore1",
+                                        "dot_product"])
+    def test_levels_equals_reverse_walk(self, kernel):
+        machine = generic_risc()
+        blocks = partition_blocks(parse_asm(kernel_source(kernel)))
+        a = TableForwardBuilder(machine).build(blocks[0]).dag
+        b = TableForwardBuilder(machine).build(blocks[0]).dag
+        backward_pass(a, descendants=True)
+        backward_pass_levels(b, descendants=True)
+        for na, nb in zip(a.nodes, b.nodes):
+            assert na.max_path_to_leaf == nb.max_path_to_leaf
+            assert na.max_delay_to_leaf == nb.max_delay_to_leaf
+            assert na.lst == nb.lst
+            assert na.slack == nb.slack
+            assert na.n_descendants == nb.n_descendants
+            assert na.sum_exec_descendants == nb.sum_exec_descendants
+
+    def test_direction_of_construction_does_not_matter(self):
+        # The intermediate pass gives identical results on the forward-
+        # and backward-built DAGs (their arc sets agree).
+        machine = generic_risc()
+        blocks = partition_blocks(parse_asm(kernel_source("livermore1")))
+        fw = TableForwardBuilder(machine).build(blocks[0]).dag
+        bw = TableBackwardBuilder(machine).build(blocks[0]).dag
+        backward_pass(fw)
+        backward_pass(bw)
+        for a, b in zip(fw.nodes, bw.nodes):
+            assert a.max_delay_to_leaf == b.max_delay_to_leaf

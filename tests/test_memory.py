@@ -1,0 +1,155 @@
+"""Tests for memory expressions and the aliasing policies."""
+
+import pytest
+
+from repro.isa.memory import (
+    AliasPolicy,
+    MemExpr,
+    StorageClass,
+    may_alias,
+    storage_class_of,
+)
+
+STACK_A = MemExpr(base="%i6", offset=-8)
+STACK_B = MemExpr(base="%i6", offset=-12)
+PTR_A = MemExpr(base="%o0", offset=4)
+PTR_A2 = MemExpr(base="%o0", offset=8)
+PTR_B = MemExpr(base="%o1", offset=4)
+INDEXED = MemExpr(base="%o0", index="%o1")
+SYM = MemExpr(symbol="counter")
+SYM_OFF = MemExpr(symbol="counter", offset=4)
+SYM_LO = MemExpr(base="%o2", symbol="counter")
+
+
+class TestKeys:
+    def test_stack_key(self):
+        assert STACK_A.key() == "%i6-8"
+
+    def test_positive_offset_key(self):
+        assert PTR_A.key() == "%o0+4"
+
+    def test_no_offset_key(self):
+        assert MemExpr(base="%o0").key() == "%o0"
+
+    def test_indexed_key(self):
+        assert INDEXED.key() == "%o0+%o1"
+
+    def test_symbol_key(self):
+        assert SYM.key() == "counter"
+        assert SYM_OFF.key() == "counter+4"
+
+    def test_base_plus_lo_key(self):
+        assert SYM_LO.key() == "%o2+%lo(counter)"
+
+    def test_distinct_exprs_distinct_keys(self):
+        exprs = [STACK_A, STACK_B, PTR_A, PTR_A2, PTR_B, INDEXED, SYM,
+                 SYM_OFF, SYM_LO]
+        assert len({e.key() for e in exprs}) == len(exprs)
+
+    def test_address_registers(self):
+        assert STACK_A.address_registers == ("%i6",)
+        assert INDEXED.address_registers == ("%o0", "%o1")
+        assert SYM.address_registers == ()
+        assert SYM_LO.address_registers == ("%o2",)
+
+
+class TestStorageClass:
+    def test_frame_pointer_is_stack(self):
+        assert storage_class_of(STACK_A) is StorageClass.STACK
+
+    def test_stack_pointer_is_stack(self):
+        assert storage_class_of(MemExpr(base="%o6", offset=4)) \
+            is StorageClass.STACK
+
+    def test_symbol_is_static(self):
+        assert storage_class_of(SYM) is StorageClass.STATIC
+        assert storage_class_of(SYM_LO) is StorageClass.STATIC
+
+    def test_pointer_is_unknown(self):
+        assert storage_class_of(PTR_A) is StorageClass.UNKNOWN
+
+    def test_indexed_stack_base_is_unknown(self):
+        # An index register can step outside the frame.
+        expr = MemExpr(base="%i6", index="%o0")
+        assert storage_class_of(expr) is StorageClass.UNKNOWN
+
+
+class TestStrictPolicy:
+    def test_everything_aliases(self):
+        assert may_alias(STACK_A, PTR_B, AliasPolicy.STRICT)
+        assert may_alias(SYM, STACK_A, AliasPolicy.STRICT)
+
+    def test_same_expression_aliases(self):
+        assert may_alias(STACK_A, STACK_A, AliasPolicy.STRICT)
+
+
+class TestExpressionPolicy:
+    def test_identical_aliases(self):
+        assert may_alias(PTR_A, MemExpr(base="%o0", offset=4),
+                         AliasPolicy.EXPRESSION)
+
+    def test_distinct_expressions_never_alias(self):
+        assert not may_alias(PTR_A, PTR_B, AliasPolicy.EXPRESSION)
+        assert not may_alias(STACK_A, SYM, AliasPolicy.EXPRESSION)
+        assert not may_alias(PTR_A, PTR_A2, AliasPolicy.EXPRESSION)
+
+
+class TestBaseOffsetPolicy:
+    def test_same_base_different_offset_disjoint(self):
+        # "if two memory references use the same base register but
+        # different offsets, they cannot refer to the same location"
+        assert not may_alias(STACK_A, STACK_B, AliasPolicy.BASE_OFFSET)
+        assert not may_alias(PTR_A, PTR_A2, AliasPolicy.BASE_OFFSET)
+
+    def test_same_base_same_offset_aliases(self):
+        assert may_alias(PTR_A, MemExpr(base="%o0", offset=4),
+                         AliasPolicy.BASE_OFFSET)
+
+    def test_different_bases_serialize(self):
+        # "references using different base registers must still be
+        # serialized"
+        assert may_alias(PTR_A, PTR_B, AliasPolicy.BASE_OFFSET)
+
+    def test_symbol_offsets_disjoint(self):
+        assert not may_alias(SYM, SYM_OFF, AliasPolicy.BASE_OFFSET)
+
+    def test_indexed_always_conservative(self):
+        assert may_alias(INDEXED, MemExpr(base="%o0", index="%o1", offset=0),
+                         AliasPolicy.BASE_OFFSET)
+        assert may_alias(INDEXED, PTR_A, AliasPolicy.BASE_OFFSET)
+
+    def test_pointer_vs_stack_serializes(self):
+        # Without storage classes a pointer may hit the frame.
+        assert may_alias(PTR_A, STACK_A, AliasPolicy.BASE_OFFSET)
+
+
+class TestStorageClassPolicy:
+    def test_stack_vs_static_disjoint(self):
+        assert not may_alias(STACK_A, SYM, AliasPolicy.STORAGE_CLASS)
+
+    def test_stack_vs_unknown_disjoint(self):
+        # Warren: heap-ish pointers do not point into the frame.
+        assert not may_alias(STACK_A, PTR_B, AliasPolicy.STORAGE_CLASS)
+
+    def test_unknown_vs_static_serializes(self):
+        assert may_alias(PTR_A, SYM_OFF, AliasPolicy.STORAGE_CLASS)
+
+    def test_unknown_vs_unknown_serializes(self):
+        assert may_alias(PTR_A, PTR_B, AliasPolicy.STORAGE_CLASS)
+
+    def test_same_base_rule_still_applies(self):
+        assert not may_alias(STACK_A, STACK_B, AliasPolicy.STORAGE_CLASS)
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize("policy", list(AliasPolicy))
+    def test_may_alias_is_symmetric(self, policy):
+        pairs = [(STACK_A, STACK_B), (PTR_A, PTR_B), (SYM, PTR_A),
+                 (STACK_A, SYM), (INDEXED, PTR_A), (SYM, SYM_OFF)]
+        for a, b in pairs:
+            assert may_alias(a, b, policy) == may_alias(b, a, policy)
+
+    @pytest.mark.parametrize("policy", list(AliasPolicy))
+    def test_reflexive(self, policy):
+        for e in (STACK_A, PTR_A, SYM, INDEXED, SYM_LO):
+            assert may_alias(e, e, policy)

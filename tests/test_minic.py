@@ -1,0 +1,225 @@
+"""Tests for the mini-C compiler substrate."""
+
+import pytest
+
+from repro.cfg import partition_blocks
+from repro.machine import generic_risc
+from repro.minic import compile_minic, compile_to_program, parse_minic
+from repro.minic.ast import Assign, Binary, CType, Decl, IntLit, Var
+from repro.minic.lexer import MiniCError, TokKind, tokenize
+from repro.scheduling.algorithms import Warren
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("x = a + 42;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokKind.IDENT, TokKind.OP, TokKind.IDENT,
+                         TokKind.OP, TokKind.INT, TokKind.OP, TokKind.EOF]
+
+    def test_float_literal(self):
+        assert tokenize("1.5")[0].kind is TokKind.FLOAT
+        assert tokenize(".5")[0].kind is TokKind.FLOAT
+
+    def test_hex_literal(self):
+        assert tokenize("0xff")[0].text == "0xff"
+
+    def test_keywords(self):
+        assert tokenize("int")[0].kind is TokKind.KEYWORD
+        assert tokenize("double")[0].kind is TokKind.KEYWORD
+        assert tokenize("integer")[0].kind is TokKind.IDENT
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("a << 2 >> 1")]
+        assert "<<" in texts and ">>" in texts
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line comment\n/* block */ = 1;")
+        assert [t.text for t in tokens[:3]] == ["a", "=", "1"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(MiniCError):
+            tokenize("a = @;")
+
+
+class TestParser:
+    def test_declaration(self):
+        (decl,) = parse_minic("double x, y;")
+        assert isinstance(decl, Decl)
+        assert decl.ctype is CType.DOUBLE
+        assert decl.names == ("x", "y")
+
+    def test_assignment(self):
+        (stmt,) = parse_minic("x = 1;")
+        assert isinstance(stmt, Assign)
+        assert stmt.expr == IntLit(1)
+
+    def test_precedence(self):
+        (stmt,) = parse_minic("x = a + b * c;")
+        assert isinstance(stmt.expr, Binary)
+        assert stmt.expr.op == "+"
+        assert stmt.expr.right.op == "*"
+
+    def test_left_associativity(self):
+        (stmt,) = parse_minic("x = a - b - c;")
+        assert stmt.expr.op == "-"
+        assert stmt.expr.left.op == "-"
+
+    def test_parentheses(self):
+        (stmt,) = parse_minic("x = (a + b) * c;")
+        assert stmt.expr.op == "*"
+        assert stmt.expr.left.op == "+"
+
+    def test_unary_minus(self):
+        (stmt,) = parse_minic("x = -a;")
+        from repro.minic.ast import Unary
+        assert isinstance(stmt.expr, Unary)
+
+    def test_bitwise_precedence_below_arithmetic(self):
+        (stmt,) = parse_minic("x = a & b + c;")
+        assert stmt.expr.op == "&"
+
+    def test_shift_precedence(self):
+        (stmt,) = parse_minic("x = a << 1 + 2;")
+        assert stmt.expr.op == "<<"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniCError):
+            parse_minic("x = 1")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(MiniCError):
+            parse_minic("x = (a + b;")
+
+    def test_bad_declaration(self):
+        with pytest.raises(MiniCError):
+            parse_minic("int 4;")
+
+
+class TestCodegen:
+    def test_output_parses_as_assembly(self):
+        program = compile_to_program("int a, b; a = a + b * 2;")
+        assert len(program) > 0
+
+    def test_single_basic_block(self):
+        program = compile_to_program("int a; a = a + 1;")
+        assert len(partition_blocks(program)) == 1
+
+    def test_every_variable_reference_loads(self):
+        # Naive codegen: three references to `a` = three loads.
+        asm = compile_minic("int a, x; x = a + a + a;")
+        assert asm.count("ld [a]") == 3
+
+    def test_int_ops_selected(self):
+        asm = compile_minic(
+            "int a, b, x; x = ((a + b) - (a & b) | (a ^ b)) * b;")
+        for mnemonic in ("add", "sub", "and", "xor", "or", "smul"):
+            assert f"\t{mnemonic} " in asm
+
+    def test_shift_operators(self):
+        asm = compile_minic("int a, x; x = a << 3 >> 1;")
+        assert "sll" in asm and "sra" in asm
+
+    def test_division(self):
+        asm = compile_minic("int a, b, x; x = a / b;")
+        assert "sdiv" in asm
+
+    def test_remainder_lowering(self):
+        asm = compile_minic("int a, b, x; x = a % b;")
+        assert "sdiv" in asm and "smul" in asm
+        # quotient*b subtracted from a
+        assert asm.count("sub") >= 1
+
+    def test_small_int_immediates_inline(self):
+        asm = compile_minic("int a, x; x = a + 12;")
+        assert "add %o0, 12," in asm
+
+    def test_large_int_via_sethi(self):
+        asm = compile_minic("int x; x = 1000000;")
+        assert "sethi" in asm
+
+    def test_double_ops(self):
+        asm = compile_minic("double a, b, x; x = a * b + a / b;")
+        for mnemonic in ("ldd", "fmuld", "fdivd", "faddd", "std"):
+            assert mnemonic in asm
+
+    def test_double_constant_pool(self):
+        asm = compile_minic("double x; x = 2.5;")
+        assert "[.LC0]" in asm
+        assert "constant pool" in asm
+
+    def test_constant_pool_deduplicated(self):
+        asm = compile_minic("double x, y; x = 2.5; y = 2.5;")
+        assert "[.LC1]" not in asm
+
+    def test_int_to_double_promotion(self):
+        asm = compile_minic("double x; int i; x = x + i;")
+        assert "fitod" in asm
+        assert "staging" in asm
+
+    def test_double_to_int_demotion(self):
+        asm = compile_minic("double x; int i; i = x;")
+        assert "fdtoi" in asm
+
+    def test_double_negation_v8_style(self):
+        asm = compile_minic("double a, x; x = -a;")
+        assert "fnegs" in asm and "fmovs" in asm
+
+    def test_int_negation(self):
+        asm = compile_minic("int a, x; x = -a;")
+        assert "sub %g0," in asm
+
+    def test_int_only_op_on_double_rejected(self):
+        with pytest.raises(MiniCError):
+            compile_minic("double a, x; x = a & a;")
+
+    def test_conflicting_declaration_rejected(self):
+        with pytest.raises(MiniCError):
+            compile_minic("int a; double a;")
+
+    def test_pool_exhaustion_reported(self):
+        # Build an expression deeper than the register pool.
+        deep = "a"
+        for _ in range(20):
+            deep = f"(a + {deep} * a)"
+        with pytest.raises(MiniCError):
+            compile_minic(f"int a, x; x = {deep};")
+
+    def test_undeclared_defaults_to_int(self):
+        asm = compile_minic("x = y + 1;")
+        assert "ld [y]" in asm
+        assert "st %o1, [x]" in asm or "st %o0, [x]" in asm
+
+
+class TestEndToEnd:
+    def test_compiled_block_schedules_and_improves(self):
+        program = compile_to_program("""
+            double a, b, c;
+            int i, j;
+            c = a * b + c / a;
+            j = (i + 1) * (i - 1) % 7;
+        """)
+        block = partition_blocks(program)[0]
+        result = Warren(generic_risc()).schedule_block(block)
+        assert result.makespan < result.original_timing.makespan
+        assert result.speedup > 1.3  # divide shadows filled
+
+    def test_all_builders_agree_on_compiled_code(self):
+        from repro.dag.builders import ALL_BUILDERS
+        from repro.dag.bitmap import compute_reachability
+        program = compile_to_program(
+            "double a, b; int i; a = a / b + 1.0; i = i * 3 % 5;")
+        block = partition_blocks(program)[0]
+        machine = generic_risc()
+        closures = []
+        for cls in ALL_BUILDERS:
+            dag = cls(machine).build(block).dag
+            rmap = compute_reachability(dag)
+            closures.append(frozenset(
+                (i, j) for i in range(len(dag))
+                for j in rmap.descendants(i)))
+        assert len(set(closures)) == 1

@@ -1,0 +1,136 @@
+"""Semantics tests for the extended SPARC V8 opcode set.
+
+The interesting additions all carry *implicit* resources: carry-chain
+arithmetic threads %icc, multiply-step threads %icc AND %y, the %y
+read/write pair serializes against multiplies, and the atomics are the
+only instructions that both use and define a memory location.
+"""
+
+from repro.asm import parse_asm
+from repro.asm.parser import parse_instruction_text
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.dep import DepType
+from repro.isa.resources import defs_and_uses
+from repro.machine import generic_risc
+
+
+def du(text: str):
+    defs, uses = defs_and_uses(parse_instruction_text(text))
+    return [r.name for r in defs], [r.name for r in uses]
+
+
+def arcs_of(source: str):
+    blocks = partition_blocks(parse_asm(source))
+    dag = TableForwardBuilder(generic_risc()).build(blocks[0]).dag
+    return {(a.parent.id, a.child.id, a.dep) for a in dag.arcs()}
+
+
+class TestCarryChain:
+    def test_addx_reads_icc(self):
+        defs, uses = du("addx %o1, %o2, %o3")
+        assert "%icc" in uses
+        assert "%icc" not in defs
+
+    def test_addxcc_reads_and_writes_icc(self):
+        defs, uses = du("addxcc %o1, %o2, %o3")
+        assert "%icc" in uses
+        assert "%icc" in defs
+
+    def test_64bit_add_sequence_is_chained(self):
+        # addcc (low word) -> addx (high word): a RAW through %icc.
+        arcs = arcs_of("addcc %o1, %o3, %o5\naddx %o2, %o4, %l2")
+        assert (0, 1, DepType.RAW) in arcs
+
+    def test_carry_chain_not_reorderable(self):
+        # Two independent 64-bit adds still serialize on %icc:
+        # WAR from the first addx to the second addcc.
+        arcs = arcs_of("""
+            addcc %o1, %o3, %o5
+            addx %o2, %o4, %l2
+            addcc %l4, %l6, %i0
+            addx %l5, %l7, %i1
+        """)
+        assert (1, 2, DepType.WAR) in arcs
+
+
+class TestMultiplyStep:
+    def test_mulscc_resources(self):
+        defs, uses = du("mulscc %o1, %o2, %o1")
+        assert "%icc" in defs and "%icc" in uses
+        assert "%y" in defs and "%y" in uses
+
+    def test_mulscc_sequence_fully_serialized(self):
+        # The classic mulscc ladder cannot be reordered: each step
+        # chains through both %icc and %y.
+        arcs = arcs_of("""
+            mulscc %o1, %o2, %o1
+            mulscc %o1, %o2, %o1
+            mulscc %o1, %o2, %o1
+        """)
+        assert (0, 1, DepType.RAW) in arcs
+        assert (1, 2, DepType.RAW) in arcs
+
+
+class TestYRegister:
+    def test_rd_y(self):
+        defs, uses = du("rd %y, %o0")
+        assert (defs, uses) == (["%o0"], ["%y"])
+
+    def test_wr_y(self):
+        defs, uses = du("wr %o1, %y")
+        assert (defs, uses) == (["%y"], ["%o1"])
+
+    def test_multiply_then_rd_y_is_raw(self):
+        # smul writes %y (the high bits); rd %y consumes them.
+        arcs = arcs_of("smul %o1, %o2, %o3\nrd %y, %o4")
+        assert (0, 1, DepType.RAW) in arcs
+
+    def test_rd_y_then_multiply_is_war(self):
+        arcs = arcs_of("rd %y, %o4\nsmul %o1, %o2, %o3")
+        assert (0, 1, DepType.WAR) in arcs
+
+    def test_wrong_y_position_rejected(self):
+        import pytest
+        from repro.errors import AsmSyntaxError
+        with pytest.raises(AsmSyntaxError):
+            parse_asm("rd %o0, %y")
+
+
+class TestAtomics:
+    def test_swap_uses_and_defines_everything(self):
+        defs, uses = du("swap [%o0+4], %o1")
+        assert defs == ["%o1", "%o0+4"]
+        assert uses == ["%o0", "%o0+4", "%o1"]
+
+    def test_ldstub_does_not_use_the_register(self):
+        defs, uses = du("ldstub [%o0], %o1")
+        assert defs == ["%o1", "%o0"]
+        assert "%o1" not in uses
+
+    def test_swap_orders_against_loads_and_stores(self):
+        arcs = arcs_of("""
+            ld [%l0], %o0
+            swap [%l0], %o1
+            st %o2, [%l0]
+        """)
+        # load -> swap (WAR on the location), swap -> store (WAR),
+        # and swap defines it so the store is also WAW-ordered.
+        assert (0, 1, DepType.WAR) in arcs
+        assert any(p == 1 and c == 2 for p, c, _ in arcs)
+
+    def test_two_swaps_serialize(self):
+        arcs = arcs_of("swap [%l0], %o1\nswap [%l0], %o2")
+        assert any(p == 0 and c == 1 for p, c, _ in arcs)
+
+
+class TestSignedLoads:
+    def test_ldsb_like_other_loads(self):
+        defs, uses = du("ldsb [%fp-1], %o0")
+        assert defs == ["%o0"]
+        assert "%i6-1" in uses
+
+    def test_new_branches_read_icc(self):
+        for m in ("bpos", "bneg", "bvc", "bvs"):
+            _, uses = du(f"{m} away")
+            assert uses == ["%icc"]

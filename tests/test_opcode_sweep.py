@@ -1,0 +1,101 @@
+"""Exhaustive sweeps over the whole opcode table.
+
+Every opcode must be constructible, render/parse round-trippable,
+def/use extractable, timeable on every machine preset, and usable in a
+one-instruction schedule.  These sweeps catch table entries that unit
+tests (which pick representative opcodes) would miss.
+"""
+
+import pytest
+
+from repro.asm.parser import parse_instruction_text
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders import TableForwardBuilder
+from repro.isa.opcodes import OPCODE_TABLE, OperandFormat
+from repro.isa.resources import defs_and_uses
+from repro.machine import (
+    generic_risc,
+    rs6000_like,
+    sparcstation2_like,
+    superscalar2,
+)
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import winnowing
+
+#: A syntactically valid example per operand format.
+_EXAMPLE_OPERANDS = {
+    OperandFormat.ALU3: "%o1, %o2, %o3",
+    OperandFormat.ALU3_CC: "%o1, %o2, %o3",
+    OperandFormat.ALU3_USE_CC: "%o1, %o2, %o3",
+    OperandFormat.ALU3_USE_DEF_CC: "%o1, %o2, %o3",
+    OperandFormat.MULSCC: "%o1, %o2, %o3",
+    OperandFormat.LOADSTORE: "[%fp-8], %o0",
+    OperandFormat.RDY: "%y, %o0",
+    OperandFormat.WRY: "%o1, %y",
+    OperandFormat.CMP: "%o1, %o2",
+    OperandFormat.MOV: "%o1, %o2",
+    OperandFormat.SETHI: "1024, %o2",
+    OperandFormat.LOAD: "[%fp-8], %o0",
+    OperandFormat.STORE: "%o0, [%fp-8]",
+    OperandFormat.BRANCH: "target",
+    OperandFormat.CALL: "target",
+    OperandFormat.RETURN: "",
+    OperandFormat.FPOP3: "%f0, %f2, %f4",
+    OperandFormat.FPOP2: "%f0, %f2",
+    OperandFormat.FCMP: "%f0, %f2",
+    OperandFormat.MULDIV: "%o1, %o2, %o3",
+    OperandFormat.NONE: "",
+}
+
+_SPECIAL_CASES = {
+    "tst": "tst %o1",
+    "ldd": "ldd [%fp-8], %f2",
+    "std": "std %f2, [%fp-8]",
+}
+
+ALL_MNEMONICS = sorted(OPCODE_TABLE)
+
+
+def example_text(mnemonic: str) -> str:
+    if mnemonic in _SPECIAL_CASES:
+        return _SPECIAL_CASES[mnemonic]
+    op = OPCODE_TABLE[mnemonic]
+    operands = _EXAMPLE_OPERANDS[op.fmt]
+    return f"{mnemonic} {operands}".strip()
+
+
+@pytest.mark.parametrize("mnemonic", ALL_MNEMONICS)
+class TestOpcodeSweep:
+    def test_parses(self, mnemonic):
+        instr = parse_instruction_text(example_text(mnemonic))
+        assert instr.opcode.mnemonic == mnemonic
+
+    def test_render_parse_round_trip(self, mnemonic):
+        instr = parse_instruction_text(example_text(mnemonic))
+        again = parse_instruction_text(instr.render())
+        assert again.render() == instr.render()
+
+    def test_defs_uses_extractable(self, mnemonic):
+        instr = parse_instruction_text(example_text(mnemonic))
+        defs, uses = defs_and_uses(instr)
+        assert isinstance(defs, list) and isinstance(uses, list)
+
+    @pytest.mark.parametrize("machine_factory",
+                             [generic_risc, sparcstation2_like,
+                              rs6000_like, superscalar2],
+                             ids=["generic", "sparc", "rs6000", "ss2"])
+    def test_timeable_on_every_machine(self, mnemonic, machine_factory):
+        machine = machine_factory()
+        instr = parse_instruction_text(example_text(mnemonic))
+        assert machine.execution_time(instr) >= 1
+        pattern = machine.usage_pattern(instr)
+        assert pattern.span >= 1
+
+    def test_schedulable_as_singleton_block(self, mnemonic):
+        machine = generic_risc()
+        instr = parse_instruction_text(example_text(mnemonic))
+        block = BasicBlock(0, [instr])
+        dag = TableForwardBuilder(machine).build(block).dag
+        result = schedule_forward(dag, machine,
+                                  winnowing("execution_time"))
+        assert len(result.order) == 1

@@ -1,0 +1,113 @@
+"""Tests for the opcode table."""
+
+import pytest
+
+from repro.errors import UnknownOpcodeError
+from repro.isa.opcodes import (
+    CcUse,
+    InstructionClass,
+    IssueClass,
+    OPCODE_TABLE,
+    OperandFormat,
+    lookup_opcode,
+)
+
+
+class TestLookup:
+    def test_known_opcode(self):
+        assert lookup_opcode("add").mnemonic == "add"
+
+    def test_case_insensitive(self):
+        assert lookup_opcode("ADD") is lookup_opcode("add")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            lookup_opcode("frobnicate")
+
+
+class TestClassification:
+    def test_loads(self):
+        for m in ("ld", "ldd", "ldub", "lduh"):
+            assert lookup_opcode(m).iclass is InstructionClass.LOAD
+
+    def test_stores(self):
+        for m in ("st", "std", "stb", "sth"):
+            assert lookup_opcode(m).iclass is InstructionClass.STORE
+
+    def test_memory_property(self):
+        assert lookup_opcode("ld").is_memory
+        assert lookup_opcode("st").is_memory
+        assert not lookup_opcode("add").is_memory
+
+    def test_float_property(self):
+        assert lookup_opcode("faddd").is_float
+        assert lookup_opcode("fcmpd").is_float
+        assert not lookup_opcode("ld").is_float
+
+    def test_control_property(self):
+        for m in ("ba", "be", "call", "retl", "ret"):
+            assert lookup_opcode(m).is_control
+
+    def test_issue_classes(self):
+        assert lookup_opcode("add").issue_class is IssueClass.INT
+        assert lookup_opcode("faddd").issue_class is IssueClass.FP
+        assert lookup_opcode("ld").issue_class is IssueClass.MEM
+        assert lookup_opcode("be").issue_class is IssueClass.CTRL
+
+
+class TestControlFlow:
+    def test_branches_end_blocks(self):
+        for m in ("ba", "be", "bne", "bl", "fbe", "call", "retl"):
+            assert lookup_opcode(m).ends_block
+
+    def test_branches_are_delayed(self):
+        for m in ("ba", "be", "call", "retl"):
+            assert lookup_opcode(m).delayed
+
+    def test_window_ops_end_blocks_but_not_delayed(self):
+        # SAVE/RESTORE end blocks (register identifiers change meaning)
+        # but have no delay slot.
+        for m in ("save", "restore"):
+            op = lookup_opcode(m)
+            assert op.ends_block
+            assert not op.delayed
+
+    def test_conditional_flags(self):
+        assert lookup_opcode("be").conditional
+        assert not lookup_opcode("ba").conditional
+
+    def test_cc_use(self):
+        assert lookup_opcode("be").cc_use is CcUse.ICC
+        assert lookup_opcode("fbe").cc_use is CcUse.FCC
+        assert lookup_opcode("ba").cc_use is CcUse.NONE
+
+    def test_ordinary_ops_do_not_end_blocks(self):
+        for m in ("add", "ld", "st", "faddd", "cmp", "nop"):
+            assert not lookup_opcode(m).ends_block
+
+
+class TestDoublePrecision:
+    def test_double_ops(self):
+        for m in ("ldd", "std", "faddd", "fmuld", "fdivd", "fcmpd"):
+            assert lookup_opcode(m).double
+
+    def test_single_ops(self):
+        for m in ("ld", "st", "fadds", "fmuls"):
+            assert not lookup_opcode(m).double
+
+
+class TestTableIntegrity:
+    def test_no_duplicate_mnemonics(self):
+        assert len(OPCODE_TABLE) == len(set(OPCODE_TABLE))
+
+    def test_every_opcode_has_description(self):
+        for op in OPCODE_TABLE.values():
+            assert op.description, op.mnemonic
+
+    def test_every_opcode_has_format(self):
+        for op in OPCODE_TABLE.values():
+            assert isinstance(op.fmt, OperandFormat)
+
+    def test_table_is_reasonably_complete(self):
+        # A useful SPARC-like subset: at least 60 mnemonics.
+        assert len(OPCODE_TABLE) >= 60

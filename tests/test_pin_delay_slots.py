@@ -1,0 +1,74 @@
+"""Unit tests for delay-slot occupant pinning."""
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks, pin_delay_slot_occupants
+
+
+def pinned(source: str):
+    return pin_delay_slot_occupants(partition_blocks(parse_asm(source)))
+
+
+class TestPinning:
+    def test_occupant_isolated(self):
+        blocks = pinned("""
+            cmp %o0, 1
+            be away
+            add %o0, 1, %o1
+            mov 2, %o2
+        """)
+        # [cmp, be] [add] [mov]
+        assert [b.size for b in blocks] == [2, 1, 1]
+        assert blocks[1].instructions[0].opcode.mnemonic == "add"
+
+    def test_non_delayed_terminator_not_pinned(self):
+        blocks = pinned("""
+            save %sp, -96, %sp
+            add %i0, %i1, %l2
+            mov 2, %l3
+        """)
+        # SAVE ends the block but has no delay slot.
+        assert [b.size for b in blocks] == [1, 2]
+
+    def test_fall_through_blocks_not_pinned(self):
+        blocks = pinned("nop\nmid: add %o0, 1, %o1\nmov 2, %o2")
+        assert [b.size for b in blocks] == [1, 2]
+
+    def test_renumbering(self):
+        blocks = pinned("be x\nnop\nx: be y\nnop\ny: nop")
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_labels_stay_with_occupant(self):
+        blocks = pinned("""
+            be next
+            nop
+        next:
+            add %o0, 1, %o1
+        """)
+        # The delay-slot nop starts the labeled block... the label
+        # actually sits on the block the partitioner created; pinning
+        # keeps it on the first (occupant) chunk.
+        slot_block = blocks[1]
+        assert slot_block.size == 1
+        assert slot_block.instructions[0].opcode.mnemonic == "nop"
+
+    def test_instruction_multiset_preserved(self):
+        source = "cmp %o0, 1\nbl a\nadd %o0, 1, %o1\na: mov 2, %o2\nretl\nnop"
+        original = partition_blocks(parse_asm(source))
+        result = pin_delay_slot_occupants(original)
+        flat_before = [i.render() for b in original for i in b]
+        flat_after = [i.render() for b in result for i in b]
+        assert flat_before == flat_after
+
+    def test_empty_input(self):
+        assert pin_delay_slot_occupants([]) == []
+
+    def test_single_instruction_block_after_branch(self):
+        blocks = pinned("be x\nnop")
+        assert [b.size for b in blocks] == [1, 1]
+
+    def test_windowed_backref_preserved(self):
+        from repro.cfg import apply_window
+        blocks = apply_window(
+            partition_blocks(parse_asm("\n".join(["nop"] * 8))), 4)
+        result = pin_delay_slot_occupants(blocks)
+        assert [b.windowed_from for b in result] == [0, 0]

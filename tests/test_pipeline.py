@@ -1,0 +1,101 @@
+"""Tests for the section 6 end-to-end pipeline."""
+
+import pytest
+
+from repro.cfg import apply_window
+from repro.dag.builders import (
+    ALL_BUILDERS,
+    CompareAllBuilder,
+    TableBackwardBuilder,
+    TableForwardBuilder,
+)
+from repro.machine import sparcstation2_like
+from repro.pipeline import SECTION6_PRIORITY, run_pipeline
+from repro.workloads import generate_blocks, scaled_profile
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return sparcstation2_like()
+
+
+@pytest.fixture(scope="module")
+def small_blocks():
+    return generate_blocks(scaled_profile("linpack", 0.15))
+
+
+class TestRunPipeline:
+    def test_counts(self, machine, small_blocks):
+        r = run_pipeline(small_blocks, machine,
+                         lambda: TableForwardBuilder(machine))
+        assert r.n_blocks == len(small_blocks)
+        assert r.n_instructions == sum(b.size for b in small_blocks)
+
+    def test_scheduling_improves_or_matches(self, machine, small_blocks):
+        r = run_pipeline(small_blocks, machine,
+                         lambda: TableForwardBuilder(machine))
+        assert r.total_makespan <= r.total_original_makespan
+        assert r.speedup >= 1.0
+
+    def test_construction_only_mode(self, machine, small_blocks):
+        r = run_pipeline(small_blocks, machine,
+                         lambda: TableForwardBuilder(machine),
+                         schedule=False)
+        assert r.total_makespan == 0
+        assert r.dag_stats.n_blocks == len(small_blocks)
+
+    def test_all_builders_schedule_same_total(self, machine, small_blocks):
+        # Paper conclusion 6 (reinterpreted for makespans): the three
+        # approaches with the same heuristics produce comparable
+        # schedules -- for table builders the DAGs are identical, so
+        # makespans must be identical; n**2 keeps extra transitive
+        # arcs but the same closure, so its schedule can differ only
+        # through heuristic-value changes, not legality.
+        fw = run_pipeline(small_blocks, machine,
+                          lambda: TableForwardBuilder(machine))
+        bw = run_pipeline(small_blocks, machine,
+                          lambda: TableBackwardBuilder(machine))
+        assert fw.total_makespan == bw.total_makespan
+
+    def test_heuristic_driver_equivalence(self, machine, small_blocks):
+        walk = run_pipeline(small_blocks, machine,
+                            lambda: TableForwardBuilder(machine))
+        levels = run_pipeline(small_blocks, machine,
+                              lambda: TableForwardBuilder(machine),
+                              heuristic_driver="levels")
+        assert walk.total_makespan == levels.total_makespan
+
+    def test_work_counters_accumulated(self, machine, small_blocks):
+        n2 = run_pipeline(small_blocks, machine,
+                          lambda: CompareAllBuilder(machine))
+        tf = run_pipeline(small_blocks, machine,
+                          lambda: TableForwardBuilder(machine))
+        assert n2.build_stats.comparisons > 0
+        assert tf.build_stats.comparisons == 0
+        assert tf.build_stats.table_probes > 0
+
+    def test_unique_mem_expr_max_tracked(self, machine, small_blocks):
+        r = run_pipeline(small_blocks, machine,
+                         lambda: TableForwardBuilder(machine),
+                         schedule=False)
+        expected = max(len(b.unique_memory_exprs()) for b in small_blocks)
+        assert r.unique_memory_exprs_max == expected
+
+    def test_windowing_reduces_n2_work(self, machine):
+        blocks = generate_blocks(scaled_profile("tomcatv", 0.3))
+        unwindowed = run_pipeline(blocks, machine,
+                                  lambda: CompareAllBuilder(machine),
+                                  schedule=False)
+        windowed = run_pipeline(apply_window(blocks, 100), machine,
+                                lambda: CompareAllBuilder(machine),
+                                schedule=False)
+        assert windowed.build_stats.comparisons \
+            < unwindowed.build_stats.comparisons
+
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS,
+                             ids=lambda c: c.name)
+    def test_every_builder_runs_the_pipeline(self, machine, builder_cls):
+        blocks = generate_blocks(scaled_profile("grep", 0.05))
+        r = run_pipeline(blocks, machine, lambda: builder_cls(machine))
+        assert r.n_blocks == len(blocks)
+        assert r.speedup >= 1.0

@@ -1,0 +1,88 @@
+"""Tests for the priority combinators."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc
+from repro.scheduling.priority import by_key, weighted, winnowing
+from repro.workloads import kernel_source
+
+
+@pytest.fixture
+def fig1_dag():
+    blocks = partition_blocks(parse_asm(kernel_source("figure1")))
+    dag = TableForwardBuilder(generic_risc()).build(blocks[0]).dag
+    backward_pass(dag)
+    dag.reset_schedule_state()
+    return dag
+
+
+class TestByKey:
+    def test_static_key(self, fig1_dag):
+        fn = by_key("max_delay_to_leaf")
+        assert fn(fig1_dag.nodes[0], None) == 20
+
+    def test_minimize_negates(self, fig1_dag):
+        fn = by_key("max_delay_to_leaf", minimize=True)
+        assert fn(fig1_dag.nodes[0], None) == -20
+
+    def test_callable_passthrough(self, fig1_dag):
+        fn = by_key(lambda node, state: node.id * 10)
+        assert fn(fig1_dag.nodes[2], None) == 20
+
+    def test_raw_slot_fallback(self, fig1_dag):
+        # max_delay_to_child is a DagNode slot, not a catalog key.
+        fn = by_key("max_delay_to_child")
+        assert fn(fig1_dag.nodes[0], None) == 20
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            by_key("not_a_heuristic")
+
+    def test_dynamic_key_resolves_to_function(self, fig1_dag):
+        from repro.scheduling.list_scheduler import SchedulerState
+        fn = by_key("n_uncovered_children")
+        state = SchedulerState(generic_risc())
+        assert fn(fig1_dag.nodes[1], state) == 0  # 4-cycle arc not uncovered
+
+
+class TestWinnowing:
+    def test_lexicographic_order(self, fig1_dag):
+        priority = winnowing("max_path_to_leaf", "max_delay_to_leaf")
+        values = [priority(n, None) for n in fig1_dag.nodes]
+        assert values == [(2, 20), (1, 4), (0, 0)]
+
+    def test_min_direction(self, fig1_dag):
+        priority = winnowing(("max_delay_to_leaf", "min"))
+        assert priority(fig1_dag.nodes[0], None) == (-20,)
+
+    def test_first_term_dominates(self, fig1_dag):
+        # Tie on term 1 resolved by term 2.
+        priority = winnowing("execution_time", "max_delay_to_leaf")
+        n1, n2 = fig1_dag.nodes[1], fig1_dag.nodes[2]
+        assert n1.execution_time == n2.execution_time
+        assert priority(n1, None) > priority(n2, None)
+
+
+class TestWeighted:
+    def test_scalar_combination(self, fig1_dag):
+        priority = weighted(("max_path_to_leaf", 100),
+                            ("max_delay_to_leaf", 1))
+        assert priority(fig1_dag.nodes[0], None) == 220
+
+    def test_min_terms_subtract(self, fig1_dag):
+        priority = weighted(("max_delay_to_leaf", 1, "min"))
+        assert priority(fig1_dag.nodes[0], None) == -20
+
+    def test_integer_exactness_at_large_weights(self, fig1_dag):
+        # Integer weights must not lose precision (floats would above
+        # 2**53).
+        priority = weighted(("max_path_to_leaf", 10**17),
+                            ("max_delay_to_leaf", 1))
+        a = priority(fig1_dag.nodes[0], None)
+        b = priority(fig1_dag.nodes[0], None)
+        assert a == b == 2 * 10**17 + 20
+        assert isinstance(a, int)

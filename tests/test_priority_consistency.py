@@ -1,0 +1,57 @@
+"""Consistency between the two Table 2 combination styles.
+
+"Some algorithms combine the heuristic information into a single
+priority value per node, while others apply heuristics in a given
+order in a winnowing-like process."  With sufficiently separated
+integer weights, the single-value combination must make exactly the
+same choices as the lexicographic one — the check that validates the
+weight ladders used by Krishnamurthy/Schlansker/Tiemann.
+"""
+
+import pytest
+
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.machine import generic_risc
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import weighted, winnowing
+from repro.workloads import generate_blocks, minic_workload, scaled_profile
+
+TERMS = ("max_path_to_leaf", "max_delay_to_leaf", "max_delay_to_child")
+WINNOW = winnowing(*TERMS)
+# Weight steps far above any realistic value span for these terms.
+WEIGHTED = weighted((TERMS[0], 10**12), (TERMS[1], 10**6), (TERMS[2], 1))
+
+MACHINE = generic_risc()
+
+
+def _schedule_ids(block, priority):
+    dag = TableForwardBuilder(MACHINE).build(block).dag
+    forward_pass(dag)
+    backward_pass(dag, require_est=False)
+    return [n.id for n in schedule_forward(dag, MACHINE, priority).order]
+
+
+class TestWeightedMatchesWinnowing:
+    def test_on_synthetic_workload(self):
+        blocks = [b for b in generate_blocks(scaled_profile("lloops", 0.15))
+                  if b.size >= 2]
+        for block in blocks:
+            assert _schedule_ids(block, WINNOW) == \
+                _schedule_ids(block, WEIGHTED), block.index
+
+    def test_on_minic_workload(self):
+        for block in minic_workload(n_programs=10, seed=3):
+            assert _schedule_ids(block, WINNOW) == \
+                _schedule_ids(block, WEIGHTED)
+
+    def test_insufficient_separation_can_diverge(self):
+        # Sanity check on the check: collapse the weight ladder and
+        # the combined value starts mixing ranks; across a workload at
+        # least one block must schedule differently.
+        bad = weighted((TERMS[0], 4), (TERMS[1], 2), (TERMS[2], 1))
+        blocks = [b for b in generate_blocks(scaled_profile("lloops", 0.15))
+                  if b.size >= 4]
+        diverged = any(_schedule_ids(b, WINNOW) != _schedule_ids(b, bad)
+                       for b in blocks)
+        assert diverged

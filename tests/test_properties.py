@@ -1,0 +1,277 @@
+"""Property-based tests over randomized basic blocks (hypothesis).
+
+A block strategy builds random-but-well-formed instruction sequences
+mixing integer/FP arithmetic, loads/stores over a small pool of memory
+expressions, and compares; the invariants checked here are the
+load-bearing ones of the whole library:
+
+* every construction algorithm yields the same *ordering constraints*
+  (identical transitive closure of the DAG);
+* schedules from every scheduler are legal topological orders whose
+  simulated issue times satisfy every arc delay;
+* the static heuristic passes obey their defining identities.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.basic_block import BasicBlock
+from repro.asm.parser import parse_instruction_text
+from repro.dag.bitmap import compute_reachability
+from repro.dag.builders import (
+    ALL_BUILDERS,
+    CompareAllBuilder,
+    LandskovBuilder,
+    TableBackwardBuilder,
+    TableForwardBuilder,
+)
+from repro.dag.transitive import classify_arcs
+from repro.heuristics.passes import (
+    backward_pass,
+    backward_pass_levels,
+    forward_pass,
+)
+from repro.machine import generic_risc, sparcstation2_like
+from repro.scheduling.fixup import delay_slot_fixup
+from repro.scheduling.list_scheduler import (
+    schedule_backward,
+    schedule_forward,
+)
+from repro.scheduling.priority import winnowing
+from repro.scheduling.timing import simulate, verify_order
+
+MACHINE = generic_risc()
+SPARC = sparcstation2_like()
+
+_INT = ["%o0", "%o1", "%o2", "%o3", "%l2", "%l3"]
+_FP = ["%f0", "%f2", "%f4", "%f6"]
+_MEM = ["[%fp-8]", "[%fp-12]", "[%l0]", "[%l0+4]", "[gsym]"]
+
+
+@st.composite
+def instruction_text(draw) -> str:
+    kind = draw(st.sampled_from(
+        ["alu", "alu_imm", "load", "store", "fp", "fdiv", "cmp", "mov",
+         "ldd", "std", "addx", "mul", "swap", "rdy", "wry", "fconv"]))
+    ri = lambda: draw(st.sampled_from(_INT))
+    rf = lambda: draw(st.sampled_from(_FP))
+    mem = lambda: draw(st.sampled_from(_MEM))
+    if kind == "alu":
+        op = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                   "xnor"]))
+        return f"{op} {ri()}, {ri()}, {ri()}"
+    if kind == "alu_imm":
+        op = draw(st.sampled_from(["sub", "sll", "sra"]))
+        return f"{op} {ri()}, {draw(st.integers(1, 31))}, {ri()}"
+    if kind == "load":
+        return f"ld {mem()}, {ri()}"
+    if kind == "store":
+        return f"st {ri()}, {mem()}"
+    if kind == "fp":
+        op = draw(st.sampled_from(["faddd", "fsubd", "fmuld"]))
+        return f"{op} {rf()}, {rf()}, {rf()}"
+    if kind == "fdiv":
+        return f"fdivd {rf()}, {rf()}, {rf()}"
+    if kind == "cmp":
+        return f"cmp {ri()}, {draw(st.integers(0, 9))}"
+    if kind == "mov":
+        return f"mov {draw(st.integers(0, 99))}, {ri()}"
+    if kind == "ldd":
+        return f"ldd {mem()}, {rf()}"
+    if kind == "addx":
+        op = draw(st.sampled_from(["addx", "subx", "addxcc", "addcc"]))
+        return f"{op} {ri()}, {ri()}, {ri()}"
+    if kind == "mul":
+        op = draw(st.sampled_from(["smul", "umul", "mulscc"]))
+        return f"{op} {ri()}, {ri()}, {ri()}"
+    if kind == "swap":
+        op = draw(st.sampled_from(["swap", "ldstub"]))
+        return f"{op} {mem()}, {ri()}"
+    if kind == "rdy":
+        return f"rd %y, {ri()}"
+    if kind == "wry":
+        return f"wr {ri()}, %y"
+    if kind == "fconv":
+        op = draw(st.sampled_from(["fitod", "fnegs", "fmovs"]))
+        return f"{op} {rf()}, {rf()}"
+    return f"std {rf()}, {mem()}"
+
+
+@st.composite
+def blocks(draw, min_size: int = 1, max_size: int = 18) -> BasicBlock:
+    n = draw(st.integers(min_size, max_size))
+    texts = [draw(instruction_text()) for _ in range(n)]
+    instrs = [parse_instruction_text(t, index=i)
+              for i, t in enumerate(texts)]
+    return BasicBlock(0, instrs)
+
+
+def closure(dag) -> frozenset:
+    rmap = compute_reachability(dag)
+    return frozenset((i, j) for i in range(len(dag))
+                     for j in rmap.descendants(i))
+
+
+CP = winnowing("max_delay_to_leaf", "max_delay_to_child")
+
+
+class TestBuilderProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_all_builders_same_closure(self, block):
+        reference = None
+        for cls in ALL_BUILDERS:
+            dag = cls(MACHINE).build(block).dag
+            c = closure(dag)
+            if reference is None:
+                reference = c
+            else:
+                assert c == reference, cls.name
+
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_table_directions_identical_arcs(self, block):
+        fw = TableForwardBuilder(MACHINE).build(block).dag
+        bw = TableBackwardBuilder(MACHINE).build(block).dag
+        fa = {(a.parent.id, a.child.id, a.delay) for a in fw.arcs()}
+        ba = {(a.parent.id, a.child.id, a.delay) for a in bw.arcs()}
+        assert fa == ba
+
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_landskov_transitive_free(self, block):
+        dag = LandskovBuilder(MACHINE).build(block).dag
+        assert not any(classify_arcs(dag).values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_compare_all_superset(self, block):
+        pairs = lambda dag: {(a.parent.id, a.child.id)
+                             for a in dag.arcs()}
+        full = pairs(CompareAllBuilder(MACHINE).build(block).dag)
+        for cls in ALL_BUILDERS[1:]:
+            assert pairs(cls(MACHINE).build(block).dag) <= full
+
+    @settings(max_examples=30, deadline=None)
+    @given(block=blocks())
+    def test_builders_deterministic(self, block):
+        for cls in ALL_BUILDERS:
+            a = cls(MACHINE).build(block).dag
+            b = cls(MACHINE).build(block).dag
+            assert {(x.parent.id, x.child.id, x.delay) for x in a.arcs()} \
+                == {(x.parent.id, x.child.id, x.delay) for x in b.arcs()}
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_forward_schedule_legal_and_timed(self, block):
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        backward_pass(dag)
+        result = schedule_forward(dag, MACHINE, CP)
+        verify_order(result.order, dag)
+        timing = simulate(result.order, MACHINE)
+        pos = {n.id: i for i, n in enumerate(result.order)}
+        for node in result.order:
+            for arc in node.out_arcs:
+                assert timing.issue_times[pos[arc.child.id]] >= \
+                    timing.issue_times[pos[node.id]] + arc.delay
+
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_backward_schedule_legal(self, block):
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        forward_pass(dag)
+        result = schedule_backward(dag, MACHINE,
+                                   winnowing("max_delay_from_root"))
+        verify_order(result.order, dag)
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_est_is_issue_time_lower_bound(self, block):
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        forward_pass(dag)
+        result = schedule_forward(dag, MACHINE, CP, consider_units=False)
+        timing = simulate(result.order, MACHINE, consider_units=False)
+        for node, issue in zip(result.order, timing.issue_times):
+            assert issue >= node.est
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_fixup_never_worse(self, block):
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        order = list(dag.real_nodes())
+        before = simulate(order, MACHINE).makespan
+        fixed = delay_slot_fixup(order, MACHINE)
+        verify_order(fixed, dag)
+        assert simulate(fixed, MACHINE).makespan <= before
+
+    @settings(max_examples=25, deadline=None)
+    @given(block=blocks(max_size=7))
+    def test_branch_and_bound_bounds_heuristics(self, block):
+        from repro.scheduling.branch_and_bound import (
+            branch_and_bound_schedule,
+        )
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        backward_pass(dag)
+        optimal, proved = branch_and_bound_schedule(dag, MACHINE)
+        heuristic = schedule_forward(dag, MACHINE, CP)
+        assert proved
+        assert optimal.makespan <= heuristic.makespan
+        verify_order(optimal.order, dag)
+
+
+class TestPassProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_slack_nonnegative_and_lst_bounds_est(self, block):
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        backward_pass(dag)
+        for node in dag.nodes:
+            assert node.slack >= 0
+            assert node.lst >= node.est
+
+    @settings(max_examples=60, deadline=None)
+    @given(block=blocks())
+    def test_level_driver_equals_reverse_walk(self, block):
+        a = TableForwardBuilder(MACHINE).build(block).dag
+        b = TableForwardBuilder(MACHINE).build(block).dag
+        backward_pass(a, descendants=True)
+        backward_pass_levels(b, descendants=True)
+        for na, nb in zip(a.nodes, b.nodes):
+            assert (na.max_path_to_leaf, na.max_delay_to_leaf, na.lst,
+                    na.slack, na.n_descendants, na.sum_exec_descendants) \
+                == (nb.max_path_to_leaf, nb.max_delay_to_leaf, nb.lst,
+                    nb.slack, nb.n_descendants, nb.sum_exec_descendants)
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_descendant_counts_match_networkx(self, block):
+        import networkx as nx
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        backward_pass(dag, descendants=True)
+        g = nx.DiGraph()
+        g.add_nodes_from(n.id for n in dag.nodes)
+        g.add_edges_from((a.parent.id, a.child.id) for a in dag.arcs())
+        for node in dag.nodes:
+            assert node.n_descendants == len(nx.descendants(g, node.id))
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_max_delay_to_leaf_dominates_path_count(self, block):
+        # Every arc has delay >= 1, so the delay-weighted longest path
+        # is at least the arc-count longest path.
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        backward_pass(dag)
+        for node in dag.nodes:
+            assert node.max_delay_to_leaf >= node.max_path_to_leaf
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_unit_aware_schedule_still_legal_on_sparc(self, block):
+        dag = TableForwardBuilder(SPARC).build(block).dag
+        backward_pass(dag)
+        result = schedule_forward(dag, SPARC, CP)
+        verify_order(result.order, dag)

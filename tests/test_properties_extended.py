@@ -1,0 +1,159 @@
+"""Second property-based suite: schedulers and transforms.
+
+Complements ``test_properties.py`` with invariants over the
+reservation-table scheduler, the timed backward scheduler, the
+whole-program transform, and the delay-slot machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.program import Program
+from repro.asm import render_program, parse_asm
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.machine import generic_risc, sparcstation2_like
+from repro.scheduling.backward_timed import schedule_backward_timed
+from repro.scheduling.delay_slots import fill_delay_slot
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.priority import weighted, winnowing
+from repro.scheduling.reservation_scheduler import schedule_with_reservation
+from repro.scheduling.timing import simulate, verify_order
+from repro.transform import schedule_program
+
+from tests.test_properties import blocks, instruction_text
+
+MACHINE = generic_risc()
+SPARC = sparcstation2_like()
+CP = winnowing("max_delay_to_leaf", "max_delay_to_child")
+SLACK = weighted(("slack", 10**8), ("lst", 1))
+
+
+@st.composite
+def programs(draw, max_blocks: int = 4) -> Program:
+    """Small multi-block programs with branch terminators."""
+    n_blocks = draw(st.integers(1, max_blocks))
+    lines: list[str] = []
+    for b in range(n_blocks):
+        lines.append(f"L{b}:")
+        for _ in range(draw(st.integers(1, 6))):
+            lines.append("    " + draw(instruction_text()))
+        if draw(st.booleans()):
+            target = draw(st.integers(0, n_blocks - 1))
+            lines.append(f"    ba L{target}")
+            lines.append("    nop")
+    return parse_asm("\n".join(lines))
+
+
+class TestReservationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(block=blocks())
+    def test_reservation_schedule_legal_and_delay_respecting(self, block):
+        dag = TableForwardBuilder(SPARC).build(block).dag
+        backward_pass(dag)
+        result = schedule_with_reservation(dag, SPARC, CP)
+        verify_order(result.order, dag)
+        issue = {n.id: t for n, t in zip(result.order,
+                                         result.timing.issue_times)}
+        for node in result.order:
+            for arc in node.out_arcs:
+                if not arc.child.is_dummy:
+                    assert issue[arc.child.id] >= issue[node.id] + arc.delay
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_unpipelined_units_never_overlap(self, block):
+        dag = TableForwardBuilder(SPARC).build(block).dag
+        backward_pass(dag)
+        result = schedule_with_reservation(dag, SPARC, CP)
+        busy: dict[str, list[tuple[int, int]]] = {}
+        for node, issue in zip(result.order, result.timing.issue_times):
+            unit = SPARC.units.unit_for(node.instr.opcode.iclass)
+            if unit.pipelined:
+                continue
+            span = (issue, issue + SPARC.execution_time(node.instr))
+            for other in busy.get(unit.name, []):
+                assert span[1] <= other[0] or other[1] <= span[0], \
+                    (unit.name, span, other)
+            busy.setdefault(unit.name, []).append(span)
+
+
+class TestBackwardTimedProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(block=blocks())
+    def test_legal(self, block):
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        forward_pass(dag)
+        backward_pass(dag, require_est=False)
+        result = schedule_backward_timed(dag, MACHINE, SLACK)
+        verify_order(result.order, dag)
+
+    @settings(max_examples=40, deadline=None)
+    @given(block=blocks())
+    def test_deterministic_and_bounded_below_by_critical_path(self, block):
+        # Individual blocks can go either way between the timed and
+        # untimed passes (both are greedy); the aggregate win is
+        # measured in bench_ablations.  The invariants here: repeat
+        # runs agree, and no schedule beats the critical path.
+        from repro.heuristics.critical_path import critical_path_length
+        dag = TableForwardBuilder(MACHINE).build(block).dag
+        forward_pass(dag)
+        backward_pass(dag, require_est=False)
+        r1 = schedule_backward_timed(dag, MACHINE, SLACK)
+        r2 = schedule_backward_timed(dag, MACHINE, SLACK)
+        assert [n.id for n in r1.order] == [n.id for n in r2.order]
+        assert r1.makespan >= critical_path_length(dag)
+
+
+class TestDelaySlotProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(block=blocks(min_size=2))
+    def test_filler_is_branch_independent(self, block):
+        from repro.asm.parser import parse_instruction_text
+        # Append a branch terminator to the random block.
+        instrs = block.instructions + [
+            parse_instruction_text("ba away",
+                                   index=len(block.instructions))]
+        branchy = BasicBlock(0, instrs)
+        dag = TableForwardBuilder(MACHINE).build(branchy).dag
+        backward_pass(dag)
+        result = schedule_forward(dag, MACHINE, CP)
+        new_order, filler = fill_delay_slot(result.order, dag)
+        verify_orderish = {n.id for n in new_order}
+        assert verify_orderish == {n.id for n in result.order}
+        if filler is not None:
+            assert new_order[-1] is filler
+            # Moving a true leaf after the branch never violates arcs.
+            assert all(a.child.is_dummy for a in filler.out_arcs)
+
+
+class TestTransformProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(program=programs())
+    def test_transform_preserves_instruction_multiset_modulo_nops(
+            self, program):
+        scheduled, report = schedule_program(program, MACHINE)
+        before = sorted(i.render() for i in program)
+        after = sorted(i.render() for i in scheduled)
+        # Only nops may disappear, exactly as many as reported.
+        removed = len(before) - len(after)
+        assert removed == report.nops_removed
+        non_nops_before = [t for t in before if t != "nop"]
+        non_nops_after = [t for t in after if t != "nop"]
+        assert non_nops_before == non_nops_after
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=programs())
+    def test_transform_output_reparses(self, program):
+        scheduled, _ = schedule_program(program, MACHINE)
+        reparsed = parse_asm(render_program(scheduled))
+        assert len(reparsed) == len(scheduled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=programs())
+    def test_labels_survive(self, program):
+        scheduled, _ = schedule_program(program, MACHINE)
+        assert set(program.labels) == set(scheduled.labels)

@@ -1,0 +1,90 @@
+"""Tests for the liveness / register-pressure substrate."""
+
+from repro.asm import parse_asm
+from repro.regalloc.liveness import block_liveness
+from repro.regalloc.pressure import max_pressure, pressure_profile
+
+
+def instrs(source: str):
+    return parse_asm(source).instructions
+
+
+class TestLiveness:
+    SOURCE = """
+        ld [%fp-8], %o0
+        ld [%fp-12], %o1
+        add %o0, %o1, %o2
+        st %o2, [%fp-16]
+    """
+
+    def test_live_below(self):
+        info = block_liveness(instrs(self.SOURCE))
+        # After the first load, %o0 is live (plus %i6 for later loads).
+        assert "%o0" in info.live_below[0]
+        assert "%o0" not in info.live_below[2]
+        assert info.live_below[3] == frozenset()
+
+    def test_births(self):
+        info = block_liveness(instrs(self.SOURCE))
+        assert info.births[0] == frozenset({"%o0"})
+        assert info.births[2] == frozenset({"%o2"})
+
+    def test_deaths(self):
+        info = block_liveness(instrs(self.SOURCE))
+        assert info.deaths[2] == frozenset({"%o0", "%o1"})
+        assert "%o2" in info.deaths[3]
+
+    def test_dead_def_not_born(self):
+        info = block_liveness(instrs("mov 1, %o0\nmov 2, %o1"))
+        assert info.births[0] == frozenset()
+
+    def test_redefinition_splits_ranges(self):
+        info = block_liveness(instrs("""
+            mov 1, %o0
+            add %o0, 1, %o1
+            mov 2, %o0
+            add %o0, 2, %o2
+        """))
+        # First %o0 range dies at instruction 1.
+        assert "%o0" in info.deaths[1]
+        assert "%o0" in info.births[2]
+
+    def test_empty_sequence(self):
+        info = block_liveness([])
+        assert info.live_below == ()
+
+
+class TestPressure:
+    def test_profile(self):
+        profile = pressure_profile(instrs("""
+            ld [%fp-8], %o0
+            ld [%fp-12], %o1
+            add %o0, %o1, %o2
+            st %o2, [%fp-16]
+        """))
+        assert profile[-1] == 0
+        assert max(profile) >= 2
+
+    def test_hoisted_loads_raise_pressure(self):
+        # The prepass-scheduling motivation: hoisting all loads above
+        # their uses lengthens live ranges.
+        interleaved = instrs("""
+            ld [%fp-8], %o0
+            st %o0, [%fp-16]
+            ld [%fp-12], %o1
+            st %o1, [%fp-20]
+            ld [%fp-24], %o2
+            st %o2, [%fp-28]
+        """)
+        hoisted = instrs("""
+            ld [%fp-8], %o0
+            ld [%fp-12], %o1
+            ld [%fp-24], %o2
+            st %o0, [%fp-16]
+            st %o1, [%fp-20]
+            st %o2, [%fp-28]
+        """)
+        assert max_pressure(hoisted) > max_pressure(interleaved)
+
+    def test_empty(self):
+        assert max_pressure([]) == 0

@@ -1,0 +1,121 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.errors import OperandError
+from repro.isa.registers import (
+    G0,
+    ICC,
+    Register,
+    RegisterKind,
+    all_registers,
+    canonical_name,
+    fp_pair,
+    integer_pair,
+    is_register_name,
+    parse_register,
+)
+
+
+class TestParseRegister:
+    def test_integer_registers(self):
+        for group in "goli":
+            for i in range(8):
+                reg = parse_register(f"%{group}{i}")
+                assert reg.kind is RegisterKind.INTEGER
+
+    def test_flat_numbering(self):
+        assert parse_register("%g0").number == 0
+        assert parse_register("%o0").number == 8
+        assert parse_register("%l0").number == 16
+        assert parse_register("%i7").number == 31
+
+    def test_float_registers(self):
+        for i in range(32):
+            reg = parse_register(f"%f{i}")
+            assert reg.kind is RegisterKind.FLOAT
+            assert reg.number == i
+
+    def test_generic_r_names(self):
+        reg = parse_register("%r5")
+        assert reg.kind is RegisterKind.INTEGER
+
+    def test_generic_r_distinct_from_windowed(self):
+        assert parse_register("%r6") != parse_register("%o6")
+
+    def test_sp_alias(self):
+        assert parse_register("%sp") is parse_register("%o6")
+
+    def test_fp_alias(self):
+        assert parse_register("%fp") is parse_register("%i6")
+
+    def test_condition_codes(self):
+        assert parse_register("%icc").kind is RegisterKind.CONDITION
+        assert parse_register("%fcc").kind is RegisterKind.CONDITION
+
+    def test_y_register(self):
+        assert parse_register("%y").kind is RegisterKind.SPECIAL
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(OperandError):
+            parse_register("%q3")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(OperandError):
+            parse_register("%g9")
+
+
+class TestZeroRegister:
+    def test_g0_is_zero(self):
+        assert G0.is_zero
+
+    def test_other_registers_not_zero(self):
+        assert not parse_register("%g1").is_zero
+        assert not parse_register("%o0").is_zero
+
+
+class TestPairs:
+    def test_fp_pair_even(self):
+        even, odd = fp_pair(parse_register("%f4"))
+        assert even.name == "%f4"
+        assert odd.name == "%f5"
+
+    def test_fp_pair_rejects_odd(self):
+        with pytest.raises(OperandError):
+            fp_pair(parse_register("%f3"))
+
+    def test_fp_pair_rejects_integer(self):
+        with pytest.raises(OperandError):
+            fp_pair(parse_register("%o0"))
+
+    def test_integer_pair(self):
+        even, odd = integer_pair(parse_register("%o2"))
+        assert (even.name, odd.name) == ("%o2", "%o3")
+
+    def test_integer_pair_rejects_odd(self):
+        with pytest.raises(OperandError):
+            integer_pair(parse_register("%o3"))
+
+    def test_integer_pair_generic_r(self):
+        even, odd = integer_pair(parse_register("%r4"))
+        assert (even.name, odd.name) == ("%r4", "%r5")
+
+
+class TestHelpers:
+    def test_canonical_name_alias(self):
+        assert canonical_name("%sp") == "%o6"
+        assert canonical_name("%o1") == "%o1"
+
+    def test_is_register_name(self):
+        assert is_register_name("%fp")
+        assert is_register_name("%f31")
+        assert not is_register_name("%zz")
+        assert not is_register_name("label")
+
+    def test_all_registers_unique(self):
+        regs = all_registers()
+        assert len({r.name for r in regs}) == len(regs)
+
+    def test_registers_are_hashable_values(self):
+        assert Register("%o1", RegisterKind.INTEGER, 9) == \
+            parse_register("%o1")

@@ -1,0 +1,81 @@
+"""Tests for the resource reservation table."""
+
+import pytest
+
+from repro.machine.reservation import (
+    ReservationTable,
+    UnitUse,
+    UsagePattern,
+)
+from repro.machine.units import FunctionUnit, FunctionUnitSet
+
+
+def units():
+    return FunctionUnitSet(
+        [FunctionUnit("ialu"), FunctionUnit("fdiv", pipelined=False),
+         FunctionUnit("mem", copies=2)],
+        unit_of_class={})
+
+
+def pat(unit: str, duration: int, start: int = 0) -> UsagePattern:
+    return UsagePattern((UnitUse(unit, start, duration),))
+
+
+class TestFits:
+    def test_empty_table_fits_everything(self):
+        table = ReservationTable(units())
+        assert table.fits_at(pat("ialu", 1), 0)
+        assert table.fits_at(pat("fdiv", 20), 5)
+
+    def test_conflict_detected(self):
+        table = ReservationTable(units())
+        table.place(pat("fdiv", 3), 0)
+        assert not table.fits_at(pat("fdiv", 1), 0)
+        assert not table.fits_at(pat("fdiv", 1), 2)
+        assert table.fits_at(pat("fdiv", 1), 3)
+
+    def test_earliest_fit_skips_busy_cycles(self):
+        table = ReservationTable(units())
+        table.place(pat("fdiv", 4), 0)
+        assert table.earliest_fit(pat("fdiv", 2), 0) == 4
+
+    def test_earliest_fit_respects_not_before(self):
+        table = ReservationTable(units())
+        assert table.earliest_fit(pat("ialu", 1), 7) == 7
+
+    def test_multiple_instances(self):
+        table = ReservationTable(units())
+        table.place(pat("mem", 1), 0)
+        # Second copy of the mem unit still free at cycle 0.
+        assert table.fits_at(pat("mem", 1), 0)
+        table.place(pat("mem", 1), 0)
+        assert not table.fits_at(pat("mem", 1), 0)
+
+    def test_place_conflict_raises(self):
+        table = ReservationTable(units())
+        table.place(pat("fdiv", 2), 0)
+        with pytest.raises(ValueError):
+            table.place(pat("fdiv", 1), 1)
+
+    def test_offset_usage(self):
+        table = ReservationTable(units())
+        # Busy cycles 2..3 relative to issue at 0.
+        table.place(pat("ialu", 2, start=2), 0)
+        assert table.fits_at(pat("ialu", 2), 0)
+        assert not table.fits_at(pat("ialu", 1), 2)
+
+    def test_busy_until(self):
+        table = ReservationTable(units())
+        table.place(pat("fdiv", 5), 3)
+        assert table.busy_until("fdiv") == 8
+        assert table.busy_until("ialu") == 0
+
+    def test_next_free(self):
+        table = ReservationTable(units())
+        table.place(pat("fdiv", 3), 0)
+        assert table.next_free("fdiv", 0) == 3
+        assert table.next_free("fdiv", 5) == 5
+
+    def test_pattern_span(self):
+        p = UsagePattern((UnitUse("a", 0, 1), UnitUse("b", 2, 3)))
+        assert p.span == 5

@@ -1,0 +1,72 @@
+"""Tests for reservation-table scheduling."""
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.heuristics.passes import backward_pass
+from repro.machine import generic_risc, sparcstation2_like
+from repro.scheduling.priority import winnowing
+from repro.scheduling.reservation_scheduler import schedule_with_reservation
+from repro.scheduling.timing import verify_order
+from repro.workloads import kernel_source
+
+CP = winnowing("max_delay_to_leaf")
+
+
+def dag_of(source: str, machine):
+    blocks = partition_blocks(parse_asm(source))
+    dag = TableForwardBuilder(machine).build(blocks[0]).dag
+    backward_pass(dag)
+    return dag
+
+
+class TestReservationScheduler:
+    def test_legal_schedule(self):
+        machine = sparcstation2_like()
+        dag = dag_of(kernel_source("daxpy"), machine)
+        result = schedule_with_reservation(dag, machine, CP)
+        verify_order(result.order, dag)
+
+    def test_issue_times_respect_dependences(self):
+        machine = sparcstation2_like()
+        dag = dag_of(kernel_source("livermore1"), machine)
+        result = schedule_with_reservation(dag, machine, CP)
+        issue = {n.id: t for n, t in zip(result.order,
+                                         result.timing.issue_times)}
+        for node in result.order:
+            for arc in node.out_arcs:
+                if not arc.child.is_dummy:
+                    assert issue[arc.child.id] >= issue[node.id] + arc.delay
+
+    def test_unpipelined_unit_serialized_in_table(self):
+        machine = sparcstation2_like()
+        dag = dag_of("fdivd %f0, %f2, %f4\nfdivd %f6, %f8, %f10", machine)
+        result = schedule_with_reservation(dag, machine, CP)
+        t0, t1 = sorted(result.timing.issue_times)
+        assert t1 - t0 >= machine.execution_time(
+            result.order[0].instr)
+
+    def test_independent_ops_fill_divider_shadow(self):
+        machine = sparcstation2_like()
+        dag = dag_of("""
+            fdivd %f0, %f2, %f4
+            mov 1, %o0
+            mov 2, %o1
+        """, machine)
+        result = schedule_with_reservation(dag, machine, CP)
+        issue = dict(zip((n.id for n in result.order),
+                         result.timing.issue_times))
+        # The moves land inside the divide's busy window.
+        assert issue[1] < 24 and issue[2] < 24
+
+    def test_terminator_last(self):
+        machine = generic_risc()
+        dag = dag_of("mov 1, %o0\nmov 2, %o1\nba away", machine)
+        result = schedule_with_reservation(dag, machine, CP)
+        assert result.order[-1].instr.opcode.mnemonic == "ba"
+
+    def test_makespan_reported(self):
+        machine = generic_risc()
+        dag = dag_of("mov 1, %o0\nmov 2, %o1", machine)
+        result = schedule_with_reservation(dag, machine, CP)
+        assert result.makespan >= 2

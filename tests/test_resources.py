@@ -1,0 +1,278 @@
+"""Tests for def/use extraction and the resource space."""
+
+import pytest
+
+from repro.asm.parser import parse_instruction_text
+from repro.errors import OperandError
+from repro.isa.resources import (
+    Resource,
+    ResourceKind,
+    ResourceSpace,
+    defs_and_uses,
+)
+
+
+def du(text: str) -> tuple[list[str], list[str]]:
+    """Def/use names of a single parsed instruction."""
+    defs, uses = defs_and_uses(parse_instruction_text(text))
+    return [r.name for r in defs], [r.name for r in uses]
+
+
+class TestAlu:
+    def test_three_operand(self):
+        defs, uses = du("add %o1, %o2, %o3")
+        assert defs == ["%o3"]
+        assert uses == ["%o1", "%o2"]
+
+    def test_immediate_second_operand(self):
+        defs, uses = du("add %o1, 4, %o3")
+        assert defs == ["%o3"]
+        assert uses == ["%o1"]
+
+    def test_symbolic_immediate(self):
+        defs, uses = du("or %o1, %lo(sym), %o2")
+        assert defs == ["%o2"]
+        assert uses == ["%o1"]
+
+    def test_cc_setting_alu(self):
+        defs, uses = du("subcc %o1, %o2, %o3")
+        assert defs == ["%o3", "%icc"]
+
+    def test_use_order_preserved(self):
+        # Operand position matters for asymmetric-bypass latencies.
+        _, uses = du("sub %o5, %o1, %o0")
+        assert uses == ["%o5", "%o1"]
+
+    def test_same_reg_use_and_def(self):
+        defs, uses = du("add %o0, 1, %o0")
+        assert defs == ["%o0"]
+        assert uses == ["%o0"]
+
+
+class TestZeroRegister:
+    def test_g0_use_dropped(self):
+        _, uses = du("add %g0, %o1, %o2")
+        assert uses == ["%o1"]
+
+    def test_g0_def_dropped(self):
+        defs, _ = du("add %o1, %o2, %g0")
+        assert defs == []
+
+
+class TestCompare:
+    def test_cmp_defines_icc(self):
+        defs, uses = du("cmp %o1, %o2")
+        assert defs == ["%icc"]
+        assert uses == ["%o1", "%o2"]
+
+    def test_cmp_immediate(self):
+        defs, uses = du("cmp %o1, 10")
+        assert uses == ["%o1"]
+
+    def test_tst(self):
+        defs, uses = du("tst %o3")
+        assert defs == ["%icc"]
+        assert uses == ["%o3"]
+
+
+class TestMovSethi:
+    def test_mov_register(self):
+        defs, uses = du("mov %o1, %o2")
+        assert (defs, uses) == (["%o2"], ["%o1"])
+
+    def test_mov_immediate(self):
+        defs, uses = du("mov 42, %o2")
+        assert (defs, uses) == (["%o2"], [])
+
+    def test_sethi(self):
+        defs, uses = du("sethi 1024, %o2")
+        assert (defs, uses) == (["%o2"], [])
+
+    def test_sethi_hi(self):
+        defs, uses = du("sethi %hi(sym), %o2")
+        assert (defs, uses) == (["%o2"], [])
+
+
+class TestMemory:
+    def test_load_uses_address_and_memory(self):
+        defs, uses = du("ld [%fp-8], %o0")
+        assert defs == ["%o0"]
+        assert uses == ["%i6", "%i6-8"]
+
+    def test_load_indexed(self):
+        _, uses = du("ld [%o1+%o2], %o0")
+        assert uses == ["%o1", "%o2", "%o1+%o2"]
+
+    def test_store_defines_memory(self):
+        defs, uses = du("st %o0, [%fp-8]")
+        assert defs == ["%i6-8"]
+        assert uses == ["%o0", "%i6"]
+
+    def test_symbol_load_has_no_address_regs(self):
+        _, uses = du("ld [counter], %o0")
+        assert uses == ["counter"]
+
+    def test_double_load_defines_pair(self):
+        defs, uses = du("ldd [%fp-16], %f2")
+        assert defs == ["%f2", "%f3"]
+        # Both word slots of the double are used.
+        assert uses == ["%i6", "%i6-16", "%i6-12"]
+
+    def test_double_int_load_defines_pair(self):
+        defs, _ = du("ldd [%fp-16], %o2")
+        assert defs == ["%o2", "%o3"]
+
+    def test_double_store_uses_pair(self):
+        defs, uses = du("std %f4, [%fp-16]")
+        # Both word slots of the double are defined.
+        assert defs == ["%i6-16", "%i6-12"]
+        assert uses == ["%f4", "%f5", "%i6"]
+
+    def test_double_word_overlap_detected(self):
+        # The Figure-1-grade soundness case the semantic property
+        # suite caught: std [%fp-12] overlaps ld [%fp-8].
+        store_defs, _ = du("std %f0, [%fp-12]")
+        _, load_uses = du("ld [%fp-8], %o0")
+        assert set(store_defs) & set(load_uses) == {"%i6-8"}
+
+    def test_memory_resource_kind(self):
+        defs, _ = defs_and_uses(parse_instruction_text("st %o0, [%fp-8]"))
+        assert defs[0].kind is ResourceKind.MEM
+        assert defs[0].mem is not None
+
+
+class TestBranchesAndCalls:
+    def test_conditional_branch_uses_icc(self):
+        defs, uses = du("be target")
+        assert (defs, uses) == ([], ["%icc"])
+
+    def test_fp_branch_uses_fcc(self):
+        _, uses = du("fbne target")
+        assert uses == ["%fcc"]
+
+    def test_unconditional_branch_uses_nothing(self):
+        assert du("ba target") == ([], [])
+
+    def test_call_defines_return_address(self):
+        defs, _ = du("call helper")
+        assert defs == ["%o7"]
+
+    def test_retl_uses_o7(self):
+        _, uses = du("retl")
+        assert uses == ["%o7"]
+
+    def test_ret_uses_i7(self):
+        _, uses = du("ret")
+        assert uses == ["%i7"]
+
+
+class TestFloat:
+    def test_fpop3_double_uses_pairs(self):
+        defs, uses = du("faddd %f0, %f2, %f4")
+        assert defs == ["%f4", "%f5"]
+        assert uses == ["%f0", "%f1", "%f2", "%f3"]
+
+    def test_fpop3_single_no_pairs(self):
+        defs, uses = du("fadds %f1, %f2, %f3")
+        assert defs == ["%f3"]
+        assert uses == ["%f1", "%f2"]
+
+    def test_fcmp_defines_fcc(self):
+        defs, uses = du("fcmpd %f0, %f2")
+        assert defs == ["%fcc"]
+        assert uses == ["%f0", "%f1", "%f2", "%f3"]
+
+    def test_fmovs(self):
+        defs, uses = du("fmovs %f1, %f2")
+        assert (defs, uses) == (["%f2"], ["%f1"])
+
+    def test_fitod_widens(self):
+        defs, uses = du("fitod %f1, %f2")
+        assert defs == ["%f2", "%f3"]
+        assert uses == ["%f1"]
+
+    def test_fdtoi_narrows(self):
+        defs, uses = du("fdtoi %f2, %f1")
+        assert defs == ["%f1"]
+        assert uses == ["%f2", "%f3"]
+
+
+class TestMulDiv:
+    def test_multiply_defines_y(self):
+        defs, _ = du("smul %o1, %o2, %o3")
+        assert defs == ["%o3", "%y"]
+
+    def test_divide_defines_y(self):
+        defs, _ = du("udiv %o1, %o2, %o3")
+        assert "%y" in defs
+
+    def test_back_to_back_multiplies_conflict_on_y(self):
+        # Two multiplies carry a WAW dependence through %y even with
+        # disjoint register operands.
+        d1, _ = du("smul %o1, %o2, %o3")
+        d2, _ = du("umul %o4, %o5, %l0")
+        assert set(d1) & set(d2) == {"%y"}
+
+
+class TestNopWindow:
+    def test_nop(self):
+        assert du("nop") == ([], [])
+
+    def test_save(self):
+        defs, uses = du("save %sp, -96, %sp")
+        assert defs == ["%o6"]
+        assert uses == ["%o6"]
+
+
+class TestResourceSpace:
+    def test_interning_is_stable(self):
+        space = ResourceSpace()
+        r = Resource(ResourceKind.REG, "%o1")
+        assert space.intern(r) == space.intern(r) == 0
+
+    def test_ids_are_dense(self):
+        space = ResourceSpace()
+        ids = [space.intern(Resource(ResourceKind.REG, f"%o{i}"))
+               for i in range(4)]
+        assert ids == [0, 1, 2, 3]
+
+    def test_resource_roundtrip(self):
+        space = ResourceSpace()
+        r = Resource(ResourceKind.CC, "%icc")
+        rid = space.intern(r)
+        assert space.resource(rid) is r
+
+    def test_memory_ids_tracked(self):
+        space = ResourceSpace()
+        i1 = space.intern(Resource(ResourceKind.REG, "%o0"))
+        defs, uses = defs_and_uses(parse_instruction_text("st %o0, [%fp-8]"))
+        for r in (*defs, *uses):
+            space.intern(r)
+        assert space.n_memory_exprs == 1
+        assert len(space.memory_ids) == 1
+
+    def test_intern_instruction(self):
+        space = ResourceSpace()
+        instr = parse_instruction_text("add %o1, %o2, %o3")
+        def_ids, use_ids = space.intern_instruction(instr)
+        assert len(def_ids) == 1
+        assert len(use_ids) == 2
+        assert len(space) == 3
+
+
+class TestErrors:
+    def test_wrong_arity(self):
+        from repro.isa.instruction import Instruction
+        from repro.isa.opcodes import lookup_opcode
+        bad = Instruction(0, lookup_opcode("add"), ())
+        with pytest.raises(OperandError):
+            defs_and_uses(bad)
+
+    def test_wrong_operand_type(self):
+        from repro.isa.instruction import Instruction
+        from repro.isa.opcodes import lookup_opcode
+        from repro.isa.operands import ImmOperand
+        bad = Instruction(0, lookup_opcode("add"),
+                          (ImmOperand(1), ImmOperand(2), ImmOperand(3)))
+        with pytest.raises(OperandError):
+            defs_and_uses(bad)

@@ -1,0 +1,101 @@
+"""Tests for the pipeline timing simulator."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.errors import SchedulingError
+from repro.machine import generic_risc, sparcstation2_like, superscalar2
+from repro.scheduling.timing import simulate, verify_order
+from repro.workloads import kernel_source
+
+
+def dag_of(source: str, machine=None):
+    machine = machine or generic_risc()
+    blocks = partition_blocks(parse_asm(source))
+    return TableForwardBuilder(machine).build(blocks[0]).dag
+
+
+class TestSimulate:
+    def test_independent_scalar_stream(self):
+        dag = dag_of("mov 1, %o0\nmov 2, %o1\nmov 3, %o2")
+        t = simulate(list(dag.nodes), generic_risc())
+        assert t.issue_times == (0, 1, 2)
+        assert t.makespan == 3
+        assert t.stall_cycles == 0
+
+    def test_dependence_stall(self):
+        dag = dag_of("ld [%fp-8], %o0\nadd %o0, 1, %o1")
+        t = simulate(list(dag.nodes), generic_risc())
+        assert t.issue_times == (0, 2)  # load latency 2
+        assert t.stall_cycles == 1
+
+    def test_figure1_original_order(self):
+        dag = dag_of(kernel_source("figure1"))
+        t = simulate(list(dag.nodes), generic_risc())
+        # DIVF@0; ADDF2 (WAR 1) @1; ADDF3 waits RAW 20 from DIVF @20.
+        assert t.issue_times == (0, 1, 20)
+        assert t.makespan == 24
+
+    def test_issue_times_respect_all_arcs(self):
+        dag = dag_of(kernel_source("daxpy"))
+        order = list(dag.real_nodes())
+        t = simulate(order, generic_risc())
+        pos = {n.id: i for i, n in enumerate(order)}
+        for node in order:
+            for arc in node.out_arcs:
+                if arc.child.is_dummy:
+                    continue
+                assert t.issue_times[pos[arc.child.id]] >= \
+                    t.issue_times[pos[node.id]] + arc.delay
+
+    def test_unpipelined_unit_blocks(self):
+        machine = sparcstation2_like()
+        dag = dag_of("fdivd %f0, %f2, %f4\nfdivd %f6, %f8, %f10", machine)
+        t = simulate(list(dag.nodes), machine)
+        # Second divide waits for the unpipelined divider (24 cycles).
+        assert t.issue_times[1] == 24
+
+    def test_units_can_be_ignored(self):
+        machine = sparcstation2_like()
+        dag = dag_of("fdivd %f0, %f2, %f4\nfdivd %f6, %f8, %f10", machine)
+        t = simulate(list(dag.nodes), machine, consider_units=False)
+        assert t.issue_times[1] == 1
+
+    def test_superscalar_dual_issue(self):
+        machine = superscalar2()
+        dag = dag_of("mov 1, %o0\nmov 2, %o1\nmov 3, %o2\nmov 4, %o3",
+                     machine)
+        t = simulate(list(dag.nodes), machine)
+        assert t.issue_times == (0, 0, 1, 1)
+
+    def test_empty_schedule(self):
+        t = simulate([], generic_risc())
+        assert t.makespan == 0
+        assert t.stall_cycles == 0
+
+
+class TestVerifyOrder:
+    def test_legal_order_accepted(self):
+        dag = dag_of(kernel_source("figure1"))
+        verify_order(list(dag.nodes), dag)
+
+    def test_arc_violation_detected(self):
+        dag = dag_of("mov 1, %o0\nadd %o0, 1, %o1")
+        with pytest.raises(SchedulingError):
+            verify_order([dag.nodes[1], dag.nodes[0]], dag)
+
+    def test_missing_node_detected(self):
+        dag = dag_of("nop\nnop")
+        with pytest.raises(SchedulingError):
+            verify_order([dag.nodes[0]], dag)
+
+    def test_duplicate_node_detected(self):
+        dag = dag_of("nop\nnop")
+        with pytest.raises(SchedulingError):
+            verify_order([dag.nodes[0], dag.nodes[0]], dag)
+
+    def test_independent_reorder_accepted(self):
+        dag = dag_of("mov 1, %o0\nmov 2, %o1")
+        verify_order([dag.nodes[1], dag.nodes[0]], dag)

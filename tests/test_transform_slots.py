@@ -1,0 +1,71 @@
+"""Soundness tests for delay-slot filling in the whole-program transform."""
+
+from repro.asm import parse_asm
+from repro.machine import generic_risc
+from repro.transform import schedule_program
+
+
+class TestSlotFillingSoundness:
+    def test_useful_slot_instruction_never_displaced(self):
+        # The delay slot already holds REAL work (the add executes on
+        # both branch paths).  Filling the slot would push the add out
+        # of it; the transform must leave this branch alone.
+        source = """
+        entry:
+            ld [%fp-8], %o0
+            st %o0, [%fp-16]
+            cmp %o0, 5
+            bl entry
+            add %o0, 1, %o1
+            retl
+            nop
+        """
+        program = parse_asm(source)
+        scheduled, report = schedule_program(program, generic_risc())
+        mnemonics = [i.opcode.mnemonic for i in scheduled]
+        bl_position = mnemonics.index("bl")
+        assert mnemonics[bl_position + 1] == "add"
+        assert len(scheduled) == len(program) - report.nops_removed
+
+    def test_nop_slot_is_filled_and_removed(self):
+        source = """
+        entry:
+            ld [%fp-8], %o0
+            st %o0, [%fp-16]
+            cmp %o0, 5
+            bl entry
+            nop
+            mov 0, %o0
+            retl
+            nop
+        """
+        program = parse_asm(source)
+        scheduled, report = schedule_program(program, generic_risc())
+        assert report.delay_slots_filled >= 1
+        assert report.nops_removed == report.delay_slots_filled
+        mnemonics = [i.opcode.mnemonic for i in scheduled]
+        bl_position = mnemonics.index("bl")
+        assert mnemonics[bl_position + 1] != "nop"
+
+    def test_annulled_branch_slot_untouched(self):
+        source = """
+        entry:
+            st %o0, [%fp-16]
+            cmp %o0, 5
+            be,a entry
+            nop
+            retl
+            nop
+        """
+        program = parse_asm(source)
+        scheduled, report = schedule_program(program, generic_risc())
+        assert report.delay_slots_filled == 0
+        assert len(scheduled) == len(program)
+
+    def test_last_block_branch_with_no_successor(self):
+        source = "st %o0, [%fp-8]\ncmp %o0, 1\nbl somewhere"
+        program = parse_asm(source)
+        scheduled, report = schedule_program(program, generic_risc())
+        # No following block, hence no removable nop: no fill.
+        assert report.delay_slots_filled == 0
+        assert len(scheduled) == len(program)

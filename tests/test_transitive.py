@@ -1,0 +1,118 @@
+"""Tests for transitive-arc classification and removal."""
+
+from repro.asm import parse_asm
+from repro.cfg import partition_blocks
+from repro.dag.builders import CompareAllBuilder, TableBackwardBuilder
+from repro.dag.transitive import (
+    classify_arcs,
+    longest_alternative_delay,
+    remove_transitive_arcs,
+    timing_essential_arcs,
+)
+from repro.machine import generic_risc
+from repro.workloads import kernel_source
+
+
+def figure1_dag(machine=None):
+    machine = machine or generic_risc()
+    blocks = partition_blocks(parse_asm(kernel_source("figure1")))
+    return TableBackwardBuilder(machine).build(blocks[0]).dag
+
+
+class TestClassification:
+    def test_figure1_transitive_arc_identified(self):
+        dag = figure1_dag()
+        labels = classify_arcs(dag)
+        transitive = [(a.parent.id, a.child.id)
+                      for a, t in labels.items() if t]
+        assert transitive == [(0, 2)]
+
+    def test_essential_arcs_not_flagged(self):
+        dag = figure1_dag()
+        labels = classify_arcs(dag)
+        essential = [(a.parent.id, a.child.id)
+                     for a, t in labels.items() if not t]
+        assert sorted(essential) == [(0, 1), (1, 2)]
+
+    def test_chain_has_no_transitive_arcs(self):
+        blocks = partition_blocks(parse_asm(
+            "mov 1, %o0\nadd %o0, 1, %o1\nadd %o1, 1, %o2"))
+        dag = TableBackwardBuilder(generic_risc()).build(blocks[0]).dag
+        assert not any(classify_arcs(dag).values())
+
+
+class TestAlternativePath:
+    def test_figure1_alternative_delay(self):
+        # The WAR(1) + RAW(4) path totals 5 cycles.
+        dag = figure1_dag()
+        arc = next(a for a in dag.arcs()
+                   if a.parent.id == 0 and a.child.id == 2)
+        assert longest_alternative_delay(dag, arc) == 5
+
+    def test_no_alternative_returns_none(self):
+        dag = figure1_dag()
+        arc = next(a for a in dag.arcs()
+                   if a.parent.id == 1 and a.child.id == 2)
+        assert longest_alternative_delay(dag, arc) is None
+
+
+class TestTimingEssential:
+    def test_figure1_arc_is_timing_essential(self):
+        # 20-cycle arc vs a 5-cycle alternative path: removing it would
+        # underestimate node 3's earliest execution time by 15 cycles.
+        dag = figure1_dag()
+        essential = timing_essential_arcs(dag)
+        assert [(a.parent.id, a.child.id, a.delay)
+                for a in essential] == [(0, 2, 20)]
+
+    def test_short_transitive_arc_not_essential(self):
+        # A transitive arc whose delay is covered by the path is not
+        # timing-essential.
+        blocks = partition_blocks(parse_asm("""
+            add %o0, 1, %o1
+            add %o1, 1, %o2
+            add %o1, %o2, %o3
+        """))
+        dag = CompareAllBuilder(generic_risc()).build(blocks[0]).dag
+        labels = classify_arcs(dag)
+        assert any(labels.values())  # 1->3 RAW is transitive
+        assert timing_essential_arcs(dag) == []
+
+
+class TestRemoval:
+    def test_remove_all_transitive(self):
+        dag = figure1_dag()
+        removed = remove_transitive_arcs(dag)
+        assert [(a.parent.id, a.child.id) for a in removed] == [(0, 2)]
+        assert dag.n_arcs == 2
+
+    def test_keep_timing_essential(self):
+        dag = figure1_dag()
+        removed = remove_transitive_arcs(dag, keep_timing_essential=True)
+        assert removed == []
+        assert dag.n_arcs == 3
+
+    def test_removal_preserves_reachability(self):
+        from repro.dag.bitmap import compute_reachability
+        blocks = partition_blocks(parse_asm(kernel_source("daxpy")))
+        machine = generic_risc()
+        full = CompareAllBuilder(machine).build(blocks[0]).dag
+        before = compute_reachability(full)
+        closure_before = {(i, j) for i in range(len(full))
+                          for j in before.descendants(i)}
+        remove_transitive_arcs(full)
+        after = compute_reachability(full)
+        closure_after = {(i, j) for i in range(len(full))
+                         for j in after.descendants(i)}
+        assert closure_before == closure_after
+
+    def test_removal_corrupts_earliest_time(self):
+        # The quantitative Figure 1 claim: after removal, the forward
+        # pass underestimates node 3's EST (5 instead of 20).
+        from repro.heuristics.passes import forward_pass
+        dag = figure1_dag()
+        forward_pass(dag)
+        assert dag.nodes[2].est == 20
+        remove_transitive_arcs(dag)
+        forward_pass(dag)
+        assert dag.nodes[2].est == 5
