@@ -1,0 +1,26 @@
+! daxpy inner-loop body: y[i] = y[i] + a*x[i], unrolled by two.
+! A ready-made input for the command-line interface, e.g.:
+!
+!     python -m repro schedule examples/daxpy.s --machine sparc
+!     python -m repro dag examples/daxpy.s --builder table-backward
+!     python -m repro verify examples/daxpy.s
+!
+! Every DAG construction algorithm passes independent verification on
+! this kernel (contrast with the paper's Figure 1 block, where
+! Landskov pruning fails the timing check).
+daxpy:
+    ldd [%i0], %f0          ! x[i]
+    ldd [%i1], %f2          ! y[i]
+    fmuld %f0, %f30, %f4    ! a*x[i]
+    faddd %f2, %f4, %f6
+    std %f6, [%i1]
+    ldd [%i0+8], %f8        ! x[i+1]
+    ldd [%i1+8], %f10       ! y[i+1]
+    fmuld %f8, %f30, %f12
+    faddd %f10, %f12, %f14
+    std %f14, [%i1+8]
+    add %i0, 16, %i0
+    add %i1, 16, %i1
+    subcc %i2, 2, %i2
+    bg daxpy
+    nop

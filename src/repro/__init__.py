@@ -32,6 +32,8 @@ Subpackages:
   intermediate calculation passes;
 * :mod:`repro.scheduling` -- list scheduling, the six Table 2
   algorithms, postpass fixup, branch and bound;
+* :mod:`repro.verify` -- independent schedule verification and fault
+  injection;
 * :mod:`repro.regalloc` -- liveness/pressure substrate;
 * :mod:`repro.workloads` -- Table 3-calibrated synthetic benchmarks;
 * :mod:`repro.analysis` -- table regeneration and reporting.
@@ -40,10 +42,12 @@ Subpackages:
 from repro.dep import DepType
 from repro.errors import (
     AsmSyntaxError,
+    BuilderMismatchError,
     CfgError,
     DagError,
     ReproError,
     SchedulingError,
+    VerificationError,
     WorkloadError,
 )
 from repro.asm import parse_asm, render_program
@@ -85,6 +89,14 @@ from repro.scheduling.delay_slots import fill_delay_slot
 from repro.scheduling.interblock import apply_inherited, residual_latencies
 from repro.pipeline import run_pipeline, SECTION6_PRIORITY
 from repro.transform import schedule_program, TransformReport
+from repro.verify import (
+    BlockFailure,
+    FaultKind,
+    VerificationReport,
+    check_builders_agree,
+    inject_fault,
+    verify_schedule,
+)
 from repro.dag.export import to_dot, to_networkx
 from repro.minic import compile_minic, compile_to_program
 
@@ -94,9 +106,11 @@ __all__ = [
     "DepType",
     "ReproError",
     "AsmSyntaxError",
+    "BuilderMismatchError",
     "CfgError",
     "DagError",
     "SchedulingError",
+    "VerificationError",
     "WorkloadError",
     "parse_asm",
     "render_program",
@@ -137,6 +151,12 @@ __all__ = [
     "SECTION6_PRIORITY",
     "schedule_program",
     "TransformReport",
+    "BlockFailure",
+    "FaultKind",
+    "VerificationReport",
+    "check_builders_agree",
+    "inject_fault",
+    "verify_schedule",
     "to_dot",
     "to_networkx",
     "compile_minic",

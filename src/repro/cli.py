@@ -5,6 +5,7 @@ Usage::
     python -m repro schedule kernel.s --algorithm warren --machine sparc
     python -m repro dag kernel.s --builder table-forward
     python -m repro stats kernel.s
+    python -m repro verify kernel.s
 
 Subcommands:
 
@@ -14,6 +15,12 @@ Subcommands:
   lines.
 * ``dag`` -- dump the dependence DAG of each block as text.
 * ``stats`` -- print the Table 3 structural row for the file.
+* ``verify`` -- schedule every block with every DAG construction
+  algorithm and check each schedule against independently re-derived
+  dependences (PASS/FAIL per block per builder; exit 1 on any FAIL).
+
+Library errors (:class:`~repro.errors.ReproError`) are reported as a
+one-line diagnostic with exit status 2.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.dag.builders import (
     TableBackwardBuilder,
     TableForwardBuilder,
 )
+from repro.errors import ReproError
 from repro.heuristics.passes import backward_pass
 from repro.machine import (
     generic_risc,
@@ -55,6 +63,7 @@ from repro.scheduling.algorithms import (
 )
 from repro.scheduling.list_scheduler import schedule_forward
 from repro.scheduling.timing import simulate
+from repro.verify import verify_schedule
 
 MACHINES = {
     "generic": generic_risc,
@@ -154,6 +163,41 @@ def _cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    machine = MACHINES[args.machine]()
+    program = parse_asm(_read_source(args.file), args.file)
+    blocks = pin_delay_slot_occupants(
+        apply_window(partition_blocks(program), args.window))
+    builder_names = ([args.builder] if args.builder
+                     else sorted(BUILDERS))
+    n_checked = n_failed = 0
+    for block in blocks:
+        if not block.size:
+            continue
+        for name in builder_names:
+            outcome = BUILDERS[name](machine).build(block)
+            backward_pass(outcome.dag, require_est=False)
+            result = schedule_forward(outcome.dag, machine,
+                                      SECTION6_PRIORITY)
+            report = verify_schedule(
+                block, result.order, machine,
+                claimed_issue_times=result.timing.issue_times,
+                check_semantics=not args.no_semantics,
+                approach=name)
+            n_checked += 1
+            if report.passed:
+                out(f"block {block.index} [{name}]: PASS")
+            else:
+                n_failed += 1
+                failed = ", ".join(c.name for c in report.failures)
+                out(f"block {block.index} [{name}]: FAIL ({failed})")
+                for check in report.failures:
+                    out(f"  {check.name}: {check.detail}")
+    out(f"! verified {n_checked} schedules: "
+        f"{n_checked - n_failed} passed, {n_failed} failed")
+    return 0 if n_failed == 0 else 1
+
+
 def _cmd_minic(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     from repro.minic import compile_minic
     asm = compile_minic(_read_source(args.file))
@@ -212,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="structural statistics (Table 3 row)")
     stats.set_defaults(handler=_cmd_stats)
 
+    verify = sub.add_parser("verify", parents=[common],
+                            help="verify every builder's schedules "
+                                 "against independently re-derived "
+                                 "dependences")
+    verify.add_argument("--builder", choices=sorted(BUILDERS),
+                        default=None,
+                        help="check one builder only (default: all)")
+    verify.add_argument("--no-semantics", action="store_true",
+                        help="skip the interpreter-based semantic "
+                             "equivalence check")
+    verify.set_defaults(handler=_cmd_verify)
+
     minic = sub.add_parser("minic",
                            help="compile mini-C to assembly "
                                 "(optionally scheduling it)")
@@ -237,7 +293,11 @@ def main(argv: list[str] | None = None,
         Process exit status.
     """
     args = build_parser().parse_args(argv)
-    return args.handler(args, out)
+    try:
+        return args.handler(args, out)
+    except ReproError as exc:
+        out(f"repro: error: {exc}")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

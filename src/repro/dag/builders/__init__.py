@@ -1,0 +1,53 @@
+"""The five DAG construction algorithms (paper section 3).
+
+* :class:`CompareAllBuilder` -- ``n**2`` forward, compare against all;
+* :class:`LandskovBuilder` -- ``n**2`` forward with leaf-first
+  transitive-arc pruning (kept to measure its Figure 1 damage);
+* :class:`TableForwardBuilder` -- table building, forward pass
+  (Krishnamurthy);
+* :class:`TableBackwardBuilder` -- table building, backward pass
+  (Hunnicutt);
+* :class:`BitmapBackwardBuilder` -- backward table building with
+  reachability-bitmap arc suppression.
+
+``ALL_BUILDERS`` lists them with the compare-against-all reference
+first (it produces the arc superset the others are checked against).
+"""
+
+from repro.dag.builders.base import (
+    AliasOracle,
+    BuildOutcome,
+    BuildStats,
+    DagBuilder,
+    NodeOperands,
+    intern_node_operands,
+)
+from repro.dag.builders.bitmap_backward import BitmapBackwardBuilder
+from repro.dag.builders.compare_all import CompareAllBuilder
+from repro.dag.builders.landskov import LandskovBuilder
+from repro.dag.builders.table_backward import TableBackwardBuilder
+from repro.dag.builders.table_forward import TableForwardBuilder
+
+#: every construction algorithm, reference (arc superset) first
+ALL_BUILDERS: tuple[type[DagBuilder], ...] = (
+    CompareAllBuilder,
+    LandskovBuilder,
+    TableForwardBuilder,
+    TableBackwardBuilder,
+    BitmapBackwardBuilder,
+)
+
+__all__ = [
+    "AliasOracle",
+    "BuildOutcome",
+    "BuildStats",
+    "DagBuilder",
+    "NodeOperands",
+    "intern_node_operands",
+    "CompareAllBuilder",
+    "LandskovBuilder",
+    "TableForwardBuilder",
+    "TableBackwardBuilder",
+    "BitmapBackwardBuilder",
+    "ALL_BUILDERS",
+]

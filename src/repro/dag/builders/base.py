@@ -1,0 +1,194 @@
+"""Shared machinery for DAG construction algorithms.
+
+Every builder in this package follows the paper's section 3 framing:
+one pass over the block's instructions (forward or backward), resources
+interned to dense ids, an aliasing oracle consulted for memory
+references, and machine-independent work counters so the Table 4/5
+comparisons do not depend on wall clocks.
+
+:class:`DagBuilder` is the template: it creates the node set in
+original instruction order (node ``id`` == instruction position, the
+invariant the published-algorithm wrappers and the verifier rely on)
+and delegates arc construction to the subclass hook.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.graph import Dag, DagNode
+from repro.isa.memory import AliasPolicy, may_alias
+from repro.isa.resources import Resource, ResourceKind, ResourceSpace
+from repro.machine.model import MachineModel
+
+
+@dataclass
+class BuildStats:
+    """Machine-independent work counters for one build.
+
+    Attributes:
+        comparisons: node-pair dependence tests (the ``n**2`` cost).
+        table_probes: resource-table lookups (the table-building cost).
+        alias_checks: distinct memory-expression pairs disambiguated.
+        arcs_added: arcs present in the finished DAG.
+        arcs_merged: duplicate (parent, child) arcs merged away.
+        arcs_suppressed: arcs skipped by reachability-bitmap insertion.
+        bitmap_ops: reachability-bitmap queries and updates.
+    """
+
+    comparisons: int = 0
+    table_probes: int = 0
+    alias_checks: int = 0
+    arcs_added: int = 0
+    arcs_merged: int = 0
+    arcs_suppressed: int = 0
+    bitmap_ops: int = 0
+
+    def merge(self, other: "BuildStats") -> None:
+        """Accumulate another build's counters into this one."""
+        self.comparisons += other.comparisons
+        self.table_probes += other.table_probes
+        self.alias_checks += other.alias_checks
+        self.arcs_added += other.arcs_added
+        self.arcs_merged += other.arcs_merged
+        self.arcs_suppressed += other.arcs_suppressed
+        self.bitmap_ops += other.bitmap_ops
+
+
+class AliasOracle:
+    """Memoized wrapper over :func:`repro.isa.memory.may_alias`.
+
+    The paper's implementation note -- resource tables grow "whenever a
+    new memory address expression is encountered" -- means each builder
+    asks the same may-alias question once per *pair of expressions*,
+    not once per instruction pair.  The oracle memoizes on the
+    symmetric id pair so :attr:`BuildStats.alias_checks` counts unique
+    disambiguation work.
+    """
+
+    def __init__(self, policy: AliasPolicy, stats: BuildStats) -> None:
+        self.policy = policy
+        self.stats = stats
+        self._cache: dict[tuple[int, int], bool] = {}
+
+    def aliases(self, rid_a: int, res_a: Resource,
+                rid_b: int, res_b: Resource) -> bool:
+        """May the two memory resources refer to the same location?
+
+        Non-memory resources conflict only with themselves; the same
+        id trivially aliases itself without a policy consultation.
+        """
+        if rid_a == rid_b:
+            return True
+        if (res_a.kind is not ResourceKind.MEM
+                or res_b.kind is not ResourceKind.MEM):
+            return False
+        key = (rid_a, rid_b) if rid_a < rid_b else (rid_b, rid_a)
+        verdict = self._cache.get(key)
+        if verdict is None:
+            assert res_a.mem is not None and res_b.mem is not None
+            self.stats.alias_checks += 1
+            verdict = may_alias(res_a.mem, res_b.mem, self.policy)
+            self._cache[key] = verdict
+        return verdict
+
+
+@dataclass
+class NodeOperands:
+    """One node's interned defs/uses, with positions for latency lookup.
+
+    Each entry is ``(rid, position)`` where ``position`` is the index
+    within the def/use list of :func:`repro.isa.resources.defs_and_uses`
+    -- the quantity the latency model's ``def_index``/``use_index``
+    parameters expect (load-pair skew, asymmetric bypass).
+    """
+
+    defs: list[tuple[int, int]] = field(default_factory=list)
+    uses: list[tuple[int, int]] = field(default_factory=list)
+
+
+def intern_node_operands(space: ResourceSpace,
+                         node: DagNode) -> NodeOperands:
+    """Intern a node's instruction operands into the resource space."""
+    assert node.instr is not None
+    def_ids, use_ids = space.intern_instruction(node.instr)
+    return NodeOperands(
+        defs=[(rid, i) for i, rid in enumerate(def_ids)],
+        uses=[(rid, i) for i, rid in enumerate(use_ids)])
+
+
+@dataclass
+class BuildOutcome:
+    """Everything a build produces.
+
+    Attributes:
+        dag: the dependence DAG (node ids == instruction positions).
+        stats: the builder's work counters.
+        space: the per-block resource space (Table 3's unique-memory-
+            expression population lives here).
+    """
+
+    dag: Dag
+    stats: BuildStats
+    space: ResourceSpace
+
+
+def alias_candidates(rid: int, resource: Resource, space: ResourceSpace,
+                     oracle: AliasOracle) -> Iterator[int]:
+    """Resource ids that may name the same location as ``rid``.
+
+    For registers and condition codes the id itself is the only
+    candidate; for memory expressions the sweep covers the interned
+    memory population -- the aliasing sweep the paper's table builders
+    perform against their memory rows.
+    """
+    if resource.kind is not ResourceKind.MEM:
+        yield rid
+        return
+    for other in space.memory_ids:
+        if oracle.aliases(rid, resource, other, space.resource(other)):
+            yield other
+
+
+class DagBuilder(abc.ABC):
+    """Base class for DAG construction algorithms.
+
+    Subclasses implement :meth:`_construct`; the template method
+    :meth:`build` creates the nodes, runs the subclass pass, and
+    finalizes the arc counters.
+
+    Args:
+        machine: timing model supplying execution times and arc delays.
+        alias_policy: memory disambiguation policy; None selects the
+            machine's default.
+    """
+
+    #: display name (used by pipeline reports and benchmarks)
+    name: str = "abstract"
+
+    def __init__(self, machine: MachineModel,
+                 alias_policy: AliasPolicy | None = None) -> None:
+        self.machine = machine
+        self.alias_policy = (machine.alias_policy if alias_policy is None
+                             else alias_policy)
+
+    def build(self, block: BasicBlock) -> BuildOutcome:
+        """Construct the dependence DAG for one basic block."""
+        dag = Dag()
+        for instr in block.instructions:
+            dag.add_node(instr, self.machine.execution_time(instr))
+        space = ResourceSpace()
+        stats = BuildStats()
+        oracle = AliasOracle(self.alias_policy, stats)
+        self._construct(dag, space, oracle, stats)
+        stats.arcs_added = dag.n_arcs
+        stats.arcs_merged = dag.n_merged_arcs
+        return BuildOutcome(dag=dag, stats=stats, space=space)
+
+    @abc.abstractmethod
+    def _construct(self, dag: Dag, space: ResourceSpace,
+                   oracle: AliasOracle, stats: BuildStats) -> None:
+        """Add the dependence arcs (subclass hook)."""

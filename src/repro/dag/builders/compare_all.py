@@ -1,0 +1,136 @@
+"""The ``n**2`` compare-against-all builder (Warren-like, forward pass).
+
+Every instruction is compared against every earlier instruction; any
+def/use overlap (RAW), def/def overlap (WAW), or use/def overlap (WAR)
+adds an arc.  Because *every* dependent pair is connected directly,
+this method keeps all transitive arcs -- including the timing-essential
+kind Figure 1 warns about -- and its work grows quadratically with the
+block size (the Table 4 observation that motivates table building).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.builders.base import (
+    AliasOracle,
+    BuildStats,
+    DagBuilder,
+    NodeOperands,
+    intern_node_operands,
+)
+from repro.dag.graph import Dag
+from repro.dep import DepType
+from repro.isa.resources import ResourceKind, ResourceSpace
+from repro.machine.model import MachineModel
+
+
+@dataclass
+class PairwiseData:
+    """Precomputed per-node bitsets for pairwise dependence tests.
+
+    ``def_closure``/``use_closure`` expand every memory id to its
+    may-alias closure, so ``closure & raw`` intersections are *exact*
+    dependence screens (no false positives, no false negatives) and the
+    detailed arc pass only runs on genuinely dependent pairs.
+    """
+
+    operands: list[NodeOperands]
+    def_raw: list[int]
+    use_raw: list[int]
+    def_closure: list[int]
+    use_closure: list[int]
+
+
+def _rid_closures(space: ResourceSpace, oracle: AliasOracle) -> list[int]:
+    """Per-rid bitset of ids that may alias the rid (self included)."""
+    closures = []
+    for rid in range(len(space)):
+        resource = space.resource(rid)
+        mask = 1 << rid
+        if resource.kind is ResourceKind.MEM:
+            for other in space.memory_ids:
+                if other != rid and oracle.aliases(
+                        rid, resource, other, space.resource(other)):
+                    mask |= 1 << other
+        closures.append(mask)
+    return closures
+
+
+def prepare_pairwise(dag: Dag, space: ResourceSpace, oracle: AliasOracle,
+                     stats: BuildStats) -> PairwiseData:
+    """Intern all nodes and build the comparison bitsets."""
+    operands = [intern_node_operands(space, node) for node in dag.nodes]
+    closures = _rid_closures(space, oracle)
+    def_raw, use_raw, def_closure, use_closure = [], [], [], []
+    for ops in operands:
+        dr = ur = dc = uc = 0
+        for rid, _ in ops.defs:
+            dr |= 1 << rid
+            dc |= closures[rid]
+        for rid, _ in ops.uses:
+            ur |= 1 << rid
+            uc |= closures[rid]
+        def_raw.append(dr)
+        use_raw.append(ur)
+        def_closure.append(dc)
+        use_closure.append(uc)
+    return PairwiseData(operands, def_raw, use_raw, def_closure,
+                        use_closure)
+
+
+def pair_depends(pdata: PairwiseData, i: int, j: int) -> bool:
+    """Exact test: does node ``j`` depend on earlier node ``i``?"""
+    return bool(pdata.def_closure[i] & pdata.use_raw[j]
+                or pdata.def_closure[i] & pdata.def_raw[j]
+                or pdata.use_closure[i] & pdata.def_raw[j])
+
+
+def add_pair_arcs(dag: Dag, machine: MachineModel, space: ResourceSpace,
+                  oracle: AliasOracle, pdata: PairwiseData,
+                  i: int, j: int) -> None:
+    """Add every dependence arc from node ``i`` to later node ``j``.
+
+    Parallel arcs through different resources merge inside
+    :meth:`~repro.dag.graph.Dag.add_arc`, keeping the maximum delay.
+    """
+    parent, child = dag.nodes[i], dag.nodes[j]
+    assert parent.instr is not None and child.instr is not None
+    oi, oj = pdata.operands[i], pdata.operands[j]
+    for rid_d, dpos in oi.defs:
+        res_d = space.resource(rid_d)
+        for rid_u, upos in oj.uses:
+            if oracle.aliases(rid_d, res_d, rid_u, space.resource(rid_u)):
+                delay = machine.arc_delay(DepType.RAW, parent.instr,
+                                          child.instr, res_d, dpos, upos)
+                dag.add_arc(parent, child, DepType.RAW, delay, res_d)
+        for rid_w, _ in oj.defs:
+            if oracle.aliases(rid_d, res_d, rid_w, space.resource(rid_w)):
+                delay = machine.arc_delay(DepType.WAW, parent.instr,
+                                          child.instr, res_d)
+                dag.add_arc(parent, child, DepType.WAW, delay, res_d)
+    for rid_u, _ in oi.uses:
+        res_u = space.resource(rid_u)
+        for rid_d, dpos in oj.defs:
+            res_d = space.resource(rid_d)
+            if oracle.aliases(rid_u, res_u, rid_d, res_d):
+                delay = machine.arc_delay(DepType.WAR, parent.instr,
+                                          child.instr, res_d)
+                dag.add_arc(parent, child, DepType.WAR, delay, res_d)
+
+
+class CompareAllBuilder(DagBuilder):
+    """``n**2`` forward construction: compare each node against all
+    earlier nodes and connect every dependent pair directly."""
+
+    name = "n**2 forward"
+
+    def _construct(self, dag: Dag, space: ResourceSpace,
+                   oracle: AliasOracle, stats: BuildStats) -> None:
+        pdata = prepare_pairwise(dag, space, oracle, stats)
+        for j in range(len(dag)):
+            for i in range(j):
+                stats.comparisons += 1
+                if pair_depends(pdata, i, j):
+                    add_pair_arcs(dag, self.machine, space, oracle,
+                                  pdata, i, j)

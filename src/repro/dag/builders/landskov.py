@@ -1,0 +1,49 @@
+"""Landskov-style ``n**2`` forward builder with transitive-arc pruning.
+
+When a new node is compared against earlier nodes *latest first*, any
+node already connected (directly or transitively) to the new node --
+and all of that node's ancestors -- can be skipped: connecting to an
+ancestor again would only create a transitive arc.  The paper
+recommends *against* this policy because a transitive arc can be
+timing-essential (Figure 1): this builder deliberately reproduces the
+information loss so its cost can be measured.
+"""
+
+from __future__ import annotations
+
+from repro.dag.builders.base import (
+    AliasOracle,
+    BuildStats,
+    DagBuilder,
+)
+from repro.dag.builders.compare_all import (
+    add_pair_arcs,
+    pair_depends,
+    prepare_pairwise,
+)
+from repro.dag.graph import Dag
+from repro.isa.resources import ResourceSpace
+
+
+class LandskovBuilder(DagBuilder):
+    """``n**2`` forward with ancestor pruning (no transitive arcs)."""
+
+    name = "landskov"
+
+    def _construct(self, dag: Dag, space: ResourceSpace,
+                   oracle: AliasOracle, stats: BuildStats) -> None:
+        pdata = prepare_pairwise(dag, space, oracle, stats)
+        # Ancestor bitsets (self bit included), final for all i < j by
+        # the time node j is processed.
+        ancestors = [1 << i for i in range(len(dag))]
+        for j in range(len(dag)):
+            excluded = 0
+            for i in range(j - 1, -1, -1):
+                if excluded >> i & 1:
+                    continue
+                stats.comparisons += 1
+                if pair_depends(pdata, i, j):
+                    add_pair_arcs(dag, self.machine, space, oracle,
+                                  pdata, i, j)
+                    ancestors[j] |= ancestors[i]
+                    excluded |= ancestors[i]

@@ -49,5 +49,48 @@ class SchedulingError(ReproError):
     """Raised when a scheduler cannot produce a valid schedule."""
 
 
+class VerificationError(ReproError):
+    """Raised when a schedule fails independent verification.
+
+    Attributes:
+        block: label or index description of the offending block.
+        check: name of the verification check that failed
+            ("completeness", "dependence-order", "timing",
+            "semantics").
+        detail: human-readable description naming the offending
+            node, arc, or instruction.
+    """
+
+    def __init__(self, message: str, block: str | None = None,
+                 check: str | None = None,
+                 detail: str | None = None) -> None:
+        self.block = block
+        self.check = check
+        self.detail = detail
+        if block is not None:
+            message = f"block {block}: {message}"
+        super().__init__(message)
+
+
+class BuilderMismatchError(ReproError):
+    """Raised when two DAG construction algorithms disagree.
+
+    Every builder must induce the same dependence closure as the
+    compare-against-all reference; a mismatch means one of them
+    dropped (or invented) an ordering constraint.
+
+    Attributes:
+        builder: display name of the disagreeing builder.
+        node: id of the first node whose descendant set differs,
+            if known.
+    """
+
+    def __init__(self, message: str, builder: str | None = None,
+                 node: int | None = None) -> None:
+        self.builder = builder
+        self.node = node
+        super().__init__(message)
+
+
 class WorkloadError(ReproError):
     """Raised when a synthetic workload profile is inconsistent."""

@@ -18,11 +18,17 @@ from typing import Callable, Type
 from repro.cfg.basic_block import BasicBlock
 from repro.dag.builders.base import BuildStats, DagBuilder
 from repro.dag.stats import ProgramDagStats
+from repro.errors import ReproError
 from repro.heuristics.passes import backward_pass, backward_pass_levels
 from repro.machine.model import MachineModel
 from repro.scheduling.list_scheduler import schedule_forward
 from repro.scheduling.priority import winnowing
-from repro.scheduling.timing import simulate
+from repro.scheduling.timing import simulate, verify_order
+from repro.verify.checker import (
+    BlockFailure,
+    degraded_timing,
+    verify_schedule,
+)
 
 #: The section 6 priority: max path to leaf, then max delay to leaf,
 #: then max delay to child (an ``a``-class value maintained by add_arc).
@@ -47,6 +53,8 @@ class PipelineResult:
         total_original_makespan: summed makespans of original orders.
         unique_memory_exprs_max: largest per-block unique-memory-
             expression count (Table 3 column).
+        failures: per-block failure records for blocks that fell back
+            to their original order (empty on a clean run).
     """
 
     approach: str
@@ -57,6 +65,7 @@ class PipelineResult:
     total_makespan: int = 0
     total_original_makespan: int = 0
     unique_memory_exprs_max: int = 0
+    failures: list[BlockFailure] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -70,7 +79,9 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
                  builder_factory: Callable[[], DagBuilder],
                  priority: Callable | None = None,
                  heuristic_driver: str = "reverse_walk",
-                 schedule: bool = True) -> PipelineResult:
+                 schedule: bool = True,
+                 verify: bool = False,
+                 strict: bool = False) -> PipelineResult:
     """Run construction + heuristic pass + forward scheduling per block.
 
     Args:
@@ -84,9 +95,18 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
             intermediate-pass drivers of section 4.
         schedule: when False, stop after construction + heuristic pass
             (for construction-only measurements).
+        verify: independently verify every block's schedule with
+            :func:`repro.verify.checker.verify_schedule` (re-deriving
+            dependences with the compare-against-all reference).
+        strict: re-raise the first per-block
+            :class:`~repro.errors.ReproError` instead of degrading.
 
     Returns:
-        Aggregated statistics for the whole benchmark.
+        Aggregated statistics for the whole benchmark.  When
+        ``strict`` is False (the default), a block whose construction,
+        scheduling, or verification fails is charged its *original*
+        order's makespan on both sides of the speedup ratio and is
+        recorded in ``result.failures``; working blocks are unaffected.
     """
     if priority is None:
         priority = SECTION6_PRIORITY
@@ -97,10 +117,39 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
     for block in blocks:
         if not block.instructions:
             continue
-        outcome = builder_factory().build(block)
-        dag = outcome.dag
-        # Intermediate pass (the second pass over the instructions).
-        driver(dag, require_est=False)
+        stage = "build"
+        try:
+            outcome = builder_factory().build(block)
+            dag = outcome.dag
+            # Intermediate pass (the second pass over the
+            # instructions).
+            driver(dag, require_est=False)
+            makespan = original_makespan = 0
+            if schedule:
+                stage = "schedule"
+                sched = schedule_forward(dag, machine, priority)
+                verify_order(sched.order, dag)
+                original = simulate(list(dag.real_nodes()), machine)
+                makespan = sched.timing.makespan
+                original_makespan = original.makespan
+                if verify:
+                    stage = "verify"
+                    verify_schedule(
+                        block, sched.order, machine,
+                        claimed_issue_times=sched.timing.issue_times,
+                        approach=builder_name).raise_if_failed()
+        except ReproError as exc:
+            if strict:
+                raise
+            result.failures.append(BlockFailure(
+                block.index, block.label, stage, str(exc)))
+            result.n_blocks += 1
+            result.n_instructions += len(block.instructions)
+            if schedule:
+                fallback = degraded_timing(block, machine)
+                result.total_makespan += fallback
+                result.total_original_makespan += fallback
+            continue
         result.build_stats.merge(outcome.stats)
         result.dag_stats.add_dag(dag)
         result.n_blocks += 1
@@ -109,8 +158,6 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
         if n_mem_exprs > result.unique_memory_exprs_max:
             result.unique_memory_exprs_max = n_mem_exprs
         if schedule:
-            sched = schedule_forward(dag, machine, priority)
-            original = simulate(list(dag.real_nodes()), machine)
-            result.total_makespan += sched.timing.makespan
-            result.total_original_makespan += original.makespan
+            result.total_makespan += makespan
+            result.total_original_makespan += original_makespan
     return result

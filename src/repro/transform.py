@@ -22,6 +22,7 @@ from repro.cfg import (
 )
 from repro.dag.builders.base import DagBuilder
 from repro.dag.builders.table_forward import TableForwardBuilder
+from repro.errors import ReproError
 from repro.heuristics.passes import backward_pass
 from repro.isa.instruction import Instruction
 from repro.machine.model import MachineModel
@@ -37,6 +38,7 @@ from repro.scheduling.list_scheduler import (
     schedule_forward,
 )
 from repro.scheduling.timing import simulate, verify_order
+from repro.verify.checker import BlockFailure, degraded_timing
 
 
 @dataclass
@@ -50,6 +52,8 @@ class TransformReport:
         delay_slots_filled: branch delay slots filled with useful work.
         nops_removed: nop instructions deleted because a filled slot
             made them redundant.
+        failures: per-block failure records for blocks emitted in
+            their original order (empty on a clean run).
     """
 
     n_blocks: int = 0
@@ -57,6 +61,7 @@ class TransformReport:
     scheduled_cycles: int = 0
     delay_slots_filled: int = 0
     nops_removed: int = 0
+    failures: list[BlockFailure] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -74,6 +79,7 @@ def schedule_program(
         window: int | None = None,
         fill_slots: bool = True,
         inherit_latencies: bool = False,
+        strict: bool = False,
 ) -> tuple[Program, TransformReport]:
     """Schedule every basic block of ``program``.
 
@@ -90,6 +96,12 @@ def schedule_program(
         inherit_latencies: propagate residual operation latencies into
             the next block (straight-line approximation; see
             :mod:`repro.scheduling.interblock`).
+        strict: re-raise the first per-block
+            :class:`~repro.errors.ReproError`.  When False (the
+            default) a block whose construction or scheduling fails is
+            emitted in its *original* instruction order -- always
+            correct, never faster -- and recorded in
+            ``report.failures``.
 
     Returns:
         ``(new_program, report)``.
@@ -140,13 +152,30 @@ def schedule_program(
 
         from repro.cfg.basic_block import BasicBlock
         work_block = BasicBlock(block.index, list(body), block.label)
-        outcome = builder_factory().build(work_block)
-        dag = outcome.dag
-        if inherit_latencies:
-            apply_inherited(dag, residuals)
-        backward_pass(dag, require_est=False)
-        result = schedule_forward(dag, machine, priority)
-        verify_order(result.order, dag)
+        try:
+            outcome = builder_factory().build(work_block)
+            dag = outcome.dag
+            if inherit_latencies:
+                apply_inherited(dag, residuals)
+            backward_pass(dag, require_est=False)
+            result = schedule_forward(dag, machine, priority)
+            verify_order(result.order, dag)
+        except ReproError as exc:
+            if strict:
+                raise
+            # Degrade: the original order is always a correct
+            # schedule.  Charge it on both sides of the ratio and drop
+            # any inherited residuals (conservative for reporting; the
+            # emitted code is unchanged so correctness is unaffected).
+            report.failures.append(BlockFailure(
+                block.index, block.label, "schedule", str(exc)))
+            cycles = degraded_timing(work_block, machine)
+            report.n_blocks += 1
+            report.original_cycles += cycles
+            report.scheduled_cycles += cycles
+            residuals = []
+            out_instructions.extend(body)
+            continue
 
         order = result.order
         if fill_slots and next_block_starts_with_nop(block_position):

@@ -1,0 +1,39 @@
+"""Independent schedule verification and fault injection.
+
+The trust-but-verify layer of the pipeline: :func:`verify_schedule`
+re-derives a block's dependences with the compare-against-all
+reference builder and checks a finished schedule for permutation
+completeness, dependence order, issue-time legality, and semantic
+equivalence; :mod:`repro.verify.faults` fabricates known-bad schedules
+to prove the checks actually fire.
+"""
+
+from repro.verify.checker import (
+    BlockFailure,
+    CheckResult,
+    VerificationReport,
+    check_builders_agree,
+    degraded_timing,
+    neutral_state,
+    verify_schedule,
+)
+from repro.verify.faults import (
+    FaultKind,
+    InjectedFault,
+    inject_all,
+    inject_fault,
+)
+
+__all__ = [
+    "BlockFailure",
+    "CheckResult",
+    "VerificationReport",
+    "check_builders_agree",
+    "degraded_timing",
+    "neutral_state",
+    "verify_schedule",
+    "FaultKind",
+    "InjectedFault",
+    "inject_all",
+    "inject_fault",
+]

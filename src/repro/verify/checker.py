@@ -1,0 +1,402 @@
+"""Independent schedule verification.
+
+A scheduler is only as trustworthy as the DAG it was given, and the
+paper's whole point is that construction algorithms differ in which
+arcs they keep (Figure 1's timing-essential transitive arc being the
+canonical casualty).  This module re-derives the dependences of a
+block from scratch with the compare-against-all reference builder and
+checks a finished schedule against them, so a bug anywhere in the
+construction/heuristic/scheduling chain is caught by machinery that
+shares none of its code paths.
+
+Four named checks make up a :class:`VerificationReport`:
+
+* ``completeness`` -- the schedule is a permutation of the block;
+* ``dependence-order`` -- every reference arc runs forward;
+* ``timing`` -- the claimed issue times satisfy every reference arc
+  delay (this is the check that fires when a builder dropped a
+  timing-essential transitive arc and the scheduler believed the
+  shortened critical path);
+* ``semantics`` -- executing the original and scheduled orders from
+  the same neutral machine state produces bit-identical final states
+  (skipped for blocks the interpreter cannot execute).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.bitmap import compute_reachability
+from repro.dag.builders.compare_all import CompareAllBuilder
+from repro.dag.graph import Dag, DagNode
+from repro.errors import BuilderMismatchError, ReproError, VerificationError
+from repro.interp import MachineState, UnsupportedInstruction, execute
+from repro.isa.instruction import Instruction
+from repro.isa.memory import AliasPolicy
+from repro.isa.resources import ResourceKind, defs_and_uses
+from repro.machine.model import MachineModel
+from repro.scheduling.timing import simulate
+
+#: how many offending items a check's detail message names before
+#: eliding the rest
+_MAX_DETAILS = 3
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one named verification check.
+
+    Attributes:
+        name: the check ("completeness", "dependence-order", "timing",
+            "semantics").
+        passed: whether the schedule survived the check.
+        detail: what went wrong (or why the check was skipped).
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """All check outcomes for one block's schedule.
+
+    Attributes:
+        block: label or index description of the block.
+        approach: the scheduling approach under test, if known.
+        checks: one :class:`CheckResult` per executed check.
+    """
+
+    block: str
+    approach: str = ""
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Did every check pass?"""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        """The checks that failed."""
+        return [check for check in self.checks if not check.passed]
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.VerificationError` on failure."""
+        bad = self.failures
+        if bad:
+            raise VerificationError(
+                f"{bad[0].name} check failed: {bad[0].detail}",
+                block=self.block, check=bad[0].name,
+                detail=bad[0].detail)
+
+
+def _schedule_instructions(
+        order: Sequence[DagNode | Instruction]) -> list[Instruction]:
+    """Normalize a schedule to its instruction sequence."""
+    instructions: list[Instruction] = []
+    for item in order:
+        if isinstance(item, DagNode):
+            if item.instr is not None:
+                instructions.append(item.instr)
+        else:
+            instructions.append(item)
+    return instructions
+
+
+def _elide(items: list[str]) -> str:
+    shown = items[:_MAX_DETAILS]
+    if len(items) > _MAX_DETAILS:
+        shown.append(f"... {len(items) - _MAX_DETAILS} more")
+    return "; ".join(shown)
+
+
+def neutral_state(block: BasicBlock, seed: int = 1991) -> MachineState:
+    """A deterministic initial state under which the block's memory
+    expressions address pairwise-disjoint regions.
+
+    Every base/index register named by a memory operand gets its own
+    64 KiB-aligned region (seeded with pseudo-random words), every
+    symbol its own far-away region, every other integer register a
+    small pseudo-random value, and all sixteen double registers a
+    pseudo-random double.  Disjointness matters: the builders'
+    optimistic alias policies assume textually distinct expressions do
+    not overlap, so the semantic check must execute the block in a
+    state where that assumption actually holds.
+    """
+    rng = random.Random(seed)
+    state = MachineState()
+    exprs = []
+    for instr in block.instructions:
+        mem = instr.mem_operand()
+        if mem is not None:
+            exprs.append(mem.expr)
+    address_regs = sorted({name for expr in exprs
+                           for name in (expr.base, expr.index) if name})
+    for k, name in enumerate(address_regs):
+        base = 0x0001_0000 * (k + 1)
+        state.write_int(name, base)
+        for offset in range(-256, 256, 4):
+            state.store_bytes(base + offset, 4, rng.getrandbits(32))
+    if any(expr.symbol for expr in exprs):
+        # Symbol addresses are assigned by repro.interp.execute in
+        # sorted-name order starting at 0x4000_0000, 256 bytes apart;
+        # seed that whole window so symbol-addressed loads read data.
+        for offset in range(-256, 8192, 4):
+            state.store_bytes(0x4000_0000 + offset, 4,
+                              rng.getrandbits(32))
+    for n in range(0, 32, 2):
+        state.write_double(f"%f{n}", rng.uniform(-4.0, 4.0))
+    for instr in block.instructions:
+        _, uses = defs_and_uses(instr)
+        for res in uses:
+            if res.kind is not ResourceKind.REG:
+                continue
+            name = res.name
+            if name[2:].isdigit() and name.startswith("%f"):
+                continue  # FP registers seeded above
+            if name in state.int_regs or name == "%g0":
+                continue
+            state.write_int(name, rng.getrandbits(16))
+    return state
+
+
+def verify_schedule(block: BasicBlock,
+                    order: Sequence[DagNode | Instruction],
+                    machine: MachineModel,
+                    claimed_issue_times: Sequence[int] | None = None,
+                    check_semantics: bool = True,
+                    alias_policy: AliasPolicy | None = None,
+                    approach: str = "") -> VerificationReport:
+    """Independently verify a schedule of ``block``.
+
+    The reference dependences are re-derived with
+    :class:`~repro.dag.builders.compare_all.CompareAllBuilder` -- the
+    arc-superset algorithm -- so nothing the producing builder dropped
+    can hide from the checks.
+
+    Args:
+        block: the original basic block.
+        order: the schedule, as DAG nodes or instructions; instruction
+            identity must match ``block.instructions``.
+        machine: timing model.
+        claimed_issue_times: issue cycle per schedule position, as
+            claimed by the producer (e.g. ``result.timing.issue_times``
+            from the list scheduler).  When given, the timing check
+            validates the claim against the *reference* arc delays --
+            catching builders whose pruned DAG under-constrained the
+            schedule.  When None, the times are re-simulated on the
+            reference DAG (always arc-consistent by construction).
+        check_semantics: execute original and scheduled orders and
+            compare final states (skipped when the interpreter refuses
+            an instruction).
+        alias_policy: memory disambiguation override for the reference
+            build (default: the machine's policy).
+        approach: display name recorded on the report.
+
+    Returns:
+        A :class:`VerificationReport`; call ``raise_if_failed()`` to
+        convert failures into a
+        :class:`~repro.errors.VerificationError`.
+    """
+    label = block.label if block.label else str(block.index)
+    report = VerificationReport(block=label, approach=approach)
+    scheduled = _schedule_instructions(order)
+
+    # -- completeness ------------------------------------------------------
+    block_pos = {id(instr): pos
+                 for pos, instr in enumerate(block.instructions)}
+    counts: dict[int, int] = {}
+    problems: list[str] = []
+    for instr in scheduled:
+        key = id(instr)
+        if key not in block_pos:
+            problems.append(f"foreign instruction '{instr.render()}'")
+            continue
+        counts[key] = counts.get(key, 0) + 1
+    for instr in block.instructions:
+        n = counts.get(id(instr), 0)
+        if n == 0:
+            problems.append(f"lost '{instr.render()}'")
+        elif n > 1:
+            problems.append(f"duplicated '{instr.render()}' x{n}")
+    report.checks.append(CheckResult(
+        "completeness", not problems, _elide(problems)))
+
+    # -- reference dependences ---------------------------------------------
+    reference = CompareAllBuilder(machine, alias_policy).build(block)
+    ref_dag = reference.dag
+    # schedule position of each block position (first occurrence wins
+    # when the schedule is corrupt; the checks below still apply to
+    # whatever mapping exists)
+    sched_pos: dict[int, int] = {}
+    for pos, instr in enumerate(scheduled):
+        original = block_pos.get(id(instr))
+        if original is not None and original not in sched_pos:
+            sched_pos[original] = pos
+
+    # -- dependence order --------------------------------------------------
+    violations: list[str] = []
+    for parent in ref_dag.real_nodes():
+        for arc in parent.out_arcs:
+            if arc.child.instr is None:
+                continue
+            p = sched_pos.get(parent.id)
+            c = sched_pos.get(arc.child.id)
+            if p is None or c is None or p < c:
+                continue
+            violations.append(
+                f"arc {parent.id}->{arc.child.id} "
+                f"({arc.dep.value}, {arc.delay} via {arc.resource}) "
+                f"scheduled {p} >= {c}")
+    report.checks.append(CheckResult(
+        "dependence-order", not violations, _elide(violations)))
+
+    # -- timing ------------------------------------------------------------
+    timing_ok = True
+    timing_detail = ""
+    if claimed_issue_times is not None \
+            and len(claimed_issue_times) != len(scheduled):
+        timing_ok = False
+        timing_detail = (f"{len(claimed_issue_times)} issue times for "
+                         f"{len(scheduled)} instructions")
+    elif len(sched_pos) == len(block.instructions) and not violations:
+        if claimed_issue_times is None:
+            ref_order = sorted(ref_dag.real_nodes(),
+                               key=lambda n: sched_pos[n.id])
+            claimed_issue_times = simulate(ref_order,
+                                           machine).issue_times
+        issue_at = {original: claimed_issue_times[pos]
+                    for original, pos in sched_pos.items()}
+        # A compare-all arc whose resource is redefined by a node
+        # between parent and child is *shadowed*: the child reads the
+        # intermediate definition, so only the (transitively enforced)
+        # ordering matters, not the full arc delay.  This is exactly
+        # the nearest-definition semantics every builder implements.
+        space = reference.space
+        def_positions: dict[int, list[int]] = {}
+        for pos, instr in enumerate(block.instructions):
+            for rid in space.intern_instruction(instr)[0]:
+                def_positions.setdefault(rid, []).append(pos)
+
+        def shadowed(parent_id: int, child_id: int, rid: int) -> bool:
+            positions = def_positions.get(rid, [])
+            k = bisect.bisect_right(positions, parent_id)
+            return k < len(positions) and positions[k] < child_id
+
+        late: list[str] = []
+        for parent in ref_dag.real_nodes():
+            for arc in parent.out_arcs:
+                if arc.child.instr is None or arc.resource is None:
+                    continue
+                if shadowed(parent.id, arc.child.id,
+                            space.intern(arc.resource)):
+                    continue
+                need = issue_at[parent.id] + arc.delay
+                got = issue_at[arc.child.id]
+                if got < need:
+                    late.append(
+                        f"arc {parent.id}->{arc.child.id} "
+                        f"({arc.dep.value}, {arc.delay}) needs issue "
+                        f">= {need}, claimed {got}")
+        timing_ok = not late
+        timing_detail = _elide(late)
+    else:
+        timing_detail = "skipped: schedule is not a valid permutation"
+    report.checks.append(CheckResult("timing", timing_ok, timing_detail))
+
+    # -- semantics ---------------------------------------------------------
+    if check_semantics:
+        if not problems:
+            try:
+                before = neutral_state(block)
+                original_state = execute(block.instructions, before)
+                scheduled_state = execute(scheduled, before)
+                same = (original_state.snapshot()
+                        == scheduled_state.snapshot())
+                report.checks.append(CheckResult(
+                    "semantics", same,
+                    "" if same else "final machine states differ"))
+            except UnsupportedInstruction as exc:
+                report.checks.append(CheckResult(
+                    "semantics", True, f"skipped: {exc}"))
+        else:
+            report.checks.append(CheckResult(
+                "semantics", True,
+                "skipped: schedule is not a permutation"))
+    return report
+
+
+def check_builders_agree(block: BasicBlock, machine: MachineModel,
+                         builders: Sequence[type] | None = None,
+                         alias_policy: AliasPolicy | None = None) -> None:
+    """Check that every builder induces the reference dependence closure.
+
+    Arc *sets* legitimately differ (table methods drop covered WAR/WAW
+    arcs, Landskov drops transitive arcs), but the transitive closure
+    of the ordering relation must match the compare-against-all
+    reference for the table and bitmap methods -- and for Landskov too,
+    since pruned arcs are by definition implied by remaining paths.
+
+    Raises:
+        BuilderMismatchError: naming the first disagreeing builder and
+            node.
+    """
+    if builders is None:
+        from repro.dag.builders import ALL_BUILDERS
+        builders = ALL_BUILDERS
+    reference_closure = None
+    reference_name = ""
+    for cls in builders:
+        builder = cls(machine, alias_policy)
+        rmap = compute_reachability(builder.build(block).dag)
+        closure = [rmap.raw(i) for i in range(len(block.instructions))]
+        if reference_closure is None:
+            reference_closure = closure
+            reference_name = builder.name
+            continue
+        for node_id, (got, want) in enumerate(
+                zip(closure, reference_closure)):
+            if got != want:
+                raise BuilderMismatchError(
+                    f"builder '{builder.name}' disagrees with "
+                    f"'{reference_name}' on the descendants of node "
+                    f"{node_id}", builder=builder.name, node=node_id)
+
+
+@dataclass(frozen=True)
+class BlockFailure:
+    """One block's failure record in a degraded pipeline run.
+
+    Attributes:
+        index: block index within the program.
+        label: block label, if any.
+        stage: where it failed ("build", "schedule", "verify").
+        error: the stringified :class:`~repro.errors.ReproError`.
+    """
+
+    index: int
+    label: str | None
+    stage: str
+    error: str
+
+
+def degraded_timing(block: BasicBlock, machine: MachineModel) -> int:
+    """Makespan of the block's *original* order, for fallback
+    accounting when scheduling failed.
+
+    Prefers an independent reference build; if even that fails, falls
+    back to an arc-free DAG (pure issue-width/unit timing).
+    """
+    try:
+        dag = CompareAllBuilder(machine).build(block).dag
+    except ReproError:
+        dag = Dag()
+        for instr in block.instructions:
+            dag.add_node(instr, machine.execution_time(instr))
+    return simulate(list(dag.real_nodes()), machine).makespan

@@ -1,0 +1,179 @@
+"""Fault injection against the schedule verifier.
+
+Confidence in a verifier comes from watching it catch known-bad
+inputs.  Each :class:`FaultKind` fabricates the artifact a specific
+class of scheduler/builder bug would produce -- a schedule violating a
+dropped arc, issue times computed from a shrunken delay, a swapped
+dependent pair, a duplicated or lost instruction -- constructed so
+that :func:`repro.verify.checker.verify_schedule` is *guaranteed* to
+flag it (or the injector returns None because the block cannot host
+that fault at all, e.g. a dependence-free block has no pair to swap).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders.compare_all import CompareAllBuilder
+from repro.dag.graph import Arc, Dag
+from repro.dag.transitive import classify_arcs
+from repro.isa.instruction import Instruction
+from repro.machine.model import MachineModel
+from repro.scheduling.timing import simulate
+
+
+class FaultKind(enum.Enum):
+    """The mutation classes the verifier must catch."""
+
+    #: drop an essential arc and emit an order that violates it
+    DROP_ARC = "drop-arc"
+    #: shrink a binding arc delay and claim the resulting issue times
+    SHRINK_DELAY = "shrink-delay"
+    #: swap a dependent (parent, child) pair in the original order
+    SWAP_DEPENDENT_PAIR = "swap-dependent-pair"
+    #: schedule one instruction twice
+    DUPLICATE_INSTRUCTION = "duplicate-instruction"
+    #: drop one instruction from the schedule
+    LOSE_INSTRUCTION = "lose-instruction"
+
+
+@dataclass
+class InjectedFault:
+    """One fabricated bad schedule.
+
+    Attributes:
+        kind: the mutation class.
+        description: what exactly was corrupted.
+        order: the corrupted schedule (instruction objects from the
+            block).
+        claimed_issue_times: issue-time claim to hand the verifier, or
+            None when the fault is purely an ordering corruption.
+    """
+
+    kind: FaultKind
+    description: str
+    order: list[Instruction]
+    claimed_issue_times: tuple[int, ...] | None = None
+
+
+def _real_arcs(dag: Dag) -> list[Arc]:
+    return [arc for node in dag.real_nodes() for arc in node.out_arcs
+            if arc.child.instr is not None]
+
+
+def _violating_order(block: BasicBlock, dag: Dag,
+                     dropped: Arc) -> list[Instruction]:
+    """A topological order of ``dag`` minus ``dropped`` that places the
+    dropped arc's child before its parent.
+
+    Kahn's algorithm, preferring any ready node over ``dropped.parent``:
+    the parent can only be forced out early if it is the *sole* ready
+    node, which would make every unplaced node (including the child) a
+    descendant -- impossible, since the arc was essential (no
+    alternative parent-to-child path) and was removed.
+    """
+    n = len(block.instructions)
+    preds: list[set[int]] = [set() for _ in range(n)]
+    for arc in _real_arcs(dag):
+        if arc is dropped:
+            continue
+        preds[arc.child.id].add(arc.parent.id)
+    placed: list[int] = []
+    remaining = set(range(n))
+    while remaining:
+        ready = sorted(i for i in remaining if not preds[i] & remaining)
+        choice = next((i for i in ready if i != dropped.parent.id),
+                      ready[0])
+        placed.append(choice)
+        remaining.discard(choice)
+    return [block.instructions[i] for i in placed]
+
+
+def inject_fault(block: BasicBlock, machine: MachineModel,
+                 kind: FaultKind) -> InjectedFault | None:
+    """Fabricate a ``kind`` corruption of ``block``'s schedule.
+
+    Returns:
+        The fault, or None when the block cannot host one (e.g. no
+        arc to drop, no arc delay to shrink).
+    """
+    outcome = CompareAllBuilder(machine).build(block)
+    dag = outcome.dag
+    arcs = _real_arcs(dag)
+
+    if kind is FaultKind.DROP_ARC:
+        labels = classify_arcs(dag)
+        essential = [arc for arc in arcs if not labels[arc]]
+        if not essential:
+            return None
+        arc = essential[0]
+        return InjectedFault(
+            kind,
+            f"dropped essential arc {arc.parent.id}->{arc.child.id} "
+            f"({arc.dep.value}, {arc.delay}) and scheduled around it",
+            _violating_order(block, dag, arc))
+
+    if kind is FaultKind.SHRINK_DELAY:
+        # Claim the issue times a scheduler would compute if this arc
+        # delay were 1; keep only candidates where the claim actually
+        # violates the true delay (another arc may dominate).
+        for arc in sorted(arcs, key=lambda a: -a.delay):
+            if arc.delay < 2:
+                break
+            true_delay = arc.delay
+            arc.delay = 1
+            times = simulate(list(dag.real_nodes()),
+                             machine).issue_times
+            arc.delay = true_delay
+            if times[arc.child.id] < times[arc.parent.id] + true_delay:
+                return InjectedFault(
+                    kind,
+                    f"shrank arc {arc.parent.id}->{arc.child.id} "
+                    f"delay {true_delay} -> 1 and claimed the "
+                    f"resulting issue times",
+                    list(block.instructions), times)
+        return None
+
+    if kind is FaultKind.SWAP_DEPENDENT_PAIR:
+        if not arcs:
+            return None
+        arc = max(arcs, key=lambda a: a.delay)
+        order = list(block.instructions)
+        p, c = arc.parent.id, arc.child.id
+        order[p], order[c] = order[c], order[p]
+        return InjectedFault(
+            kind,
+            f"swapped dependent pair {p} <-> {c} "
+            f"({arc.dep.value} arc)",
+            order)
+
+    if kind is FaultKind.DUPLICATE_INSTRUCTION:
+        if not block.instructions:
+            return None
+        victim = block.instructions[len(block.instructions) // 2]
+        return InjectedFault(
+            kind, f"scheduled '{victim.render()}' twice",
+            list(block.instructions) + [victim])
+
+    if kind is FaultKind.LOSE_INSTRUCTION:
+        if not block.instructions:
+            return None
+        victim = block.instructions[-1]
+        return InjectedFault(
+            kind, f"lost '{victim.render()}'",
+            list(block.instructions[:-1]))
+
+    raise ValueError(f"unknown fault kind: {kind!r}")
+
+
+def inject_all(block: BasicBlock,
+               machine: MachineModel) -> list[InjectedFault]:
+    """Every injectable fault for this block, one per kind."""
+    faults = []
+    for kind in FaultKind:
+        fault = inject_fault(block, machine, kind)
+        if fault is not None:
+            faults.append(fault)
+    return faults

@@ -125,3 +125,47 @@ class TestParser:
     def test_missing_file_raises(self):
         with pytest.raises(FileNotFoundError):
             run_cli(["schedule", "/nonexistent/file.s"])
+
+
+class TestVerifyCommand:
+    def test_clean_file_passes(self, asm_file):
+        status, text = run_cli(["verify", asm_file])
+        assert status == 0
+        assert "PASS" in text
+        assert "FAIL" not in text
+        assert "0 failed" in text
+
+    def test_figure1_flags_landskov(self, tmp_path):
+        path = tmp_path / "figure1.s"
+        path.write_text(kernel_source("figure1"))
+        status, text = run_cli(["verify", str(path)])
+        assert status == 1
+        assert "[landskov]: FAIL (timing)" in text
+        assert "[n2]: PASS" in text
+
+    def test_single_builder_option(self, asm_file):
+        status, text = run_cli(["verify", asm_file,
+                                "--builder", "table-forward"])
+        assert status == 0
+        assert "[table-forward]" in text
+        assert "[landskov]" not in text
+
+    def test_no_semantics_option(self, asm_file):
+        status, _ = run_cli(["verify", asm_file, "--no-semantics"])
+        assert status == 0
+
+
+class TestErrorDiagnostics:
+    def test_parse_error_exits_2(self, tmp_path):
+        path = tmp_path / "bad.s"
+        path.write_text("bogusop %o0, %o1\n")
+        status, text = run_cli(["schedule", str(path)])
+        assert status == 2
+        assert "repro: error:" in text
+
+    def test_verify_parse_error_exits_2(self, tmp_path):
+        path = tmp_path / "bad.s"
+        path.write_text("add %o0\n")
+        status, text = run_cli(["verify", str(path)])
+        assert status == 2
+        assert "repro: error:" in text
