@@ -51,6 +51,8 @@ MODULES = [
     "repro.minic.lexer", "repro.minic.parser", "repro.minic.codegen",
     "repro.interp",
     "repro.verify.checker", "repro.verify.faults",
+    "repro.runner.watchdog", "repro.runner.fallback",
+    "repro.runner.journal", "repro.runner.batch", "repro.runner.fuzz",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
 
@@ -133,7 +135,8 @@ def main() -> None:
         "",
         "Guides: [tutorial](tutorial.md), [heuristics](heuristics.md), "
         "[paper mapping](paper_mapping.md), "
-        "[schedule verification](verification.md).",
+        "[schedule verification](verification.md), "
+        "[resilient runner](runner.md).",
         "",
     ]
     for module_name in MODULES:

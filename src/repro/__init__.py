@@ -34,6 +34,9 @@ Subpackages:
   algorithms, postpass fixup, branch and bound;
 * :mod:`repro.verify` -- independent schedule verification and fault
   injection;
+* :mod:`repro.runner` -- resilient batch execution: watchdog budgets,
+  builder fallback chains, checkpoint/resume journals, and the
+  differential fuzz harness;
 * :mod:`repro.regalloc` -- liveness/pressure substrate;
 * :mod:`repro.workloads` -- Table 3-calibrated synthetic benchmarks;
 * :mod:`repro.analysis` -- table regeneration and reporting.
@@ -42,9 +45,11 @@ Subpackages:
 from repro.dep import DepType
 from repro.errors import (
     AsmSyntaxError,
+    BlockTimeout,
     BuilderMismatchError,
     CfgError,
     DagError,
+    JournalError,
     ReproError,
     SchedulingError,
     VerificationError,
@@ -97,6 +102,15 @@ from repro.verify import (
     inject_fault,
     verify_schedule,
 )
+from repro.runner import (
+    BatchResult,
+    Budget,
+    RunJournal,
+    fuzz,
+    run_batch,
+    run_fingerprint,
+    schedule_block_resilient,
+)
 from repro.dag.export import to_dot, to_networkx
 from repro.minic import compile_minic, compile_to_program
 
@@ -106,9 +120,11 @@ __all__ = [
     "DepType",
     "ReproError",
     "AsmSyntaxError",
+    "BlockTimeout",
     "BuilderMismatchError",
     "CfgError",
     "DagError",
+    "JournalError",
     "SchedulingError",
     "VerificationError",
     "WorkloadError",
@@ -157,6 +173,13 @@ __all__ = [
     "check_builders_agree",
     "inject_fault",
     "verify_schedule",
+    "BatchResult",
+    "Budget",
+    "RunJournal",
+    "fuzz",
+    "run_batch",
+    "run_fingerprint",
+    "schedule_block_resilient",
     "to_dot",
     "to_networkx",
     "compile_minic",

@@ -1,12 +1,14 @@
 """Assembly front end: lexing, parsing, and re-emitting SPARC-like text."""
 
-from repro.asm.lexer import LexedLine, lex_lines
+from repro.asm.lexer import LexedLine, LexError, lex_lines
 from repro.asm.parser import parse_asm, parse_instruction_text
-from repro.asm.program import Program
+from repro.asm.program import Program, SkippedLine
 from repro.asm.writer import render_program
 
 __all__ = [
     "LexedLine",
+    "LexError",
+    "SkippedLine",
     "lex_lines",
     "parse_asm",
     "parse_instruction_text",

@@ -10,6 +10,11 @@ The dialect is deliberately simple:
   through untouched for the parser to record or skip;
 * operands are comma-separated at the top level; commas inside
   ``[...]`` or ``(...)`` do not split.
+
+Every :class:`LexedLine` carries the raw source text plus 1-based
+columns for the mnemonic and each operand, so downstream diagnostics
+(:class:`~repro.errors.AsmSyntaxError`) can point at the offending
+construct, not just the offending line.
 """
 
 from __future__ import annotations
@@ -20,6 +25,21 @@ from dataclasses import dataclass, field
 from repro.errors import AsmSyntaxError
 
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+
+@dataclass(frozen=True)
+class LexError:
+    """One unlexable line recorded during a lenient pass.
+
+    Attributes:
+        number: 1-based line number.
+        text: the raw source line.
+        error: the diagnostic that would have been raised.
+    """
+
+    number: int
+    text: str
+    error: AsmSyntaxError
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +53,9 @@ class LexedLine:
             or None for a label-only or directive line.
         operand_texts: raw operand strings, stripped.
         directive: the directive text for ``.``-lines, else None.
+        raw: the raw source line (comments included).
+        mnemonic_column: 1-based column of the mnemonic, 0 if absent.
+        operand_columns: 1-based column of each operand.
     """
 
     number: int
@@ -40,6 +63,9 @@ class LexedLine:
     mnemonic: str | None = None
     operand_texts: tuple[str, ...] = ()
     directive: str | None = None
+    raw: str = ""
+    mnemonic_column: int = 0
+    operand_columns: tuple[int, ...] = ()
 
 
 def strip_comment(text: str) -> str:
@@ -51,50 +77,92 @@ def strip_comment(text: str) -> str:
     return text
 
 
-def split_operands(text: str, line_number: int) -> tuple[str, ...]:
-    """Split an operand list on top-level commas.
+def split_operands_spans(text: str, line_number: int,
+                         base_column: int = 1) -> tuple[
+                             tuple[str, ...], tuple[int, ...]]:
+    """Split an operand list on top-level commas, tracking columns.
 
     Commas nested inside ``[...]`` or ``(...)`` (memory operands,
-    ``%hi(...)``) do not split.
+    ``%hi(...)``) do not split.  ``base_column`` is the 1-based column
+    of ``text[0]`` within the source line; the returned columns locate
+    each stripped operand in that line.
+
+    Returns:
+        ``(operand_texts, operand_columns)``, parallel tuples.
 
     Raises:
-        AsmSyntaxError: on unbalanced brackets.
+        AsmSyntaxError: on unbalanced brackets or an empty operand.
     """
     parts: list[str] = []
-    depth = 0
+    columns: list[int] = []
+    open_stack: list[int] = []
     current: list[str] = []
-    for ch in text:
+    start = 0
+
+    def flush() -> None:
+        piece = "".join(current)
+        lead = len(piece) - len(piece.lstrip())
+        parts.append(piece.strip())
+        columns.append(base_column + start + lead)
+
+    for i, ch in enumerate(text):
         if ch in "([":
-            depth += 1
+            open_stack.append(i)
         elif ch in ")]":
-            depth -= 1
-            if depth < 0:
-                raise AsmSyntaxError("unbalanced brackets", line_number, text)
-        if ch == "," and depth == 0:
-            parts.append("".join(current).strip())
+            if not open_stack:
+                raise AsmSyntaxError("unbalanced brackets", line_number,
+                                     text, column=base_column + i)
+            open_stack.pop()
+        if ch == "," and not open_stack:
+            flush()
             current = []
+            start = i + 1
         else:
             current.append(ch)
-    if depth != 0:
-        raise AsmSyntaxError("unbalanced brackets", line_number, text)
-    tail = "".join(current).strip()
-    if tail:
-        parts.append(tail)
-    if any(not p for p in parts):
-        raise AsmSyntaxError("empty operand", line_number, text)
-    return tuple(parts)
+    if open_stack:
+        raise AsmSyntaxError("unbalanced brackets", line_number, text,
+                             column=base_column + open_stack[-1])
+    if "".join(current).strip():
+        flush()
+    for part, column in zip(parts, columns):
+        if not part:
+            raise AsmSyntaxError("empty operand", line_number, text,
+                                 column=column)
+    return tuple(parts), tuple(columns)
 
 
-def lex_lines(text: str) -> list[LexedLine]:
+def split_operands(text: str, line_number: int) -> tuple[str, ...]:
+    """Split an operand list on top-level commas (columns discarded).
+
+    Raises:
+        AsmSyntaxError: on unbalanced brackets or an empty operand.
+    """
+    return split_operands_spans(text, line_number)[0]
+
+
+def lex_lines(text: str,
+              errors: list[LexError] | None = None) -> list[LexedLine]:
     """Lex assembly source into :class:`LexedLine` records.
 
     Blank and comment-only lines are dropped; labels stack onto the
     next instruction-bearing line only if they are on that line, else
     they appear as label-only records.
+
+    Args:
+        text: assembly source.
+        errors: when given, unlexable lines are skipped and recorded
+            here instead of raising (the lenient mode used by the
+            fuzzing mutator and ``--lenient`` CLI flag).
+
+    Raises:
+        AsmSyntaxError: on an unlexable line, unless ``errors`` is
+            given.
     """
     out: list[LexedLine] = []
     for number, raw in enumerate(text.splitlines(), start=1):
-        line = strip_comment(raw).strip()
+        line = strip_comment(raw)
+        column = len(line) - len(line.lstrip()) + 1
+        line = line.strip()
         if not line:
             continue
         labels: list[str] = []
@@ -103,17 +171,36 @@ def lex_lines(text: str) -> list[LexedLine]:
             if not match:
                 break
             labels.append(match.group(1))
-            line = line[match.end():].strip()
+            consumed = match.end()
+            rest = line[consumed:]
+            column += consumed + (len(rest) - len(rest.lstrip()))
+            line = rest.strip()
         if not line:
-            out.append(LexedLine(number, tuple(labels)))
+            out.append(LexedLine(number, tuple(labels), raw=raw))
             continue
         if line.startswith("."):
-            out.append(LexedLine(number, tuple(labels), directive=line))
+            out.append(LexedLine(number, tuple(labels), directive=line,
+                                 raw=raw))
             continue
         fields = line.split(None, 1)
         mnemonic = fields[0].lower()
+        mnemonic_column = column
         operand_texts: tuple[str, ...] = ()
+        operand_columns: tuple[int, ...] = ()
         if len(fields) == 2:
-            operand_texts = split_operands(fields[1], number)
-        out.append(LexedLine(number, tuple(labels), mnemonic, operand_texts))
+            after = line[len(fields[0]):]
+            rest_column = (column + len(fields[0])
+                           + len(after) - len(after.lstrip()))
+            try:
+                operand_texts, operand_columns = split_operands_spans(
+                    fields[1], number, rest_column)
+            except AsmSyntaxError as exc:
+                if errors is None:
+                    raise
+                errors.append(LexError(number, raw, exc))
+                continue
+        out.append(LexedLine(number, tuple(labels), mnemonic,
+                             operand_texts, raw=raw,
+                             mnemonic_column=mnemonic_column,
+                             operand_columns=operand_columns))
     return out

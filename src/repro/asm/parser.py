@@ -9,6 +9,13 @@ Operands are recognized by shape:
 * integers (decimal or ``0x`` hex, optionally negative) ->
   :class:`ImmOperand`;
 * anything else that looks like an identifier -> :class:`LabelOperand`.
+
+Diagnostics carry the source name, line, column, and offending text.
+:func:`parse_asm` has two error regimes: strict (the default) aborts
+on the first malformed line; lenient records each malformed line as a
+:class:`~repro.asm.program.SkippedLine` on the returned program and
+keeps going -- the recovery mode the mutation fuzzer and the CLI's
+``--lenient`` flag rely on.
 """
 
 from __future__ import annotations
@@ -16,8 +23,8 @@ from __future__ import annotations
 import re
 
 from repro.errors import AsmSyntaxError, OperandError
-from repro.asm.lexer import LexedLine, lex_lines, split_operands
-from repro.asm.program import Program
+from repro.asm.lexer import LexedLine, LexError, lex_lines, split_operands
+from repro.asm.program import Program, SkippedLine
 from repro.isa.instruction import Instruction
 from repro.isa.memory import MemExpr
 from repro.isa.opcodes import lookup_opcode
@@ -40,7 +47,8 @@ def _parse_int(text: str) -> int:
     return int(text, 0)
 
 
-def parse_mem_expr(inner: str, line_number: int = 0) -> MemExpr:
+def parse_mem_expr(inner: str, line_number: int = 0,
+                   column: int = 0) -> MemExpr:
     """Parse the inside of a ``[...]`` memory operand.
 
     Accepted shapes: ``reg``, ``reg+reg``, ``reg+imm``, ``reg-imm``,
@@ -49,9 +57,11 @@ def parse_mem_expr(inner: str, line_number: int = 0) -> MemExpr:
     Raises:
         AsmSyntaxError: on any other shape.
     """
+    col = column or None
     text = inner.replace(" ", "")
     if not text:
-        raise AsmSyntaxError("empty memory expression", line_number, inner)
+        raise AsmSyntaxError("empty memory expression", line_number, inner,
+                             column=col)
 
     # Split on the FIRST top-level + or - (not the leading sign).
     split_at = -1
@@ -81,20 +91,20 @@ def parse_mem_expr(inner: str, line_number: int = 0) -> MemExpr:
         if rest_reg is not None:
             if op_sign == "-":
                 raise AsmSyntaxError("register index cannot be subtracted",
-                                     line_number, inner)
+                                     line_number, inner, column=col)
             return MemExpr(base=head_reg, index=rest_reg)
         lo = _HILO_RE.match(rest)
         if lo is not None:
             if lo.group(1) != "lo" or op_sign == "-":
                 raise AsmSyntaxError("only +%lo(sym) is addressable",
-                                     line_number, inner)
+                                     line_number, inner, column=col)
             return MemExpr(base=head_reg, symbol=lo.group(2))
         if _INT_RE.match(rest):
             offset = _parse_int(rest)
             return MemExpr(base=head_reg,
                            offset=-offset if op_sign == "-" else offset)
         raise AsmSyntaxError(f"bad memory displacement {rest!r}",
-                             line_number, inner)
+                             line_number, inner, column=col)
 
     if _IDENT_RE.match(head):
         if not tail:
@@ -105,88 +115,147 @@ def parse_mem_expr(inner: str, line_number: int = 0) -> MemExpr:
             return MemExpr(symbol=head,
                            offset=-offset if op_sign == "-" else offset)
         raise AsmSyntaxError(f"bad symbol displacement {rest!r}",
-                             line_number, inner)
+                             line_number, inner, column=col)
 
     raise AsmSyntaxError(f"bad memory expression {inner!r}", line_number,
-                         inner)
+                         inner, column=col)
 
 
-def parse_operand(text: str, line_number: int = 0) -> Operand:
+def parse_operand(text: str, line_number: int = 0,
+                  column: int = 0) -> Operand:
     """Parse one operand string (see module docstring for shapes)."""
+    col = column or None
     text = text.strip()
     if text.startswith("[") and text.endswith("]"):
-        return MemOperand(parse_mem_expr(text[1:-1], line_number))
+        return MemOperand(parse_mem_expr(text[1:-1], line_number, column))
     hilo = _HILO_RE.match(text)
     if hilo is not None:
         return SymImmOperand(hilo.group(1), hilo.group(2))
     if text.startswith("%"):
         if is_register_name(text):
             return RegOperand(parse_register(text))
-        raise AsmSyntaxError(f"unknown register {text!r}", line_number, text)
+        raise AsmSyntaxError(f"unknown register {text!r}", line_number,
+                             text, column=col)
     if _INT_RE.match(text):
         return ImmOperand(_parse_int(text))
     if _IDENT_RE.match(text):
         return LabelOperand(text)
-    raise AsmSyntaxError(f"cannot parse operand {text!r}", line_number, text)
+    raise AsmSyntaxError(f"cannot parse operand {text!r}", line_number,
+                         text, column=col)
 
 
-def _parse_mnemonic(raw: str, line_number: int) -> tuple[str, bool]:
+def _parse_mnemonic(raw: str, line_number: int,
+                    column: int = 0) -> tuple[str, bool]:
     """Split an ``,a`` annul suffix off a branch mnemonic."""
     if "," not in raw:
         return raw, False
     base, _, suffix = raw.partition(",")
     if suffix != "a":
         raise AsmSyntaxError(f"unknown mnemonic suffix {suffix!r}",
-                             line_number, raw)
+                             line_number, raw, column=column or None)
     return base, True
 
 
-def parse_asm(text: str, name: str = "<asm>") -> Program:
+def _parse_line(line: LexedLine, index: int) -> Instruction:
+    """Parse one instruction-bearing lexed line (label not yet attached).
+
+    Raises:
+        AsmSyntaxError: with line/column/text diagnostics.
+    """
+    assert line.mnemonic is not None
+    mnemonic, annulled = _parse_mnemonic(line.mnemonic, line.number,
+                                         line.mnemonic_column)
+    try:
+        opcode = lookup_opcode(mnemonic)
+    except AsmSyntaxError as exc:
+        raise type(exc)(str(exc), line.number, line.raw,
+                        column=line.mnemonic_column or None) from exc
+    if annulled and not opcode.delayed:
+        raise AsmSyntaxError(
+            f"{mnemonic} cannot carry an annul suffix", line.number,
+            line.raw, column=line.mnemonic_column or None)
+    columns = line.operand_columns or (0,) * len(line.operand_texts)
+    operands = tuple(parse_operand(t, line.number, c)
+                     for t, c in zip(line.operand_texts, columns))
+    instr = Instruction(index, opcode, operands, annulled=annulled,
+                        source_line=line.number)
+    # Validate operands eagerly so parse errors surface here, not at
+    # DAG-build time.
+    from repro.isa.resources import defs_and_uses
+    try:
+        defs_and_uses(instr)
+    except OperandError as exc:
+        raise AsmSyntaxError(str(exc), line.number, line.raw,
+                             column=line.mnemonic_column or None) from exc
+    return instr
+
+
+def parse_asm(text: str, name: str = "<asm>",
+              lenient: bool = False) -> Program:
     """Parse assembly source text into a :class:`Program`.
 
     Args:
         text: assembly source.
         name: source name for diagnostics and reports.
+        lenient: skip-and-continue over malformed lines, recording each
+            as a :class:`~repro.asm.program.SkippedLine` in
+            ``program.skipped_lines`` instead of aborting the file.
+            Labels on a skipped line still attach to the next parsed
+            instruction.
 
     Raises:
-        AsmSyntaxError: on lexical or syntactic errors.
-        UnknownOpcodeError: for unknown mnemonics.
+        AsmSyntaxError: on lexical or syntactic errors (strict mode).
+        UnknownOpcodeError: for unknown mnemonics (strict mode).
         CfgError: for duplicate labels.
     """
     program = Program(name)
+    lex_errors: list[LexError] | None = [] if lenient else None
+    try:
+        lines = lex_lines(text, errors=lex_errors)
+    except AsmSyntaxError as exc:
+        raise _with_filename(exc, name)
+    for err in lex_errors or ():
+        program.skipped_lines.append(SkippedLine(
+            err.number, err.error.column or 0, err.text, str(err.error)))
     pending_labels: list[str] = []
-    for line in lex_lines(text):
+    for line in lines:
         pending_labels.extend(line.labels)
         if line.directive is not None:
             program.directives.append(line.directive)
             continue
         if line.mnemonic is None:
             continue
-        mnemonic, annulled = _parse_mnemonic(line.mnemonic, line.number)
-        opcode = lookup_opcode(mnemonic)
-        if annulled and not opcode.delayed:
-            raise AsmSyntaxError(
-                f"{mnemonic} cannot carry an annul suffix", line.number)
-        operands = tuple(parse_operand(t, line.number)
-                         for t in line.operand_texts)
         index = len(program.instructions)
-        label = pending_labels[0] if pending_labels else None
-        instr = Instruction(index, opcode, operands, label=label,
-                            annulled=annulled, source_line=line.number)
-        # Validate operands eagerly so parse errors surface here, not
-        # at DAG-build time.
-        from repro.isa.resources import defs_and_uses
         try:
-            defs_and_uses(instr)
-        except OperandError as exc:
-            raise AsmSyntaxError(str(exc), line.number) from exc
+            instr = _parse_line(line, index)
+        except AsmSyntaxError as exc:
+            if not lenient:
+                raise _with_filename(exc, name)
+            program.skipped_lines.append(SkippedLine(
+                line.number, exc.column or line.mnemonic_column,
+                line.raw, str(exc)))
+            continue
+        if pending_labels:
+            instr = Instruction(index, instr.opcode, instr.operands,
+                                label=pending_labels[0],
+                                annulled=instr.annulled,
+                                source_line=instr.source_line)
         program.instructions.append(instr)
         for lbl in pending_labels:
             program.add_label(lbl, index)
         pending_labels = []
     for lbl in pending_labels:
         program.add_label(lbl, len(program.instructions))
+    program.skipped_lines.sort(key=lambda skipped: skipped.number)
     return program
+
+
+def _with_filename(exc: AsmSyntaxError, name: str) -> AsmSyntaxError:
+    """Stamp the source name onto a diagnostic (message and attribute)."""
+    if exc.filename is None and name and name != "<asm>":
+        exc.filename = name
+        exc.args = (f"{name}: {exc.args[0]}",) + exc.args[1:]
+    return exc
 
 
 def parse_instruction_text(text: str, index: int = 0) -> Instruction:

@@ -8,6 +8,23 @@ from repro.errors import CfgError
 from repro.isa.instruction import Instruction
 
 
+@dataclass(frozen=True)
+class SkippedLine:
+    """One source line skipped by a lenient parse.
+
+    Attributes:
+        number: 1-based line number.
+        column: 1-based column of the offending construct (0 unknown).
+        text: the raw source line.
+        error: the diagnostic that would have aborted a strict parse.
+    """
+
+    number: int
+    column: int
+    text: str
+    error: str
+
+
 @dataclass
 class Program:
     """A parsed assembly program (one translation unit).
@@ -20,12 +37,15 @@ class Program:
             label at end-of-file maps to ``len(instructions)``.
         directives: assembler directives in source order (kept for
             round-tripping; semantically ignored).
+        skipped_lines: malformed lines recorded (instead of raised)
+            by a lenient parse; empty after a strict parse.
     """
 
     name: str
     instructions: list[Instruction] = field(default_factory=list)
     labels: dict[str, int] = field(default_factory=dict)
     directives: list[str] = field(default_factory=list)
+    skipped_lines: list[SkippedLine] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -3,21 +3,29 @@
 Usage::
 
     python -m repro schedule kernel.s --algorithm warren --machine sparc
+    python -m repro schedule big.s --journal run.jsonl --resume
     python -m repro dag kernel.s --builder table-forward
     python -m repro stats kernel.s
     python -m repro verify kernel.s
+    python -m repro fuzz --seed 0 --iterations 100
 
 Subcommands:
 
 * ``schedule`` -- run one of the six published algorithms (or the
   plain section 6 pipeline) over every block and emit the reordered
   assembly, with a per-block cycle report on stderr-style comment
-  lines.
+  lines.  The section 6 path runs on the resilient batch runner
+  (:mod:`repro.runner`): ``--chain`` configures builder fallback,
+  ``--block-timeout``/``--max-work`` arm the per-block watchdog, and
+  ``--journal``/``--resume`` checkpoint the run block by block.
 * ``dag`` -- dump the dependence DAG of each block as text.
 * ``stats`` -- print the Table 3 structural row for the file.
 * ``verify`` -- schedule every block with every DAG construction
   algorithm and check each schedule against independently re-derived
   dependences (PASS/FAIL per block per builder; exit 1 on any FAIL).
+* ``fuzz`` -- differential fuzzing of the five builders on seeded
+  random and mutated blocks; disagreements are minimized into
+  reproducer files (exit 1 on any disagreement).
 
 Library errors (:class:`~repro.errors.ReproError`) are reported as a
 one-line diagnostic with exit status 2.
@@ -26,6 +34,7 @@ one-line diagnostic with exit status 2.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -53,6 +62,14 @@ from repro.machine import (
     superscalar2,
 )
 from repro.pipeline import SECTION6_PRIORITY
+from repro.runner import (
+    DEFAULT_CHAIN,
+    Budget,
+    RunJournal,
+    run_batch,
+    run_fingerprint,
+)
+from repro.runner import fuzz as run_fuzz
 from repro.scheduling.algorithms import (
     GibbonsMuchnick,
     Krishnamurthy,
@@ -97,36 +114,46 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _parse_program(source: str, args: argparse.Namespace,
+                   out: Callable[[str], None]):
+    """Parse a subcommand's input, honoring ``--lenient``.
+
+    In lenient mode every skipped line is reported as a ``!`` comment
+    diagnostic so the recovery is visible in the output.
+    """
+    lenient = getattr(args, "lenient", False)
+    program = parse_asm(source, args.file, lenient=lenient)
+    for skipped in program.skipped_lines:
+        out(f"! skipped line {skipped.number}: {skipped.error} "
+            f"[{skipped.text.strip()}]")
+    return program
+
+
 def _cmd_schedule(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     machine = MACHINES[args.machine]()
-    program = parse_asm(_read_source(args.file), args.file)
+    source = _read_source(args.file)
+    program = _parse_program(source, args, out)
     # Pin delay-slot occupants so the emitted linear listing keeps the
     # same instruction in each branch's slot.
     blocks = pin_delay_slot_occupants(
         apply_window(partition_blocks(program), args.window))
+    if args.algorithm == "section6":
+        return _schedule_resilient(args, source, machine, blocks, out)
+    if args.journal or args.resume:
+        raise ReproError(
+            "--journal/--resume require the section 6 pipeline "
+            "(--algorithm section6)")
     total = original_total = 0
     for block in blocks:
         if not block.size:
             continue
-        if args.algorithm == "section6":
-            outcome = TableForwardBuilder(machine).build(block)
-            backward_pass(outcome.dag, require_est=False)
-            result = schedule_forward(outcome.dag, machine,
-                                      SECTION6_PRIORITY)
-            order = result.order
-            makespan = result.makespan
-            original = simulate(list(outcome.dag.real_nodes()),
-                                machine).makespan
-        else:
-            algorithm = ALGORITHMS[args.algorithm](machine)
-            result = algorithm.schedule_block(block)
-            order = result.order
-            makespan = result.makespan
-            original = result.original_timing.makespan
-        total += makespan
-        original_total += original
-        out(f"! block {block.index}: {original} -> {makespan} cycles")
-        for node in order:
+        algorithm = ALGORITHMS[args.algorithm](machine)
+        result = algorithm.schedule_block(block)
+        total += result.makespan
+        original_total += result.original_timing.makespan
+        out(f"! block {block.index}: {result.original_timing.makespan} "
+            f"-> {result.makespan} cycles")
+        for node in result.order:
             label = f"{node.instr.label}:\n" if node.instr.label else ""
             out(f"{label}\t{node.instr.render()}")
     out(f"! total: {original_total} -> {total} cycles "
@@ -134,9 +161,74 @@ def _cmd_schedule(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _schedule_resilient(args: argparse.Namespace, source: str, machine,
+                        blocks, out: Callable[[str], None]) -> int:
+    """The section 6 path, on the resilient batch runner."""
+    chain = (tuple(p.strip() for p in args.chain.split(",") if p.strip())
+             if args.chain else DEFAULT_CHAIN)
+    budget = None
+    if args.block_timeout is not None or args.max_work is not None:
+        budget = Budget(wall_clock=args.block_timeout,
+                        max_work=args.max_work)
+    journal = None
+    if args.resume and not args.journal:
+        raise ReproError("--resume requires --journal")
+    if args.journal:
+        fingerprint = run_fingerprint(
+            source, args.machine, chain, window=args.window,
+            verify=bool(args.verify),
+            lenient=bool(getattr(args, "lenient", False)))
+        if args.resume and os.path.exists(args.journal):
+            journal = RunJournal.open_resume(args.journal, fingerprint)
+        else:
+            journal = RunJournal.open_fresh(args.journal, fingerprint)
+    blocks_by_index = {block.index: block for block in blocks}
+
+    def emit(outcome) -> None:
+        block = blocks_by_index[outcome.index]
+        for failed in outcome.attempts[:-1]:
+            out(f"! block {outcome.index} [{failed.builder}] "
+                f"{failed.stage} failed: {failed.error}")
+        note = " (degraded to original order)" if outcome.degraded else ""
+        out(f"! block {outcome.index}: {outcome.original_makespan} -> "
+            f"{outcome.makespan} cycles{note}")
+        for position in outcome.order:
+            instr = block.instructions[position]
+            label = f"{instr.label}:\n" if instr.label else ""
+            out(f"{label}\t{instr.render()}")
+
+    try:
+        result = run_batch(blocks, machine, chain=chain, budget=budget,
+                           verify=args.verify, journal=journal,
+                           on_block=emit)
+    finally:
+        if journal is not None:
+            journal.close()
+    out(f"! total: {result.total_original_makespan} -> "
+        f"{result.total_makespan} cycles "
+        f"({result.total_original_makespan / max(1, result.total_makespan):.2f}x)")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    result = run_fuzz(
+        seed=args.seed, iterations=args.iterations,
+        machine=MACHINES[args.machine](), out_dir=args.out,
+        max_size=args.max_size, inject_fault=args.inject_fault)
+    for failure in result.failures:
+        out(f"FAIL {failure.case} [{failure.shape}] {failure.description}")
+        out(f"  reproducer: {failure.reproducer} "
+            f"({failure.original_size} -> {failure.minimized_size} "
+            f"instructions)")
+    out(f"! fuzz: seed {result.seed}, {result.iterations} iterations, "
+        f"{result.n_blocks} blocks checked, "
+        f"{len(result.failures)} disagreements")
+    return 0 if result.passed else 1
+
+
 def _cmd_dag(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     machine = MACHINES[args.machine]()
-    program = parse_asm(_read_source(args.file), args.file)
+    program = _parse_program(_read_source(args.file), args, out)
     for block in partition_blocks(program):
         if not block.size:
             continue
@@ -157,7 +249,7 @@ def _cmd_dag(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    program = parse_asm(_read_source(args.file), args.file)
+    program = _parse_program(_read_source(args.file), args, out)
     blocks = apply_window(partition_blocks(program), args.window)
     out(render_rows([table3_row(args.file, blocks)]))
     return 0
@@ -165,7 +257,7 @@ def _cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     machine = MACHINES[args.machine]()
-    program = parse_asm(_read_source(args.file), args.file)
+    program = _parse_program(_read_source(args.file), args, out)
     blocks = pin_delay_slot_occupants(
         apply_window(partition_blocks(program), args.window))
     builder_names = ([args.builder] if args.builder
@@ -234,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="generic", help="timing model")
     common.add_argument("--window", type=int, default=None,
                         help="maximum basic block size")
+    common.add_argument("--lenient", action="store_true",
+                        help="skip unparseable lines (reported as "
+                             "'! skipped' diagnostics) instead of "
+                             "aborting")
 
     schedule = sub.add_parser("schedule", parents=[common],
                               help="schedule each basic block")
@@ -242,6 +338,30 @@ def build_parser() -> argparse.ArgumentParser:
                           default="section6",
                           help="published algorithm, or the paper's "
                                "section 6 pipeline (default)")
+    schedule.add_argument("--chain", default=None, metavar="B1,B2,...",
+                          help="builder fallback chain for the section 6 "
+                               f"pipeline (default: "
+                               f"{','.join(DEFAULT_CHAIN)})")
+    schedule.add_argument("--block-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock watchdog per block attempt")
+    schedule.add_argument("--max-work", type=int, default=None,
+                          metavar="UNITS",
+                          help="construction work budget per block "
+                               "attempt (comparisons + table probes + "
+                               "alias checks + bitmap ops)")
+    schedule.add_argument("--verify", action="store_true",
+                          help="independently verify every accepted "
+                               "schedule (failures fall back through "
+                               "the chain)")
+    schedule.add_argument("--journal", default=None, metavar="PATH",
+                          help="write per-block outcomes to a JSONL "
+                               "journal as the run progresses")
+    schedule.add_argument("--resume", action="store_true",
+                          help="replay completed blocks from --journal "
+                               "and continue from the first missing "
+                               "one (starts fresh if the journal does "
+                               "not exist)")
     schedule.set_defaults(handler=_cmd_schedule)
 
     dag = sub.add_parser("dag", parents=[common],
@@ -278,6 +398,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schedule the compiled block and report "
                             "cycles")
     minic.set_defaults(handler=_cmd_minic)
+
+    fuzz = sub.add_parser("fuzz",
+                          help="differential fuzzing of the DAG "
+                               "builders (seeded, deterministic)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (fixes the whole run)")
+    fuzz.add_argument("--iterations", type=int, default=100,
+                      help="generated cases")
+    fuzz.add_argument("--machine", choices=sorted(MACHINES),
+                      default="generic", help="timing model")
+    fuzz.add_argument("--out", default="fuzz-failures", metavar="DIR",
+                      help="directory for minimized reproducer files")
+    fuzz.add_argument("--max-size", type=int, default=24,
+                      help="instruction cap for generated blocks")
+    fuzz.add_argument("--inject-fault", action="store_true",
+                      help="add a deliberately broken builder to the "
+                           "differential set (self-test: must be "
+                           "detected)")
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

@@ -175,13 +175,23 @@ class DagBuilder(abc.ABC):
         self.alias_policy = (machine.alias_policy if alias_policy is None
                              else alias_policy)
 
-    def build(self, block: BasicBlock) -> BuildOutcome:
-        """Construct the dependence DAG for one basic block."""
+    def build(self, block: BasicBlock,
+              stats: BuildStats | None = None) -> BuildOutcome:
+        """Construct the dependence DAG for one basic block.
+
+        Args:
+            block: the block to analyze.
+            stats: work-counter sink; pass a
+                :class:`repro.runner.watchdog.BudgetedStats` to bound
+                the construction work (the runner's cooperative
+                watchdog).  Default: a fresh :class:`BuildStats`.
+        """
         dag = Dag()
         for instr in block.instructions:
             dag.add_node(instr, self.machine.execution_time(instr))
         space = ResourceSpace()
-        stats = BuildStats()
+        if stats is None:
+            stats = BuildStats()
         oracle = AliasOracle(self.alias_policy, stats)
         self._construct(dag, space, oracle, stats)
         stats.arcs_added = dag.n_arcs

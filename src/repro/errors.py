@@ -17,15 +17,29 @@ class AsmSyntaxError(ReproError):
 
     Attributes:
         line_number: 1-based line number of the offending line, if known.
-        line_text: the raw text of the offending line, if known.
+        line_text: the raw text of the offending construct, if known.
+        column: 1-based column of the offending construct, if known.
+        filename: source name of the offending file, if known.
     """
 
     def __init__(self, message: str, line_number: int | None = None,
-                 line_text: str | None = None) -> None:
+                 line_text: str | None = None,
+                 column: int | None = None,
+                 filename: str | None = None) -> None:
         self.line_number = line_number
         self.line_text = line_text
+        self.column = column
+        self.filename = filename
         if line_number is not None:
-            message = f"line {line_number}: {message}"
+            if filename is not None:
+                where = f"{filename}:{line_number}"
+                if column is not None:
+                    where += f":{column}"
+                message = f"{where}: {message}"
+            elif column is not None:
+                message = f"line {line_number}, col {column}: {message}"
+            else:
+                message = f"line {line_number}: {message}"
         super().__init__(message)
 
 
@@ -90,6 +104,42 @@ class BuilderMismatchError(ReproError):
         self.builder = builder
         self.node = node
         super().__init__(message)
+
+
+class BlockTimeout(ReproError):
+    """Raised when a block exceeds its watchdog budget.
+
+    The resilient batch runner (:mod:`repro.runner`) converts runaway
+    DAG construction or scheduling into this typed error instead of a
+    hang, so a fallback chain can take over.
+
+    Attributes:
+        block: label or index description of the offending block.
+        budget: which budget tripped ("wall-clock" or "work").
+        limit: the configured budget value.
+        spent: how much was consumed when the watchdog fired.
+    """
+
+    def __init__(self, message: str, block: str | None = None,
+                 budget: str | None = None,
+                 limit: float | None = None,
+                 spent: float | None = None) -> None:
+        self.block = block
+        self.budget = budget
+        self.limit = limit
+        self.spent = spent
+        if block is not None:
+            message = f"block {block}: {message}"
+        super().__init__(message)
+
+
+class JournalError(ReproError):
+    """Raised when a run journal cannot be used.
+
+    Covers an unreadable or corrupt journal file and a fingerprint
+    mismatch (resuming against a different input file, machine model,
+    builder chain, or window than the journal records).
+    """
 
 
 class WorkloadError(ReproError):

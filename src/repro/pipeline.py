@@ -49,8 +49,12 @@ class PipelineResult:
         n_instructions: total instructions scheduled.
         build_stats: summed construction work counters.
         dag_stats: Table 4/5 structural statistics.
-        total_makespan: summed per-block makespans of the schedules.
+        total_makespan: summed per-block makespans of the schedules
+            (degraded blocks charged at their original-order makespan).
         total_original_makespan: summed makespans of original orders.
+        degraded_makespan: the portion of both totals contributed by
+            failed blocks (charged identically to both sides, since a
+            degraded block runs in its original order).
         unique_memory_exprs_max: largest per-block unique-memory-
             expression count (Table 3 column).
         failures: per-block failure records for blocks that fell back
@@ -64,15 +68,35 @@ class PipelineResult:
     dag_stats: ProgramDagStats = field(default_factory=ProgramDagStats)
     total_makespan: int = 0
     total_original_makespan: int = 0
+    degraded_makespan: int = 0
     unique_memory_exprs_max: int = 0
     failures: list[BlockFailure] = field(default_factory=list)
 
     @property
+    def degraded_fraction(self) -> float:
+        """Fraction of processed blocks that fell back to original
+        order (0.0 on a clean or empty run)."""
+        if self.n_blocks == 0:
+            return 0.0
+        return len(self.failures) / self.n_blocks
+
+    @property
     def speedup(self) -> float:
-        """Original total makespan over scheduled total makespan."""
-        if self.total_makespan == 0:
+        """Original over scheduled makespan, over the blocks that were
+        actually scheduled.
+
+        Degraded blocks are excluded from the ratio: they charge their
+        original-order makespan to *both* totals, so leaving them in
+        would drag the ratio toward 1.0 and mask real degradation --
+        check :attr:`degraded_fraction` alongside this number.  When
+        every block failed (or nothing was scheduled) there is no
+        schedule to rate and the speedup is explicitly 1.0.
+        """
+        scheduled = self.total_makespan - self.degraded_makespan
+        if scheduled <= 0:
             return 1.0
-        return self.total_original_makespan / self.total_makespan
+        return ((self.total_original_makespan - self.degraded_makespan)
+                / scheduled)
 
 
 def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
@@ -149,6 +173,7 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
                 fallback = degraded_timing(block, machine)
                 result.total_makespan += fallback
                 result.total_original_makespan += fallback
+                result.degraded_makespan += fallback
             continue
         result.build_stats.merge(outcome.stats)
         result.dag_stats.add_dag(dag)

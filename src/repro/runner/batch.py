@@ -1,0 +1,160 @@
+"""The resilient batch runner: whole-program runs that survive bad blocks.
+
+:func:`run_batch` is the crash-tolerant counterpart of
+:func:`repro.pipeline.run_pipeline` for production-scale runs: every
+block goes through the watchdog + builder fallback chain
+(:mod:`repro.runner.fallback`), outcomes are journaled as the run
+progresses (:mod:`repro.runner.journal`), and an interrupted run
+resumes from the last completed block with bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders.base import BuildStats, DagBuilder
+from repro.dag.stats import ProgramDagStats
+from repro.machine.model import MachineModel
+from repro.runner.fallback import (
+    DEFAULT_CHAIN,
+    BlockOutcome,
+    resolve_chain,
+    schedule_block_resilient,
+)
+from repro.runner.journal import RunJournal
+from repro.runner.watchdog import Budget
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcome of a resilient batch run.
+
+    Attributes:
+        chain: builder chain names, in fallback order.
+        outcomes: one :class:`BlockOutcome` per non-empty block, in
+            program order (replayed journal outcomes included).
+        n_blocks: blocks processed.
+        n_instructions: instructions processed.
+        n_replayed: blocks replayed from the journal instead of
+            recomputed.
+        total_makespan: summed accepted-schedule makespans (degraded
+            blocks charged at original-order makespan).
+        total_original_makespan: summed original-order makespans.
+        degraded_makespan: the portion of both totals from degraded
+            blocks.
+        build_stats: summed construction work counters of live,
+            non-degraded blocks (journal replays carry none).
+        dag_stats: structural statistics of live, non-degraded blocks.
+    """
+
+    chain: tuple[str, ...]
+    outcomes: list[BlockOutcome] = field(default_factory=list)
+    n_blocks: int = 0
+    n_instructions: int = 0
+    n_replayed: int = 0
+    total_makespan: int = 0
+    total_original_makespan: int = 0
+    degraded_makespan: int = 0
+    build_stats: BuildStats = field(default_factory=BuildStats)
+    dag_stats: ProgramDagStats = field(default_factory=ProgramDagStats)
+
+    @property
+    def failures(self) -> list[BlockOutcome]:
+        """The blocks that degraded to original order."""
+        return [o for o in self.outcomes if o.degraded]
+
+    @property
+    def retried(self) -> list[BlockOutcome]:
+        """The blocks that needed more than one attempt."""
+        return [o for o in self.outcomes if len(o.attempts) > 1]
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of processed blocks that degraded."""
+        if self.n_blocks == 0:
+            return 0.0
+        return len(self.failures) / self.n_blocks
+
+    @property
+    def speedup(self) -> float:
+        """Original over scheduled makespan across the blocks that
+        were actually scheduled (1.0 when every block degraded)."""
+        scheduled = self.total_makespan - self.degraded_makespan
+        if scheduled <= 0:
+            return 1.0
+        return ((self.total_original_makespan - self.degraded_makespan)
+                / scheduled)
+
+
+def run_batch(blocks: Sequence[BasicBlock],
+              machine: MachineModel,
+              chain: Sequence[str] | None = None,
+              chain_factories: Sequence[
+                  tuple[str, Callable[[], DagBuilder]]] | None = None,
+              budget: Budget | None = None,
+              priority: Callable | None = None,
+              heuristic_driver: str = "reverse_walk",
+              verify: bool = False,
+              journal: RunJournal | None = None,
+              on_block: Callable[[BlockOutcome], None] | None = None,
+              ) -> BatchResult:
+    """Run the resilient scheduling pipeline over ``blocks``.
+
+    Per block: if the journal already records an outcome for its index
+    the outcome is replayed verbatim (no recomputation -- this is what
+    makes resume bit-identical); otherwise the block runs through the
+    watchdog + fallback chain and the outcome is appended to the
+    journal before the next block starts.
+
+    Args:
+        blocks: the program's basic blocks (window already applied).
+        machine: timing model.
+        chain: builder chain names (default
+            :data:`~repro.runner.fallback.DEFAULT_CHAIN`).
+        chain_factories: pre-resolved (name, factory) pairs overriding
+            ``chain`` -- the fault-injection hook tests use to plant a
+            hanging or broken builder.
+        budget: per-block watchdog limits.
+        priority: scheduling priority (default: section 6 winnowing).
+        heuristic_driver: "reverse_walk" or "levels".
+        verify: independently verify every accepted schedule.
+        journal: an open :class:`RunJournal` for checkpoint/resume.
+        on_block: progress callback invoked after every block outcome
+            (replayed ones included), in program order.
+
+    Returns:
+        The aggregated :class:`BatchResult`.
+    """
+    if chain_factories is None:
+        chain_factories = resolve_chain(
+            tuple(chain) if chain else DEFAULT_CHAIN, machine)
+    result = BatchResult(chain=tuple(name for name, _ in chain_factories))
+    completed = journal.completed if journal is not None else {}
+    for block in blocks:
+        if not block.instructions:
+            continue
+        outcome = completed.get(block.index)
+        if outcome is not None:
+            result.n_replayed += 1
+        else:
+            outcome = schedule_block_resilient(
+                block, machine, chain_factories, budget=budget,
+                priority=priority, heuristic_driver=heuristic_driver,
+                verify=verify)
+            if journal is not None:
+                journal.append(outcome)
+        result.outcomes.append(outcome)
+        result.n_blocks += 1
+        result.n_instructions += len(block.instructions)
+        result.total_makespan += outcome.makespan
+        result.total_original_makespan += outcome.original_makespan
+        if outcome.degraded:
+            result.degraded_makespan += outcome.makespan
+        if outcome.live and outcome.dag_stats_outcome is not None:
+            result.build_stats.merge(outcome.dag_stats_outcome.stats)
+            result.dag_stats.add_dag(outcome.dag_stats_outcome.dag)
+        if on_block is not None:
+            on_block(outcome)
+    return result

@@ -1,0 +1,255 @@
+"""Per-block builder fallback chains.
+
+One bad block must not cost the run.  A block attempt can fail in any
+stage -- construction (a builder bug, a work-budget trip), heuristics,
+scheduling, verification, or the wall-clock watchdog -- and each
+failure is a per-block :class:`~repro.errors.ReproError`.  The chain
+retries the block with the next configured builder before degrading to
+the original instruction order, and records *every* attempt so the
+failure report shows exactly which builders were tried and why each
+one was rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cfg.basic_block import BasicBlock
+from repro.dag.builders import (
+    BitmapBackwardBuilder,
+    CompareAllBuilder,
+    LandskovBuilder,
+    TableBackwardBuilder,
+    TableForwardBuilder,
+)
+from repro.dag.builders.base import BuildOutcome, DagBuilder
+from repro.errors import BlockTimeout, ReproError
+from repro.heuristics.passes import backward_pass, backward_pass_levels
+from repro.machine.model import MachineModel
+from repro.pipeline import SECTION6_PRIORITY
+from repro.runner.watchdog import Budget, BudgetedStats, run_with_watchdog
+from repro.scheduling.list_scheduler import schedule_forward
+from repro.scheduling.timing import simulate, verify_order
+from repro.verify.checker import degraded_timing, verify_schedule
+
+#: builder name -> class, as exposed on the CLI
+BUILDER_CLASSES: dict[str, type[DagBuilder]] = {
+    "n2": CompareAllBuilder,
+    "landskov": LandskovBuilder,
+    "table-forward": TableForwardBuilder,
+    "table-backward": TableBackwardBuilder,
+    "bitmap-backward": BitmapBackwardBuilder,
+}
+
+#: the default chain: fastest exact builder first, the ``n**2``
+#: reference last (it tolerates anything but costs the most work)
+DEFAULT_CHAIN = ("bitmap-backward", "table-forward", "n2")
+
+
+def resolve_chain(names: Sequence[str],
+                  machine: MachineModel) -> list[
+                      tuple[str, Callable[[], DagBuilder]]]:
+    """Turn builder names into (name, factory) pairs.
+
+    Raises:
+        ReproError: for an unknown builder name or an empty chain.
+    """
+    if not names:
+        raise ReproError("builder chain is empty")
+    chain = []
+    for name in names:
+        cls = BUILDER_CLASSES.get(name)
+        if cls is None:
+            raise ReproError(
+                f"unknown builder {name!r} in chain; "
+                f"known: {sorted(BUILDER_CLASSES)}")
+        chain.append((name, lambda cls=cls: cls(machine)))
+    return chain
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One builder attempt on one block.
+
+    Attributes:
+        builder: chain entry name ("original-order" for the terminal
+            degradation step).
+        stage: where the attempt ended ("build", "heuristics",
+            "schedule", "verify", "timeout", or "ok").
+        error: the stringified error, None on success.
+    """
+
+    builder: str
+    stage: str
+    error: str | None = None
+
+    def to_record(self) -> dict:
+        """JSON-serializable form (journal line fragment)."""
+        return {"builder": self.builder, "stage": self.stage,
+                "error": self.error}
+
+    @staticmethod
+    def from_record(record: dict) -> "Attempt":
+        return Attempt(record["builder"], record["stage"],
+                       record.get("error"))
+
+
+@dataclass
+class BlockOutcome:
+    """The resilient runner's verdict on one block.
+
+    Attributes:
+        index: block index within the program.
+        label: block label, if any.
+        builder: name of the builder that produced the accepted
+            schedule, or None when the block degraded to its original
+            order.
+        order: accepted schedule as block-relative instruction
+            positions (the identity permutation when degraded).
+        makespan: makespan of the accepted schedule.
+        original_makespan: makespan of the original order.
+        attempts: every attempt, in chain order (the last one is the
+            accepted attempt or the degradation record).
+        live: True when this outcome was computed in this run, False
+            when it was replayed from a journal (replayed outcomes
+            carry no DAG/work statistics).
+        dag_stats_outcome: the accepted attempt's build outcome (DAG +
+            work counters), present only on live, non-degraded
+            outcomes.
+    """
+
+    index: int
+    label: str | None
+    builder: str | None
+    order: list[int]
+    makespan: int
+    original_makespan: int
+    attempts: list[Attempt] = field(default_factory=list)
+    live: bool = True
+    dag_stats_outcome: BuildOutcome | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when no chain builder produced an accepted schedule."""
+        return self.builder is None
+
+    def to_record(self) -> dict:
+        """JSON-serializable journal line (statistics-bearing fields
+        only; the DAG itself is recomputable from the input)."""
+        return {
+            "type": "block",
+            "index": self.index,
+            "label": self.label,
+            "builder": self.builder,
+            "order": list(self.order),
+            "makespan": self.makespan,
+            "original_makespan": self.original_makespan,
+            "attempts": [a.to_record() for a in self.attempts],
+        }
+
+    @staticmethod
+    def from_record(record: dict) -> "BlockOutcome":
+        return BlockOutcome(
+            index=record["index"],
+            label=record.get("label"),
+            builder=record.get("builder"),
+            order=list(record["order"]),
+            makespan=record["makespan"],
+            original_makespan=record["original_makespan"],
+            attempts=[Attempt.from_record(a)
+                      for a in record.get("attempts", [])],
+            live=False)
+
+
+def schedule_block_resilient(
+        block: BasicBlock,
+        machine: MachineModel,
+        chain: Sequence[tuple[str, Callable[[], DagBuilder]]],
+        budget: Budget | None = None,
+        priority: Callable | None = None,
+        heuristic_driver: str = "reverse_walk",
+        verify: bool = False) -> BlockOutcome:
+    """Schedule one block, falling back through the builder chain.
+
+    Each chain entry gets a full attempt -- construction (under the
+    work budget), intermediate heuristic pass, forward scheduling, and
+    optional independent verification -- wrapped in the wall-clock
+    watchdog.  The first attempt that survives is accepted; if none
+    does, the block degrades to its original order (always correct,
+    never faster) with every failure recorded.
+
+    Args:
+        block: the basic block (non-empty).
+        machine: timing model.
+        chain: (name, factory) pairs from :func:`resolve_chain`; tests
+            may inject arbitrary factories (e.g. a sleeping builder).
+        budget: per-attempt watchdog limits (None = unlimited).
+        priority: scheduling priority (default: section 6 winnowing).
+        heuristic_driver: "reverse_walk" or "levels".
+        verify: independently verify the accepted schedule with
+            :func:`repro.verify.checker.verify_schedule`.
+
+    Returns:
+        The accepted or degraded :class:`BlockOutcome`.
+    """
+    if priority is None:
+        priority = SECTION6_PRIORITY
+    driver = (backward_pass_levels if heuristic_driver == "levels"
+              else backward_pass)
+    label = block.label if block.label else str(block.index)
+    attempts: list[Attempt] = []
+
+    def attempt(name: str, factory: Callable[[], DagBuilder]) -> tuple:
+        stage = "build"
+        stats = BudgetedStats(
+            budget.max_work if budget is not None else None, block=label)
+        try:
+            outcome = factory().build(block, stats=stats)
+            stage = "heuristics"
+            driver(outcome.dag, require_est=False)
+            stage = "schedule"
+            sched = schedule_forward(outcome.dag, machine, priority)
+            verify_order(sched.order, outcome.dag)
+            original = simulate(list(outcome.dag.real_nodes()), machine)
+            if verify:
+                stage = "verify"
+                verify_schedule(
+                    block, sched.order, machine,
+                    claimed_issue_times=sched.timing.issue_times,
+                    approach=name).raise_if_failed()
+            return outcome, sched, original
+        except BlockTimeout:
+            raise
+        except ReproError as exc:
+            exc.stage = stage  # type: ignore[attr-defined]
+            raise
+
+    for name, factory in chain:
+        try:
+            outcome, sched, original = run_with_watchdog(
+                lambda: attempt(name, factory), budget, block=label)
+        except BlockTimeout as exc:
+            attempts.append(Attempt(name, "timeout", str(exc)))
+            continue
+        except ReproError as exc:
+            attempts.append(Attempt(
+                name, getattr(exc, "stage", "build"), str(exc)))
+            continue
+        attempts.append(Attempt(name, "ok"))
+        return BlockOutcome(
+            index=block.index, label=block.label, builder=name,
+            order=[node.id for node in sched.order],
+            makespan=sched.timing.makespan,
+            original_makespan=original.makespan,
+            attempts=attempts, dag_stats_outcome=outcome)
+
+    # Terminal degradation: the original order is always a correct
+    # schedule of itself.
+    fallback = degraded_timing(block, machine)
+    attempts.append(Attempt("original-order", "ok"))
+    return BlockOutcome(
+        index=block.index, label=block.label, builder=None,
+        order=list(range(len(block.instructions))),
+        makespan=fallback, original_makespan=fallback,
+        attempts=attempts)

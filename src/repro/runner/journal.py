@@ -1,0 +1,176 @@
+"""Checkpoint/resume journal for batch runs.
+
+A run journal is a JSONL file: one header line identifying the run,
+then one line per completed block, appended and flushed as the run
+progresses.  Killing a journaled run loses at most the block in
+flight; re-running with ``--resume`` replays the recorded outcomes for
+completed blocks (bit-identically -- nothing is recomputed for them)
+and continues from the first missing block.
+
+The header carries a fingerprint of everything that determines the
+per-block outcomes: a hash of the input text, the machine model, the
+builder chain, the window, and the scheduling options.  Resuming
+against a journal whose fingerprint does not match the current
+invocation raises :class:`~repro.errors.JournalError` instead of
+silently splicing two different runs together.
+
+A truncated final line (the in-flight block of a killed run) is
+ignored on load; everything before it is trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import IO
+
+from repro.errors import JournalError
+from repro.runner.fallback import BlockOutcome
+
+_VERSION = 1
+
+
+def run_fingerprint(source_text: str, machine: str,
+                    chain: list[str] | tuple[str, ...],
+                    window: int | None = None,
+                    **options: object) -> dict:
+    """The identity of a run, for resume compatibility checks.
+
+    Args:
+        source_text: the input program text (hashed, not stored).
+        machine: machine model name.
+        chain: builder chain names in order.
+        window: instruction window, if any.
+        options: any further outcome-determining knobs (verify flag,
+            heuristic driver, ...).
+    """
+    return {
+        "source_sha256": hashlib.sha256(
+            source_text.encode("utf-8")).hexdigest(),
+        "machine": machine,
+        "chain": list(chain),
+        "window": window,
+        **{k: options[k] for k in sorted(options)},
+    }
+
+
+class RunJournal:
+    """Append-only JSONL journal of per-block outcomes.
+
+    Use :meth:`open_fresh` to start a new journal (truncating any
+    previous file) or :meth:`open_resume` to load completed outcomes
+    and continue appending.
+    """
+
+    def __init__(self, path: str, fingerprint: dict,
+                 completed: dict[int, BlockOutcome],
+                 handle: IO[str]) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.completed = completed
+        self._handle = handle
+
+    @classmethod
+    def open_fresh(cls, path: str, fingerprint: dict) -> "RunJournal":
+        """Start a new journal, truncating an existing file."""
+        handle = open(path, "w", encoding="utf-8")
+        handle.write(json.dumps(
+            {"type": "header", "version": _VERSION,
+             "fingerprint": fingerprint}) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, fingerprint, {}, handle)
+
+    @classmethod
+    def open_resume(cls, path: str, fingerprint: dict) -> "RunJournal":
+        """Load a journal and continue appending to it.
+
+        Raises:
+            JournalError: when the file is missing, the header is
+                unreadable, or the fingerprint does not match.
+        """
+        header, completed = cls.load(path)
+        if header["fingerprint"] != fingerprint:
+            theirs = header["fingerprint"]
+            differing = sorted(
+                k for k in set(theirs) | set(fingerprint)
+                if theirs.get(k) != fingerprint.get(k))
+            raise JournalError(
+                f"journal {path!r} records a different run "
+                f"(mismatched: {', '.join(differing)}); "
+                f"re-run without --resume to start over")
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, fingerprint, completed, handle)
+
+    @staticmethod
+    def load(path: str) -> tuple[dict, dict[int, BlockOutcome]]:
+        """Read a journal: ``(header, {block_index: outcome})``.
+
+        A corrupt or truncated *trailing* line is ignored (the block
+        that was in flight when the run died); corruption anywhere
+        else raises.
+
+        Raises:
+            JournalError: on a missing file, bad header, or mid-file
+                corruption.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {path!r}: {exc}")
+        if not lines:
+            raise JournalError(f"journal {path!r} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {path!r} has an unreadable header: {exc}")
+        if header.get("type") != "header" \
+                or header.get("version") != _VERSION \
+                or "fingerprint" not in header:
+            raise JournalError(
+                f"journal {path!r} is not a version-{_VERSION} "
+                f"run journal")
+        completed: dict[int, BlockOutcome] = {}
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    break  # torn final write of a killed run
+                raise JournalError(
+                    f"journal {path!r} is corrupt at line {lineno}")
+            if record.get("type") != "block":
+                raise JournalError(
+                    f"journal {path!r} has an unknown record type "
+                    f"{record.get('type')!r} at line {lineno}")
+            try:
+                outcome = BlockOutcome.from_record(record)
+            except KeyError as exc:
+                raise JournalError(
+                    f"journal {path!r} block record at line {lineno} "
+                    f"is missing field {exc}")
+            completed[outcome.index] = outcome
+        return header, completed
+
+    def append(self, outcome: BlockOutcome) -> None:
+        """Record one completed block (flushed to disk immediately)."""
+        self._handle.write(json.dumps(outcome.to_record()) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.completed[outcome.index] = outcome
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

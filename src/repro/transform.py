@@ -52,6 +52,8 @@ class TransformReport:
         delay_slots_filled: branch delay slots filled with useful work.
         nops_removed: nop instructions deleted because a filled slot
             made them redundant.
+        degraded_cycles: the portion of both cycle totals contributed
+            by failed blocks (charged identically to both sides).
         failures: per-block failure records for blocks emitted in
             their original order (empty on a clean run).
     """
@@ -61,14 +63,25 @@ class TransformReport:
     scheduled_cycles: int = 0
     delay_slots_filled: int = 0
     nops_removed: int = 0
+    degraded_cycles: int = 0
     failures: list[BlockFailure] = field(default_factory=list)
 
     @property
+    def degraded_fraction(self) -> float:
+        """Fraction of processed blocks emitted in original order."""
+        if self.n_blocks == 0:
+            return 0.0
+        return len(self.failures) / self.n_blocks
+
+    @property
     def speedup(self) -> float:
-        """Original cycles over scheduled cycles."""
-        if self.scheduled_cycles == 0:
+        """Original over scheduled cycles, over the blocks that were
+        actually scheduled (degraded blocks excluded; explicitly 1.0
+        when every block degraded)."""
+        scheduled = self.scheduled_cycles - self.degraded_cycles
+        if scheduled <= 0:
             return 1.0
-        return self.original_cycles / self.scheduled_cycles
+        return (self.original_cycles - self.degraded_cycles) / scheduled
 
 
 def schedule_program(
@@ -173,6 +186,7 @@ def schedule_program(
             report.n_blocks += 1
             report.original_cycles += cycles
             report.scheduled_cycles += cycles
+            report.degraded_cycles += cycles
             residuals = []
             out_instructions.extend(body)
             continue

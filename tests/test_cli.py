@@ -169,3 +169,142 @@ class TestErrorDiagnostics:
         status, text = run_cli(["verify", str(path)])
         assert status == 2
         assert "repro: error:" in text
+
+
+class TestExitStatuses:
+    """Exit-status contract: 0 success, 1 check failure, 2 ReproError --
+    across every subcommand."""
+
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        path = tmp_path / "bad.s"
+        path.write_text("add %o0, %o1, %o2\nbogusop %o9\n")
+        return str(path)
+
+    @pytest.mark.parametrize("argv", [
+        ["schedule", "{f}"],
+        ["dag", "{f}"],
+        ["stats", "{f}"],
+        ["verify", "{f}"],
+    ])
+    def test_success_is_0(self, asm_file, argv):
+        status, _ = run_cli([a.format(f=asm_file) for a in argv])
+        assert status == 0
+
+    @pytest.mark.parametrize("argv", [
+        ["schedule", "{f}"],
+        ["dag", "{f}"],
+        ["stats", "{f}"],
+        ["verify", "{f}"],
+    ])
+    def test_parse_error_is_2(self, bad_file, argv):
+        status, text = run_cli([a.format(f=bad_file) for a in argv])
+        assert status == 2
+        assert "repro: error:" in text
+
+    def test_fuzz_clean_is_0(self, tmp_path):
+        status, text = run_cli(["fuzz", "--seed", "0",
+                                "--iterations", "4",
+                                "--out", str(tmp_path / "fz")])
+        assert status == 0
+        assert "0 disagreements" in text
+
+    def test_fuzz_disagreement_is_1(self, tmp_path):
+        status, text = run_cli(["fuzz", "--seed", "0",
+                                "--iterations", "2", "--inject-fault",
+                                "--out", str(tmp_path / "fz")])
+        assert status == 1
+        assert "FAIL" in text
+        assert "reproducer:" in text
+
+    def test_verify_broken_builder_is_1(self, asm_file, monkeypatch):
+        from repro import cli
+        from repro.dag.builders import CompareAllBuilder
+
+        class _Pruning(CompareAllBuilder):
+            """Deliberately drops every arc: schedules built from it
+            must fail independent verification."""
+
+            name = "pruning"
+
+            def _construct(self, dag, space, oracle, stats):
+                pass
+
+        monkeypatch.setitem(cli.BUILDERS, "n2", _Pruning)
+        status, text = run_cli(["verify", asm_file, "--builder", "n2"])
+        assert status == 1
+        assert "FAIL" in text
+        assert "failed" in text.splitlines()[-1]
+
+
+class TestResilientScheduleFlags:
+    def test_chain_option(self, asm_file):
+        status, text = run_cli(["schedule", asm_file,
+                                "--chain", "n2"])
+        assert status == 0
+        assert "total:" in text
+
+    def test_unknown_chain_is_2(self, asm_file):
+        status, text = run_cli(["schedule", asm_file,
+                                "--chain", "bogus"])
+        assert status == 2
+        assert "unknown builder" in text
+
+    def test_max_work_degrades_not_crashes(self, asm_file):
+        status, text = run_cli(["schedule", asm_file,
+                                "--max-work", "2"])
+        assert status == 0
+        assert "degraded to original order" in text
+        assert "timeout failed" in text
+        assert "total:" in text
+
+    def test_verify_flag(self, asm_file):
+        status, text = run_cli(["schedule", asm_file, "--verify"])
+        assert status == 0
+        assert "total:" in text
+
+    def test_resume_without_journal_is_2(self, asm_file):
+        status, text = run_cli(["schedule", asm_file, "--resume"])
+        assert status == 2
+        assert "--resume requires --journal" in text
+
+    def test_resume_with_missing_journal_starts_fresh(self, asm_file,
+                                                      tmp_path):
+        journal = tmp_path / "run.jsonl"
+        status, _ = run_cli(["schedule", asm_file, "--journal",
+                             str(journal), "--resume"])
+        assert status == 0
+        assert journal.exists()
+
+    def test_journal_fingerprint_mismatch_is_2(self, asm_file, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        status, _ = run_cli(["schedule", asm_file, "--journal", journal])
+        assert status == 0
+        status, text = run_cli(["schedule", asm_file, "--journal",
+                                journal, "--resume",
+                                "--machine", "sparc"])
+        assert status == 2
+        assert "different run" in text
+
+
+class TestLenientFlag:
+    @pytest.fixture
+    def messy_file(self, tmp_path):
+        path = tmp_path / "messy.s"
+        path.write_text("add %o0, %o1, %o2\n"
+                        "bogusop %o0\n"
+                        "add %o2, 1, %o3\n")
+        return str(path)
+
+    def test_lenient_schedule_recovers(self, messy_file):
+        status, text = run_cli(["schedule", messy_file, "--lenient"])
+        assert status == 0
+        assert "! skipped line 2:" in text
+        assert "bogusop" in text  # the diagnostic quotes the line
+        assert text.count("add") == 2
+
+    def test_lenient_stats_and_dag(self, messy_file):
+        for command in ("stats", "dag"):
+            status, text = run_cli([command, messy_file, "--lenient"])
+            assert status == 0
+            assert "! skipped line 2:" in text

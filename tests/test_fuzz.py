@@ -1,0 +1,126 @@
+"""Tests for the differential fuzz harness (repro.runner.fuzz)."""
+
+import os
+import random
+
+import pytest
+
+from repro.machine import generic_risc
+from repro.runner import (
+    check_block,
+    fuzz,
+    layered_block,
+    minimize_block,
+    mutate_kernel,
+    random_arc_block,
+)
+from repro.runner.fuzz import _DisagreeingBuilder
+from repro.dag.builders import ALL_BUILDERS
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def machine():
+    return generic_risc()
+
+
+class TestGenerators:
+    def test_layered_block_is_deterministic(self):
+        a = layered_block(random.Random("x"), "c")
+        b = layered_block(random.Random("x"), "c")
+        assert [i.render() for i in a.instructions] == \
+            [i.render() for i in b.instructions]
+
+    def test_random_arc_block_is_deterministic(self):
+        a = random_arc_block(random.Random("y"), "c")
+        b = random_arc_block(random.Random("y"), "c")
+        assert [i.render() for i in a.instructions] == \
+            [i.render() for i in b.instructions]
+
+    def test_generated_ids_are_positions(self):
+        block = layered_block(random.Random("z"), "c")
+        assert [i.index for i in block.instructions] == \
+            list(range(len(block.instructions)))
+        assert 1 <= len(block.instructions) <= 24
+
+    def test_mutated_kernel_parses(self):
+        blocks = mutate_kernel(random.Random("m"))
+        for block in blocks:
+            assert block.instructions
+
+    def test_mutation_survives_many_seeds(self):
+        # No seed may crash the mutator (empty results are fine).
+        for k in range(25):
+            mutate_kernel(random.Random(f"m{k}"))
+
+
+class TestOracle:
+    def test_clean_generated_blocks_pass(self, machine):
+        for k in range(5):
+            block = layered_block(random.Random(f"ok{k}"), f"ok{k}")
+            assert check_block(block, machine) is None
+
+    def test_injected_disagreement_is_caught(self, machine):
+        builders = list(ALL_BUILDERS) + [_DisagreeingBuilder]
+        caught = 0
+        for k in range(5):
+            block = layered_block(random.Random(f"f{k}"), f"f{k}")
+            description = check_block(block, machine, builders)
+            if description is not None:
+                assert "disagree" in description
+                caught += 1
+        assert caught > 0
+
+    def test_minimizer_shrinks_and_preserves_failure(self, machine):
+        builders = list(ALL_BUILDERS) + [_DisagreeingBuilder]
+        block = next(
+            b for b in (layered_block(random.Random(f"f{k}"), f"f{k}")
+                        for k in range(10))
+            if check_block(b, machine, builders) is not None)
+        minimized = minimize_block(
+            block, lambda b: check_block(b, machine, builders) is not None)
+        assert len(minimized.instructions) <= len(block.instructions)
+        assert check_block(minimized, machine, builders) is not None
+
+
+class TestCampaign:
+    def test_same_seed_same_campaign(self, tmp_path, machine):
+        a = fuzz(seed=7, iterations=9, machine=machine,
+                 out_dir=str(tmp_path / "a"))
+        b = fuzz(seed=7, iterations=9, machine=machine,
+                 out_dir=str(tmp_path / "b"))
+        assert a.n_blocks == b.n_blocks
+        assert a.n_skipped == b.n_skipped
+        assert len(a.failures) == len(b.failures)
+
+    def test_clean_run_finds_nothing(self, tmp_path, machine):
+        result = fuzz(seed=0, iterations=12, machine=machine,
+                      out_dir=str(tmp_path / "out"))
+        assert result.passed
+        assert result.n_blocks > 0
+        assert not os.path.exists(str(tmp_path / "out"))
+
+    def test_injected_fault_yields_minimized_reproducer(
+            self, tmp_path, machine):
+        result = fuzz(seed=0, iterations=3, machine=machine,
+                      out_dir=str(tmp_path / "out"), inject_fault=True)
+        assert not result.passed
+        failure = result.failures[0]
+        assert failure.minimized_size <= failure.original_size
+        assert os.path.exists(failure.reproducer)
+        text = open(failure.reproducer).read()
+        assert text.startswith("! repro fuzz reproducer")
+        assert "! failure:" in text
+        body = [l for l in text.splitlines() if not l.startswith("!")]
+        assert len(body) == failure.minimized_size
+
+    def test_unknown_shape_rejected(self, machine):
+        with pytest.raises(ReproError, match="unknown fuzz shape"):
+            fuzz(seed=0, iterations=1, machine=machine,
+                 shapes=("bogus",))
+
+    def test_shape_subset(self, tmp_path, machine):
+        result = fuzz(seed=1, iterations=4, machine=machine,
+                      out_dir=str(tmp_path / "out"),
+                      shapes=("layered",))
+        assert result.n_blocks == 4

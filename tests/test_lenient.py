@@ -1,0 +1,109 @@
+"""Tests for parser error diagnostics and the lenient parse mode."""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.asm.lexer import LexError, lex_lines, split_operands_spans
+from repro.asm.program import SkippedLine
+from repro.errors import AsmSyntaxError
+
+
+class TestDiagnostics:
+    def test_unknown_opcode_has_line_and_column(self):
+        with pytest.raises(AsmSyntaxError) as info:
+            parse_asm("add %o0, %o1, %o2\n   bogusop %o0\n")
+        err = info.value
+        assert err.line_number == 2
+        assert err.column == 4  # after the leading spaces
+        assert "bogusop" in str(err)
+        assert "line 2, col 4" in str(err)
+
+    def test_bad_operand_points_at_operand_column(self):
+        with pytest.raises(AsmSyntaxError) as info:
+            parse_asm("add %o0, %bogus9, %o2\n")
+        err = info.value
+        assert err.line_number == 1
+        assert err.column == 10  # start of the second operand
+
+    def test_filename_is_stamped(self):
+        with pytest.raises(AsmSyntaxError) as info:
+            parse_asm("bogusop %o0\n", "kernel.s")
+        err = info.value
+        assert err.filename == "kernel.s"
+        assert str(err).startswith("kernel.s: line 1, col 1:")
+
+    def test_offending_text_is_recorded(self):
+        with pytest.raises(AsmSyntaxError) as info:
+            parse_asm("\tfoo %o0, [%o1\n")
+        assert info.value.line_text is not None
+        assert "[%o1" in info.value.line_text
+
+    def test_operand_spans_report_columns(self):
+        texts, columns = split_operands_spans("%o0, [%fp-8], 12", 1,
+                                              base_column=9)
+        assert list(texts) == ["%o0", "[%fp-8]", "12"]
+        assert columns == (9, 14, 23)
+
+    def test_unbalanced_bracket_column(self):
+        with pytest.raises(AsmSyntaxError) as info:
+            split_operands_spans("%o0, [%o1", 3, base_column=5)
+        assert info.value.line_number == 3
+        assert info.value.column == 10
+
+
+class TestLenientMode:
+    SOURCE = ("start:\n"
+              "\tadd %o0, %o1, %o2\n"
+              "\tbogusop %o3\n"
+              "\tsub %o2, 1, %o4\n"
+              "\tadd %o4, )( , %o5\n"
+              "\tor %o4, %o2, %o5\n")
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_asm(self.SOURCE)
+
+    def test_lenient_mode_skips_and_continues(self):
+        program = parse_asm(self.SOURCE, lenient=True)
+        assert len(program) == 3
+        assert [s.number for s in program.skipped_lines] == [3, 5]
+        assert program.instructions[0].label == "start"
+
+    def test_skipped_lines_carry_diagnostics(self):
+        program = parse_asm(self.SOURCE, lenient=True)
+        skipped = program.skipped_lines[0]
+        assert isinstance(skipped, SkippedLine)
+        assert "bogusop" in skipped.text
+        assert "bogusop" in skipped.error
+        assert skipped.column >= 1
+
+    def test_lenient_mode_with_unlexable_line(self):
+        program = parse_asm("add %o0, %o1, %o2\nld [%o0, %o3\n",
+                            lenient=True)
+        assert len(program) == 1
+        assert [s.number for s in program.skipped_lines] == [2]
+
+    def test_label_before_skipped_line_attaches_to_next(self):
+        program = parse_asm("loop:\nbogusop %o0\nadd %o0, 1, %o1\n",
+                            lenient=True)
+        assert len(program) == 1
+        assert program.instructions[0].label == "loop"
+
+    def test_clean_source_has_no_skips(self):
+        program = parse_asm("add %o0, %o1, %o2\n", lenient=True)
+        assert program.skipped_lines == []
+
+
+class TestLexErrorCollection:
+    def test_errors_list_collects_instead_of_raising(self):
+        errors: list[LexError] = []
+        lines = lex_lines("add %o0, %o1, %o2\nld [%o0, %o1\n",
+                          errors=errors)
+        assert len(lines) == 1
+        assert len(errors) == 1
+        assert errors[0].number == 2
+        assert "[%o0" in errors[0].text
+
+    def test_without_errors_list_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            lex_lines("ld [%o0, %o1\n")
