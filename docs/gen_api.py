@@ -28,6 +28,7 @@ MODULES = [
     "repro.machine.presets",
     "repro.dag.graph", "repro.dag.bitmap", "repro.dag.forest",
     "repro.dag.transitive", "repro.dag.stats", "repro.dag.export",
+    "repro.dag.builders.cache",
     "repro.dag.builders.base", "repro.dag.builders.compare_all",
     "repro.dag.builders.landskov", "repro.dag.builders.table_forward",
     "repro.dag.builders.table_backward",
@@ -36,6 +37,7 @@ MODULES = [
     "repro.heuristics.passes", "repro.heuristics.stall",
     "repro.heuristics.instruction_class", "repro.heuristics.uncovering",
     "repro.heuristics.structural", "repro.heuristics.register_usage",
+    "repro.heuristics.incremental",
     "repro.scheduling.timing", "repro.scheduling.priority",
     "repro.scheduling.list_scheduler", "repro.scheduling.backward_timed",
     "repro.scheduling.fixup", "repro.scheduling.delay_slots",
@@ -53,6 +55,7 @@ MODULES = [
     "repro.verify.checker", "repro.verify.faults",
     "repro.runner.watchdog", "repro.runner.fallback",
     "repro.runner.journal", "repro.runner.batch", "repro.runner.fuzz",
+    "repro.runner.bench",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
 
@@ -136,7 +139,8 @@ def main() -> None:
         "Guides: [tutorial](tutorial.md), [heuristics](heuristics.md), "
         "[paper mapping](paper_mapping.md), "
         "[schedule verification](verification.md), "
-        "[resilient runner](runner.md).",
+        "[resilient runner](runner.md), "
+        "[performance layer](performance.md).",
         "",
     ]
     for module_name in MODULES:

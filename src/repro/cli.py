@@ -50,6 +50,7 @@ from repro.dag.builders import (
     BitmapBackwardBuilder,
     CompareAllBuilder,
     LandskovBuilder,
+    PairwiseCache,
     TableBackwardBuilder,
     TableForwardBuilder,
 )
@@ -197,10 +198,12 @@ def _schedule_resilient(args: argparse.Namespace, source: str, machine,
             label = f"{instr.label}:\n" if instr.label else ""
             out(f"{label}\t{instr.render()}")
 
+    jobs = getattr(args, "jobs", 1) or 1
+    cache = None if getattr(args, "no_cache", False) else PairwiseCache()
     try:
         result = run_batch(blocks, machine, chain=chain, budget=budget,
                            verify=args.verify, journal=journal,
-                           on_block=emit)
+                           on_block=emit, jobs=jobs, cache=cache)
     finally:
         if journal is not None:
             journal.close()
@@ -262,12 +265,16 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         apply_window(partition_blocks(program), args.window))
     builder_names = ([args.builder] if args.builder
                      else sorted(BUILDERS))
+    # One shared dependence cache across builders x blocks: each
+    # builder still records its own arc recipe, but the pairwise
+    # preparation and the verifier's reference builds are reused.
+    cache = None if getattr(args, "no_cache", False) else PairwiseCache()
     n_checked = n_failed = 0
     for block in blocks:
         if not block.size:
             continue
         for name in builder_names:
-            outcome = BUILDERS[name](machine).build(block)
+            outcome = BUILDERS[name](machine, cache=cache).build(block)
             backward_pass(outcome.dag, require_est=False)
             result = schedule_forward(outcome.dag, machine,
                                       SECTION6_PRIORITY)
@@ -275,7 +282,7 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                 block, result.order, machine,
                 claimed_issue_times=result.timing.issue_times,
                 check_semantics=not args.no_semantics,
-                approach=name)
+                approach=name, cache=cache)
             n_checked += 1
             if report.passed:
                 out(f"block {block.index} [{name}]: PASS")
@@ -288,6 +295,28 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out(f"! verified {n_checked} schedules: "
         f"{n_checked - n_failed} passed, {n_failed} failed")
     return 0 if n_failed == 0 else 1
+
+
+def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from repro.runner.bench import run_bench, write_bench
+    machine = MACHINES[args.machine]()
+    doc = run_bench(machine, machine_name=args.machine,
+                    copies=args.copies, repeats=args.repeats,
+                    jobs=args.jobs, quick=args.quick)
+    write_bench(doc, args.out_json)
+    batch = doc["batch"]
+    out(f"! bench: {doc['workload']['n_blocks']} blocks, "
+        f"{doc['workload']['n_instructions']} instructions "
+        f"({'quick' if doc['quick'] else 'full'})")
+    parallel = (f", parallel {batch['parallel_s']:.3f}s"
+                if batch["parallel_s"] is not None else "")
+    out(f"! batch: baseline {batch['baseline_s']:.3f}s, "
+        f"cached {batch['cached_s']:.3f}s{parallel} -> "
+        f"{batch['reduction_fraction'] * 100:.1f}% reduction")
+    out(f"! schedules identical across variants: "
+        f"{batch['schedules_identical']}")
+    out(f"! wrote {args.out_json}")
+    return 0
 
 
 def _cmd_minic(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -354,6 +383,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="independently verify every accepted "
                                "schedule (failures fall back through "
                                "the chain)")
+    schedule.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the section 6 "
+                               "pipeline (outcomes and journal stay "
+                               "identical to --jobs 1)")
+    schedule.add_argument("--no-cache", action="store_true",
+                          help="disable the pairwise-dependence cache "
+                               "(schedules are identical either way; "
+                               "this exists for timing comparisons)")
     schedule.add_argument("--journal", default=None, metavar="PATH",
                           help="write per-block outcomes to a JSONL "
                                "journal as the run progresses")
@@ -386,7 +423,30 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-semantics", action="store_true",
                         help="skip the interpreter-based semantic "
                              "equivalence check")
+    verify.add_argument("--no-cache", action="store_true",
+                        help="disable the shared dependence cache")
     verify.set_defaults(handler=_cmd_verify)
+
+    bench = sub.add_parser("bench",
+                           help="benchmark builders, heuristic passes, "
+                                "and the cached/parallel batch path "
+                                "(writes a JSON report)")
+    bench.add_argument("--machine", choices=sorted(MACHINES),
+                       default="sparc", help="timing model")
+    bench.add_argument("--copies", type=int, default=32,
+                       help="straight-line body repetitions per kernel")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing runs per measurement (minimum "
+                            "is reported)")
+    bench.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="workers for the parallel batch variant "
+                            "(1 skips it)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small workload and fewer repeats "
+                            "(CI smoke mode)")
+    bench.add_argument("--out-json", default="BENCH_pr3.json",
+                       metavar="PATH", help="output document path")
+    bench.set_defaults(handler=_cmd_bench)
 
     minic = sub.add_parser("minic",
                            help="compile mini-C to assembly "

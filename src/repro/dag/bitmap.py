@@ -24,6 +24,9 @@ class ReachabilityMap:
     or a descendant of ``i``.
     """
 
+    #: bits per machine word, for the words_touched accounting
+    _WORD_BITS = 64
+
     def __init__(self, n_nodes: int) -> None:
         self._maps: list[int] = [1 << i for i in range(n_nodes)]
         self.words_touched = 0  # work counter for benchmarks
@@ -32,9 +35,16 @@ class ReachabilityMap:
         return len(self._maps)
 
     def grow_to(self, n_nodes: int) -> None:
-        """Extend the map set to cover ``n_nodes`` node ids."""
+        """Extend the map set to cover ``n_nodes`` node ids.
+
+        Each appended map costs one word of initialization work, which
+        is charged to ``words_touched`` -- previously growth was free,
+        under-reporting the cost of incremental map extension relative
+        to sizing the map up front.
+        """
         for i in range(len(self._maps), n_nodes):
             self._maps.append(1 << i)
+            self.words_touched += 1
 
     def reaches(self, a: int, b: int) -> bool:
         """True when node ``a`` can already reach node ``b``."""
@@ -45,9 +55,15 @@ class ReachabilityMap:
 
         This is the paper's ``bitmap_for_a = bitmap_for_a OR
         bitmap_for_b`` step, performed when the arc a->b is inserted.
+        The work charge is the number of machine words the OR actually
+        spans, so blocks wider than one word cost proportionally more
+        (a flat charge of 1 under-counted wide blocks).
         """
-        self._maps[a] |= self._maps[b]
-        self.words_touched += 1
+        combined = self._maps[a] | self._maps[b]
+        self._maps[a] = combined
+        bits = combined.bit_length()
+        self.words_touched += max(
+            1, (bits + self._WORD_BITS - 1) // self._WORD_BITS)
 
     def descendant_count(self, a: int) -> int:
         """#descendants of ``a``: popcount of its map minus one."""

@@ -23,6 +23,13 @@ from repro.dag.builders.base import (
     intern_node_operands,
 )
 from repro.dag.builders.bitmap_backward import BitmapBackwardBuilder
+from repro.dag.builders.cache import (
+    ArcRecipe,
+    CacheEntry,
+    PairwiseBundle,
+    PairwiseCache,
+    block_fingerprint,
+)
 from repro.dag.builders.compare_all import CompareAllBuilder
 from repro.dag.builders.landskov import LandskovBuilder
 from repro.dag.builders.table_backward import TableBackwardBuilder
@@ -39,10 +46,15 @@ ALL_BUILDERS: tuple[type[DagBuilder], ...] = (
 
 __all__ = [
     "AliasOracle",
+    "ArcRecipe",
+    "block_fingerprint",
     "BuildOutcome",
     "BuildStats",
+    "CacheEntry",
     "DagBuilder",
     "NodeOperands",
+    "PairwiseBundle",
+    "PairwiseCache",
     "intern_node_operands",
     "CompareAllBuilder",
     "LandskovBuilder",

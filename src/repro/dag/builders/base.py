@@ -67,12 +67,23 @@ class AliasOracle:
     not once per instruction pair.  The oracle memoizes on the
     symmetric id pair so :attr:`BuildStats.alias_checks` counts unique
     disambiguation work.
+
+    Args:
+        policy: the disambiguation policy to consult.
+        stats: the counter sink for unique consultations.
+        verdicts: an externally owned memo to read and extend (the
+            pairwise cache shares one across builds of the same block;
+            a memo hit is never counted, exactly like an intra-build
+            hit).  Default: a private memo.
     """
 
-    def __init__(self, policy: AliasPolicy, stats: BuildStats) -> None:
+    def __init__(self, policy: AliasPolicy, stats: BuildStats,
+                 verdicts: dict[tuple[int, int], bool] | None = None
+                 ) -> None:
         self.policy = policy
         self.stats = stats
-        self._cache: dict[tuple[int, int], bool] = {}
+        self._cache: dict[tuple[int, int], bool] = (
+            {} if verdicts is None else verdicts)
 
     def aliases(self, rid_a: int, res_a: Resource,
                 rid_b: int, res_b: Resource) -> bool:
@@ -164,16 +175,37 @@ class DagBuilder(abc.ABC):
         machine: timing model supplying execution times and arc delays.
         alias_policy: memory disambiguation policy; None selects the
             machine's default.
+        cache: an optional
+            :class:`~repro.dag.builders.cache.PairwiseCache`; when
+            given, completed constructions are recorded against the
+            block's fingerprint and later builds of the same block
+            replay the recorded arcs (charging the recorded work
+            counters, so budgets and schedules are unchanged).
     """
 
     #: display name (used by pipeline reports and benchmarks)
     name: str = "abstract"
 
+    #: True for builders whose construction starts from
+    #: :func:`repro.dag.builders.compare_all.prepare_pairwise`; only
+    #: those can share a cache entry's pairwise bundle.
+    uses_pairwise: bool = False
+
     def __init__(self, machine: MachineModel,
-                 alias_policy: AliasPolicy | None = None) -> None:
+                 alias_policy: AliasPolicy | None = None, *,
+                 cache: "object | None" = None) -> None:
         self.machine = machine
         self.alias_policy = (machine.alias_policy if alias_policy is None
                              else alias_policy)
+        self.cache = cache
+        #: the active cache entry during a cached build (consulted by
+        #: the pairwise-sharing builders), None otherwise
+        self.cache_entry = None
+
+    @property
+    def cache_key(self) -> str:
+        """Recipe key within a cache entry: one per builder variant."""
+        return type(self).__name__
 
     def build(self, block: BasicBlock,
               stats: BuildStats | None = None) -> BuildOutcome:
@@ -189,13 +221,53 @@ class DagBuilder(abc.ABC):
         dag = Dag()
         for instr in block.instructions:
             dag.add_node(instr, self.machine.execution_time(instr))
-        space = ResourceSpace()
         if stats is None:
             stats = BuildStats()
-        oracle = AliasOracle(self.alias_policy, stats)
-        self._construct(dag, space, oracle, stats)
+        space: ResourceSpace | None = None
+        verdicts = None
+        entry = None
+        if self.cache is not None:
+            entry = self.cache.entry_for(block, self.alias_policy,
+                                         self.machine)
+            recipe = entry.recipes.get(self.cache_key)
+            if recipe is not None:
+                self.cache.hits += 1
+                recipe.replay(dag, stats)
+                stats.arcs_added = dag.n_arcs
+                stats.arcs_merged = dag.n_merged_arcs
+                return BuildOutcome(dag=dag, stats=stats,
+                                    space=recipe.space)
+            self.cache.misses += 1
+            if self.uses_pairwise and entry.bundle is not None:
+                # The pairwise bitsets index the bundle's resource
+                # space; a reusing build must intern into the same one.
+                space = entry.bundle.space
+                verdicts = entry.bundle.verdicts
+        if space is None:
+            space = ResourceSpace()
+        oracle = AliasOracle(self.alias_policy, stats, verdicts=verdicts)
+        self.cache_entry = entry
+        try:
+            before = (stats.comparisons, stats.table_probes,
+                      stats.alias_checks, stats.arcs_suppressed,
+                      stats.bitmap_ops)
+            self._construct(dag, space, oracle, stats)
+        finally:
+            self.cache_entry = None
         stats.arcs_added = dag.n_arcs
         stats.arcs_merged = dag.n_merged_arcs
+        if entry is not None:
+            from repro.dag.builders.cache import ArcRecipe
+            delta = BuildStats(
+                comparisons=stats.comparisons - before[0],
+                table_probes=stats.table_probes - before[1],
+                alias_checks=stats.alias_checks - before[2],
+                arcs_added=dag.n_arcs,
+                arcs_merged=dag.n_merged_arcs,
+                arcs_suppressed=stats.arcs_suppressed - before[3],
+                bitmap_ops=stats.bitmap_ops - before[4])
+            entry.recipes[self.cache_key] = ArcRecipe.snapshot(
+                dag, delta, space)
         return BuildOutcome(dag=dag, stats=stats, space=space)
 
     @abc.abstractmethod

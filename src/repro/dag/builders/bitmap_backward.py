@@ -37,14 +37,28 @@ class BitmapBackwardBuilder(TableBackwardBuilder):
 
     def __init__(self, machine: MachineModel,
                  alias_policy: AliasPolicy | None = None,
-                 uses_first: bool = False) -> None:
-        super().__init__(machine, alias_policy)
+                 uses_first: bool = False, *,
+                 cache: object | None = None) -> None:
+        super().__init__(machine, alias_policy, cache=cache)
         self.uses_first = uses_first
         self._rmap: ReachabilityMap | None = None
 
     @property
+    def cache_key(self) -> str:
+        # uses_first changes the constructed arc set (that is its
+        # point), so the two variants must not share recipes.
+        return f"{type(self).__name__}:uses_first={self.uses_first}"
+
+    @property
     def reachability(self) -> ReachabilityMap | None:
-        """The reachability map built during the last construction."""
+        """The reachability map built during the last construction.
+
+        None before the first build and after a cache-replayed build
+        (replay re-creates the recorded arcs without re-running the
+        bitmap sweep; use
+        :func:`repro.dag.bitmap.compute_reachability` if the map is
+        needed for a replayed DAG).
+        """
         return self._rmap
 
     def _construct(self, dag: Dag, space: ResourceSpace,

@@ -79,6 +79,32 @@ def prepare_pairwise(dag: Dag, space: ResourceSpace, oracle: AliasOracle,
                         use_closure)
 
 
+def shared_pairwise(builder: DagBuilder, dag: Dag, space: ResourceSpace,
+                    oracle: AliasOracle,
+                    stats: BuildStats) -> PairwiseData:
+    """Pairwise bitsets for a (possibly cached) build.
+
+    Without an active cache entry this is exactly
+    :func:`prepare_pairwise`.  With one, the entry's pairwise bundle is
+    reused when present -- the *same object* across chain attempts --
+    and the alias-check count the original sweep paid is charged to
+    ``stats``, so a reusing build's counters match a fresh build's.
+    The first pairwise-using build of a block records the bundle.
+    """
+    entry = builder.cache_entry
+    if entry is not None and entry.bundle is not None:
+        stats.alias_checks += entry.bundle.alias_checks
+        return entry.bundle.pairwise
+    before = stats.alias_checks
+    pdata = prepare_pairwise(dag, space, oracle, stats)
+    if entry is not None:
+        from repro.dag.builders.cache import PairwiseBundle
+        entry.bundle = PairwiseBundle(
+            space=space, verdicts=oracle._cache, pairwise=pdata,
+            alias_checks=stats.alias_checks - before)
+    return pdata
+
+
 def pair_depends(pdata: PairwiseData, i: int, j: int) -> bool:
     """Exact test: does node ``j`` depend on earlier node ``i``?"""
     return bool(pdata.def_closure[i] & pdata.use_raw[j]
@@ -124,10 +150,11 @@ class CompareAllBuilder(DagBuilder):
     earlier nodes and connect every dependent pair directly."""
 
     name = "n**2 forward"
+    uses_pairwise = True
 
     def _construct(self, dag: Dag, space: ResourceSpace,
                    oracle: AliasOracle, stats: BuildStats) -> None:
-        pdata = prepare_pairwise(dag, space, oracle, stats)
+        pdata = shared_pairwise(self, dag, space, oracle, stats)
         for j in range(len(dag)):
             for i in range(j):
                 stats.comparisons += 1

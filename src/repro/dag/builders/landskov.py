@@ -19,7 +19,7 @@ from repro.dag.builders.base import (
 from repro.dag.builders.compare_all import (
     add_pair_arcs,
     pair_depends,
-    prepare_pairwise,
+    shared_pairwise,
 )
 from repro.dag.graph import Dag
 from repro.isa.resources import ResourceSpace
@@ -29,10 +29,11 @@ class LandskovBuilder(DagBuilder):
     """``n**2`` forward with ancestor pruning (no transitive arcs)."""
 
     name = "landskov"
+    uses_pairwise = True
 
     def _construct(self, dag: Dag, space: ResourceSpace,
                    oracle: AliasOracle, stats: BuildStats) -> None:
-        pdata = prepare_pairwise(dag, space, oracle, stats)
+        pdata = shared_pairwise(self, dag, space, oracle, stats)
         # Ancestor bitsets (self bit included), final for all i < j by
         # the time node j is processed.
         ancestors = [1 << i for i in range(len(dag))]

@@ -1,0 +1,175 @@
+"""Incremental maintenance of the pass-computed heuristics.
+
+Table 1 tags every heuristic with *when* it can be computed: the
+``a``-class values are maintained arc-by-arc inside
+:meth:`~repro.dag.graph.Dag.add_arc` already, but the ``f``- and
+``b``-class values (max path/delay from root and to leaf, EST, LST,
+slack) normally need the full intermediate passes of
+:mod:`repro.heuristics.passes`.  When a single arc is added to an
+*already annotated* DAG -- the inherited-latency pseudo-arcs of
+:mod:`repro.scheduling.interblock` are the motivating case -- re-running
+whole passes is wasted work: only the frontier downstream (for the
+``f`` values) and upstream (for the ``b`` values) of the new arc can
+change.
+
+:func:`update_after_arc` performs exactly that bounded propagation and
+produces annotations identical to re-running both full passes.  The one
+global effect is the critical length: EST growth below the new arc can
+lengthen the schedule lower bound, which shifts *every* node's LST
+uniformly (LST is ``critical - fixed downward offset``), so that case
+pays one O(n) shift; slack is re-derived for whichever nodes moved.
+
+Limitations: the descendant aggregates (``n_descendants``,
+``sum_exec_descendants``) are bitmap-derived and are *not* maintained
+here -- use a full ``backward_pass(descendants=True)`` when an
+algorithm needs them after DAG edits.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import Dag, DagNode
+from repro.heuristics.passes import backward_pass, forward_pass
+from repro.scheduling.interblock import ResidualLatency, apply_inherited
+
+
+def annotate(dag: Dag, descendants: bool = False) -> None:
+    """Run both full passes and remember the critical length.
+
+    Equivalent to ``forward_pass`` + ``backward_pass`` except that the
+    critical length is stashed on the DAG (``dag.critical_length``) so
+    later :func:`update_after_arc` calls can detect growth.
+    """
+    forward_pass(dag)
+    backward_pass(dag, descendants=descendants, require_est=False)
+
+
+def _forward_frontier(dag: Dag, child: DagNode) -> bool:
+    """Recompute f-class values downstream of ``child``.
+
+    Each worklist node is recomputed exactly from its in-arcs (its
+    parents are upstream and therefore final); children are enqueued
+    only when a value actually changed.
+
+    Returns:
+        True when any node's EST changed (the critical length may have
+        grown).
+    """
+    est_changed = False
+    worklist = [child]
+    seen = {child.id}
+    while worklist:
+        node = worklist.pop()
+        seen.discard(node.id)
+        path = delay = est = 0
+        for arc in node.in_arcs:
+            parent = arc.parent
+            if parent.max_path_from_root + 1 > path:
+                path = parent.max_path_from_root + 1
+            if parent.max_delay_from_root + arc.delay > delay:
+                delay = parent.max_delay_from_root + arc.delay
+            if parent.est + arc.delay > est:
+                est = parent.est + arc.delay
+        changed = (path != node.max_path_from_root
+                   or delay != node.max_delay_from_root)
+        if est != node.est:
+            changed = est_changed = True
+        if not changed:
+            continue
+        node.max_path_from_root = path
+        node.max_delay_from_root = delay
+        node.est = est
+        node.slack = node.lst - node.est
+        for arc in node.out_arcs:
+            if arc.child.id not in seen:
+                seen.add(arc.child.id)
+                worklist.append(arc.child)
+    return est_changed
+
+
+def _backward_frontier(dag: Dag, parent: DagNode,
+                       critical: int) -> None:
+    """Recompute b-class values upstream of ``parent``.
+
+    Mirror image of the forward frontier: recompute each worklist node
+    exactly from its out-arcs (children are downstream and final),
+    enqueue parents on change.
+    """
+    worklist = [parent]
+    seen = {parent.id}
+    while worklist:
+        node = worklist.pop()
+        seen.discard(node.id)
+        path = delay = 0
+        lst = critical - node.execution_time
+        for arc in node.out_arcs:
+            c = arc.child
+            if c.max_path_to_leaf + 1 > path:
+                path = c.max_path_to_leaf + 1
+            if c.max_delay_to_leaf + arc.delay > delay:
+                delay = c.max_delay_to_leaf + arc.delay
+            if c.lst - arc.delay < lst:
+                lst = c.lst - arc.delay
+        if (path == node.max_path_to_leaf
+                and delay == node.max_delay_to_leaf
+                and lst == node.lst):
+            continue
+        node.max_path_to_leaf = path
+        node.max_delay_to_leaf = delay
+        node.lst = lst
+        node.slack = node.lst - node.est
+        for arc in node.in_arcs:
+            if arc.parent.id not in seen:
+                seen.add(arc.parent.id)
+                worklist.append(arc.parent)
+
+
+def update_after_arc(dag: Dag, parent: DagNode,
+                     child: DagNode) -> None:
+    """Repair the f/b heuristics after ``add_arc(parent, child, ...)``.
+
+    Call once per inserted (or delay-grown merged) arc, after the
+    ``Dag.add_arc`` call.  The DAG must already carry full-pass
+    annotations from :func:`annotate` (or from the two passes plus a
+    stashed ``dag.critical_length``); without the stash this falls back
+    to the full passes.
+
+    The result is identical to re-running ``forward_pass`` +
+    ``backward_pass`` on the whole DAG.
+    """
+    critical = getattr(dag, "critical_length", None)
+    if critical is None:
+        annotate(dag)
+        return
+    est_changed = _forward_frontier(dag, child)
+    if est_changed:
+        new_critical = max(
+            (n.est + n.execution_time for n in dag.nodes
+             if not n.is_dummy), default=0)
+        if new_critical > critical:
+            # LST = critical - (downward offset): growth shifts every
+            # node uniformly; slack follows wherever EST stood still.
+            shift = new_critical - critical
+            for node in dag.nodes:
+                node.lst += shift
+                node.slack = node.lst - node.est
+            dag.critical_length = critical = new_critical
+    _backward_frontier(dag, parent, critical)
+
+
+def apply_inherited_incremental(
+        dag: Dag, inherited: list[ResidualLatency]) -> DagNode:
+    """Inherited-latency seeding on an already annotated DAG.
+
+    The incremental counterpart of
+    :func:`repro.scheduling.interblock.apply_inherited` +
+    ``backward_pass``: the pseudo entry node's arcs are applied with
+    frontier updates instead of whole-DAG re-passes.  Annotations come
+    out identical; only the touched frontier is visited.
+
+    Returns:
+        The pseudo entry node.
+    """
+    pseudo = apply_inherited(dag, inherited)
+    for arc in list(pseudo.out_arcs):
+        update_after_arc(dag, pseudo, arc.child)
+    return pseudo

@@ -5,12 +5,15 @@ schedules, and verifies cleanly.  This package is the layer that does
 not: per-block watchdog budgets (:mod:`repro.runner.watchdog`),
 builder fallback chains (:mod:`repro.runner.fallback`),
 checkpoint/resume journals (:mod:`repro.runner.journal`), whole-run
-aggregation (:mod:`repro.runner.batch`), and the differential fuzz
+aggregation with optional dependence caching and block-parallel
+execution (:mod:`repro.runner.batch`), the reproducible performance
+benchmark (:mod:`repro.runner.bench`), and the differential fuzz
 harness that hunts for builder disagreements
 (:mod:`repro.runner.fuzz`).
 """
 
 from repro.runner.batch import BatchResult, run_batch
+from repro.runner.bench import run_bench, write_bench
 from repro.runner.fallback import (
     BUILDER_CLASSES,
     DEFAULT_CHAIN,
@@ -50,8 +53,10 @@ __all__ = [
     "random_arc_block",
     "resolve_chain",
     "run_batch",
+    "run_bench",
     "run_fingerprint",
     "run_with_watchdog",
     "RunJournal",
     "schedule_block_resilient",
+    "write_bench",
 ]

@@ -6,16 +6,30 @@ block goes through the watchdog + builder fallback chain
 (:mod:`repro.runner.fallback`), outcomes are journaled as the run
 progresses (:mod:`repro.runner.journal`), and an interrupted run
 resumes from the last completed block with bit-identical results.
+
+Two performance knobs ride on top without changing any outcome:
+
+* ``cache`` -- a shared :class:`~repro.dag.builders.cache.PairwiseCache`
+  so fallback retries, repeated block bodies, and post-schedule
+  verification replay dependence work instead of re-deriving it;
+* ``jobs`` -- block-parallel execution on a process pool.  Blocks are
+  independent (the chain, budget, and counters are all per-block), so
+  the pool computes outcomes out of order while the parent consumes
+  them *in program order* -- journal lines, the ``on_block`` callback,
+  and every aggregate come out byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cfg.basic_block import BasicBlock
 from repro.dag.builders.base import BuildStats, DagBuilder
-from repro.dag.stats import ProgramDagStats
+from repro.dag.builders.cache import PairwiseCache
+from repro.dag.stats import BlockDagStats, ProgramDagStats, dag_stats
+from repro.errors import ReproError
 from repro.machine.model import MachineModel
 from repro.runner.fallback import (
     DEFAULT_CHAIN,
@@ -87,6 +101,71 @@ class BatchResult:
         return ((self.total_original_makespan - self.degraded_makespan)
                 / scheduled)
 
+    @property
+    def wasted_work(self) -> int:
+        """Construction work units spent on attempts that were *not*
+        accepted (failed chain entries).  Each attempt runs against a
+        fresh budget, so this is pure bookkeeping -- it never counts
+        against a later attempt -- but it quantifies what the fallback
+        chain cost and what the pairwise cache saves on retries."""
+        total = 0
+        for outcome in self.outcomes:
+            for attempt in outcome.attempts[:-1]:
+                if attempt.work is not None:
+                    total += attempt.work
+        return total
+
+
+# -- process-pool plumbing -------------------------------------------------
+#
+# Worker processes rebuild their chain (and their own pairwise cache)
+# from plain picklable inputs: the section 6 priority and injected
+# chain factories are closures, which is why ``jobs > 1`` refuses
+# them.  Workers ship back ``(record, counters, block_stats)`` --
+# everything JSON/dataclass-flat -- and the parent reassembles
+# outcomes in program order.
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(machine: MachineModel, chain_names: tuple[str, ...],
+                 budget: Budget | None, heuristic_driver: str,
+                 verify: bool, use_cache: bool) -> None:
+    """Per-process setup: resolve the chain once, not per block."""
+    cache = PairwiseCache() if use_cache else None
+    _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["chain"] = resolve_chain(chain_names, machine,
+                                           cache=cache)
+    _WORKER_STATE["budget"] = budget
+    _WORKER_STATE["driver"] = heuristic_driver
+    _WORKER_STATE["verify"] = verify
+    _WORKER_STATE["cache"] = cache
+
+
+def _run_block(block: BasicBlock) -> tuple[
+        dict, tuple[int, ...] | None, BlockDagStats | None]:
+    """Schedule one block in a worker process.
+
+    Returns the journal record plus the flattened statistics the
+    parent folds into the :class:`BatchResult` (a replayed
+    :class:`BlockOutcome` cannot carry the live DAG across the process
+    boundary, so the counters travel separately).
+    """
+    outcome = schedule_block_resilient(
+        block, _WORKER_STATE["machine"], _WORKER_STATE["chain"],
+        budget=_WORKER_STATE["budget"],
+        heuristic_driver=_WORKER_STATE["driver"],
+        verify=_WORKER_STATE["verify"], cache=_WORKER_STATE["cache"])
+    counters = None
+    block_stats = None
+    if outcome.dag_stats_outcome is not None:
+        s = outcome.dag_stats_outcome.stats
+        counters = (s.comparisons, s.table_probes, s.alias_checks,
+                    s.arcs_added, s.arcs_merged, s.arcs_suppressed,
+                    s.bitmap_ops)
+        block_stats = dag_stats(outcome.dag_stats_outcome.dag)
+    return outcome.to_record(), counters, block_stats
+
 
 def run_batch(blocks: Sequence[BasicBlock],
               machine: MachineModel,
@@ -99,6 +178,8 @@ def run_batch(blocks: Sequence[BasicBlock],
               verify: bool = False,
               journal: RunJournal | None = None,
               on_block: Callable[[BlockOutcome], None] | None = None,
+              jobs: int = 1,
+              cache: PairwiseCache | None = None,
               ) -> BatchResult:
     """Run the resilient scheduling pipeline over ``blocks``.
 
@@ -123,38 +204,89 @@ def run_batch(blocks: Sequence[BasicBlock],
         journal: an open :class:`RunJournal` for checkpoint/resume.
         on_block: progress callback invoked after every block outcome
             (replayed ones included), in program order.
+        jobs: worker processes.  1 (the default) runs in-process;
+            ``N > 1`` schedules un-journaled blocks on a pool while
+            preserving program-order journaling and callbacks, so the
+            journal and every aggregate are byte-identical to ``jobs=1``
+            (work-budget trips included; wall-clock budgets remain
+            load-sensitive either way).  Incompatible with a custom
+            ``priority`` or ``chain_factories`` (closures do not
+            pickle); workers always use the section 6 defaults.
+        cache: optional shared pairwise-dependence cache for the serial
+            path; with ``jobs > 1`` pass ``cache`` as usual and each
+            worker builds its own (caches hold live DAG nodes and
+            cannot cross process boundaries -- only the *enabled* flag
+            is forwarded).
 
     Returns:
         The aggregated :class:`BatchResult`.
+
+    Raises:
+        ReproError: for ``jobs < 1``, or ``jobs > 1`` combined with
+            ``priority`` / ``chain_factories``.
     """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1 and (priority is not None or chain_factories is not None):
+        raise ReproError(
+            "jobs > 1 cannot ship a custom priority or injected chain "
+            "factories to worker processes; use the defaults or jobs=1")
+    chain_names = tuple(chain) if chain else DEFAULT_CHAIN
     if chain_factories is None:
-        chain_factories = resolve_chain(
-            tuple(chain) if chain else DEFAULT_CHAIN, machine)
+        chain_factories = resolve_chain(chain_names, machine, cache=cache)
     result = BatchResult(chain=tuple(name for name, _ in chain_factories))
     completed = journal.completed if journal is not None else {}
-    for block in blocks:
-        if not block.instructions:
-            continue
-        outcome = completed.get(block.index)
-        if outcome is not None:
-            result.n_replayed += 1
-        else:
-            outcome = schedule_block_resilient(
-                block, machine, chain_factories, budget=budget,
-                priority=priority, heuristic_driver=heuristic_driver,
-                verify=verify)
-            if journal is not None:
-                journal.append(outcome)
-        result.outcomes.append(outcome)
-        result.n_blocks += 1
-        result.n_instructions += len(block.instructions)
-        result.total_makespan += outcome.makespan
-        result.total_original_makespan += outcome.original_makespan
-        if outcome.degraded:
-            result.degraded_makespan += outcome.makespan
-        if outcome.live and outcome.dag_stats_outcome is not None:
-            result.build_stats.merge(outcome.dag_stats_outcome.stats)
-            result.dag_stats.add_dag(outcome.dag_stats_outcome.dag)
-        if on_block is not None:
-            on_block(outcome)
+    todo = [b for b in blocks if b.instructions]
+
+    pending: dict[int, "object"] = {}
+    pool = None
+    if jobs > 1:
+        fresh = [b for b in todo if b.index not in completed]
+        if fresh:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(fresh)),
+                initializer=_init_worker,
+                initargs=(machine, chain_names, budget, heuristic_driver,
+                          verify, cache is not None))
+            pending = {b.index: pool.submit(_run_block, b)
+                       for b in fresh}
+    try:
+        for block in todo:
+            outcome = completed.get(block.index)
+            counters: tuple[int, ...] | None = None
+            block_stats: BlockDagStats | None = None
+            if outcome is not None:
+                result.n_replayed += 1
+            elif block.index in pending:
+                record, counters, block_stats = \
+                    pending.pop(block.index).result()
+                outcome = BlockOutcome.from_record(record)
+                if journal is not None:
+                    journal.append(outcome)
+            else:
+                outcome = schedule_block_resilient(
+                    block, machine, chain_factories, budget=budget,
+                    priority=priority, heuristic_driver=heuristic_driver,
+                    verify=verify, cache=cache)
+                if journal is not None:
+                    journal.append(outcome)
+            result.outcomes.append(outcome)
+            result.n_blocks += 1
+            result.n_instructions += len(block.instructions)
+            result.total_makespan += outcome.makespan
+            result.total_original_makespan += outcome.original_makespan
+            if outcome.degraded:
+                result.degraded_makespan += outcome.makespan
+            if outcome.live and outcome.dag_stats_outcome is not None:
+                result.build_stats.merge(outcome.dag_stats_outcome.stats)
+                result.dag_stats.add_dag(outcome.dag_stats_outcome.dag)
+            elif counters is not None:
+                result.build_stats.merge(BuildStats(*counters))
+                if block_stats is not None:
+                    result.dag_stats.add(block_stats)
+            if on_block is not None:
+                on_block(outcome)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
     return result

@@ -20,6 +20,7 @@ from repro.dag.builders import (
     BitmapBackwardBuilder,
     CompareAllBuilder,
     LandskovBuilder,
+    PairwiseCache,
     TableBackwardBuilder,
     TableForwardBuilder,
 )
@@ -48,9 +49,18 @@ DEFAULT_CHAIN = ("bitmap-backward", "table-forward", "n2")
 
 
 def resolve_chain(names: Sequence[str],
-                  machine: MachineModel) -> list[
+                  machine: MachineModel,
+                  cache: PairwiseCache | None = None) -> list[
                       tuple[str, Callable[[], DagBuilder]]]:
     """Turn builder names into (name, factory) pairs.
+
+    Args:
+        names: builder names in fallback order.
+        machine: timing model handed to every builder.
+        cache: optional shared :class:`~repro.dag.builders.cache.\
+PairwiseCache`; when set, every builder the chain constructs consults
+            it, so a retry after a mid-chain failure replays the
+            earlier builder's dependence work instead of redoing it.
 
     Raises:
         ReproError: for an unknown builder name or an empty chain.
@@ -64,7 +74,8 @@ def resolve_chain(names: Sequence[str],
             raise ReproError(
                 f"unknown builder {name!r} in chain; "
                 f"known: {sorted(BUILDER_CLASSES)}")
-        chain.append((name, lambda cls=cls: cls(machine)))
+        chain.append(
+            (name, lambda cls=cls: cls(machine, cache=cache)))
     return chain
 
 
@@ -78,21 +89,29 @@ class Attempt:
         stage: where the attempt ended ("build", "heuristics",
             "schedule", "verify", "timeout", or "ok").
         error: the stringified error, None on success.
+        work: budgeted construction work units this attempt spent
+            (comparisons + table probes + alias checks + bitmap ops),
+            or None when the attempt ran without a counting stats
+            object.  Failed attempts keep their spent work here --
+            each attempt counts against a *fresh* budget, so earlier
+            failures neither double-charge a later attempt nor vanish
+            from the accounting.
     """
 
     builder: str
     stage: str
     error: str | None = None
+    work: int | None = None
 
     def to_record(self) -> dict:
         """JSON-serializable form (journal line fragment)."""
         return {"builder": self.builder, "stage": self.stage,
-                "error": self.error}
+                "error": self.error, "work": self.work}
 
     @staticmethod
     def from_record(record: dict) -> "Attempt":
         return Attempt(record["builder"], record["stage"],
-                       record.get("error"))
+                       record.get("error"), record.get("work"))
 
 
 @dataclass
@@ -169,7 +188,8 @@ def schedule_block_resilient(
         budget: Budget | None = None,
         priority: Callable | None = None,
         heuristic_driver: str = "reverse_walk",
-        verify: bool = False) -> BlockOutcome:
+        verify: bool = False,
+        cache: PairwiseCache | None = None) -> BlockOutcome:
     """Schedule one block, falling back through the builder chain.
 
     Each chain entry gets a full attempt -- construction (under the
@@ -189,6 +209,9 @@ def schedule_block_resilient(
         heuristic_driver: "reverse_walk" or "levels".
         verify: independently verify the accepted schedule with
             :func:`repro.verify.checker.verify_schedule`.
+        cache: optional pairwise-dependence cache shared across
+            attempts (and with the verifier), so a fallback retry
+            replays the failed builder's dependence work.
 
     Returns:
         The accepted or degraded :class:`BlockOutcome`.
@@ -200,10 +223,9 @@ def schedule_block_resilient(
     label = block.label if block.label else str(block.index)
     attempts: list[Attempt] = []
 
-    def attempt(name: str, factory: Callable[[], DagBuilder]) -> tuple:
+    def attempt(name: str, factory: Callable[[], DagBuilder],
+                stats: BudgetedStats) -> tuple:
         stage = "build"
-        stats = BudgetedStats(
-            budget.max_work if budget is not None else None, block=label)
         try:
             outcome = factory().build(block, stats=stats)
             stage = "heuristics"
@@ -217,7 +239,7 @@ def schedule_block_resilient(
                 verify_schedule(
                     block, sched.order, machine,
                     claimed_issue_times=sched.timing.issue_times,
-                    approach=name).raise_if_failed()
+                    approach=name, cache=cache).raise_if_failed()
             return outcome, sched, original
         except BlockTimeout:
             raise
@@ -226,17 +248,26 @@ def schedule_block_resilient(
             raise
 
     for name, factory in chain:
+        # A fresh budgeted counter per attempt: a failed attempt's
+        # spent work must neither count against the next builder's
+        # budget (double-charging) nor disappear -- it is snapshotted
+        # onto the Attempt record below.
+        stats = BudgetedStats(
+            budget.max_work if budget is not None else None, block=label)
         try:
             outcome, sched, original = run_with_watchdog(
-                lambda: attempt(name, factory), budget, block=label)
+                lambda: attempt(name, factory, stats), budget,
+                block=label)
         except BlockTimeout as exc:
-            attempts.append(Attempt(name, "timeout", str(exc)))
+            attempts.append(Attempt(name, "timeout", str(exc),
+                                    work=stats.work))
             continue
         except ReproError as exc:
             attempts.append(Attempt(
-                name, getattr(exc, "stage", "build"), str(exc)))
+                name, getattr(exc, "stage", "build"), str(exc),
+                work=stats.work))
             continue
-        attempts.append(Attempt(name, "ok"))
+        attempts.append(Attempt(name, "ok", work=stats.work))
         return BlockOutcome(
             index=block.index, label=block.label, builder=name,
             order=[node.id for node in sched.order],

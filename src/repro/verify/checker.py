@@ -31,6 +31,7 @@ from typing import Sequence
 
 from repro.cfg.basic_block import BasicBlock
 from repro.dag.bitmap import compute_reachability
+from repro.dag.builders.cache import PairwiseCache
 from repro.dag.builders.compare_all import CompareAllBuilder
 from repro.dag.graph import Dag, DagNode
 from repro.errors import BuilderMismatchError, ReproError, VerificationError
@@ -172,7 +173,9 @@ def verify_schedule(block: BasicBlock,
                     claimed_issue_times: Sequence[int] | None = None,
                     check_semantics: bool = True,
                     alias_policy: AliasPolicy | None = None,
-                    approach: str = "") -> VerificationReport:
+                    approach: str = "",
+                    cache: PairwiseCache | None = None,
+                    ) -> VerificationReport:
     """Independently verify a schedule of ``block``.
 
     The reference dependences are re-derived with
@@ -198,6 +201,14 @@ def verify_schedule(block: BasicBlock,
         alias_policy: memory disambiguation override for the reference
             build (default: the machine's policy).
         approach: display name recorded on the report.
+        cache: optional
+            :class:`~repro.dag.builders.cache.PairwiseCache`; the
+            reference build consults it, so verifying a block right
+            after scheduling it replays the recorded dependence work
+            instead of re-deriving it.  Independence is preserved:
+            the cached recipe was itself recorded from a reference
+            (compare-against-all) build, never from the builder under
+            test.
 
     Returns:
         A :class:`VerificationReport`; call ``raise_if_failed()`` to
@@ -229,7 +240,8 @@ def verify_schedule(block: BasicBlock,
         "completeness", not problems, _elide(problems)))
 
     # -- reference dependences ---------------------------------------------
-    reference = CompareAllBuilder(machine, alias_policy).build(block)
+    reference = CompareAllBuilder(
+        machine, alias_policy, cache=cache).build(block)
     ref_dag = reference.dag
     # schedule position of each block position (first occurrence wins
     # when the schedule is corrupt; the checks below still apply to
@@ -334,7 +346,8 @@ def verify_schedule(block: BasicBlock,
 
 def check_builders_agree(block: BasicBlock, machine: MachineModel,
                          builders: Sequence[type] | None = None,
-                         alias_policy: AliasPolicy | None = None) -> None:
+                         alias_policy: AliasPolicy | None = None,
+                         cache: PairwiseCache | None = None) -> None:
     """Check that every builder induces the reference dependence closure.
 
     Arc *sets* legitimately differ (table methods drop covered WAR/WAW
@@ -342,6 +355,16 @@ def check_builders_agree(block: BasicBlock, machine: MachineModel,
     of the ordering relation must match the compare-against-all
     reference for the table and bitmap methods -- and for Landskov too,
     since pruned arcs are by definition implied by remaining paths.
+
+    Args:
+        block: the block to build five ways.
+        machine: timing model.
+        builders: builder classes to compare (default: all five).
+        alias_policy: memory disambiguation override.
+        cache: optional shared pairwise cache; each builder still keeps
+            its own per-class arc recipe, so agreement under caching
+            exercises the replay path rather than trivially comparing
+            one DAG with itself.
 
     Raises:
         BuilderMismatchError: naming the first disagreeing builder and
@@ -353,7 +376,8 @@ def check_builders_agree(block: BasicBlock, machine: MachineModel,
     reference_closure = None
     reference_name = ""
     for cls in builders:
-        builder = cls(machine, alias_policy)
+        builder = (cls(machine, alias_policy, cache=cache)
+                   if cache is not None else cls(machine, alias_policy))
         rmap = compute_reachability(builder.build(block).dag)
         closure = [rmap.raw(i) for i in range(len(block.instructions))]
         if reference_closure is None:

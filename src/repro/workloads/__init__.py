@@ -17,7 +17,12 @@ from repro.workloads.profiles import (
     scaled_profile,
 )
 from repro.workloads.synthetic import generate_blocks, generate_program
-from repro.workloads.kernels import KERNELS, kernel_source
+from repro.workloads.kernels import (
+    KERNELS,
+    kernel_source,
+    straightline_body,
+    straightline_source,
+)
 from repro.workloads.minic_programs import (
     MiniCWorkloadSpec,
     generate_minic_blocks,
@@ -38,4 +43,6 @@ __all__ = [
     "generate_program",
     "KERNELS",
     "kernel_source",
+    "straightline_body",
+    "straightline_source",
 ]

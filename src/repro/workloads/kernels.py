@@ -122,3 +122,47 @@ def kernel_source(name: str) -> str:
         raise WorkloadError(
             f"unknown kernel {name!r}; known: {sorted(KERNELS)}")
     return source
+
+
+def straightline_body(name: str) -> list[str]:
+    """A kernel's body as pure straight-line code.
+
+    Comment, label, branch, and nop lines are dropped so the remainder
+    can be concatenated into one long branch-free block -- the shape
+    benchmark drivers need when they repeat a kernel many times and
+    window the result into identical blocks (the repeated-loop-body
+    population the section 6 experiment schedules).
+
+    Raises:
+        WorkloadError: for unknown kernel names.
+    """
+    body: list[str] = []
+    for line in kernel_source(name).splitlines():
+        text = line.split("!", 1)[0].strip()
+        if not text or text.endswith(":"):
+            continue
+        mnemonic = text.split()[0].rstrip(",a")
+        if mnemonic in ("nop", "call", "jmpl", "ret") \
+                or mnemonic.startswith("b") and mnemonic != "btst" \
+                or mnemonic.startswith("fb"):
+            continue
+        body.append("    " + text)
+    return body
+
+
+def straightline_source(name: str, copies: int = 1) -> str:
+    """``copies`` repetitions of a kernel's straight-line body.
+
+    Windowing the result by the body length yields ``copies``
+    *textually identical* basic blocks -- the workload that makes
+    cross-block dependence caching measurable, and a realistic stand-in
+    for the unrolled inner loops dominating the paper's scientific
+    benchmarks.
+
+    Raises:
+        WorkloadError: for unknown kernel names or ``copies < 1``.
+    """
+    if copies < 1:
+        raise WorkloadError(f"copies must be >= 1, got {copies}")
+    body = straightline_body(name)
+    return "\n".join("\n".join(body) for _ in range(copies)) + "\n"

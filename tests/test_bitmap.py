@@ -67,6 +67,22 @@ class TestReachabilityMap:
         rmap.absorb(0, 2)
         assert rmap.words_touched == 2
 
+    def test_wide_absorb_counts_actual_words(self):
+        # A map spanning more than 64 bits costs one unit per machine
+        # word the OR touches, not a flat 1.
+        rmap = ReachabilityMap(130)
+        rmap.absorb(0, 129)  # bit 129 set -> 3 words
+        assert rmap.words_touched == 3
+        rmap.absorb(1, 2)    # bits 1..2 -> 1 word
+        assert rmap.words_touched == 4
+
+    def test_grow_charges_appended_words(self):
+        rmap = ReachabilityMap(2)
+        rmap.grow_to(5)
+        assert rmap.words_touched == 3
+        rmap.grow_to(5)  # no-op growth is free
+        assert rmap.words_touched == 3
+
 
 class TestComputeReachability:
     def test_chain(self):

@@ -1,0 +1,150 @@
+"""Tests for incremental heuristic maintenance (repro.heuristics.incremental)."""
+
+import random
+
+import pytest
+
+from repro.cfg import partition_blocks
+from repro.asm import parse_asm
+from repro.dag.builders import TableForwardBuilder
+from repro.dep import DepType
+from repro.heuristics import (
+    annotate,
+    apply_inherited_incremental,
+    backward_pass,
+    forward_pass,
+    update_after_arc,
+)
+from repro.isa.resources import Resource, ResourceKind
+from repro.scheduling.interblock import ResidualLatency, apply_inherited
+from repro.workloads import kernel_source
+
+FIELDS = ("max_path_from_root", "max_delay_from_root", "est",
+          "max_path_to_leaf", "max_delay_to_leaf", "lst", "slack")
+
+KERNELS = ("daxpy", "livermore1", "dot_product", "superscalar_mix")
+
+
+def build_dag(machine, name):
+    block = partition_blocks(parse_asm(kernel_source(name), name))[0]
+    return TableForwardBuilder(machine).build(block).dag
+
+
+def snapshot(dag):
+    return {node.id: tuple(getattr(node, f) for f in FIELDS)
+            for node in dag.nodes}
+
+
+def reference_annotations(dag):
+    forward_pass(dag)
+    backward_pass(dag, require_est=False)
+    return snapshot(dag)
+
+
+class TestUpdateAfterArc:
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_single_arc_matches_full_passes(self, machine, name):
+        dag = build_dag(machine, name)
+        annotate(dag)
+        real = dag.real_nodes()
+        parent, child = real[0], real[-1]
+        dag.add_arc(parent, child, DepType.RAW, 7)
+        update_after_arc(dag, parent, child)
+        incremental = snapshot(dag)
+        assert incremental == reference_annotations(dag)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_arcs_match_full_passes(self, machine, name, seed):
+        rng = random.Random(seed)
+        dag = build_dag(machine, name)
+        annotate(dag)
+        real = dag.real_nodes()
+        for _ in range(rng.randint(1, 4)):
+            i = rng.randrange(len(real) - 1)
+            j = rng.randrange(i + 1, len(real))
+            parent, child = real[i], real[j]
+            dag.add_arc(parent, child, DepType.RAW,
+                        rng.randint(0, 24))
+            update_after_arc(dag, parent, child)
+        assert snapshot(dag) == reference_annotations(dag)
+
+    def test_critical_growth_shifts_lst_everywhere(self, machine):
+        dag = build_dag(machine, "superscalar_mix")
+        annotate(dag)
+        before = dag.critical_length
+        real = dag.real_nodes()
+        dag.add_arc(real[0], real[-1], DepType.RAW, 100)
+        update_after_arc(dag, real[0], real[-1])
+        assert dag.critical_length > before
+        assert snapshot(dag) == reference_annotations(dag)
+
+    def test_merged_arc_no_change_is_cheap_noop(self, machine):
+        dag = build_dag(machine, "daxpy")
+        annotate(dag)
+        arc = next(a for n in dag.real_nodes() for a in n.out_arcs
+                   if not a.child.is_dummy)
+        # Re-adding an existing arc merges without changing delays.
+        dag.add_arc(arc.parent, arc.child, arc.dep, arc.delay,
+                    arc.resource)
+        before = snapshot(dag)
+        update_after_arc(dag, arc.parent, arc.child)
+        assert snapshot(dag) == before
+
+    def test_falls_back_without_stash(self, machine):
+        dag = build_dag(machine, "dot_product")
+        forward_pass(dag)
+        # No backward pass ran, so no critical_length stash exists;
+        # the update must degrade to the full annotation gracefully.
+        real = dag.real_nodes()
+        dag.add_arc(real[0], real[-1], DepType.RAW, 3)
+        update_after_arc(dag, real[0], real[-1])
+        assert snapshot(dag) == reference_annotations(dag)
+
+
+class TestApplyInheritedIncremental:
+    def test_matches_full_pass_variant(self, machine):
+        residuals = [
+            ResidualLatency(Resource(ResourceKind.REG, "%f0"), 5),
+            ResidualLatency(Resource(ResourceKind.REG, "%o1"), 2),
+        ]
+        a = build_dag(machine, "daxpy")
+        annotate(a)
+        apply_inherited_incremental(a, residuals)
+
+        b = build_dag(machine, "daxpy")
+        apply_inherited(b, residuals)
+        forward_pass(b)
+        backward_pass(b, require_est=False)
+        # Compare real nodes only: the two variants create their own
+        # pseudo entry nodes with distinct ids.
+        for na, nb in zip(a.real_nodes(), b.real_nodes()):
+            assert na.id == nb.id
+            for f in FIELDS:
+                assert getattr(na, f) == getattr(nb, f), (na.id, f)
+
+    def test_empty_residuals(self, machine):
+        dag = build_dag(machine, "dot_product")
+        annotate(dag)
+        before = snapshot(dag)
+        apply_inherited_incremental(dag, [])
+        after = snapshot(dag)
+        # The arc-less pseudo entry node is new; every pre-existing
+        # node's annotations are untouched.
+        assert {k: v for k, v in after.items() if k in before} == before
+
+
+class TestCriticalLengthStash:
+    def test_backward_pass_stashes(self, machine):
+        dag = build_dag(machine, "daxpy")
+        backward_pass(dag)
+        assert hasattr(dag, "critical_length")
+        assert dag.critical_length >= 0
+
+    def test_levels_driver_stashes(self, machine):
+        from repro.heuristics import backward_pass_levels
+        dag = build_dag(machine, "daxpy")
+        backward_pass_levels(dag)
+        reference = build_dag(machine, "daxpy")
+        backward_pass(reference)
+        assert dag.critical_length == reference.critical_length

@@ -1,0 +1,227 @@
+"""Tests for the pairwise-dependence cache (repro.dag.builders.cache)."""
+
+import pytest
+
+from repro.cfg import partition_blocks
+from repro.dag.builders import (
+    ALL_BUILDERS,
+    BitmapBackwardBuilder,
+    CompareAllBuilder,
+    LandskovBuilder,
+    PairwiseCache,
+    TableForwardBuilder,
+    block_fingerprint,
+)
+from repro.asm import parse_asm
+from repro.errors import BlockTimeout
+from repro.isa.memory import AliasPolicy
+from repro.runner import (
+    Budget,
+    resolve_chain,
+    schedule_block_resilient,
+)
+from repro.verify import check_builders_agree, verify_schedule
+from repro.verify.checker import CompareAllBuilder as _RefBuilder
+from tests.conftest import block_from
+
+COUNTERS = ("comparisons", "table_probes", "alias_checks",
+            "arcs_added", "arcs_merged", "arcs_suppressed",
+            "bitmap_ops")
+
+
+def arc_signature(dag):
+    return sorted((a.parent.id, a.child.id, a.dep, a.delay,
+                   str(a.resource)) for a in dag.arcs())
+
+
+def counter_values(stats):
+    return {c: getattr(stats, c) for c in COUNTERS}
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("cls", ALL_BUILDERS)
+    def test_replay_matches_fresh(self, cls, machine, daxpy_block):
+        fresh = cls(machine).build(daxpy_block)
+        cache = PairwiseCache()
+        cold = cls(machine, cache=cache).build(daxpy_block)
+        warm = cls(machine, cache=cache).build(daxpy_block)
+        assert arc_signature(fresh.dag) == arc_signature(cold.dag) \
+            == arc_signature(warm.dag)
+        assert counter_values(fresh.stats) == counter_values(cold.stats) \
+            == counter_values(warm.stats)
+
+    def test_hit_and_miss_accounting(self, machine, daxpy_block):
+        cache = PairwiseCache()
+        for _ in range(3):
+            CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        info = cache.info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+        assert info["entries"] == 1
+        assert info["recipes"] == 1
+
+    def test_identical_bodies_share_an_entry(self, machine):
+        # The fingerprint hashes rendered instructions, not labels, so
+        # two textually identical loop bodies hit the same entry.
+        a = block_from("one:\n    add %o0, 1, %o1\n    sub %o1, 2, %o2\n")
+        b = block_from("two:\n    add %o0, 1, %o1\n    sub %o1, 2, %o2\n")
+        policy = machine.alias_policy
+        assert block_fingerprint(a, policy, machine) \
+            == block_fingerprint(b, policy, machine)
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(a)
+        CompareAllBuilder(machine, cache=cache).build(b)
+        assert cache.info() == {"hits": 1, "misses": 1,
+                                "entries": 1, "recipes": 1}
+
+
+class TestInvalidation:
+    def test_block_text_change_misses(self, machine):
+        a = block_from("    add %o0, 1, %o1\n    sub %o1, 2, %o2\n")
+        b = block_from("    add %o0, 1, %o1\n    sub %o1, 3, %o2\n")
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(a)
+        CompareAllBuilder(machine, cache=cache).build(b)
+        assert cache.info()["hits"] == 0
+        assert cache.info()["entries"] == 2
+
+    def test_alias_policy_change_misses(self, machine):
+        block = block_from(
+            "    ld [%l0], %o0\n    st %o0, [%l1]\n")
+        cache = PairwiseCache()
+        CompareAllBuilder(
+            machine, AliasPolicy.STRICT, cache=cache).build(block)
+        CompareAllBuilder(
+            machine, AliasPolicy.EXPRESSION, cache=cache).build(block)
+        assert cache.info()["hits"] == 0
+        assert cache.info()["entries"] == 2
+
+    def test_machine_change_misses(self, machine, sparc_machine,
+                                   daxpy_block):
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        CompareAllBuilder(sparc_machine, cache=cache).build(daxpy_block)
+        assert cache.info()["hits"] == 0
+        assert cache.info()["entries"] == 2
+
+    def test_lru_eviction_bound(self, machine):
+        cache = PairwiseCache(max_entries=2)
+        for k in range(4):
+            block = block_from(f"    add %o0, {k}, %o1\n")
+            CompareAllBuilder(machine, cache=cache).build(block)
+        assert cache.info()["entries"] == 2
+        # Oldest entry evicted: rebuilding block 0 misses again.
+        block = block_from("    add %o0, 0, %o1\n")
+        CompareAllBuilder(machine, cache=cache).build(block)
+        assert cache.info()["hits"] == 0
+
+
+class TestPairwiseSharing:
+    def test_same_pairwise_object_across_builders(self, machine,
+                                                  daxpy_block):
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        entry = cache.entry_for(daxpy_block, machine.alias_policy,
+                                machine)
+        assert entry.bundle is not None
+        first = entry.bundle.pairwise
+        # A later pairwise-family builder on the same block reuses the
+        # *same* PairwiseData object instead of re-deriving it.
+        LandskovBuilder(machine, cache=cache).build(daxpy_block)
+        assert cache.entry_for(daxpy_block, machine.alias_policy,
+                               machine).bundle.pairwise is first
+
+    def test_shared_bundle_counters_match_uncached(self, machine,
+                                                   daxpy_block):
+        plain = LandskovBuilder(machine).build(daxpy_block)
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        shared = LandskovBuilder(machine, cache=cache).build(daxpy_block)
+        assert counter_values(plain.stats) == counter_values(shared.stats)
+
+    def test_same_pairwise_across_chain_attempts(self, machine,
+                                                 daxpy_block):
+        # A chain that fails its first pairwise builder and retries
+        # with another must reuse the recorded pairwise work.
+        cache = PairwiseCache()
+
+        class FailingLandskov(LandskovBuilder):
+            def _construct(self, dag, space, oracle, stats):
+                super()._construct(dag, space, oracle, stats)
+                raise BlockTimeout("injected", block="x")
+
+        chain = [("landskov-bad",
+                  lambda: FailingLandskov(machine, cache=cache)),
+                 ("n2", lambda: CompareAllBuilder(machine, cache=cache))]
+        outcome = schedule_block_resilient(daxpy_block, machine, chain)
+        assert outcome.builder == "n2"
+        entry = cache.entry_for(daxpy_block, machine.alias_policy,
+                                machine)
+        assert entry.bundle is not None
+        # The failed attempt recorded the bundle; the succeeding one
+        # consumed it rather than repeating the alias sweep.
+        assert cache.hits + cache.misses >= 2
+
+
+class TestBudgetInteraction:
+    def test_budget_trip_does_not_poison_cache(self, machine,
+                                               daxpy_block):
+        cache = PairwiseCache()
+        chain = resolve_chain(("n2",), machine, cache=cache)
+        tripped = schedule_block_resilient(
+            daxpy_block, machine, chain, budget=Budget(max_work=3))
+        assert tripped.degraded
+        entry = cache.entry_for(daxpy_block, machine.alias_policy,
+                                machine)
+        assert "CompareAllBuilder" not in entry.recipes
+        # A later unbudgeted build succeeds and matches an uncached one.
+        fresh = CompareAllBuilder(machine).build(daxpy_block)
+        cached = CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        assert arc_signature(fresh.dag) == arc_signature(cached.dag)
+
+    def test_replay_trips_budget_like_fresh(self, machine, daxpy_block):
+        # The replay charges the recorded counters, so a budget too
+        # small for the fresh build also trips on the replayed one.
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        chain = resolve_chain(("n2",), machine, cache=cache)
+        outcome = schedule_block_resilient(
+            daxpy_block, machine, chain, budget=Budget(max_work=3))
+        assert outcome.degraded
+        assert outcome.attempts[0].stage == "timeout"
+
+
+class TestVerifierIntegration:
+    def test_builders_agree_with_cache(self, machine, daxpy_block):
+        cache = PairwiseCache()
+        check_builders_agree(daxpy_block, machine, cache=cache)
+        # Second pass is pure replay and must still agree.
+        check_builders_agree(daxpy_block, machine, cache=cache)
+        assert cache.info()["hits"] >= len(ALL_BUILDERS)
+
+    def test_verify_schedule_uses_cache(self, machine, daxpy_block):
+        from repro.heuristics.passes import backward_pass
+        from repro.pipeline import SECTION6_PRIORITY
+        from repro.scheduling.list_scheduler import schedule_forward
+        cache = PairwiseCache()
+        outcome = TableForwardBuilder(machine, cache=cache).build(
+            daxpy_block)
+        backward_pass(outcome.dag, require_est=False)
+        result = schedule_forward(outcome.dag, machine,
+                                  SECTION6_PRIORITY)
+        for _ in range(2):
+            report = verify_schedule(
+                daxpy_block, result.order, machine,
+                claimed_issue_times=result.timing.issue_times,
+                cache=cache)
+            assert report.passed
+        # Second verification replayed the reference build.
+        assert cache.hits >= 1
+
+    def test_bitmap_backward_reachability_none_after_replay(
+            self, machine, daxpy_block):
+        cache = PairwiseCache()
+        BitmapBackwardBuilder(machine, cache=cache).build(daxpy_block)
+        replayer = BitmapBackwardBuilder(machine, cache=cache)
+        replayer.build(daxpy_block)
+        assert replayer.reachability is None

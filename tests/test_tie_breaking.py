@@ -1,0 +1,103 @@
+"""Deterministic tie-breaking: equal-priority nodes keep original order.
+
+The schedulers break priority ties on the node id (== original
+instruction position), so schedules cannot depend on dict/set iteration
+order or on the order arcs happened to be inserted.  These tests pin
+that contract: shuffling arc-insertion order, or presenting a block of
+interchangeable instructions, must not reorder anything.
+"""
+
+import random
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.asm.parser import parse_instruction_text
+from repro.cfg import partition_blocks
+from repro.dag.builders import TableForwardBuilder
+from repro.dag.graph import Dag
+from repro.dep import DepType
+from repro.heuristics.passes import backward_pass
+from repro.pipeline import SECTION6_PRIORITY
+from repro.scheduling.list_scheduler import (
+    schedule_backward,
+    schedule_forward,
+)
+
+INDEPENDENT = """\
+    add %o0, 1, %o1
+    add %o0, 2, %o2
+    add %o0, 3, %o3
+    add %o0, 4, %o4
+    add %o0, 5, %o5
+"""
+
+
+def schedule_ids(machine, dag, priority=None):
+    backward_pass(dag, require_est=False)
+    if priority is None:
+        priority = SECTION6_PRIORITY
+    return [n.id for n in
+            schedule_forward(dag, machine, priority).order]
+
+
+class TestEqualPriorityOrder:
+    def test_independent_block_keeps_original_order(self, machine):
+        block = partition_blocks(parse_asm(INDEPENDENT))[0]
+        dag = TableForwardBuilder(machine).build(block).dag
+        assert schedule_ids(machine, dag) == list(range(len(block)))
+
+    def test_constant_priority_keeps_original_order(self, machine):
+        block = partition_blocks(parse_asm(INDEPENDENT))[0]
+        dag = TableForwardBuilder(machine).build(block).dag
+        order = schedule_ids(machine, dag,
+                             priority=lambda node, state: 0)
+        assert order == list(range(len(block)))
+
+    def test_backward_scheduler_ties_on_id(self, machine):
+        block = partition_blocks(parse_asm(INDEPENDENT))[0]
+        dag = TableForwardBuilder(machine).build(block).dag
+        backward_pass(dag, require_est=False)
+        result = schedule_backward(dag, machine,
+                                   lambda node, state: 0)
+        assert [n.id for n in result.order] == list(range(len(block)))
+
+
+def layered_dag(n: int, arcs, shuffle_seed=None) -> Dag:
+    """Build a DAG over ``n`` nop nodes with the given arcs, optionally
+    inserting them in a shuffled order."""
+    dag = Dag()
+    for i in range(n):
+        dag.add_node(parse_instruction_text("nop", index=i), 1)
+    arcs = list(arcs)
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(arcs)
+    for parent, child, delay in arcs:
+        dag.add_arc(dag.nodes[parent], dag.nodes[child], DepType.RAW,
+                    delay)
+    return dag
+
+
+ARCS = [(0, 3, 2), (1, 3, 2), (2, 4, 2), (0, 4, 2),
+        (3, 5, 1), (4, 5, 1), (1, 6, 3), (2, 6, 3)]
+
+
+class TestInsertionOrderIndependence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_shuffled_arc_insertion_same_schedule(self, machine, seed):
+        reference = schedule_ids(machine, layered_dag(7, ARCS))
+        shuffled = schedule_ids(machine,
+                                layered_dag(7, ARCS, shuffle_seed=seed))
+        assert shuffled == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shuffled_insertion_same_annotations(self, machine, seed):
+        a = layered_dag(7, ARCS)
+        b = layered_dag(7, ARCS, shuffle_seed=seed)
+        backward_pass(a)
+        backward_pass(b)
+        for na, nb in zip(a.nodes, b.nodes):
+            assert (na.max_path_to_leaf, na.max_delay_to_leaf,
+                    na.lst, na.slack) \
+                == (nb.max_path_to_leaf, nb.max_delay_to_leaf,
+                    nb.lst, nb.slack)
