@@ -56,6 +56,7 @@ MODULES = [
     "repro.runner.watchdog", "repro.runner.fallback",
     "repro.runner.journal", "repro.runner.batch", "repro.runner.fuzz",
     "repro.runner.bench",
+    "repro.obs.trace", "repro.obs.metrics", "repro.obs.report",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
 
@@ -140,7 +141,8 @@ def main() -> None:
         "[paper mapping](paper_mapping.md), "
         "[schedule verification](verification.md), "
         "[resilient runner](runner.md), "
-        "[performance layer](performance.md).",
+        "[performance layer](performance.md), "
+        "[observability](observability.md).",
         "",
     ]
     for module_name in MODULES:

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro schedule kernel.s --algorithm warren --machine sparc
     python -m repro schedule big.s --journal run.jsonl --resume
+    python -m repro schedule big.s --trace run.json --metrics run-metrics.json
+    python -m repro report --journal run.jsonl --metrics run-metrics.json
     python -m repro dag kernel.s --builder table-forward
     python -m repro stats kernel.s
     python -m repro verify kernel.s
@@ -26,6 +28,13 @@ Subcommands:
 * ``fuzz`` -- differential fuzzing of the five builders on seeded
   random and mutated blocks; disagreements are minimized into
   reproducer files (exit 1 on any disagreement).
+* ``report`` -- render paper-style Tables 3/4/5 plus fallback, cache,
+  and degradation summaries from a run journal and/or a metrics
+  snapshot (see :mod:`repro.obs`).
+
+``schedule``, ``verify``, and ``bench`` accept ``--trace FILE`` and
+``--metrics FILE``; both are observation-only and leave schedules,
+journals, and stdout byte-identical to an uninstrumented run.
 
 Library errors (:class:`~repro.errors.ReproError`) are reported as a
 one-line diagnostic with exit status 2.
@@ -34,6 +43,7 @@ one-line diagnostic with exit status 2.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Callable
@@ -62,6 +72,17 @@ from repro.machine import (
     sparcstation2_like,
     superscalar2,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    load_journal_blocks,
+    read_metrics,
+    render_markdown,
+    report_from,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import record_cache
 from repro.pipeline import SECTION6_PRIORITY
 from repro.runner import (
     DEFAULT_CHAIN,
@@ -108,6 +129,30 @@ ALGORITHMS = {
 }
 
 
+def _obs_from_args(args: argparse.Namespace) -> tuple[
+        Tracer | None, MetricsRegistry | None]:
+    """Tracer/registry instances per the ``--trace``/``--metrics``
+    flags (None when a flag is absent, so untraced runs pay nothing)."""
+    tracer = Tracer() if getattr(args, "trace", None) else None
+    registry = (MetricsRegistry()
+                if getattr(args, "metrics", None) else None)
+    return tracer, registry
+
+
+def _write_obs(args: argparse.Namespace, tracer: Tracer | None,
+               registry: MetricsRegistry | None) -> None:
+    """Write the trace/metrics files, silently.
+
+    No diagnostic line is printed: the observability contract is that
+    ``--trace``/``--metrics`` leave stdout byte-identical to an
+    uninstrumented run.
+    """
+    if tracer is not None:
+        write_trace(tracer.entries, args.trace)
+    if registry is not None:
+        write_metrics(registry, args.metrics)
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -138,18 +183,29 @@ def _cmd_schedule(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     # same instruction in each branch's slot.
     blocks = pin_delay_slot_occupants(
         apply_window(partition_blocks(program), args.window))
+    tracer, registry = _obs_from_args(args)
     if args.algorithm == "section6":
-        return _schedule_resilient(args, source, machine, blocks, out)
+        status = _schedule_resilient(args, source, machine, blocks, out,
+                                     tracer=tracer, metrics=registry)
+        _write_obs(args, tracer, registry)
+        return status
     if args.journal or args.resume:
         raise ReproError(
             "--journal/--resume require the section 6 pipeline "
             "(--algorithm section6)")
+    span_tracer = tracer if tracer is not None else None
     total = original_total = 0
     for block in blocks:
         if not block.size:
             continue
         algorithm = ALGORITHMS[args.algorithm](machine)
-        result = algorithm.schedule_block(block)
+        if span_tracer is not None:
+            with span_tracer.span("block", index=block.index,
+                                  algorithm=args.algorithm,
+                                  size=block.size):
+                result = algorithm.schedule_block(block)
+        else:
+            result = algorithm.schedule_block(block)
         total += result.makespan
         original_total += result.original_timing.makespan
         out(f"! block {block.index}: {result.original_timing.makespan} "
@@ -159,11 +215,14 @@ def _cmd_schedule(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             out(f"{label}\t{node.instr.render()}")
     out(f"! total: {original_total} -> {total} cycles "
         f"({original_total / max(1, total):.2f}x)")
+    _write_obs(args, tracer, registry)
     return 0
 
 
 def _schedule_resilient(args: argparse.Namespace, source: str, machine,
-                        blocks, out: Callable[[str], None]) -> int:
+                        blocks, out: Callable[[str], None],
+                        tracer: Tracer | None = None,
+                        metrics: MetricsRegistry | None = None) -> int:
     """The section 6 path, on the resilient batch runner."""
     chain = (tuple(p.strip() for p in args.chain.split(",") if p.strip())
              if args.chain else DEFAULT_CHAIN)
@@ -203,7 +262,8 @@ def _schedule_resilient(args: argparse.Namespace, source: str, machine,
     try:
         result = run_batch(blocks, machine, chain=chain, budget=budget,
                            verify=args.verify, journal=journal,
-                           on_block=emit, jobs=jobs, cache=cache)
+                           on_block=emit, jobs=jobs, cache=cache,
+                           tracer=tracer, metrics=metrics)
     finally:
         if journal is not None:
             journal.close()
@@ -269,6 +329,7 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     # builder still records its own arc recipe, but the pairwise
     # preparation and the verifier's reference builds are reused.
     cache = None if getattr(args, "no_cache", False) else PairwiseCache()
+    tracer, registry = _obs_from_args(args)
     n_checked = n_failed = 0
     for block in blocks:
         if not block.size:
@@ -282,7 +343,8 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                 block, result.order, machine,
                 claimed_issue_times=result.timing.issue_times,
                 check_semantics=not args.no_semantics,
-                approach=name, cache=cache)
+                approach=name, cache=cache, tracer=tracer,
+                metrics=registry)
             n_checked += 1
             if report.passed:
                 out(f"block {block.index} [{name}]: PASS")
@@ -294,16 +356,24 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                     out(f"  {check.name}: {check.detail}")
     out(f"! verified {n_checked} schedules: "
         f"{n_checked - n_failed} passed, {n_failed} failed")
+    if registry is not None and cache is not None:
+        info = cache.info()
+        record_cache(registry, info["hits"], info["misses"],
+                     entries=info["entries"], recipes=info["recipes"])
+    _write_obs(args, tracer, registry)
     return 0 if n_failed == 0 else 1
 
 
 def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     from repro.runner.bench import run_bench, write_bench
     machine = MACHINES[args.machine]()
+    tracer, registry = _obs_from_args(args)
     doc = run_bench(machine, machine_name=args.machine,
                     copies=args.copies, repeats=args.repeats,
-                    jobs=args.jobs, quick=args.quick)
+                    jobs=args.jobs, quick=args.quick,
+                    tracer=tracer, metrics=registry)
     write_bench(doc, args.out_json)
+    _write_obs(args, tracer, registry)
     batch = doc["batch"]
     out(f"! bench: {doc['workload']['n_blocks']} blocks, "
         f"{doc['workload']['n_instructions']} instructions "
@@ -316,6 +386,24 @@ def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out(f"! schedules identical across variants: "
         f"{batch['schedules_identical']}")
     out(f"! wrote {args.out_json}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    blocks = (load_journal_blocks(args.journal)
+              if args.journal else None)
+    snapshot = None
+    if args.metrics:
+        try:
+            snapshot = read_metrics(args.metrics)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(
+                f"cannot read metrics snapshot {args.metrics!r}: {exc}")
+    doc = report_from(blocks, snapshot)
+    if args.format in ("markdown", "both"):
+        out(render_markdown(doc).rstrip("\n"))
+    if args.format in ("json", "both"):
+        out(json.dumps(doc, indent=2, sort_keys=True))
     return 0
 
 
@@ -360,7 +448,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "'! skipped' diagnostics) instead of "
                              "aborting")
 
-    schedule = sub.add_parser("schedule", parents=[common],
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument("--trace", default=None, metavar="FILE",
+                           help="write a structured trace of the run "
+                                "(.jsonl = raw entries; any other "
+                                "suffix = Chrome trace-event format "
+                                "for chrome://tracing).  Never changes "
+                                "schedules, journals, or stdout")
+    obs_flags.add_argument("--metrics", default=None, metavar="FILE",
+                           help="write a metrics snapshot (JSON: work "
+                                "counters, block structure, fallback "
+                                "and cache accounting).  Never changes "
+                                "schedules, journals, or stdout")
+
+    schedule = sub.add_parser("schedule", parents=[common, obs_flags],
                               help="schedule each basic block")
     schedule.add_argument("--algorithm",
                           choices=sorted(ALGORITHMS) + ["section6"],
@@ -413,7 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="structural statistics (Table 3 row)")
     stats.set_defaults(handler=_cmd_stats)
 
-    verify = sub.add_parser("verify", parents=[common],
+    verify = sub.add_parser("verify", parents=[common, obs_flags],
                             help="verify every builder's schedules "
                                  "against independently re-derived "
                                  "dependences")
@@ -427,7 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the shared dependence cache")
     verify.set_defaults(handler=_cmd_verify)
 
-    bench = sub.add_parser("bench",
+    bench = sub.add_parser("bench", parents=[obs_flags],
                            help="benchmark builders, heuristic passes, "
                                 "and the cached/parallel batch path "
                                 "(writes a JSON report)")
@@ -447,6 +548,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out-json", default="BENCH_pr3.json",
                        metavar="PATH", help="output document path")
     bench.set_defaults(handler=_cmd_bench)
+
+    report = sub.add_parser("report",
+                            help="render paper-style Tables 3/4/5 and "
+                                 "fallback/cache summaries from a run "
+                                 "journal and/or metrics snapshot")
+    report.add_argument("--journal", default=None, metavar="PATH",
+                        help="run journal written by "
+                             "'schedule --journal'")
+    report.add_argument("--metrics", default=None, metavar="PATH",
+                        help="metrics snapshot written by --metrics")
+    report.add_argument("--format",
+                        choices=("markdown", "json", "both"),
+                        default="markdown",
+                        help="output rendering (default: markdown)")
+    report.set_defaults(handler=_cmd_report)
 
     minic = sub.add_parser("minic",
                            help="compile mini-C to assembly "

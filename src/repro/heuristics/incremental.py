@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from repro.dag.graph import Dag, DagNode
 from repro.heuristics.passes import backward_pass, forward_pass
+from repro.obs.metrics import MetricsRegistry, record_incremental_repair
 from repro.scheduling.interblock import ResidualLatency, apply_inherited
 
 
@@ -43,7 +44,7 @@ def annotate(dag: Dag, descendants: bool = False) -> None:
     backward_pass(dag, descendants=descendants, require_est=False)
 
 
-def _forward_frontier(dag: Dag, child: DagNode) -> bool:
+def _forward_frontier(dag: Dag, child: DagNode) -> tuple[int, bool]:
     """Recompute f-class values downstream of ``child``.
 
     Each worklist node is recomputed exactly from its in-arcs (its
@@ -51,15 +52,18 @@ def _forward_frontier(dag: Dag, child: DagNode) -> bool:
     only when a value actually changed.
 
     Returns:
-        True when any node's EST changed (the critical length may have
-        grown).
+        ``(visited, est_changed)``: how many worklist nodes were
+        recomputed, and whether any node's EST changed (the critical
+        length may have grown).
     """
     est_changed = False
+    visited = 0
     worklist = [child]
     seen = {child.id}
     while worklist:
         node = worklist.pop()
         seen.discard(node.id)
+        visited += 1
         path = delay = est = 0
         for arc in node.in_arcs:
             parent = arc.parent
@@ -83,22 +87,27 @@ def _forward_frontier(dag: Dag, child: DagNode) -> bool:
             if arc.child.id not in seen:
                 seen.add(arc.child.id)
                 worklist.append(arc.child)
-    return est_changed
+    return visited, est_changed
 
 
 def _backward_frontier(dag: Dag, parent: DagNode,
-                       critical: int) -> None:
+                       critical: int) -> int:
     """Recompute b-class values upstream of ``parent``.
 
     Mirror image of the forward frontier: recompute each worklist node
     exactly from its out-arcs (children are downstream and final),
     enqueue parents on change.
+
+    Returns:
+        How many worklist nodes were recomputed.
     """
+    visited = 0
     worklist = [parent]
     seen = {parent.id}
     while worklist:
         node = worklist.pop()
         seen.discard(node.id)
+        visited += 1
         path = delay = 0
         lst = critical - node.execution_time
         for arc in node.out_arcs:
@@ -121,10 +130,11 @@ def _backward_frontier(dag: Dag, parent: DagNode,
             if arc.parent.id not in seen:
                 seen.add(arc.parent.id)
                 worklist.append(arc.parent)
+    return visited
 
 
-def update_after_arc(dag: Dag, parent: DagNode,
-                     child: DagNode) -> None:
+def update_after_arc(dag: Dag, parent: DagNode, child: DagNode,
+                     metrics: MetricsRegistry | None = None) -> None:
     """Repair the f/b heuristics after ``add_arc(parent, child, ...)``.
 
     Call once per inserted (or delay-grown merged) arc, after the
@@ -135,12 +145,22 @@ def update_after_arc(dag: Dag, parent: DagNode,
 
     The result is identical to re-running ``forward_pass`` +
     ``backward_pass`` on the whole DAG.
+
+    Args:
+        dag: the annotated DAG the arc was inserted into.
+        parent: the new arc's parent node.
+        child: the new arc's child node.
+        metrics: optional registry; records frontier nodes visited
+            against the node count the replaced full passes would have
+            walked (the win the incremental repair buys).
     """
+    n_real = sum(1 for n in dag.nodes if not n.is_dummy)
     critical = getattr(dag, "critical_length", None)
     if critical is None:
         annotate(dag)
+        record_incremental_repair(metrics, 2 * n_real, 2 * n_real)
         return
-    est_changed = _forward_frontier(dag, child)
+    visited, est_changed = _forward_frontier(dag, child)
     if est_changed:
         new_critical = max(
             (n.est + n.execution_time for n in dag.nodes
@@ -153,11 +173,13 @@ def update_after_arc(dag: Dag, parent: DagNode,
                 node.lst += shift
                 node.slack = node.lst - node.est
             dag.critical_length = critical = new_critical
-    _backward_frontier(dag, parent, critical)
+    visited += _backward_frontier(dag, parent, critical)
+    record_incremental_repair(metrics, visited, 2 * n_real)
 
 
 def apply_inherited_incremental(
-        dag: Dag, inherited: list[ResidualLatency]) -> DagNode:
+        dag: Dag, inherited: list[ResidualLatency],
+        metrics: MetricsRegistry | None = None) -> DagNode:
     """Inherited-latency seeding on an already annotated DAG.
 
     The incremental counterpart of
@@ -166,10 +188,15 @@ def apply_inherited_incremental(
     frontier updates instead of whole-DAG re-passes.  Annotations come
     out identical; only the touched frontier is visited.
 
+    Args:
+        dag: the annotated DAG.
+        inherited: residual latencies from the predecessor block.
+        metrics: optional registry, forwarded to each arc repair.
+
     Returns:
         The pseudo entry node.
     """
     pseudo = apply_inherited(dag, inherited)
     for arc in list(pseudo.out_arcs):
-        update_after_arc(dag, pseudo, arc.child)
+        update_after_arc(dag, pseudo, arc.child, metrics=metrics)
     return pseudo

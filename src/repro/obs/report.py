@@ -1,0 +1,372 @@
+"""``repro report``: paper-style tables from a journal and/or metrics.
+
+The paper's evaluation is three tables -- Table 3 (benchmark
+structure), Table 4 (the ``n**2`` construction work), Table 5 (table
+building and end-to-end run times) -- and this module reconstructs
+their shape from the artifacts a run leaves behind:
+
+* a **run journal** (:mod:`repro.runner.journal` JSONL) supplies
+  per-block outcomes: accepted builder, makespans, every fallback
+  attempt, and (since the field was added) per-block wall-clock
+  seconds, from which Table 5-style run times are rebuilt per builder;
+* a **metrics snapshot** (:func:`repro.obs.metrics.write_metrics`
+  JSON) supplies the exact work counters: comparisons, table probes,
+  alias checks, bitmap operations and words touched, block structure,
+  cache and incremental-repair activity.
+
+Either input works alone; together the report is complete.  Output is
+a plain JSON-ready dict (:func:`report_from`) and a Markdown rendering
+(:func:`render_markdown`), wired to the CLI as ``repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+
+#: journal block records missing a field (old journals) show this
+_ABSENT = None
+
+
+def load_journal_blocks(path: str) -> list[dict]:
+    """Read a run journal's block records (header skipped).
+
+    Tolerates the torn final line of a killed run, like
+    :meth:`repro.runner.journal.RunJournal.load`, but does not demand
+    a fingerprint match -- a report is read-only archaeology.
+
+    Raises:
+        ReproError: when the file is unreadable or has no journal
+            header.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise ReproError(f"cannot read journal {path!r}: {exc}")
+    if not lines:
+        raise ReproError(f"journal {path!r} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        header = {}
+    if header.get("type") != "header":
+        raise ReproError(f"{path!r} does not look like a run journal "
+                         f"(missing header line)")
+    blocks: list[dict] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn final write of a killed run
+            raise ReproError(
+                f"journal {path!r} is corrupt at line {lineno}")
+        if record.get("type") == "block":
+            blocks.append(record)
+    return blocks
+
+
+def _values(snapshot: dict | None, name: str) -> dict:
+    """One metric's values dict, searching both snapshot sections."""
+    if snapshot is None:
+        return {}
+    for section in ("stable", "volatile"):
+        metric = snapshot.get(section, {}).get(name)
+        if metric is not None:
+            return metric.get("values", {})
+    return {}
+
+
+def _scalar(snapshot: dict | None, name: str, default=None):
+    """An unlabelled metric's single value."""
+    return _values(snapshot, name).get("", default)
+
+
+def _per_builder(snapshot: dict | None, name: str) -> dict[str, object]:
+    """A ``builder``-labelled metric as ``{builder: value}``."""
+    out = {}
+    for key, value in _values(snapshot, name).items():
+        if key.startswith("builder="):
+            out[key[len("builder="):]] = value
+    return out
+
+
+def _round(value, digits: int = 2):
+    return None if value is None else round(value, digits)
+
+
+def _table3(blocks: list[dict] | None, snapshot: dict | None) -> dict:
+    """Table 3: benchmark structure (blocks, insts/bb, memexpr/bb)."""
+    n_blocks = _scalar(snapshot, "repro_blocks_total")
+    n_insts = _scalar(snapshot, "repro_instructions_total")
+    row = {
+        "blocks": n_blocks,
+        "insts": n_insts,
+        "insts/bb max": _scalar(snapshot, "repro_block_size_max"),
+        "insts/bb avg": _round(n_insts / n_blocks)
+        if n_blocks else None,
+        "memexpr/bb max": _scalar(snapshot, "repro_mem_exprs_max"),
+        "memexpr/bb avg": _round(
+            _scalar(snapshot, "repro_mem_exprs_total", 0) / n_blocks)
+        if n_blocks else None,
+    }
+    if row["blocks"] is None and blocks:
+        # Journal-only fallback: structure from the block records
+        # (memory expressions are not journaled -- left absent).
+        sizes = [len(b.get("order", [])) for b in blocks]
+        row["blocks"] = len(sizes)
+        row["insts"] = sum(sizes)
+        row["insts/bb max"] = max(sizes, default=0)
+        row["insts/bb avg"] = (_round(sum(sizes) / len(sizes))
+                               if sizes else None)
+    return row
+
+
+def _table4(snapshot: dict | None) -> list[dict]:
+    """Table 4: per-builder construction work (the n**2 quantities)."""
+    built = _per_builder(snapshot, "repro_build_blocks_total")
+    comparisons = _per_builder(snapshot, "repro_build_comparisons_total")
+    alias = _per_builder(snapshot, "repro_build_alias_checks_total")
+    added = _per_builder(snapshot, "repro_build_arcs_added_total")
+    merged = _per_builder(snapshot, "repro_build_arcs_merged_total")
+    suppressed = _per_builder(snapshot,
+                              "repro_build_arcs_suppressed_total")
+    rows = []
+    for builder in sorted(built):
+        rows.append({
+            "builder": builder,
+            "blocks": built.get(builder, 0),
+            "comparisons": comparisons.get(builder, 0),
+            "alias checks": alias.get(builder, 0),
+            "arcs added": added.get(builder, 0),
+            "arcs merged": merged.get(builder, 0),
+            "arcs suppressed": suppressed.get(builder, 0),
+        })
+    return rows
+
+
+def _table5(blocks: list[dict] | None,
+            snapshot: dict | None) -> list[dict]:
+    """Table 5: table building cost and per-builder run times.
+
+    Work counters come from the metrics snapshot; wall-clock seconds
+    come from journal ``wall_s`` fields summed per accepted builder
+    (blocks journaled before the field existed contribute nothing and
+    are counted in ``untimed blocks``).
+    """
+    probes = _per_builder(snapshot, "repro_build_table_probes_total")
+    bitmap_ops = _per_builder(snapshot, "repro_build_bitmap_ops_total")
+    words = _per_builder(snapshot, "repro_bitmap_words_touched_total")
+    wall: dict[str, float] = {}
+    untimed: dict[str, int] = {}
+    for record in blocks or []:
+        builder = record.get("builder") or "(degraded)"
+        seconds = record.get("wall_s")
+        if seconds is None:
+            untimed[builder] = untimed.get(builder, 0) + 1
+        else:
+            wall[builder] = wall.get(builder, 0.0) + seconds
+    rows = []
+    for builder in sorted(set(probes) | set(wall) | set(untimed)):
+        rows.append({
+            "builder": builder,
+            "table probes": probes.get(builder, 0),
+            "bitmap ops": bitmap_ops.get(builder, 0),
+            "bitmap words": words.get(builder, 0),
+            "run time (s)": _round(wall.get(builder), 6)
+            if builder in wall else _ABSENT,
+            "untimed blocks": untimed.get(builder, 0),
+        })
+    return rows
+
+
+def _fallback(blocks: list[dict] | None, snapshot: dict | None) -> dict:
+    """Fallback-chain and schedule-quality summary."""
+    summary: dict = {
+        "attempts": {},
+        "degraded blocks": _scalar(snapshot,
+                                   "repro_blocks_degraded_total", 0),
+        "replayed blocks": _scalar(snapshot,
+                                   "repro_blocks_replayed_total", 0),
+        "wasted work": _scalar(snapshot,
+                               "repro_fallback_wasted_work_total", 0),
+        "total makespan": _scalar(snapshot,
+                                  "repro_makespan_cycles_total"),
+        "total original makespan": _scalar(
+            snapshot, "repro_original_makespan_cycles_total"),
+    }
+    for key, value in _values(
+            snapshot, "repro_fallback_attempts_total").items():
+        summary["attempts"][key] = value
+    if blocks:
+        if summary["total makespan"] is None:
+            summary["total makespan"] = sum(
+                b.get("makespan", 0) for b in blocks)
+            summary["total original makespan"] = sum(
+                b.get("original_makespan", 0) for b in blocks)
+        if not summary["attempts"]:
+            for record in blocks:
+                for attempt in record.get("attempts", []):
+                    key = (f"builder={attempt.get('builder')},"
+                           f"stage={attempt.get('stage')}")
+                    summary["attempts"][key] = \
+                        summary["attempts"].get(key, 0) + 1
+        if not summary["degraded blocks"]:
+            summary["degraded blocks"] = sum(
+                1 for b in blocks if b.get("builder") is None)
+    scheduled = (summary["total makespan"] or 0)
+    original = (summary["total original makespan"] or 0)
+    summary["speedup"] = (_round(original / scheduled)
+                          if scheduled else None)
+    return summary
+
+
+def _degradations(blocks: list[dict] | None) -> list[dict]:
+    """Per-block detail for every degraded block in the journal."""
+    rows = []
+    for record in blocks or []:
+        if record.get("builder") is not None:
+            continue
+        rows.append({
+            "index": record.get("index"),
+            "label": record.get("label"),
+            "attempts": [
+                {"builder": a.get("builder"), "stage": a.get("stage"),
+                 "error": a.get("error")}
+                for a in record.get("attempts", [])],
+        })
+    return rows
+
+
+def _cache(snapshot: dict | None) -> dict | None:
+    """Pairwise-cache summary (volatile), when the snapshot has one."""
+    hits = _scalar(snapshot, "repro_cache_hits_total")
+    misses = _scalar(snapshot, "repro_cache_misses_total")
+    if hits is None and misses is None:
+        return None
+    total = (hits or 0) + (misses or 0)
+    return {
+        "hits": hits or 0,
+        "misses": misses or 0,
+        "hit rate": _round((hits or 0) / total) if total else None,
+        "entries": _scalar(snapshot, "repro_cache_entries"),
+        "recipes": _scalar(snapshot, "repro_cache_recipes"),
+    }
+
+
+def report_from(blocks: list[dict] | None = None,
+                snapshot: dict | None = None) -> dict:
+    """Build the full report document from either or both inputs.
+
+    Args:
+        blocks: journal block records
+            (:func:`load_journal_blocks`), or None.
+        snapshot: a metrics snapshot document
+            (:func:`repro.obs.metrics.read_metrics`), or None.
+
+    Raises:
+        ReproError: when both inputs are None.
+    """
+    if blocks is None and snapshot is None:
+        raise ReproError(
+            "report needs a journal, a metrics snapshot, or both")
+    return {
+        "sources": {"journal": blocks is not None,
+                    "metrics": snapshot is not None},
+        "table3": _table3(blocks, snapshot),
+        "table4": _table4(snapshot),
+        "table5": _table5(blocks, snapshot),
+        "fallback": _fallback(blocks, snapshot),
+        "degradations": _degradations(blocks),
+        "cache": _cache(snapshot),
+    }
+
+
+def _md_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _md_table(headers: list[str], rows: list[list]) -> list[str]:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(_md_cell(v) for v in row) + " |")
+    return out
+
+
+def _md_dict_rows(rows: list[dict]) -> list[str]:
+    if not rows:
+        return ["(no data)"]
+    headers = list(rows[0].keys())
+    return _md_table(headers,
+                     [[row.get(h) for h in headers] for row in rows])
+
+
+def render_markdown(report: dict) -> str:
+    """Render :func:`report_from` output as a Markdown document."""
+    lines: list[str] = ["# Scheduling run report", ""]
+    sources = report.get("sources", {})
+    used = [name for name in ("journal", "metrics")
+            if sources.get(name)]
+    lines += [f"Sources: {', '.join(used) if used else 'none'}", ""]
+
+    lines += ["## Table 3 — benchmark structure", ""]
+    t3 = report.get("table3", {})
+    lines += _md_table(["quantity", "value"],
+                       [[k, t3[k]] for k in t3])
+    lines.append("")
+
+    lines += ["## Table 4 — DAG construction work", ""]
+    lines += _md_dict_rows(report.get("table4", []))
+    lines.append("")
+
+    lines += ["## Table 5 — table building and run times", ""]
+    lines += _md_dict_rows(report.get("table5", []))
+    lines.append("")
+
+    lines += ["## Fallback and schedule quality", ""]
+    fb = report.get("fallback", {})
+    rows = [[k, fb[k]] for k in fb if k != "attempts"]
+    lines += _md_table(["quantity", "value"], rows)
+    lines.append("")
+    attempts = fb.get("attempts", {})
+    if attempts:
+        lines += ["### Attempts by builder and stage", ""]
+        lines += _md_table(
+            ["series", "count"],
+            [[k, attempts[k]] for k in sorted(attempts)])
+        lines.append("")
+
+    degradations = report.get("degradations", [])
+    lines += ["## Degraded blocks", ""]
+    if degradations:
+        for item in degradations:
+            label = item.get("label") or item.get("index")
+            lines.append(f"- block {item.get('index')} ({label}):")
+            for attempt in item.get("attempts", []):
+                lines.append(
+                    f"  - {attempt.get('builder')} -> "
+                    f"{attempt.get('stage')}"
+                    + (f": {attempt.get('error')}"
+                       if attempt.get("error") else ""))
+    else:
+        lines.append("(none)")
+    lines.append("")
+
+    cache = report.get("cache")
+    lines += ["## Pairwise cache", ""]
+    if cache:
+        lines += _md_table(["quantity", "value"],
+                           [[k, cache[k]] for k in cache])
+    else:
+        lines.append("(no cache data)")
+    lines.append("")
+    return "\n".join(lines)

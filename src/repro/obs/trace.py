@@ -1,0 +1,256 @@
+"""Structured tracing: nested spans, point events, flame-chart export.
+
+A :class:`Tracer` records two entry kinds into an in-memory list:
+
+* a **span** -- a named, timed interval with key/value attributes and
+  a parent span (``with tracer.span("build", builder="n2") as attrs``);
+  the yielded ``attrs`` dict is mutable, so outcomes discovered at the
+  end of the interval (the accepted stage, a failure) can be attached
+  before the span closes;
+* an **event** -- a named instant (a cache hit, a budget trip, a
+  degradation) attached to whichever span is open.
+
+Entries are plain dicts of primitives, so they pickle across the batch
+runner's worker processes: a worker traces its blocks into its own
+:class:`Tracer` and the parent :meth:`Tracer.absorb`\\ s the entries in
+program order, remapping span ids and re-rooting them under the batch
+span so the merged tree is identical to a serial run's (worker ids and
+timestamps aside -- see :func:`span_tree`).
+
+The default in instrumented code paths is :data:`NULL_TRACER`, a falsy
+no-op, so a hot loop pays one truthiness check (``if tracer:``) when
+tracing is off.
+
+Exporters: :func:`write_trace_jsonl` (one entry per line, greppable)
+and :func:`write_chrome_trace` (the Chrome trace-event format --
+load the file in ``chrome://tracing`` or https://ui.perfetto.dev to
+see a whole ``run_batch --jobs N`` as a flame chart, one track per
+worker).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+class NullTracer:
+    """The no-op tracer: falsy, records nothing, costs nothing.
+
+    Every :class:`Tracer` method exists here as a no-op, so code can
+    hold a tracer unconditionally and either guard hot calls with
+    ``if tracer:`` or just call through (a span on the null tracer is
+    a reusable empty context manager).
+    """
+
+    #: entries is always empty (shared immutable instance)
+    entries: tuple = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[dict]:
+        yield {}
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def absorb(self, entries: Iterable[dict],
+               parent: int | None = None,
+               worker: object | None = None) -> None:
+        pass
+
+
+#: the module-wide no-op tracer instance
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records nested spans and point events with monotonic timestamps.
+
+    Args:
+        worker: track identity stamped on every entry ("main" in the
+            parent process; batch workers use their pid).
+        clock: timestamp source, injectable for deterministic tests
+            (default :func:`time.perf_counter` -- on Linux a
+            system-wide monotonic clock, so worker and parent
+            timestamps share one timeline).
+    """
+
+    def __init__(self, worker: object = "main",
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.worker = worker
+        self.entries: list[dict] = []
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list[int] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def current_span(self) -> int | None:
+        """Id of the innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[dict]:
+        """Open a named span; the yielded attrs dict is mutable.
+
+        The span entry is appended when the span *closes* (children
+        therefore precede their parent in ``entries``; the tree is
+        rebuilt from parent ids, not entry order).
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self.current_span
+        self._stack.append(span_id)
+        t0 = self._clock()
+        try:
+            yield attrs
+        finally:
+            t1 = self._clock()
+            self._stack.pop()
+            self.entries.append({
+                "type": "span", "id": span_id, "parent": parent,
+                "name": name, "t0": t0, "t1": t1,
+                "worker": self.worker, "attrs": dict(attrs)})
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point event inside the innermost open span."""
+        self.entries.append({
+            "type": "event", "name": name, "ts": self._clock(),
+            "span": self.current_span, "worker": self.worker,
+            "attrs": attrs})
+
+    def absorb(self, entries: Iterable[dict],
+               parent: int | None = None,
+               worker: object | None = None) -> None:
+        """Merge entries recorded by another tracer (a batch worker).
+
+        Span ids are remapped onto this tracer's id space and root
+        spans are re-parented under ``parent`` (typically the batch
+        span), so the merged tree matches what a serial run would have
+        produced; ``worker`` overrides the recorded track identity
+        when given (workers already stamp their pid, so the default
+        keeps it).
+        """
+        # Two passes: spans append on *close*, so a child's entry
+        # precedes its parent's -- ids must all be assigned before any
+        # parent pointer is rewritten.  Mapping in ascending original
+        # id order keeps creation order intact in the new id space.
+        entries = [dict(entry) for entry in entries]
+        remap: dict[int, int] = {}
+        for old_id in sorted(entry["id"] for entry in entries
+                             if entry["type"] == "span"):
+            remap[old_id] = self._next_id
+            self._next_id += 1
+        for entry in entries:
+            if entry["type"] == "span":
+                entry["id"] = remap[entry["id"]]
+                old_parent = entry["parent"]
+                entry["parent"] = (remap.get(old_parent, parent)
+                                   if old_parent is not None else parent)
+            else:
+                old_span = entry.get("span")
+                entry["span"] = (remap.get(old_span, parent)
+                                 if old_span is not None else parent)
+            if worker is not None:
+                entry["worker"] = worker
+            self.entries.append(entry)
+
+
+def span_tree(entries: Sequence[dict]) -> list[dict]:
+    """Normalize trace entries into a nested structural tree.
+
+    Timestamps, span ids, and worker identities are dropped; what
+    remains -- names, attributes, nesting, order of appearance -- is
+    exactly the part of a trace that must be identical between
+    ``--jobs 1`` and ``--jobs N`` runs (the determinism tests and CI
+    compare these trees).  Events are deliberately excluded: cache
+    hit/miss events legitimately depend on how blocks were distributed
+    over workers.
+
+    Returns:
+        The root spans, each ``{"name", "attrs", "children"}``.
+    """
+    spans = [e for e in entries if e["type"] == "span"]
+    nodes = {e["id"]: {"name": e["name"], "attrs": dict(e["attrs"]),
+                       "children": []} for e in spans}
+    roots: list[dict] = []
+    # Entries list parents after children (spans append on close);
+    # iterate in id order so children attach in creation order.
+    for entry in sorted(spans, key=lambda e: e["id"]):
+        node = nodes[entry["id"]]
+        parent = entry["parent"]
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def write_trace_jsonl(entries: Sequence[dict], path: str) -> None:
+    """Write raw trace entries, one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True,
+                                    default=str) + "\n")
+
+
+def write_chrome_trace(entries: Sequence[dict], path: str) -> None:
+    """Write a Chrome trace-event file (``chrome://tracing``).
+
+    Spans become complete events (``ph: "X"``) with microsecond
+    timestamps, point events become instants (``ph: "i"``), and each
+    distinct worker gets its own thread track named via ``thread_name``
+    metadata -- a ``run_batch --jobs N`` run renders as one flame chart
+    per worker.
+    """
+    workers: dict[object, int] = {}
+
+    def tid(worker: object) -> int:
+        if worker not in workers:
+            workers[worker] = len(workers)
+        return workers[worker]
+
+    trace_events: list[dict] = []
+    for entry in entries:
+        args = {k: v if isinstance(v, (int, float, bool, type(None)))
+                else str(v) for k, v in entry["attrs"].items()}
+        if entry["type"] == "span":
+            trace_events.append({
+                "name": entry["name"], "ph": "X", "pid": 1,
+                "tid": tid(entry["worker"]),
+                "ts": entry["t0"] * 1e6,
+                "dur": (entry["t1"] - entry["t0"]) * 1e6,
+                "args": args})
+        else:
+            trace_events.append({
+                "name": entry["name"], "ph": "i", "s": "t", "pid": 1,
+                "tid": tid(entry["worker"]),
+                "ts": entry["ts"] * 1e6, "args": args})
+    for worker, worker_tid in workers.items():
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 1,
+            "tid": worker_tid,
+            "args": {"name": f"worker {worker}"}})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": trace_events,
+                   "displayTimeUnit": "ms"}, handle)
+        handle.write("\n")
+
+
+def write_trace(entries: Sequence[dict], path: str) -> None:
+    """Write a trace file, format chosen by suffix.
+
+    ``.jsonl`` gets the raw entry stream; anything else (``.json``
+    included) gets the Chrome trace-event format.
+    """
+    if path.endswith(".jsonl"):
+        write_trace_jsonl(entries, path)
+    else:
+        write_chrome_trace(entries, path)

@@ -21,6 +21,12 @@ from repro.dag.stats import ProgramDagStats
 from repro.errors import ReproError
 from repro.heuristics.passes import backward_pass, backward_pass_levels
 from repro.machine.model import MachineModel
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_block_structure,
+    record_build,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.scheduling.list_scheduler import schedule_forward
 from repro.scheduling.priority import winnowing
 from repro.scheduling.timing import simulate, verify_order
@@ -105,7 +111,10 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
                  heuristic_driver: str = "reverse_walk",
                  schedule: bool = True,
                  verify: bool = False,
-                 strict: bool = False) -> PipelineResult:
+                 strict: bool = False,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None
+                 ) -> PipelineResult:
     """Run construction + heuristic pass + forward scheduling per block.
 
     Args:
@@ -124,6 +133,12 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
             dependences with the compare-against-all reference).
         strict: re-raise the first per-block
             :class:`~repro.errors.ReproError` instead of degrading.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; records a
+            ``pipeline`` span with per-block spans (build/heuristics/
+            schedule/verify stages) and degradation events.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            records block structure (Table 3) and per-builder work
+            counters (Tables 4/5).
 
     Returns:
         Aggregated statistics for the whole benchmark.  When
@@ -134,55 +149,81 @@ def run_pipeline(blocks: list[BasicBlock], machine: MachineModel,
     """
     if priority is None:
         priority = SECTION6_PRIORITY
+    tracer = tracer or NULL_TRACER
     driver = (backward_pass_levels if heuristic_driver == "levels"
               else backward_pass)
     builder_name = builder_factory().name
     result = PipelineResult(approach=builder_name)
-    for block in blocks:
-        if not block.instructions:
-            continue
-        stage = "build"
-        try:
-            outcome = builder_factory().build(block)
-            dag = outcome.dag
-            # Intermediate pass (the second pass over the
-            # instructions).
-            driver(dag, require_est=False)
-            makespan = original_makespan = 0
-            if schedule:
-                stage = "schedule"
-                sched = schedule_forward(dag, machine, priority)
-                verify_order(sched.order, dag)
-                original = simulate(list(dag.real_nodes()), machine)
-                makespan = sched.timing.makespan
-                original_makespan = original.makespan
-                if verify:
-                    stage = "verify"
-                    verify_schedule(
-                        block, sched.order, machine,
-                        claimed_issue_times=sched.timing.issue_times,
-                        approach=builder_name).raise_if_failed()
-        except ReproError as exc:
-            if strict:
-                raise
-            result.failures.append(BlockFailure(
-                block.index, block.label, stage, str(exc)))
+    with tracer.span("pipeline", approach=builder_name):
+        for block in blocks:
+            if not block.instructions:
+                continue
+            stage = "build"
+            with tracer.span("block", index=block.index,
+                             label=block.label,
+                             size=len(block.instructions)) as block_attrs:
+                try:
+                    builder = builder_factory()
+                    with tracer.span("build", builder=builder_name):
+                        outcome = builder.build(block)
+                    dag = outcome.dag
+                    # Intermediate pass (the second pass over the
+                    # instructions).
+                    with tracer.span("heuristics",
+                                     driver=heuristic_driver):
+                        driver(dag, require_est=False)
+                    makespan = original_makespan = 0
+                    if schedule:
+                        stage = "schedule"
+                        with tracer.span("schedule"):
+                            sched = schedule_forward(dag, machine,
+                                                     priority)
+                            verify_order(sched.order, dag)
+                            original = simulate(list(dag.real_nodes()),
+                                                machine)
+                        makespan = sched.timing.makespan
+                        original_makespan = original.makespan
+                        if verify:
+                            stage = "verify"
+                            verify_schedule(
+                                block, sched.order, machine,
+                                claimed_issue_times=sched.timing
+                                .issue_times,
+                                approach=builder_name, tracer=tracer,
+                                metrics=metrics).raise_if_failed()
+                except ReproError as exc:
+                    if strict:
+                        raise
+                    tracer.event("degraded", index=block.index,
+                                 stage=stage)
+                    block_attrs["degraded"] = True
+                    result.failures.append(BlockFailure(
+                        block.index, block.label, stage, str(exc)))
+                    result.n_blocks += 1
+                    result.n_instructions += len(block.instructions)
+                    if schedule:
+                        fallback = degraded_timing(block, machine)
+                        result.total_makespan += fallback
+                        result.total_original_makespan += fallback
+                        result.degraded_makespan += fallback
+                    continue
+                block_attrs["degraded"] = False
+            result.build_stats.merge(outcome.stats)
+            result.dag_stats.add_dag(dag)
             result.n_blocks += 1
             result.n_instructions += len(block.instructions)
+            n_mem_exprs = len(block.unique_memory_exprs())
+            if metrics is not None:
+                rmap = getattr(builder, "reachability", None)
+                record_build(
+                    metrics, builder_name, outcome.stats,
+                    rmap.words_touched if rmap is not None else 0)
+                record_block_structure(metrics,
+                                       len(block.instructions),
+                                       n_mem_exprs)
+            if n_mem_exprs > result.unique_memory_exprs_max:
+                result.unique_memory_exprs_max = n_mem_exprs
             if schedule:
-                fallback = degraded_timing(block, machine)
-                result.total_makespan += fallback
-                result.total_original_makespan += fallback
-                result.degraded_makespan += fallback
-            continue
-        result.build_stats.merge(outcome.stats)
-        result.dag_stats.add_dag(dag)
-        result.n_blocks += 1
-        result.n_instructions += len(block.instructions)
-        n_mem_exprs = len(block.unique_memory_exprs())
-        if n_mem_exprs > result.unique_memory_exprs_max:
-            result.unique_memory_exprs_max = n_mem_exprs
-        if schedule:
-            result.total_makespan += makespan
-            result.total_original_makespan += original_makespan
+                result.total_makespan += makespan
+                result.total_original_makespan += original_makespan
     return result

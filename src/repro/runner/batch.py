@@ -21,6 +21,7 @@ Two performance knobs ride on top without changing any outcome:
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -31,6 +32,13 @@ from repro.dag.builders.cache import PairwiseCache
 from repro.dag.stats import BlockDagStats, ProgramDagStats, dag_stats
 from repro.errors import ReproError
 from repro.machine.model import MachineModel
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_block_structure,
+    record_cache,
+    record_outcome,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runner.fallback import (
     DEFAULT_CHAIN,
     BlockOutcome,
@@ -121,16 +129,17 @@ class BatchResult:
 # Worker processes rebuild their chain (and their own pairwise cache)
 # from plain picklable inputs: the section 6 priority and injected
 # chain factories are closures, which is why ``jobs > 1`` refuses
-# them.  Workers ship back ``(record, counters, block_stats)`` --
+# them.  Workers ship back ``(record, counters, block_stats, obs)`` --
 # everything JSON/dataclass-flat -- and the parent reassembles
-# outcomes in program order.
+# outcomes (and the merged trace/metrics) in program order.
 
 _WORKER_STATE: dict = {}
 
 
 def _init_worker(machine: MachineModel, chain_names: tuple[str, ...],
                  budget: Budget | None, heuristic_driver: str,
-                 verify: bool, use_cache: bool) -> None:
+                 verify: bool, use_cache: bool,
+                 trace: bool = False, metrics: bool = False) -> None:
     """Per-process setup: resolve the chain once, not per block."""
     cache = PairwiseCache() if use_cache else None
     _WORKER_STATE["machine"] = machine
@@ -140,22 +149,37 @@ def _init_worker(machine: MachineModel, chain_names: tuple[str, ...],
     _WORKER_STATE["driver"] = heuristic_driver
     _WORKER_STATE["verify"] = verify
     _WORKER_STATE["cache"] = cache
+    _WORKER_STATE["trace"] = trace
+    _WORKER_STATE["metrics"] = metrics
 
 
 def _run_block(block: BasicBlock) -> tuple[
-        dict, tuple[int, ...] | None, BlockDagStats | None]:
+        dict, tuple[int, ...] | None, BlockDagStats | None,
+        tuple[list[dict], list[dict]] | None]:
     """Schedule one block in a worker process.
 
     Returns the journal record plus the flattened statistics the
     parent folds into the :class:`BatchResult` (a replayed
     :class:`BlockOutcome` cannot carry the live DAG across the process
-    boundary, so the counters travel separately).
+    boundary, so the counters travel separately), plus -- when
+    observability is on -- the block's trace entries and metrics dump
+    for the parent to absorb/merge in program order.
     """
+    cache = _WORKER_STATE["cache"]
+    tracer = (Tracer(worker=os.getpid()) if _WORKER_STATE["trace"]
+              else None)
+    registry = MetricsRegistry() if _WORKER_STATE["metrics"] else None
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
     outcome = schedule_block_resilient(
         block, _WORKER_STATE["machine"], _WORKER_STATE["chain"],
         budget=_WORKER_STATE["budget"],
         heuristic_driver=_WORKER_STATE["driver"],
-        verify=_WORKER_STATE["verify"], cache=_WORKER_STATE["cache"])
+        verify=_WORKER_STATE["verify"], cache=cache,
+        tracer=tracer, metrics=registry)
+    if registry is not None and cache is not None:
+        record_cache(registry, cache.hits - hits0,
+                     cache.misses - misses0)
     counters = None
     block_stats = None
     if outcome.dag_stats_outcome is not None:
@@ -164,7 +188,11 @@ def _run_block(block: BasicBlock) -> tuple[
                     s.arcs_added, s.arcs_merged, s.arcs_suppressed,
                     s.bitmap_ops)
         block_stats = dag_stats(outcome.dag_stats_outcome.dag)
-    return outcome.to_record(), counters, block_stats
+    obs = None
+    if tracer is not None or registry is not None:
+        obs = (tracer.entries if tracer is not None else [],
+               registry.dump() if registry is not None else [])
+    return outcome.to_record(volatile=True), counters, block_stats, obs
 
 
 def run_batch(blocks: Sequence[BasicBlock],
@@ -180,6 +208,8 @@ def run_batch(blocks: Sequence[BasicBlock],
               on_block: Callable[[BlockOutcome], None] | None = None,
               jobs: int = 1,
               cache: PairwiseCache | None = None,
+              tracer: Tracer | None = None,
+              metrics: MetricsRegistry | None = None,
               ) -> BatchResult:
     """Run the resilient scheduling pipeline over ``blocks``.
 
@@ -217,6 +247,18 @@ def run_batch(blocks: Sequence[BasicBlock],
             worker builds its own (caches hold live DAG nodes and
             cannot cross process boundaries -- only the *enabled* flag
             is forwarded).
+        tracer: optional :class:`~repro.obs.trace.Tracer`; the run
+            records a ``batch`` span with per-block spans under it.
+            With ``jobs > 1`` each worker traces into its own tracer
+            (track = worker pid) and the parent absorbs the entries in
+            program order, so the structural span tree matches a
+            serial run's.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            block structure, outcome aggregates, and (via the fallback
+            chain) builder work counters are recorded.  Worker
+            registries are merged in program order; every merge is
+            commutative, so the stable snapshot section is
+            byte-identical to a ``jobs=1`` run's.
 
     Returns:
         The aggregated :class:`BatchResult`.
@@ -234,9 +276,12 @@ def run_batch(blocks: Sequence[BasicBlock],
     chain_names = tuple(chain) if chain else DEFAULT_CHAIN
     if chain_factories is None:
         chain_factories = resolve_chain(chain_names, machine, cache=cache)
+    tracer = tracer or NULL_TRACER
     result = BatchResult(chain=tuple(name for name, _ in chain_factories))
     completed = journal.completed if journal is not None else {}
     todo = [b for b in blocks if b.instructions]
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
 
     pending: dict[int, "object"] = {}
     pool = None
@@ -247,46 +292,73 @@ def run_batch(blocks: Sequence[BasicBlock],
                 max_workers=min(jobs, len(fresh)),
                 initializer=_init_worker,
                 initargs=(machine, chain_names, budget, heuristic_driver,
-                          verify, cache is not None))
+                          verify, cache is not None, bool(tracer),
+                          metrics is not None))
             pending = {b.index: pool.submit(_run_block, b)
                        for b in fresh}
     try:
-        for block in todo:
-            outcome = completed.get(block.index)
-            counters: tuple[int, ...] | None = None
-            block_stats: BlockDagStats | None = None
-            if outcome is not None:
-                result.n_replayed += 1
-            elif block.index in pending:
-                record, counters, block_stats = \
-                    pending.pop(block.index).result()
-                outcome = BlockOutcome.from_record(record)
-                if journal is not None:
-                    journal.append(outcome)
-            else:
-                outcome = schedule_block_resilient(
-                    block, machine, chain_factories, budget=budget,
-                    priority=priority, heuristic_driver=heuristic_driver,
-                    verify=verify, cache=cache)
-                if journal is not None:
-                    journal.append(outcome)
-            result.outcomes.append(outcome)
-            result.n_blocks += 1
-            result.n_instructions += len(block.instructions)
-            result.total_makespan += outcome.makespan
-            result.total_original_makespan += outcome.original_makespan
-            if outcome.degraded:
-                result.degraded_makespan += outcome.makespan
-            if outcome.live and outcome.dag_stats_outcome is not None:
-                result.build_stats.merge(outcome.dag_stats_outcome.stats)
-                result.dag_stats.add_dag(outcome.dag_stats_outcome.dag)
-            elif counters is not None:
-                result.build_stats.merge(BuildStats(*counters))
-                if block_stats is not None:
-                    result.dag_stats.add(block_stats)
-            if on_block is not None:
-                on_block(outcome)
+        # The batch span's attrs deliberately exclude ``jobs``: the
+        # structural span tree must be identical across worker counts.
+        with tracer.span("batch", chain=",".join(result.chain),
+                         n_blocks=len(todo)):
+            for block in todo:
+                outcome = completed.get(block.index)
+                counters: tuple[int, ...] | None = None
+                block_stats: BlockDagStats | None = None
+                replayed = outcome is not None
+                if outcome is not None:
+                    result.n_replayed += 1
+                    tracer.event("replayed", index=block.index)
+                elif block.index in pending:
+                    record, counters, block_stats, obs = \
+                        pending.pop(block.index).result()
+                    outcome = BlockOutcome.from_record(record)
+                    if obs is not None:
+                        entries, dumped = obs
+                        if entries:
+                            tracer.absorb(entries,
+                                          parent=tracer.current_span)
+                        if dumped and metrics is not None:
+                            metrics.merge(dumped)
+                    if journal is not None:
+                        journal.append(outcome)
+                else:
+                    outcome = schedule_block_resilient(
+                        block, machine, chain_factories, budget=budget,
+                        priority=priority,
+                        heuristic_driver=heuristic_driver,
+                        verify=verify, cache=cache, tracer=tracer,
+                        metrics=metrics)
+                    if journal is not None:
+                        journal.append(outcome)
+                if metrics is not None:
+                    record_block_structure(
+                        metrics, len(block.instructions),
+                        len(block.unique_memory_exprs()))
+                    record_outcome(metrics, outcome, replayed=replayed)
+                result.outcomes.append(outcome)
+                result.n_blocks += 1
+                result.n_instructions += len(block.instructions)
+                result.total_makespan += outcome.makespan
+                result.total_original_makespan += outcome.original_makespan
+                if outcome.degraded:
+                    result.degraded_makespan += outcome.makespan
+                if outcome.live and outcome.dag_stats_outcome is not None:
+                    result.build_stats.merge(
+                        outcome.dag_stats_outcome.stats)
+                    result.dag_stats.add_dag(outcome.dag_stats_outcome.dag)
+                elif counters is not None:
+                    result.build_stats.merge(BuildStats(*counters))
+                    if block_stats is not None:
+                        result.dag_stats.add(block_stats)
+                if on_block is not None:
+                    on_block(outcome)
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+    if metrics is not None and cache is not None:
+        info = cache.info()
+        record_cache(metrics, cache.hits - hits0,
+                     cache.misses - misses0,
+                     entries=info["entries"], recipes=info["recipes"])
     return result

@@ -40,12 +40,15 @@ from repro.errors import ReproError
 from repro.heuristics.incremental import annotate, update_after_arc
 from repro.heuristics.passes import backward_pass, backward_pass_levels
 from repro.machine.model import MachineModel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.runner.batch import run_batch
 from repro.runner.fallback import BUILDER_CLASSES
 from repro.workloads.kernels import straightline_source
 
-#: schema version of the emitted JSON
-BENCH_VERSION = 1
+#: schema version of the emitted JSON (2: added batch.metrics -- the
+#: observability snapshot with cache hit/miss totals)
+BENCH_VERSION = 2
 
 #: kernels whose straight-line bodies make up the workload
 BENCH_KERNELS = ("daxpy", "livermore1", "dot_product", "superscalar_mix")
@@ -175,7 +178,8 @@ def _records(result) -> list[str]:
 
 
 def _bench_batch(blocks, machine: MachineModel, repeats: int,
-                 jobs: int) -> dict:
+                 jobs: int, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> dict:
     """The section 6 pipeline three ways; schedules must be identical."""
     baseline_s, baseline = _best_of(
         repeats, lambda: run_batch(blocks, machine, verify=True))
@@ -183,9 +187,14 @@ def _bench_batch(blocks, machine: MachineModel, repeats: int,
         repeats, lambda: run_batch(blocks, machine, verify=True,
                                    cache=PairwiseCache()))
     # One cache per run (cold start included) keeps the measurement
-    # honest; cache_info reports the last run's hit/miss split.
+    # honest; cache_info reports the last run's hit/miss split.  The
+    # probe run also carries the observability instruments (off the
+    # timed runs, so tracing cannot skew the measurements).
+    if metrics is None:
+        metrics = MetricsRegistry()
     probe = PairwiseCache()
-    run_for_info = run_batch(blocks, machine, verify=True, cache=probe)
+    run_for_info = run_batch(blocks, machine, verify=True, cache=probe,
+                             tracer=tracer, metrics=metrics)
     parallel_s = None
     parallel = None
     if jobs > 1:
@@ -221,12 +230,14 @@ def _bench_batch(blocks, machine: MachineModel, repeats: int,
         "reduction_fraction": round(1.0 - best_optimized / baseline_s, 4)
         if baseline_s > 0 else 0.0,
         "cache": probe.info(),
+        "metrics": metrics.snapshot(),
     }
 
 
 def run_bench(machine: MachineModel, machine_name: str = "generic",
               copies: int = 32, repeats: int = 3, jobs: int = 2,
-              quick: bool = False) -> dict:
+              quick: bool = False, tracer: Tracer | None = None,
+              metrics: MetricsRegistry | None = None) -> dict:
     """Run the full benchmark and return the JSON-ready document.
 
     Args:
@@ -237,6 +248,13 @@ def run_bench(machine: MachineModel, machine_name: str = "generic",
         jobs: worker processes for the parallel batch variant
             (``<= 1`` skips it).
         quick: shrink the workload and repeats for CI smoke runs.
+        tracer: optional :class:`~repro.obs.trace.Tracer`, attached to
+            the batch probe run only (never a timed run).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            for the probe run; a private one is created when omitted,
+            and its snapshot lands in ``doc["batch"]["metrics"]``
+            either way (this is where the cache hit/miss totals the
+            version-1 schema omitted now live).
     """
     if quick:
         copies = min(copies, 8)
@@ -255,7 +273,8 @@ def run_bench(machine: MachineModel, machine_name: str = "generic",
         },
         "builders": _bench_builders(blocks, machine, repeats),
         "heuristics": _bench_heuristics(blocks, machine, repeats),
-        "batch": _bench_batch(blocks, machine, repeats, jobs),
+        "batch": _bench_batch(blocks, machine, repeats, jobs,
+                              tracer=tracer, metrics=metrics),
         "timing_note": (
             "counters are exactly reproducible; *_s fields are wall "
             "times (minimum over repeats) and vary with the host"),

@@ -12,6 +12,7 @@ one was rejected.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -28,6 +29,12 @@ from repro.dag.builders.base import BuildOutcome, DagBuilder
 from repro.errors import BlockTimeout, ReproError
 from repro.heuristics.passes import backward_pass, backward_pass_levels
 from repro.machine.model import MachineModel
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_block_wall,
+    record_build,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pipeline import SECTION6_PRIORITY
 from repro.runner.watchdog import Budget, BudgetedStats, run_with_watchdog
 from repro.scheduling.list_scheduler import schedule_forward
@@ -136,6 +143,12 @@ class BlockOutcome:
         dag_stats_outcome: the accepted attempt's build outcome (DAG +
             work counters), present only on live, non-degraded
             outcomes.
+        wall_s: wall-clock seconds this block took end to end (all
+            attempts included), or None on outcomes replayed from a
+            journal written before the field existed.  Volatile: it is
+            journaled (``repro report`` reconstructs Table 5-style
+            timings from it) but excluded from the deterministic
+            record used for run-identity comparisons.
     """
 
     index: int
@@ -147,16 +160,28 @@ class BlockOutcome:
     attempts: list[Attempt] = field(default_factory=list)
     live: bool = True
     dag_stats_outcome: BuildOutcome | None = None
+    wall_s: float | None = None
 
     @property
     def degraded(self) -> bool:
         """True when no chain builder produced an accepted schedule."""
         return self.builder is None
 
-    def to_record(self) -> dict:
+    @property
+    def n_attempts(self) -> int:
+        """Builder attempts this block took (degradation included)."""
+        return len(self.attempts)
+
+    def to_record(self, volatile: bool = False) -> dict:
         """JSON-serializable journal line (statistics-bearing fields
-        only; the DAG itself is recomputable from the input)."""
-        return {
+        only; the DAG itself is recomputable from the input).
+
+        Args:
+            volatile: include host-dependent fields (``wall_s``).  The
+                journal passes True; determinism comparisons (bench,
+                jobs-N-vs-1) use the default deterministic record.
+        """
+        record = {
             "type": "block",
             "index": self.index,
             "label": self.label,
@@ -164,8 +189,12 @@ class BlockOutcome:
             "order": list(self.order),
             "makespan": self.makespan,
             "original_makespan": self.original_makespan,
+            "n_attempts": len(self.attempts),
             "attempts": [a.to_record() for a in self.attempts],
         }
+        if volatile:
+            record["wall_s"] = self.wall_s
+        return record
 
     @staticmethod
     def from_record(record: dict) -> "BlockOutcome":
@@ -178,7 +207,8 @@ class BlockOutcome:
             original_makespan=record["original_makespan"],
             attempts=[Attempt.from_record(a)
                       for a in record.get("attempts", [])],
-            live=False)
+            live=False,
+            wall_s=record.get("wall_s"))
 
 
 def schedule_block_resilient(
@@ -189,7 +219,9 @@ def schedule_block_resilient(
         priority: Callable | None = None,
         heuristic_driver: str = "reverse_walk",
         verify: bool = False,
-        cache: PairwiseCache | None = None) -> BlockOutcome:
+        cache: PairwiseCache | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None) -> BlockOutcome:
     """Schedule one block, falling back through the builder chain.
 
     Each chain entry gets a full attempt -- construction (under the
@@ -212,75 +244,145 @@ def schedule_block_resilient(
         cache: optional pairwise-dependence cache shared across
             attempts (and with the verifier), so a fallback retry
             replays the failed builder's dependence work.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; records a
+            ``block`` span with one ``attempt`` span (and
+            build/heuristics/schedule stage spans) per chain entry,
+            plus cache hit/miss, budget-trip, fallback, and
+            degradation events.  Observation only -- outcomes are
+            byte-identical with tracing on or off.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            records the accepted attempt's Table 4/5 work counters
+            (per builder) and the block's wall-clock spend.  Outcome-
+            level aggregates (attempt/degradation counts, makespans)
+            are recorded by :func:`repro.runner.batch.run_batch`,
+            which also covers journal-replayed blocks.
 
     Returns:
         The accepted or degraded :class:`BlockOutcome`.
     """
     if priority is None:
         priority = SECTION6_PRIORITY
+    tracer = tracer or NULL_TRACER
     driver = (backward_pass_levels if heuristic_driver == "levels"
               else backward_pass)
     label = block.label if block.label else str(block.index)
     attempts: list[Attempt] = []
+    t_start = time.perf_counter()
 
     def attempt(name: str, factory: Callable[[], DagBuilder],
-                stats: BudgetedStats) -> tuple:
-        stage = "build"
-        try:
-            outcome = factory().build(block, stats=stats)
-            stage = "heuristics"
-            driver(outcome.dag, require_est=False)
-            stage = "schedule"
-            sched = schedule_forward(outcome.dag, machine, priority)
-            verify_order(sched.order, outcome.dag)
-            original = simulate(list(outcome.dag.real_nodes()), machine)
-            if verify:
-                stage = "verify"
-                verify_schedule(
-                    block, sched.order, machine,
-                    claimed_issue_times=sched.timing.issue_times,
-                    approach=name, cache=cache).raise_if_failed()
-            return outcome, sched, original
-        except BlockTimeout:
-            raise
-        except ReproError as exc:
-            exc.stage = stage  # type: ignore[attr-defined]
-            raise
+                stats: BudgetedStats, atracer: Tracer) -> tuple:
+        with atracer.span("attempt", builder=name) as span_attrs:
+            stage = "build"
+            try:
+                builder = factory()
+                builder_cache = getattr(builder, "cache", None)
+                hits_before = (builder_cache.hits
+                               if builder_cache is not None else None)
+                with atracer.span("build", builder=name):
+                    outcome = builder.build(block, stats=stats)
+                if hits_before is not None:
+                    atracer.event(
+                        "cache-hit" if builder_cache.hits > hits_before
+                        else "cache-miss", builder=name)
+                stage = "heuristics"
+                with atracer.span("heuristics",
+                                  driver=heuristic_driver):
+                    driver(outcome.dag, require_est=False)
+                stage = "schedule"
+                with atracer.span("schedule"):
+                    sched = schedule_forward(outcome.dag, machine,
+                                             priority)
+                    verify_order(sched.order, outcome.dag)
+                    original = simulate(
+                        list(outcome.dag.real_nodes()), machine)
+                if verify:
+                    stage = "verify"
+                    verify_schedule(
+                        block, sched.order, machine,
+                        claimed_issue_times=sched.timing.issue_times,
+                        approach=name, cache=cache, tracer=atracer,
+                        metrics=metrics).raise_if_failed()
+                span_attrs["stage"] = "ok"
+                return builder, outcome, sched, original
+            except BlockTimeout:
+                span_attrs["stage"] = "timeout"
+                raise
+            except ReproError as exc:
+                span_attrs["stage"] = stage
+                exc.stage = stage  # type: ignore[attr-defined]
+                raise
 
-    for name, factory in chain:
-        # A fresh budgeted counter per attempt: a failed attempt's
-        # spent work must neither count against the next builder's
-        # budget (double-charging) nor disappear -- it is snapshotted
-        # onto the Attempt record below.
-        stats = BudgetedStats(
-            budget.max_work if budget is not None else None, block=label)
-        try:
-            outcome, sched, original = run_with_watchdog(
-                lambda: attempt(name, factory, stats), budget,
+    def finish(outcome: BlockOutcome) -> BlockOutcome:
+        outcome.wall_s = time.perf_counter() - t_start
+        record_block_wall(metrics, outcome.wall_s)
+        return outcome
+
+    with tracer.span("block", index=block.index, label=block.label,
+                     size=len(block.instructions)) as block_attrs:
+        for name, factory in chain:
+            # A fresh budgeted counter per attempt: a failed attempt's
+            # spent work must neither count against the next builder's
+            # budget (double-charging) nor disappear -- it is
+            # snapshotted onto the Attempt record below.
+            stats = BudgetedStats(
+                budget.max_work if budget is not None else None,
                 block=label)
-        except BlockTimeout as exc:
-            attempts.append(Attempt(name, "timeout", str(exc),
-                                    work=stats.work))
-            continue
-        except ReproError as exc:
-            attempts.append(Attempt(
-                name, getattr(exc, "stage", "build"), str(exc),
-                work=stats.work))
-            continue
-        attempts.append(Attempt(name, "ok", work=stats.work))
-        return BlockOutcome(
-            index=block.index, label=block.label, builder=name,
-            order=[node.id for node in sched.order],
-            makespan=sched.timing.makespan,
-            original_makespan=original.makespan,
-            attempts=attempts, dag_stats_outcome=outcome)
+            # Under a wall-clock budget the attempt runs on a watchdog
+            # thread that may outlive its deadline; give it a private
+            # tracer and absorb only completed attempts, so an
+            # abandoned thread can never corrupt the main trace.
+            threaded = (budget is not None
+                        and budget.wall_clock is not None)
+            atracer = (Tracer(worker=tracer.worker)
+                       if tracer and threaded else tracer)
+            try:
+                try:
+                    builder, outcome, sched, original = \
+                        run_with_watchdog(
+                            lambda: attempt(name, factory, stats,
+                                            atracer),
+                            budget, block=label)
+                finally:
+                    if atracer is not tracer and not isinstance(
+                            atracer, NullTracer):
+                        tracer.absorb(list(atracer.entries),
+                                      parent=tracer.current_span)
+            except BlockTimeout as exc:
+                tracer.event("budget-trip", builder=name,
+                             budget=getattr(exc, "budget", None),
+                             limit=getattr(exc, "limit", None))
+                attempts.append(Attempt(name, "timeout", str(exc),
+                                        work=stats.work))
+                continue
+            except ReproError as exc:
+                tracer.event("fallback", builder=name,
+                             stage=getattr(exc, "stage", "build"))
+                attempts.append(Attempt(
+                    name, getattr(exc, "stage", "build"), str(exc),
+                    work=stats.work))
+                continue
+            attempts.append(Attempt(name, "ok", work=stats.work))
+            rmap = getattr(builder, "reachability", None)
+            record_build(metrics, name, stats,
+                         rmap.words_touched if rmap is not None else 0)
+            block_attrs.update(builder=name, degraded=False,
+                               makespan=sched.timing.makespan)
+            return finish(BlockOutcome(
+                index=block.index, label=block.label, builder=name,
+                order=[node.id for node in sched.order],
+                makespan=sched.timing.makespan,
+                original_makespan=original.makespan,
+                attempts=attempts, dag_stats_outcome=outcome))
 
-    # Terminal degradation: the original order is always a correct
-    # schedule of itself.
-    fallback = degraded_timing(block, machine)
-    attempts.append(Attempt("original-order", "ok"))
-    return BlockOutcome(
-        index=block.index, label=block.label, builder=None,
-        order=list(range(len(block.instructions))),
-        makespan=fallback, original_makespan=fallback,
-        attempts=attempts)
+        # Terminal degradation: the original order is always a correct
+        # schedule of itself.
+        fallback = degraded_timing(block, machine)
+        attempts.append(Attempt("original-order", "ok"))
+        tracer.event("degraded", index=block.index)
+        block_attrs.update(builder=None, degraded=True,
+                           makespan=fallback)
+        return finish(BlockOutcome(
+            index=block.index, label=block.label, builder=None,
+            order=list(range(len(block.instructions))),
+            makespan=fallback, original_makespan=fallback,
+            attempts=attempts))

@@ -159,7 +159,8 @@ class RunJournal:
 
     def append(self, outcome: BlockOutcome) -> None:
         """Record one completed block (flushed to disk immediately)."""
-        self._handle.write(json.dumps(outcome.to_record()) + "\n")
+        self._handle.write(
+            json.dumps(outcome.to_record(volatile=True)) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self.completed[outcome.index] = outcome

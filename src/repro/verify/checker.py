@@ -37,6 +37,8 @@ from repro.dag.graph import Dag, DagNode
 from repro.errors import BuilderMismatchError, ReproError, VerificationError
 from repro.interp import MachineState, UnsupportedInstruction, execute
 from repro.isa.instruction import Instruction
+from repro.obs.metrics import MetricsRegistry, record_verify_check
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.isa.memory import AliasPolicy
 from repro.isa.resources import ResourceKind, defs_and_uses
 from repro.machine.model import MachineModel
@@ -175,6 +177,8 @@ def verify_schedule(block: BasicBlock,
                     alias_policy: AliasPolicy | None = None,
                     approach: str = "",
                     cache: PairwiseCache | None = None,
+                    tracer: Tracer | None = None,
+                    metrics: MetricsRegistry | None = None,
                     ) -> VerificationReport:
     """Independently verify a schedule of ``block``.
 
@@ -209,12 +213,35 @@ def verify_schedule(block: BasicBlock,
             the cached recipe was itself recorded from a reference
             (compare-against-all) build, never from the builder under
             test.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; the whole
+            verification runs inside a ``verify`` span.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            each check's pass/fail/skip outcome is counted.
 
     Returns:
         A :class:`VerificationReport`; call ``raise_if_failed()`` to
         convert failures into a
         :class:`~repro.errors.VerificationError`.
     """
+    tracer = tracer or NULL_TRACER
+    label = block.label if block.label else str(block.index)
+    with tracer.span("verify", block=label, approach=approach):
+        report = _verify_schedule(
+            block, order, machine, claimed_issue_times, check_semantics,
+            alias_policy, approach, cache)
+    for check in report.checks:
+        record_verify_check(metrics, check.name, check.passed)
+    return report
+
+
+def _verify_schedule(block: BasicBlock,
+                     order: Sequence[DagNode | Instruction],
+                     machine: MachineModel,
+                     claimed_issue_times: Sequence[int] | None,
+                     check_semantics: bool,
+                     alias_policy: AliasPolicy | None,
+                     approach: str,
+                     cache: PairwiseCache | None) -> VerificationReport:
     label = block.label if block.label else str(block.index)
     report = VerificationReport(block=label, approach=approach)
     scheduled = _schedule_instructions(order)

@@ -1,0 +1,281 @@
+"""Golden tests for ``repro report`` (journal + metrics -> tables)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    load_journal_blocks,
+    render_markdown,
+    report_from,
+)
+from repro.obs.metrics import (
+    record_block_structure,
+    record_build,
+    record_cache,
+    record_outcome,
+)
+
+
+class _Stats:
+    def __init__(self, comparisons=0, table_probes=0, alias_checks=0,
+                 arcs_added=0, arcs_merged=0, arcs_suppressed=0,
+                 bitmap_ops=0):
+        self.comparisons = comparisons
+        self.table_probes = table_probes
+        self.alias_checks = alias_checks
+        self.arcs_added = arcs_added
+        self.arcs_merged = arcs_merged
+        self.arcs_suppressed = arcs_suppressed
+        self.bitmap_ops = bitmap_ops
+
+
+class _Attempt:
+    def __init__(self, builder, stage, work=None):
+        self.builder, self.stage, self.work = builder, stage, work
+
+
+class _Outcome:
+    def __init__(self, makespan, original, attempts, degraded=False):
+        self.makespan = makespan
+        self.original_makespan = original
+        self.attempts = attempts
+        self.degraded = degraded
+
+
+def fixture_snapshot():
+    """A handcrafted two-block run: one clean, one degraded."""
+    reg = MetricsRegistry()
+    record_block_structure(reg, 10, 3)
+    record_block_structure(reg, 4, 1)
+    record_build(reg, "n2",
+                 _Stats(comparisons=45, table_probes=90,
+                        alias_checks=3, arcs_added=12, arcs_merged=2,
+                        arcs_suppressed=1, bitmap_ops=7),
+                 words_touched=5)
+    record_outcome(reg, _Outcome(
+        8, 14, [_Attempt("n2", "ok", work=145)]))
+    record_outcome(reg, _Outcome(
+        6, 6, [_Attempt("n2", "failed", work=20),
+               _Attempt("table-forward", "failed", work=30)],
+        degraded=True))
+    record_cache(reg, 3, 1, entries=2, recipes=4)
+    return reg.snapshot()
+
+
+def fixture_journal(path):
+    """A matching journal with fixed wall_s and one degraded block."""
+    records = [
+        {"type": "header", "fingerprint": "test"},
+        {"type": "block", "index": 0, "label": "clean", "builder": "n2",
+         "makespan": 8, "original_makespan": 14, "degraded": False,
+         "wall_s": 0.25, "n_attempts": 1,
+         "order": list(range(10)),
+         "attempts": [{"builder": "n2", "stage": "ok",
+                       "error": None}]},
+        {"type": "block", "index": 1, "label": "stuck",
+         "builder": None, "makespan": 6, "original_makespan": 6,
+         "degraded": True, "wall_s": 0.5, "n_attempts": 2,
+         "order": list(range(4)),
+         "attempts": [
+             {"builder": "n2", "stage": "failed",
+              "error": "cycle detected"},
+             {"builder": "table-forward", "stage": "failed",
+              "error": "cycle detected"}]},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return load_journal_blocks(str(path))
+
+
+GOLDEN_MARKDOWN = """\
+# Scheduling run report
+
+Sources: journal, metrics
+
+## Table 3 — benchmark structure
+
+| quantity | value |
+| --- | --- |
+| blocks | 2 |
+| insts | 14 |
+| insts/bb max | 10 |
+| insts/bb avg | 7 |
+| memexpr/bb max | 3 |
+| memexpr/bb avg | 2 |
+
+## Table 4 — DAG construction work
+
+| builder | blocks | comparisons | alias checks | arcs added | arcs merged | arcs suppressed |
+| --- | --- | --- | --- | --- | --- | --- |
+| n2 | 1 | 45 | 3 | 12 | 2 | 1 |
+
+## Table 5 — table building and run times
+
+| builder | table probes | bitmap ops | bitmap words | run time (s) | untimed blocks |
+| --- | --- | --- | --- | --- | --- |
+| (degraded) | 0 | 0 | 0 | 0.5 | 0 |
+| n2 | 90 | 7 | 5 | 0.25 | 0 |
+
+## Fallback and schedule quality
+
+| quantity | value |
+| --- | --- |
+| degraded blocks | 1 |
+| replayed blocks | 0 |
+| wasted work | 20 |
+| total makespan | 14 |
+| total original makespan | 20 |
+| speedup | 1.43 |
+
+### Attempts by builder and stage
+
+| series | count |
+| --- | --- |
+| builder=n2,stage=failed | 1 |
+| builder=n2,stage=ok | 1 |
+| builder=table-forward,stage=failed | 1 |
+
+## Degraded blocks
+
+- block 1 (stuck):
+  - n2 -> failed: cycle detected
+  - table-forward -> failed: cycle detected
+
+## Pairwise cache
+
+| quantity | value |
+| --- | --- |
+| hits | 3 |
+| misses | 1 |
+| hit rate | 0.75 |
+| entries | 2 |
+| recipes | 4 |
+"""
+
+
+class TestReportFrom:
+    def test_needs_at_least_one_source(self):
+        with pytest.raises(ReproError):
+            report_from()
+
+    def test_full_document(self, tmp_path):
+        blocks = fixture_journal(tmp_path / "run.jsonl")
+        report = report_from(blocks=blocks,
+                             snapshot=fixture_snapshot())
+        assert report["table3"]["blocks"] == 2
+        assert report["table3"]["insts"] == 14
+        assert report["table4"][0]["comparisons"] == 45
+        t5 = {row["builder"]: row for row in report["table5"]}
+        assert t5["n2"]["run time (s)"] == 0.25
+        assert t5["(degraded)"]["run time (s)"] == 0.5
+        assert report["fallback"]["degraded blocks"] == 1
+        assert report["fallback"]["wasted work"] == 20
+        assert report["degradations"][0]["label"] == "stuck"
+        assert report["cache"]["hit rate"] == 0.75
+        # the document is JSON-serializable as-is
+        json.dumps(report)
+
+    def test_journal_only_fallbacks(self, tmp_path):
+        blocks = fixture_journal(tmp_path / "run.jsonl")
+        report = report_from(blocks=blocks)
+        assert report["table3"]["blocks"] == 2
+        assert report["table3"]["insts/bb max"] == 10
+        assert report["table3"]["memexpr/bb max"] is None
+        assert report["fallback"]["total makespan"] == 14
+        assert report["fallback"]["degraded blocks"] == 1
+        assert report["fallback"]["attempts"][
+            "builder=n2,stage=ok"] == 1
+        assert report["table4"] == []
+        assert report["cache"] is None
+
+    def test_metrics_only(self):
+        report = report_from(snapshot=fixture_snapshot())
+        assert report["table3"]["blocks"] == 2
+        assert report["table5"][0]["builder"] == "n2"
+        assert report["table5"][0]["run time (s)"] is None
+        assert report["degradations"] == []
+
+    def test_untimed_blocks_counted_for_old_journals(self, tmp_path):
+        blocks = fixture_journal(tmp_path / "run.jsonl")
+        for record in blocks:
+            record.pop("wall_s")
+        report = report_from(blocks=blocks)
+        t5 = {row["builder"]: row for row in report["table5"]}
+        assert t5["n2"]["untimed blocks"] == 1
+        assert t5["n2"]["run time (s)"] is None
+
+
+class TestRenderMarkdown:
+    def test_golden_full_report(self, tmp_path):
+        blocks = fixture_journal(tmp_path / "run.jsonl")
+        report = report_from(blocks=blocks,
+                             snapshot=fixture_snapshot())
+        assert render_markdown(report) == GOLDEN_MARKDOWN
+
+    def test_empty_sections_render_placeholders(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(json.dumps({"type": "header"}) + "\n")
+        report = report_from(blocks=load_journal_blocks(str(path)))
+        text = render_markdown(report)
+        assert "(no data)" in text
+        assert "(none)" in text
+        assert "(no cache data)" in text
+
+
+class TestLoadJournalBlocks:
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "block"}\n')
+        with pytest.raises(ReproError, match="header"):
+            load_journal_blocks(str(path))
+
+    def test_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(json.dumps({"type": "header"}) + "\n"
+                        + json.dumps({"type": "block", "index": 0})
+                        + "\n" + '{"type": "blo')
+        assert len(load_journal_blocks(str(path))) == 1
+
+    def test_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(json.dumps({"type": "header"}) + "\n"
+                        + "not json\n"
+                        + json.dumps({"type": "block", "index": 0})
+                        + "\n")
+        with pytest.raises(ReproError, match="corrupt"):
+            load_journal_blocks(str(path))
+
+
+class TestCLIReport:
+    def test_live_report_from_schedule_run(self, tmp_path):
+        env = {"PYTHONPATH": "src"}
+        journal = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "schedule",
+             "examples/daxpy.s", "--verify",
+             "--journal", str(journal), "--metrics", str(metrics)],
+            capture_output=True, text=True, check=True, env=env)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "report",
+             "--journal", str(journal), "--metrics", str(metrics),
+             "--format", "both"],
+            capture_output=True, text=True, check=True, env=env)
+        assert "## Table 3" in result.stdout
+        assert "## Table 4" in result.stdout
+        assert "## Table 5" in result.stdout
+        # --format both appends the JSON document after the Markdown
+        payload = result.stdout[result.stdout.index("{"):]
+        doc = json.loads(payload)
+        assert doc["table3"]["blocks"] >= 1
+
+    def test_report_without_sources_fails(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "report"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src"})
+        assert result.returncode != 0

@@ -1,0 +1,209 @@
+"""Tests for the structured tracer and its exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    span_tree,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.trace import write_trace
+
+
+def fake_clock():
+    """A deterministic strictly increasing clock."""
+    state = {"t": 0.0}
+
+    def tick() -> float:
+        state["t"] += 0.5
+        return state["t"]
+
+    return tick
+
+
+class TestTracer:
+    def test_span_nesting_and_parent_ids(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("outer", kind="a"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        spans = {e["name"]: e for e in tracer.entries}
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["inner2"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["attrs"] == {"kind": "a"}
+        assert all(e["t1"] >= e["t0"] for e in tracer.entries)
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [e["id"] for e in tracer.entries]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_mutable_attrs_recorded_at_close(self):
+        tracer = Tracer()
+        with tracer.span("work") as attrs:
+            attrs["outcome"] = "ok"
+        assert tracer.entries[0]["attrs"] == {"outcome": "ok"}
+
+    def test_events_attach_to_open_span(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        with tracer.span("s"):
+            tracer.event("inside", n=1)
+        events = [e for e in tracer.entries if e["type"] == "event"]
+        assert events[0]["span"] is None
+        assert events[1]["span"] == tracer.entries[-1]["id"]
+        assert events[1]["attrs"] == {"n": 1}
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.entries[0]["name"] == "boom"
+        assert tracer.current_span is None
+
+    def test_worker_stamped_on_entries(self):
+        tracer = Tracer(worker=1234)
+        with tracer.span("s"):
+            tracer.event("e")
+        assert all(e["worker"] == 1234 for e in tracer.entries)
+
+
+class TestNullTracer:
+    def test_falsy_and_records_nothing(self):
+        assert not NULL_TRACER
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("s", a=1):
+            NULL_TRACER.event("e")
+        NULL_TRACER.absorb([{"type": "span", "id": 1, "parent": None,
+                             "name": "x", "t0": 0, "t1": 1,
+                             "worker": "w", "attrs": {}}])
+        assert NULL_TRACER.entries == ()
+
+    def test_real_tracer_truthy(self):
+        assert Tracer()
+
+
+class TestAbsorb:
+    def test_absorb_preserves_hierarchy_and_remaps_ids(self):
+        worker = Tracer(worker="w1")
+        with worker.span("block", index=0):
+            with worker.span("build"):
+                worker.event("cache-miss")
+        parent = Tracer()
+        with parent.span("batch"):
+            batch_id = parent.current_span
+            parent.absorb(worker.entries, parent=batch_id)
+        tree = span_tree(parent.entries)
+        assert [t["name"] for t in tree] == ["batch"]
+        block = tree[0]["children"][0]
+        assert block["name"] == "block"
+        assert block["children"][0]["name"] == "build"
+        # worker identity survives the merge
+        absorbed = [e for e in parent.entries
+                    if e.get("worker") == "w1"]
+        assert len(absorbed) == 3
+        # and the event follows its (remapped) span
+        event = next(e for e in parent.entries
+                     if e["type"] == "event")
+        build = next(e for e in parent.entries
+                     if e["type"] == "span" and e["name"] == "build")
+        assert event["span"] == build["id"]
+
+    def test_absorb_matches_serial_tree(self):
+        # One tracer doing A then B serially...
+        serial = Tracer()
+        with serial.span("batch"):
+            for name in ("a", "b"):
+                with serial.span("block", label=name):
+                    with serial.span("build"):
+                        pass
+        # ...vs two worker tracers absorbed in the same order.
+        parent = Tracer()
+        with parent.span("batch"):
+            for name in ("a", "b"):
+                w = Tracer(worker=name)
+                with w.span("block", label=name):
+                    with w.span("build"):
+                        pass
+                parent.absorb(w.entries, parent=parent.current_span)
+        assert span_tree(serial.entries) == span_tree(parent.entries)
+
+    def test_absorb_without_parent_keeps_roots(self):
+        worker = Tracer()
+        with worker.span("root"):
+            pass
+        parent = Tracer()
+        parent.absorb(worker.entries)
+        assert span_tree(parent.entries)[0]["name"] == "root"
+
+
+class TestSpanTree:
+    def test_drops_timestamps_ids_and_events(self):
+        tracer = Tracer()
+        with tracer.span("s", x=1):
+            tracer.event("noise")
+        tree = span_tree(tracer.entries)
+        assert tree == [{"name": "s", "attrs": {"x": 1},
+                         "children": []}]
+
+
+class TestExporters:
+    def entries(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner", builder="n2"):
+                tracer.event("cache-hit", key=("a", "b"))
+        return tracer.entries
+
+    def test_jsonl_one_entry_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(self.entries(), str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line) for line in lines)
+
+    def test_chrome_trace_loadable_shape(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self.entries(), str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        phases = sorted(e["ph"] for e in events)
+        assert phases == ["M", "X", "X", "i"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] > 0 for e in complete)
+        meta = next(e for e in events if e["ph"] == "M")
+        assert meta["name"] == "thread_name"
+        # non-primitive attrs are stringified, never crash the export
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["args"]["key"] == "('a', 'b')"
+
+    def test_chrome_trace_one_tid_per_worker(self, tmp_path):
+        a, b = Tracer(worker="w1"), Tracer(worker="w2")
+        for t in (a, b):
+            with t.span("s"):
+                pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(list(a.entries) + list(b.entries), str(path))
+        doc = json.loads(path.read_text())
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 2
+
+    def test_write_trace_dispatches_on_suffix(self, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        write_trace(self.entries(), str(jsonl))
+        write_trace(self.entries(), str(chrome))
+        assert len(jsonl.read_text().splitlines()) == 3
+        assert "traceEvents" in json.loads(chrome.read_text())
