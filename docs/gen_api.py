@@ -54,8 +54,9 @@ MODULES = [
     "repro.interp",
     "repro.verify.checker", "repro.verify.faults",
     "repro.runner.watchdog", "repro.runner.fallback",
-    "repro.runner.journal", "repro.runner.batch", "repro.runner.fuzz",
-    "repro.runner.bench",
+    "repro.runner.journal", "repro.runner.batch",
+    "repro.runner.supervisor", "repro.runner.chaos",
+    "repro.runner.fuzz", "repro.runner.bench",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.report",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
@@ -142,7 +143,8 @@ def main() -> None:
         "[schedule verification](verification.md), "
         "[resilient runner](runner.md), "
         "[performance layer](performance.md), "
-        "[observability](observability.md).",
+        "[observability](observability.md), "
+        "[resilience](resilience.md).",
         "",
     ]
     for module_name in MODULES:

@@ -28,9 +28,14 @@ Subcommands:
 * ``fuzz`` -- differential fuzzing of the five builders on seeded
   random and mutated blocks; disagreements are minimized into
   reproducer files (exit 1 on any disagreement).
+* ``chaos`` -- fault-injection soak of the supervised worker pool:
+  kill/delay/corrupt workers at seeded rates and assert every healthy
+  block's outcome is byte-identical to a clean serial run, poisoned
+  blocks are quarantined with reproducers, and every block is
+  accounted for (exit 1 on any violation).
 * ``report`` -- render paper-style Tables 3/4/5 plus fallback, cache,
-  and degradation summaries from a run journal and/or a metrics
-  snapshot (see :mod:`repro.obs`).
+  resilience, and degradation summaries from a run journal and/or a
+  metrics snapshot (see :mod:`repro.obs`).
 
 ``schedule``, ``verify``, and ``bench`` accept ``--trace FILE`` and
 ``--metrics FILE``; both are observation-only and leave schedules,
@@ -45,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from typing import Callable
 
@@ -64,7 +70,7 @@ from repro.dag.builders import (
     TableBackwardBuilder,
     TableForwardBuilder,
 )
-from repro.errors import ReproError
+from repro.errors import BatchInterrupted, ReproError
 from repro.heuristics.passes import backward_pass
 from repro.machine import (
     generic_risc,
@@ -87,8 +93,11 @@ from repro.pipeline import SECTION6_PRIORITY
 from repro.runner import (
     DEFAULT_CHAIN,
     Budget,
+    ChaosConfig,
+    RetryPolicy,
     RunJournal,
     run_batch,
+    run_chaos,
     run_fingerprint,
 )
 from repro.runner import fuzz as run_fuzz
@@ -259,14 +268,41 @@ def _schedule_resilient(args: argparse.Namespace, source: str, machine,
 
     jobs = getattr(args, "jobs", 1) or 1
     cache = None if getattr(args, "no_cache", False) else PairwiseCache()
+    retry = None
+    if getattr(args, "retries", None) is not None:
+        retry = RetryPolicy(max_retries=args.retries)
+    # SIGTERM gets the same graceful path as Ctrl-C: run_batch turns
+    # the KeyboardInterrupt into a typed BatchInterrupted after the
+    # pool is down and the journal is flushed.
+    def to_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
     try:
-        result = run_batch(blocks, machine, chain=chain, budget=budget,
-                           verify=args.verify, journal=journal,
-                           on_block=emit, jobs=jobs, cache=cache,
-                           tracer=tracer, metrics=metrics)
+        previous_sigterm = signal.signal(signal.SIGTERM, to_interrupt)
+    except ValueError:  # not the main thread (embedded use)
+        previous_sigterm = None
+    try:
+        result = run_batch(
+            blocks, machine, chain=chain, budget=budget,
+            verify=args.verify, journal=journal,
+            on_block=emit, jobs=jobs, cache=cache,
+            tracer=tracer, metrics=metrics,
+            supervise=not getattr(args, "no_supervise", False),
+            retry=retry,
+            quarantine_dir=getattr(args, "quarantine_dir", None))
+    except BatchInterrupted as exc:
+        out(f"! interrupted: {exc}")
+        return 130
     finally:
         if journal is not None:
             journal.close()
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+    quarantined = [o for o in result.outcomes if o.quarantined]
+    if quarantined:
+        out(f"! quarantined {len(quarantined)} block(s): "
+            + ", ".join(str(o.index) for o in quarantined))
     out(f"! total: {result.total_original_makespan} -> "
         f"{result.total_makespan} cycles "
         f"({result.total_original_makespan / max(1, result.total_makespan):.2f}x)")
@@ -287,6 +323,43 @@ def _cmd_fuzz(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"{result.n_blocks} blocks checked, "
         f"{len(result.failures)} disagreements")
     return 0 if result.passed else 1
+
+
+def _cmd_chaos(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    machine = MACHINES[args.machine]()
+    copies = 1 if args.quick else args.copies
+    poison = frozenset(range(args.poison))
+    config = ChaosConfig(
+        seed=args.seed, exit_rate=args.exit_rate,
+        kill_rate=args.kill_rate, delay_rate=args.delay_rate,
+        corrupt_rate=args.corrupt_rate, poison=poison)
+    tracer, registry = _obs_from_args(args)
+    report = run_chaos(
+        machine, config, copies=copies, jobs=args.jobs,
+        expect_quarantined=poison,
+        quarantine_dir=args.quarantine_dir, metrics=registry)
+    out(f"! chaos: seed {args.seed}, {report.n_blocks} blocks, "
+        f"{args.jobs} workers, rates exit={args.exit_rate} "
+        f"kill={args.kill_rate} delay={args.delay_rate} "
+        f"corrupt={args.corrupt_rate}")
+    kinds = ", ".join(f"{kind}: {count}" for kind, count
+                      in report.crash_kinds.items()) or "none"
+    out(f"! crashes: {report.crashes} ({kinds}), "
+        f"restarts: {report.restarts}, retries: {report.retries}")
+    out(f"! accounting: {report.n_scheduled} scheduled + "
+        f"{report.n_degraded} degraded + "
+        f"{report.n_quarantined} quarantined = "
+        f"{report.n_scheduled + report.n_degraded + report.n_quarantined}"
+        f" of {report.n_blocks}")
+    if report.quarantined_indices:
+        out(f"! quarantined blocks: "
+            + ", ".join(str(i) for i in report.quarantined_indices))
+    for mismatch in report.mismatches:
+        out(f"! MISMATCH: {mismatch}")
+    out(f"! healthy blocks identical to clean serial run: "
+        f"{not report.mismatches}")
+    _write_obs(args, tracer, registry)
+    return 0 if report.ok else 1
 
 
 def _cmd_dag(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -488,6 +561,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the section 6 "
                                "pipeline (outcomes and journal stay "
                                "identical to --jobs 1)")
+    schedule.add_argument("--no-supervise", action="store_true",
+                          help="use the legacy unsupervised process "
+                               "pool with --jobs N (a worker death "
+                               "then aborts the batch instead of "
+                               "retrying/quarantining the block)")
+    schedule.add_argument("--retries", type=int, default=None,
+                          metavar="N",
+                          help="crash retries per block before "
+                               "quarantine (supervised pool; "
+                               "default 3)")
+    schedule.add_argument("--quarantine-dir", default=None,
+                          metavar="DIR",
+                          help="write a minimized reproducer .s file "
+                               "here for every quarantined block")
     schedule.add_argument("--no-cache", action="store_true",
                           help="disable the pairwise-dependence cache "
                                "(schedules are identical either way; "
@@ -593,6 +680,38 @@ def build_parser() -> argparse.ArgumentParser:
                            "differential set (self-test: must be "
                            "detected)")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    chaos = sub.add_parser("chaos", parents=[obs_flags],
+                           help="fault-injection soak of the "
+                                "supervised pool: crash/delay/corrupt "
+                                "workers at seeded rates and assert "
+                                "healthy blocks match a clean serial "
+                                "run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="injection seed (fixes every fault)")
+    chaos.add_argument("--machine", choices=sorted(MACHINES),
+                       default="generic", help="timing model")
+    chaos.add_argument("--copies", type=int, default=4,
+                       help="bench-workload size multiplier")
+    chaos.add_argument("--jobs", type=int, default=4, metavar="N",
+                       help="supervised workers (>= 2)")
+    chaos.add_argument("--exit-rate", type=float, default=0.1,
+                       help="probability a dispatch dies via os._exit")
+    chaos.add_argument("--kill-rate", type=float, default=0.1,
+                       help="probability a dispatch dies via SIGKILL")
+    chaos.add_argument("--delay-rate", type=float, default=0.05,
+                       help="probability a dispatch sleeps first")
+    chaos.add_argument("--corrupt-rate", type=float, default=0.05,
+                       help="probability a task payload is corrupted")
+    chaos.add_argument("--poison", type=int, default=1, metavar="N",
+                       help="blocks that crash on every attempt "
+                            "(must end up quarantined; 0 disables)")
+    chaos.add_argument("--quarantine-dir", default="chaos-quarantine",
+                       metavar="DIR",
+                       help="directory for quarantine reproducers")
+    chaos.add_argument("--quick", action="store_true",
+                       help="small workload (CI smoke mode)")
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

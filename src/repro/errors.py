@@ -133,6 +133,30 @@ class BlockTimeout(ReproError):
         super().__init__(message)
 
 
+class BatchInterrupted(ReproError):
+    """Raised when a batch run is stopped by SIGINT/SIGTERM.
+
+    The runner converts the interrupt into this typed error *after*
+    shutting down its worker pool and leaving the checkpoint journal
+    flushed and fsynced, so the run is always resumable.  The CLI maps
+    it to exit status 130 (the shell convention for SIGINT), distinct
+    from a hard failure.
+
+    Attributes:
+        journal_path: path of the checkpoint journal, if one was open.
+        n_completed: blocks whose outcomes were recorded before the
+            interrupt.
+        n_total: blocks the run was asked to process.
+    """
+
+    def __init__(self, message: str, journal_path: str | None = None,
+                 n_completed: int = 0, n_total: int = 0) -> None:
+        self.journal_path = journal_path
+        self.n_completed = n_completed
+        self.n_total = n_total
+        super().__init__(message)
+
+
 class JournalError(ReproError):
     """Raised when a run journal cannot be used.
 

@@ -13,9 +13,11 @@ sections:
   byte-identical between ``--jobs 1`` and ``--jobs N`` runs (and with
   the pairwise cache on or off); CI enforces it.
 * **volatile** -- quantities that legitimately depend on the execution
-  configuration: wall-clock seconds and pairwise-cache hit/miss
-  counts (each parallel worker warms its own cache, so hit totals
-  shift with the worker count).
+  configuration: wall-clock seconds, pairwise-cache hit/miss counts
+  (each parallel worker warms its own cache, so hit totals shift with
+  the worker count), and the supervised pool's resilience counters
+  (crashes, retries, quarantines, breaker trips -- environment
+  events, not program properties).
 
 Registries cross the batch runner's process boundary as plain dicts:
 a worker records per-block metrics into its own registry, ships
@@ -548,3 +550,83 @@ def record_incremental_repair(metrics: MetricsRegistry | None,
     metrics.counter("repro_incremental_full_pass_nodes_total",
                     "Nodes a full forward+backward re-pass would "
                     "have visited instead.").inc(full_nodes)
+
+
+# -- resilience (supervised pool) ------------------------------------------
+#
+# All volatile: crashes, retries, and breaker trips depend on the
+# execution environment (signals, memory pressure, injected chaos,
+# worker count), never on the input program alone.  The stable section
+# must stay byte-identical between a clean ``--jobs 1`` and
+# ``--jobs N`` run, and these fire only when workers actually die.
+
+
+def record_worker_crash(metrics: MetricsRegistry | None,
+                        kind: str) -> None:
+    """Record one worker death attributed to a running task.
+
+    Args:
+        metrics: the registry (None = off).
+        kind: crash classification -- ``"signal N"``, ``"exit N"``,
+            ``"hang"``, or ``"task-error"`` (worker survived but the
+            task payload was unusable).
+    """
+    if metrics is None:
+        return
+    metrics.counter("repro_worker_crashes_total",
+                    "Worker deaths attributed to a running block, "
+                    "by crash kind.",
+                    labels=("kind",), volatile=True).inc(1, kind=kind)
+
+
+def record_worker_restart(metrics: MetricsRegistry | None) -> None:
+    """Record one replacement worker spawn."""
+    if metrics is None:
+        return
+    metrics.counter("repro_worker_restarts_total",
+                    "Replacement workers spawned after a death.",
+                    volatile=True).inc(1)
+
+
+def record_retry(metrics: MetricsRegistry | None) -> None:
+    """Record one block re-enqueue after a crash or poisoned payload."""
+    if metrics is None:
+        return
+    metrics.counter("repro_retries_total",
+                    "Block re-enqueues after worker crashes (with "
+                    "exponential backoff).", volatile=True).inc(1)
+
+
+def record_quarantine(metrics: MetricsRegistry | None) -> None:
+    """Record one block quarantined after exhausting its retries."""
+    if metrics is None:
+        return
+    metrics.counter("repro_quarantined_blocks_total",
+                    "Blocks quarantined after exhausting the retry "
+                    "budget.", volatile=True).inc(1)
+
+
+def record_breaker_transition(metrics: MetricsRegistry | None,
+                              builder: str, to_state: str,
+                              state_code: int) -> None:
+    """Record one circuit-breaker state transition.
+
+    Args:
+        metrics: the registry (None = off).
+        builder: chain entry whose breaker moved.
+        to_state: "closed", "open", or "half-open".
+        state_code: numeric encoding for the state gauge (0 closed,
+            1 half-open, 2 open).
+    """
+    if metrics is None:
+        return
+    metrics.counter("repro_breaker_transitions_total",
+                    "Circuit-breaker state transitions by builder "
+                    "and target state.",
+                    labels=("builder", "state"), volatile=True).inc(
+        1, builder=builder, state=to_state)
+    metrics.gauge("repro_breaker_state",
+                  "Current breaker state per builder (0 closed, "
+                  "1 half-open, 2 open).",
+                  labels=("builder",), volatile=True,
+                  agg="last").set(state_code, builder=builder)

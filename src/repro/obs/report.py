@@ -65,7 +65,7 @@ def load_journal_blocks(path: str) -> list[dict]:
                 break  # torn final write of a killed run
             raise ReproError(
                 f"journal {path!r} is corrupt at line {lineno}")
-        if record.get("type") == "block":
+        if record.get("type") in ("block", "quarantined"):
             blocks.append(record)
     return blocks
 
@@ -242,6 +242,61 @@ def _degradations(blocks: list[dict] | None) -> list[dict]:
     return rows
 
 
+def _resilience(blocks: list[dict] | None,
+                snapshot: dict | None) -> dict | None:
+    """Supervised-pool resilience summary: block accounting, crashes,
+    retries, quarantines, breaker activity.
+
+    Returns None when there is nothing to report (no quarantined
+    records in the journal and no resilience metrics in the
+    snapshot), so clean-run reports keep their shape.
+    """
+    crash_values = _values(snapshot, "repro_worker_crashes_total")
+    retries = _scalar(snapshot, "repro_retries_total")
+    restarts = _scalar(snapshot, "repro_worker_restarts_total")
+    quarantined_metric = _scalar(snapshot,
+                                 "repro_quarantined_blocks_total")
+    breaker_values = _values(snapshot,
+                             "repro_breaker_transitions_total")
+    quarantined_records = [b for b in blocks or []
+                           if b.get("type") == "quarantined"]
+    if not quarantined_records and not crash_values \
+            and retries is None and restarts is None \
+            and quarantined_metric is None and not breaker_values:
+        return None
+    section: dict = {
+        "worker crashes": {
+            key[len("kind="):]: value
+            for key, value in sorted(crash_values.items())},
+        "worker restarts": restarts or 0,
+        "retries": retries or 0,
+        "quarantined blocks": (quarantined_metric
+                               if quarantined_metric is not None
+                               else len(quarantined_records)),
+        "breaker transitions": dict(sorted(breaker_values.items())),
+        "quarantines": [
+            {"index": b.get("index"), "label": b.get("label"),
+             "attempts": len(b.get("attempts", [])),
+             "reproducer": b.get("reproducer")}
+            for b in quarantined_records],
+    }
+    if blocks:
+        total = len(blocks)
+        quarantined = len(quarantined_records)
+        degraded = sum(1 for b in blocks
+                       if b.get("builder") is None
+                       and b.get("type") != "quarantined")
+        scheduled = total - degraded - quarantined
+        section["accounting"] = {
+            "total": total,
+            "scheduled": scheduled,
+            "degraded": degraded,
+            "quarantined": quarantined,
+            "accounted": scheduled + degraded + quarantined == total,
+        }
+    return section
+
+
 def _cache(snapshot: dict | None) -> dict | None:
     """Pairwise-cache summary (volatile), when the snapshot has one."""
     hits = _scalar(snapshot, "repro_cache_hits_total")
@@ -282,6 +337,7 @@ def report_from(blocks: list[dict] | None = None,
         "table5": _table5(blocks, snapshot),
         "fallback": _fallback(blocks, snapshot),
         "degradations": _degradations(blocks),
+        "resilience": _resilience(blocks, snapshot),
         "cache": _cache(snapshot),
     }
 
@@ -360,6 +416,39 @@ def render_markdown(report: dict) -> str:
     else:
         lines.append("(none)")
     lines.append("")
+
+    resilience = report.get("resilience")
+    if resilience:
+        lines += ["## Resilience", ""]
+        accounting = resilience.get("accounting")
+        if accounting:
+            lines += _md_table(
+                ["quantity", "value"],
+                [[k, accounting[k]] for k in accounting])
+            lines.append("")
+        crashes = resilience.get("worker crashes", {})
+        rows = [["worker restarts", resilience.get("worker restarts")],
+                ["retries", resilience.get("retries")],
+                ["quarantined blocks",
+                 resilience.get("quarantined blocks")]]
+        rows += [[f"crashes ({kind})", count]
+                 for kind, count in crashes.items()]
+        rows += [[f"breaker ({series})", count]
+                 for series, count in
+                 resilience.get("breaker transitions", {}).items()]
+        lines += _md_table(["quantity", "value"], rows)
+        lines.append("")
+        quarantines = resilience.get("quarantines", [])
+        if quarantines:
+            lines += ["### Quarantined blocks", ""]
+            for item in quarantines:
+                label = item.get("label") or item.get("index")
+                lines.append(
+                    f"- block {item.get('index')} ({label}): "
+                    f"{item.get('attempts')} attempts"
+                    + (f", reproducer `{item.get('reproducer')}`"
+                       if item.get("reproducer") else ""))
+            lines.append("")
 
     cache = report.get("cache")
     lines += ["## Pairwise cache", ""]

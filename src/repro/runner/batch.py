@@ -12,25 +12,34 @@ Two performance knobs ride on top without changing any outcome:
 * ``cache`` -- a shared :class:`~repro.dag.builders.cache.PairwiseCache`
   so fallback retries, repeated block bodies, and post-schedule
   verification replay dependence work instead of re-deriving it;
-* ``jobs`` -- block-parallel execution on a process pool.  Blocks are
+* ``jobs`` -- block-parallel execution on a worker pool.  Blocks are
   independent (the chain, budget, and counters are all per-block), so
   the pool computes outcomes out of order while the parent consumes
   them *in program order* -- journal lines, the ``on_block`` callback,
   and every aggregate come out byte-identical to a serial run.
+
+The parallel path runs on the crash-isolated
+:class:`~repro.runner.supervisor.SupervisedPool` by default: a worker
+death (segfault, OOM kill, ``os._exit``) costs one block attempt, not
+the batch -- the block is retried with backoff and, past its retry
+budget, quarantined with a ``quarantined`` journal record.  Pass
+``supervise=False`` for the legacy ``ProcessPoolExecutor`` path, where
+a dead worker degrades to a typed :class:`~repro.errors.ReproError`
+pointing at the resumable journal.
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.cfg.basic_block import BasicBlock
 from repro.dag.builders.base import BuildStats, DagBuilder
 from repro.dag.builders.cache import PairwiseCache
-from repro.dag.stats import BlockDagStats, ProgramDagStats, dag_stats
-from repro.errors import ReproError
+from repro.dag.stats import BlockDagStats, ProgramDagStats
+from repro.errors import BatchInterrupted, ReproError
 from repro.machine.model import MachineModel
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -46,6 +55,13 @@ from repro.runner.fallback import (
     schedule_block_resilient,
 )
 from repro.runner.journal import RunJournal
+from repro.runner.supervisor import (
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedPool,
+    _init_worker,
+    _run_block,
+)
 from repro.runner.watchdog import Budget
 
 
@@ -69,6 +85,10 @@ class BatchResult:
         build_stats: summed construction work counters of live,
             non-degraded blocks (journal replays carry none).
         dag_stats: structural statistics of live, non-degraded blocks.
+        supervisor_stats: the supervised pool's
+            :class:`~repro.runner.supervisor.SupervisorStats`
+            (crashes, restarts, retries, quarantines), or None when
+            the run never started a supervised pool.
     """
 
     chain: tuple[str, ...]
@@ -81,6 +101,7 @@ class BatchResult:
     degraded_makespan: int = 0
     build_stats: BuildStats = field(default_factory=BuildStats)
     dag_stats: ProgramDagStats = field(default_factory=ProgramDagStats)
+    supervisor_stats: object | None = None
 
     @property
     def failures(self) -> list[BlockOutcome]:
@@ -124,76 +145,9 @@ class BatchResult:
         return total
 
 
-# -- process-pool plumbing -------------------------------------------------
-#
-# Worker processes rebuild their chain (and their own pairwise cache)
-# from plain picklable inputs: the section 6 priority and injected
-# chain factories are closures, which is why ``jobs > 1`` refuses
-# them.  Workers ship back ``(record, counters, block_stats, obs)`` --
-# everything JSON/dataclass-flat -- and the parent reassembles
-# outcomes (and the merged trace/metrics) in program order.
-
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(machine: MachineModel, chain_names: tuple[str, ...],
-                 budget: Budget | None, heuristic_driver: str,
-                 verify: bool, use_cache: bool,
-                 trace: bool = False, metrics: bool = False) -> None:
-    """Per-process setup: resolve the chain once, not per block."""
-    cache = PairwiseCache() if use_cache else None
-    _WORKER_STATE["machine"] = machine
-    _WORKER_STATE["chain"] = resolve_chain(chain_names, machine,
-                                           cache=cache)
-    _WORKER_STATE["budget"] = budget
-    _WORKER_STATE["driver"] = heuristic_driver
-    _WORKER_STATE["verify"] = verify
-    _WORKER_STATE["cache"] = cache
-    _WORKER_STATE["trace"] = trace
-    _WORKER_STATE["metrics"] = metrics
-
-
-def _run_block(block: BasicBlock) -> tuple[
-        dict, tuple[int, ...] | None, BlockDagStats | None,
-        tuple[list[dict], list[dict]] | None]:
-    """Schedule one block in a worker process.
-
-    Returns the journal record plus the flattened statistics the
-    parent folds into the :class:`BatchResult` (a replayed
-    :class:`BlockOutcome` cannot carry the live DAG across the process
-    boundary, so the counters travel separately), plus -- when
-    observability is on -- the block's trace entries and metrics dump
-    for the parent to absorb/merge in program order.
-    """
-    cache = _WORKER_STATE["cache"]
-    tracer = (Tracer(worker=os.getpid()) if _WORKER_STATE["trace"]
-              else None)
-    registry = MetricsRegistry() if _WORKER_STATE["metrics"] else None
-    hits0 = cache.hits if cache is not None else 0
-    misses0 = cache.misses if cache is not None else 0
-    outcome = schedule_block_resilient(
-        block, _WORKER_STATE["machine"], _WORKER_STATE["chain"],
-        budget=_WORKER_STATE["budget"],
-        heuristic_driver=_WORKER_STATE["driver"],
-        verify=_WORKER_STATE["verify"], cache=cache,
-        tracer=tracer, metrics=registry)
-    if registry is not None and cache is not None:
-        record_cache(registry, cache.hits - hits0,
-                     cache.misses - misses0)
-    counters = None
-    block_stats = None
-    if outcome.dag_stats_outcome is not None:
-        s = outcome.dag_stats_outcome.stats
-        counters = (s.comparisons, s.table_probes, s.alias_checks,
-                    s.arcs_added, s.arcs_merged, s.arcs_suppressed,
-                    s.bitmap_ops)
-        block_stats = dag_stats(outcome.dag_stats_outcome.dag)
-    obs = None
-    if tracer is not None or registry is not None:
-        obs = (tracer.entries if tracer is not None else [],
-               registry.dump() if registry is not None else [])
-    return outcome.to_record(volatile=True), counters, block_stats, obs
-
+# The worker-side plumbing (``_init_worker`` / ``_run_block``) lives
+# in :mod:`repro.runner.supervisor` and is shared by both pool
+# flavors.
 
 def run_batch(blocks: Sequence[BasicBlock],
               machine: MachineModel,
@@ -210,6 +164,12 @@ def run_batch(blocks: Sequence[BasicBlock],
               cache: PairwiseCache | None = None,
               tracer: Tracer | None = None,
               metrics: MetricsRegistry | None = None,
+              supervise: bool = True,
+              retry: RetryPolicy | None = None,
+              chaos: object | None = None,
+              task_timeout: float | None = None,
+              quarantine_dir: str | None = None,
+              breaker: CircuitBreaker | None = None,
               ) -> BatchResult:
     """Run the resilient scheduling pipeline over ``blocks``.
 
@@ -259,6 +219,27 @@ def run_batch(blocks: Sequence[BasicBlock],
             registries are merged in program order; every merge is
             commutative, so the stable snapshot section is
             byte-identical to a ``jobs=1`` run's.
+        supervise: with ``jobs > 1``, run on the crash-isolated
+            :class:`~repro.runner.supervisor.SupervisedPool` (the
+            default) instead of the legacy ``ProcessPoolExecutor``.
+            Clean runs are byte-identical either way; only the
+            supervised pool survives worker death.
+        retry: supervised-pool crash retry/backoff policy (default
+            :class:`~repro.runner.supervisor.RetryPolicy`).
+        chaos: optional fault-injection plan
+            (:class:`~repro.runner.chaos.ChaosConfig`) forwarded to
+            the supervised pool -- testing only.
+        task_timeout: supervised-pool hang detector: seconds of
+            worker silence after dispatch before the worker is
+            presumed hung and killed (None = wait forever).
+        quarantine_dir: directory for quarantine reproducer ``.s``
+            files (None = quarantine without writing files).
+        breaker: optional per-builder
+            :class:`~repro.runner.supervisor.CircuitBreaker`.
+            Outcome-changing (an open breaker skips chain entries),
+            so opt-in.  Serial runs thread it straight through the
+            fallback chain; supervised runs apply it parent-side and
+            forward skip lists to workers.
 
     Returns:
         The aggregated :class:`BatchResult`.
@@ -266,6 +247,9 @@ def run_batch(blocks: Sequence[BasicBlock],
     Raises:
         ReproError: for ``jobs < 1``, or ``jobs > 1`` combined with
             ``priority`` / ``chain_factories``.
+        BatchInterrupted: on SIGINT/SIGTERM (as ``KeyboardInterrupt``)
+            after the pool is shut down and the journal left flushed
+            and resumable.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -285,9 +269,18 @@ def run_batch(blocks: Sequence[BasicBlock],
 
     pending: dict[int, "object"] = {}
     pool = None
+    spool = None
     if jobs > 1:
         fresh = [b for b in todo if b.index not in completed]
-        if fresh:
+        if fresh and supervise:
+            spool = SupervisedPool(
+                fresh, machine, chain_names, budget, heuristic_driver,
+                verify, cache is not None, bool(tracer),
+                metrics is not None, jobs, retry=retry, chaos=chaos,
+                task_timeout=task_timeout,
+                quarantine_dir=quarantine_dir, breaker=breaker,
+                tracer=tracer, metrics=metrics)
+        elif fresh:
             pool = ProcessPoolExecutor(
                 max_workers=min(jobs, len(fresh)),
                 initializer=_init_worker,
@@ -296,6 +289,7 @@ def run_batch(blocks: Sequence[BasicBlock],
                           metrics is not None))
             pending = {b.index: pool.submit(_run_block, b)
                        for b in fresh}
+    finished = False
     try:
         # The batch span's attrs deliberately exclude ``jobs``: the
         # structural span tree must be identical across worker counts.
@@ -309,9 +303,40 @@ def run_batch(blocks: Sequence[BasicBlock],
                 if outcome is not None:
                     result.n_replayed += 1
                     tracer.event("replayed", index=block.index)
+                elif spool is not None and block.index in spool:
+                    verdict = spool.result(block.index)
+                    if verdict[0] == "quarantined":
+                        outcome = verdict[1]
+                    else:
+                        _, record, counters, block_stats, obs = verdict
+                        outcome = BlockOutcome.from_record(record)
+                        if obs is not None:
+                            entries, dumped = obs
+                            if entries:
+                                tracer.absorb(
+                                    entries,
+                                    parent=tracer.current_span)
+                            if dumped and metrics is not None:
+                                metrics.merge(dumped)
+                    if journal is not None:
+                        journal.append(outcome)
                 elif block.index in pending:
-                    record, counters, block_stats, obs = \
-                        pending.pop(block.index).result()
+                    try:
+                        record, counters, block_stats, obs = \
+                            pending.pop(block.index).result()
+                    except BrokenProcessPool as exc:
+                        where = (f"; completed blocks are journaled in "
+                                 f"{journal.path!r} -- re-run with "
+                                 f"--resume to continue"
+                                 if journal is not None else
+                                 "; re-run with --journal to make the "
+                                 "batch resumable, or with the "
+                                 "supervised pool (the default) to "
+                                 "survive worker death")
+                        raise ReproError(
+                            f"worker process died while scheduling "
+                            f"block {block.index} (unsupervised pool "
+                            f"aborts on worker death){where}") from exc
                     outcome = BlockOutcome.from_record(record)
                     if obs is not None:
                         entries, dumped = obs
@@ -328,7 +353,7 @@ def run_batch(blocks: Sequence[BasicBlock],
                         priority=priority,
                         heuristic_driver=heuristic_driver,
                         verify=verify, cache=cache, tracer=tracer,
-                        metrics=metrics)
+                        metrics=metrics, breaker=breaker)
                     if journal is not None:
                         journal.append(outcome)
                 if metrics is not None:
@@ -353,9 +378,25 @@ def run_batch(blocks: Sequence[BasicBlock],
                         result.dag_stats.add(block_stats)
                 if on_block is not None:
                     on_block(outcome)
+        finished = True
+    except KeyboardInterrupt:
+        # The journal fsyncs every append, so everything consumed so
+        # far is durable; shut the pool down (in the finally below)
+        # and surface a typed, resumable interruption.
+        path = journal.path if journal is not None else None
+        raise BatchInterrupted(
+            f"interrupted after {result.n_blocks} of {len(todo)} "
+            f"blocks"
+            + (f"; resume with --journal {path} --resume"
+               if path is not None else ""),
+            journal_path=path, n_completed=result.n_blocks,
+            n_total=len(todo)) from None
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        if spool is not None:
+            spool.shutdown(kill=not finished)
+            result.supervisor_stats = spool.stats
     if metrics is not None and cache is not None:
         info = cache.info()
         record_cache(metrics, cache.hits - hits0,

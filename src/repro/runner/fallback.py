@@ -34,7 +34,7 @@ from repro.obs.metrics import (
     record_block_wall,
     record_build,
 )
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.pipeline import SECTION6_PRIORITY
 from repro.runner.watchdog import Budget, BudgetedStats, run_with_watchdog
 from repro.scheduling.list_scheduler import schedule_forward
@@ -143,6 +143,14 @@ class BlockOutcome:
         dag_stats_outcome: the accepted attempt's build outcome (DAG +
             work counters), present only on live, non-degraded
             outcomes.
+        quarantined: True when the supervised pool exhausted the
+            block's retry budget (repeated worker crashes or poisoned
+            payloads) and excluded it from further scheduling.  A
+            quarantined outcome is always degraded (identity order)
+            and is journaled as a ``quarantined`` record so resumes
+            replay it without re-triggering the crash.
+        reproducer: path of the minimized reproducer ``.s`` file the
+            quarantine step wrote, if any.
         wall_s: wall-clock seconds this block took end to end (all
             attempts included), or None on outcomes replayed from a
             journal written before the field existed.  Volatile: it is
@@ -161,6 +169,8 @@ class BlockOutcome:
     live: bool = True
     dag_stats_outcome: BuildOutcome | None = None
     wall_s: float | None = None
+    quarantined: bool = False
+    reproducer: str | None = None
 
     @property
     def degraded(self) -> bool:
@@ -182,7 +192,7 @@ class BlockOutcome:
                 jobs-N-vs-1) use the default deterministic record.
         """
         record = {
-            "type": "block",
+            "type": "quarantined" if self.quarantined else "block",
             "index": self.index,
             "label": self.label,
             "builder": self.builder,
@@ -192,6 +202,8 @@ class BlockOutcome:
             "n_attempts": len(self.attempts),
             "attempts": [a.to_record() for a in self.attempts],
         }
+        if self.quarantined:
+            record["reproducer"] = self.reproducer
         if volatile:
             record["wall_s"] = self.wall_s
         return record
@@ -208,7 +220,9 @@ class BlockOutcome:
             attempts=[Attempt.from_record(a)
                       for a in record.get("attempts", [])],
             live=False,
-            wall_s=record.get("wall_s"))
+            wall_s=record.get("wall_s"),
+            quarantined=record.get("type") == "quarantined",
+            reproducer=record.get("reproducer"))
 
 
 def schedule_block_resilient(
@@ -221,7 +235,10 @@ def schedule_block_resilient(
         verify: bool = False,
         cache: PairwiseCache | None = None,
         tracer: Tracer | None = None,
-        metrics: MetricsRegistry | None = None) -> BlockOutcome:
+        metrics: MetricsRegistry | None = None,
+        breaker: object | None = None,
+        skip_builders: Sequence[str] = (),
+        on_attempt: Callable[[str], None] | None = None) -> BlockOutcome:
     """Schedule one block, falling back through the builder chain.
 
     Each chain entry gets a full attempt -- construction (under the
@@ -256,6 +273,20 @@ def schedule_block_resilient(
             level aggregates (attempt/degradation counts, makespans)
             are recorded by :func:`repro.runner.batch.run_batch`,
             which also covers journal-replayed blocks.
+        breaker: optional per-builder circuit breaker
+            (:class:`~repro.runner.supervisor.CircuitBreaker`).  A
+            chain entry whose breaker is open is skipped (recorded as
+            a ``breaker-open`` attempt); watchdog timeouts feed the
+            breaker's failure count and accepted attempts close it.
+            Outcome-changing by design, so opt-in.
+        skip_builders: chain entries to skip up front, recorded as
+            ``breaker-open`` attempts -- how the supervised pool
+            forwards its parent-side breaker verdicts into a worker
+            process that cannot share the breaker object.
+        on_attempt: per-attempt heartbeat callback invoked with the
+            chain entry's name just before the attempt starts.  The
+            supervised pool uses it to attribute a worker crash to the
+            builder that was live when the process died.
 
     Returns:
         The accepted or degraded :class:`BlockOutcome`.
@@ -320,6 +351,14 @@ def schedule_block_resilient(
     with tracer.span("block", index=block.index, label=block.label,
                      size=len(block.instructions)) as block_attrs:
         for name, factory in chain:
+            if name in skip_builders or (
+                    breaker is not None and not breaker.allow(name)):
+                tracer.event("breaker-skip", builder=name)
+                attempts.append(Attempt(name, "breaker-open",
+                                        "circuit breaker open"))
+                continue
+            if on_attempt is not None:
+                on_attempt(name)
             # A fresh budgeted counter per attempt: a failed attempt's
             # spent work must neither count against the next builder's
             # budget (double-charging) nor disappear -- it is
@@ -353,6 +392,8 @@ def schedule_block_resilient(
                              limit=getattr(exc, "limit", None))
                 attempts.append(Attempt(name, "timeout", str(exc),
                                         work=stats.work))
+                if breaker is not None:
+                    breaker.record_failure(name)
                 continue
             except ReproError as exc:
                 tracer.event("fallback", builder=name,
@@ -362,6 +403,8 @@ def schedule_block_resilient(
                     work=stats.work))
                 continue
             attempts.append(Attempt(name, "ok", work=stats.work))
+            if breaker is not None:
+                breaker.record_success(name)
             rmap = getattr(builder, "reachability", None)
             record_build(metrics, name, stats,
                          rmap.words_touched if rmap is not None else 0)

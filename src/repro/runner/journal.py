@@ -144,7 +144,7 @@ class RunJournal:
                     break  # torn final write of a killed run
                 raise JournalError(
                     f"journal {path!r} is corrupt at line {lineno}")
-            if record.get("type") != "block":
+            if record.get("type") not in ("block", "quarantined"):
                 raise JournalError(
                     f"journal {path!r} has an unknown record type "
                     f"{record.get('type')!r} at line {lineno}")
