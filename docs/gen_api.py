@@ -58,6 +58,9 @@ MODULES = [
     "repro.runner.supervisor", "repro.runner.chaos",
     "repro.runner.fuzz", "repro.runner.bench",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.report",
+    "repro.serve.protocol", "repro.serve.admission",
+    "repro.serve.engine", "repro.serve.server",
+    "repro.serve.loadtest", "repro.serve.chaosserve",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
 
@@ -144,7 +147,8 @@ def main() -> None:
         "[resilient runner](runner.md), "
         "[performance layer](performance.md), "
         "[observability](observability.md), "
-        "[resilience](resilience.md).",
+        "[resilience](resilience.md), "
+        "[serving](serving.md).",
         "",
     ]
     for module_name in MODULES:

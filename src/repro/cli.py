@@ -290,7 +290,8 @@ def _schedule_resilient(args: argparse.Namespace, source: str, machine,
             tracer=tracer, metrics=metrics,
             supervise=not getattr(args, "no_supervise", False),
             retry=retry,
-            quarantine_dir=getattr(args, "quarantine_dir", None))
+            quarantine_dir=getattr(args, "quarantine_dir", None),
+            mem_limit_mb=getattr(args, "worker_mem_mb", None))
     except BatchInterrupted as exc:
         out(f"! interrupted: {exc}")
         return 130
@@ -325,19 +326,48 @@ def _cmd_fuzz(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_chaos_serve(args: argparse.Namespace,
+                     out: Callable[[str], None]) -> int:
+    from repro.serve.chaosserve import (
+        ServeChaosConfig,
+        render_serve_chaos_report,
+        run_serve_chaos,
+    )
+    tracer, registry = _obs_from_args(args)
+    config = ServeChaosConfig(
+        seed=args.seed,
+        requests=3 if args.quick else args.requests,
+        jobs=max(2, args.jobs),
+        copies=4 if args.quick else args.copies,
+        exit_rate=args.exit_rate,
+        kill_rate=args.kill_rate,
+        disconnect_rate=args.disconnect_rate,
+        storm_rate=args.storm_rate,
+        alloc_rate=args.alloc_rate,
+        mem_limit_mb=args.worker_mem_mb)
+    report = run_serve_chaos(config, metrics=registry)
+    out(render_serve_chaos_report(report))
+    _write_obs(args, tracer, registry)
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.serve:
+        return _cmd_chaos_serve(args, out)
     machine = MACHINES[args.machine]()
     copies = 1 if args.quick else args.copies
     poison = frozenset(range(args.poison))
     config = ChaosConfig(
         seed=args.seed, exit_rate=args.exit_rate,
         kill_rate=args.kill_rate, delay_rate=args.delay_rate,
-        corrupt_rate=args.corrupt_rate, poison=poison)
+        corrupt_rate=args.corrupt_rate, alloc_rate=args.alloc_rate,
+        poison=poison)
     tracer, registry = _obs_from_args(args)
     report = run_chaos(
         machine, config, copies=copies, jobs=args.jobs,
         expect_quarantined=poison,
-        quarantine_dir=args.quarantine_dir, metrics=registry)
+        quarantine_dir=args.quarantine_dir, metrics=registry,
+        mem_limit_mb=args.worker_mem_mb)
     out(f"! chaos: seed {args.seed}, {report.n_blocks} blocks, "
         f"{args.jobs} workers, rates exit={args.exit_rate} "
         f"kill={args.kill_rate} delay={args.delay_rate} "
@@ -360,6 +390,69 @@ def _cmd_chaos(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"{not report.mismatches}")
     _write_obs(args, tracer, registry)
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    import asyncio
+
+    from repro.serve.server import ReproServer, ServeConfig
+    tracer, registry = _obs_from_args(args)
+    chain = (tuple(p.strip() for p in args.chain.split(",") if p.strip())
+             if args.chain else None)
+    config = ServeConfig(
+        address=args.address,
+        workers=args.workers,
+        max_queued=args.max_queued,
+        jobs=args.jobs,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_max_blocks=args.tenant_max_blocks,
+        max_request_blocks=args.max_request_blocks,
+        block_wall_s=args.block_wall,
+        default_deadline_s=args.default_deadline,
+        drain_grace_s=args.drain_grace,
+        chain=chain,
+        breaker=args.breaker,
+        mem_limit_mb=args.worker_mem_mb,
+        quarantine_dir=args.quarantine_dir)
+    server = ReproServer(config, metrics=registry)
+    out(f"! serve: listening on {args.address} "
+        f"({args.workers} workers, queue {args.max_queued}, "
+        f"jobs {args.jobs})")
+    # Blocks until SIGTERM/SIGINT, then drains gracefully: admission
+    # closes, in-flight requests finish or shed, exit status 0.
+    asyncio.run(server.run())
+    out("! serve: drained, all requests accounted")
+    _write_obs(args, tracer, registry)
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace,
+                  out: Callable[[str], None]) -> int:
+    from repro.serve.loadtest import (
+        LoadtestConfig,
+        render_loadtest_report,
+        run_loadtest,
+    )
+    tracer, registry = _obs_from_args(args)
+    config = LoadtestConfig(
+        address=args.address,
+        seed=args.seed,
+        requests=8 if args.quick else args.requests,
+        concurrency=4 if args.quick else args.concurrency,
+        tenants=args.tenants,
+        copies_max=args.copies_max,
+        deadline_s=args.deadline,
+        deadline_fraction=args.deadline_fraction,
+        machine=args.machine)
+    report = run_loadtest(config, metrics=registry)
+    out(render_loadtest_report(report))
+    _write_obs(args, tracer, registry)
+    # Silent loss anywhere voids the report: every request must have
+    # reached a typed terminal frame.
+    accounted = (report.completed + report.rejected + report.errored
+                 == report.sent)
+    return 0 if accounted and report.errored == 0 else 1
 
 
 def _cmd_dag(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -575,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="DIR",
                           help="write a minimized reproducer .s file "
                                "here for every quarantined block")
+    schedule.add_argument("--worker-mem-mb", type=int, default=None,
+                          metavar="MB",
+                          help="per-worker address-space ceiling "
+                               "(RLIMIT_AS) with --jobs N; a worker "
+                               "that exceeds it dies as an attributed "
+                               "'oom' crash and its block is retried "
+                               "on a fresh worker")
     schedule.add_argument("--no-cache", action="store_true",
                           help="disable the pairwise-dependence cache "
                                "(schedules are identical either way; "
@@ -711,7 +811,119 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for quarantine reproducers")
     chaos.add_argument("--quick", action="store_true",
                        help="small workload (CI smoke mode)")
+    chaos.add_argument("--alloc-rate", type=float, default=0.0,
+                       help="probability a dispatch allocates a "
+                            "memory burst first (with --worker-mem-mb "
+                            "this exercises attributed OOM crashes)")
+    chaos.add_argument("--worker-mem-mb", type=int, default=None,
+                       metavar="MB",
+                       help="per-worker address-space ceiling "
+                            "(RLIMIT_AS); allocation bursts above it "
+                            "die as attributed 'oom' crashes")
+    chaos.add_argument("--serve", action="store_true",
+                       help="chaos the serve daemon instead of a "
+                            "batch: worker crashes + client "
+                            "disconnects + deadline storms against a "
+                            "live server, asserting zero lost and "
+                            "zero double-scheduled blocks")
+    chaos.add_argument("--requests", type=int, default=6,
+                       help="(--serve) schedule requests to send")
+    chaos.add_argument("--disconnect-rate", type=float, default=0.25,
+                       help="(--serve) probability a client hangs up "
+                            "mid-stream")
+    chaos.add_argument("--storm-rate", type=float, default=0.25,
+                       help="(--serve) probability a request carries "
+                            "a too-small deadline")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    serve = sub.add_parser("serve", parents=[obs_flags],
+                           help="scheduling-as-a-service daemon: "
+                                "NDJSON over a unix socket or "
+                                "localhost TCP, with admission "
+                                "control, backpressure, deadline "
+                                "propagation, and graceful drain "
+                                "on SIGTERM (see docs/serving.md)")
+    serve.add_argument("--address", default="unix:repro.sock",
+                       help="listen address: unix:/path, /path, "
+                            "HOST:PORT, or PORT (loopback only)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrently running requests")
+    serve.add_argument("--max-queued", type=int, default=16,
+                       metavar="N",
+                       help="admitted requests allowed to wait "
+                            "(beyond this the daemon sheds load with "
+                            "typed 'queue-full' rejections)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="per-request engine parallelism (>= 2 "
+                            "runs each request on a supervised "
+                            "worker pool)")
+    serve.add_argument("--tenant-rate", type=float, default=50.0,
+                       help="per-tenant token-bucket refill, req/s")
+    serve.add_argument("--tenant-burst", type=float, default=100.0,
+                       help="per-tenant token-bucket capacity")
+    serve.add_argument("--tenant-max-blocks", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant cumulative block budget")
+    serve.add_argument("--max-request-blocks", type=int,
+                       default=10_000, metavar="N",
+                       help="largest admissible single request")
+    serve.add_argument("--block-wall", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-block wall-clock cap (tightened to "
+                            "each request's remaining deadline)")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deadline applied to requests that carry "
+                            "none")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="SIGTERM drain grace before in-flight "
+                            "requests shed their remainder")
+    serve.add_argument("--chain", default=None, metavar="B1,B2,...",
+                       help="default builder fallback chain")
+    serve.add_argument("--breaker", action="store_true",
+                       help="share a per-builder circuit breaker "
+                            "across requests (outcome-changing, "
+                            "opt-in)")
+    serve.add_argument("--worker-mem-mb", type=int, default=None,
+                       metavar="MB",
+                       help="per-worker address-space ceiling for "
+                            "jobs >= 2 (RLIMIT_AS; OOM deaths are "
+                            "attributed crashes)")
+    serve.add_argument("--quarantine-dir", default=None, metavar="DIR",
+                       help="reproducer directory for jobs >= 2")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadtest = sub.add_parser("loadtest", parents=[obs_flags],
+                              help="seeded load generator against a "
+                                   "running serve daemon: p50/p99 "
+                                   "latency, throughput, shed rate, "
+                                   "and error-budget report")
+    loadtest.add_argument("--address", default="unix:repro.sock",
+                          help="daemon address to connect to")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="mix seed (fixes the whole workload)")
+    loadtest.add_argument("--requests", type=int, default=40,
+                          help="schedule requests to send")
+    loadtest.add_argument("--concurrency", type=int, default=8,
+                          help="parallel client connections")
+    loadtest.add_argument("--tenants", type=int, default=2,
+                          help="distinct tenants to spread over")
+    loadtest.add_argument("--copies-max", type=int, default=4,
+                          help="request size knob (blocks/request)")
+    loadtest.add_argument("--deadline", type=float, default=10.0,
+                          metavar="SECONDS",
+                          help="deadline carried by deadlined "
+                               "requests")
+    loadtest.add_argument("--deadline-fraction", type=float,
+                          default=0.5,
+                          help="fraction of requests carrying a "
+                               "deadline")
+    loadtest.add_argument("--machine", choices=sorted(MACHINES),
+                          default="generic", help="timing model")
+    loadtest.add_argument("--quick", action="store_true",
+                          help="small mix (CI smoke mode)")
+    loadtest.set_defaults(handler=_cmd_loadtest)
     return parser
 
 

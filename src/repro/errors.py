@@ -162,8 +162,80 @@ class JournalError(ReproError):
 
     Covers an unreadable or corrupt journal file and a fingerprint
     mismatch (resuming against a different input file, machine model,
-    builder chain, or window than the journal records).
+    builder chain, or window than the journal records).  Corruption on
+    a *non-trailing* line always raises: only the torn final write of
+    a killed run is ignorable, anything earlier would silently skip
+    blocks on ``--resume``.
     """
+
+
+class ServeError(ReproError):
+    """Base class for scheduling-service failures (:mod:`repro.serve`).
+
+    Covers malformed wire messages, unusable listen addresses, and
+    server-side request failures that are not typed more precisely
+    below.
+    """
+
+
+class ProtocolError(ServeError):
+    """Raised for a malformed or unsupported wire message.
+
+    The server maps this to a ``{"type": "error"}`` response frame
+    (the request never enters admission), never to a dropped
+    connection.
+    """
+
+
+class RequestRejected(ServeError):
+    """Raised when admission control refuses a request.
+
+    A typed 429-style rejection -- the request was *not* queued and no
+    work was started.  Never silent: the server always answers with a
+    ``{"type": "rejected"}`` frame carrying the reason and a
+    ``retry_after_s`` hint.
+
+    Attributes:
+        reason: rejection code ("queue-full", "rate-limited",
+            "tenant-budget-exhausted", "draining", or
+            "request-too-large").
+        retry_after_s: seconds after which a retry may be admitted
+            (None when retrying cannot help, e.g. an exhausted tenant
+            work budget).
+        tenant: the tenant the rejection was charged to.
+    """
+
+    def __init__(self, message: str, reason: str,
+                 retry_after_s: float | None = None,
+                 tenant: str | None = None) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+        super().__init__(message)
+
+
+class DeadlineExceeded(ServeError):
+    """Raised when a request's deadline expires mid-batch.
+
+    The serving engine converts this into partial results plus a typed
+    timeout record: every block completed before the deadline is
+    streamed normally, every remaining block is shed with an explicit
+    ``{"type": "shed"}`` frame, and the request summary accounts for
+    all of them (scheduled + degraded + shed = total).
+
+    Attributes:
+        deadline_s: the request's deadline budget, in seconds.
+        elapsed_s: wall-clock seconds spent when the deadline tripped.
+        n_shed: blocks shed because the deadline expired.
+    """
+
+    def __init__(self, message: str, deadline_s: float | None = None,
+                 elapsed_s: float | None = None,
+                 n_shed: int = 0) -> None:
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        self.n_shed = n_shed
+        super().__init__(message)
 
 
 class WorkloadError(ReproError):

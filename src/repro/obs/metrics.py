@@ -606,6 +606,96 @@ def record_quarantine(metrics: MetricsRegistry | None) -> None:
                     "budget.", volatile=True).inc(1)
 
 
+# -- serving (repro serve / loadtest) --------------------------------------
+#
+# All volatile: request latencies, queue depths, and shed/reject
+# counts depend on arrival timing and host load, never on the input
+# program alone.
+
+#: request latency histogram bucket bounds, seconds
+REQUEST_SECONDS_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                           1.0, 2.5, 5.0, 10.0)
+
+
+def record_request(metrics: MetricsRegistry | None, tenant: str,
+                   status: str, seconds: float | None = None) -> None:
+    """Record one served request's terminal status (and latency).
+
+    Args:
+        metrics: the registry (None = off).
+        tenant: the tenant the request was charged to.
+        status: terminal status -- ``"ok"``, ``"timeout"`` (deadline
+            expired mid-batch), ``"cancelled"`` (client disconnect or
+            drain kill), or ``"error"``.
+        seconds: end-to-end request latency (None for requests that
+            never started executing).
+    """
+    if metrics is None:
+        return
+    metrics.counter("repro_requests_total",
+                    "Served requests by tenant and terminal status.",
+                    labels=("tenant", "status"), volatile=True).inc(
+        1, tenant=tenant, status=status)
+    if seconds is not None:
+        metrics.histogram("repro_request_seconds",
+                          "End-to-end request latency, seconds.",
+                          volatile=True,
+                          buckets=REQUEST_SECONDS_BUCKETS
+                          ).observe(seconds)
+
+
+def record_rejection(metrics: MetricsRegistry | None, tenant: str,
+                     reason: str) -> None:
+    """Record one typed admission-control rejection (never silent)."""
+    if metrics is None:
+        return
+    metrics.counter("repro_rejected_requests_total",
+                    "Requests refused by admission control, by tenant "
+                    "and reason.",
+                    labels=("tenant", "reason"), volatile=True).inc(
+        1, tenant=tenant, reason=reason)
+
+
+def record_shed_blocks(metrics: MetricsRegistry | None, n: int,
+                       reason: str) -> None:
+    """Record blocks shed by an admitted request.
+
+    Args:
+        metrics: the registry (None = off).
+        n: blocks shed.
+        reason: why -- ``"deadline"``, ``"disconnect"``, or
+            ``"drain"``.
+    """
+    if metrics is None or n <= 0:
+        return
+    metrics.counter("repro_shed_blocks_total",
+                    "Blocks shed by admitted requests (deadline "
+                    "expiry, client disconnect, drain kill).",
+                    labels=("reason",), volatile=True).inc(
+        n, reason=reason)
+
+
+def record_queue_depth(metrics: MetricsRegistry | None,
+                       depth: int) -> None:
+    """Record the admission queue depth at one observation point."""
+    if metrics is None:
+        return
+    metrics.gauge("repro_queue_depth_max",
+                  "Deepest observed request queue (admitted, not yet "
+                  "executing).", volatile=True).set(depth)
+
+
+def record_deadline(metrics: MetricsRegistry | None,
+                    met: bool) -> None:
+    """Record whether one deadline-carrying request met its deadline."""
+    if metrics is None:
+        return
+    metrics.counter("repro_request_deadlines_total",
+                    "Deadline-carrying requests by outcome.",
+                    labels=("result",), volatile=True).inc(
+        1, result="met" if met else "missed")
+
+
 def record_breaker_transition(metrics: MetricsRegistry | None,
                               builder: str, to_state: str,
                               state_code: int) -> None:

@@ -170,6 +170,7 @@ def run_batch(blocks: Sequence[BasicBlock],
               task_timeout: float | None = None,
               quarantine_dir: str | None = None,
               breaker: CircuitBreaker | None = None,
+              mem_limit_mb: int | None = None,
               ) -> BatchResult:
     """Run the resilient scheduling pipeline over ``blocks``.
 
@@ -240,6 +241,11 @@ def run_batch(blocks: Sequence[BasicBlock],
             so opt-in.  Serial runs thread it straight through the
             fallback chain; supervised runs apply it parent-side and
             forward skip lists to workers.
+        mem_limit_mb: opt-in per-worker address-space ceiling in MiB
+            (``jobs > 1`` only; see
+            :class:`~repro.runner.supervisor.SupervisedPool`).  OOM
+            deaths then surface as attributed ``"oom"`` crashes
+            instead of anonymous SIGKILLs.
 
     Returns:
         The aggregated :class:`BatchResult`.
@@ -279,14 +285,15 @@ def run_batch(blocks: Sequence[BasicBlock],
                 metrics is not None, jobs, retry=retry, chaos=chaos,
                 task_timeout=task_timeout,
                 quarantine_dir=quarantine_dir, breaker=breaker,
-                tracer=tracer, metrics=metrics)
+                tracer=tracer, metrics=metrics,
+                mem_limit_mb=mem_limit_mb)
         elif fresh:
             pool = ProcessPoolExecutor(
                 max_workers=min(jobs, len(fresh)),
                 initializer=_init_worker,
                 initargs=(machine, chain_names, budget, heuristic_driver,
                           verify, cache is not None, bool(tracer),
-                          metrics is not None))
+                          metrics is not None, mem_limit_mb))
             pending = {b.index: pool.submit(_run_block, b)
                        for b in fresh}
     finished = False

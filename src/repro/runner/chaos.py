@@ -36,7 +36,7 @@ from repro.runner.bench import bench_blocks
 from repro.runner.supervisor import RetryPolicy
 
 #: directive kinds plan() can return, in roll order
-INJECTION_KINDS = ("exit", "kill", "delay", "corrupt")
+INJECTION_KINDS = ("exit", "kill", "delay", "corrupt", "alloc")
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,12 @@ class ChaosConfig:
             block runs (exercises backlog and hang-detector margins).
         corrupt_rate: probability of the task payload being replaced
             with garbage (the worker survives and reports an error).
+        alloc_rate: probability of the worker allocating
+            ``alloc_bytes`` before the block runs -- under a
+            ``--worker-mem-mb`` ceiling this trips an attributed
+            ``"oom"`` crash (a ``MemoryError``); without a ceiling it
+            is a real, brief allocation.
+        alloc_bytes: injected allocation size, bytes.
         delay_s: injected delay duration, seconds.
         max_injected_attempts: faults are only injected while a
             block's attempt number is below this, so every non-poisoned
@@ -71,6 +77,8 @@ class ChaosConfig:
     kill_rate: float = 0.0
     delay_rate: float = 0.0
     corrupt_rate: float = 0.0
+    alloc_rate: float = 0.0
+    alloc_bytes: int = 1 << 28
     delay_s: float = 0.02
     max_injected_attempts: int = 2
     poison: frozenset[int] = frozenset()
@@ -87,7 +95,8 @@ class ChaosConfig:
         for kind, rate in (("exit", self.exit_rate),
                            ("kill", self.kill_rate),
                            ("delay", self.delay_rate),
-                           ("corrupt", self.corrupt_rate)):
+                           ("corrupt", self.corrupt_rate),
+                           ("alloc", self.alloc_rate)):
             if roll < rate:
                 if kind == "exit":
                     return ("exit", 11)
@@ -95,6 +104,8 @@ class ChaosConfig:
                     return ("kill",)
                 if kind == "delay":
                     return ("delay", self.delay_s)
+                if kind == "alloc":
+                    return ("alloc", self.alloc_bytes)
                 return ("corrupt",)
             roll -= rate
         return None
@@ -151,7 +162,8 @@ def run_chaos(machine: MachineModel,
               quarantine_dir: str | None = None,
               metrics: MetricsRegistry | None = None,
               retry: RetryPolicy | None = None,
-              task_timeout: float | None = 60.0) -> ChaosReport:
+              task_timeout: float | None = 60.0,
+              mem_limit_mb: int | None = None) -> ChaosReport:
     """Run the bench workload clean, then under chaos, and compare.
 
     Args:
@@ -167,6 +179,9 @@ def run_chaos(machine: MachineModel,
         retry: retry policy for the chaos run (default: fast backoff
             so the harness does not spend its time sleeping).
         task_timeout: hang-detector margin for the chaos run.
+        mem_limit_mb: opt-in per-worker address-space ceiling for the
+            chaos run's workers (pairs with ``config.alloc_rate`` to
+            exercise attributed OOM crashes).
 
     Returns:
         The populated :class:`ChaosReport`.
@@ -190,7 +205,7 @@ def run_chaos(machine: MachineModel,
     chaotic = run_batch(
         blocks, machine, jobs=jobs, chaos=config, retry=retry,
         task_timeout=task_timeout, quarantine_dir=quarantine_dir,
-        metrics=metrics)
+        metrics=metrics, mem_limit_mb=mem_limit_mb)
     wall_s = time.perf_counter() - t0
 
     quarantined = [o for o in chaotic.outcomes if o.quarantined]

@@ -108,8 +108,12 @@ class RunJournal:
         """Read a journal: ``(header, {block_index: outcome})``.
 
         A corrupt or truncated *trailing* line is ignored (the block
-        that was in flight when the run died); corruption anywhere
-        else raises.
+        that was in flight when the run died; whitespace-only lines
+        after it are part of the same torn write).  Corruption
+        anywhere else -- an unparseable interior line, or a blank
+        interior line where a record should be -- raises a typed
+        :class:`~repro.errors.JournalError` instead of silently
+        skipping blocks on resume.
 
         Raises:
             JournalError: on a missing file, bad header, or mid-file
@@ -134,16 +138,32 @@ class RunJournal:
                 f"journal {path!r} is not a version-{_VERSION} "
                 f"run journal")
         completed: dict[int, BlockOutcome] = {}
-        for lineno, line in enumerate(lines[1:], start=2):
+        body = lines[1:]
+        # The only ignorable corruption is the torn final write of a
+        # killed run: the last *content* line, with nothing but
+        # whitespace after it.
+        last_content = max(
+            (i for i, text in enumerate(body) if text.strip()),
+            default=-1)
+        for offset, line in enumerate(body):
+            lineno = offset + 2
             if not line.strip():
-                continue
+                if offset < last_content:
+                    raise JournalError(
+                        f"journal {path!r} is corrupt at line "
+                        f"{lineno}: blank interior line where a "
+                        f"block record should be; resuming would "
+                        f"silently skip blocks")
+                continue  # whitespace tail of a torn final write
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                if lineno == len(lines):
+                if offset == last_content:
                     break  # torn final write of a killed run
                 raise JournalError(
-                    f"journal {path!r} is corrupt at line {lineno}")
+                    f"journal {path!r} is corrupt at line {lineno}: "
+                    f"unparseable non-trailing record; resuming "
+                    f"would silently skip blocks")
             if record.get("type") not in ("block", "quarantined"):
                 raise JournalError(
                     f"journal {path!r} has an unknown record type "

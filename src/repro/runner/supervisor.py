@@ -84,11 +84,34 @@ from repro.verify.checker import degraded_timing
 _WORKER_STATE: dict = {}
 
 
+def _apply_mem_ceiling(mem_limit_mb: int | None) -> None:
+    """Arm the opt-in per-worker address-space ceiling.
+
+    With ``RLIMIT_AS`` set, a runaway allocation fails *inside* the
+    worker as a ``MemoryError`` (attributed to its block and builder,
+    crash kind ``"oom"``) instead of growing until the kernel OOM
+    killer SIGKILLs an arbitrary process.  Platforms without the
+    ``resource`` module (or that refuse the limit) run without a
+    ceiling -- the feature is opt-in and advisory, never required for
+    correctness.
+    """
+    if not mem_limit_mb:
+        return
+    try:
+        import resource as _resource
+        limit = int(mem_limit_mb) * 1024 * 1024
+        _resource.setrlimit(_resource.RLIMIT_AS, (limit, limit))
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
 def _init_worker(machine: MachineModel, chain_names: tuple[str, ...],
                  budget: Budget | None, heuristic_driver: str,
                  verify: bool, use_cache: bool,
-                 trace: bool = False, metrics: bool = False) -> None:
+                 trace: bool = False, metrics: bool = False,
+                 mem_limit_mb: int | None = None) -> None:
     """Per-process setup: resolve the chain once, not per block."""
+    _apply_mem_ceiling(mem_limit_mb)
     cache = PairwiseCache() if use_cache else None
     _WORKER_STATE["machine"] = machine
     _WORKER_STATE["chain"] = resolve_chain(chain_names, machine,
@@ -177,6 +200,13 @@ def _worker_main(conn: Connection, init_args: tuple) -> None:
                     os.kill(os.getpid(), signal.SIGKILL)
                 elif kind == "corrupt":
                     block = None
+                elif kind == "alloc":
+                    # Exercises the memory ceiling: under RLIMIT_AS
+                    # this raises MemoryError (attributed as an "oom"
+                    # crash); without a ceiling it is a real -- brief
+                    # -- allocation.
+                    _hog = bytearray(inject[1])
+                    del _hog
             if block is None or not isinstance(block, BasicBlock):
                 conn.send(("error", index,
                            "corrupted task payload: expected a "
@@ -480,6 +510,11 @@ class SupervisedPool:
             retries, quarantines); worker block traces are returned
             through :meth:`result` for program-order absorption.
         metrics: parent registry for supervision counters.
+        mem_limit_mb: opt-in per-worker address-space ceiling in MiB
+            (``RLIMIT_AS`` in the worker bootstrap).  A worker whose
+            allocation exceeds it fails with a ``MemoryError``
+            attributed to its block and builder (crash kind
+            ``"oom"``), instead of an anonymous kernel SIGKILL.
     """
 
     def __init__(self, blocks: Sequence[BasicBlock],
@@ -498,12 +533,13 @@ class SupervisedPool:
                  quarantine_dir: str | None = None,
                  breaker: CircuitBreaker | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 mem_limit_mb: int | None = None) -> None:
         self._machine = machine
         self._chain_names = chain_names
         self._init_args = (machine, chain_names, budget,
                            heuristic_driver, verify, use_cache,
-                           trace, metrics_on)
+                           trace, metrics_on, mem_limit_mb)
         self._retry = retry or RetryPolicy()
         self._chaos = chaos
         self._task_timeout = task_timeout
@@ -669,10 +705,19 @@ class SupervisedPool:
             _, index, error = message
             if worker.task is not None and worker.task[0] == index:
                 attempt = worker.task[1]
+                builder = worker.attempt_builder
                 worker.task = None
                 worker.attempt_builder = None
-                self._task_failed(index, attempt, "task-error", error,
-                                  builder=None)
+                # A MemoryError under the opt-in RLIMIT_AS ceiling is
+                # an OOM death with exact attribution -- distinct from
+                # both an anonymous SIGKILL and a generic task error.
+                failure_kind = ("oom" if error.startswith("MemoryError")
+                                else "task-error")
+                if failure_kind == "oom" and builder is not None \
+                        and self._breaker is not None:
+                    self._breaker.record_failure(builder)
+                self._task_failed(index, attempt, failure_kind, error,
+                                  builder=builder)
             return
         raise ReproError(
             f"unknown supervised-worker message {kind!r}")
@@ -719,13 +764,16 @@ class SupervisedPool:
     def _task_failed(self, index: int, attempt: int, kind: str,
                      error: str, builder: str | None) -> None:
         failures = self._failures.setdefault(index, [])
-        failures.append(("crash" if kind != "task-error" else kind,
-                         error))
-        if kind == "task-error":
+        failures.append((kind if kind in ("task-error", "oom")
+                         else "crash", error))
+        if kind in ("task-error", "oom"):
+            # In-worker failures: the process survived, so _reap never
+            # saw them -- account for them here.
             self.stats.crashes += 1
             self.stats.crash_kinds[kind] = \
                 self.stats.crash_kinds.get(kind, 0) + 1
-            self._tracer.event("task-error", index=index, error=error)
+            self._tracer.event("task-error", index=index, kind=kind,
+                               error=error)
             record_worker_crash(self._metrics, kind)
         retries = attempt + 1
         if retries > self._retry.max_retries:

@@ -1,0 +1,79 @@
+"""Scheduling-as-a-service: the hardened ``repro serve`` daemon.
+
+Everything before this package is one-shot CLI; this is the serving
+layer the ROADMAP's "millions of users" claim needs, built so the
+robustness machinery (supervised pool, fallback chains, budgets,
+journal semantics, chaos) earns its keep under live traffic:
+
+* :mod:`repro.serve.protocol` -- the newline-delimited JSON wire
+  protocol (requests, streamed per-block results, typed rejections).
+* :mod:`repro.serve.admission` -- per-tenant token-bucket rate
+  limiting, per-tenant work budgets (reusing
+  :class:`~repro.runner.watchdog.Budget`), and bounded-queue
+  backpressure with explicit 429-style load shedding.
+* :mod:`repro.serve.engine` -- per-request execution: deadline
+  propagation down to :func:`~repro.runner.fallback.\
+schedule_block_resilient` wall-clock budgets, per-thread warm
+  :class:`~repro.dag.builders.cache.PairwiseCache`, and shed
+  accounting (scheduled + degraded + shed + quarantined = total).
+* :mod:`repro.serve.server` -- the asyncio daemon: unix-socket or
+  localhost-TCP listener, health/readiness endpoints wired to pool
+  and breaker state, and graceful drain on SIGTERM (stop admitting,
+  finish or shed in-flight blocks, exit 0).
+* :mod:`repro.serve.loadtest` -- the seeded ``repro loadtest`` client:
+  p50/p99 latency, throughput, shed rate, and error-budget report
+  through the obs metrics registry.
+* :mod:`repro.serve.chaosserve` -- ``repro chaos --serve``: worker
+  crashes, client disconnects, and deadline storms against a live
+  server, asserting zero lost and zero double-scheduled blocks.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    TenantState,
+    TokenBucket,
+)
+from repro.serve.chaosserve import (
+    ServeChaosConfig,
+    ServeChaosReport,
+    render_serve_chaos_report,
+    run_serve_chaos,
+)
+from repro.serve.engine import run_request
+from repro.serve.loadtest import (
+    LoadtestConfig,
+    LoadtestReport,
+    generate_mix,
+    render_loadtest_report,
+    run_loadtest,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    REJECT_REASONS,
+    ScheduleRequest,
+    parse_address,
+)
+from repro.serve.server import BackgroundServer, ReproServer, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "generate_mix",
+    "LoadtestConfig",
+    "LoadtestReport",
+    "parse_address",
+    "PROTOCOL_VERSION",
+    "REJECT_REASONS",
+    "render_loadtest_report",
+    "render_serve_chaos_report",
+    "ReproServer",
+    "run_loadtest",
+    "run_request",
+    "run_serve_chaos",
+    "ScheduleRequest",
+    "ServeChaosConfig",
+    "ServeChaosReport",
+    "ServeConfig",
+    "TenantState",
+    "TokenBucket",
+]

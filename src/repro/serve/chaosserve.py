@@ -1,0 +1,305 @@
+"""``repro chaos --serve``: chaos against a live serve daemon.
+
+The batch chaos harness (:mod:`repro.runner.chaos`) proves the
+supervised pool survives worker death; this one proves the *daemon*
+survives everything around the pool at the same time:
+
+* **worker crashes** -- the server runs its engine with ``jobs >= 2``
+  and a seeded :class:`~repro.runner.chaos.ChaosConfig`, so blocks
+  die mid-flight inside real worker processes and are retried or
+  quarantined while results stream;
+* **client disconnects** -- a seeded fraction of clients hang up
+  mid-stream; the server must shed the remainder (reason
+  ``disconnect``) instead of losing it or wedging a worker slot;
+* **deadline storms** -- a seeded fraction of requests carry
+  deadlines too small for their block count, forcing mid-batch
+  shedding under load.
+
+The verdict comes from the server's own ``stats`` endpoint, read
+after the traffic settles and again after a graceful drain:
+
+* zero lost blocks -- every admitted block has exactly one verdict
+  (``scheduled + degraded + quarantined + shed == admitted``);
+* zero double-scheduled blocks -- the per-request duplicate counter
+  stayed 0;
+* the drain completed cleanly (listener closed, thread joined).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.chaos import ChaosConfig
+from repro.serve import protocol
+from repro.serve.loadtest import _open
+from repro.serve.server import BackgroundServer, ServeConfig
+
+
+@dataclass(frozen=True)
+class ServeChaosConfig:
+    """Seeded chaos plan for the serve harness.
+
+    Attributes:
+        seed: drives the worker-fault plan, the client fault plan,
+            and the workload mix.
+        requests: schedule requests to send.
+        jobs: per-request supervised workers (>= 2 so crashes land in
+            real worker processes).
+        copies: kernel repetitions per request (blocks per request).
+        exit_rate / kill_rate: worker-death injection rates
+            (see :class:`~repro.runner.chaos.ChaosConfig`).
+        disconnect_rate: fraction of clients that hang up after the
+            first streamed frame.
+        storm_rate: fraction of requests carrying a storm deadline.
+        storm_deadline_s: the too-small deadline storm requests carry.
+        mem_limit_mb: optional worker memory ceiling (pairs with
+            ``alloc_rate`` for attributed OOM chaos).
+        alloc_rate: worker allocation-burst injection rate.
+        drain_grace_s: server drain grace for the final SIGTERM-
+            equivalent drain.
+    """
+
+    seed: int = 0
+    requests: int = 6
+    jobs: int = 2
+    copies: int = 6
+    exit_rate: float = 0.12
+    kill_rate: float = 0.08
+    disconnect_rate: float = 0.25
+    storm_rate: float = 0.25
+    storm_deadline_s: float = 0.05
+    mem_limit_mb: int | None = None
+    alloc_rate: float = 0.0
+    drain_grace_s: float = 10.0
+
+
+@dataclass
+class ServeChaosReport:
+    """What the serve chaos run observed and verified."""
+
+    requests_sent: int = 0
+    requests_completed: int = 0
+    requests_rejected: int = 0
+    requests_disconnected: int = 0
+    blocks_admitted: int = 0
+    blocks_scheduled: int = 0
+    blocks_degraded: int = 0
+    blocks_quarantined: int = 0
+    blocks_shed: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    duplicate_blocks: int = 0
+    lost_blocks: int = 0
+    drained_ok: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Zero lost, zero double-scheduled, clean drain."""
+        return (self.lost_blocks == 0 and self.duplicate_blocks == 0
+                and self.drained_ok)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_sent": self.requests_sent,
+            "requests_completed": self.requests_completed,
+            "requests_rejected": self.requests_rejected,
+            "requests_disconnected": self.requests_disconnected,
+            "blocks_admitted": self.blocks_admitted,
+            "blocks_scheduled": self.blocks_scheduled,
+            "blocks_degraded": self.blocks_degraded,
+            "blocks_quarantined": self.blocks_quarantined,
+            "blocks_shed": self.blocks_shed,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "duplicate_blocks": self.duplicate_blocks,
+            "lost_blocks": self.lost_blocks,
+            "drained_ok": self.drained_ok,
+            "ok": self.ok,
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+def _chaos_mix(config: ServeChaosConfig) -> list[tuple[dict, bool]]:
+    """Seeded (message, disconnect_after_first_frame) pairs."""
+    rng = random.Random(f"repro-serve-chaos:{config.seed}")
+    kernels = ("daxpy", "dot_product", "livermore1")
+    mix = []
+    for i in range(config.requests):
+        message = {
+            "op": "schedule",
+            "id": f"chaos-{config.seed}-{i}",
+            "tenant": f"tenant-{i % 2}",
+            "workload": {
+                "kernel": kernels[rng.randrange(len(kernels))],
+                "copies": config.copies,
+            },
+        }
+        if rng.random() < config.storm_rate:
+            message["deadline_s"] = config.storm_deadline_s
+        disconnect = rng.random() < config.disconnect_rate
+        mix.append((message, disconnect))
+    return mix
+
+
+async def _chaos_client(address: str, message: dict,
+                        disconnect: bool,
+                        report: ServeChaosReport,
+                        lock: asyncio.Lock) -> None:
+    reader, writer = await _open(address)
+    frames_seen = 0
+    status = "completed"
+    try:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+        while True:
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=120.0)
+            if not line:
+                status = "disconnected"
+                break
+            frame = protocol.decode(line)
+            kind = frame.get("type")
+            if kind in ("block", "shed"):
+                frames_seen += 1
+                if disconnect and frames_seen == 1:
+                    # Hang up mid-stream: the abandoned remainder
+                    # must show up server-side as shed, never lost.
+                    status = "disconnected"
+                    break
+            elif kind in ("done",):
+                break
+            elif kind in ("rejected",):
+                status = "rejected"
+                break
+            elif kind in ("error",):
+                status = "rejected"
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    async with lock:
+        report.requests_sent += 1
+        if status == "completed":
+            report.requests_completed += 1
+        elif status == "rejected":
+            report.requests_rejected += 1
+        else:
+            report.requests_disconnected += 1
+
+
+async def _read_stats(address: str) -> dict:
+    reader, writer = await _open(address)
+    try:
+        writer.write(protocol.encode({"op": "stats"}))
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+        return protocol.decode(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _drive(address: str, mix, report: ServeChaosReport) -> dict:
+    lock = asyncio.Lock()
+    await asyncio.gather(*(
+        _chaos_client(address, message, disconnect, report, lock)
+        for message, disconnect in mix))
+    # Give disconnect-abandoned requests time to finish shedding
+    # server-side before auditing the books.
+    for _ in range(600):
+        stats = await _read_stats(address)
+        server = stats["server"]
+        if stats["admission"]["occupancy"] == 0 \
+                and server["accounted"]:
+            return stats
+        await asyncio.sleep(0.05)
+    return await _read_stats(address)
+
+
+def run_serve_chaos(config: ServeChaosConfig,
+                    metrics: MetricsRegistry | None = None
+                    ) -> ServeChaosReport:
+    """Stand up a daemon, batter it, audit the books, drain it."""
+    report = ServeChaosReport()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-chaos-") \
+            as tmp:
+        worker_chaos = ChaosConfig(
+            seed=config.seed,
+            exit_rate=config.exit_rate,
+            kill_rate=config.kill_rate,
+            alloc_rate=config.alloc_rate)
+        serve_config = ServeConfig(
+            address=f"unix:{os.path.join(tmp, 'chaos.sock')}",
+            workers=2,
+            max_queued=max(4, config.requests),
+            jobs=config.jobs,
+            drain_grace_s=config.drain_grace_s,
+            task_timeout=30.0,
+            mem_limit_mb=config.mem_limit_mb,
+            chaos=worker_chaos)
+        background = BackgroundServer(serve_config,
+                                      metrics=metrics).start()
+        try:
+            stats = asyncio.run(_drive(background.address,
+                                       _chaos_mix(config), report))
+            server = stats["server"]
+            report.blocks_admitted = server["blocks_admitted"]
+            report.blocks_scheduled = server["blocks_scheduled"]
+            report.blocks_degraded = server["blocks_degraded"]
+            report.blocks_quarantined = server["blocks_quarantined"]
+            report.blocks_shed = server["blocks_shed"]
+            report.shed_by_reason = server["shed_by_reason"]
+            report.duplicate_blocks = server["duplicate_blocks"]
+            report.lost_blocks = (
+                server["blocks_admitted"]
+                - server["blocks_scheduled"] - server["blocks_degraded"]
+                - server["blocks_quarantined"] - server["blocks_shed"])
+            background.drain()
+            report.drained_ok = True
+        finally:
+            if not report.drained_ok:
+                try:
+                    background.drain(timeout=10.0)
+                except Exception:  # noqa: BLE001 - already failing
+                    pass
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def render_serve_chaos_report(report: ServeChaosReport) -> str:
+    """Human-readable report lines (CLI output)."""
+    doc = report.to_dict()
+    lines = [
+        f"! serve chaos: {doc['requests_sent']} requests "
+        f"({doc['requests_completed']} completed, "
+        f"{doc['requests_disconnected']} disconnected, "
+        f"{doc['requests_rejected']} rejected)",
+        f"! blocks: {doc['blocks_admitted']} admitted = "
+        f"{doc['blocks_scheduled']} scheduled + "
+        f"{doc['blocks_degraded']} degraded + "
+        f"{doc['blocks_quarantined']} quarantined + "
+        f"{doc['blocks_shed']} shed",
+    ]
+    if doc["shed_by_reason"]:
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            doc["shed_by_reason"].items())
+        lines.append(f"! shed reasons: {reasons}")
+    lines.append(
+        f"! lost blocks: {doc['lost_blocks']}, "
+        f"double-scheduled: {doc['duplicate_blocks']}, "
+        f"clean drain: {'yes' if doc['drained_ok'] else 'NO'}")
+    lines.append(f"! verdict: {'OK' if doc['ok'] else 'FAILED'} "
+                 f"in {doc['wall_s']}s")
+    return "\n".join(lines)

@@ -1,0 +1,330 @@
+"""``repro loadtest``: a seeded load generator for the serve daemon.
+
+Generates a deterministic request mix (seeded kernels, sizes,
+tenants, and deadlines), drives it against a running daemon with
+bounded client concurrency, and reports the SLO numbers that matter
+for a scheduling service: latency percentiles, throughput, shed and
+rejection rates, and the error budget -- the fraction of *admitted,
+deadlined* requests that met their deadline.
+
+The mix is the deterministic part: :func:`generate_mix` depends only
+on the config (same seed, same requests, fingerprinted in the
+report), so two loadtest runs against differently-tuned servers are
+comparing identical traffic.  Latencies are of course host-dependent;
+they are recorded through the obs metrics registry
+(``repro_requests_total``, ``repro_request_seconds``, ...) so
+``loadtest`` output and server-side dashboards speak the same
+catalog.
+
+What "good" looks like under overload: rejections climb (the daemon
+sheds load *explicitly*, by typed reason) while admitted requests
+keep meeting their deadlines -- admission control converts overload
+into fast failure for some instead of slow failure for all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, record_request
+from repro.serve import protocol
+from repro.serve.protocol import parse_address
+
+#: kernels the generator draws from (all in workloads.kernels)
+MIX_KERNELS = ("daxpy", "dot_product", "livermore1", "figure1")
+
+
+@dataclass(frozen=True)
+class LoadtestConfig:
+    """One loadtest's traffic description.
+
+    Attributes:
+        address: daemon address to connect to.
+        seed: mix seed; same seed, same requests.
+        requests: total schedule requests to send.
+        concurrency: client connections sending in parallel.
+        tenants: distinct tenant ids to spread traffic over.
+        copies_max: request size knob -- each request schedules a
+            kernel repeated 1..copies_max times (one block per copy).
+        deadline_s: the deadline carried by deadlined requests.
+        deadline_fraction: fraction of requests carrying a deadline.
+        machine: machine model every request asks for.
+        timeout_s: client-side cap on one request's full stream.
+    """
+
+    address: str
+    seed: int = 0
+    requests: int = 40
+    concurrency: int = 8
+    tenants: int = 2
+    copies_max: int = 4
+    deadline_s: float = 10.0
+    deadline_fraction: float = 0.5
+    machine: str = "generic"
+    timeout_s: float = 60.0
+
+
+def generate_mix(config: LoadtestConfig) -> list[dict]:
+    """The deterministic request mix for a config (wire messages)."""
+    rng = random.Random(f"repro-loadtest:{config.seed}")
+    mix = []
+    for i in range(config.requests):
+        message = {
+            "op": "schedule",
+            "id": f"lt-{config.seed}-{i}",
+            "tenant": f"tenant-{i % max(1, config.tenants)}",
+            "machine": config.machine,
+            "workload": {
+                "kernel": MIX_KERNELS[rng.randrange(len(MIX_KERNELS))],
+                "copies": rng.randint(1, max(1, config.copies_max)),
+            },
+        }
+        if rng.random() < config.deadline_fraction:
+            message["deadline_s"] = config.deadline_s
+        mix.append(message)
+    return mix
+
+
+def mix_fingerprint(mix: list[dict]) -> str:
+    """Stable digest of a mix, printed so runs are comparable."""
+    payload = json.dumps(mix, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+@dataclass
+class LoadtestReport:
+    """What one loadtest observed.
+
+    ``completed + rejected + errored == sent`` always holds -- the
+    daemon's never-silent rule means every request has a terminal
+    frame (a client-side timeout counts as errored).
+    """
+
+    sent: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errored: int = 0
+    rejections_by_reason: dict[str, int] = field(default_factory=dict)
+    blocks_done: int = 0
+    blocks_shed: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    deadlined: int = 0
+    deadlines_met: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    wall_s: float = 0.0
+    fingerprint: str = ""
+    seed: int = 0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile over completed requests."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.blocks_done + self.blocks_shed
+        return self.blocks_shed / total if total else 0.0
+
+    @property
+    def error_budget_ok(self) -> float:
+        """Fraction of admitted, deadlined requests that met their
+        deadline (1.0 when none carried a deadline)."""
+        return (self.deadlines_met / self.deadlined
+                if self.deadlined else 1.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errored": self.errored,
+            "rejections_by_reason": dict(sorted(
+                self.rejections_by_reason.items())),
+            "blocks_done": self.blocks_done,
+            "blocks_shed": self.blocks_shed,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "shed_rate": round(self.shed_rate, 4),
+            "deadlined": self.deadlined,
+            "deadlines_met": self.deadlines_met,
+            "error_budget_ok": round(self.error_budget_ok, 4),
+            "p50_s": round(self.percentile(0.50), 6),
+            "p99_s": round(self.percentile(0.99), 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+async def _open(address: str):
+    kind = parse_address(address)
+    if kind[0] == "unix":
+        return await asyncio.open_unix_connection(
+            kind[1], limit=protocol.MAX_LINE_BYTES)
+    return await asyncio.open_connection(
+        kind[1], kind[2], limit=protocol.MAX_LINE_BYTES)
+
+
+async def _drive_one(reader, writer, message: dict,
+                     report: LoadtestReport, lock: asyncio.Lock,
+                     metrics: MetricsRegistry | None,
+                     timeout_s: float) -> None:
+    """Send one request, consume its stream to the terminal frame."""
+    t0 = time.perf_counter()
+    writer.write(protocol.encode(message))
+    await writer.drain()
+    status = "client-timeout"
+    blocks = 0
+    shed: dict[str, int] = {}
+    deadline_met = None
+    try:
+        while True:
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=timeout_s)
+            if not line:
+                status = "disconnected"
+                break
+            frame = protocol.decode(line)
+            if frame.get("id") != message["id"]:
+                continue
+            kind = frame.get("type")
+            if kind == "block":
+                blocks += 1
+            elif kind == "shed":
+                shed[frame["reason"]] = shed.get(frame["reason"], 0) + 1
+            elif kind == "done":
+                status = "ok"
+                deadline_met = frame["summary"].get("deadline_met")
+                break
+            elif kind == "rejected":
+                status = f"rejected:{frame['reason']}"
+                break
+            elif kind == "error":
+                status = "error"
+                break
+    except asyncio.TimeoutError:
+        status = "client-timeout"
+    latency = time.perf_counter() - t0
+
+    async with lock:
+        report.sent += 1
+        report.blocks_done += blocks
+        for reason, count in shed.items():
+            report.blocks_shed += count
+            report.shed_by_reason[reason] = \
+                report.shed_by_reason.get(reason, 0) + count
+        if status == "ok":
+            report.completed += 1
+            report.latencies_s.append(latency)
+            if "deadline_s" in message:
+                report.deadlined += 1
+                if deadline_met:
+                    report.deadlines_met += 1
+        elif status.startswith("rejected:"):
+            report.rejected += 1
+            reason = status.split(":", 1)[1]
+            report.rejections_by_reason[reason] = \
+                report.rejections_by_reason.get(reason, 0) + 1
+        else:
+            report.errored += 1
+        if metrics is not None:
+            record_request(metrics, message.get("tenant", "default"),
+                           "ok" if status == "ok" else status,
+                           latency)
+
+
+async def _run(config: LoadtestConfig, mix: list[dict],
+               report: LoadtestReport,
+               metrics: MetricsRegistry | None) -> None:
+    queue: asyncio.Queue = asyncio.Queue()
+    for message in mix:
+        queue.put_nowait(message)
+    lock = asyncio.Lock()
+
+    async def worker() -> None:
+        try:
+            reader, writer = await _open(config.address)
+        except (ConnectionError, FileNotFoundError, OSError) as exc:
+            raise ReproError(
+                f"loadtest cannot connect to {config.address!r}: "
+                f"{exc}")
+        try:
+            while True:
+                try:
+                    message = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                await _drive_one(reader, writer, message, report,
+                                 lock, metrics, config.timeout_s)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    await asyncio.gather(*(worker()
+                           for _ in range(config.concurrency)))
+
+
+def run_loadtest(config: LoadtestConfig,
+                 metrics: MetricsRegistry | None = None
+                 ) -> LoadtestReport:
+    """Generate the mix, drive it, and return the report.
+
+    Raises:
+        ReproError: when the daemon is unreachable.
+    """
+    mix = generate_mix(config)
+    report = LoadtestReport(seed=config.seed,
+                            fingerprint=mix_fingerprint(mix))
+    t0 = time.perf_counter()
+    asyncio.run(_run(config, mix, report, metrics))
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def render_loadtest_report(report: LoadtestReport) -> str:
+    """Human-readable report lines (CLI output)."""
+    doc = report.to_dict()
+    lines = [
+        f"! loadtest: seed {doc['seed']}, mix {doc['fingerprint']}",
+        f"! requests: {doc['sent']} sent, {doc['completed']} ok, "
+        f"{doc['rejected']} rejected, {doc['errored']} errored",
+    ]
+    if doc["rejections_by_reason"]:
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            doc["rejections_by_reason"].items())
+        lines.append(f"! shed load (typed): {reasons}")
+    lines.append(
+        f"! blocks: {doc['blocks_done']} done, "
+        f"{doc['blocks_shed']} shed "
+        f"(rate {doc['shed_rate']:.1%})")
+    if doc["shed_by_reason"]:
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            doc["shed_by_reason"].items())
+        lines.append(f"! shed reasons: {reasons}")
+    lines.append(
+        f"! latency: p50 {doc['p50_s'] * 1000:.1f} ms, "
+        f"p99 {doc['p99_s'] * 1000:.1f} ms; "
+        f"throughput {doc['throughput_rps']:.1f} req/s")
+    lines.append(
+        f"! error budget: {doc['deadlines_met']} of "
+        f"{doc['deadlined']} deadlined requests met their deadline "
+        f"({doc['error_budget_ok']:.1%})")
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""The ``repro serve`` wire protocol: newline-delimited JSON.
+
+One connection carries any number of requests; every message is one
+JSON object on one line (UTF-8, ``\\n``-terminated).  Responses are
+*streamed*: a ``schedule`` request is answered by an ``accepted``
+frame, then one ``block`` (or ``shed``) frame per basic block as it
+completes, then a terminal ``done`` frame -- or by a single typed
+``rejected``/``error`` frame.  Every frame echoes the request's
+client-chosen ``id`` so requests may be pipelined on one connection.
+
+Client -> server operations (``op``):
+
+* ``schedule`` -- schedule a program; see :class:`ScheduleRequest`.
+* ``health`` -- liveness + pool/breaker/cache state (always answers).
+* ``ready`` -- readiness: would a schedule request be admitted now?
+* ``stats`` -- the server's global block/request accounting (used by
+  the chaos harness to prove zero lost / double-scheduled blocks).
+
+Server -> client frame ``type``\\ s: ``accepted``, ``block``, ``shed``,
+``done``, ``rejected``, ``error``, ``health``, ``ready``, ``stats``.
+
+Design rules the robustness story depends on:
+
+* **never silent** -- a request that cannot run is answered with a
+  typed ``rejected`` (admission) or ``error`` (malformed/failed)
+  frame, never dropped;
+* **always accounted** -- an admitted request's ``done`` summary
+  satisfies ``scheduled + degraded + shed + quarantined == n_blocks``
+  even when the deadline expired or the client vanished mid-stream;
+* **bounded** -- one request line is capped at
+  :data:`MAX_LINE_BYTES`; oversized requests are a typed rejection
+  (``request-too-large``), not a buffer blow-up.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+#: protocol schema version, echoed in every ``accepted`` frame
+PROTOCOL_VERSION = 1
+
+#: hard cap on one request line, bytes (backpressure, not a buffer
+#: blow-up: an oversized line is a typed rejection)
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: typed admission-rejection reason codes (the 429 family)
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_RATE_LIMITED = "rate-limited"
+REJECT_BUDGET = "tenant-budget-exhausted"
+REJECT_DRAINING = "draining"
+REJECT_TOO_LARGE = "request-too-large"
+REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_RATE_LIMITED,
+                  REJECT_BUDGET, REJECT_DRAINING, REJECT_TOO_LARGE)
+
+#: shed reason codes (per-block, on admitted requests)
+SHED_DEADLINE = "deadline"
+SHED_DISCONNECT = "disconnect"
+SHED_DRAIN = "drain"
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return (json.dumps(message, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one wire line into a message dict.
+
+    Raises:
+        ProtocolError: when the line is not a JSON object.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request line is not UTF-8: {exc}")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request line is not JSON: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+def parse_address(spec: str) -> tuple:
+    """Parse a listen/connect address.
+
+    Accepted forms: ``unix:/path/to.sock``, a bare path containing
+    ``/`` (unix socket), ``HOST:PORT``, or a bare ``PORT`` (localhost
+    TCP).  TCP binds are loopback-only by design -- this daemon has no
+    authentication story and must not be exposed.
+
+    Returns:
+        ``("unix", path)`` or ``("tcp", host, port)``.
+
+    Raises:
+        ProtocolError: for an unparseable spec.
+    """
+    if spec.startswith("unix:"):
+        return ("unix", spec[len("unix:"):])
+    if "/" in spec:
+        return ("unix", spec)
+    if ":" in spec:
+        host, _, port = spec.rpartition(":")
+        try:
+            return ("tcp", host or "127.0.0.1", int(port))
+        except ValueError:
+            raise ProtocolError(f"bad TCP address {spec!r}")
+    try:
+        return ("tcp", "127.0.0.1", int(spec))
+    except ValueError:
+        raise ProtocolError(
+            f"cannot parse address {spec!r} (want unix:/path, "
+            f"/path, HOST:PORT, or PORT)")
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One validated ``schedule`` operation.
+
+    Exactly one of ``asm`` / ``workload`` carries the program:
+    ``asm`` is assembly text, ``workload`` is a generator spec
+    ``{"kernel": name, "copies": n}`` expanded server-side (so load
+    generators need not ship megabytes of identical text).
+
+    Attributes:
+        id: client-chosen request id, echoed on every frame.
+        tenant: admission-control tenant the request is charged to.
+        asm: assembly source text, or None.
+        workload: workload spec dict, or None.
+        machine: machine-model name (server validates).
+        window: maximum block size (instruction-window split).
+        deadline_s: end-to-end deadline budget in seconds; propagated
+            down to per-block wall-clock watchdog budgets and enforced
+            between blocks (expiry sheds the remainder, typed).
+        verify: independently verify every accepted schedule.
+        lenient: skip unparseable source lines instead of failing the
+            request.
+        chain: builder fallback chain override (names), or None for
+            the server default.
+    """
+
+    id: str
+    tenant: str = "default"
+    asm: str | None = None
+    workload: dict | None = field(default=None, hash=False)
+    machine: str = "generic"
+    window: int | None = None
+    deadline_s: float | None = None
+    verify: bool = False
+    lenient: bool = False
+    chain: tuple[str, ...] | None = None
+
+    @staticmethod
+    def from_message(message: dict) -> "ScheduleRequest":
+        """Validate a decoded ``schedule`` message.
+
+        Raises:
+            ProtocolError: for missing/conflicting/ill-typed fields.
+        """
+        rid = message.get("id")
+        if not isinstance(rid, str) or not rid:
+            raise ProtocolError(
+                "schedule request needs a non-empty string 'id'")
+        asm = message.get("asm")
+        workload = message.get("workload")
+        if (asm is None) == (workload is None):
+            raise ProtocolError(
+                f"request {rid!r} must carry exactly one of "
+                f"'asm' or 'workload'")
+        if asm is not None and not isinstance(asm, str):
+            raise ProtocolError(f"request {rid!r}: 'asm' must be text")
+        if workload is not None:
+            if not isinstance(workload, dict) \
+                    or not isinstance(workload.get("kernel"), str):
+                raise ProtocolError(
+                    f"request {rid!r}: 'workload' must be an object "
+                    f"with a 'kernel' name")
+        tenant = message.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(
+                f"request {rid!r}: 'tenant' must be a non-empty "
+                f"string")
+        deadline = message.get("deadline_s")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) or deadline <= 0:
+                raise ProtocolError(
+                    f"request {rid!r}: 'deadline_s' must be a "
+                    f"positive number")
+        window = message.get("window")
+        if window is not None and (not isinstance(window, int)
+                                   or window < 1):
+            raise ProtocolError(
+                f"request {rid!r}: 'window' must be a positive "
+                f"integer")
+        chain = message.get("chain")
+        if chain is not None:
+            if not isinstance(chain, list) \
+                    or not all(isinstance(n, str) for n in chain):
+                raise ProtocolError(
+                    f"request {rid!r}: 'chain' must be a list of "
+                    f"builder names")
+            chain = tuple(chain)
+        return ScheduleRequest(
+            id=rid, tenant=tenant, asm=asm, workload=workload,
+            machine=str(message.get("machine", "generic")),
+            window=window,
+            deadline_s=float(deadline) if deadline is not None else None,
+            verify=bool(message.get("verify", False)),
+            lenient=bool(message.get("lenient", False)),
+            chain=chain)
+
+
+# -- response frame constructors --------------------------------------------
+
+
+def accepted_frame(rid: str, queue_depth: int) -> dict:
+    """The request passed admission and is queued/executing."""
+    return {"type": "accepted", "id": rid,
+            "protocol": PROTOCOL_VERSION, "queue_depth": queue_depth}
+
+
+def block_frame(rid: str, record: dict) -> dict:
+    """One completed block outcome (journal-record shape)."""
+    return {"type": "block", "id": rid, "block": record}
+
+
+def shed_frame(rid: str, index: int, reason: str) -> dict:
+    """One block the request will NOT schedule, and why."""
+    return {"type": "shed", "id": rid, "index": index,
+            "reason": reason}
+
+
+def done_frame(rid: str, summary: dict) -> dict:
+    """Terminal success frame with the request accounting."""
+    return {"type": "done", "id": rid, "summary": summary}
+
+
+def rejected_frame(rid: str | None, reason: str,
+                   retry_after_s: float | None = None,
+                   detail: str | None = None) -> dict:
+    """Typed admission rejection (the 429 family)."""
+    frame = {"type": "rejected", "id": rid, "code": 429,
+             "reason": reason}
+    if retry_after_s is not None:
+        frame["retry_after_s"] = round(retry_after_s, 4)
+    if detail:
+        frame["detail"] = detail
+    return frame
+
+
+def error_frame(rid: str | None, error: str, message: str,
+                code: int = 400) -> dict:
+    """Typed request failure (malformed input, parse error, ...)."""
+    return {"type": "error", "id": rid, "code": code, "error": error,
+            "message": message}

@@ -1,0 +1,580 @@
+"""The ``repro serve`` daemon: asyncio listener, drain, health.
+
+One :class:`ReproServer` owns a unix-socket or localhost-TCP
+listener, a bounded thread executor that runs admitted requests
+through :func:`repro.serve.engine.run_request`, the shared
+:class:`~repro.serve.admission.AdmissionController`, and the global
+block accounting the chaos harness audits.
+
+Lifecycle contract (the tentpole's robustness surface):
+
+* every inbound line is answered -- malformed input gets a typed
+  ``error`` frame, overload gets a typed ``rejected`` frame, and an
+  oversized line gets ``request-too-large`` before the connection is
+  closed (the stream cannot be resynchronised past an unbounded
+  line);
+* a client that disconnects mid-stream does not waste the pool: its
+  request is cancelled at the next block boundary and the remainder
+  is *shed* (reason ``disconnect``) into the server accounting, so
+  blocks are never silently lost;
+* SIGTERM drains gracefully -- admission closes first (``draining``
+  rejections), in-flight requests get ``drain_grace_s`` to finish,
+  anything still running then sheds its remainder (reason ``drain``),
+  and the process exits 0.
+
+Tests and the in-process harnesses (`loadtest --in-process`, ``chaos
+--serve``) use :class:`BackgroundServer`, which runs the same server
+on a daemon thread and exposes programmatic ``drain()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import dataclasses
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, RequestRejected
+from repro.machine.presets import (
+    generic_risc,
+    rs6000_like,
+    sparcstation2_like,
+    superscalar2,
+)
+from repro.obs.metrics import MetricsRegistry, record_request
+from repro.runner.supervisor import CircuitBreaker, RetryPolicy
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController
+from repro.serve.engine import cache_stats, request_blocks, run_request
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    SHED_DISCONNECT,
+    SHED_DRAIN,
+    ScheduleRequest,
+    parse_address,
+)
+
+#: machine-model presets the daemon will schedule for
+MACHINE_PRESETS = {
+    "generic": generic_risc,
+    "sparc": sparcstation2_like,
+    "rs6000": rs6000_like,
+    "superscalar2": superscalar2,
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one daemon instance needs to know.
+
+    Attributes:
+        address: listen address (see
+            :func:`~repro.serve.protocol.parse_address`).
+        workers: executor threads = concurrently *running* requests;
+            also the admission controller's ``max_active``.
+        max_queued: admitted requests allowed to wait for a thread.
+        jobs: per-request engine parallelism (``>= 2`` builds a
+            supervised pool per request; 1 = serial in-process).
+        tenant_rate / tenant_burst: per-tenant token bucket.
+        tenant_max_blocks: per-tenant cumulative block budget
+            (None = unlimited).
+        max_request_blocks: largest admissible single request.
+        block_wall_s: per-block wall-clock cap (tightened to the
+            request's remaining deadline).
+        max_work: per-attempt construction-work budget.
+        default_deadline_s: applied to requests that carry none
+            (None = no implicit deadline).
+        drain_grace_s: seconds in-flight requests get to finish
+            before the drain sheds their remainder.
+        cache_entries: LRU cap for each warm per-thread cache.
+        chain: default builder fallback chain (request override wins).
+        breaker: share one circuit breaker across requests (outcome-
+            changing and load-sensitive, so opt-in, like everywhere
+            else in the runner).
+        mem_limit_mb / task_timeout / quarantine_dir: forwarded to
+            the pooled engine path (``jobs >= 2``).
+        chaos: seeded :class:`~repro.runner.chaos.ChaosConfig` fault
+            injection for the pooled path -- the ``chaos --serve``
+            harness's hook; never set in production.
+    """
+
+    address: str
+    workers: int = 2
+    max_queued: int = 16
+    jobs: int = 1
+    tenant_rate: float = 50.0
+    tenant_burst: float = 100.0
+    tenant_max_blocks: int | None = None
+    max_request_blocks: int = 10_000
+    block_wall_s: float | None = 30.0
+    max_work: int | None = None
+    default_deadline_s: float | None = None
+    drain_grace_s: float = 5.0
+    cache_entries: int = 512
+    chain: tuple[str, ...] | None = None
+    breaker: bool = False
+    mem_limit_mb: int | None = None
+    task_timeout: float | None = 60.0
+    quarantine_dir: str | None = None
+    chaos: object | None = None
+
+
+@dataclass
+class ServerStats:
+    """Global request/block accounting (the ``stats`` endpoint).
+
+    ``blocks_scheduled + blocks_degraded + blocks_quarantined +
+    blocks_shed == blocks_admitted`` must hold once every admitted
+    request has terminated; ``duplicate_blocks`` must stay 0.  The
+    chaos harness asserts both.
+    """
+
+    requests_admitted: int = 0
+    requests_completed: int = 0
+    requests_errored: int = 0
+    blocks_admitted: int = 0
+    blocks_scheduled: int = 0
+    blocks_degraded: int = 0
+    blocks_quarantined: int = 0
+    blocks_shed: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    duplicate_blocks: int = 0
+    disconnects: int = 0
+
+    @property
+    def accounted(self) -> bool:
+        """Every admitted block has exactly one verdict."""
+        return (self.blocks_scheduled + self.blocks_degraded
+                + self.blocks_quarantined + self.blocks_shed
+                == self.blocks_admitted)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_admitted": self.requests_admitted,
+            "requests_completed": self.requests_completed,
+            "requests_errored": self.requests_errored,
+            "blocks_admitted": self.blocks_admitted,
+            "blocks_scheduled": self.blocks_scheduled,
+            "blocks_degraded": self.blocks_degraded,
+            "blocks_quarantined": self.blocks_quarantined,
+            "blocks_shed": self.blocks_shed,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "duplicate_blocks": self.duplicate_blocks,
+            "disconnects": self.disconnects,
+            "accounted": self.accounted,
+        }
+
+
+class _Active:
+    """One in-flight request's server-side state."""
+
+    def __init__(self, request: ScheduleRequest, ticket) -> None:
+        self.request = request
+        self.ticket = ticket
+        self.cancel_reason: str | None = None
+        self.seen: set[tuple[str, int]] = set()
+        self.t0 = time.monotonic()
+
+
+class ReproServer:
+    """The daemon.  Create, then ``await run()`` (or use
+    :class:`BackgroundServer`)."""
+
+    def __init__(self, config: ServeConfig,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.admission = AdmissionController(
+            max_active=config.workers,
+            max_queued=config.max_queued,
+            tenant_rate=config.tenant_rate,
+            tenant_burst=config.tenant_burst,
+            tenant_max_blocks=config.tenant_max_blocks,
+            max_request_blocks=config.max_request_blocks,
+            metrics=metrics)
+        self.stats = ServerStats()
+        self.breaker = (CircuitBreaker(metrics=metrics)
+                        if config.breaker else None)
+        self._stats_lock = threading.Lock()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=config.workers,
+            thread_name_prefix="repro-serve")
+        self._retry = RetryPolicy(base_delay=0.01, max_delay=0.2)
+        self._active: set[_Active] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self._drain_forced = False
+        self._drain_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.monotonic()
+        self.ready_event = threading.Event()
+
+    # -- frame plumbing -----------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    lock: asyncio.Lock, frame: dict) -> bool:
+        """Write one frame; False when the client is gone."""
+        async with lock:
+            if writer.is_closing():
+                return False
+            try:
+                writer.write(protocol.encode(frame))
+                await writer.drain()
+                return True
+            except (ConnectionError, BrokenPipeError, OSError):
+                return False
+
+    def _account_frame(self, active: _Active, frame: dict) -> None:
+        """Fold one streamed frame into the global accounting.
+
+        Runs on the event loop (single-threaded per server), so the
+        per-request dedup set needs no lock; the stats counters take
+        one anyway because the engine summary path also touches them.
+        """
+        kind = frame.get("type")
+        if kind == "block":
+            key = ("block", frame["block"]["index"])
+        elif kind == "shed":
+            key = ("shed", frame["index"])
+        else:
+            return
+        with self._stats_lock:
+            if key in active.seen \
+                    or ("block", key[1]) in active.seen \
+                    or ("shed", key[1]) in active.seen:
+                self.stats.duplicate_blocks += 1
+                return
+            active.seen.add(key)
+            if kind == "shed":
+                self.stats.blocks_shed += 1
+                reason = frame["reason"]
+                self.stats.shed_by_reason[reason] = \
+                    self.stats.shed_by_reason.get(reason, 0) + 1
+            else:
+                record = frame["block"]
+                if record.get("type") == "quarantined":
+                    self.stats.blocks_quarantined += 1
+                elif record.get("builder") is None:
+                    self.stats.blocks_degraded += 1
+                else:
+                    self.stats.blocks_scheduled += 1
+
+    # -- the ops ------------------------------------------------------------
+
+    def _health_frame(self) -> dict:
+        snapshot = self.admission.snapshot()
+        frame = {
+            "type": "health",
+            "ok": True,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "draining": snapshot["draining"],
+            "occupancy": snapshot["occupancy"],
+            "workers": self.config.workers,
+            "cache": cache_stats(),
+        }
+        if self.breaker is not None:
+            frame["breaker"] = {
+                b: self.breaker.state(b)
+                for b, _ in self.breaker.transitions} or {}
+        return frame
+
+    def _ready_frame(self) -> dict:
+        ok, reason = self.admission.would_admit()
+        return {"type": "ready", "ok": ok, "reason": reason}
+
+    def _stats_frame(self) -> dict:
+        with self._stats_lock:
+            stats = self.stats.to_dict()
+        return {"type": "stats", "server": stats,
+                "admission": self.admission.snapshot(),
+                "cache": cache_stats()}
+
+    # -- request execution --------------------------------------------------
+
+    def _run_admitted(self, active: _Active, machine, blocks,
+                      emit) -> dict:
+        """Executor-thread body for one admitted request."""
+        request = active.request
+        if request.deadline_s is None \
+                and self.config.default_deadline_s is not None:
+            request = dataclasses.replace(
+                request, deadline_s=self.config.default_deadline_s)
+        cfg = self.config
+        return run_request(
+            request, machine, blocks, emit,
+            chain_names=cfg.chain,
+            block_wall_s=cfg.block_wall_s,
+            max_work=cfg.max_work,
+            metrics=self.metrics,
+            breaker=self.breaker,
+            cancelled=lambda: active.cancel_reason
+            or (SHED_DRAIN if self._drain_forced else None),
+            jobs=cfg.jobs,
+            chaos=cfg.chaos,
+            retry=self._retry,
+            task_timeout=cfg.task_timeout,
+            quarantine_dir=cfg.quarantine_dir,
+            mem_limit_mb=cfg.mem_limit_mb)
+
+    async def _handle_schedule(self, message: dict,
+                               writer: asyncio.StreamWriter,
+                               lock: asyncio.Lock) -> None:
+        loop = asyncio.get_running_loop()
+        request = ScheduleRequest.from_message(message)
+        if request.machine not in MACHINE_PRESETS:
+            await self._send(writer, lock, protocol.error_frame(
+                request.id, "unknown-machine",
+                f"unknown machine {request.machine!r}; known: "
+                f"{sorted(MACHINE_PRESETS)}"))
+            return
+        try:
+            # Expansion can be big (parse + window): keep it off the
+            # event loop so health/ready stay responsive under load.
+            blocks = await loop.run_in_executor(None, request_blocks,
+                                                request)
+        except ReproError as exc:
+            await self._send(writer, lock, protocol.error_frame(
+                request.id, type(exc).__name__, str(exc)))
+            return
+        try:
+            ticket = self.admission.admit(request.tenant, len(blocks))
+        except RequestRejected as exc:
+            await self._send(writer, lock, protocol.rejected_frame(
+                request.id, exc.reason,
+                retry_after_s=exc.retry_after_s, detail=str(exc)))
+            return
+
+        active = _Active(request, ticket)
+        with self._stats_lock:
+            self.stats.requests_admitted += 1
+            self.stats.blocks_admitted += len(blocks)
+        self._active.add(active)
+        await self._send(writer, lock, protocol.accepted_frame(
+            request.id, self.admission.occupancy))
+
+        def emit(frame: dict) -> None:
+            # Engine thread -> event loop.  Accounting happens on the
+            # loop so ordering matches what the client observes.
+            def deliver() -> None:
+                self._account_frame(active, frame)
+                task = loop.create_task(self._send(writer, lock, frame))
+
+                def on_sent(t) -> None:
+                    if not t.cancelled() and t.exception() is None \
+                            and t.result() is False \
+                            and active.cancel_reason is None:
+                        active.cancel_reason = SHED_DISCONNECT
+                        with self._stats_lock:
+                            self.stats.disconnects += 1
+                task.add_done_callback(on_sent)
+            loop.call_soon_threadsafe(deliver)
+
+        machine = MACHINE_PRESETS[request.machine]()
+        status = "ok"
+        try:
+            summary = await loop.run_in_executor(
+                self._executor, self._run_admitted, active, machine,
+                blocks, emit)
+            await self._send(writer, lock,
+                             protocol.done_frame(request.id, summary))
+            with self._stats_lock:
+                self.stats.requests_completed += 1
+        except ReproError as exc:
+            status = "error"
+            # The request dies but its unprocessed blocks must not
+            # vanish from the accounting: shed whatever has no frame.
+            done = {idx for _, idx in active.seen}
+            for block in blocks:
+                if block.index not in done:
+                    frame = protocol.shed_frame(
+                        request.id, block.index, "error")
+                    self._account_frame(active, frame)
+            with self._stats_lock:
+                self.stats.requests_errored += 1
+            await self._send(writer, lock, protocol.error_frame(
+                request.id, type(exc).__name__, str(exc), code=500))
+        finally:
+            self._active.discard(active)
+            ticket.release()
+            if self.metrics is not None:
+                record_request(self.metrics, request.tenant, status,
+                               time.monotonic() - active.t0)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        tasks: list[asyncio.Task] = []
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break  # abrupt client reset == EOF
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, lock,
+                                     protocol.rejected_frame(
+                                         None, protocol.REJECT_TOO_LARGE,
+                                         detail=f"request line exceeds "
+                                                f"{MAX_LINE_BYTES} bytes"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode(line)
+                    op = message.get("op")
+                    if op == "health":
+                        await self._send(writer, lock,
+                                         self._health_frame())
+                    elif op == "ready":
+                        await self._send(writer, lock,
+                                         self._ready_frame())
+                    elif op == "stats":
+                        await self._send(writer, lock,
+                                         self._stats_frame())
+                    elif op == "schedule":
+                        # Run as a task so the reader keeps consuming
+                        # (pipelined requests; disconnects detected).
+                        tasks.append(asyncio.ensure_future(
+                            self._handle_schedule(message, writer,
+                                                  lock)))
+                    else:
+                        await self._send(writer, lock,
+                                         protocol.error_frame(
+                                             message.get("id"),
+                                             "unknown-op",
+                                             f"unknown op {op!r}"))
+                except ReproError as exc:
+                    await self._send(writer, lock, protocol.error_frame(
+                        None, type(exc).__name__, str(exc)))
+        finally:
+            self._conn_writers.discard(writer)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and mark the server ready."""
+        self._loop = asyncio.get_running_loop()
+        self._drain_event = asyncio.Event()
+        parsed = parse_address(self.config.address)
+        if parsed[0] == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=parsed[1],
+                limit=MAX_LINE_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=parsed[1],
+                port=parsed[2], limit=MAX_LINE_BYTES)
+        self.ready_event.set()
+
+    def bound_address(self) -> str:
+        """The concrete address (resolves port 0 after bind)."""
+        parsed = parse_address(self.config.address)
+        if parsed[0] == "unix":
+            return f"unix:{parsed[1]}"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def request_drain(self) -> None:
+        """Thread-safe drain trigger (what SIGTERM calls)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: self._drain_event and self._drain_event.set())
+
+    async def _drain(self) -> None:
+        """Graceful shutdown: reject, grace, shed, exit."""
+        self.admission.start_drain()
+        deadline = time.monotonic() + self.config.drain_grace_s
+        while self._active and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._active:
+            # Grace expired: in-flight engines shed their remainder
+            # (typed reason "drain") at the next block boundary.
+            self._drain_forced = True
+            while self._active:
+                await asyncio.sleep(0.02)
+        self._server.close()
+        await self._server.wait_closed()
+        # Hang up on idle clients so their handlers unwind cleanly
+        # (readline sees EOF) instead of being cancelled with the
+        # loop.
+        for writer in list(self._conn_writers):
+            writer.close()
+        deadline = time.monotonic() + 2.0
+        while self._conn_writers and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        self._executor.shutdown(wait=True)
+
+    async def run(self, install_signals: bool = True) -> None:
+        """Serve until drained.  Returns normally (exit 0) on
+        SIGTERM/SIGINT or :meth:`request_drain`."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig,
+                                            self._drain_event.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # pragma: no cover - non-main thread
+        await self._drain_event.wait()
+        await self._drain()
+
+
+class BackgroundServer:
+    """Run a :class:`ReproServer` on a daemon thread.
+
+    The in-process harnesses (tests, ``loadtest --in-process``,
+    ``chaos --serve``) use this to get a real listening socket without
+    a subprocess.  ``start()`` blocks until the listener is bound;
+    ``drain()`` performs the same graceful shutdown SIGTERM would and
+    joins the thread.
+    """
+
+    def __init__(self, config: ServeConfig,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.server = ReproServer(config, metrics=metrics)
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True)
+        self._error: BaseException | None = None
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self.server.run(install_signals=False))
+        except BaseException as exc:  # noqa: BLE001 - surfaced in join
+            self._error = exc
+            self.server.ready_event.set()
+
+    def start(self, timeout: float = 10.0) -> "BackgroundServer":
+        self._thread.start()
+        if not self.server.ready_event.wait(timeout):
+            raise ReproError("serve daemon did not become ready")
+        if self._error is not None:
+            raise ReproError(
+                f"serve daemon failed to start: {self._error}")
+        return self
+
+    @property
+    def address(self) -> str:
+        return self.server.bound_address()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        self.server.request_drain()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ReproError("serve daemon did not drain in time")
+        if self._error is not None:
+            raise ReproError(f"serve daemon crashed: {self._error}")

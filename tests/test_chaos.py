@@ -97,6 +97,35 @@ class TestChaosDeterminism:
         with pytest.raises(ReproError, match="jobs >= 2"):
             run_chaos(machine, ChaosConfig(), jobs=1)
 
+    def test_oom_deaths_are_attributed_under_memory_ceiling(
+            self, machine):
+        # Satellite: with a per-worker RLIMIT_AS ceiling, an injected
+        # allocation burst dies as a MemoryError inside the worker --
+        # an *attributed* "oom" crash, not an anonymous SIGKILL --
+        # and the block still recovers on retry.
+        metrics = MetricsRegistry()
+        config = ChaosConfig(seed=0, alloc_rate=1.0,
+                             alloc_bytes=1 << 30,
+                             max_injected_attempts=1)
+        report = run_chaos(machine, config, copies=1, jobs=2,
+                           metrics=metrics, mem_limit_mb=256)
+        assert report.ok, report.mismatches
+        assert report.crash_kinds.get("oom", 0) > 0
+        assert "kill" not in report.crash_kinds
+        snap = metrics.snapshot()["volatile"]
+        values = snap["repro_worker_crashes_total"]["values"]
+        assert values.get("kind=oom", 0) == report.crash_kinds["oom"]
+
+    def test_alloc_without_ceiling_is_survivable(self, machine):
+        # The same burst with no ceiling is just a brief allocation:
+        # no crash, outcomes identical to clean.
+        config = ChaosConfig(seed=0, alloc_rate=1.0,
+                             alloc_bytes=1 << 20,
+                             max_injected_attempts=1)
+        report = run_chaos(machine, config, copies=1, jobs=2)
+        assert report.ok, report.mismatches
+        assert report.crash_kinds.get("oom", 0) == 0
+
 
 class TestResilienceReport:
     def test_report_accounts_for_every_block(self, machine, tmp_path):

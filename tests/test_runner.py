@@ -249,6 +249,33 @@ class TestJournal:
         with pytest.raises(JournalError, match="corrupt at line 2"):
             RunJournal.load(path)
 
+    def test_blank_interior_line_raises(self, tmp_path, machine,
+                                        blocks):
+        # A blank line *between* records is a hole where a block
+        # should be; resuming over it would silently skip blocks.
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal.open_fresh(path, self.fingerprint()) as journal:
+            run_batch(blocks, machine, journal=journal)
+        lines = open(path).read().splitlines()
+        assert len(lines) >= 3  # header + at least two records
+        lines[1] = ""
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt at line 2"):
+            RunJournal.load(path)
+
+    def test_torn_final_line_with_trailing_blanks_is_tolerated(
+            self, tmp_path, machine, blocks):
+        # A killed run can leave a torn record followed by nothing
+        # but whitespace; only *non-trailing* corruption is fatal.
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal.open_fresh(path, self.fingerprint()) as journal:
+            run_batch(blocks, machine, journal=journal)
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:2]) + '\n{"type": "blo\n\n')
+        header, completed = RunJournal.load(path)
+        assert sorted(completed) == [blocks[0].index]
+
     def test_fingerprint_mismatch_raises(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         RunJournal.open_fresh(path, self.fingerprint()).close()
