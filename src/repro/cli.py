@@ -411,6 +411,8 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         block_wall_s=args.block_wall,
         default_deadline_s=args.default_deadline,
         drain_grace_s=args.drain_grace,
+        drain_force_s=args.drain_force,
+        cache_entries=args.cache_entries,
         chain=chain,
         breaker=args.breaker,
         mem_limit_mb=args.worker_mem_mb,
@@ -420,10 +422,17 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"({args.workers} workers, queue {args.max_queued}, "
         f"jobs {args.jobs})")
     # Blocks until SIGTERM/SIGINT, then drains gracefully: admission
-    # closes, in-flight requests finish or shed, exit status 0.
+    # closes, in-flight requests finish or shed, exit status 0.  A
+    # request wedged past the --drain-force backstop is abandoned and
+    # the daemon exits 1 instead of hanging.
     asyncio.run(server.run())
-    out("! serve: drained, all requests accounted")
     _write_obs(args, tracer, registry)
+    if server.drain_abandoned:
+        out(f"! serve: drain abandoned "
+            f"{len(server.drain_abandoned)} wedged request(s): "
+            f"{', '.join(server.drain_abandoned)}")
+        return 1
+    out("! serve: drained, all requests accounted")
     return 0
 
 
@@ -879,6 +888,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="SIGTERM drain grace before in-flight "
                             "requests shed their remainder")
+    serve.add_argument("--drain-force", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="hard backstop after the forced shed: "
+                            "requests still wedged are abandoned "
+                            "(reported, exit 1) so drain always "
+                            "terminates")
+    serve.add_argument("--cache-entries", type=int, default=512,
+                       metavar="N",
+                       help="LRU cap for each per-thread warm "
+                            "dependence cache")
     serve.add_argument("--chain", default=None, metavar="B1,B2,...",
                        help="default builder fallback chain")
     serve.add_argument("--breaker", action="store_true",

@@ -189,5 +189,6 @@ class PairwiseCache:
         """Hit/miss/occupancy counters for reports and benchmarks."""
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries),
+                "max_entries": self.max_entries,
                 "recipes": sum(len(e.recipes)
                                for e in self._entries.values())}

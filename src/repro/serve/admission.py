@@ -229,6 +229,23 @@ class AdmissionController:
         with self._lock:
             self._draining = True
 
+    def note_rejection(self, tenant: str, reason: str) -> None:
+        """Fold a rejection detected outside :meth:`admit` into the
+        stats.
+
+        The pre-expansion size gate rejects an oversized workload
+        before a block count even exists; this keeps that rejection
+        visible in the same counters and metrics as ``admit``'s own.
+        """
+        with self._lock:
+            state = self._tenant(tenant)
+            state.requests_rejected += 1
+            self.rejected_total += 1
+            self.rejections_by_reason[reason] = \
+                self.rejections_by_reason.get(reason, 0) + 1
+            if self.metrics is not None:
+                record_rejection(self.metrics, tenant, reason)
+
     @property
     def draining(self) -> bool:
         with self._lock:

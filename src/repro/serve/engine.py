@@ -36,7 +36,7 @@ from typing import Callable
 from repro.asm import parse_asm
 from repro.cfg.basic_block import BasicBlock
 from repro.dag.builders import PairwiseCache
-from repro.errors import ReproError
+from repro.errors import ReproError, RequestRejected
 from repro.machine.model import MachineModel
 from repro.obs.metrics import MetricsRegistry, record_deadline, record_shed_blocks
 from repro.runner.batch import run_batch
@@ -47,7 +47,11 @@ from repro.runner.fallback import (
 )
 from repro.runner.watchdog import Budget
 from repro.serve import protocol
-from repro.serve.protocol import SHED_DEADLINE, ScheduleRequest
+from repro.serve.protocol import (
+    REJECT_TOO_LARGE,
+    SHED_DEADLINE,
+    ScheduleRequest,
+)
 from repro.cfg import apply_window, partition_blocks, pin_delay_slot_occupants
 from repro.workloads.kernels import straightline_body, straightline_source
 
@@ -88,10 +92,20 @@ def cache_stats() -> dict:
             if hits + misses else 0.0}
 
 
-def request_blocks(request: ScheduleRequest) -> list[BasicBlock]:
+def request_blocks(request: ScheduleRequest,
+                   max_blocks: int | None = None) -> list[BasicBlock]:
     """Expand a request's program into schedulable basic blocks.
 
+    ``max_blocks`` bounds the expansion *before* it happens: a
+    workload's ``copies`` is capped at ``max_blocks`` so a tiny wire
+    request cannot make the server materialise a multi-gigabyte
+    source string that the post-expansion admission check would only
+    reject once the memory is already spent.  (Assembly text needs no
+    pre-check -- it is already capped at the wire's line limit.)
+
     Raises:
+        RequestRejected: typed ``request-too-large`` when the workload
+            would expand past ``max_blocks`` copies.
         ReproError: for unparseable assembly, unknown kernels, or an
             empty program (all typed subclasses).
     """
@@ -107,6 +121,11 @@ def request_blocks(request: ScheduleRequest) -> list[BasicBlock]:
                 f"request {request.id!r}: workload 'copies' must be "
                 f"a positive integer, got {copies!r}")
         kernel = str(spec["kernel"])
+        if max_blocks is not None and copies > max_blocks:
+            raise RequestRejected(
+                f"request {request.id!r}: workload copies={copies} "
+                f"exceeds the {max_blocks}-block request cap",
+                reason=REJECT_TOO_LARGE, tenant=request.tenant)
         source = straightline_source(kernel, copies)
         if window is None:
             # The expansion is one long straight-line stream; window

@@ -60,6 +60,14 @@ SHED_DEADLINE = "deadline"
 SHED_DISCONNECT = "disconnect"
 SHED_DRAIN = "drain"
 
+#: hostnames a TCP *bind* may use -- the daemon has no authentication
+#: story, so listening on anything routable is refused outright
+LOOPBACK_HOSTS = frozenset({"localhost", "127.0.0.1", "::1"})
+
+
+def _is_loopback(host: str) -> bool:
+    return host in LOOPBACK_HOSTS or host.startswith("127.")
+
 
 def encode(message: dict) -> bytes:
     """One wire frame: compact JSON plus the line terminator."""
@@ -89,19 +97,23 @@ def decode(line: bytes | str) -> dict:
     return message
 
 
-def parse_address(spec: str) -> tuple:
+def parse_address(spec: str, bind: bool = False) -> tuple:
     """Parse a listen/connect address.
 
     Accepted forms: ``unix:/path/to.sock``, a bare path containing
     ``/`` (unix socket), ``HOST:PORT``, or a bare ``PORT`` (localhost
     TCP).  TCP binds are loopback-only by design -- this daemon has no
-    authentication story and must not be exposed.
+    authentication story and must not be exposed -- and the server
+    parses with ``bind=True``, which *enforces* that: a non-loopback
+    host is a typed error, not a silently honoured footgun.  Client
+    connects (``bind=False``) may name any host.
 
     Returns:
         ``("unix", path)`` or ``("tcp", host, port)``.
 
     Raises:
-        ProtocolError: for an unparseable spec.
+        ProtocolError: for an unparseable spec, or a ``bind`` to a
+            non-loopback TCP host.
     """
     if spec.startswith("unix:"):
         return ("unix", spec[len("unix:"):])
@@ -109,8 +121,14 @@ def parse_address(spec: str) -> tuple:
         return ("unix", spec)
     if ":" in spec:
         host, _, port = spec.rpartition(":")
+        host = host or "127.0.0.1"
+        if bind and not _is_loopback(host):
+            raise ProtocolError(
+                f"refusing to bind non-loopback TCP host {host!r}: "
+                f"the serve daemon is unauthenticated and loopback-"
+                f"only (use a unix socket or {sorted(LOOPBACK_HOSTS)})")
         try:
-            return ("tcp", host or "127.0.0.1", int(port))
+            return ("tcp", host, int(port))
         except ValueError:
             raise ProtocolError(f"bad TCP address {spec!r}")
     try:

@@ -19,8 +19,10 @@ Lifecycle contract (the tentpole's robustness surface):
   blocks are never silently lost;
 * SIGTERM drains gracefully -- admission closes first (``draining``
   rejections), in-flight requests get ``drain_grace_s`` to finish,
-  anything still running then sheds its remainder (reason ``drain``),
-  and the process exits 0.
+  anything still running then sheds its remainder (reason ``drain``)
+  and the process exits 0; a request wedged past ``drain_force_s``
+  (no deadline, no block wall clock) is abandoned and reported so
+  shutdown always terminates, with a non-zero exit.
 
 Tests and the in-process harnesses (`loadtest --in-process`, ``chaos
 --serve``) use :class:`BackgroundServer`, which runs the same server
@@ -48,7 +50,12 @@ from repro.obs.metrics import MetricsRegistry, record_request
 from repro.runner.supervisor import CircuitBreaker, RetryPolicy
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController
-from repro.serve.engine import cache_stats, request_blocks, run_request
+from repro.serve.engine import (
+    cache_stats,
+    request_blocks,
+    run_request,
+    warm_cache,
+)
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     SHED_DISCONNECT,
@@ -89,6 +96,12 @@ class ServeConfig:
             (None = no implicit deadline).
         drain_grace_s: seconds in-flight requests get to finish
             before the drain sheds their remainder.
+        drain_force_s: hard backstop after the forced shed -- a
+            request whose block never reaches a boundary (no deadline,
+            no block wall clock) is *abandoned* once this expires so
+            SIGTERM always terminates; abandoned ids are recorded in
+            :attr:`ReproServer.drain_abandoned` and the CLI exits
+            non-zero.
         cache_entries: LRU cap for each warm per-thread cache.
         chain: default builder fallback chain (request override wins).
         breaker: share one circuit breaker across requests (outcome-
@@ -113,6 +126,7 @@ class ServeConfig:
     max_work: int | None = None
     default_deadline_s: float | None = None
     drain_grace_s: float = 5.0
+    drain_force_s: float = 10.0
     cache_entries: int = 512
     chain: tuple[str, ...] | None = None
     breaker: bool = False
@@ -211,6 +225,10 @@ class ReproServer:
         self._server: asyncio.AbstractServer | None = None
         self._started = time.monotonic()
         self.ready_event = threading.Event()
+        #: request ids abandoned by the drain backstop (see
+        #: :attr:`ServeConfig.drain_force_s`); non-empty means the
+        #: daemon should exit non-zero.
+        self.drain_abandoned: list[str] = []
 
     # -- frame plumbing -----------------------------------------------------
 
@@ -308,6 +326,7 @@ class ReproServer:
             chain_names=cfg.chain,
             block_wall_s=cfg.block_wall_s,
             max_work=cfg.max_work,
+            cache=warm_cache(request.machine, cfg.cache_entries),
             metrics=self.metrics,
             breaker=self.breaker,
             cancelled=lambda: active.cancel_reason
@@ -333,8 +352,18 @@ class ReproServer:
         try:
             # Expansion can be big (parse + window): keep it off the
             # event loop so health/ready stay responsive under load.
-            blocks = await loop.run_in_executor(None, request_blocks,
-                                                request)
+            # The block cap is enforced *inside* the expansion so an
+            # oversized workload is rejected before its source string
+            # is ever materialised.
+            blocks = await loop.run_in_executor(
+                None, request_blocks, request,
+                self.config.max_request_blocks)
+        except RequestRejected as exc:
+            self.admission.note_rejection(request.tenant, exc.reason)
+            await self._send(writer, lock, protocol.rejected_frame(
+                request.id, exc.reason,
+                retry_after_s=exc.retry_after_s, detail=str(exc)))
+            return
         except ReproError as exc:
             await self._send(writer, lock, protocol.error_frame(
                 request.id, type(exc).__name__, str(exc)))
@@ -406,7 +435,9 @@ class ReproServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         lock = asyncio.Lock()
-        tasks: list[asyncio.Task] = []
+        # Completed tasks drop out via the done callback so a long-
+        # lived pipelining client doesn't grow this set without bound.
+        tasks: set[asyncio.Task] = set()
         self._conn_writers.add(writer)
         try:
             while True:
@@ -440,9 +471,11 @@ class ReproServer:
                     elif op == "schedule":
                         # Run as a task so the reader keeps consuming
                         # (pipelined requests; disconnects detected).
-                        tasks.append(asyncio.ensure_future(
+                        task = asyncio.ensure_future(
                             self._handle_schedule(message, writer,
-                                                  lock)))
+                                                  lock))
+                        tasks.add(task)
+                        task.add_done_callback(tasks.discard)
                     else:
                         await self._send(writer, lock,
                                          protocol.error_frame(
@@ -468,7 +501,7 @@ class ReproServer:
         """Bind the listener and mark the server ready."""
         self._loop = asyncio.get_running_loop()
         self._drain_event = asyncio.Event()
-        parsed = parse_address(self.config.address)
+        parsed = parse_address(self.config.address, bind=True)
         if parsed[0] == "unix":
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=parsed[1],
@@ -504,8 +537,16 @@ class ReproServer:
             # Grace expired: in-flight engines shed their remainder
             # (typed reason "drain") at the next block boundary.
             self._drain_forced = True
-            while self._active:
+            forced = time.monotonic() + self.config.drain_force_s
+            while self._active and time.monotonic() < forced:
                 await asyncio.sleep(0.02)
+        if self._active:
+            # Hard backstop: a block with no deadline and no wall
+            # clock may never reach a boundary.  Abandon it (recorded,
+            # surfaced as a non-zero exit) rather than spinning
+            # forever on SIGTERM.
+            self.drain_abandoned = sorted(
+                a.request.id for a in self._active)
         self._server.close()
         await self._server.wait_closed()
         # Hang up on idle clients so their handlers unwind cleanly
@@ -516,7 +557,12 @@ class ReproServer:
         deadline = time.monotonic() + 2.0
         while self._conn_writers and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
-        self._executor.shutdown(wait=True)
+        if self.drain_abandoned:
+            # Abandoned engines are still wedged in their threads;
+            # waiting on them would just re-create the hang.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._executor.shutdown(wait=True)
 
     async def run(self, install_signals: bool = True) -> None:
         """Serve until drained.  Returns normally (exit 0) on

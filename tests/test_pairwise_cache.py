@@ -72,7 +72,8 @@ class TestReplayEquivalence:
         CompareAllBuilder(machine, cache=cache).build(a)
         CompareAllBuilder(machine, cache=cache).build(b)
         assert cache.info() == {"hits": 1, "misses": 1,
-                                "entries": 1, "recipes": 1}
+                                "entries": 1, "max_entries": 512,
+                                "recipes": 1}
 
 
 class TestInvalidation:

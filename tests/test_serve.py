@@ -3,6 +3,7 @@ propagation, the live daemon, loadtest, and serve chaos."""
 
 import json
 import socket
+import time
 
 import pytest
 
@@ -50,6 +51,17 @@ class TestProtocol:
             parse_address("not-an-address")
         with pytest.raises(ProtocolError):
             parse_address("host:notaport")
+
+    def test_bind_requires_loopback(self):
+        # Connect side may name any host; bind side must be local.
+        assert parse_address("0.0.0.0:9000") == ("tcp", "0.0.0.0", 9000)
+        for ok in ("127.0.0.1:0", "localhost:0", "127.1.2.3:0", "0"):
+            assert parse_address(ok, bind=True)[0] == "tcp"
+        assert parse_address("unix:/tmp/x.sock", bind=True)[0] == "unix"
+        with pytest.raises(ProtocolError, match="loopback"):
+            parse_address("0.0.0.0:9000", bind=True)
+        with pytest.raises(ProtocolError, match="loopback"):
+            parse_address("192.168.1.7:9000", bind=True)
 
     def test_encode_decode_roundtrip(self):
         frame = protocol.done_frame("r1", {"n_blocks": 3})
@@ -282,6 +294,18 @@ class TestEngineDeadlines:
             request_blocks(ScheduleRequest.from_message(
                 {"id": "x", "workload": {"kernel": "nope"}}))
 
+    def test_oversized_copies_rejected_before_expansion(self):
+        # A ~100-byte request must not expand to gigabytes before the
+        # size check runs: the cap is enforced pre-expansion, so this
+        # returns instantly instead of building a 10**9-copy string.
+        with pytest.raises(RequestRejected) as exc:
+            request_blocks(_workload_request(copies=10**9),
+                           max_blocks=10_000)
+        assert exc.value.reason == protocol.REJECT_TOO_LARGE
+        # At the cap is still fine (no off-by-one).
+        assert len(request_blocks(_workload_request(copies=3),
+                                  max_blocks=3)) == 3
+
 
 class _Client:
     """Minimal synchronous NDJSON client for server tests."""
@@ -435,6 +459,79 @@ class TestServer:
             client.close()
         server.drain()
         assert not server._thread.is_alive()
+
+    def test_huge_workload_is_rejected_not_expanded(self, server):
+        client = _Client(server.address)
+        try:
+            client.send({"op": "schedule", "id": "huge",
+                         "workload": {"kernel": "daxpy",
+                                      "copies": 10**9}})
+            frame = client.stream_until_terminal("huge")[-1]
+            assert frame["type"] == "rejected"
+            assert frame["reason"] == "request-too-large"
+            assert frame["code"] == 429
+            # The pre-expansion rejection shows up in the same
+            # admission books as admit()'s own.
+            client.send({"op": "stats"})
+            stats = client.recv()
+            assert stats["admission"]["rejections_by_reason"][
+                "request-too-large"] >= 1
+        finally:
+            client.close()
+
+    def test_cache_entries_knob_reaches_the_engine(self, tmp_path):
+        config = ServeConfig(address=f"unix:{tmp_path}/cache.sock",
+                             workers=1, cache_entries=7)
+        background = BackgroundServer(config).start()
+        try:
+            client = _Client(background.address)
+            try:
+                client.send({"op": "schedule", "id": "c1",
+                             "workload": {"kernel": "daxpy",
+                                          "copies": 2}})
+                assert client.recv()["type"] == "accepted"
+                frames = client.stream_until_terminal("c1")
+                assert frames[-1]["type"] == "done"
+                assert frames[-1]["summary"]["cache"]["max_entries"] == 7
+            finally:
+                client.close()
+        finally:
+            background.drain()
+
+    def test_non_loopback_bind_is_refused(self):
+        config = ServeConfig(address="0.0.0.0:0")
+        with pytest.raises(ReproError, match="loopback"):
+            BackgroundServer(config).start()
+
+    def test_drain_backstop_abandons_wedged_request(self, tmp_path,
+                                                    monkeypatch):
+        # A request with no deadline and no block wall whose engine
+        # never reaches a block boundary must not pin SIGTERM drain
+        # forever: after drain_force_s it is abandoned and recorded.
+        def wedged(request, machine, blocks, emit, **kwargs):
+            time.sleep(2.0)
+            return {"n_blocks": len(blocks), "scheduled": 0,
+                    "degraded": 0, "quarantined": 0,
+                    "shed": len(blocks)}
+
+        monkeypatch.setattr("repro.serve.server.run_request", wedged)
+        config = ServeConfig(address=f"unix:{tmp_path}/wedge.sock",
+                             workers=1, block_wall_s=None,
+                             drain_grace_s=0.05, drain_force_s=0.1)
+        background = BackgroundServer(config).start()
+        client = _Client(background.address)
+        try:
+            client.send({"op": "schedule", "id": "hang",
+                         "workload": {"kernel": "daxpy"}})
+            assert client.recv()["type"] == "accepted"
+            start = time.monotonic()
+            background.drain(timeout=10.0)
+            assert time.monotonic() - start < 2.0, \
+                "drain waited for the wedged engine instead of " \
+                "abandoning it"
+            assert background.server.drain_abandoned == ["hang"]
+        finally:
+            client.close()
 
     def test_queue_full_rejection_carries_429(self, tmp_path):
         config = ServeConfig(address=f"unix:{tmp_path}/tiny.sock",
