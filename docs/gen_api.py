@@ -54,12 +54,13 @@ MODULES = [
     "repro.interp",
     "repro.verify.checker", "repro.verify.faults",
     "repro.runner.watchdog", "repro.runner.fallback",
-    "repro.runner.journal", "repro.runner.batch",
+    "repro.runner.journal", "repro.runner.fsck", "repro.runner.batch",
     "repro.runner.supervisor", "repro.runner.chaos",
     "repro.runner.fuzz", "repro.runner.bench",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.report",
     "repro.serve.protocol", "repro.serve.admission",
     "repro.serve.engine", "repro.serve.server",
+    "repro.serve.wal", "repro.serve.supervise",
     "repro.serve.loadtest", "repro.serve.chaosserve",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
@@ -148,7 +149,8 @@ def main() -> None:
         "[performance layer](performance.md), "
         "[observability](observability.md), "
         "[resilience](resilience.md), "
-        "[serving](serving.md).",
+        "[serving](serving.md), "
+        "[durability](durability.md).",
         "",
     ]
     for module_name in MODULES:

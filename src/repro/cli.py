@@ -36,6 +36,13 @@ Subcommands:
 * ``report`` -- render paper-style Tables 3/4/5 plus fallback, cache,
   resilience, and degradation summaries from a run journal and/or a
   metrics snapshot (see :mod:`repro.obs`).
+* ``serve`` / ``loadtest`` -- the scheduling daemon and its seeded
+  load generator; ``serve --wal-dir`` adds the crash-safe request WAL
+  and ``serve --supervised`` the self-healing restart loop (see
+  docs/durability.md).
+* ``fsck`` -- scan journals, WALs, and snapshots for damage; classify
+  torn tails vs mid-file corruption and repair what is safe (exit 0
+  clean, 1 repairable, 2 unrepairable).
 
 ``schedule``, ``verify``, and ``bench`` accept ``--trace FILE`` and
 ``--metrics FILE``; both are observation-only and leave schedules,
@@ -243,10 +250,15 @@ def _schedule_resilient(args: argparse.Namespace, source: str, machine,
     if args.resume and not args.journal:
         raise ReproError("--resume requires --journal")
     if args.journal:
+        # Everything outcome-determining goes in: the watchdog budgets
+        # change which blocks degrade, so resuming under different
+        # budgets is a different run and must be a typed mismatch.
         fingerprint = run_fingerprint(
             source, args.machine, chain, window=args.window,
             verify=bool(args.verify),
-            lenient=bool(getattr(args, "lenient", False)))
+            lenient=bool(getattr(args, "lenient", False)),
+            block_timeout=args.block_timeout,
+            max_work=args.max_work)
         if args.resume and os.path.exists(args.journal):
             journal = RunJournal.open_resume(args.journal, fingerprint)
         else:
@@ -351,7 +363,29 @@ def _cmd_chaos_serve(args: argparse.Namespace,
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_kill_daemon(args: argparse.Namespace,
+                           out: Callable[[str], None]) -> int:
+    from repro.serve.chaosserve import (
+        KillDaemonConfig,
+        render_kill_daemon_report,
+        run_kill_daemon_chaos,
+    )
+    config = KillDaemonConfig(
+        seed=args.seed,
+        requests=3 if args.quick else args.requests,
+        copies=2 if args.quick else args.copies,
+        kills=1 if args.quick else args.kills,
+        kill_interval_s=args.kill_interval)
+    report = run_kill_daemon_chaos(config)
+    out(render_kill_daemon_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.kill_daemon:
+        if not args.serve:
+            raise ReproError("--kill-daemon requires --serve")
+        return _cmd_chaos_kill_daemon(args, out)
     if args.serve:
         return _cmd_chaos_serve(args, out)
     machine = MACHINES[args.machine]()
@@ -392,10 +426,65 @@ def _cmd_chaos(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_supervised(args: argparse.Namespace,
+                          out: Callable[[str], None]) -> int:
+    """``repro serve --supervised``: the self-healing parent.
+
+    Re-execs the daemon (this interpreter, same flags minus the
+    supervision ones) as a child process and restarts it with backoff
+    when it crashes; the WAL/snapshot directory is preserved across
+    generations, so every restart recovers acknowledged work.
+    """
+    from repro.errors import SupervisorError
+    from repro.serve.supervise import (
+        DaemonSupervisor,
+        SupervisorPolicy,
+        spawn_serve_child,
+    )
+    raw = list(getattr(args, "_argv", None) or [])
+    child = raw[raw.index("serve") + 1:] if "serve" in raw else raw
+    stripped: list[str] = []
+    skip_value = False
+    for token in child:
+        if skip_value:
+            skip_value = False
+            continue
+        if token == "--supervised":
+            continue
+        if token in ("--max-restarts", "--restart-window"):
+            skip_value = True
+            continue
+        if token.startswith(("--max-restarts=", "--restart-window=")):
+            continue
+        stripped.append(token)
+    pid_path = (os.path.join(args.wal_dir, "daemon.pid")
+                if args.wal_dir else None)
+    supervisor = DaemonSupervisor(
+        spawn=lambda: spawn_serve_child(stripped),
+        policy=SupervisorPolicy(max_restarts=args.max_restarts,
+                                window_s=args.restart_window),
+        pid_path=pid_path,
+        log=out)
+    supervisor.install_signal_handlers()
+    out(f"! serve: supervised; restart limit {args.max_restarts} "
+        f"per {args.restart_window:g}s"
+        + (f", wal {args.wal_dir}" if args.wal_dir else ""))
+    try:
+        code = supervisor.run()
+    except SupervisorError as exc:
+        out(f"! serve: {exc}")
+        return 1
+    out(f"! serve: supervisor done after {supervisor.generation} "
+        f"generation(s), final exit {code}")
+    return code
+
+
 def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     import asyncio
 
     from repro.serve.server import ReproServer, ServeConfig
+    if args.supervised:
+        return _cmd_serve_supervised(args, out)
     tracer, registry = _obs_from_args(args)
     chain = (tuple(p.strip() for p in args.chain.split(",") if p.strip())
              if args.chain else None)
@@ -416,11 +505,21 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         chain=chain,
         breaker=args.breaker,
         mem_limit_mb=args.worker_mem_mb,
-        quarantine_dir=args.quarantine_dir)
+        quarantine_dir=args.quarantine_dir,
+        wal_dir=args.wal_dir)
     server = ReproServer(config, metrics=registry)
     out(f"! serve: listening on {args.address} "
         f"({args.workers} workers, queue {args.max_queued}, "
         f"jobs {args.jobs})")
+    # Cover the startup window before the event loop installs its own
+    # handlers: a SIGTERM that lands while the WAL is still replaying
+    # must schedule a drain, not kill the process mid-recovery.
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig,
+                          lambda signum, frame: server.request_drain())
+        except ValueError:  # not the main thread (embedded use)
+            break
     # Blocks until SIGTERM/SIGINT, then drains gracefully: admission
     # closes, in-flight requests finish or shed, exit status 0.  A
     # request wedged past the --drain-force backstop is abandoned and
@@ -453,15 +552,45 @@ def _cmd_loadtest(args: argparse.Namespace,
         copies_max=args.copies_max,
         deadline_s=args.deadline,
         deadline_fraction=args.deadline_fraction,
-        machine=args.machine)
+        machine=args.machine,
+        idempotency_retry=args.idempotency_retry)
     report = run_loadtest(config, metrics=registry)
     out(render_loadtest_report(report))
     _write_obs(args, tracer, registry)
     # Silent loss anywhere voids the report: every request must have
-    # reached a typed terminal frame.
+    # reached a typed terminal frame.  With --idempotency-retry, a
+    # single re-executed duplicate key also fails the run -- the
+    # exactly-once result contract admits no partial credit.
     accounted = (report.completed + report.rejected + report.errored
                  == report.sent)
-    return 0 if accounted and report.errored == 0 else 1
+    return (0 if accounted and report.errored == 0
+            and report.duplicate_results == 0 else 1)
+
+
+def _cmd_fsck(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """``repro fsck``: scan, classify, and optionally repair.
+
+    Exit status: 0 when everything is clean, 1 when damage was found
+    but every damaged file is repairable (or was repaired with
+    ``--repair``), 2 (via :class:`~repro.errors.ReproError`) when any
+    file carries unrepairable damage.
+    """
+    from repro.runner.fsck import fsck_paths, render_fsck_report
+    findings = fsck_paths(args.paths, repair=args.repair)
+    if not findings:
+        raise ReproError(
+            "fsck found no journal, WAL, or snapshot files under: "
+            + ", ".join(args.paths))
+    out(render_fsck_report(findings))
+    corrupt = [f for f in findings if f.status == "corrupt"]
+    if corrupt:
+        raise ReproError(
+            f"fsck: {len(corrupt)} file(s) carry unrepairable damage "
+            f"(mid-file corruption is never safe to truncate away): "
+            + ", ".join(f.path for f in corrupt))
+    if all(f.status == "clean" for f in findings):
+        return 0
+    return 1
 
 
 def _cmd_dag(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -843,6 +972,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--storm-rate", type=float, default=0.25,
                        help="(--serve) probability a request carries "
                             "a too-small deadline")
+    chaos.add_argument("--kill-daemon", action="store_true",
+                       help="(--serve) SIGKILL the daemon itself at "
+                            "seeded instants under a real supervisor; "
+                            "the WAL audit must show zero acknowledged "
+                            "requests lost and zero double-scheduled "
+                            "blocks across restarts")
+    chaos.add_argument("--kills", type=int, default=2,
+                       help="(--kill-daemon) SIGKILLs to deliver "
+                            "mid-load")
+    chaos.add_argument("--kill-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="(--kill-daemon) nominal spacing between "
+                            "kills (seeded jitter applied)")
     chaos.set_defaults(handler=_cmd_chaos)
 
     serve = sub.add_parser("serve", parents=[obs_flags],
@@ -911,7 +1053,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "attributed crashes)")
     serve.add_argument("--quarantine-dir", default=None, metavar="DIR",
                        help="reproducer directory for jobs >= 2")
+    serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="durability directory: every admitted "
+                            "request is fsynced to a write-ahead log "
+                            "here before it is acknowledged, warm "
+                            "state is snapshotted atomically, and a "
+                            "restarted daemon replays acknowledged-"
+                            "but-unfinished work and dedups finished "
+                            "idempotency keys (see docs/durability.md)")
+    serve.add_argument("--supervised", action="store_true",
+                       help="run under a self-healing parent that "
+                            "restarts a crashed daemon with "
+                            "exponential backoff (pair with --wal-dir "
+                            "so restarts lose nothing); a crash loop "
+                            "stops with a typed error instead of "
+                            "flapping")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       metavar="N",
+                       help="(--supervised) unexpected exits "
+                            "tolerated inside --restart-window before "
+                            "declaring a crash loop")
+    serve.add_argument("--restart-window", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="(--supervised) sliding window for the "
+                            "crash-loop count")
     serve.set_defaults(handler=_cmd_serve)
+
+    fsck = sub.add_parser("fsck",
+                          help="scan run journals, serve WALs, and "
+                               "warm-state snapshots for damage; "
+                               "classify it (torn tail vs CRC "
+                               "mismatch vs truncated frame) and "
+                               "repair what is safely repairable")
+    fsck.add_argument("paths", nargs="+", metavar="PATH",
+                      help="journal/WAL/snapshot files or directories "
+                           "containing them")
+    fsck.add_argument("--repair", action="store_true",
+                      help="write a '.repaired' copy (good prefix "
+                           "up to the torn tail) next to every "
+                           "repairable file; originals are never "
+                           "modified")
+    fsck.set_defaults(handler=_cmd_fsck)
 
     loadtest = sub.add_parser("loadtest", parents=[obs_flags],
                               help="seeded load generator against a "
@@ -942,6 +1124,16 @@ def build_parser() -> argparse.ArgumentParser:
                           default="generic", help="timing model")
     loadtest.add_argument("--quick", action="store_true",
                           help="small mix (CI smoke mode)")
+    loadtest.add_argument("--idempotency-retry", type=float,
+                          default=0.0, metavar="FRACTION",
+                          help="after the mix settles, resend this "
+                               "seeded fraction of requests with "
+                               "their original idempotency keys; "
+                               "every resend must be answered from "
+                               "the WAL result store (duplicate-"
+                               "result rate must be exactly 0, else "
+                               "exit 1).  Requires the daemon to run "
+                               "with --wal-dir")
     loadtest.set_defaults(handler=_cmd_loadtest)
     return parser
 
@@ -957,7 +1149,12 @@ def main(argv: list[str] | None = None,
     Returns:
         Process exit status.
     """
-    args = build_parser().parse_args(argv)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw_argv)
+    # The supervised serve path re-execs the daemon with these tokens
+    # (minus the supervision flags); parsed Namespaces cannot be
+    # turned back into argv faithfully, so keep the original.
+    args._argv = raw_argv
     try:
         return args.handler(args, out)
     except ReproError as exc:

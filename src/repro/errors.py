@@ -238,5 +238,26 @@ class DeadlineExceeded(ServeError):
         super().__init__(message)
 
 
+class SupervisorError(ServeError):
+    """Raised when the serve supervisor detects a crash loop.
+
+    More than ``max_restarts`` unexpected daemon exits inside the
+    sliding window means the daemon is broken, not unlucky; the
+    supervisor stops restarting and the CLI exits 1.  The WAL and
+    warm-state snapshots are left untouched for ``repro fsck`` and a
+    later supervised restart.
+
+    Attributes:
+        restarts: unexpected exits observed inside the window.
+        window_s: the sliding window, in seconds.
+    """
+
+    def __init__(self, message: str, restarts: int | None = None,
+                 window_s: float | None = None) -> None:
+        self.restarts = restarts
+        self.window_s = window_s
+        super().__init__(message)
+
+
 class WorkloadError(ReproError):
     """Raised when a synthetic workload profile is inconsistent."""

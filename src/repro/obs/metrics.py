@@ -720,3 +720,39 @@ def record_breaker_transition(metrics: MetricsRegistry | None,
                   "1 half-open, 2 open).",
                   labels=("builder",), volatile=True,
                   agg="last").set(state_code, builder=builder)
+
+
+def record_wal_recovery(metrics: MetricsRegistry | None,
+                        replayed: int, dropped: int,
+                        recovered: int) -> None:
+    """Record one WAL startup recovery (the durability tentpole).
+
+    Args:
+        metrics: the registry (None = off).
+        replayed: records read back intact from the WAL.
+        dropped: torn-tail lines truncated off the WAL.
+        recovered: accepted-but-unfinished requests re-enqueued.
+    """
+    if metrics is None:
+        return
+    metrics.gauge("repro_wal_replayed",
+                  "WAL records replayed at the last daemon start.",
+                  volatile=True).set(replayed)
+    metrics.gauge("repro_wal_dropped",
+                  "Torn-tail WAL lines truncated at the last daemon "
+                  "start.", volatile=True).set(dropped)
+    metrics.counter("repro_wal_recovered_requests_total",
+                    "Accepted-but-unfinished requests re-enqueued "
+                    "from the WAL across daemon restarts.",
+                    volatile=True).inc(recovered)
+
+
+def record_wal_dedup(metrics: MetricsRegistry | None) -> None:
+    """Record one request answered from the finished-key index
+    (exactly-once results: nothing recomputed, nothing charged)."""
+    if metrics is None:
+        return
+    metrics.counter("repro_wal_deduped_requests_total",
+                    "Requests answered from the WAL-backed "
+                    "idempotency index instead of recomputed.",
+                    volatile=True).inc(1)

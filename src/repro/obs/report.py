@@ -21,8 +21,6 @@ a plain JSON-ready dict (:func:`report_from`) and a Markdown rendering
 
 from __future__ import annotations
 
-import json
-
 from repro.errors import ReproError
 
 #: journal block records missing a field (old journals) show this
@@ -32,14 +30,24 @@ _ABSENT = None
 def load_journal_blocks(path: str) -> list[dict]:
     """Read a run journal's block records (header skipped).
 
-    Tolerates the torn final line of a killed run, like
-    :meth:`repro.runner.journal.RunJournal.load`, but does not demand
-    a fingerprint match -- a report is read-only archaeology.
+    Uses the same hardened line reader as
+    :meth:`repro.runner.journal.RunJournal.load` -- v1 plain-JSON and
+    v2 CRC-framed lines both parse, the torn final line of a killed
+    run is tolerated, and interior damage (CRC mismatch, truncated
+    frame, unparseable line) raises -- but does not demand a
+    fingerprint match: a report is read-only archaeology.
 
     Raises:
-        ReproError: when the file is unreadable or has no journal
-            header.
+        ReproError: when the file is unreadable, has no journal
+            header, or is damaged anywhere but the torn tail.
     """
+    # Imported lazily: repro.obs is imported by low-level modules that
+    # repro.runner's package init itself depends on.
+    from repro.runner.journal import (
+        DAMAGE_TORN_TAIL,
+        parse_record_line,
+        scan_lines,
+    )
     try:
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.read().splitlines()
@@ -47,27 +55,20 @@ def load_journal_blocks(path: str) -> list[dict]:
         raise ReproError(f"cannot read journal {path!r}: {exc}")
     if not lines:
         raise ReproError(f"journal {path!r} is empty")
-    try:
-        header = json.loads(lines[0])
-    except json.JSONDecodeError:
-        header = {}
-    if header.get("type") != "header":
+    header, _, _ = parse_record_line(lines[0])
+    if header is None or header.get("type") != "header":
         raise ReproError(f"{path!r} does not look like a run journal "
                          f"(missing header line)")
-    blocks: list[dict] = []
-    for lineno, line in enumerate(lines[1:], start=2):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if lineno == len(lines):
-                break  # torn final write of a killed run
-            raise ReproError(
-                f"journal {path!r} is corrupt at line {lineno}")
-        if record.get("type") in ("block", "quarantined"):
-            blocks.append(record)
-    return blocks
+    records, damage = scan_lines(lines[1:], first_lineno=2)
+    for defect in damage:
+        if defect.kind == DAMAGE_TORN_TAIL:
+            continue  # torn final write of a killed run
+        raise ReproError(
+            f"journal {path!r} is corrupt at line {defect.lineno}: "
+            f"{defect.kind}: {defect.detail}; "
+            f"run 'repro fsck' to classify and repair")
+    return [record for _, record in records
+            if record.get("type") in ("block", "quarantined")]
 
 
 def _values(snapshot: dict | None, name: str) -> dict:
@@ -313,6 +314,27 @@ def _cache(snapshot: dict | None) -> dict | None:
     }
 
 
+def _durability(snapshot: dict | None) -> dict | None:
+    """Serve-daemon durability summary: WAL replay and dedup counters.
+
+    Returns None when the snapshot carries no WAL metrics (batch runs,
+    pre-WAL daemons), so existing reports keep their shape.
+    """
+    replayed = _scalar(snapshot, "repro_wal_replayed")
+    dropped = _scalar(snapshot, "repro_wal_dropped")
+    recovered = _scalar(snapshot, "repro_wal_recovered_requests_total")
+    deduped = _scalar(snapshot, "repro_wal_deduped_requests_total")
+    if replayed is None and dropped is None \
+            and recovered is None and deduped is None:
+        return None
+    return {
+        "wal records replayed": replayed or 0,
+        "torn records dropped": dropped or 0,
+        "requests recovered": recovered or 0,
+        "requests deduped": deduped or 0,
+    }
+
+
 def report_from(blocks: list[dict] | None = None,
                 snapshot: dict | None = None) -> dict:
     """Build the full report document from either or both inputs.
@@ -338,6 +360,7 @@ def report_from(blocks: list[dict] | None = None,
         "fallback": _fallback(blocks, snapshot),
         "degradations": _degradations(blocks),
         "resilience": _resilience(blocks, snapshot),
+        "durability": _durability(snapshot),
         "cache": _cache(snapshot),
     }
 
@@ -449,6 +472,13 @@ def render_markdown(report: dict) -> str:
                     + (f", reproducer `{item.get('reproducer')}`"
                        if item.get("reproducer") else ""))
             lines.append("")
+
+    durability = report.get("durability")
+    if durability:
+        lines += ["## Durability", ""]
+        lines += _md_table(["quantity", "value"],
+                           [[k, durability[k]] for k in durability])
+        lines.append("")
 
     cache = report.get("cache")
     lines += ["## Pairwise cache", ""]

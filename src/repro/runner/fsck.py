@@ -1,0 +1,237 @@
+"""``repro fsck``: scan, classify, and repair durable on-disk state.
+
+Three kinds of file carry the repo's durability story and all three
+are checked here:
+
+* **run journals** (:mod:`repro.runner.journal`) -- ``header`` line
+  then block records;
+* **serve WALs** (:mod:`repro.serve.wal`) -- ``wal-header`` line then
+  accepted/block/finished records;
+* **snapshots** (:func:`repro.runner.journal.write_snapshot`) --
+  single-document JSON with an embedded CRC32.
+
+Damage is *classified*, never guessed at, using the shared taxonomy
+from :mod:`repro.runner.journal`: a torn tail (the incomplete final
+write of a killed process) is the only safely repairable defect --
+dropping it loses at most the record that was never acknowledged.
+Everything else (mid-file CRC mismatch, truncated interior frame,
+blank interior line) is reported as corruption: repairing it would
+silently invent or skip records, which is exactly the failure mode
+this module exists to prevent.
+
+Repair never touches the original file: ``--repair`` writes the good
+prefix to ``<path>.repaired`` and leaves the evidence in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import JournalError
+from repro.runner.journal import (
+    DAMAGE_TORN_TAIL,
+    LineDamage,
+    parse_record_line,
+    scan_lines,
+)
+
+#: file classifications fsck reports
+KIND_JOURNAL = "journal"
+KIND_WAL = "wal"
+KIND_SNAPSHOT = "snapshot"
+KIND_UNKNOWN = "unknown"
+
+#: per-file verdicts
+STATUS_CLEAN = "clean"
+STATUS_REPAIRABLE = "repairable"
+STATUS_REPAIRED = "repaired"
+STATUS_CORRUPT = "corrupt"
+
+
+@dataclass
+class FsckFinding:
+    """The verdict for one scanned file.
+
+    Attributes:
+        path: the file checked.
+        kind: one of journal / wal / snapshot / unknown.
+        status: clean, repairable (torn tail only), repaired (a
+            ``.repaired`` copy was written), or corrupt.
+        n_records: records that read back intact.
+        damage: every classified defect, in line order.
+        repaired_path: where the good prefix was written, if repair
+            ran.
+    """
+
+    path: str
+    kind: str
+    status: str
+    n_records: int = 0
+    damage: list[LineDamage] = field(default_factory=list)
+    repaired_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_CLEAN, STATUS_REPAIRED)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "status": self.status,
+            "n_records": self.n_records,
+            "damage": [
+                {"line": d.lineno, "kind": d.kind,
+                 "repairable": d.repairable, "detail": d.detail}
+                for d in self.damage],
+            "repaired_path": self.repaired_path,
+        }
+
+
+def _classify_kind(first_line: str, whole_text: str) -> str:
+    """Which durable format a file is, from its first line."""
+    record, _, _ = parse_record_line(first_line)
+    if record is not None:
+        rtype = record.get("type")
+        if rtype == "header":
+            return KIND_JOURNAL
+        if rtype == "wal-header":
+            return KIND_WAL
+        if rtype == "snapshot":
+            return KIND_SNAPSHOT
+    try:
+        document = json.loads(whole_text)
+        if isinstance(document, dict) \
+                and document.get("type") == "snapshot":
+            return KIND_SNAPSHOT
+    except json.JSONDecodeError:
+        pass
+    return KIND_UNKNOWN
+
+
+def _check_snapshot(path: str, text: str) -> FsckFinding:
+    """Verify one snapshot document against its embedded CRC32."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return FsckFinding(
+            path=path, kind=KIND_SNAPSHOT, status=STATUS_CORRUPT,
+            damage=[LineDamage(
+                lineno=1, kind="unparseable",
+                detail=f"snapshot is not JSON: {exc} (a torn snapshot "
+                       f"should be impossible -- writes are "
+                       f"tmp+fsync+rename)", repairable=False)])
+    body = json.dumps(document.get("payload"))
+    actual = f"{zlib.crc32(body.encode('utf-8')):08x}"
+    if actual != document.get("crc32"):
+        return FsckFinding(
+            path=path, kind=KIND_SNAPSHOT, status=STATUS_CORRUPT,
+            damage=[LineDamage(
+                lineno=1, kind="crc-mismatch",
+                detail=f"payload crc32 {actual} != recorded "
+                       f"{document.get('crc32')!r}", repairable=False)])
+    return FsckFinding(path=path, kind=KIND_SNAPSHOT,
+                       status=STATUS_CLEAN, n_records=1)
+
+
+def fsck_file(path: str, repair: bool = False) -> FsckFinding:
+    """Scan one file; optionally write a ``.repaired`` copy.
+
+    Repair applies only when *every* defect is the repairable torn
+    tail: the copy is the original lines minus the torn write.  The
+    original is never modified.
+
+    Raises:
+        JournalError: when the file cannot be read at all.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise JournalError(f"fsck: cannot read {path!r}: {exc}")
+    lines = text.splitlines()
+    if not lines:
+        return FsckFinding(path=path, kind=KIND_UNKNOWN,
+                           status=STATUS_CORRUPT,
+                           damage=[LineDamage(
+                               lineno=1, kind="unparseable",
+                               detail="file is empty",
+                               repairable=False)])
+    kind = _classify_kind(lines[0], text)
+    if kind == KIND_SNAPSHOT:
+        return _check_snapshot(path, text)
+    if kind == KIND_UNKNOWN:
+        return FsckFinding(
+            path=path, kind=KIND_UNKNOWN, status=STATUS_CORRUPT,
+            damage=[LineDamage(
+                lineno=1, kind="unparseable",
+                detail="first line is neither a journal header, a "
+                       "WAL header, nor a snapshot document",
+                repairable=False)])
+    records, damage = scan_lines(lines[1:], first_lineno=2)
+    finding = FsckFinding(path=path, kind=kind, status=STATUS_CLEAN,
+                          n_records=len(records) + 1, damage=damage)
+    if not damage:
+        return finding
+    if all(d.repairable for d in damage):
+        finding.status = STATUS_REPAIRABLE
+        if repair:
+            torn_from = min(d.lineno for d in damage
+                            if d.kind == DAMAGE_TORN_TAIL)
+            repaired = f"{path}.repaired"
+            with open(repaired, "w", encoding="utf-8") as out:
+                for line in lines[:torn_from - 1]:
+                    out.write(line + "\n")
+                out.flush()
+                os.fsync(out.fileno())
+            finding.status = STATUS_REPAIRED
+            finding.repaired_path = repaired
+    else:
+        finding.status = STATUS_CORRUPT
+    return finding
+
+
+def fsck_paths(paths: list[str],
+               repair: bool = False) -> list[FsckFinding]:
+    """Scan files and directories (directories: known durable names).
+
+    A directory contributes every ``*.jsonl``, ``*.wal``, and
+    ``*.json`` file directly inside it (not recursive, and not
+    ``.repaired`` copies or ``.tmp`` leftovers).
+    """
+    findings: list[FsckFinding] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith((".repaired", ".tmp", ".pid")):
+                    continue
+                if not name.endswith((".jsonl", ".wal", ".json")):
+                    continue
+                findings.append(fsck_file(os.path.join(path, name),
+                                          repair=repair))
+        else:
+            findings.append(fsck_file(path, repair=repair))
+    return findings
+
+
+def render_fsck_report(findings: list[FsckFinding]) -> str:
+    """Human-readable per-file verdicts plus a one-line summary."""
+    out = []
+    for finding in findings:
+        out.append(f"{finding.path}: {finding.kind} "
+                   f"{finding.status} ({finding.n_records} records)")
+        for defect in finding.damage:
+            fix = "repairable" if defect.repairable else "NOT repairable"
+            out.append(f"  line {defect.lineno}: {defect.kind} "
+                       f"[{fix}] {defect.detail}")
+        if finding.repaired_path:
+            out.append(f"  -> good prefix written to "
+                       f"{finding.repaired_path}")
+    n_clean = sum(1 for f in findings if f.status == STATUS_CLEAN)
+    n_bad = sum(1 for f in findings if f.status == STATUS_CORRUPT)
+    out.append(f"fsck: {len(findings)} files checked, {n_clean} clean, "
+               f"{len(findings) - n_clean - n_bad} torn, {n_bad} corrupt")
+    return "\n".join(out)

@@ -14,8 +14,17 @@ against a journal whose fingerprint does not match the current
 invocation raises :class:`~repro.errors.JournalError` instead of
 silently splicing two different runs together.
 
-A truncated final line (the in-flight block of a killed run) is
-ignored on load; everything before it is trusted.
+Format v2 wraps every record in a length-prefixed CRC32 frame::
+
+    ~2 <payload-bytes> <crc32-hex> <payload-json>
+
+so damage is *classified*, not guessed at: a torn final write of a
+killed run (incomplete frame on the last content line) is tolerated
+and repairable by truncation, while a mid-file CRC mismatch -- a
+complete frame whose bytes changed after the fsync -- is reported as
+corruption and never silently skipped.  The reader accepts v1 plain
+JSON lines and v2 frames side by side, so old journals stay readable
+and mixed files (a v1 journal resumed by a v2 writer) are fine.
 """
 
 from __future__ import annotations
@@ -23,12 +32,256 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
+from dataclasses import dataclass
 from typing import IO
 
 from repro.errors import JournalError
 from repro.runner.fallback import BlockOutcome
 
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Marker that opens every v2 frame line.  JSON objects start with
+#: ``{``, so a line starting with this prefix is unambiguously framed.
+FRAME_PREFIX = "~2 "
+
+# -- damage taxonomy (shared with ``repro fsck``) ---------------------------
+
+#: incomplete final write of a killed process; repairable by truncation
+DAMAGE_TORN_TAIL = "torn-tail"
+#: frame shorter than its declared payload length (non-trailing)
+DAMAGE_TRUNCATED_FRAME = "truncated-frame"
+#: complete frame whose payload bytes no longer match their CRC32
+DAMAGE_CRC_MISMATCH = "crc-mismatch"
+#: line that is neither a valid frame nor parseable v1 JSON
+DAMAGE_UNPARSEABLE = "unparseable"
+#: blank line between records, where a record should be
+DAMAGE_BLANK_INTERIOR = "blank-interior"
+
+
+@dataclass(frozen=True)
+class LineDamage:
+    """One classified defect found while scanning a journal/WAL.
+
+    Attributes:
+        lineno: 1-based line number of the damaged line.
+        kind: one of the ``DAMAGE_*`` constants.
+        detail: human-readable description of what was found.
+        repairable: True when dropping the line (and everything after
+            it) is safe -- only ever the torn tail of a killed run.
+    """
+
+    lineno: int
+    kind: str
+    detail: str
+    repairable: bool
+
+
+def frame_record(record: dict) -> str:
+    """Encode one record as a v2 CRC32 frame line (no newline)."""
+    payload = json.dumps(record)
+    data = payload.encode("utf-8")
+    return f"{FRAME_PREFIX}{len(data)} {zlib.crc32(data):08x} {payload}"
+
+
+def parse_record_line(line: str) -> tuple[dict | None, str | None, str]:
+    """Decode one journal line, v2 frame or v1 plain JSON.
+
+    Returns:
+        ``(record, None, "")`` on success, else
+        ``(None, damage_kind, detail)`` with ``damage_kind`` one of
+        the ``DAMAGE_*`` constants (never ``DAMAGE_TORN_TAIL`` --
+        promotion to torn-tail is positional, the caller's job).
+    """
+    if line.startswith(FRAME_PREFIX):
+        body = line[len(FRAME_PREFIX):]
+        parts = body.split(" ", 2)
+        if len(parts) < 3:
+            return (None, DAMAGE_TRUNCATED_FRAME,
+                    "frame header cut short (missing length/crc/payload)")
+        length_text, crc_text, payload = parts
+        try:
+            declared = int(length_text)
+            expected_crc = int(crc_text, 16)
+        except ValueError:
+            return (None, DAMAGE_TRUNCATED_FRAME,
+                    f"unreadable frame header {length_text!r} {crc_text!r}")
+        data = payload.encode("utf-8")
+        if len(data) < declared:
+            return (None, DAMAGE_TRUNCATED_FRAME,
+                    f"payload is {len(data)} bytes of a declared {declared}")
+        if len(data) > declared:
+            return (None, DAMAGE_TRUNCATED_FRAME,
+                    f"payload is {len(data)} bytes, {declared} declared "
+                    f"(bytes appended to a complete frame)")
+        actual_crc = zlib.crc32(data)
+        if actual_crc != expected_crc:
+            return (None, DAMAGE_CRC_MISMATCH,
+                    f"crc32 {actual_crc:08x} != recorded {expected_crc:08x}")
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            return (None, DAMAGE_UNPARSEABLE,
+                    f"framed payload is not JSON: {exc}")
+        if not isinstance(record, dict):
+            return (None, DAMAGE_UNPARSEABLE,
+                    f"framed payload is not an object: {type(record).__name__}")
+        return (record, None, "")
+    # v1: a bare JSON object per line.
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return (None, DAMAGE_UNPARSEABLE, f"not JSON: {exc}")
+    if not isinstance(record, dict):
+        return (None, DAMAGE_UNPARSEABLE,
+                f"record is not an object: {type(record).__name__}")
+    return (record, None, "")
+
+
+def scan_lines(lines: list[str], first_lineno: int = 1,
+               ) -> tuple[list[tuple[int, dict]], list[LineDamage]]:
+    """Classify every line: parsed records plus a damage list.
+
+    Never raises -- this is the forgiving scan ``repro fsck`` and the
+    WAL recovery path share.  Damage on the last *content* line that
+    looks like an incomplete write (truncated frame, unparseable
+    fragment) is promoted to the repairable :data:`DAMAGE_TORN_TAIL`;
+    a complete frame with a CRC mismatch is never torn-tail, even at
+    the end -- the write finished and the bytes changed afterwards.
+    Whitespace-only lines after the last content line belong to the
+    same torn write and are ignored.
+    """
+    records: list[tuple[int, dict]] = []
+    damage: list[LineDamage] = []
+    last_content = max(
+        (i for i, text in enumerate(lines) if text.strip()), default=-1)
+    for offset, line in enumerate(lines):
+        lineno = first_lineno + offset
+        if not line.strip():
+            if offset < last_content:
+                damage.append(LineDamage(
+                    lineno=lineno, kind=DAMAGE_BLANK_INTERIOR,
+                    detail="blank interior line where a record should be",
+                    repairable=False))
+            continue
+        record, kind, detail = parse_record_line(line)
+        if record is not None:
+            records.append((lineno, record))
+            continue
+        tail = offset == last_content
+        if tail and kind in (DAMAGE_TRUNCATED_FRAME, DAMAGE_UNPARSEABLE):
+            damage.append(LineDamage(
+                lineno=lineno, kind=DAMAGE_TORN_TAIL,
+                detail=f"torn final write ({detail})", repairable=True))
+        else:
+            damage.append(LineDamage(
+                lineno=lineno, kind=kind or DAMAGE_UNPARSEABLE,
+                detail=detail, repairable=False))
+    return records, damage
+
+
+def read_records(path: str) -> tuple[dict, list[tuple[int, dict]]]:
+    """Hardened read shared by resume, reporting, and the WAL.
+
+    Returns ``(header, [(lineno, record), ...])`` with the header
+    validated only as *being* a header (any supported version); the
+    torn final write of a killed run is tolerated and dropped, every
+    other classified defect raises.
+
+    Raises:
+        JournalError: on a missing file, bad header, or any
+            non-trailing damage (CRC mismatch, truncated frame,
+            unparseable or blank interior line).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path!r}: {exc}")
+    if not lines:
+        raise JournalError(f"journal {path!r} is empty")
+    header, kind, detail = parse_record_line(lines[0])
+    if header is None:
+        raise JournalError(
+            f"journal {path!r} has an unreadable header "
+            f"({kind}: {detail})")
+    if header.get("type") != "header":
+        raise JournalError(
+            f"{path!r} does not look like a run journal "
+            f"(missing header line)")
+    if header.get("version") not in _SUPPORTED_VERSIONS:
+        raise JournalError(
+            f"journal {path!r} has unsupported version "
+            f"{header.get('version')!r} (supported: "
+            f"{', '.join(str(v) for v in _SUPPORTED_VERSIONS)})")
+    records, damage = scan_lines(lines[1:], first_lineno=2)
+    for defect in damage:
+        if defect.kind == DAMAGE_TORN_TAIL:
+            continue  # torn final write of a killed run
+        raise JournalError(
+            f"journal {path!r} is corrupt at line {defect.lineno}: "
+            f"{defect.kind}: {defect.detail}; resuming would "
+            f"silently skip blocks")
+    return header, records
+
+
+def write_snapshot(path: str, payload: dict) -> None:
+    """Atomically persist a warm-state checkpoint.
+
+    The document embeds a CRC32 of the payload and lands via
+    tmp + fsync + rename (+ directory fsync), so a reader sees either
+    the previous complete snapshot or the new complete snapshot --
+    never a torn mix.
+    """
+    body = json.dumps(payload)
+    document = json.dumps({
+        "type": "snapshot",
+        "version": _VERSION,
+        "crc32": f"{zlib.crc32(body.encode('utf-8')):08x}",
+        "payload": payload,
+    })
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(document + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_snapshot(path: str) -> dict:
+    """Load a snapshot written by :func:`write_snapshot`.
+
+    Raises:
+        JournalError: when the file is unreadable, not a snapshot, or
+            its payload no longer matches the embedded CRC32.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read snapshot {path!r}: {exc}")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JournalError(
+            f"snapshot {path!r} is not parseable JSON: {exc}")
+    if not isinstance(document, dict) \
+            or document.get("type") != "snapshot":
+        raise JournalError(f"{path!r} is not a snapshot file")
+    payload = document.get("payload")
+    body = json.dumps(payload)
+    actual = f"{zlib.crc32(body.encode('utf-8')):08x}"
+    if actual != document.get("crc32"):
+        raise JournalError(
+            f"snapshot {path!r} fails its CRC32 check "
+            f"({actual} != recorded {document.get('crc32')!r})")
+    return payload
 
 
 def run_fingerprint(source_text: str, machine: str,
@@ -60,7 +313,8 @@ class RunJournal:
 
     Use :meth:`open_fresh` to start a new journal (truncating any
     previous file) or :meth:`open_resume` to load completed outcomes
-    and continue appending.
+    and continue appending.  Writes are v2 CRC frames; reads accept v1
+    and v2 interchangeably.
     """
 
     def __init__(self, path: str, fingerprint: dict,
@@ -75,7 +329,7 @@ class RunJournal:
     def open_fresh(cls, path: str, fingerprint: dict) -> "RunJournal":
         """Start a new journal, truncating an existing file."""
         handle = open(path, "w", encoding="utf-8")
-        handle.write(json.dumps(
+        handle.write(frame_record(
             {"type": "header", "version": _VERSION,
              "fingerprint": fingerprint}) + "\n")
         handle.flush()
@@ -107,63 +361,23 @@ class RunJournal:
     def load(path: str) -> tuple[dict, dict[int, BlockOutcome]]:
         """Read a journal: ``(header, {block_index: outcome})``.
 
-        A corrupt or truncated *trailing* line is ignored (the block
-        that was in flight when the run died; whitespace-only lines
-        after it are part of the same torn write).  Corruption
-        anywhere else -- an unparseable interior line, or a blank
-        interior line where a record should be -- raises a typed
-        :class:`~repro.errors.JournalError` instead of silently
+        A torn *trailing* write is ignored (the block that was in
+        flight when the run died); corruption anywhere else -- a CRC
+        mismatch, a truncated frame, an unparseable interior line, or
+        a blank interior line where a record should be -- raises a
+        typed :class:`~repro.errors.JournalError` instead of silently
         skipping blocks on resume.
 
         Raises:
             JournalError: on a missing file, bad header, or mid-file
                 corruption.
         """
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
-        except OSError as exc:
-            raise JournalError(f"cannot read journal {path!r}: {exc}")
-        if not lines:
-            raise JournalError(f"journal {path!r} is empty")
-        try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError as exc:
+        header, entries = read_records(path)
+        if "fingerprint" not in header:
             raise JournalError(
-                f"journal {path!r} has an unreadable header: {exc}")
-        if header.get("type") != "header" \
-                or header.get("version") != _VERSION \
-                or "fingerprint" not in header:
-            raise JournalError(
-                f"journal {path!r} is not a version-{_VERSION} "
-                f"run journal")
+                f"journal {path!r} header carries no fingerprint")
         completed: dict[int, BlockOutcome] = {}
-        body = lines[1:]
-        # The only ignorable corruption is the torn final write of a
-        # killed run: the last *content* line, with nothing but
-        # whitespace after it.
-        last_content = max(
-            (i for i, text in enumerate(body) if text.strip()),
-            default=-1)
-        for offset, line in enumerate(body):
-            lineno = offset + 2
-            if not line.strip():
-                if offset < last_content:
-                    raise JournalError(
-                        f"journal {path!r} is corrupt at line "
-                        f"{lineno}: blank interior line where a "
-                        f"block record should be; resuming would "
-                        f"silently skip blocks")
-                continue  # whitespace tail of a torn final write
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if offset == last_content:
-                    break  # torn final write of a killed run
-                raise JournalError(
-                    f"journal {path!r} is corrupt at line {lineno}: "
-                    f"unparseable non-trailing record; resuming "
-                    f"would silently skip blocks")
+        for lineno, record in entries:
             if record.get("type") not in ("block", "quarantined"):
                 raise JournalError(
                     f"journal {path!r} has an unknown record type "
@@ -180,7 +394,7 @@ class RunJournal:
     def append(self, outcome: BlockOutcome) -> None:
         """Record one completed block (flushed to disk immediately)."""
         self._handle.write(
-            json.dumps(outcome.to_record(volatile=True)) + "\n")
+            frame_record(outcome.to_record(volatile=True)) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self.completed[outcome.index] = outcome

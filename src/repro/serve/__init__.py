@@ -25,7 +25,16 @@ schedule_block_resilient` wall-clock budgets, per-thread warm
   through the obs metrics registry.
 * :mod:`repro.serve.chaosserve` -- ``repro chaos --serve``: worker
   crashes, client disconnects, and deadline storms against a live
-  server, asserting zero lost and zero double-scheduled blocks.
+  server, asserting zero lost and zero double-scheduled blocks; with
+  ``--kill-daemon``, seeded SIGKILLs of the daemon itself under a
+  real supervisor, audited from the WAL.
+* :mod:`repro.serve.wal` -- the request write-ahead log: fsync before
+  acknowledge, idempotency-keyed dedup, crash recovery that re-runs
+  acknowledged-but-unfinished requests without re-scheduling their
+  recorded blocks.
+* :mod:`repro.serve.supervise` -- ``repro serve --supervised``: a
+  restart-with-backoff parent that detects crash loops and preserves
+  the WAL directory across daemon generations.
 """
 
 from repro.serve.admission import (
@@ -34,9 +43,13 @@ from repro.serve.admission import (
     TokenBucket,
 )
 from repro.serve.chaosserve import (
+    KillDaemonConfig,
+    KillDaemonReport,
     ServeChaosConfig,
     ServeChaosReport,
+    render_kill_daemon_report,
     render_serve_chaos_report,
+    run_kill_daemon_chaos,
     run_serve_chaos,
 )
 from repro.serve.engine import run_request
@@ -44,6 +57,7 @@ from repro.serve.loadtest import (
     LoadtestConfig,
     LoadtestReport,
     generate_mix,
+    generate_retry_mix,
     render_loadtest_report,
     run_loadtest,
 )
@@ -54,19 +68,31 @@ from repro.serve.protocol import (
     parse_address,
 )
 from repro.serve.server import BackgroundServer, ReproServer, ServeConfig
+from repro.serve.supervise import (
+    DaemonSupervisor,
+    SupervisorPolicy,
+    spawn_serve_child,
+)
+from repro.serve.wal import WalRecovery, WriteAheadLog
 
 __all__ = [
     "AdmissionController",
     "BackgroundServer",
+    "DaemonSupervisor",
     "generate_mix",
+    "generate_retry_mix",
+    "KillDaemonConfig",
+    "KillDaemonReport",
     "LoadtestConfig",
     "LoadtestReport",
     "parse_address",
     "PROTOCOL_VERSION",
     "REJECT_REASONS",
+    "render_kill_daemon_report",
     "render_loadtest_report",
     "render_serve_chaos_report",
     "ReproServer",
+    "run_kill_daemon_chaos",
     "run_loadtest",
     "run_request",
     "run_serve_chaos",
@@ -74,6 +100,10 @@ __all__ = [
     "ServeChaosConfig",
     "ServeChaosReport",
     "ServeConfig",
+    "spawn_serve_child",
+    "SupervisorPolicy",
     "TenantState",
     "TokenBucket",
+    "WalRecovery",
+    "WriteAheadLog",
 ]

@@ -317,6 +317,59 @@ class AdmissionController:
             return AdmissionTicket(controller=self, tenant=tenant,
                                    n_blocks=n_blocks)
 
+    def export_state(self) -> dict:
+        """Durable warm state for a drain/periodic snapshot.
+
+        Captures what must survive a daemon restart for fairness to
+        stay honest: per-tenant cumulative budgets and counters, plus
+        the global admit/reject tallies.  Occupancy and drain state
+        are deliberately excluded -- they describe the dying process,
+        not the tenant relationship.
+        """
+        with self._lock:
+            return {
+                "admitted_total": self.admitted_total,
+                "rejected_total": self.rejected_total,
+                "rejections_by_reason": dict(self.rejections_by_reason),
+                "tenants": {
+                    name: {
+                        "blocks_charged": s.blocks_charged,
+                        "requests_admitted": s.requests_admitted,
+                        "requests_rejected": s.requests_rejected,
+                        "tokens": round(s.bucket.available, 6),
+                    }
+                    for name, s in sorted(self.tenants.items())
+                },
+            }
+
+    def restore_state(self, payload: dict) -> None:
+        """Re-hydrate :meth:`export_state` output after a restart.
+
+        Token counts are clamped to the configured burst capacity, so
+        a snapshot from a differently-configured daemon cannot grant
+        more burst than this one allows.
+        """
+        with self._lock:
+            self.admitted_total = int(payload.get("admitted_total", 0))
+            self.rejected_total = int(payload.get("rejected_total", 0))
+            self.rejections_by_reason = {
+                str(k): int(v)
+                for k, v in payload.get("rejections_by_reason",
+                                        {}).items()}
+            for name, saved in payload.get("tenants", {}).items():
+                state = self._tenant(str(name))
+                state.blocks_charged = int(
+                    saved.get("blocks_charged", 0))
+                state.requests_admitted = int(
+                    saved.get("requests_admitted", 0))
+                state.requests_rejected = int(
+                    saved.get("requests_rejected", 0))
+                tokens = saved.get("tokens")
+                if isinstance(tokens, (int, float)):
+                    state.bucket._refill()
+                    state.bucket._tokens = max(
+                        0.0, min(float(tokens), state.bucket.capacity))
+
     def snapshot(self) -> dict:
         """Admission state for the ``stats``/``health`` endpoints."""
         with self._lock:

@@ -30,15 +30,26 @@ from __future__ import annotations
 import asyncio
 import os
 import random
+import signal
+import socket
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsRegistry
 from repro.runner.chaos import ChaosConfig
+from repro.runner.fsck import fsck_paths
+from repro.runner.journal import scan_lines
 from repro.serve import protocol
 from repro.serve.loadtest import _open
 from repro.serve.server import BackgroundServer, ServeConfig
+from repro.serve.supervise import (
+    DaemonSupervisor,
+    SupervisorPolicy,
+    spawn_serve_child,
+)
+from repro.serve.wal import WriteAheadLog
 
 
 @dataclass(frozen=True)
@@ -276,6 +287,379 @@ def run_serve_chaos(config: ServeChaosConfig,
                     pass
     report.wall_s = time.perf_counter() - t0
     return report
+
+
+# -- kill-daemon chaos: SIGKILL the daemon itself, audit the WAL ------------
+
+
+@dataclass(frozen=True)
+class KillDaemonConfig:
+    """Seeded plan for ``repro chaos --serve --kill-daemon``.
+
+    A supervised daemon (real child processes, real SIGKILL) is
+    battered while keyed clients retry through the restarts.  The
+    verdict is read from the WAL, not from any single generation's
+    in-memory stats.
+
+    Attributes:
+        seed: drives kill timing jitter and the workload mix.
+        requests: keyed schedule requests the clients must land.
+        copies: kernel repetitions per request (blocks per request).
+        kills: SIGKILLs delivered to daemon generations mid-load.
+        kill_interval_s: nominal spacing between kills (jittered).
+        wall_timeout_s: hard cap on the whole run.
+    """
+
+    seed: int = 0
+    requests: int = 6
+    copies: int = 4
+    kills: int = 2
+    kill_interval_s: float = 0.5
+    wall_timeout_s: float = 120.0
+
+
+@dataclass
+class KillDaemonReport:
+    """What the kill-daemon run observed and verified.
+
+    ``ok`` is the acceptance criterion: zero acknowledged requests
+    lost, zero double-scheduled blocks across restarts, supervisor
+    exits 0 after a clean drain, and fsck finds the surviving WAL and
+    snapshots intact.
+    """
+
+    requests_sent: int = 0
+    requests_acknowledged: int = 0
+    requests_completed: int = 0
+    requests_deduped: int = 0
+    client_retries: int = 0
+    kills_delivered: int = 0
+    last_killed_pid: int | None = None
+    generations: int = 0
+    lost_acknowledged: int = 0
+    duplicate_blocks: int = 0
+    supervisor_exit: int | None = None
+    fsck_clean: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.lost_acknowledged == 0
+                and self.duplicate_blocks == 0
+                and self.supervisor_exit == 0
+                and self.fsck_clean
+                and self.requests_completed == self.requests_sent)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_sent": self.requests_sent,
+            "requests_acknowledged": self.requests_acknowledged,
+            "requests_completed": self.requests_completed,
+            "requests_deduped": self.requests_deduped,
+            "client_retries": self.client_retries,
+            "kills_delivered": self.kills_delivered,
+            "generations": self.generations,
+            "lost_acknowledged": self.lost_acknowledged,
+            "duplicate_blocks": self.duplicate_blocks,
+            "supervisor_exit": self.supervisor_exit,
+            "fsck_clean": self.fsck_clean,
+            "ok": self.ok,
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+async def _keyed_client(address: str, message: dict, deadline: float,
+                        report: KillDaemonReport,
+                        lock: asyncio.Lock, alive) -> None:
+    """Drive one keyed request to completion through restarts.
+
+    The retry loop is the client half of the durability contract:
+    resend the *same idempotency key* until a terminal frame lands.
+    Every reconnect after the first counts as a retry.  ``alive``
+    reports whether the supervisor is still restarting daemons --
+    once it gives up (crash loop) there is nothing to wait for.
+    """
+    attempts = 0
+    acknowledged = False
+    while time.monotonic() < deadline and alive():
+        attempts += 1
+        try:
+            reader, writer = await _open(address)
+        except (ConnectionError, OSError, FileNotFoundError):
+            await asyncio.sleep(0.1)  # daemon between generations
+            continue
+        try:
+            writer.write(protocol.encode(message))
+            await writer.drain()
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(),
+                    timeout=max(0.1, deadline - time.monotonic()))
+                if not line:
+                    break  # daemon died mid-stream: retry same key
+                frame = protocol.decode(line)
+                kind = frame.get("type")
+                if kind == "accepted":
+                    acknowledged = True
+                elif kind == "done":
+                    async with lock:
+                        report.requests_completed += 1
+                        if acknowledged:
+                            report.requests_acknowledged += 1
+                        if frame.get("deduped"):
+                            report.requests_deduped += 1
+                        report.client_retries += attempts - 1
+                    return
+                elif kind == "rejected":
+                    # duplicate-in-flight: recovery is re-running the
+                    # key; draining/queue-full: back off.  Either way
+                    # the key is retried until its result exists.
+                    break
+                elif kind == "error":
+                    async with lock:
+                        if acknowledged:
+                            report.requests_acknowledged += 1
+                        report.client_retries += attempts - 1
+                    return
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        await asyncio.sleep(0.15)
+
+
+def _connectable(socket_path: str) -> bool:
+    """True when a daemon generation is accepting on the socket."""
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.2)
+    try:
+        probe.connect(socket_path)
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+def _wal_inflight(wal_path: str) -> bool:
+    """True when the WAL shows an acknowledged-but-unfinished key."""
+    try:
+        with open(wal_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return False
+    if len(lines) < 2:
+        return False
+    records, _ = scan_lines(lines[1:], first_lineno=2)
+    accepted: set = set()
+    finished: set = set()
+    for _, record in records:
+        if record.get("type") == "accepted":
+            accepted.add(record.get("key"))
+        elif record.get("type") == "finished":
+            finished.add(record.get("key"))
+    return bool(accepted - finished)
+
+
+async def _seeded_killer(wal_path: str, pid_path: str,
+                         config: KillDaemonConfig,
+                         report: KillDaemonReport,
+                         clients_done: asyncio.Event) -> None:
+    """SIGKILL the daemon while acknowledged work is in flight.
+
+    Killing an idle daemon proves nothing, so each kill waits for the
+    WAL to show an accepted-but-unfinished key -- the exact state the
+    durability contract is about -- then strikes after a small seeded
+    jitter.
+    """
+    rng = random.Random(f"repro-kill-daemon:{config.seed}")
+    while report.kills_delivered < config.kills \
+            and not clients_done.is_set():
+        if not _wal_inflight(wal_path):
+            await asyncio.sleep(0.01)
+            continue
+        await asyncio.sleep(0.03 * rng.random())
+        try:
+            with open(pid_path, "r", encoding="utf-8") as handle:
+                pid = int(handle.read().strip())
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ValueError):
+            await asyncio.sleep(0.01)  # between generations
+            continue
+        report.kills_delivered += 1
+        report.last_killed_pid = pid
+        # Give the supervisor time to restart and the next generation
+        # time to recover before striking again.
+        try:
+            await asyncio.wait_for(
+                clients_done.wait(),
+                timeout=config.kill_interval_s * (0.5 + rng.random()))
+            return
+        except asyncio.TimeoutError:
+            pass
+
+
+async def _drive_kill_daemon(address: str, wal_path: str,
+                             pid_path: str,
+                             config: KillDaemonConfig,
+                             report: KillDaemonReport, alive) -> None:
+    lock = asyncio.Lock()
+    deadline = time.monotonic() + config.wall_timeout_s
+    clients_done = asyncio.Event()
+    killer = asyncio.ensure_future(
+        _seeded_killer(wal_path, pid_path, config, report,
+                       clients_done))
+    rng = random.Random(f"repro-serve-chaos:{config.seed}")
+    kernels = ("daxpy", "dot_product", "livermore1")
+    messages = []
+    for i in range(config.requests):
+        messages.append({
+            "op": "schedule",
+            "id": f"kill-{config.seed}-{i}",
+            "key": f"kill-key-{config.seed}-{i}",
+            "tenant": f"tenant-{i % 2}",
+            "workload": {
+                "kernel": kernels[rng.randrange(len(kernels))],
+                "copies": config.copies,
+            },
+        })
+    report.requests_sent = len(messages)
+    await asyncio.gather(*(
+        _keyed_client(address, message, deadline, report, lock, alive)
+        for message in messages))
+    clients_done.set()
+    await killer
+
+
+def _audit_wal(wal_path: str, report: KillDaemonReport) -> None:
+    """The cross-generation verdict: read the surviving WAL.
+
+    * every key with an ``accepted`` record must reach a ``finished``
+      record (zero acknowledged requests lost);
+    * no (key, block index) may carry two ``block-done`` records
+      (zero double-scheduled blocks across restarts).
+    """
+    wal, recovery = WriteAheadLog.open(wal_path)
+    wal.close()
+    report.lost_acknowledged = len(recovery.incomplete)
+    with open(wal_path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    records, _ = scan_lines(lines[1:], first_lineno=2)
+    seen: set[tuple[str, int]] = set()
+    duplicates = 0
+    for _, record in records:
+        if record.get("type") == "block-done":
+            pair = (str(record.get("key")), int(record["index"]))
+            if pair in seen:
+                duplicates += 1
+            seen.add(pair)
+    report.duplicate_blocks = duplicates
+
+
+def run_kill_daemon_chaos(config: KillDaemonConfig,
+                          argv_extra: list[str] | None = None
+                          ) -> KillDaemonReport:
+    """Supervised daemon + seeded SIGKILLs + retrying keyed clients.
+
+    Stands up a real :class:`DaemonSupervisor` (child daemons are
+    separate processes), batters it, SIGTERMs the supervisor for a
+    clean final drain, then audits the WAL and runs fsck over the
+    surviving state directory.
+    """
+    report = KillDaemonReport()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-kill-daemon-") \
+            as tmp:
+        wal_dir = os.path.join(tmp, "state")
+        socket_path = os.path.join(tmp, "kill.sock")
+        pid_path = os.path.join(wal_dir, "daemon.pid")
+        os.makedirs(wal_dir, exist_ok=True)
+        child_argv = ["--address", f"unix:{socket_path}",
+                      "--wal-dir", wal_dir,
+                      "--workers", "2",
+                      "--drain-grace", "10",
+                      *(argv_extra or [])]
+        supervisor = DaemonSupervisor(
+            spawn=lambda: spawn_serve_child(child_argv),
+            policy=SupervisorPolicy(
+                max_restarts=config.kills + 3,
+                window_s=config.wall_timeout_s,
+                backoff_base_s=0.05, backoff_max_s=0.5),
+            pid_path=pid_path,
+            log=lambda line: None)
+        exit_box: dict = {}
+
+        def _run_supervisor() -> None:
+            try:
+                exit_box["code"] = supervisor.run()
+            except Exception as exc:  # noqa: BLE001 - audited below
+                exit_box["error"] = exc
+
+        thread = threading.Thread(target=_run_supervisor,
+                                  name="repro-kill-daemon-supervisor")
+        thread.start()
+        wal_path = os.path.join(wal_dir, "serve.wal")
+        try:
+            asyncio.run(_drive_kill_daemon(
+                f"unix:{socket_path}", wal_path, pid_path, config,
+                report, alive=thread.is_alive))
+        finally:
+            # Let the supervisor bring up a post-kill generation
+            # before asking for the final drain, so the stop lands on
+            # a live, connectable daemon and the run ends with a
+            # clean exit 0 instead of racing a crash-restart (a just-
+            # SIGKILLed child can still poll() as alive for a tick,
+            # hence the pid comparison).
+            settle_deadline = time.monotonic() + 10.0
+            while time.monotonic() < settle_deadline \
+                    and thread.is_alive():
+                child = supervisor._child
+                if supervisor.child_alive() and child is not None \
+                        and child.pid != report.last_killed_pid \
+                        and _connectable(socket_path):
+                    break
+                time.sleep(0.05)
+            supervisor.request_stop()
+            thread.join(config.wall_timeout_s)
+        report.generations = supervisor.generation
+        if "error" in exit_box:
+            report.supervisor_exit = 1
+        else:
+            report.supervisor_exit = exit_box.get("code")
+        if os.path.exists(wal_path):
+            _audit_wal(wal_path, report)
+        else:
+            report.lost_acknowledged = report.requests_acknowledged
+        findings = fsck_paths([wal_dir])
+        report.fsck_clean = all(
+            f.status in ("clean", "repairable") for f in findings)
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def render_kill_daemon_report(report: KillDaemonReport) -> str:
+    """Human-readable kill-daemon verdict (CLI output)."""
+    doc = report.to_dict()
+    lines = [
+        f"! kill-daemon chaos: {doc['requests_sent']} keyed requests, "
+        f"{doc['kills_delivered']} SIGKILLs across "
+        f"{doc['generations']} daemon generations",
+        f"! clients: {doc['requests_completed']} completed "
+        f"({doc['requests_deduped']} deduped), "
+        f"{doc['client_retries']} retries",
+        f"! WAL audit: {doc['lost_acknowledged']} acknowledged "
+        f"requests lost, {doc['duplicate_blocks']} double-scheduled "
+        f"blocks",
+        f"! supervisor exit: {doc['supervisor_exit']}, fsck clean: "
+        f"{'yes' if doc['fsck_clean'] else 'NO'}",
+        f"! verdict: {'OK' if doc['ok'] else 'FAILED'} "
+        f"in {doc['wall_s']}s",
+    ]
+    return "\n".join(lines)
 
 
 def render_serve_chaos_report(report: ServeChaosReport) -> str:

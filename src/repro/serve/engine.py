@@ -42,6 +42,7 @@ from repro.obs.metrics import MetricsRegistry, record_deadline, record_shed_bloc
 from repro.runner.batch import run_batch
 from repro.runner.fallback import (
     DEFAULT_CHAIN,
+    BlockOutcome,
     resolve_chain,
     schedule_block_resilient,
 )
@@ -163,7 +164,8 @@ def run_request(request: ScheduleRequest,
                 retry: object | None = None,
                 task_timeout: float | None = 60.0,
                 quarantine_dir: str | None = None,
-                mem_limit_mb: int | None = None) -> dict:
+                mem_limit_mb: int | None = None,
+                completed: dict[int, dict] | None = None) -> dict:
     """Schedule one admitted request's blocks, streaming as they land.
 
     Runs in an executor thread.  Emits one ``block`` frame per
@@ -201,6 +203,12 @@ def run_request(request: ScheduleRequest,
             forwarded to :func:`~repro.runner.batch.run_batch` on the
             pooled path (fault injection, retry policy, hang
             detector, reproducer directory, worker memory ceiling).
+        completed: already-recorded block records by block index (WAL
+            replay after a daemon crash) -- those blocks are re-emitted
+            verbatim instead of recomputed (exactly-once results) and
+            counted in the summary's ``replayed``.  A non-empty map
+            forces the serial path so replay interleaves with fresh
+            work in program order.
 
     Returns:
         The summary dict for the ``done`` frame, satisfying
@@ -215,9 +223,11 @@ def run_request(request: ScheduleRequest,
                 if request.deadline_s is not None else None)
 
     n_scheduled = n_degraded = n_quarantined = n_done = 0
+    n_replayed = 0
     makespan = original = 0
     shed_reasons: dict[str, int] = {}
     shed_from: int | None = None
+    completed = completed or {}
 
     def remaining() -> float | None:
         if deadline is None:
@@ -259,7 +269,7 @@ def run_request(request: ScheduleRequest,
         if metrics is not None:
             record_shed_blocks(metrics, count, reason)
 
-    if jobs >= 2:
+    if jobs >= 2 and not completed:
         # Pooled path: a per-request supervised pool.  run_batch
         # consumes outcomes in program order, so a stop raised from
         # ``on_block`` sheds exactly the untouched suffix; the pool is
@@ -292,6 +302,20 @@ def run_request(request: ScheduleRequest,
                 shed_rest(reason)
     else:
         for block in blocks:
+            recorded = completed.get(block.index)
+            if recorded is not None:
+                # WAL replay: the result already crossed a socket once;
+                # re-emit it verbatim rather than recompute (dedup).
+                n_replayed += 1
+                if recorded.get("type") == "shed":
+                    why = str(recorded.get("reason", "replay"))
+                    shed_reasons[why] = shed_reasons.get(why, 0) + 1
+                    n_done += 1
+                    emit(protocol.shed_frame(request.id, block.index,
+                                             why))
+                else:
+                    account(BlockOutcome.from_record(recorded))
+                continue
             reason = check_stop()
             if reason is not None:
                 shed_rest(reason)
@@ -317,6 +341,7 @@ def run_request(request: ScheduleRequest,
         "degraded": n_degraded,
         "quarantined": n_quarantined,
         "shed": n_shed,
+        "replayed": n_replayed,
         "shed_reasons": dict(sorted(shed_reasons.items())),
         "shed_from": shed_from,
         "makespan": makespan,

@@ -56,6 +56,14 @@ class LoadtestConfig:
         deadline_fraction: fraction of requests carrying a deadline.
         machine: machine model every request asks for.
         timeout_s: client-side cap on one request's full stream.
+        idempotency_retry: fraction of requests resent -- after the
+            main mix finishes -- with their original idempotency key.
+            0 disables the retry phase (and keeps keys off the mix,
+            so plain-mix fingerprints are unchanged).  When enabled,
+            every resend must come back ``deduped`` from the WAL
+            result store; a re-executed duplicate counts against
+            ``duplicate_results``, which a durable daemon keeps at
+            exactly 0.
     """
 
     address: str
@@ -68,6 +76,7 @@ class LoadtestConfig:
     deadline_fraction: float = 0.5
     machine: str = "generic"
     timeout_s: float = 60.0
+    idempotency_retry: float = 0.0
 
 
 def generate_mix(config: LoadtestConfig) -> list[dict]:
@@ -87,8 +96,27 @@ def generate_mix(config: LoadtestConfig) -> list[dict]:
         }
         if rng.random() < config.deadline_fraction:
             message["deadline_s"] = config.deadline_s
+        if config.idempotency_retry > 0:
+            message["key"] = f"lt-key-{config.seed}-{i}"
         mix.append(message)
     return mix
+
+
+def generate_retry_mix(config: LoadtestConfig,
+                       mix: list[dict]) -> list[dict]:
+    """The seeded duplicate-key resend subset for the retry phase.
+
+    Each selected message is resent verbatim except for a fresh
+    request id (frames route by id; dedup is by ``key``).
+    """
+    rng = random.Random(f"repro-loadtest-retry:{config.seed}")
+    retries = []
+    for message in mix:
+        if rng.random() < config.idempotency_retry:
+            duplicate = dict(message)
+            duplicate["id"] = f"{message['id']}-retry"
+            retries.append(duplicate)
+    return retries
 
 
 def mix_fingerprint(mix: list[dict]) -> str:
@@ -121,6 +149,10 @@ class LoadtestReport:
     wall_s: float = 0.0
     fingerprint: str = ""
     seed: int = 0
+    retries_sent: int = 0
+    retries_deduped: int = 0
+    retries_rejected: int = 0
+    duplicate_results: int = 0
 
     def percentile(self, q: float) -> float:
         """Nearest-rank latency percentile over completed requests."""
@@ -164,6 +196,10 @@ class LoadtestReport:
             "deadlined": self.deadlined,
             "deadlines_met": self.deadlines_met,
             "error_budget_ok": round(self.error_budget_ok, 4),
+            "retries_sent": self.retries_sent,
+            "retries_deduped": self.retries_deduped,
+            "retries_rejected": self.retries_rejected,
+            "duplicate_results": self.duplicate_results,
             "p50_s": round(self.percentile(0.50), 6),
             "p99_s": round(self.percentile(0.99), 6),
             "throughput_rps": round(self.throughput_rps, 3),
@@ -248,38 +284,94 @@ async def _drive_one(reader, writer, message: dict,
                            latency)
 
 
+async def _drive_retry(reader, writer, message: dict,
+                       report: LoadtestReport, lock: asyncio.Lock,
+                       timeout_s: float) -> None:
+    """Resend a finished key; classify the daemon's answer.
+
+    The main mix has fully settled, so every resent key has a
+    terminal WAL record and the only correct ``done`` answer carries
+    ``deduped: true`` -- a replay from the result store.  A ``done``
+    *without* it means the daemon executed the work a second time:
+    that is a double-schedule, counted in ``duplicate_results``.
+    """
+    writer.write(protocol.encode(message))
+    await writer.drain()
+    status = "client-timeout"
+    deduped = False
+    try:
+        while True:
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=timeout_s)
+            if not line:
+                status = "disconnected"
+                break
+            frame = protocol.decode(line)
+            if frame.get("id") != message["id"]:
+                continue
+            kind = frame.get("type")
+            if kind == "done":
+                status = "ok"
+                deduped = bool(frame.get("deduped"))
+                break
+            if kind == "rejected":
+                status = "rejected"
+                break
+            if kind == "error":
+                status = "error"
+                break
+    except asyncio.TimeoutError:
+        status = "client-timeout"
+    async with lock:
+        report.retries_sent += 1
+        if status == "ok" and deduped:
+            report.retries_deduped += 1
+        elif status == "ok":
+            report.duplicate_results += 1
+        else:
+            report.retries_rejected += 1
+
+
 async def _run(config: LoadtestConfig, mix: list[dict],
                report: LoadtestReport,
                metrics: MetricsRegistry | None) -> None:
-    queue: asyncio.Queue = asyncio.Queue()
-    for message in mix:
-        queue.put_nowait(message)
     lock = asyncio.Lock()
 
-    async def worker() -> None:
-        try:
-            reader, writer = await _open(config.address)
-        except (ConnectionError, FileNotFoundError, OSError) as exc:
-            raise ReproError(
-                f"loadtest cannot connect to {config.address!r}: "
-                f"{exc}")
-        try:
-            while True:
-                try:
-                    message = queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    return
-                await _drive_one(reader, writer, message, report,
-                                 lock, metrics, config.timeout_s)
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+    async def phase(messages: list[dict], drive) -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+        for message in messages:
+            queue.put_nowait(message)
 
-    await asyncio.gather(*(worker()
-                           for _ in range(config.concurrency)))
+        async def worker() -> None:
+            try:
+                reader, writer = await _open(config.address)
+            except (ConnectionError, FileNotFoundError, OSError) as exc:
+                raise ReproError(
+                    f"loadtest cannot connect to {config.address!r}: "
+                    f"{exc}")
+            try:
+                while True:
+                    try:
+                        message = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    await drive(reader, writer, message)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        await asyncio.gather(*(worker()
+                               for _ in range(config.concurrency)))
+
+    await phase(mix, lambda r, w, m: _drive_one(
+        r, w, m, report, lock, metrics, config.timeout_s))
+    if config.idempotency_retry > 0:
+        await phase(generate_retry_mix(config, mix),
+                    lambda r, w, m: _drive_retry(
+                        r, w, m, report, lock, config.timeout_s))
 
 
 def run_loadtest(config: LoadtestConfig,
@@ -327,4 +419,11 @@ def render_loadtest_report(report: LoadtestReport) -> str:
         f"! error budget: {doc['deadlines_met']} of "
         f"{doc['deadlined']} deadlined requests met their deadline "
         f"({doc['error_budget_ok']:.1%})")
+    if doc["retries_sent"]:
+        lines.append(
+            f"! idempotency: {doc['retries_sent']} duplicate-key "
+            f"resends, {doc['retries_deduped']} deduped, "
+            f"{doc['retries_rejected']} rejected, "
+            f"{doc['duplicate_results']} duplicate results "
+            f"({'OK' if doc['duplicate_results'] == 0 else 'FAILED'})")
     return "\n".join(lines)

@@ -52,8 +52,13 @@ REJECT_RATE_LIMITED = "rate-limited"
 REJECT_BUDGET = "tenant-budget-exhausted"
 REJECT_DRAINING = "draining"
 REJECT_TOO_LARGE = "request-too-large"
+REJECT_DUPLICATE = "duplicate-in-flight"
 REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_RATE_LIMITED,
-                  REJECT_BUDGET, REJECT_DRAINING, REJECT_TOO_LARGE)
+                  REJECT_BUDGET, REJECT_DRAINING, REJECT_TOO_LARGE,
+                  REJECT_DUPLICATE)
+
+#: longest accepted idempotency key, characters
+MAX_KEY_CHARS = 128
 
 #: shed reason codes (per-block, on admitted requests)
 SHED_DEADLINE = "deadline"
@@ -163,6 +168,11 @@ class ScheduleRequest:
             request.
         chain: builder fallback chain override (names), or None for
             the server default.
+        key: client-supplied idempotency key, or None for a
+            server-generated one.  A key is the unit of WAL dedup:
+            resending a finished key streams the recorded result
+            instead of recomputing; resending an in-flight key is a
+            typed ``duplicate-in-flight`` rejection.
     """
 
     id: str
@@ -175,6 +185,7 @@ class ScheduleRequest:
     verify: bool = False
     lenient: bool = False
     chain: tuple[str, ...] | None = None
+    key: str | None = None
 
     @staticmethod
     def from_message(message: dict) -> "ScheduleRequest":
@@ -226,6 +237,13 @@ class ScheduleRequest:
                     f"request {rid!r}: 'chain' must be a list of "
                     f"builder names")
             chain = tuple(chain)
+        key = message.get("key")
+        if key is not None:
+            if not isinstance(key, str) or not key \
+                    or len(key) > MAX_KEY_CHARS:
+                raise ProtocolError(
+                    f"request {rid!r}: 'key' must be a non-empty "
+                    f"string of at most {MAX_KEY_CHARS} characters")
         return ScheduleRequest(
             id=rid, tenant=tenant, asm=asm, workload=workload,
             machine=str(message.get("machine", "generic")),
@@ -233,16 +251,25 @@ class ScheduleRequest:
             deadline_s=float(deadline) if deadline is not None else None,
             verify=bool(message.get("verify", False)),
             lenient=bool(message.get("lenient", False)),
-            chain=chain)
+            chain=chain, key=key)
 
 
 # -- response frame constructors --------------------------------------------
 
 
-def accepted_frame(rid: str, queue_depth: int) -> dict:
-    """The request passed admission and is queued/executing."""
-    return {"type": "accepted", "id": rid,
-            "protocol": PROTOCOL_VERSION, "queue_depth": queue_depth}
+def accepted_frame(rid: str, queue_depth: int,
+                   key: str | None = None) -> dict:
+    """The request passed admission and is queued/executing.
+
+    ``key`` echoes the idempotency key the WAL recorded (the client's
+    own, or the server-assigned one) -- by the time this frame is on
+    the wire, the acceptance is already fsynced.
+    """
+    frame = {"type": "accepted", "id": rid,
+             "protocol": PROTOCOL_VERSION, "queue_depth": queue_depth}
+    if key is not None:
+        frame["key"] = key
+    return frame
 
 
 def block_frame(rid: str, record: dict) -> dict:
@@ -256,9 +283,16 @@ def shed_frame(rid: str, index: int, reason: str) -> dict:
             "reason": reason}
 
 
-def done_frame(rid: str, summary: dict) -> dict:
-    """Terminal success frame with the request accounting."""
-    return {"type": "done", "id": rid, "summary": summary}
+def done_frame(rid: str, summary: dict, deduped: bool = False) -> dict:
+    """Terminal success frame with the request accounting.
+
+    ``deduped`` marks a response replayed from the WAL for a
+    previously finished idempotency key -- nothing was recomputed.
+    """
+    frame = {"type": "done", "id": rid, "summary": summary}
+    if deduped:
+        frame["deduped"] = True
+    return frame
 
 
 def rejected_frame(rid: str | None, reason: str,

@@ -34,19 +34,28 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import dataclasses
+import os
 import signal
 import threading
 import time
+import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError, RequestRejected
+from repro.errors import JournalError, ReproError, RequestRejected
 from repro.machine.presets import (
     generic_risc,
     rs6000_like,
     sparcstation2_like,
     superscalar2,
 )
-from repro.obs.metrics import MetricsRegistry, record_request
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_request,
+    record_wal_dedup,
+    record_wal_recovery,
+)
+from repro.runner.journal import read_snapshot, write_snapshot
 from repro.runner.supervisor import CircuitBreaker, RetryPolicy
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController
@@ -58,10 +67,17 @@ from repro.serve.engine import (
 )
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
+    REJECT_DUPLICATE,
     SHED_DISCONNECT,
     SHED_DRAIN,
     ScheduleRequest,
     parse_address,
+)
+from repro.serve.wal import (
+    FINISHED_ABANDONED,
+    FINISHED_ERROR,
+    FINISHED_OK,
+    WriteAheadLog,
 )
 
 #: machine-model presets the daemon will schedule for
@@ -112,6 +128,18 @@ class ServeConfig:
         chaos: seeded :class:`~repro.runner.chaos.ChaosConfig` fault
             injection for the pooled path -- the ``chaos --serve``
             harness's hook; never set in production.
+        wal_dir: directory for the request WAL and warm-state
+            snapshots.  When set, every acceptance / block result /
+            terminal summary is fsynced *before* its frame crosses
+            the socket, and startup replays the WAL (re-enqueueing
+            incomplete requests, deduping finished idempotency keys).
+            None disables durability (the in-memory dedup index still
+            works for the life of the process).
+        snapshot_every: finished requests between warm-state snapshot
+            writes (admission budgets + cache stats); a snapshot is
+            always written on drain.
+        dedup_entries: LRU cap on the in-memory finished-key result
+            store (the exactly-once answer index).
     """
 
     address: str
@@ -134,6 +162,9 @@ class ServeConfig:
     task_timeout: float | None = 60.0
     quarantine_dir: str | None = None
     chaos: object | None = None
+    wal_dir: str | None = None
+    snapshot_every: int = 8
+    dedup_entries: int = 1024
 
 
 @dataclass
@@ -157,6 +188,10 @@ class ServerStats:
     shed_by_reason: dict[str, int] = field(default_factory=dict)
     duplicate_blocks: int = 0
     disconnects: int = 0
+    requests_deduped: int = 0
+    requests_recovered: int = 0
+    wal_replayed: int = 0
+    wal_dropped: int = 0
 
     @property
     def accounted(self) -> bool:
@@ -178,18 +213,31 @@ class ServerStats:
             "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
             "duplicate_blocks": self.duplicate_blocks,
             "disconnects": self.disconnects,
+            "requests_deduped": self.requests_deduped,
+            "requests_recovered": self.requests_recovered,
+            "wal_replayed": self.wal_replayed,
+            "wal_dropped": self.wal_dropped,
             "accounted": self.accounted,
         }
 
 
 class _Active:
-    """One in-flight request's server-side state."""
+    """One in-flight request's server-side state.
 
-    def __init__(self, request: ScheduleRequest, ticket) -> None:
+    ``ticket`` is None for WAL-recovered requests (their admission was
+    charged -- and snapshotted -- by a previous daemon generation).
+    """
+
+    def __init__(self, request: ScheduleRequest, ticket,
+                 key: str | None = None) -> None:
         self.request = request
         self.ticket = ticket
+        self.key = key
         self.cancel_reason: str | None = None
         self.seen: set[tuple[str, int]] = set()
+        self.blocks: list = []
+        self.result_blocks: dict[int, dict] = {}
+        self.result_sheds: dict[int, str] = {}
         self.t0 = time.monotonic()
 
 
@@ -221,6 +269,8 @@ class ReproServer:
         self._conn_writers: set[asyncio.StreamWriter] = set()
         self._drain_forced = False
         self._drain_event: asyncio.Event | None = None
+        self._early_drain = False
+        self._recovery_task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
         self._started = time.monotonic()
@@ -229,6 +279,62 @@ class ReproServer:
         #: :attr:`ServeConfig.drain_force_s`); non-empty means the
         #: daemon should exit non-zero.
         self.drain_abandoned: list[str] = []
+
+        # -- durability: WAL, dedup index, warm snapshot ------------------
+        #: exactly-once answer store: key -> {"status", "summary",
+        #: "blocks", "sheds"}; LRU-capped, seeded from WAL recovery.
+        self._finished: OrderedDict[str, dict] = OrderedDict()
+        self._inflight_keys: set[str] = set()
+        self._recovered: list[dict] = []
+        self._snapshot_loaded = False
+        self.wal: WriteAheadLog | None = None
+        if config.wal_dir is not None:
+            os.makedirs(config.wal_dir, exist_ok=True)
+            self.wal, recovery = WriteAheadLog.open(
+                os.path.join(config.wal_dir, "serve.wal"))
+            self.stats.wal_replayed = recovery.replayed
+            self.stats.wal_dropped = recovery.dropped
+            for key, entry in recovery.finished.items():
+                self._remember_finished(key, entry)
+            self._recovered = recovery.incomplete
+            snapshot_path = os.path.join(config.wal_dir, "warm.json")
+            if os.path.exists(snapshot_path):
+                try:
+                    payload = read_snapshot(snapshot_path)
+                    self.admission.restore_state(
+                        payload.get("admission", {}))
+                    self._snapshot_loaded = True
+                except JournalError:
+                    # A bad snapshot is warm-state loss, not an
+                    # integrity problem: start cold, let fsck report
+                    # it.
+                    self._snapshot_loaded = False
+            if metrics is not None:
+                record_wal_recovery(metrics, replayed=recovery.replayed,
+                                    dropped=recovery.dropped,
+                                    recovered=len(recovery.incomplete))
+
+    def _remember_finished(self, key: str, entry: dict) -> None:
+        """LRU-insert one finished key into the dedup index."""
+        self._finished[key] = entry
+        self._finished.move_to_end(key)
+        while len(self._finished) > self.config.dedup_entries:
+            self._finished.popitem(last=False)
+
+    def _snapshot_path(self) -> str | None:
+        if self.config.wal_dir is None:
+            return None
+        return os.path.join(self.config.wal_dir, "warm.json")
+
+    def _write_warm_snapshot(self) -> None:
+        """Checkpoint warm state (atomic tmp+fsync+rename)."""
+        path = self._snapshot_path()
+        if path is None:
+            return
+        write_snapshot(path, {
+            "admission": self.admission.export_state(),
+            "cache": cache_stats(),
+        })
 
     # -- frame plumbing -----------------------------------------------------
 
@@ -269,10 +375,12 @@ class ReproServer:
             if kind == "shed":
                 self.stats.blocks_shed += 1
                 reason = frame["reason"]
+                active.result_sheds[frame["index"]] = reason
                 self.stats.shed_by_reason[reason] = \
                     self.stats.shed_by_reason.get(reason, 0) + 1
             else:
                 record = frame["block"]
+                active.result_blocks[record["index"]] = record
                 if record.get("type") == "quarantined":
                     self.stats.blocks_quarantined += 1
                 elif record.get("builder") is None:
@@ -292,6 +400,16 @@ class ReproServer:
             "occupancy": snapshot["occupancy"],
             "workers": self.config.workers,
             "cache": cache_stats(),
+            "wal": {
+                "enabled": self.wal is not None,
+                "replayed": self.stats.wal_replayed,
+                "dropped": self.stats.wal_dropped,
+                "recovered": self.stats.requests_recovered,
+                "deduped": self.stats.requests_deduped,
+                "inflight_keys": len(self._inflight_keys),
+                "finished_keys": len(self._finished),
+                "snapshot_loaded": self._snapshot_loaded,
+            },
         }
         if self.breaker is not None:
             frame["breaker"] = {
@@ -313,7 +431,7 @@ class ReproServer:
     # -- request execution --------------------------------------------------
 
     def _run_admitted(self, active: _Active, machine, blocks,
-                      emit) -> dict:
+                      emit, completed: dict | None = None) -> dict:
         """Executor-thread body for one admitted request."""
         request = active.request
         if request.deadline_s is None \
@@ -336,7 +454,36 @@ class ReproServer:
             retry=self._retry,
             task_timeout=cfg.task_timeout,
             quarantine_dir=cfg.quarantine_dir,
-            mem_limit_mb=cfg.mem_limit_mb)
+            mem_limit_mb=cfg.mem_limit_mb,
+            completed=completed)
+
+    async def _replay_finished(self, writer, lock, rid: str, key: str,
+                               entry: dict) -> None:
+        """Answer a finished idempotency key from the result store.
+
+        Nothing is recomputed and nothing is charged to admission:
+        the recorded blocks, sheds, and summary stream back with the
+        ``done`` frame marked ``deduped`` (exactly-once results).
+        """
+        with self._stats_lock:
+            self.stats.requests_deduped += 1
+        if self.metrics is not None:
+            record_wal_dedup(self.metrics)
+        status = entry.get("status", FINISHED_OK)
+        if status == FINISHED_OK:
+            for index in sorted(entry.get("blocks", {})):
+                await self._send(writer, lock, protocol.block_frame(
+                    rid, entry["blocks"][index]))
+            for index in sorted(entry.get("sheds", {})):
+                await self._send(writer, lock, protocol.shed_frame(
+                    rid, index, entry["sheds"][index]))
+            await self._send(writer, lock, protocol.done_frame(
+                rid, entry.get("summary", {}), deduped=True))
+        else:
+            await self._send(writer, lock, protocol.error_frame(
+                rid, f"previous-attempt-{status}",
+                f"idempotency key {key!r} already finished with "
+                f"status {status!r}", code=500))
 
     async def _handle_schedule(self, message: dict,
                                writer: asyncio.StreamWriter,
@@ -349,46 +496,114 @@ class ReproServer:
                 f"unknown machine {request.machine!r}; known: "
                 f"{sorted(MACHINE_PRESETS)}"))
             return
-        try:
-            # Expansion can be big (parse + window): keep it off the
-            # event loop so health/ready stay responsive under load.
-            # The block cap is enforced *inside* the expansion so an
-            # oversized workload is rejected before its source string
-            # is ever materialised.
-            blocks = await loop.run_in_executor(
-                None, request_blocks, request,
-                self.config.max_request_blocks)
-        except RequestRejected as exc:
-            self.admission.note_rejection(request.tenant, exc.reason)
+        key = request.key or f"auto-{uuid.uuid4().hex}"
+        finished = self._finished.get(key)
+        if finished is not None:
+            self._finished.move_to_end(key)
+            await self._replay_finished(writer, lock, request.id, key,
+                                        finished)
+            return
+        if key in self._inflight_keys:
+            self.admission.note_rejection(request.tenant,
+                                          REJECT_DUPLICATE)
             await self._send(writer, lock, protocol.rejected_frame(
-                request.id, exc.reason,
-                retry_after_s=exc.retry_after_s, detail=str(exc)))
+                request.id, REJECT_DUPLICATE,
+                detail=f"idempotency key {key!r} is already "
+                       f"executing"))
             return
-        except ReproError as exc:
-            await self._send(writer, lock, protocol.error_frame(
-                request.id, type(exc).__name__, str(exc)))
-            return
+        # Reserve the key before the first await so two pipelined
+        # duplicates cannot both pass the checks above.
+        self._inflight_keys.add(key)
         try:
-            ticket = self.admission.admit(request.tenant, len(blocks))
-        except RequestRejected as exc:
-            await self._send(writer, lock, protocol.rejected_frame(
-                request.id, exc.reason,
-                retry_after_s=exc.retry_after_s, detail=str(exc)))
-            return
+            try:
+                # Expansion can be big (parse + window): keep it off
+                # the event loop so health/ready stay responsive under
+                # load.  The block cap is enforced *inside* the
+                # expansion so an oversized workload is rejected
+                # before its source string is ever materialised.
+                blocks = await loop.run_in_executor(
+                    None, request_blocks, request,
+                    self.config.max_request_blocks)
+            except RequestRejected as exc:
+                self.admission.note_rejection(request.tenant,
+                                              exc.reason)
+                await self._send(writer, lock, protocol.rejected_frame(
+                    request.id, exc.reason,
+                    retry_after_s=exc.retry_after_s, detail=str(exc)))
+                return
+            except ReproError as exc:
+                await self._send(writer, lock, protocol.error_frame(
+                    request.id, type(exc).__name__, str(exc)))
+                return
+            try:
+                ticket = self.admission.admit(request.tenant,
+                                              len(blocks))
+            except RequestRejected as exc:
+                await self._send(writer, lock, protocol.rejected_frame(
+                    request.id, exc.reason,
+                    retry_after_s=exc.retry_after_s, detail=str(exc)))
+                return
+            wal_message = dict(message)
+            wal_message["key"] = key
+            active = _Active(request, ticket, key=key)
+            await self._execute(active, blocks, wal_message, writer,
+                                lock)
+        finally:
+            self._inflight_keys.discard(key)
 
-        active = _Active(request, ticket)
+    async def _execute(self, active: _Active, blocks,
+                       wal_message: dict,
+                       writer: asyncio.StreamWriter | None,
+                       lock: asyncio.Lock | None,
+                       completed: dict | None = None,
+                       log_accept: bool = True) -> None:
+        """Run one admitted (or WAL-recovered) request to its end.
+
+        The durability ordering is the whole point: acceptance is
+        fsynced before the ``accepted`` frame, every block/shed record
+        before its frame (inside ``emit``, on the engine thread), and
+        the terminal record before the ``done``/``error`` frame.
+        ``writer`` is None for recovered requests -- results then land
+        only in the WAL and the dedup index, where the retrying client
+        will find them.
+        """
+        loop = asyncio.get_running_loop()
+        request = active.request
+        key = active.key
         with self._stats_lock:
             self.stats.requests_admitted += 1
             self.stats.blocks_admitted += len(blocks)
+        active.blocks = blocks
         self._active.add(active)
-        await self._send(writer, lock, protocol.accepted_frame(
-            request.id, self.admission.occupancy))
+        if self.wal is not None and log_accept:
+            await loop.run_in_executor(
+                None, self.wal.log_accepted, key, wal_message,
+                len(blocks))
+        if writer is not None:
+            await self._send(writer, lock, protocol.accepted_frame(
+                request.id, self.admission.occupancy, key))
+
+        skip_wal = frozenset(completed or ())
 
         def emit(frame: dict) -> None:
-            # Engine thread -> event loop.  Accounting happens on the
-            # loop so ordering matches what the client observes.
+            # Engine thread: fsync the record, then bridge to the
+            # event loop.  Accounting happens on the loop so ordering
+            # matches what the client observes; replayed indices are
+            # already in the WAL and must not be re-logged.
+            if self.wal is not None:
+                kind = frame.get("type")
+                if kind == "block" \
+                        and frame["block"]["index"] not in skip_wal:
+                    self.wal.log_block(key, frame["block"])
+                elif kind == "shed" \
+                        and frame["index"] not in skip_wal:
+                    self.wal.log_shed(key, frame["index"],
+                                      frame["reason"])
+
             def deliver() -> None:
                 self._account_frame(active, frame)
+                if writer is None:
+                    return
                 task = loop.create_task(self._send(writer, lock, frame))
 
                 def on_sent(t) -> None:
@@ -406,9 +621,19 @@ class ReproServer:
         try:
             summary = await loop.run_in_executor(
                 self._executor, self._run_admitted, active, machine,
-                blocks, emit)
-            await self._send(writer, lock,
-                             protocol.done_frame(request.id, summary))
+                blocks, emit, completed)
+            if self.wal is not None:
+                await loop.run_in_executor(
+                    None, self.wal.log_finished, key, FINISHED_OK,
+                    summary)
+            self._remember_finished(key, {
+                "status": FINISHED_OK, "summary": summary,
+                "blocks": dict(active.result_blocks),
+                "sheds": dict(active.result_sheds)})
+            if writer is not None:
+                await self._send(writer, lock,
+                                 protocol.done_frame(request.id,
+                                                     summary))
             with self._stats_lock:
                 self.stats.requests_completed += 1
         except ReproError as exc:
@@ -420,17 +645,90 @@ class ReproServer:
                 if block.index not in done:
                     frame = protocol.shed_frame(
                         request.id, block.index, "error")
+                    if self.wal is not None \
+                            and block.index not in skip_wal:
+                        self.wal.log_shed(key, block.index, "error")
                     self._account_frame(active, frame)
+            if self.wal is not None:
+                await loop.run_in_executor(
+                    None, self.wal.log_finished, key, FINISHED_ERROR,
+                    {"error": str(exc)})
+            self._remember_finished(key, {
+                "status": FINISHED_ERROR,
+                "summary": {"error": str(exc)},
+                "blocks": {}, "sheds": {}})
             with self._stats_lock:
                 self.stats.requests_errored += 1
-            await self._send(writer, lock, protocol.error_frame(
-                request.id, type(exc).__name__, str(exc), code=500))
+            if writer is not None:
+                await self._send(writer, lock, protocol.error_frame(
+                    request.id, type(exc).__name__, str(exc),
+                    code=500))
         finally:
             self._active.discard(active)
-            ticket.release()
+            if active.ticket is not None:
+                active.ticket.release()
             if self.metrics is not None:
                 record_request(self.metrics, request.tenant, status,
                                time.monotonic() - active.t0)
+            if self.config.wal_dir is not None:
+                with self._stats_lock:
+                    n_done = (self.stats.requests_completed
+                              + self.stats.requests_errored)
+                if n_done % max(1, self.config.snapshot_every) == 0:
+                    await loop.run_in_executor(
+                        None, self._write_warm_snapshot)
+
+    async def _recover_incomplete(self) -> None:
+        """Re-enqueue accepted-but-unfinished WAL requests.
+
+        At-least-once execution: each recovered request runs through
+        the normal engine with its already-recorded blocks passed as
+        ``completed`` (re-emitted, never recomputed, never re-logged),
+        so the WAL ends with exactly one record per (key, block).
+        """
+        loop = asyncio.get_running_loop()
+        for entry in self._recovered:
+            if self.admission.draining:
+                break  # remaining entries stay durable for next boot
+            key = entry["key"]
+            if key in self._inflight_keys or key in self._finished:
+                continue
+            try:
+                request = ScheduleRequest.from_message(entry["request"])
+            except ReproError as exc:
+                await loop.run_in_executor(
+                    None, self.wal.log_finished, key, FINISHED_ERROR,
+                    {"error": f"unreadable recovered request: {exc}"})
+                continue
+            if request.machine not in MACHINE_PRESETS:
+                await loop.run_in_executor(
+                    None, self.wal.log_finished, key, FINISHED_ERROR,
+                    {"error": f"unknown machine {request.machine!r}"})
+                continue
+            self._inflight_keys.add(key)
+            try:
+                try:
+                    blocks = await loop.run_in_executor(
+                        None, request_blocks, request,
+                        self.config.max_request_blocks)
+                except ReproError as exc:
+                    await loop.run_in_executor(
+                        None, self.wal.log_finished, key,
+                        FINISHED_ERROR, {"error": str(exc)})
+                    continue
+                completed = dict(entry["blocks"])
+                for index, reason in entry["sheds"].items():
+                    completed.setdefault(
+                        index, {"type": "shed", "index": index,
+                                "reason": reason})
+                active = _Active(request, None, key=key)
+                with self._stats_lock:
+                    self.stats.requests_recovered += 1
+                await self._execute(active, blocks, entry["request"],
+                                    None, None, completed=completed,
+                                    log_accept=False)
+            finally:
+                self._inflight_keys.discard(key)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -501,6 +799,8 @@ class ReproServer:
         """Bind the listener and mark the server ready."""
         self._loop = asyncio.get_running_loop()
         self._drain_event = asyncio.Event()
+        if self._early_drain:
+            self._drain_event.set()
         parsed = parse_address(self.config.address, bind=True)
         if parsed[0] == "unix":
             self._server = await asyncio.start_unix_server(
@@ -511,6 +811,11 @@ class ReproServer:
                 self._handle_connection, host=parsed[1],
                 port=parsed[2], limit=MAX_LINE_BYTES)
         self.ready_event.set()
+        if self._recovered:
+            # Replay accepted-but-unfinished WAL work behind the
+            # freshly-bound listener; new traffic interleaves freely.
+            self._recovery_task = asyncio.ensure_future(
+                self._recover_incomplete())
 
     def bound_address(self) -> str:
         """The concrete address (resolves port 0 after bind)."""
@@ -522,10 +827,18 @@ class ReproServer:
         return f"{host}:{port}"
 
     def request_drain(self) -> None:
-        """Thread-safe drain trigger (what SIGTERM calls)."""
+        """Thread-safe drain trigger (what SIGTERM calls).
+
+        Safe to call before the event loop exists: a SIGTERM that
+        lands during startup is remembered and the daemon drains as
+        soon as it comes up, instead of the signal being lost (or,
+        worse, killing the process with state half-initialised).
+        """
         if self._loop is not None:
             self._loop.call_soon_threadsafe(
                 lambda: self._drain_event and self._drain_event.set())
+        else:
+            self._early_drain = True
 
     async def _drain(self) -> None:
         """Graceful shutdown: reject, grace, shed, exit."""
@@ -547,6 +860,22 @@ class ReproServer:
             # forever on SIGTERM.
             self.drain_abandoned = sorted(
                 a.request.id for a in self._active)
+            if self.wal is not None:
+                # Record the abandonment so a restart does not
+                # resurrect work the operator explicitly cut loose:
+                # unprocessed blocks become typed drain sheds and the
+                # key terminates as "abandoned".
+                for active in list(self._active):
+                    if active.key is None:
+                        continue
+                    done = {idx for _, idx in active.seen}
+                    for block in active.blocks:
+                        if block.index not in done:
+                            self.wal.log_shed(active.key, block.index,
+                                              SHED_DRAIN)
+                    self.wal.log_finished(active.key,
+                                          FINISHED_ABANDONED,
+                                          {"abandoned": True})
         self._server.close()
         await self._server.wait_closed()
         # Hang up on idle clients so their handlers unwind cleanly
@@ -563,6 +892,13 @@ class ReproServer:
             self._executor.shutdown(wait=False, cancel_futures=True)
         else:
             self._executor.shutdown(wait=True)
+        if self.config.wal_dir is not None:
+            try:
+                self._write_warm_snapshot()
+            except OSError:  # pragma: no cover - disk full at exit
+                pass
+        if self.wal is not None:
+            self.wal.close()
 
     async def run(self, install_signals: bool = True) -> None:
         """Serve until drained.  Returns normally (exit 0) on

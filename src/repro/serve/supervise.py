@@ -1,0 +1,209 @@
+"""Self-healing daemon supervision for ``repro serve --supervised``.
+
+A supervisor is a small, boring parent process: it spawns the real
+daemon as a child, forwards SIGTERM/SIGINT down, and restarts the
+child -- with exponential backoff -- when it dies a death it did not
+ask for.  The durability contract makes this safe: the WAL/snapshot
+directory survives across generations, so every restart replays
+acknowledged-but-unfinished work and the retrying client never
+observes a lost acknowledgement.
+
+What the supervisor will *not* do is flap forever: more than
+``max_restarts`` unexpected exits inside ``window_s`` is a crash
+loop -- the daemon is broken, not unlucky -- and the supervisor stops
+with a typed :class:`~repro.errors.SupervisorError` (CLI exit 1)
+instead of burning CPU masking a real bug.
+
+Everything is injectable (spawn, clock, sleep) so the restart policy
+is tested without real processes or real time; the subprocess glue
+lives only in :func:`spawn_serve_child`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.errors import SupervisorError
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart policy knobs.
+
+    Attributes:
+        max_restarts: unexpected child exits tolerated inside
+            ``window_s`` before the supervisor declares a crash loop.
+        window_s: sliding window for the crash-loop count.
+        backoff_base_s: delay before the first restart; doubles per
+            consecutive restart.
+        backoff_max_s: backoff ceiling.
+    """
+
+    max_restarts: int = 5
+    window_s: float = 60.0
+    backoff_base_s: float = 0.1
+    backoff_max_s: float = 5.0
+
+    def backoff(self, consecutive: int) -> float:
+        """Delay before restart number ``consecutive`` (1-based)."""
+        return min(self.backoff_max_s,
+                   self.backoff_base_s * (2 ** max(0, consecutive - 1)))
+
+
+class DaemonSupervisor:
+    """Restart-with-backoff loop around one child daemon.
+
+    Args:
+        spawn: zero-argument callable returning a child handle with
+            ``wait() -> int``, ``poll() -> int | None``, ``pid``, and
+            ``send_signal(sig)`` (a :class:`subprocess.Popen` fits).
+        policy: restart policy.
+        pid_path: where to record the live child's pid (one line,
+            rewritten per generation) -- the chaos harness's kill
+            target.  None skips the file.
+        clock / sleep: injectable time for deterministic tests.
+
+    The run loop's contract:
+
+    * child exits 0 -> supervisor returns 0 (clean shutdown);
+    * supervisor was asked to stop (its own SIGTERM, forwarded to the
+      child) -> supervisor returns the child's exit code;
+    * child dies any other way -> restart after backoff, unless the
+      crash-loop window is exhausted, which raises a typed
+      :class:`~repro.errors.SupervisorError`.
+    """
+
+    def __init__(self, spawn, policy: SupervisorPolicy | None = None,
+                 pid_path: str | None = None,
+                 clock=time.monotonic, sleep=time.sleep,
+                 log=lambda line: print(line, file=sys.stderr)) -> None:
+        self._spawn = spawn
+        self.policy = policy or SupervisorPolicy()
+        self.pid_path = pid_path
+        self._clock = clock
+        self._sleep = sleep
+        self._log = log
+        self._child = None
+        self._stopping = False
+        self.generation = 0
+        self.restarts: list[float] = []
+
+    # -- signal plumbing -----------------------------------------------------
+
+    def request_stop(self, sig: int = signal.SIGTERM) -> None:
+        """Forward a shutdown signal to the child and stop
+        restarting.  Safe to call from a signal handler."""
+        self._stopping = True
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(sig)
+            except (ProcessLookupError, OSError):
+                pass
+
+    def child_alive(self) -> bool:
+        """True while the current daemon generation is running."""
+        child = self._child
+        return child is not None and child.poll() is None
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT stop the pair: forward down, stop
+        restarting, let the child drain."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(
+                sig, lambda signum, frame: self.request_stop(signum))
+
+    # -- the loop ------------------------------------------------------------
+
+    def _write_pid(self, pid: int) -> None:
+        if self.pid_path is None:
+            return
+        # The pid file usually lives in the WAL dir, which the child
+        # daemon creates on startup -- don't race its first mkdir.
+        parent = os.path.dirname(self.pid_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{self.pid_path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{pid}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.pid_path)
+
+    def _clear_pid(self) -> None:
+        if self.pid_path is not None:
+            try:
+                os.unlink(self.pid_path)
+            except OSError:
+                pass
+
+    def run(self) -> int:
+        """Supervise until clean exit, stop request, or crash loop.
+
+        Returns:
+            The final child's exit code (0 for a clean drain).
+
+        Raises:
+            SupervisorError: crash loop -- more than
+                ``policy.max_restarts`` unexpected exits inside
+                ``policy.window_s``.
+        """
+        consecutive = 0
+        try:
+            while True:
+                self.generation += 1
+                self._child = self._spawn()
+                self._write_pid(self._child.pid)
+                self._log(f"supervisor: generation {self.generation} "
+                          f"pid {self._child.pid}")
+                if self._stopping:
+                    # A stop raced the spawn: forward it so this
+                    # generation drains instead of running forever.
+                    self.request_stop()
+                code = self._child.wait()
+                if self._stopping or code == 0:
+                    self._log(f"supervisor: child exited {code}; "
+                              f"{'stopping' if self._stopping else 'clean'}")
+                    return code
+                now = self._clock()
+                self.restarts.append(now)
+                self.restarts = [t for t in self.restarts
+                                 if now - t <= self.policy.window_s]
+                if len(self.restarts) > self.policy.max_restarts:
+                    raise SupervisorError(
+                        f"crash loop: {len(self.restarts)} unexpected "
+                        f"daemon exits within "
+                        f"{self.policy.window_s:g}s "
+                        f"(limit {self.policy.max_restarts}); "
+                        f"last exit code {code}; refusing to restart "
+                        f"-- inspect the WAL with 'repro fsck'",
+                        restarts=len(self.restarts),
+                        window_s=self.policy.window_s)
+                consecutive += 1
+                delay = self.policy.backoff(consecutive)
+                self._log(f"supervisor: child died (exit {code}); "
+                          f"restart {len(self.restarts)}/"
+                          f"{self.policy.max_restarts} in "
+                          f"{delay:.3f}s")
+                self._sleep(delay)
+                if self._stopping:
+                    return code
+        finally:
+            self._clear_pid()
+
+
+def spawn_serve_child(argv: list[str]) -> subprocess.Popen:
+    """Spawn one daemon generation: this interpreter, ``repro serve``
+    with ``argv`` (supervision flags already stripped by the CLI)."""
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *argv], env=env)

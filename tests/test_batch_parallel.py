@@ -71,9 +71,11 @@ class TestParallelBatch:
                       jobs=2)
 
         def canonical(path):
+            from repro.runner.journal import parse_record_line
             out = []
             for line in path.read_text().splitlines():
-                record = json.loads(line)
+                record, kind, _ = parse_record_line(line)
+                assert kind is None, kind
                 if record.get("type") == "block":
                     assert isinstance(record.pop("wall_s"), float)
                 out.append(json.dumps(record, sort_keys=True))

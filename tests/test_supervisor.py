@@ -269,11 +269,14 @@ class TestGracefulInterrupt:
         assert returncode == 130
         assert "interrupted" in stdout
         # Every journaled line but (at most) the in-flight final one
-        # is complete, parseable JSON: the interrupt flushed cleanly.
+        # is a complete, CRC-clean frame: the interrupt flushed
+        # cleanly.
+        from repro.runner.journal import parse_record_line
         lines = journal.read_text().splitlines()
         assert len(lines) >= 4
         for line in lines[:-1]:
-            json.loads(line)
+            record, kind, _ = parse_record_line(line)
+            assert kind is None, kind
         header, completed = RunJournal.load(str(journal))
         assert completed  # at least one block checkpointed
 
