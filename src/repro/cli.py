@@ -303,7 +303,8 @@ def _schedule_resilient(args: argparse.Namespace, source: str, machine,
             supervise=not getattr(args, "no_supervise", False),
             retry=retry,
             quarantine_dir=getattr(args, "quarantine_dir", None),
-            mem_limit_mb=getattr(args, "worker_mem_mb", None))
+            mem_limit_mb=getattr(args, "worker_mem_mb", None),
+            columnar=getattr(args, "columnar", False))
     except BatchInterrupted as exc:
         out(f"! interrupted: {exc}")
         return 130
@@ -506,7 +507,8 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         breaker=args.breaker,
         mem_limit_mb=args.worker_mem_mb,
         quarantine_dir=args.quarantine_dir,
-        wal_dir=args.wal_dir)
+        wal_dir=args.wal_dir,
+        columnar=args.columnar)
     server = ReproServer(config, metrics=registry)
     out(f"! serve: listening on {args.address} "
         f"({args.workers} workers, queue {args.max_queued}, "
@@ -675,6 +677,7 @@ def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     doc = run_bench(machine, machine_name=args.machine,
                     copies=args.copies, repeats=args.repeats,
                     jobs=args.jobs, quick=args.quick,
+                    columnar=args.columnar,
                     tracer=tracer, metrics=registry)
     write_bench(doc, args.out_json)
     _write_obs(args, tracer, registry)
@@ -817,6 +820,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the pairwise-dependence cache "
                                "(schedules are identical either way; "
                                "this exists for timing comparisons)")
+    schedule.add_argument("--columnar", action="store_true",
+                          help="structure-of-arrays fast path (numpy): "
+                               "columnar table-forward builder and "
+                               "vectorized heuristic passes; "
+                               "schedules, journals, and work "
+                               "counters are byte-identical")
     schedule.add_argument("--journal", default=None, metavar="PATH",
                           help="write per-block outcomes to a JSONL "
                                "journal as the run progresses")
@@ -870,6 +879,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="small workload and fewer repeats "
                             "(CI smoke mode)")
+    bench.add_argument("--columnar", action="store_true",
+                       help="also run the batch comparison on the "
+                            "columnar fast path and gate on schedule "
+                            "identity (numpy required)")
     bench.add_argument("--out-json", default="BENCH_pr3.json",
                        metavar="PATH", help="output document path")
     bench.set_defaults(handler=_cmd_bench)
@@ -1053,6 +1066,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "attributed crashes)")
     serve.add_argument("--quarantine-dir", default=None, metavar="DIR",
                        help="reproducer directory for jobs >= 2")
+    serve.add_argument("--columnar", action="store_true",
+                       help="serve on the structure-of-arrays fast "
+                            "path (numpy required; byte-identical "
+                            "frames and summaries)")
     serve.add_argument("--wal-dir", default=None, metavar="DIR",
                        help="durability directory: every admitted "
                             "request is fsynced to a write-ahead log "

@@ -16,6 +16,11 @@ from __future__ import annotations
 
 from repro.dag.graph import Dag, DagNode
 
+try:  # numpy is optional at this layer; see weighted_descendant_sum
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+    _np = None
+
 
 class ReachabilityMap:
     """Descendant bitsets, one per node id.
@@ -29,7 +34,12 @@ class ReachabilityMap:
 
     def __init__(self, n_nodes: int) -> None:
         self._maps: list[int] = [1 << i for i in range(n_nodes)]
-        self.words_touched = 0  # work counter for benchmarks
+        # Initializing the map for node i writes the word holding bit
+        # i, which is word i // 64 -- so the map *spans* i // 64 + 1
+        # words.  Charge that span, so sizing up front and growing
+        # incrementally report the same initialization cost.
+        self.words_touched = sum(
+            i // self._WORD_BITS + 1 for i in range(n_nodes))
 
     def __len__(self) -> int:
         return len(self._maps)
@@ -37,14 +47,15 @@ class ReachabilityMap:
     def grow_to(self, n_nodes: int) -> None:
         """Extend the map set to cover ``n_nodes`` node ids.
 
-        Each appended map costs one word of initialization work, which
-        is charged to ``words_touched`` -- previously growth was free,
-        under-reporting the cost of incremental map extension relative
-        to sizing the map up front.
+        Each appended map is charged the number of words it spans
+        (``i // 64 + 1`` for node id ``i``), matching ``__init__`` --
+        a flat charge of one word per map under-counted every map for
+        a node id >= 64, the same wide-block under-count ``absorb``
+        used to have.
         """
         for i in range(len(self._maps), n_nodes):
             self._maps.append(1 << i)
-            self.words_touched += 1
+            self.words_touched += i // self._WORD_BITS + 1
 
     def reaches(self, a: int, b: int) -> bool:
         """True when node ``a`` can already reach node ``b``."""
@@ -78,6 +89,33 @@ class ReachabilityMap:
             out.append(low.bit_length() - 1)
             bits ^= low
         return out
+
+    def weighted_descendant_sum(self, a: int, weights) -> int:
+        """Sum of ``weights[d]`` over the descendants ``d`` of ``a``.
+
+        Replaces the per-bit extraction loop the backward heuristic
+        pass used to run per node (quadratic over dense maps): the map
+        is viewed as a byte string, expanded to a 0/1 mask, and dotted
+        with the weight vector in one vectorized step.  Falls back to
+        the bit-extraction loop when numpy is unavailable.  Touches no
+        work counters, like the other descendant accessors.
+        """
+        bits = self._maps[a] & ~(1 << a)
+        if not bits:
+            return 0
+        if _np is not None:
+            raw = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+            mask = _np.unpackbits(
+                _np.frombuffer(raw, dtype=_np.uint8), bitorder="little")
+            n = min(mask.size, len(weights))
+            w = _np.asarray(weights[:n], dtype=_np.int64)
+            return int(mask[:n].astype(_np.int64) @ w)
+        total = 0
+        while bits:
+            low = bits & -bits
+            total += weights[low.bit_length() - 1]
+            bits ^= low
+        return total
 
     def raw(self, a: int) -> int:
         """The raw bitset for node ``a`` (self bit included)."""

@@ -239,6 +239,9 @@ class DagBuilder(abc.ABC):
                                     space=recipe.space)
             self.cache.misses += 1
             if self.uses_pairwise and entry.bundle is not None:
+                # Not a plain cold build: the pairwise sweep is reused
+                # even though this builder's arcs must be constructed.
+                self.cache.bundle_hits += 1
                 # The pairwise bitsets index the bundle's resource
                 # space; a reusing build must intern into the same one.
                 space = entry.bundle.space

@@ -167,6 +167,10 @@ class PairwiseCache:
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: recipe misses that still reused a shared pairwise bundle --
+        #: cheaper than a cold build (no alias sweep), counted apart so
+        #: reports can tell bundle reuse from truly cold construction.
+        self.bundle_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -188,6 +192,7 @@ class PairwiseCache:
     def info(self) -> dict[str, int]:
         """Hit/miss/occupancy counters for reports and benchmarks."""
         return {"hits": self.hits, "misses": self.misses,
+                "bundle_hits": self.bundle_hits,
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
                 "recipes": sum(len(e.recipes)

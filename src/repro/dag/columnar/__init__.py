@@ -1,0 +1,61 @@
+"""Columnar (structure-of-arrays) DAG core.
+
+The object representation in :mod:`repro.dag.graph` walks per-node
+Python objects in every hot loop.  This package holds the int-indexed
+mirror of that world: opcodes, def/use occurrences, latencies, and
+adjacency as packed numpy arrays (:mod:`repro.dag.columnar.block`,
+:mod:`repro.dag.columnar.graph`), reachability as ``uint64`` bitmap
+matrices with whole-row OR and popcount
+(:mod:`repro.dag.columnar.bitmatrix`), table-driven construction as
+array kernels (:mod:`repro.dag.columnar.builders`), and vectorized
+forward/backward heuristic passes (:mod:`repro.dag.columnar.passes`).
+
+The contract throughout is *byte identity* with the object path:
+identical arcs (in identical order), identical heuristic annotations,
+identical schedules, and identical :class:`~repro.dag.builders.base.
+BuildStats` work counters -- the same discipline the pairwise cache's
+replay already enforces.  The fast path is strictly opt-in
+(``--columnar``); numpy is gated here so numpy-free hosts degrade with
+a typed error instead of an import crash.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+try:
+    import numpy  # noqa: F401 - presence probe only
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+    HAVE_NUMPY = False
+
+
+def require_numpy() -> None:
+    """Raise a typed error when the columnar fast path is unavailable."""
+    if not HAVE_NUMPY:
+        raise ReproError(
+            "the columnar fast path requires numpy, which is not "
+            "installed; re-run without --columnar")
+
+
+if HAVE_NUMPY:
+    from repro.dag.columnar.bitmatrix import BitMatrix
+    from repro.dag.columnar.block import ColumnarBlock
+    from repro.dag.columnar.builders import ColumnarTableForwardBuilder
+    from repro.dag.columnar.graph import ColumnarDag
+    from repro.dag.columnar.passes import (
+        columnar_backward_pass,
+        columnar_forward_pass,
+    )
+
+    __all__ = [
+        "BitMatrix",
+        "ColumnarBlock",
+        "ColumnarDag",
+        "ColumnarTableForwardBuilder",
+        "columnar_backward_pass",
+        "columnar_forward_pass",
+        "HAVE_NUMPY",
+        "require_numpy",
+    ]

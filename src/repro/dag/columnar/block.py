@@ -1,0 +1,208 @@
+"""Int-indexed structure-of-arrays view of a basic block.
+
+:class:`ColumnarBlock` packs everything the table-driven construction
+kernel needs into flat numpy arrays: per-node opcodes, execution
+times, annulled flags and latency-relevant opcode predicates, plus the
+def/use occurrence tables (node, resource id, operand position) in
+exactly the order the object builders visit them.
+
+Interning discipline matters for byte identity: operands are interned
+into the :class:`~repro.isa.resources.ResourceSpace` per node, defs
+before uses, precisely like
+:func:`repro.dag.builders.base.intern_node_operands` -- so resource
+ids, the memory population, and every id-ordered sweep match the
+object path.  ``defs_and_uses`` results are memoized per
+(mnemonic, operands) because windowed and unrolled workloads repeat
+instruction bodies many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstructionClass
+from repro.isa.resources import (
+    ResourceKind,
+    ResourceSpace,
+    defs_and_uses,
+)
+from repro.machine.model import MachineModel
+
+#: dense codes for Resource.kind, used by the latency kernel
+KIND_CODES = {ResourceKind.REG: 0, ResourceKind.CC: 1,
+              ResourceKind.SPECIAL: 2, ResourceKind.MEM: 3}
+MEM_CODE = KIND_CODES[ResourceKind.MEM]
+REG_CODE = KIND_CODES[ResourceKind.REG]
+
+
+@dataclass
+class ColumnarBlock:
+    """One basic block as packed arrays.
+
+    Attributes:
+        n: number of instructions (== nodes).
+        space: the resource space the occurrence tables index into.
+        instrs: the source instructions (for materialization back into
+            the object world).
+        opcode_id: per-node index into ``opcode_names``.
+        opcode_names: interned mnemonic table.
+        exec_time: per-node operation latency (``int64``).
+        annulled: per-node delay-slot annulled flag.
+        is_store: per-node STORE-class predicate (RAW store-forward
+            discount).
+        is_load_double: per-node double-word-LOAD predicate (load-pair
+            skew).
+        d_node / d_rid / d_pos: def occurrences in node-major order --
+            node id, interned resource id, position in the def list.
+        u_node / u_rid / u_pos: use occurrences, likewise.
+        first_node: per resource id, the node at which the id was
+            interned (candidate sweeps only see ids interned at or
+            before the probing node).
+        rid_kind: per resource id, its :data:`KIND_CODES` code.
+    """
+
+    n: int
+    space: ResourceSpace
+    instrs: list[Instruction]
+    opcode_id: np.ndarray
+    opcode_names: list[str]
+    exec_time: np.ndarray
+    annulled: np.ndarray
+    is_store: np.ndarray
+    is_load_double: np.ndarray
+    d_node: np.ndarray
+    d_rid: np.ndarray
+    d_pos: np.ndarray
+    u_node: np.ndarray
+    u_rid: np.ndarray
+    u_pos: np.ndarray
+    first_node: np.ndarray
+    rid_kind: np.ndarray
+
+    @classmethod
+    def from_instructions(cls, instrs, machine: MachineModel,
+                          space: ResourceSpace | None = None
+                          ) -> "ColumnarBlock":
+        """Pack a sequence of instructions against ``machine``.
+
+        ``space`` is populated in the same first-seen order as the
+        object builders (per node: defs, then uses); pass the space a
+        builder handed you to keep ids aligned.
+        """
+        instrs = list(instrs)
+        if space is None:
+            space = ResourceSpace()
+        n = len(instrs)
+
+        # Pass 1: collapse repeated bodies onto (mnemonic, operands)
+        # keys so interning and defs_and_uses run once per distinct
+        # instruction; key ids are assigned in first-appearance order.
+        key_of: dict = {}
+        key_instrs: list[Instruction] = []
+        first_j: list[int] = []
+        key_ids = np.empty(n, dtype=np.int64)
+        annulled = np.zeros(n, dtype=bool)
+        for j, instr in enumerate(instrs):
+            key = (instr.opcode.mnemonic, instr.operands)
+            try:
+                kid = key_of.get(key)
+            except TypeError:  # unhashable operand; unique key
+                key, kid = None, None
+            if kid is None:
+                kid = len(key_instrs)
+                if key is not None:
+                    key_of[key] = kid
+                key_instrs.append(instr)
+                first_j.append(j)
+            key_ids[j] = kid
+            annulled[j] = instr.annulled
+
+        # Resources interned before this block (a shared space) keep
+        # their original nodes unknowable; treat them as always live.
+        first_node: list[int] = [0] * len(space)
+        intern = space.intern
+
+        # Pass 2: intern each distinct instruction once, at its first
+        # occurrence, defs before uses.  Keys are visited in
+        # first-appearance order, so resource ids and first_node come
+        # out exactly as a sequential per-node intern would have
+        # produced them (later occurrences only re-intern).
+        n_keys = len(key_instrs)
+        kd_rids: list[list[int]] = []
+        ku_rids: list[list[int]] = []
+        opcode_ids: dict[str, int] = {}
+        opcode_names: list[str] = []
+        kid_oid = np.empty(n_keys, dtype=np.int64)
+        kid_exec = np.empty(n_keys, dtype=np.int64)
+        kid_store = np.zeros(n_keys, dtype=bool)
+        kid_ld = np.zeros(n_keys, dtype=bool)
+        exec_memo: dict[str, int] = {}
+        for kid, instr in enumerate(key_instrs):
+            op = instr.opcode
+            oid = opcode_ids.get(op.mnemonic)
+            if oid is None:
+                oid = opcode_ids[op.mnemonic] = len(opcode_names)
+                opcode_names.append(op.mnemonic)
+            kid_oid[kid] = oid
+            et = exec_memo.get(op.mnemonic)
+            if et is None:
+                et = exec_memo[op.mnemonic] = machine.execution_time(instr)
+            kid_exec[kid] = et
+            kid_store[kid] = op.iclass is InstructionClass.STORE
+            kid_ld[kid] = (op.double
+                           and op.iclass is InstructionClass.LOAD)
+            defs, uses = defs_and_uses(instr)
+            j = first_j[kid]
+            for rids, resources in ((kd_rids, defs), (ku_rids, uses)):
+                row: list[int] = []
+                for resource in resources:
+                    rid = intern(resource)
+                    if rid == len(first_node):
+                        first_node.append(j)
+                    row.append(rid)
+                rids.append(row)
+
+        # Occurrence tables, assembled by broadcasting each key's rid
+        # pattern over the nodes that carry it (node-major, in-list
+        # position order -- row-major boolean selection guarantees it).
+        def occurrence_tables(k_rids: list[list[int]]):
+            lens = np.fromiter(
+                (len(r) for r in k_rids), np.int64, n_keys)
+            nodes = np.repeat(np.arange(n), lens[key_ids])
+            width = int(lens.max()) if n_keys else 0
+            table = np.zeros((n_keys, width), dtype=np.int64)
+            mask = np.zeros((n_keys, width), dtype=bool)
+            for kid, row in enumerate(k_rids):
+                table[kid, :len(row)] = row
+                mask[kid, :len(row)] = True
+            sel = mask[key_ids]
+            rid = table[key_ids][sel]
+            pos = np.broadcast_to(np.arange(width), (n, width))[sel]
+            return nodes, rid, pos
+
+        d_node, d_rid, d_pos = occurrence_tables(kd_rids)
+        u_node, u_rid, u_pos = occurrence_tables(ku_rids)
+
+        rid_kind = np.fromiter(
+            (KIND_CODES[space.resource(r).kind] for r in range(len(space))),
+            dtype=np.int8, count=len(space))
+        return cls(
+            n=n, space=space, instrs=instrs,
+            opcode_id=kid_oid[key_ids].astype(np.int32),
+            opcode_names=opcode_names,
+            exec_time=kid_exec[key_ids], annulled=annulled,
+            is_store=kid_store[key_ids],
+            is_load_double=kid_ld[key_ids],
+            d_node=d_node, d_rid=d_rid, d_pos=d_pos,
+            u_node=u_node, u_rid=u_rid, u_pos=u_pos,
+            first_node=np.asarray(first_node, dtype=np.int64),
+            rid_kind=rid_kind)
+
+    @classmethod
+    def from_block(cls, block, machine: MachineModel,
+                   space: ResourceSpace | None = None) -> "ColumnarBlock":
+        """Pack a :class:`~repro.cfg.basic_block.BasicBlock`."""
+        return cls.from_instructions(block.instructions, machine, space)

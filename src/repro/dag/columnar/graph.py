@@ -1,0 +1,126 @@
+"""Packed adjacency: the columnar mirror of :class:`repro.dag.graph.Dag`.
+
+:class:`ColumnarDag` stores the *merged* arc set as parallel arrays in
+first-emission order -- the same order ``Dag.add_arc`` would have
+created the arcs, so materializing back into the object world
+reproduces ``out_arcs``/``arcs()`` ordering exactly (the discipline
+:class:`~repro.dag.builders.cache.ArcRecipe` replay established).
+
+The converter covers the builder-produced DAG, i.e. real nodes only;
+dummy root/leaf nodes are attached by downstream passes after
+materialization, exactly as they are after an object build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dag.graph import Dag
+from repro.dep import DepType
+from repro.errors import DagError
+from repro.isa.instruction import Instruction
+from repro.isa.resources import ResourceSpace
+
+#: dense dependence-type codes for the packed ``dep`` column
+DEP_CODES = {DepType.RAW: 0, DepType.WAR: 1, DepType.WAW: 2}
+DEP_OF_CODE = (DepType.RAW, DepType.WAR, DepType.WAW)
+
+
+@dataclass
+class ColumnarDag:
+    """A dependence DAG as parallel arrays.
+
+    Attributes:
+        n_nodes: number of (real) nodes.
+        parent / child: arc endpoints (node ids, ``int64``).
+        dep: dependence-type codes (:data:`DEP_CODES`).
+        delay: arc weights in cycles.
+        resource_rid: resource id per arc into ``space`` (-1 for a
+            resource-less arc).
+        n_merged_arcs: duplicate emissions merged away when the arc set
+            was reduced (mirrors ``Dag.n_merged_arcs``).
+        space: the resource space ``resource_rid`` indexes.
+        instrs: source instructions, for materialization.
+        exec_time: per-node operation latencies.
+    """
+
+    n_nodes: int
+    parent: np.ndarray
+    child: np.ndarray
+    dep: np.ndarray
+    delay: np.ndarray
+    resource_rid: np.ndarray
+    n_merged_arcs: int
+    space: ResourceSpace
+    instrs: list[Instruction] = field(default_factory=list)
+    exec_time: np.ndarray | None = None
+
+    @property
+    def n_arcs(self) -> int:
+        return len(self.parent)
+
+    @classmethod
+    def from_dag(cls, dag: Dag,
+                 space: ResourceSpace | None = None) -> "ColumnarDag":
+        """Pack an object DAG (real nodes only).
+
+        Arcs are captured in ``dag.arcs()`` order; ``space`` defaults
+        to a fresh resource space that interns each arc's resource
+        (pass the build's own space to keep ids aligned with it).
+        """
+        real = dag.real_nodes()
+        if any(node.id != i for i, node in enumerate(real)):
+            raise DagError("from_dag requires contiguous real-node ids")
+        if space is None:
+            space = ResourceSpace()
+        parent: list[int] = []
+        child: list[int] = []
+        dep: list[int] = []
+        delay: list[int] = []
+        rid: list[int] = []
+        for arc in dag.arcs():
+            if arc.parent.is_dummy or arc.child.is_dummy:
+                continue
+            parent.append(arc.parent.id)
+            child.append(arc.child.id)
+            dep.append(DEP_CODES[arc.dep])
+            delay.append(arc.delay)
+            rid.append(-1 if arc.resource is None
+                       else space.intern(arc.resource))
+        return cls(
+            n_nodes=len(real),
+            parent=np.asarray(parent, dtype=np.int64),
+            child=np.asarray(child, dtype=np.int64),
+            dep=np.asarray(dep, dtype=np.int8),
+            delay=np.asarray(delay, dtype=np.int64),
+            resource_rid=np.asarray(rid, dtype=np.int64),
+            n_merged_arcs=dag.n_merged_arcs,
+            space=space,
+            instrs=[node.instr for node in real],
+            exec_time=np.asarray(
+                [node.execution_time for node in real], dtype=np.int64))
+
+    def to_dag(self) -> Dag:
+        """Materialize back into the object representation.
+
+        Arcs are replayed in stored (first-emission) order through
+        ``Dag.add_arc``, which recomputes every ``a``-class heuristic;
+        ``n_merged_arcs`` is restored directly, like a cache replay.
+        """
+        dag = Dag()
+        if self.exec_time is None:  # pragma: no cover - defensive
+            raise DagError("cannot materialize without execution times")
+        for instr, et in zip(self.instrs, self.exec_time.tolist()):
+            dag.add_node(instr, int(et))
+        nodes = dag.nodes
+        resource = self.space.resource
+        for p, c, d, dl, r in zip(
+                self.parent.tolist(), self.child.tolist(),
+                self.dep.tolist(), self.delay.tolist(),
+                self.resource_rid.tolist()):
+            dag.add_arc(nodes[p], nodes[c], DEP_OF_CODE[d], dl,
+                        None if r < 0 else resource(r))
+        dag.n_merged_arcs = self.n_merged_arcs
+        return dag

@@ -1,0 +1,139 @@
+"""Vectorized forward/backward heuristic passes.
+
+Mirrors :mod:`repro.heuristics.passes` over packed arc arrays: the
+same max/min recurrences, evaluated frontier-by-frontier (Kahn rounds)
+with ``np.maximum.at`` / ``np.minimum.at`` scatter instead of a
+per-node Python walk.  All arithmetic is integer, so every annotation
+-- EST, LST, slack, path/delay extrema, descendant aggregates -- is
+exactly equal to the object passes' output; the functions share the
+object drivers' signature so the runner can swap them in as the
+``--columnar`` heuristic driver.
+
+Descendant aggregates use the :class:`~repro.dag.columnar.bitmatrix.
+BitMatrix` whole-row OR in the same reverse-topological absorb order
+as ``_backward_visit``, so even ``words_touched`` matches the object
+path's ``ReachabilityMap`` charge for charge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.columnar.bitmatrix import BitMatrix
+from repro.dag.graph import Dag
+
+
+def _arc_arrays(dag: Dag):
+    """(parent ids, child ids, delays) over every arc, dummies included."""
+    arcs = dag.arcs()
+    m = len(arcs)
+    parent = np.fromiter((a.parent.id for a in arcs), np.int64, m)
+    child = np.fromiter((a.child.id for a in arcs), np.int64, m)
+    delay = np.fromiter((a.delay for a in arcs), np.int64, m)
+    return parent, child, delay
+
+
+def _csr(keys: np.ndarray, n: int):
+    """Group arc indices by ``keys``: (order, starts, counts)."""
+    order = np.argsort(keys, kind="stable")
+    counts = np.bincount(keys, minlength=n)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    return order, starts, counts
+
+
+def _gather(order, starts, counts, frontier):
+    """Arc indices belonging to the frontier nodes, concatenated."""
+    cnt = counts[frontier]
+    total = int(cnt.sum())
+    if not total:
+        return np.zeros(0, dtype=np.intp)
+    flat = np.arange(total) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+    return order[np.repeat(starts[frontier], cnt) + flat]
+
+
+def columnar_forward_pass(dag: Dag) -> None:
+    """Vectorized :func:`repro.heuristics.passes.forward_pass`."""
+    n = len(dag.nodes)
+    parent, child, delay = _arc_arrays(dag)
+    est = np.zeros(n, dtype=np.int64)
+    max_path = np.zeros(n, dtype=np.int64)
+    max_delay = np.zeros(n, dtype=np.int64)
+    order, starts, counts = _csr(parent, n)
+    indeg = np.bincount(child, minlength=n)
+    frontier = np.flatnonzero(indeg == 0)
+    while frontier.size:
+        arcs_i = _gather(order, starts, counts, frontier)
+        if arcs_i.size:
+            p, c, d = parent[arcs_i], child[arcs_i], delay[arcs_i]
+            np.maximum.at(est, c, est[p] + d)
+            np.maximum.at(max_delay, c, max_delay[p] + d)
+            np.maximum.at(max_path, c, max_path[p] + 1)
+            np.subtract.at(indeg, c, 1)
+            touched = np.unique(c)
+            frontier = touched[indeg[touched] == 0]
+        else:
+            frontier = np.zeros(0, dtype=np.int64)
+    for node, e, mp, md in zip(dag.nodes, est.tolist(),
+                               max_path.tolist(), max_delay.tolist()):
+        node.est = e
+        node.max_path_from_root = mp
+        node.max_delay_from_root = md
+
+
+def columnar_backward_pass(dag: Dag, descendants: bool = False,
+                           require_est: bool = True) -> None:
+    """Vectorized :func:`repro.heuristics.passes.backward_pass`.
+
+    Same signature and semantics as the object reverse-walk driver
+    (and therefore also the level driver -- section 4's conclusion 4
+    says they agree), so the resilient runner can use it verbatim as
+    a heuristic driver.
+    """
+    if require_est and all(n.est == 0 for n in dag.nodes):
+        columnar_forward_pass(dag)
+    nodes = dag.nodes
+    n = len(nodes)
+    est = np.fromiter((node.est for node in nodes), np.int64, n)
+    exec_t = np.fromiter(
+        (node.execution_time for node in nodes), np.int64, n)
+    real = np.fromiter(
+        (not node.is_dummy for node in nodes), bool, n)
+    critical = int((est[real] + exec_t[real]).max()) if real.any() else 0
+    dag.critical_length = critical  # for incremental updates
+    parent, child, delay = _arc_arrays(dag)
+    lst = critical - exec_t
+    max_path = np.zeros(n, dtype=np.int64)
+    max_delay = np.zeros(n, dtype=np.int64)
+    order, starts, counts = _csr(child, n)
+    outdeg = np.bincount(parent, minlength=n)
+    frontier = np.flatnonzero(outdeg == 0)
+    while frontier.size:
+        arcs_i = _gather(order, starts, counts, frontier)
+        if arcs_i.size:
+            p, c, d = parent[arcs_i], child[arcs_i], delay[arcs_i]
+            np.maximum.at(max_path, p, max_path[c] + 1)
+            np.maximum.at(max_delay, p, max_delay[c] + d)
+            np.minimum.at(lst, p, lst[c] - d)
+            np.subtract.at(outdeg, p, 1)
+            touched = np.unique(p)
+            frontier = touched[outdeg[touched] == 0]
+        else:
+            frontier = np.zeros(0, dtype=np.int64)
+    slack = lst - est
+    for node, mp, md, ls, sl in zip(
+            nodes, max_path.tolist(), max_delay.tolist(),
+            lst.tolist(), slack.tolist()):
+        node.max_path_to_leaf = mp
+        node.max_delay_to_leaf = md
+        node.lst = ls
+        node.slack = sl
+    if descendants:
+        bm = BitMatrix(n)
+        for node in reversed(dag.topological_order()):
+            for arc in node.out_arcs:
+                bm.absorb(node.id, arc.child.id)
+        n_desc = bm.descendant_counts().tolist()
+        sums = bm.weighted_sums(exec_t).tolist()
+        for node in nodes:
+            node.n_descendants = n_desc[node.id]
+            node.sum_exec_descendants = sums[node.id]

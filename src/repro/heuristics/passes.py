@@ -97,10 +97,11 @@ def _backward_visit(node: DagNode, critical_length: int,
     if rmap is not None:
         node.n_descendants = rmap.descendant_count(node.id)
         if exec_sums is not None:
-            total = 0
-            for did in rmap.descendants(node.id):
-                total += exec_sums[did]
-            node.sum_exec_descendants = total
+            # One masked dot product over the bitmap row instead of
+            # extracting every descendant id bit by bit (which was
+            # quadratic over the dense maps of deep blocks).
+            node.sum_exec_descendants = \
+                rmap.weighted_descendant_sum(node.id, exec_sums)
 
 
 def _critical_length(dag: Dag) -> int:

@@ -171,6 +171,7 @@ def run_batch(blocks: Sequence[BasicBlock],
               quarantine_dir: str | None = None,
               breaker: CircuitBreaker | None = None,
               mem_limit_mb: int | None = None,
+              columnar: bool = False,
               ) -> BatchResult:
     """Run the resilient scheduling pipeline over ``blocks``.
 
@@ -246,6 +247,12 @@ def run_batch(blocks: Sequence[BasicBlock],
             :class:`~repro.runner.supervisor.SupervisedPool`).  OOM
             deaths then surface as attributed ``"oom"`` crashes
             instead of anonymous SIGKILLs.
+        columnar: run the structure-of-arrays fast path (requires
+            numpy): ``table-forward`` chain entries use the columnar
+            builder and heuristics run on the vectorized driver.
+            Outcomes, journals, and work counters are byte-identical
+            to the object path -- this is a performance knob, like
+            ``cache`` and ``jobs``.
 
     Returns:
         The aggregated :class:`BatchResult`.
@@ -265,7 +272,8 @@ def run_batch(blocks: Sequence[BasicBlock],
             "factories to worker processes; use the defaults or jobs=1")
     chain_names = tuple(chain) if chain else DEFAULT_CHAIN
     if chain_factories is None:
-        chain_factories = resolve_chain(chain_names, machine, cache=cache)
+        chain_factories = resolve_chain(chain_names, machine, cache=cache,
+                                        columnar=columnar)
     tracer = tracer or NULL_TRACER
     result = BatchResult(chain=tuple(name for name, _ in chain_factories))
     completed = journal.completed if journal is not None else {}
@@ -286,14 +294,14 @@ def run_batch(blocks: Sequence[BasicBlock],
                 task_timeout=task_timeout,
                 quarantine_dir=quarantine_dir, breaker=breaker,
                 tracer=tracer, metrics=metrics,
-                mem_limit_mb=mem_limit_mb)
+                mem_limit_mb=mem_limit_mb, columnar=columnar)
         elif fresh:
             pool = ProcessPoolExecutor(
                 max_workers=min(jobs, len(fresh)),
                 initializer=_init_worker,
                 initargs=(machine, chain_names, budget, heuristic_driver,
                           verify, cache is not None, bool(tracer),
-                          metrics is not None, mem_limit_mb))
+                          metrics is not None, mem_limit_mb, columnar))
             pending = {b.index: pool.submit(_run_block, b)
                        for b in fresh}
     finished = False
@@ -360,7 +368,8 @@ def run_batch(blocks: Sequence[BasicBlock],
                         priority=priority,
                         heuristic_driver=heuristic_driver,
                         verify=verify, cache=cache, tracer=tracer,
-                        metrics=metrics, breaker=breaker)
+                        metrics=metrics, breaker=breaker,
+                        columnar=columnar)
                     if journal is not None:
                         journal.append(outcome)
                 if metrics is not None:

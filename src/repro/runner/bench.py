@@ -34,7 +34,7 @@ from typing import Callable
 
 from repro.asm import parse_asm
 from repro.cfg import apply_window, partition_blocks
-from repro.dag.builders import PairwiseCache
+from repro.dag.builders import PairwiseCache, TableForwardBuilder
 from repro.dag.builders.base import BuildStats
 from repro.errors import ReproError
 from repro.heuristics.incremental import annotate, update_after_arc
@@ -47,8 +47,13 @@ from repro.runner.fallback import BUILDER_CLASSES
 from repro.workloads.kernels import straightline_source
 
 #: schema version of the emitted JSON (2: added batch.metrics -- the
-#: observability snapshot with cache hit/miss totals)
-BENCH_VERSION = 2
+#: observability snapshot with cache hit/miss totals; 3: added the
+#: fpppp-scale section and the optional columnar batch variant)
+BENCH_VERSION = 3
+
+#: the paper's largest block: fpppp tops Table 3 at ~11,750
+#: instructions in a single basic block
+FPPPP_TARGET = 11_750
 
 #: kernels whose straight-line bodies make up the workload
 BENCH_KERNELS = ("daxpy", "livermore1", "dot_product", "superscalar_mix")
@@ -80,6 +85,113 @@ def bench_blocks(copies: int):
                                          block.instructions,
                                          block.label))
     return blocks
+
+
+def fpppp_block(target: int = FPPPP_TARGET):
+    """One giant branch-free block of at least ``target`` instructions.
+
+    Kernel bodies are cycled and concatenated into a single basic
+    block -- the Table 3 fpppp shape (max block ~11,750 instructions)
+    that separates the ``n**2`` builder's quadratic blow-up from the
+    table-driven builders' near-linear growth.
+    """
+    from repro.workloads.kernels import straightline_body
+    lines: list[str] = []
+    i = 0
+    while len(lines) < target:
+        lines.extend(straightline_body(BENCH_KERNELS[i % len(BENCH_KERNELS)]))
+        i += 1
+    blocks = partition_blocks(parse_asm("\n".join(lines) + "\n",
+                                        name="fpppp-scale"))
+    if len(blocks) != 1:  # pragma: no cover - defensive
+        raise ReproError(
+            f"fpppp workload expected one block, got {len(blocks)}")
+    return blocks[0]
+
+
+def _arc_tuples(dag) -> list[tuple]:
+    return [(a.parent.id, a.child.id, a.dep.name, a.delay,
+             str(a.resource)) for a in dag.arcs()]
+
+
+def _bench_fpppp(machine: MachineModel, repeats: int,
+                 quick: bool) -> dict:
+    """Table-building throughput at the paper's largest block size.
+
+    Times the object table-forward builder against the columnar packed
+    kernel on one fpppp-scale block, gates on byte identity (arcs,
+    work counters, heuristic annotations, and the accepted schedule),
+    and traces the ``n**2`` builder's quadratic blow-up at sub-scale
+    sizes -- running it at full scale is exactly the cost the paper's
+    table-driven construction exists to avoid, so the full-size cost
+    is reported as a predicted comparison count instead.
+    """
+    from repro.dag.columnar import HAVE_NUMPY
+    if not HAVE_NUMPY:
+        return {"available": False, "reason": "numpy not installed"}
+    from repro.dag.columnar.builders import ColumnarTableForwardBuilder
+    from repro.dag.columnar.passes import columnar_backward_pass
+    from repro.pipeline import SECTION6_PRIORITY
+    from repro.scheduling.list_scheduler import schedule_forward
+
+    target = FPPPP_TARGET // 8 if quick else FPPPP_TARGET
+    block = fpppp_block(target)
+    n = len(block.instructions)
+
+    object_s, outcome = _best_of(
+        repeats, lambda: TableForwardBuilder(machine).build(block))
+    columnar = ColumnarTableForwardBuilder(machine)
+    packed_s, (cdag, cstats) = _best_of(
+        repeats, lambda: columnar.build_packed(block))
+
+    # Identity gate: the packed path must reproduce the object build
+    # byte for byte -- arcs in order, counters, annotations, schedule.
+    mdag = cdag.to_dag()
+    if _arc_tuples(outcome.dag) != _arc_tuples(mdag):
+        raise ReproError(
+            "fpppp bench invariant violated: columnar arcs differ "
+            "from the object builder's")
+    if outcome.stats.__dict__ != cstats.__dict__:
+        raise ReproError(
+            "fpppp bench invariant violated: columnar work counters "
+            "differ from the object builder's")
+    backward_pass(outcome.dag, require_est=False)
+    columnar_backward_pass(mdag, require_est=False)
+    sched = schedule_forward(outcome.dag, machine, SECTION6_PRIORITY)
+    csched = schedule_forward(mdag, machine, SECTION6_PRIORITY)
+    if ([node.id for node in sched.order]
+            != [node.id for node in csched.order]
+            or sched.timing.makespan != csched.timing.makespan):
+        raise ReproError(
+            "fpppp bench invariant violated: columnar schedule "
+            "differs from the object path's")
+
+    # The n**2 blow-up curve, measured where it is still affordable.
+    n2_cls = BUILDER_CLASSES["n2"]
+    curve = []
+    for size in (max(2, n // 32), max(2, n // 16), max(2, n // 8)):
+        sub = fpppp_block(size)
+        sub_s, sub_out = _best_of(
+            1, lambda sub=sub: n2_cls(machine).build(sub))
+        curve.append({"n": len(sub.instructions),
+                      "time_s": round(sub_s, 6),
+                      "comparisons": sub_out.stats.comparisons})
+    return {
+        "available": True,
+        "n_instructions": n,
+        "target": target,
+        "object_build_s": round(object_s, 6),
+        "columnar_build_s": round(packed_s, 6),
+        "throughput_multiple": round(object_s / packed_s, 2)
+        if packed_s > 0 else None,
+        "arcs": outcome.dag.n_arcs,
+        "table_probes": cstats.table_probes,
+        "alias_checks": cstats.alias_checks,
+        "makespan": sched.timing.makespan,
+        "schedule_identical": True,
+        "n2_curve": curve,
+        "predicted_full_n2_comparisons": n * (n - 1) // 2,
+    }
 
 
 def _best_of(repeats: int, fn: Callable[[], object]) -> tuple[float, object]:
@@ -179,13 +291,26 @@ def _records(result) -> list[str]:
 
 def _bench_batch(blocks, machine: MachineModel, repeats: int,
                  jobs: int, tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> dict:
-    """The section 6 pipeline three ways; schedules must be identical."""
+                 metrics: MetricsRegistry | None = None,
+                 columnar: bool = False) -> dict:
+    """The section 6 pipeline three ways; schedules must be identical.
+
+    With ``columnar`` a fourth variant runs on the structure-of-arrays
+    fast path and joins the identity gate -- the block records must be
+    byte-identical to the object baseline's.
+    """
     baseline_s, baseline = _best_of(
         repeats, lambda: run_batch(blocks, machine, verify=True))
     cached_s, cached = _best_of(
         repeats, lambda: run_batch(blocks, machine, verify=True,
                                    cache=PairwiseCache()))
+    columnar_s = None
+    columnar_run = None
+    if columnar:
+        columnar_s, columnar_run = _best_of(
+            repeats, lambda: run_batch(blocks, machine, verify=True,
+                                       cache=PairwiseCache(),
+                                       columnar=True))
     # One cache per run (cold start included) keeps the measurement
     # honest; cache_info reports the last run's hit/miss split.  The
     # probe run also carries the observability instruments (off the
@@ -205,12 +330,14 @@ def _bench_batch(blocks, machine: MachineModel, repeats: int,
     base_records = _records(baseline)
     identical = base_records == _records(cached) \
         and base_records == _records(run_for_info) \
-        and (parallel is None or base_records == _records(parallel))
+        and (parallel is None or base_records == _records(parallel)) \
+        and (columnar_run is None
+             or base_records == _records(columnar_run))
     if not identical:
         raise ReproError(
-            "bench invariant violated: cached/parallel runs produced "
-            "different block records than the baseline")
-    best_optimized = min(x for x in (cached_s, parallel_s)
+            "bench invariant violated: cached/parallel/columnar runs "
+            "produced different block records than the baseline")
+    best_optimized = min(x for x in (cached_s, parallel_s, columnar_s)
                          if x is not None)
     counters = {c: getattr(baseline.build_stats, c)
                 for c in _WORK_COUNTERS}
@@ -225,6 +352,8 @@ def _bench_batch(blocks, machine: MachineModel, repeats: int,
         "cached_s": round(cached_s, 6),
         "parallel_s": (round(parallel_s, 6)
                        if parallel_s is not None else None),
+        "columnar_s": (round(columnar_s, 6)
+                       if columnar_s is not None else None),
         "jobs": jobs,
         "schedules_identical": True,
         "reduction_fraction": round(1.0 - best_optimized / baseline_s, 4)
@@ -236,7 +365,8 @@ def _bench_batch(blocks, machine: MachineModel, repeats: int,
 
 def run_bench(machine: MachineModel, machine_name: str = "generic",
               copies: int = 32, repeats: int = 3, jobs: int = 2,
-              quick: bool = False, tracer: Tracer | None = None,
+              quick: bool = False, columnar: bool = False,
+              tracer: Tracer | None = None,
               metrics: MetricsRegistry | None = None) -> dict:
     """Run the full benchmark and return the JSON-ready document.
 
@@ -248,6 +378,9 @@ def run_bench(machine: MachineModel, machine_name: str = "generic",
         jobs: worker processes for the parallel batch variant
             (``<= 1`` skips it).
         quick: shrink the workload and repeats for CI smoke runs.
+        columnar: add a columnar batch variant to the identity-gated
+            comparison (numpy required).  The fpppp-scale section runs
+            whenever numpy is available, flag or no flag.
         tracer: optional :class:`~repro.obs.trace.Tracer`, attached to
             the batch probe run only (never a timed run).
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
@@ -273,8 +406,10 @@ def run_bench(machine: MachineModel, machine_name: str = "generic",
         },
         "builders": _bench_builders(blocks, machine, repeats),
         "heuristics": _bench_heuristics(blocks, machine, repeats),
+        "fpppp": _bench_fpppp(machine, repeats, quick),
         "batch": _bench_batch(blocks, machine, repeats, jobs,
-                              tracer=tracer, metrics=metrics),
+                              tracer=tracer, metrics=metrics,
+                              columnar=columnar),
         "timing_note": (
             "counters are exactly reproducible; *_s fields are wall "
             "times (minimum over repeats) and vary with the host"),

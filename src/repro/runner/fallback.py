@@ -57,7 +57,8 @@ DEFAULT_CHAIN = ("bitmap-backward", "table-forward", "n2")
 
 def resolve_chain(names: Sequence[str],
                   machine: MachineModel,
-                  cache: PairwiseCache | None = None) -> list[
+                  cache: PairwiseCache | None = None,
+                  columnar: bool = False) -> list[
                       tuple[str, Callable[[], DagBuilder]]]:
     """Turn builder names into (name, factory) pairs.
 
@@ -68,15 +69,29 @@ def resolve_chain(names: Sequence[str],
 PairwiseCache`; when set, every builder the chain constructs consults
             it, so a retry after a mid-chain failure replays the
             earlier builder's dependence work instead of redoing it.
+        columnar: substitute the structure-of-arrays fast path
+            (:class:`~repro.dag.columnar.builders.\
+ColumnarTableForwardBuilder`) for ``table-forward`` chain entries.
+            Outcomes are byte-identical either way; chain entry names
+            are preserved so journals and reports read the same.
 
     Raises:
-        ReproError: for an unknown builder name or an empty chain.
+        ReproError: for an unknown builder name or an empty chain, or
+            when ``columnar`` is requested without numpy installed.
     """
     if not names:
         raise ReproError("builder chain is empty")
+    overrides: dict[str, type[DagBuilder]] = {}
+    if columnar:
+        from repro.dag.columnar import require_numpy
+
+        require_numpy()
+        from repro.dag.columnar.builders import ColumnarTableForwardBuilder
+
+        overrides["table-forward"] = ColumnarTableForwardBuilder
     chain = []
     for name in names:
-        cls = BUILDER_CLASSES.get(name)
+        cls = overrides.get(name) or BUILDER_CLASSES.get(name)
         if cls is None:
             raise ReproError(
                 f"unknown builder {name!r} in chain; "
@@ -238,7 +253,8 @@ def schedule_block_resilient(
         metrics: MetricsRegistry | None = None,
         breaker: object | None = None,
         skip_builders: Sequence[str] = (),
-        on_attempt: Callable[[str], None] | None = None) -> BlockOutcome:
+        on_attempt: Callable[[str], None] | None = None,
+        columnar: bool = False) -> BlockOutcome:
     """Schedule one block, falling back through the builder chain.
 
     Each chain entry gets a full attempt -- construction (under the
@@ -287,6 +303,10 @@ def schedule_block_resilient(
             chain entry's name just before the attempt starts.  The
             supervised pool uses it to attribute a worker crash to the
             builder that was live when the process died.
+        columnar: run the intermediate heuristic pass through the
+            vectorized driver (:func:`~repro.dag.columnar.passes.\
+columnar_backward_pass`).  Annotation-identical to both object
+            drivers, so the accepted schedules are byte-identical.
 
     Returns:
         The accepted or degraded :class:`BlockOutcome`.
@@ -294,8 +314,16 @@ def schedule_block_resilient(
     if priority is None:
         priority = SECTION6_PRIORITY
     tracer = tracer or NULL_TRACER
-    driver = (backward_pass_levels if heuristic_driver == "levels"
-              else backward_pass)
+    if columnar:
+        from repro.dag.columnar import require_numpy
+
+        require_numpy()
+        from repro.dag.columnar.passes import columnar_backward_pass
+
+        driver = columnar_backward_pass
+    else:
+        driver = (backward_pass_levels if heuristic_driver == "levels"
+                  else backward_pass)
     label = block.label if block.label else str(block.index)
     attempts: list[Attempt] = []
     t_start = time.perf_counter()

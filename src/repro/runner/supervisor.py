@@ -109,19 +109,22 @@ def _init_worker(machine: MachineModel, chain_names: tuple[str, ...],
                  budget: Budget | None, heuristic_driver: str,
                  verify: bool, use_cache: bool,
                  trace: bool = False, metrics: bool = False,
-                 mem_limit_mb: int | None = None) -> None:
+                 mem_limit_mb: int | None = None,
+                 columnar: bool = False) -> None:
     """Per-process setup: resolve the chain once, not per block."""
     _apply_mem_ceiling(mem_limit_mb)
     cache = PairwiseCache() if use_cache else None
     _WORKER_STATE["machine"] = machine
     _WORKER_STATE["chain"] = resolve_chain(chain_names, machine,
-                                           cache=cache)
+                                           cache=cache,
+                                           columnar=columnar)
     _WORKER_STATE["budget"] = budget
     _WORKER_STATE["driver"] = heuristic_driver
     _WORKER_STATE["verify"] = verify
     _WORKER_STATE["cache"] = cache
     _WORKER_STATE["trace"] = trace
     _WORKER_STATE["metrics"] = metrics
+    _WORKER_STATE["columnar"] = columnar
 
 
 def _run_block(block: BasicBlock,
@@ -151,7 +154,8 @@ def _run_block(block: BasicBlock,
         heuristic_driver=_WORKER_STATE["driver"],
         verify=_WORKER_STATE["verify"], cache=cache,
         tracer=tracer, metrics=registry,
-        skip_builders=skip_builders, on_attempt=on_attempt)
+        skip_builders=skip_builders, on_attempt=on_attempt,
+        columnar=_WORKER_STATE.get("columnar", False))
     if registry is not None and cache is not None:
         record_cache(registry, cache.hits - hits0,
                      cache.misses - misses0)
@@ -515,6 +519,9 @@ class SupervisedPool:
             allocation exceeds it fails with a ``MemoryError``
             attributed to its block and builder (crash kind
             ``"oom"``), instead of an anonymous kernel SIGKILL.
+        columnar: forward the structure-of-arrays fast-path flag to
+            the workers (byte-identical outcomes; see
+            :func:`~repro.runner.batch.run_batch`).
     """
 
     def __init__(self, blocks: Sequence[BasicBlock],
@@ -534,12 +541,13 @@ class SupervisedPool:
                  breaker: CircuitBreaker | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 mem_limit_mb: int | None = None) -> None:
+                 mem_limit_mb: int | None = None,
+                 columnar: bool = False) -> None:
         self._machine = machine
         self._chain_names = chain_names
         self._init_args = (machine, chain_names, budget,
                            heuristic_driver, verify, use_cache,
-                           trace, metrics_on, mem_limit_mb)
+                           trace, metrics_on, mem_limit_mb, columnar)
         self._retry = retry or RetryPolicy()
         self._chaos = chaos
         self._task_timeout = task_timeout

@@ -88,6 +88,7 @@ def cache_stats() -> dict:
     hits = sum(c.hits for c in caches)
     misses = sum(c.misses for c in caches)
     return {"caches": len(caches), "hits": hits, "misses": misses,
+            "bundle_hits": sum(c.bundle_hits for c in caches),
             "entries": sum(len(c) for c in caches),
             "hit_rate": round(hits / (hits + misses), 4)
             if hits + misses else 0.0}
@@ -165,7 +166,8 @@ def run_request(request: ScheduleRequest,
                 task_timeout: float | None = 60.0,
                 quarantine_dir: str | None = None,
                 mem_limit_mb: int | None = None,
-                completed: dict[int, dict] | None = None) -> dict:
+                completed: dict[int, dict] | None = None,
+                columnar: bool = False) -> dict:
     """Schedule one admitted request's blocks, streaming as they land.
 
     Runs in an executor thread.  Emits one ``block`` frame per
@@ -209,6 +211,9 @@ def run_request(request: ScheduleRequest,
             counted in the summary's ``replayed``.  A non-empty map
             forces the serial path so replay interleaves with fresh
             work in program order.
+        columnar: serve on the structure-of-arrays fast path (numpy
+            required; byte-identical frames and summaries -- a
+            performance knob, like the warm caches).
 
     Returns:
         The summary dict for the ``done`` frame, satisfying
@@ -217,7 +222,7 @@ def run_request(request: ScheduleRequest,
     names = request.chain or chain_names or DEFAULT_CHAIN
     if cache is None:
         cache = warm_cache(request.machine)
-    chain = resolve_chain(names, machine, cache=cache)
+    chain = resolve_chain(names, machine, cache=cache, columnar=columnar)
     t0 = clock()
     deadline = (t0 + request.deadline_s
                 if request.deadline_s is not None else None)
@@ -292,7 +297,8 @@ def run_request(request: ScheduleRequest,
                       chaos=chaos, retry=retry,
                       task_timeout=task_timeout,
                       quarantine_dir=quarantine_dir,
-                      mem_limit_mb=mem_limit_mb)
+                      mem_limit_mb=mem_limit_mb,
+                      columnar=columnar)
         except RequestCancelled as exc:
             if n_done < len(blocks):
                 shed_rest(exc.reason)
@@ -328,7 +334,7 @@ def run_request(request: ScheduleRequest,
                 block, machine, chain,
                 budget=Budget(wall_clock=wall, max_work=max_work),
                 verify=request.verify, cache=cache, metrics=metrics,
-                breaker=breaker)
+                breaker=breaker, columnar=columnar)
             account(outcome)
 
     n_shed = sum(shed_reasons.values())

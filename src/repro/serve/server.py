@@ -140,6 +140,9 @@ class ServeConfig:
             always written on drain.
         dedup_entries: LRU cap on the in-memory finished-key result
             store (the exactly-once answer index).
+        columnar: serve every request on the structure-of-arrays fast
+            path (numpy required; byte-identical frames and
+            summaries).
     """
 
     address: str
@@ -165,6 +168,7 @@ class ServeConfig:
     wal_dir: str | None = None
     snapshot_every: int = 8
     dedup_entries: int = 1024
+    columnar: bool = False
 
 
 @dataclass
@@ -455,7 +459,8 @@ class ReproServer:
             task_timeout=cfg.task_timeout,
             quarantine_dir=cfg.quarantine_dir,
             mem_limit_mb=cfg.mem_limit_mb,
-            completed=completed)
+            completed=completed,
+            columnar=cfg.columnar)
 
     async def _replay_finished(self, writer, lock, rid: str, key: str,
                                entry: dict) -> None:

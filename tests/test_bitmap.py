@@ -63,25 +63,61 @@ class TestReachabilityMap:
 
     def test_words_touched_counter(self):
         rmap = ReachabilityMap(3)
+        assert rmap.words_touched == 3  # three one-word maps
         rmap.absorb(0, 1)
         rmap.absorb(0, 2)
-        assert rmap.words_touched == 2
+        assert rmap.words_touched == 5
+
+    def test_init_charges_span_per_map(self):
+        # The map for node id i spans i // 64 + 1 words; init charges
+        # exactly that span for every map.
+        rmap = ReachabilityMap(130)
+        assert rmap.words_touched == \
+            sum(i // 64 + 1 for i in range(130))  # 64*1 + 64*2 + 2*3
 
     def test_wide_absorb_counts_actual_words(self):
         # A map spanning more than 64 bits costs one unit per machine
         # word the OR touches, not a flat 1.
         rmap = ReachabilityMap(130)
+        init = rmap.words_touched
         rmap.absorb(0, 129)  # bit 129 set -> 3 words
-        assert rmap.words_touched == 3
+        assert rmap.words_touched == init + 3
         rmap.absorb(1, 2)    # bits 1..2 -> 1 word
-        assert rmap.words_touched == 4
+        assert rmap.words_touched == init + 4
 
     def test_grow_charges_appended_words(self):
         rmap = ReachabilityMap(2)
         rmap.grow_to(5)
-        assert rmap.words_touched == 3
+        assert rmap.words_touched == 5  # 2 at init + ids 2, 3, 4
         rmap.grow_to(5)  # no-op growth is free
-        assert rmap.words_touched == 3
+        assert rmap.words_touched == 5
+
+    def test_wide_growth_matches_upfront_sizing(self):
+        # Regression: growth past node id 64 used to charge a flat one
+        # word per appended map, under-counting every multi-word map.
+        # Sizing up front and growing incrementally must now agree.
+        upfront = ReachabilityMap(130)
+        grown = ReachabilityMap(2)
+        grown.grow_to(130)
+        assert grown.words_touched == upfront.words_touched
+        # And a single appended map past the first word boundary is
+        # charged its full span, not 1.
+        edge = ReachabilityMap(64)
+        before = edge.words_touched
+        edge.grow_to(65)  # map for id 64 spans 2 words
+        assert edge.words_touched - before == 2
+
+    def test_weighted_descendant_sum(self):
+        rmap = ReachabilityMap(130)
+        rmap.absorb(0, 2)
+        rmap.absorb(0, 129)
+        weights = list(range(130))
+        assert rmap.weighted_descendant_sum(0, weights) == 2 + 129
+        assert rmap.weighted_descendant_sum(1, weights) == 0
+        # Matches the per-bit enumeration it replaced.
+        for a in (0, 1, 2, 129):
+            assert rmap.weighted_descendant_sum(a, weights) == \
+                sum(weights[d] for d in rmap.descendants(a))
 
 
 class TestComputeReachability:

@@ -1,0 +1,184 @@
+"""Differential harness: columnar fast path vs. the object path.
+
+The columnar package promises *byte identity* with the object world:
+identical arcs in identical order, identical
+:class:`~repro.dag.builders.base.BuildStats` counters, identical
+heuristic annotations, and identical schedules.  These tests assert
+that promise over the fuzz harness's generator corpus (layered,
+random-arc, and mutated-kernel blocks) plus the hand-written kernels,
+for every builder (via the packed round trip) and specifically for the
+columnar table-forward kernel against its object twin.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.asm import parse_asm  # noqa: E402
+from repro.cfg import partition_blocks  # noqa: E402
+from repro.dag.builders import TableForwardBuilder  # noqa: E402
+from repro.dag.columnar.builders import (  # noqa: E402
+    ColumnarTableForwardBuilder,
+)
+from repro.dag.columnar.graph import ColumnarDag  # noqa: E402
+from repro.dag.columnar.passes import (  # noqa: E402
+    columnar_backward_pass,
+)
+from repro.heuristics.passes import backward_pass  # noqa: E402
+from repro.machine.presets import (  # noqa: E402
+    generic_risc,
+    sparcstation2_like,
+)
+from repro.pipeline import SECTION6_PRIORITY  # noqa: E402
+from repro.runner.fallback import BUILDER_CLASSES  # noqa: E402
+from repro.runner.fuzz import (  # noqa: E402
+    layered_block,
+    mutate_kernel,
+    random_arc_block,
+)
+from repro.scheduling.list_scheduler import schedule_forward  # noqa: E402
+from repro.workloads.kernels import (  # noqa: E402
+    KERNELS,
+    straightline_source,
+)
+
+ANNOTATIONS = ("est", "lst", "slack",
+               "max_path_to_leaf", "max_delay_to_leaf",
+               "max_path_from_root", "max_delay_from_root",
+               "n_descendants", "sum_exec_descendants")
+
+
+def fuzz_corpus(seed: int = 0, iterations: int = 12):
+    """Deterministic block corpus from the fuzz generators."""
+    blocks = []
+    for i in range(iterations):
+        rng = random.Random(f"repro-fuzz:{seed}:{i}")
+        case_id = f"case-{i}"
+        blocks.append(layered_block(rng, case_id))
+        blocks.append(random_arc_block(rng, case_id))
+        blocks.extend(mutate_kernel(rng))
+    return [b for b in blocks if b.instructions]
+
+
+def kernel_corpus():
+    blocks = []
+    for name in sorted(KERNELS):
+        for copies in (1, 2):
+            program = parse_asm(straightline_source(name, copies))
+            blocks.extend(b for b in partition_blocks(program)
+                          if b.instructions)
+    return blocks
+
+
+def arc_tuples(dag):
+    return [(a.parent.id, a.child.id, a.dep, a.delay, str(a.resource))
+            for a in dag.arcs()]
+
+
+def annotations_of(dag):
+    return [tuple(getattr(n, f) for f in ANNOTATIONS)
+            for n in dag.nodes]
+
+
+def schedule_of(dag, machine):
+    sched = schedule_forward(dag, machine, SECTION6_PRIORITY)
+    return [n.id for n in sched.order], sched.timing.makespan
+
+
+@pytest.mark.parametrize("machine_factory",
+                         [generic_risc, sparcstation2_like])
+def test_columnar_table_forward_matches_object(machine_factory):
+    """Same arcs, counters, annotations, and schedules on the corpus."""
+    machine = machine_factory()
+    for block in fuzz_corpus() + kernel_corpus():
+        obj = TableForwardBuilder(machine).build(block)
+        col = ColumnarTableForwardBuilder(machine).build(block)
+        assert arc_tuples(obj.dag) == arc_tuples(col.dag)
+        assert obj.stats.__dict__ == col.stats.__dict__
+        assert obj.dag.n_merged_arcs == col.dag.n_merged_arcs
+        assert [str(obj.space.resource(i))
+                for i in range(len(obj.space))] \
+            == [str(col.space.resource(i))
+                for i in range(len(col.space))]
+        backward_pass(obj.dag, descendants=True)
+        columnar_backward_pass(col.dag, descendants=True)
+        assert annotations_of(obj.dag) == annotations_of(col.dag)
+        assert schedule_of(obj.dag, machine) \
+            == schedule_of(col.dag, machine)
+
+
+def test_build_packed_materializes_identically():
+    """build_packed -> to_dag equals a direct object build."""
+    machine = generic_risc()
+    columnar = ColumnarTableForwardBuilder(machine)
+    for block in fuzz_corpus(seed=1, iterations=6):
+        obj = TableForwardBuilder(machine).build(block)
+        cdag, cstats = columnar.build_packed(block)
+        mdag = cdag.to_dag()
+        assert arc_tuples(obj.dag) == arc_tuples(mdag)
+        assert mdag.n_merged_arcs == obj.dag.n_merged_arcs
+        assert cstats.table_probes == obj.stats.table_probes
+        assert cstats.alias_checks == obj.stats.alias_checks
+        assert cstats.arcs_added == obj.dag.n_arcs
+
+
+@pytest.mark.parametrize("builder_name", sorted(BUILDER_CLASSES))
+def test_round_trip_preserves_every_builder(builder_name):
+    """from_dag -> to_dag is lossless for all five builders' DAGs."""
+    machine = generic_risc()
+    cls = BUILDER_CLASSES[builder_name]
+    for block in fuzz_corpus(seed=2, iterations=4):
+        dag = cls(machine).build(block).dag
+        round_tripped = ColumnarDag.from_dag(dag).to_dag()
+        assert arc_tuples(dag) == arc_tuples(round_tripped)
+        assert round_tripped.n_merged_arcs == dag.n_merged_arcs
+        backward_pass(dag, descendants=True)
+        columnar_backward_pass(round_tripped, descendants=True)
+        assert annotations_of(dag) == annotations_of(round_tripped)
+        assert schedule_of(dag, machine) \
+            == schedule_of(round_tripped, machine)
+
+
+def test_columnar_driver_matches_both_object_drivers():
+    """The vectorized driver agrees with reverse-walk and levels
+    (section 4, conclusion 4: the drivers compute the same values)."""
+    from repro.heuristics.passes import backward_pass_levels
+    machine = generic_risc()
+    for block in fuzz_corpus(seed=3, iterations=4):
+        dags = [TableForwardBuilder(machine).build(block).dag
+                for _ in range(3)]
+        backward_pass(dags[0], descendants=True)
+        backward_pass_levels(dags[1], descendants=True)
+        columnar_backward_pass(dags[2], descendants=True)
+        assert annotations_of(dags[0]) == annotations_of(dags[2])
+        assert annotations_of(dags[1]) == annotations_of(dags[2])
+
+
+def test_resolve_chain_columnar_substitutes_table_forward():
+    """--columnar swaps the builder class but keeps the entry name."""
+    from repro.runner.fallback import resolve_chain
+    machine = generic_risc()
+    chain = resolve_chain(("table-forward", "n2"), machine,
+                          columnar=True)
+    assert chain[0][0] == "table-forward"
+    assert isinstance(chain[0][1](), ColumnarTableForwardBuilder)
+    assert not isinstance(chain[1][1](), ColumnarTableForwardBuilder)
+
+
+def test_run_batch_columnar_outcomes_identical():
+    """run_batch(columnar=True) journals byte-identical records."""
+    import json
+
+    from repro.runner.batch import run_batch
+    machine = generic_risc()
+    blocks = kernel_corpus()[:6]
+    for i, block in enumerate(blocks):
+        block.index = i
+    plain = run_batch(blocks, machine, verify=True)
+    fast = run_batch(blocks, machine, verify=True, columnar=True)
+    as_records = lambda r: [  # noqa: E731
+        json.dumps(o.to_record(), sort_keys=True) for o in r.outcomes]
+    assert as_records(plain) == as_records(fast)
+    assert plain.build_stats.__dict__ == fast.build_stats.__dict__

@@ -72,6 +72,7 @@ class TestReplayEquivalence:
         CompareAllBuilder(machine, cache=cache).build(a)
         CompareAllBuilder(machine, cache=cache).build(b)
         assert cache.info() == {"hits": 1, "misses": 1,
+                                "bundle_hits": 0,
                                 "entries": 1, "max_entries": 512,
                                 "recipes": 1}
 
@@ -131,6 +132,28 @@ class TestPairwiseSharing:
         LandskovBuilder(machine, cache=cache).build(daxpy_block)
         assert cache.entry_for(daxpy_block, machine.alias_policy,
                                machine).bundle.pairwise is first
+
+    def test_bundle_reuse_counted_apart_from_cold_miss(self, machine,
+                                                       daxpy_block):
+        # A build that finds a shared pairwise bundle but no recipe
+        # used to count as a plain miss; it is cheaper than a cold
+        # build (the alias sweep is reused) and is now counted apart.
+        cache = PairwiseCache()
+        CompareAllBuilder(machine, cache=cache).build(daxpy_block)
+        assert cache.info()["bundle_hits"] == 0  # cold: no bundle yet
+        LandskovBuilder(machine, cache=cache).build(daxpy_block)
+        info = cache.info()
+        assert info["bundle_hits"] == 1
+        assert info["misses"] == 2  # still a recipe miss both times
+        assert info["hits"] == 0
+        # A replay of a recorded recipe is a hit, not a bundle hit.
+        LandskovBuilder(machine, cache=cache).build(daxpy_block)
+        info = cache.info()
+        assert info["hits"] == 1
+        assert info["bundle_hits"] == 1
+        # Non-pairwise builders never consume the bundle.
+        TableForwardBuilder(machine, cache=cache).build(daxpy_block)
+        assert cache.info()["bundle_hits"] == 1
 
     def test_shared_bundle_counters_match_uncached(self, machine,
                                                    daxpy_block):
