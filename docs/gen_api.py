@@ -61,10 +61,12 @@ MODULES = [
     "repro.runner.supervisor", "repro.runner.chaos",
     "repro.runner.fuzz", "repro.runner.bench",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.report",
+    "repro.obs.expo", "repro.obs.profile",
     "repro.serve.protocol", "repro.serve.admission",
     "repro.serve.engine", "repro.serve.server",
     "repro.serve.wal", "repro.serve.supervise",
     "repro.serve.loadtest", "repro.serve.chaosserve",
+    "repro.serve.top",
     "repro.pipeline", "repro.transform", "repro.cli",
 ]
 

@@ -508,11 +508,15 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         mem_limit_mb=args.worker_mem_mb,
         quarantine_dir=args.quarantine_dir,
         wal_dir=args.wal_dir,
-        columnar=args.columnar)
-    server = ReproServer(config, metrics=registry)
+        columnar=args.columnar,
+        telemetry=args.telemetry)
+    server = ReproServer(config, metrics=registry, tracer=tracer)
     out(f"! serve: listening on {args.address} "
         f"({args.workers} workers, queue {args.max_queued}, "
         f"jobs {args.jobs})")
+    if args.telemetry:
+        out(f"! serve: telemetry endpoint on {args.telemetry} "
+            f"(/metrics, /healthz)")
     # Cover the startup window before the event loop installs its own
     # handlers: a SIGTERM that lands while the WAL is still replaying
     # must schedule a drain, not kill the process mid-recovery.
@@ -671,7 +675,27 @@ def _cmd_verify(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    from repro.runner.bench import run_bench, write_bench
+    from repro.runner.bench import (
+        DEFAULT_BENCH_PATH,
+        compare_bench,
+        load_bench,
+        render_compare,
+        run_bench,
+        write_bench,
+    )
+    out_path = args.out or DEFAULT_BENCH_PATH
+    compare = args.compare or []
+    if len(compare) > 2:
+        raise ReproError(
+            "--compare takes OLD.json or OLD.json NEW.json")
+    if len(compare) == 2:
+        # Pure gate mode: compare two existing documents, run nothing.
+        result = compare_bench(load_bench(compare[0]),
+                               load_bench(compare[1]),
+                               wall_ratio=args.wall_ratio)
+        out(render_compare(result, compare[0], compare[1],
+                           args.wall_ratio))
+        return 0 if result["ok"] else 1
     machine = MACHINES[args.machine]()
     tracer, registry = _obs_from_args(args)
     doc = run_bench(machine, machine_name=args.machine,
@@ -679,7 +703,7 @@ def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                     jobs=args.jobs, quick=args.quick,
                     columnar=args.columnar,
                     tracer=tracer, metrics=registry)
-    write_bench(doc, args.out_json)
+    write_bench(doc, out_path)
     _write_obs(args, tracer, registry)
     batch = doc["batch"]
     out(f"! bench: {doc['workload']['n_blocks']} blocks, "
@@ -692,7 +716,44 @@ def _cmd_bench(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"{batch['reduction_fraction'] * 100:.1f}% reduction")
     out(f"! schedules identical across variants: "
         f"{batch['schedules_identical']}")
-    out(f"! wrote {args.out_json}")
+    out(f"! wrote {out_path}")
+    if compare:
+        result = compare_bench(load_bench(compare[0]), doc,
+                               wall_ratio=args.wall_ratio)
+        out(render_compare(result, compare[0], out_path,
+                           args.wall_ratio))
+        return 0 if result["ok"] else 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace,
+                 out: Callable[[str], None]) -> int:
+    from repro.obs.profile import profile_workload, write_profile
+    builders = (tuple(b.strip() for b in args.builders.split(",")
+                      if b.strip()) if args.builders else None)
+    copies = 2 if args.quick else args.copies
+    profile = profile_workload(args.machine, copies=copies,
+                               builders=builders, jobs=args.jobs)
+    write_profile(profile, args.out, args.markdown)
+    out(f"! profile: machine {args.machine}, {copies} copies/kernel, "
+        f"{profile.total()} work units over {len(profile.stacks)} "
+        f"stacks (deterministic; identical across runs and --jobs)")
+    heaviest = sorted(profile.stacks.items(),
+                      key=lambda kv: (-kv[1], kv[0]))[:5]
+    for stack, units in heaviest:
+        out(f"!   {';'.join(stack)} {units}")
+    out(f"! wrote {args.out}"
+        + (f" and {args.markdown}" if args.markdown else ""))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace,
+             out: Callable[[str], None]) -> int:
+    from repro.serve.top import poll_ops, render_top, run_top
+    if args.once:
+        out(render_top(poll_ops(args.address), args.address))
+        return 0
+    run_top(args.address, interval_s=args.interval)
     return 0
 
 
@@ -883,9 +944,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run the batch comparison on the "
                             "columnar fast path and gate on schedule "
                             "identity (numpy required)")
-    bench.add_argument("--out-json", default="BENCH_pr3.json",
-                       metavar="PATH", help="output document path")
+    bench.add_argument("--out", "--out-json", dest="out", default=None,
+                       metavar="PATH",
+                       help="output document path (default: "
+                            "BENCH_v<schema>.json for the current "
+                            "bench schema version)")
+    bench.add_argument("--compare", nargs="+", default=None,
+                       metavar="JSON",
+                       help="regression gate: with one path, run the "
+                            "bench and compare the fresh document "
+                            "against it; with two paths, compare the "
+                            "existing documents without running. "
+                            "Deterministic counters must match "
+                            "exactly; wall clocks gate at "
+                            "--wall-ratio. Exits 1 on violations.")
+    bench.add_argument("--wall-ratio", type=float, default=2.0,
+                       metavar="R",
+                       help="max allowed NEW/OLD wall-clock ratio "
+                            "for --compare (default 2.0)")
     bench.set_defaults(handler=_cmd_bench)
+
+    profile = sub.add_parser("profile",
+                             help="deterministic work profile: "
+                                  "attribute builder work counters to "
+                                  "a workload x builder x phase call "
+                                  "tree (collapsed-stack + Markdown)")
+    profile.add_argument("--machine", choices=sorted(MACHINES),
+                         default="generic", help="timing model")
+    profile.add_argument("--copies", type=int, default=8,
+                         help="straight-line body repetitions per "
+                              "kernel")
+    profile.add_argument("--quick", action="store_true",
+                         help="2 copies per kernel (CI smoke mode)")
+    profile.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="profile blocks in N processes (the "
+                              "profile is byte-identical for any N)")
+    profile.add_argument("--builders", default=None, metavar="A,B",
+                         help="comma-separated builder subset "
+                              "(default: all registered builders)")
+    profile.add_argument("--out", default="profile.collapsed",
+                         metavar="PATH",
+                         help="collapsed-stack output path (feed to "
+                              "flamegraph.pl / inferno / speedscope)")
+    profile.add_argument("--markdown", default=None, metavar="PATH",
+                         help="also write a 'where the work goes' "
+                              "Markdown table")
+    profile.set_defaults(handler=_cmd_profile)
 
     report = sub.add_parser("report",
                             help="render paper-style Tables 3/4/5 and "
@@ -1078,6 +1182,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "restarted daemon replays acknowledged-"
                             "but-unfinished work and dedups finished "
                             "idempotency keys (see docs/durability.md)")
+    serve.add_argument("--telemetry", default=None, metavar="ADDR",
+                       help="also expose a loopback-only HTTP "
+                            "telemetry endpoint (GET /metrics in "
+                            "Prometheus text exposition format, "
+                            "GET /healthz) at HOST:PORT or PORT; "
+                            "implies a live metrics registry")
     serve.add_argument("--supervised", action="store_true",
                        help="run under a self-healing parent that "
                             "restarts a crashed daemon with "
@@ -1152,6 +1262,20 @@ def build_parser() -> argparse.ArgumentParser:
                                "exit 1).  Requires the daemon to run "
                                "with --wal-dir")
     loadtest.set_defaults(handler=_cmd_loadtest)
+
+    top = sub.add_parser("top",
+                         help="live terminal dashboard over a running "
+                              "serve daemon: sliding-window p50/p99, "
+                              "occupancy, shed/reject rates, per-"
+                              "thread warm caches")
+    top.add_argument("--address", default="unix:repro.sock",
+                     help="daemon address to poll")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS", help="refresh period")
+    top.add_argument("--once", action="store_true",
+                     help="print a single panel and exit (for CI "
+                          "smoke and scripting)")
+    top.set_defaults(handler=_cmd_top)
     return parser
 
 

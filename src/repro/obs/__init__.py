@@ -15,7 +15,15 @@ package is the common surface those quantities flow through:
   rates and wall clocks live in a separate *volatile* section);
 * :mod:`repro.obs.report` -- ``repro report``: paper-style Tables
   3/4/5 plus cache/fallback/degradation summaries rendered from a run
-  journal and/or a metrics snapshot, as Markdown and JSON.
+  journal and/or a metrics snapshot, as Markdown and JSON;
+* :mod:`repro.obs.expo` -- Prometheus text exposition of a metrics
+  snapshot plus :class:`~repro.obs.expo.RollingWindow`, the
+  ring-buffer sliding-window aggregates (p50/p99 latency, queue
+  depth, shed/reject rates) behind ``repro serve --telemetry``;
+* :mod:`repro.obs.profile` -- ``repro profile``: the deterministic
+  work-profiler attributing builder work counters to a
+  workload/builder/phase call tree, exported as collapsed stacks for
+  flamegraph tooling and a Markdown "where the work goes" table.
 
 Instrumented layers (``repro schedule``/``verify``/``bench``,
 :func:`repro.runner.batch.run_batch`,
@@ -26,6 +34,12 @@ Instrumented layers (``repro schedule``/``verify``/``bench``,
 journals, or stdout.
 """
 
+from repro.obs.expo import (
+    EXPOSITION_CONTENT_TYPE,
+    RollingWindow,
+    parse_exposition,
+    render_exposition,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,6 +47,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     read_metrics,
     write_metrics,
+)
+from repro.obs.profile import (
+    WorkProfile,
+    profile_block,
+    profile_workload,
+    write_profile,
 )
 from repro.obs.report import (
     load_journal_blocks,
@@ -51,19 +71,27 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "EXPOSITION_CONTENT_TYPE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RollingWindow",
     "Tracer",
+    "WorkProfile",
     "load_journal_blocks",
+    "parse_exposition",
+    "profile_block",
+    "profile_workload",
     "read_metrics",
     "render_markdown",
+    "render_exposition",
     "report_from",
     "span_tree",
     "write_chrome_trace",
     "write_metrics",
+    "write_profile",
     "write_trace",
     "write_trace_jsonl",
 ]

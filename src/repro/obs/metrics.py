@@ -110,10 +110,21 @@ class Counter(Metric):
 class Gauge(Metric):
     """A point-in-time value with a declared merge aggregation.
 
+    The aggregation is part of the determinism contract: ``"max"`` is
+    commutative and associative, so a gauge merged from parallel
+    workers lands on the same value regardless of merge order and may
+    live in the *stable* snapshot section.  ``"last"`` takes the
+    caller's program order, which has no order-free parallel meaning
+    -- so an ``agg="last"`` gauge must be declared ``volatile``, and
+    the constructor rejects the stable combination outright rather
+    than letting a ``--jobs 4`` snapshot silently diverge from
+    ``--jobs 1``.
+
     Args:
         agg: how concurrent/sequential observations combine --
             ``"max"`` (default; commutative, so parallel merges are
-            order-independent) or ``"last"`` (program-order overwrite).
+            order-independent) or ``"last"`` (program-order overwrite;
+            requires ``volatile=True``).
     """
 
     kind = "gauge"
@@ -123,6 +134,11 @@ class Gauge(Metric):
                  agg: str = "max") -> None:
         if agg not in ("max", "last"):
             raise ValueError(f"unknown gauge aggregation {agg!r}")
+        if agg == "last" and not volatile:
+            raise ValueError(
+                f"gauge {name!r}: agg='last' is merge-order dependent "
+                f"and must be volatile (stable-section gauges need a "
+                f"commutative aggregation such as 'max')")
         super().__init__(name, help, labels, volatile)
         self.agg = agg
 

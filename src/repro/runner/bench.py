@@ -1,8 +1,8 @@
 """Reproducible performance benchmark for the hot scheduling path.
 
 ``python -m repro bench`` measures the three layers this package
-optimizes and writes one JSON document (``BENCH_pr3.json`` by default)
-so regressions are diffable run over run:
+optimizes and writes one JSON document (``--out``, default
+:data:`DEFAULT_BENCH_PATH`) so regressions are diffable run over run:
 
 * **builders** -- per-construction-algorithm wall time plus the
   machine-independent work counters of Tables 4/5 (comparisons, table
@@ -24,6 +24,14 @@ The workload is deterministic: straight-line kernel bodies repeated
 ``copies`` times and windowed into fixed-size blocks, the
 repeated-inner-loop population that dominates the paper's scientific
 benchmarks (and makes dependence caching measurable).
+
+:func:`compare_bench` is the trajectory gate over two such documents
+(``repro bench --compare OLD.json [NEW.json]``): deterministic work
+counters must match *exactly* -- they are machine-independent, so any
+drift is a real behavior change -- while wall-clock fields only gate
+on a configurable ratio (they are host- and load-dependent noise).
+CI runs it over the committed ``BENCH_*.json`` trajectory so a future
+change cannot silently regress the paper's cost story.
 """
 
 from __future__ import annotations
@@ -54,6 +62,18 @@ BENCH_VERSION = 3
 #: the paper's largest block: fpppp tops Table 3 at ~11,750
 #: instructions in a single basic block
 FPPPP_TARGET = 11_750
+
+#: default output document path (versioned so schema bumps do not
+#: silently overwrite an older trajectory point)
+DEFAULT_BENCH_PATH = f"BENCH_v{BENCH_VERSION}.json"
+
+#: default wall-clock regression gate: new may take at most this
+#: multiple of old (counters gate exactly; wall clocks are noisy)
+DEFAULT_WALL_RATIO = 2.0
+
+#: wall measurements shorter than this are not gated at all -- at
+#: sub-10ms scale, scheduler jitter swamps any real regression
+MIN_GATED_WALL_S = 0.01
 
 #: kernels whose straight-line bodies make up the workload
 BENCH_KERNELS = ("daxpy", "livermore1", "dot_product", "superscalar_mix")
@@ -422,3 +442,190 @@ def write_bench(doc: dict, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=False)
         handle.write("\n")
+
+
+# -- the trajectory gate: compare two benchmark documents --------------------
+
+
+def load_bench(path: str) -> dict:
+    """Read one benchmark document.
+
+    Raises:
+        ReproError: unreadable file or non-object JSON.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read bench document {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"bench document {path!r} is not JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise ReproError(
+            f"bench document {path!r} must be a JSON object")
+    return doc
+
+
+def _flatten_counters(doc: dict) -> dict:
+    """Every deterministic (exactly-comparable) field, dotted-path keyed.
+
+    These are the machine-independent work counters and identity
+    gates; any cross-run difference is a real behavior change, never
+    measurement noise.
+    """
+    out: dict[str, object] = {}
+    for name, row in sorted(doc.get("builders", {}).items()):
+        for counter in _WORK_COUNTERS + ("bitmap_words_touched",):
+            out[f"builders.{name}.{counter}"] = row.get(counter)
+    heur = doc.get("heuristics", {})
+    out["heuristics.incremental.arcs_repaired"] = \
+        heur.get("incremental", {}).get("arcs_repaired")
+    workload = doc.get("workload", {})
+    out["workload.n_blocks"] = workload.get("n_blocks")
+    out["workload.n_instructions"] = workload.get("n_instructions")
+    batch = doc.get("batch", {})
+    for key in ("n_blocks", "n_instructions", "total_makespan",
+                "total_original_makespan", "wasted_work",
+                "schedules_identical"):
+        out[f"batch.{key}"] = batch.get(key)
+    for counter, value in sorted(
+            (batch.get("build_counters") or {}).items()):
+        out[f"batch.build_counters.{counter}"] = value
+    fpppp = doc.get("fpppp", {})
+    if fpppp.get("available"):
+        for key in ("n_instructions", "target", "arcs", "table_probes",
+                    "alias_checks", "makespan", "schedule_identical",
+                    "predicted_full_n2_comparisons"):
+            out[f"fpppp.{key}"] = fpppp.get(key)
+        for i, point in enumerate(fpppp.get("n2_curve", [])):
+            out[f"fpppp.n2_curve[{i}].n"] = point.get("n")
+            out[f"fpppp.n2_curve[{i}].comparisons"] = \
+                point.get("comparisons")
+    return out
+
+
+def _flatten_walls(doc: dict, prefix: str = "") -> dict:
+    """Every wall-clock field (``*_s``), dotted-path keyed.
+
+    The embedded metrics snapshot is skipped: its volatile section
+    repeats wall clocks already gated here under their primary names.
+    """
+    out: dict[str, float] = {}
+    for key in sorted(doc):
+        value = doc[key]
+        path = f"{prefix}{key}"
+        if key == "metrics":
+            continue
+        if isinstance(value, dict):
+            out.update(_flatten_walls(value, prefix=f"{path}."))
+        elif isinstance(value, list):
+            for i, item in enumerate(value):
+                if isinstance(item, dict):
+                    out.update(_flatten_walls(
+                        item, prefix=f"{path}[{i}]."))
+        elif key.endswith("_s") and isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def compare_bench(old: dict, new: dict,
+                  wall_ratio: float = DEFAULT_WALL_RATIO) -> dict:
+    """The noise-aware trajectory gate between two bench documents.
+
+    Policy: deterministic counters must match *exactly*; wall-clock
+    fields pass while ``new <= wall_ratio * old`` (fields below
+    :data:`MIN_GATED_WALL_S` on the old side are never gated --
+    nothing real is measurable there).  A field present on only one
+    side is a mismatch, except the ``fpppp.*`` family, which tracks
+    numpy availability (host configuration, not a regression).
+
+    Args:
+        old: the baseline document (the committed trajectory point).
+        new: the candidate document.
+        wall_ratio: maximum allowed ``new / old`` for wall fields.
+
+    Returns:
+        ``{"ok", "counter_mismatches", "wall_regressions",
+        "skipped_walls", "compared_counters", "compared_walls"}``;
+        ``ok`` is True when both violation lists are empty.
+
+    Raises:
+        ReproError: when the two documents are not comparable at all
+            (different schema version, machine, quick flag, or
+            workload shape) -- comparing those would gate noise
+            against noise.
+    """
+    for field_name in ("version", "machine", "quick"):
+        if old.get(field_name) != new.get(field_name):
+            raise ReproError(
+                f"bench documents are not comparable: {field_name!r} "
+                f"differs ({old.get(field_name)!r} vs "
+                f"{new.get(field_name)!r})")
+    for field_name in ("kernels", "copies"):
+        if old.get("workload", {}).get(field_name) \
+                != new.get("workload", {}).get(field_name):
+            raise ReproError(
+                f"bench documents are not comparable: workload "
+                f"{field_name!r} differs")
+
+    old_counters = _flatten_counters(old)
+    new_counters = _flatten_counters(new)
+    counter_mismatches = []
+    for path in sorted(set(old_counters) | set(new_counters)):
+        if path.startswith("fpppp.") \
+                and (path not in old_counters
+                     or path not in new_counters):
+            continue  # numpy availability differs; host config
+        before = old_counters.get(path)
+        after = new_counters.get(path)
+        if before != after:
+            counter_mismatches.append(
+                {"field": path, "old": before, "new": after})
+
+    old_walls = _flatten_walls(old)
+    new_walls = _flatten_walls(new)
+    wall_regressions = []
+    skipped = []
+    compared_walls = 0
+    for path in sorted(set(old_walls) & set(new_walls)):
+        before = old_walls[path]
+        after = new_walls[path]
+        if before < MIN_GATED_WALL_S:
+            skipped.append(path)
+            continue
+        compared_walls += 1
+        if after > wall_ratio * before:
+            wall_regressions.append(
+                {"field": path, "old": before, "new": after,
+                 "ratio": round(after / before, 3),
+                 "limit": wall_ratio})
+    return {
+        "ok": not counter_mismatches and not wall_regressions,
+        "counter_mismatches": counter_mismatches,
+        "wall_regressions": wall_regressions,
+        "skipped_walls": skipped,
+        "compared_counters": len(old_counters),
+        "compared_walls": compared_walls,
+    }
+
+
+def render_compare(result: dict, old_path: str, new_path: str,
+                   wall_ratio: float = DEFAULT_WALL_RATIO) -> str:
+    """Human-readable comparison verdict (CLI output)."""
+    lines = [f"! bench compare: {old_path} -> {new_path}",
+             f"! policy: counters exact, wall clocks <= "
+             f"{wall_ratio}x (sub-{int(MIN_GATED_WALL_S * 1000)}ms "
+             f"walls ungated)"]
+    for miss in result["counter_mismatches"]:
+        lines.append(f"! COUNTER MISMATCH {miss['field']}: "
+                     f"{miss['old']} -> {miss['new']}")
+    for reg in result["wall_regressions"]:
+        lines.append(f"! WALL REGRESSION {reg['field']}: "
+                     f"{reg['old']:.6f}s -> {reg['new']:.6f}s "
+                     f"({reg['ratio']}x > {reg['limit']}x)")
+    lines.append(
+        f"! compared {result['compared_counters']} counters "
+        f"(exact) and {result['compared_walls']} wall fields "
+        f"({len(result['skipped_walls'])} too small to gate): "
+        f"{'OK' if result['ok'] else 'REGRESSION'}")
+    return "\n".join(lines)

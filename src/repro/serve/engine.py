@@ -39,6 +39,7 @@ from repro.dag.builders import PairwiseCache
 from repro.errors import ReproError, RequestRejected
 from repro.machine.model import MachineModel
 from repro.obs.metrics import MetricsRegistry, record_deadline, record_shed_blocks
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runner.batch import run_batch
 from repro.runner.fallback import (
     DEFAULT_CHAIN,
@@ -56,9 +57,11 @@ from repro.serve.protocol import (
 from repro.cfg import apply_window, partition_blocks, pin_delay_slot_occupants
 from repro.workloads.kernels import straightline_body, straightline_source
 
-#: per-(thread, machine) warm caches; see module docstring
+#: per-(thread, machine) warm caches; see module docstring.  The
+#: registry keeps ``(thread_name, machine_name, cache)`` so the
+#: health endpoint can report each warm cache individually.
 _thread_caches = threading.local()
-_all_caches: list[PairwiseCache] = []
+_all_caches: list[tuple[str, str, PairwiseCache]] = []
 _all_caches_lock = threading.Lock()
 
 
@@ -67,7 +70,8 @@ def warm_cache(machine_name: str,
     """This thread's warm dependence cache for ``machine_name``.
 
     Created on first use, LRU-capped at ``max_entries``, and
-    registered so :func:`cache_stats` can aggregate across threads.
+    registered so :func:`cache_stats` / :func:`cache_details` can
+    report across threads.
     """
     caches = getattr(_thread_caches, "caches", None)
     if caches is None:
@@ -77,14 +81,15 @@ def warm_cache(machine_name: str,
         cache = caches[machine_name] = PairwiseCache(
             max_entries=max_entries)
         with _all_caches_lock:
-            _all_caches.append(cache)
+            _all_caches.append((threading.current_thread().name,
+                                machine_name, cache))
     return cache
 
 
 def cache_stats() -> dict:
     """Aggregate hit/miss/size over every live warm cache."""
     with _all_caches_lock:
-        caches = list(_all_caches)
+        caches = [c for _t, _m, c in _all_caches]
     hits = sum(c.hits for c in caches)
     misses = sum(c.misses for c in caches)
     return {"caches": len(caches), "hits": hits, "misses": misses,
@@ -92,6 +97,19 @@ def cache_stats() -> dict:
             "entries": sum(len(c) for c in caches),
             "hit_rate": round(hits / (hits + misses), 4)
             if hits + misses else 0.0}
+
+
+def cache_details() -> list[dict]:
+    """Per-(thread, machine) warm-cache ``info()`` rows.
+
+    The health endpoint exposes these so an operator can see which
+    executor threads are actually warm (``hits``/``bundle_hits``
+    climbing) and which machines they are warm *for*.
+    """
+    with _all_caches_lock:
+        entries = list(_all_caches)
+    return [dict(thread=thread, machine=machine, **cache.info())
+            for thread, machine, cache in entries]
 
 
 def request_blocks(request: ScheduleRequest,
@@ -167,7 +185,8 @@ def run_request(request: ScheduleRequest,
                 quarantine_dir: str | None = None,
                 mem_limit_mb: int | None = None,
                 completed: dict[int, dict] | None = None,
-                columnar: bool = False) -> dict:
+                columnar: bool = False,
+                tracer: Tracer | None = None) -> dict:
     """Schedule one admitted request's blocks, streaming as they land.
 
     Runs in an executor thread.  Emits one ``block`` frame per
@@ -214,6 +233,10 @@ def run_request(request: ScheduleRequest,
         columnar: serve on the structure-of-arrays fast path (numpy
             required; byte-identical frames and summaries -- a
             performance knob, like the warm caches).
+        tracer: optional tracer; the request runs inside one
+            ``request`` span carrying the wire ``id`` and client
+            ``trace`` id, with the builder/attempt spans nested under
+            it -- the server-side half of end-to-end tracing.
 
     Returns:
         The summary dict for the ``done`` frame, satisfying
@@ -223,6 +246,7 @@ def run_request(request: ScheduleRequest,
     if cache is None:
         cache = warm_cache(request.machine)
     chain = resolve_chain(names, machine, cache=cache, columnar=columnar)
+    tracer = tracer if tracer is not None else NULL_TRACER
     t0 = clock()
     deadline = (t0 + request.deadline_s
                 if request.deadline_s is not None else None)
@@ -261,8 +285,11 @@ def run_request(request: ScheduleRequest,
         makespan += outcome.makespan
         original += outcome.original_makespan
         n_done += 1
-        emit(protocol.block_frame(request.id,
-                                  outcome.to_record(volatile=True)))
+        record = outcome.to_record(volatile=True)
+        if request.trace is not None:
+            record["trace"] = request.trace
+        emit(protocol.block_frame(request.id, record,
+                                  trace=request.trace))
 
     def shed_rest(reason: str) -> None:
         nonlocal shed_from
@@ -270,72 +297,84 @@ def run_request(request: ScheduleRequest,
         count = len(blocks) - n_done
         shed_reasons[reason] = shed_reasons.get(reason, 0) + count
         for late in blocks[n_done:]:
-            emit(protocol.shed_frame(request.id, late.index, reason))
+            emit(protocol.shed_frame(request.id, late.index, reason,
+                                     trace=request.trace))
         if metrics is not None:
             record_shed_blocks(metrics, count, reason)
 
-    if jobs >= 2 and not completed:
-        # Pooled path: a per-request supervised pool.  run_batch
-        # consumes outcomes in program order, so a stop raised from
-        # ``on_block`` sheds exactly the untouched suffix; the pool is
-        # torn down by run_batch's own cleanup.
-        def on_block(outcome) -> None:
-            account(outcome)
-            reason = check_stop()
-            if reason is not None:
-                raise RequestCancelled(reason)
+    with tracer.span("request", id=request.id,
+                     trace=request.trace or "",
+                     tenant=request.tenant,
+                     n_blocks=len(blocks)) as span_attrs:
+        if jobs >= 2 and not completed:
+            # Pooled path: a per-request supervised pool.  run_batch
+            # consumes outcomes in program order, so a stop raised from
+            # ``on_block`` sheds exactly the untouched suffix; the pool
+            # is torn down by run_batch's own cleanup.
+            def on_block(outcome) -> None:
+                account(outcome)
+                reason = check_stop()
+                if reason is not None:
+                    raise RequestCancelled(reason)
 
-        wall = block_wall_s
-        left = remaining()
-        if left is not None:
-            wall = left if wall is None else min(wall, left)
-        try:
-            run_batch(blocks, machine, chain=names,
-                      budget=Budget(wall_clock=wall, max_work=max_work),
-                      verify=request.verify, jobs=jobs,
-                      metrics=metrics, on_block=on_block,
-                      chaos=chaos, retry=retry,
-                      task_timeout=task_timeout,
-                      quarantine_dir=quarantine_dir,
-                      mem_limit_mb=mem_limit_mb,
-                      columnar=columnar)
-        except RequestCancelled as exc:
-            if n_done < len(blocks):
-                shed_rest(exc.reason)
-        else:
-            reason = check_stop()
-            if reason is not None and n_done < len(blocks):
-                shed_rest(reason)
-    else:
-        for block in blocks:
-            recorded = completed.get(block.index)
-            if recorded is not None:
-                # WAL replay: the result already crossed a socket once;
-                # re-emit it verbatim rather than recompute (dedup).
-                n_replayed += 1
-                if recorded.get("type") == "shed":
-                    why = str(recorded.get("reason", "replay"))
-                    shed_reasons[why] = shed_reasons.get(why, 0) + 1
-                    n_done += 1
-                    emit(protocol.shed_frame(request.id, block.index,
-                                             why))
-                else:
-                    account(BlockOutcome.from_record(recorded))
-                continue
-            reason = check_stop()
-            if reason is not None:
-                shed_rest(reason)
-                break
             wall = block_wall_s
             left = remaining()
             if left is not None:
                 wall = left if wall is None else min(wall, left)
-            outcome = schedule_block_resilient(
-                block, machine, chain,
-                budget=Budget(wall_clock=wall, max_work=max_work),
-                verify=request.verify, cache=cache, metrics=metrics,
-                breaker=breaker, columnar=columnar)
-            account(outcome)
+            try:
+                run_batch(blocks, machine, chain=names,
+                          budget=Budget(wall_clock=wall,
+                                        max_work=max_work),
+                          verify=request.verify, jobs=jobs,
+                          metrics=metrics, on_block=on_block,
+                          tracer=tracer,
+                          chaos=chaos, retry=retry,
+                          task_timeout=task_timeout,
+                          quarantine_dir=quarantine_dir,
+                          mem_limit_mb=mem_limit_mb,
+                          columnar=columnar)
+            except RequestCancelled as exc:
+                if n_done < len(blocks):
+                    shed_rest(exc.reason)
+            else:
+                reason = check_stop()
+                if reason is not None and n_done < len(blocks):
+                    shed_rest(reason)
+        else:
+            for block in blocks:
+                recorded = completed.get(block.index)
+                if recorded is not None:
+                    # WAL replay: the result already crossed a socket
+                    # once; re-emit it verbatim rather than recompute
+                    # (dedup).
+                    n_replayed += 1
+                    if recorded.get("type") == "shed":
+                        why = str(recorded.get("reason", "replay"))
+                        shed_reasons[why] = shed_reasons.get(why, 0) + 1
+                        n_done += 1
+                        emit(protocol.shed_frame(
+                            request.id, block.index, why,
+                            trace=request.trace))
+                    else:
+                        account(BlockOutcome.from_record(recorded))
+                    continue
+                reason = check_stop()
+                if reason is not None:
+                    shed_rest(reason)
+                    break
+                wall = block_wall_s
+                left = remaining()
+                if left is not None:
+                    wall = left if wall is None else min(wall, left)
+                outcome = schedule_block_resilient(
+                    block, machine, chain,
+                    budget=Budget(wall_clock=wall, max_work=max_work),
+                    verify=request.verify, cache=cache,
+                    metrics=metrics, breaker=breaker, tracer=tracer,
+                    columnar=columnar)
+                account(outcome)
+        span_attrs["scheduled"] = n_scheduled
+        span_attrs["shed"] = sum(shed_reasons.values())
 
     n_shed = sum(shed_reasons.values())
     wall_s = clock() - t0

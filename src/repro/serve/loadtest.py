@@ -87,6 +87,7 @@ def generate_mix(config: LoadtestConfig) -> list[dict]:
         message = {
             "op": "schedule",
             "id": f"lt-{config.seed}-{i}",
+            "trace": f"lt-trace-{config.seed}-{i}",
             "tenant": f"tenant-{i % max(1, config.tenants)}",
             "machine": config.machine,
             "workload": {
@@ -153,6 +154,8 @@ class LoadtestReport:
     retries_deduped: int = 0
     retries_rejected: int = 0
     duplicate_results: int = 0
+    traced_frames: int = 0
+    trace_mismatches: int = 0
 
     def percentile(self, q: float) -> float:
         """Nearest-rank latency percentile over completed requests."""
@@ -200,6 +203,8 @@ class LoadtestReport:
             "retries_deduped": self.retries_deduped,
             "retries_rejected": self.retries_rejected,
             "duplicate_results": self.duplicate_results,
+            "traced_frames": self.traced_frames,
+            "trace_mismatches": self.trace_mismatches,
             "p50_s": round(self.percentile(0.50), 6),
             "p99_s": round(self.percentile(0.99), 6),
             "throughput_rps": round(self.throughput_rps, 3),
@@ -228,6 +233,9 @@ async def _drive_one(reader, writer, message: dict,
     blocks = 0
     shed: dict[str, int] = {}
     deadline_met = None
+    traced = 0
+    mismatched = 0
+    expected_trace = message.get("trace")
     try:
         while True:
             line = await asyncio.wait_for(reader.readline(),
@@ -238,6 +246,13 @@ async def _drive_one(reader, writer, message: dict,
             frame = protocol.decode(line)
             if frame.get("id") != message["id"]:
                 continue
+            if expected_trace is not None:
+                # End-to-end id propagation: every frame of a traced
+                # request must echo the client-minted id verbatim.
+                if frame.get("trace") == expected_trace:
+                    traced += 1
+                else:
+                    mismatched += 1
             kind = frame.get("type")
             if kind == "block":
                 blocks += 1
@@ -259,6 +274,8 @@ async def _drive_one(reader, writer, message: dict,
 
     async with lock:
         report.sent += 1
+        report.traced_frames += traced
+        report.trace_mismatches += mismatched
         report.blocks_done += blocks
         for reason, count in shed.items():
             report.blocks_shed += count
@@ -419,6 +436,10 @@ def render_loadtest_report(report: LoadtestReport) -> str:
         f"! error budget: {doc['deadlines_met']} of "
         f"{doc['deadlined']} deadlined requests met their deadline "
         f"({doc['error_budget_ok']:.1%})")
+    lines.append(
+        f"! tracing: {doc['traced_frames']} frames echoed their "
+        f"request's trace id, {doc['trace_mismatches']} mismatched "
+        f"({'OK' if doc['trace_mismatches'] == 0 else 'FAILED'})")
     if doc["retries_sent"]:
         lines.append(
             f"! idempotency: {doc['retries_sent']} duplicate-key "

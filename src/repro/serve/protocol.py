@@ -11,13 +11,30 @@ client-chosen ``id`` so requests may be pipelined on one connection.
 Client -> server operations (``op``):
 
 * ``schedule`` -- schedule a program; see :class:`ScheduleRequest`.
-* ``health`` -- liveness + pool/breaker/cache state (always answers).
+* ``health`` -- liveness + pool/breaker/cache state (always answers),
+  including the engine's columnar flag and per-thread warm-cache
+  detail.
 * ``ready`` -- readiness: would a schedule request be admitted now?
 * ``stats`` -- the server's global block/request accounting (used by
   the chaos harness to prove zero lost / double-scheduled blocks).
+* ``metrics`` -- the full metrics registry as Prometheus text
+  exposition plus the sliding-window aggregates (``repro top`` polls
+  this; ``--telemetry`` serves the same text over loopback HTTP).
 
 Server -> client frame ``type``\\ s: ``accepted``, ``block``, ``shed``,
-``done``, ``rejected``, ``error``, ``health``, ``ready``, ``stats``.
+``done``, ``rejected``, ``error``, ``health``, ``ready``, ``stats``,
+``metrics``.
+
+**Request tracing** -- a client may stamp a ``trace`` id on a
+schedule request (the loadtest mints one per request).  The id rides
+every response frame for that request (``accepted``/``block``/
+``shed``/``done``/``rejected``/``error``), is stamped into each block
+record (and therefore the WAL and journal), and labels the server-side
+spans -- one id joins a client-observed latency outlier to its
+per-attempt spans and WAL lifecycle.  Dedup replays echo the
+*original* request's trace id, which is the id the recorded blocks
+carry.  Untraced requests produce byte-identical frames to older
+clients: the field is simply absent.
 
 Design rules the robustness story depends on:
 
@@ -59,6 +76,9 @@ REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_RATE_LIMITED,
 
 #: longest accepted idempotency key, characters
 MAX_KEY_CHARS = 128
+
+#: longest accepted client trace id, characters
+MAX_TRACE_CHARS = 128
 
 #: shed reason codes (per-block, on admitted requests)
 SHED_DEADLINE = "deadline"
@@ -173,6 +193,9 @@ class ScheduleRequest:
             resending a finished key streams the recorded result
             instead of recomputing; resending an in-flight key is a
             typed ``duplicate-in-flight`` rejection.
+        trace: client-minted trace id, or None.  Echoed on every
+            response frame, stamped into block records (and thus the
+            WAL/journal), and attached to server-side spans.
     """
 
     id: str
@@ -186,6 +209,7 @@ class ScheduleRequest:
     lenient: bool = False
     chain: tuple[str, ...] | None = None
     key: str | None = None
+    trace: str | None = None
 
     @staticmethod
     def from_message(message: dict) -> "ScheduleRequest":
@@ -244,6 +268,13 @@ class ScheduleRequest:
                 raise ProtocolError(
                     f"request {rid!r}: 'key' must be a non-empty "
                     f"string of at most {MAX_KEY_CHARS} characters")
+        trace = message.get("trace")
+        if trace is not None:
+            if not isinstance(trace, str) or not trace \
+                    or len(trace) > MAX_TRACE_CHARS:
+                raise ProtocolError(
+                    f"request {rid!r}: 'trace' must be a non-empty "
+                    f"string of at most {MAX_TRACE_CHARS} characters")
         return ScheduleRequest(
             id=rid, tenant=tenant, asm=asm, workload=workload,
             machine=str(message.get("machine", "generic")),
@@ -251,14 +282,18 @@ class ScheduleRequest:
             deadline_s=float(deadline) if deadline is not None else None,
             verify=bool(message.get("verify", False)),
             lenient=bool(message.get("lenient", False)),
-            chain=chain, key=key)
+            chain=chain, key=key, trace=trace)
 
 
 # -- response frame constructors --------------------------------------------
+#
+# Every constructor takes an optional ``trace`` -- the request's
+# client-minted trace id.  ``None`` keeps the frame byte-identical to
+# the untraced wire format; a string is echoed verbatim.
 
 
-def accepted_frame(rid: str, queue_depth: int,
-                   key: str | None = None) -> dict:
+def accepted_frame(rid: str, queue_depth: int, key: str | None = None,
+                   trace: str | None = None) -> dict:
     """The request passed admission and is queued/executing.
 
     ``key`` echoes the idempotency key the WAL recorded (the client's
@@ -269,35 +304,51 @@ def accepted_frame(rid: str, queue_depth: int,
              "protocol": PROTOCOL_VERSION, "queue_depth": queue_depth}
     if key is not None:
         frame["key"] = key
+    if trace is not None:
+        frame["trace"] = trace
     return frame
 
 
-def block_frame(rid: str, record: dict) -> dict:
+def block_frame(rid: str, record: dict,
+                trace: str | None = None) -> dict:
     """One completed block outcome (journal-record shape)."""
-    return {"type": "block", "id": rid, "block": record}
+    frame = {"type": "block", "id": rid, "block": record}
+    if trace is not None:
+        frame["trace"] = trace
+    return frame
 
 
-def shed_frame(rid: str, index: int, reason: str) -> dict:
+def shed_frame(rid: str, index: int, reason: str,
+               trace: str | None = None) -> dict:
     """One block the request will NOT schedule, and why."""
-    return {"type": "shed", "id": rid, "index": index,
-            "reason": reason}
+    frame = {"type": "shed", "id": rid, "index": index,
+             "reason": reason}
+    if trace is not None:
+        frame["trace"] = trace
+    return frame
 
 
-def done_frame(rid: str, summary: dict, deduped: bool = False) -> dict:
+def done_frame(rid: str, summary: dict, deduped: bool = False,
+               trace: str | None = None) -> dict:
     """Terminal success frame with the request accounting.
 
     ``deduped`` marks a response replayed from the WAL for a
-    previously finished idempotency key -- nothing was recomputed.
+    previously finished idempotency key -- nothing was recomputed, and
+    ``trace`` is the *original* request's id (the one the recorded
+    blocks carry), not a resend's.
     """
     frame = {"type": "done", "id": rid, "summary": summary}
     if deduped:
         frame["deduped"] = True
+    if trace is not None:
+        frame["trace"] = trace
     return frame
 
 
 def rejected_frame(rid: str | None, reason: str,
                    retry_after_s: float | None = None,
-                   detail: str | None = None) -> dict:
+                   detail: str | None = None,
+                   trace: str | None = None) -> dict:
     """Typed admission rejection (the 429 family)."""
     frame = {"type": "rejected", "id": rid, "code": 429,
              "reason": reason}
@@ -305,11 +356,16 @@ def rejected_frame(rid: str | None, reason: str,
         frame["retry_after_s"] = round(retry_after_s, 4)
     if detail:
         frame["detail"] = detail
+    if trace is not None:
+        frame["trace"] = trace
     return frame
 
 
 def error_frame(rid: str | None, error: str, message: str,
-                code: int = 400) -> dict:
+                code: int = 400, trace: str | None = None) -> dict:
     """Typed request failure (malformed input, parse error, ...)."""
-    return {"type": "error", "id": rid, "code": code, "error": error,
-            "message": message}
+    frame = {"type": "error", "id": rid, "code": code, "error": error,
+             "message": message}
+    if trace is not None:
+        frame["trace"] = trace
+    return frame

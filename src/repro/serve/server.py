@@ -27,6 +27,14 @@ Lifecycle contract (the tentpole's robustness surface):
 Tests and the in-process harnesses (`loadtest --in-process`, ``chaos
 --serve``) use :class:`BackgroundServer`, which runs the same server
 on a daemon thread and exposes programmatic ``drain()``.
+
+Telemetry: with ``telemetry=`` set, the daemon also serves the full
+metrics registry as Prometheus text exposition over a loopback-only
+HTTP listener (``GET /metrics``), including the
+:class:`~repro.obs.expo.RollingWindow` sliding-window aggregates
+(p50/p99 latency, queue depth, shed/reject rates).  The same payload
+is available over the NDJSON socket as the ``metrics`` op, which is
+what ``repro top`` polls.
 """
 
 from __future__ import annotations
@@ -49,17 +57,24 @@ from repro.machine.presets import (
     sparcstation2_like,
     superscalar2,
 )
+from repro.obs.expo import (
+    EXPOSITION_CONTENT_TYPE,
+    RollingWindow,
+    render_exposition,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     record_request,
     record_wal_dedup,
     record_wal_recovery,
 )
+from repro.obs.trace import Tracer
 from repro.runner.journal import read_snapshot, write_snapshot
 from repro.runner.supervisor import CircuitBreaker, RetryPolicy
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController
 from repro.serve.engine import (
+    cache_details,
     cache_stats,
     request_blocks,
     run_request,
@@ -143,6 +158,12 @@ class ServeConfig:
         columnar: serve every request on the structure-of-arrays fast
             path (numpy required; byte-identical frames and
             summaries).
+        telemetry: optional loopback HTTP listen address for the
+            Prometheus exposition endpoint (``GET /metrics``); same
+            accepted forms as ``address`` minus unix sockets.  When
+            set and no registry was supplied, the server creates one
+            so the endpoint is never empty.  None disables the
+            listener (the ``metrics`` op still answers).
     """
 
     address: str
@@ -169,6 +190,7 @@ class ServeConfig:
     snapshot_every: int = 8
     dedup_entries: int = 1024
     columnar: bool = False
+    telemetry: str | None = None
 
 
 @dataclass
@@ -250,9 +272,20 @@ class ReproServer:
     :class:`BackgroundServer`)."""
 
     def __init__(self, config: ServeConfig,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.config = config
+        if metrics is None and config.telemetry is not None:
+            # A telemetry endpoint with nothing behind it would scrape
+            # empty; give it a registry.
+            metrics = MetricsRegistry()
         self.metrics = metrics
+        self.tracer = tracer
+        self._tracer_lock = threading.Lock()
+        #: sliding-window request aggregates (p50/p99, shed/reject
+        #: rates, queue depth) behind the ``metrics`` op / endpoint
+        self.window = RollingWindow()
+        self._telemetry_server: asyncio.AbstractServer | None = None
         self.admission = AdmissionController(
             max_active=config.workers,
             max_queued=config.max_queued,
@@ -382,6 +415,7 @@ class ReproServer:
                 active.result_sheds[frame["index"]] = reason
                 self.stats.shed_by_reason[reason] = \
                     self.stats.shed_by_reason.get(reason, 0) + 1
+                self.window.observe_shed(1)
             else:
                 record = frame["block"]
                 active.result_blocks[record["index"]] = record
@@ -403,7 +437,9 @@ class ReproServer:
             "draining": snapshot["draining"],
             "occupancy": snapshot["occupancy"],
             "workers": self.config.workers,
+            "columnar": self.config.columnar,
             "cache": cache_stats(),
+            "cache_threads": cache_details(),
             "wal": {
                 "enabled": self.wal is not None,
                 "replayed": self.stats.wal_replayed,
@@ -432,6 +468,40 @@ class ReproServer:
                 "admission": self.admission.snapshot(),
                 "cache": cache_stats()}
 
+    def exposition_text(self) -> str:
+        """The full Prometheus exposition: registry + window + server.
+
+        Deterministic for a given server state; the ``--telemetry``
+        HTTP endpoint and the ``metrics`` op both serve exactly this
+        text.
+        """
+        parts = []
+        if self.metrics is not None:
+            parts.append(render_exposition(self.metrics.snapshot()))
+        parts.append(self.window.exposition())
+        snapshot = self.admission.snapshot()
+        server_lines = [
+            "# HELP repro_serve_uptime_seconds Daemon uptime.",
+            "# TYPE repro_serve_uptime_seconds gauge",
+            f"repro_serve_uptime_seconds "
+            f"{round(time.monotonic() - self._started, 3)}",
+            "# HELP repro_serve_occupancy Admitted requests running "
+            "or queued.",
+            "# TYPE repro_serve_occupancy gauge",
+            f"repro_serve_occupancy {snapshot['occupancy']}",
+            "# HELP repro_serve_draining 1 once drain has begun.",
+            "# TYPE repro_serve_draining gauge",
+            f"repro_serve_draining {int(snapshot['draining'])}",
+        ]
+        parts.append("\n".join(server_lines) + "\n")
+        return "".join(parts)
+
+    def _metrics_frame(self) -> dict:
+        return {"type": "metrics",
+                "content_type": EXPOSITION_CONTENT_TYPE,
+                "exposition": self.exposition_text(),
+                "window": self.window.snapshot()}
+
     # -- request execution --------------------------------------------------
 
     def _run_admitted(self, active: _Active, machine, blocks,
@@ -443,24 +513,37 @@ class ReproServer:
             request = dataclasses.replace(
                 request, deadline_s=self.config.default_deadline_s)
         cfg = self.config
-        return run_request(
-            request, machine, blocks, emit,
-            chain_names=cfg.chain,
-            block_wall_s=cfg.block_wall_s,
-            max_work=cfg.max_work,
-            cache=warm_cache(request.machine, cfg.cache_entries),
-            metrics=self.metrics,
-            breaker=self.breaker,
-            cancelled=lambda: active.cancel_reason
-            or (SHED_DRAIN if self._drain_forced else None),
-            jobs=cfg.jobs,
-            chaos=cfg.chaos,
-            retry=self._retry,
-            task_timeout=cfg.task_timeout,
-            quarantine_dir=cfg.quarantine_dir,
-            mem_limit_mb=cfg.mem_limit_mb,
-            completed=completed,
-            columnar=cfg.columnar)
+        # Each request records spans into a private tracer (the engine
+        # runs on an executor thread); the entries are absorbed into
+        # the server tracer afterwards under a lock, re-rooted, so
+        # concurrent requests never interleave writes.
+        private = Tracer(worker=request.id) \
+            if self.tracer is not None else None
+        try:
+            return run_request(
+                request, machine, blocks, emit,
+                chain_names=cfg.chain,
+                block_wall_s=cfg.block_wall_s,
+                max_work=cfg.max_work,
+                cache=warm_cache(request.machine, cfg.cache_entries),
+                metrics=self.metrics,
+                breaker=self.breaker,
+                cancelled=lambda: active.cancel_reason
+                or (SHED_DRAIN if self._drain_forced else None),
+                jobs=cfg.jobs,
+                chaos=cfg.chaos,
+                retry=self._retry,
+                task_timeout=cfg.task_timeout,
+                quarantine_dir=cfg.quarantine_dir,
+                mem_limit_mb=cfg.mem_limit_mb,
+                completed=completed,
+                columnar=cfg.columnar,
+                tracer=private)
+        finally:
+            if private is not None and private.entries:
+                with self._tracer_lock:
+                    self.tracer.absorb(private.entries,
+                                       worker=request.id)
 
     async def _replay_finished(self, writer, lock, rid: str, key: str,
                                entry: dict) -> None:
@@ -469,26 +552,33 @@ class ReproServer:
         Nothing is recomputed and nothing is charged to admission:
         the recorded blocks, sheds, and summary stream back with the
         ``done`` frame marked ``deduped`` (exactly-once results).
+        The frames echo the *original* request's trace id -- the one
+        the recorded block records carry -- not a resend's, so the id
+        that lived through the WAL is the id the client sees.
         """
         with self._stats_lock:
             self.stats.requests_deduped += 1
         if self.metrics is not None:
             record_wal_dedup(self.metrics)
+        trace = (entry.get("request") or {}).get("trace")
+        if trace is not None and not isinstance(trace, str):
+            trace = None
         status = entry.get("status", FINISHED_OK)
         if status == FINISHED_OK:
             for index in sorted(entry.get("blocks", {})):
                 await self._send(writer, lock, protocol.block_frame(
-                    rid, entry["blocks"][index]))
+                    rid, entry["blocks"][index], trace=trace))
             for index in sorted(entry.get("sheds", {})):
                 await self._send(writer, lock, protocol.shed_frame(
-                    rid, index, entry["sheds"][index]))
+                    rid, index, entry["sheds"][index], trace=trace))
             await self._send(writer, lock, protocol.done_frame(
-                rid, entry.get("summary", {}), deduped=True))
+                rid, entry.get("summary", {}), deduped=True,
+                trace=trace))
         else:
             await self._send(writer, lock, protocol.error_frame(
                 rid, f"previous-attempt-{status}",
                 f"idempotency key {key!r} already finished with "
-                f"status {status!r}", code=500))
+                f"status {status!r}", code=500, trace=trace))
 
     async def _handle_schedule(self, message: dict,
                                writer: asyncio.StreamWriter,
@@ -499,7 +589,7 @@ class ReproServer:
             await self._send(writer, lock, protocol.error_frame(
                 request.id, "unknown-machine",
                 f"unknown machine {request.machine!r}; known: "
-                f"{sorted(MACHINE_PRESETS)}"))
+                f"{sorted(MACHINE_PRESETS)}", trace=request.trace))
             return
         key = request.key or f"auto-{uuid.uuid4().hex}"
         finished = self._finished.get(key)
@@ -511,10 +601,11 @@ class ReproServer:
         if key in self._inflight_keys:
             self.admission.note_rejection(request.tenant,
                                           REJECT_DUPLICATE)
+            self.window.observe_rejection()
             await self._send(writer, lock, protocol.rejected_frame(
                 request.id, REJECT_DUPLICATE,
                 detail=f"idempotency key {key!r} is already "
-                       f"executing"))
+                       f"executing", trace=request.trace))
             return
         # Reserve the key before the first await so two pipelined
         # duplicates cannot both pass the checks above.
@@ -532,21 +623,26 @@ class ReproServer:
             except RequestRejected as exc:
                 self.admission.note_rejection(request.tenant,
                                               exc.reason)
+                self.window.observe_rejection()
                 await self._send(writer, lock, protocol.rejected_frame(
                     request.id, exc.reason,
-                    retry_after_s=exc.retry_after_s, detail=str(exc)))
+                    retry_after_s=exc.retry_after_s, detail=str(exc),
+                    trace=request.trace))
                 return
             except ReproError as exc:
                 await self._send(writer, lock, protocol.error_frame(
-                    request.id, type(exc).__name__, str(exc)))
+                    request.id, type(exc).__name__, str(exc),
+                    trace=request.trace))
                 return
             try:
                 ticket = self.admission.admit(request.tenant,
                                               len(blocks))
             except RequestRejected as exc:
+                self.window.observe_rejection()
                 await self._send(writer, lock, protocol.rejected_frame(
                     request.id, exc.reason,
-                    retry_after_s=exc.retry_after_s, detail=str(exc)))
+                    retry_after_s=exc.retry_after_s, detail=str(exc),
+                    trace=request.trace))
                 return
             wal_message = dict(message)
             wal_message["key"] = key
@@ -584,9 +680,11 @@ class ReproServer:
             await loop.run_in_executor(
                 None, self.wal.log_accepted, key, wal_message,
                 len(blocks))
+        self.window.observe_queue_depth(self.admission.occupancy)
         if writer is not None:
             await self._send(writer, lock, protocol.accepted_frame(
-                request.id, self.admission.occupancy, key))
+                request.id, self.admission.occupancy, key,
+                trace=request.trace))
 
         skip_wal = frozenset(completed or ())
 
@@ -623,6 +721,23 @@ class ReproServer:
 
         machine = MACHINE_PRESETS[request.machine]()
         status = "ok"
+        accounted = False
+
+        def account_terminal(terminal_status: str) -> None:
+            # Runs before the terminal frame leaves: a client that
+            # scrapes the telemetry endpoint the instant it sees
+            # ``done`` must find the request already counted in both
+            # the registry and the sliding window.
+            nonlocal accounted
+            if accounted:
+                return
+            accounted = True
+            elapsed = time.monotonic() - active.t0
+            self.window.observe_request(terminal_status, elapsed)
+            if self.metrics is not None:
+                record_request(self.metrics, request.tenant,
+                               terminal_status, elapsed)
+
         try:
             summary = await loop.run_in_executor(
                 self._executor, self._run_admitted, active, machine,
@@ -634,13 +749,16 @@ class ReproServer:
             self._remember_finished(key, {
                 "status": FINISHED_OK, "summary": summary,
                 "blocks": dict(active.result_blocks),
-                "sheds": dict(active.result_sheds)})
+                "sheds": dict(active.result_sheds),
+                "request": dict(wal_message)})
+            with self._stats_lock:
+                self.stats.requests_completed += 1
+            account_terminal("ok")
             if writer is not None:
                 await self._send(writer, lock,
                                  protocol.done_frame(request.id,
-                                                     summary))
-            with self._stats_lock:
-                self.stats.requests_completed += 1
+                                                     summary,
+                                                     trace=request.trace))
         except ReproError as exc:
             status = "error"
             # The request dies but its unprocessed blocks must not
@@ -649,7 +767,8 @@ class ReproServer:
             for block in blocks:
                 if block.index not in done:
                     frame = protocol.shed_frame(
-                        request.id, block.index, "error")
+                        request.id, block.index, "error",
+                        trace=request.trace)
                     if self.wal is not None \
                             and block.index not in skip_wal:
                         self.wal.log_shed(key, block.index, "error")
@@ -661,20 +780,20 @@ class ReproServer:
             self._remember_finished(key, {
                 "status": FINISHED_ERROR,
                 "summary": {"error": str(exc)},
-                "blocks": {}, "sheds": {}})
+                "blocks": {}, "sheds": {},
+                "request": dict(wal_message)})
             with self._stats_lock:
                 self.stats.requests_errored += 1
+            account_terminal("error")
             if writer is not None:
                 await self._send(writer, lock, protocol.error_frame(
                     request.id, type(exc).__name__, str(exc),
-                    code=500))
+                    code=500, trace=request.trace))
         finally:
             self._active.discard(active)
             if active.ticket is not None:
                 active.ticket.release()
-            if self.metrics is not None:
-                record_request(self.metrics, request.tenant, status,
-                               time.monotonic() - active.t0)
+            account_terminal(status)
             if self.config.wal_dir is not None:
                 with self._stats_lock:
                     n_done = (self.stats.requests_completed
@@ -771,6 +890,9 @@ class ReproServer:
                     elif op == "stats":
                         await self._send(writer, lock,
                                          self._stats_frame())
+                    elif op == "metrics":
+                        await self._send(writer, lock,
+                                         self._metrics_frame())
                     elif op == "schedule":
                         # Run as a task so the reader keeps consuming
                         # (pipelined requests; disconnects detected).
@@ -798,6 +920,66 @@ class ReproServer:
             except (ConnectionError, OSError):
                 pass
 
+    # -- telemetry HTTP endpoint --------------------------------------------
+
+    async def _handle_telemetry(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """One scrape: a minimal HTTP/1.0-style GET handler.
+
+        Serves ``/metrics`` (Prometheus exposition) and ``/healthz``
+        (the health frame as JSON).  One response per connection
+        (``Connection: close``) -- scrapers poll, they don't pipeline.
+        """
+        import json as _json
+        try:
+            request_line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=5.0)
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain headers
+                header = await asyncio.wait_for(reader.readline(),
+                                                timeout=5.0)
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            if not parts or parts[0] != "GET":
+                status, ctype, body = ("405 Method Not Allowed",
+                                       "text/plain", b"GET only\n")
+            elif path in ("/metrics", "/"):
+                status = "200 OK"
+                ctype = EXPOSITION_CONTENT_TYPE
+                body = self.exposition_text().encode("utf-8")
+            elif path == "/healthz":
+                status = "200 OK"
+                ctype = "application/json"
+                body = (_json.dumps(self._health_frame(),
+                                    sort_keys=True) + "\n").encode()
+            else:
+                status, ctype, body = ("404 Not Found", "text/plain",
+                                       b"try /metrics or /healthz\n")
+            writer.write((f"HTTP/1.0 {status}\r\n"
+                          f"Content-Type: {ctype}\r\n"
+                          f"Content-Length: {len(body)}\r\n"
+                          f"Connection: close\r\n\r\n").encode())
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError,
+                UnicodeDecodeError):
+            pass  # a broken scraper is its own problem
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def bound_telemetry_address(self) -> str | None:
+        """The telemetry endpoint's concrete host:port, or None."""
+        if self._telemetry_server is None:
+            return None
+        host, port = \
+            self._telemetry_server.sockets[0].getsockname()[:2]
+        return f"{host}:{port}"
+
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
@@ -815,6 +997,17 @@ class ReproServer:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=parsed[1],
                 port=parsed[2], limit=MAX_LINE_BYTES)
+        if self.config.telemetry is not None:
+            # Same loopback-only enforcement as the main listener; a
+            # unix path would technically work but scrapers speak TCP.
+            tparsed = parse_address(self.config.telemetry, bind=True)
+            if tparsed[0] != "tcp":
+                raise ReproError(
+                    f"telemetry address must be TCP "
+                    f"(host:port or port), got {self.config.telemetry!r}")
+            self._telemetry_server = await asyncio.start_server(
+                self._handle_telemetry, host=tparsed[1],
+                port=tparsed[2])
         self.ready_event.set()
         if self._recovered:
             # Replay accepted-but-unfinished WAL work behind the
@@ -883,6 +1076,9 @@ class ReproServer:
                                           {"abandoned": True})
         self._server.close()
         await self._server.wait_closed()
+        if self._telemetry_server is not None:
+            self._telemetry_server.close()
+            await self._telemetry_server.wait_closed()
         # Hang up on idle clients so their handlers unwind cleanly
         # (readline sees EOF) instead of being cancelled with the
         # loop.
@@ -932,8 +1128,10 @@ class BackgroundServer:
     """
 
     def __init__(self, config: ServeConfig,
-                 metrics: MetricsRegistry | None = None) -> None:
-        self.server = ReproServer(config, metrics=metrics)
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.server = ReproServer(config, metrics=metrics,
+                                  tracer=tracer)
         self._thread = threading.Thread(
             target=self._main, name="repro-serve-loop", daemon=True)
         self._error: BaseException | None = None

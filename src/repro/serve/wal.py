@@ -19,6 +19,14 @@ Record types (all v2 CRC frames from :mod:`repro.runner.journal`):
 * ``finished`` -- key, terminal status (``ok`` / ``error`` /
   ``abandoned``) and summary.
 
+Request tracing rides along for free: a traced request's ``accepted``
+record carries the client-minted ``trace`` id inside its stored
+request message, and every ``block-done`` record's block dict is
+stamped with the same id by the engine -- so a post-mortem WAL read
+(or ``repro fsck``) can attribute every fsynced block to the exact
+client request that caused it.  Records from before the field
+existed have no ``trace`` key and replay unchanged.
+
 Recovery (:meth:`WriteAheadLog.open`) replays the log into a
 :class:`WalRecovery`: finished keys become the dedup index (resending
 a finished key streams the recorded result -- exactly-once results),

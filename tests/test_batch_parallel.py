@@ -186,7 +186,7 @@ class TestBench:
         assert doc["builders"]["bitmap-backward"][
             "bitmap_words_touched"] > 0
         assert doc["heuristics"]["incremental"]["arcs_repaired"] > 0
-        out = tmp_path / "BENCH_pr3.json"
+        out = tmp_path / "bench.json"
         write_bench(doc, str(out))
         assert json.loads(out.read_text()) == doc
 

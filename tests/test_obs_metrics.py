@@ -46,7 +46,7 @@ class TestGauge:
 
     def test_last_aggregation(self):
         reg = MetricsRegistry()
-        g = reg.gauge("state", "s", agg="last")
+        g = reg.gauge("state", "s", volatile=True, agg="last")
         g.set(3)
         g.set(1)
         assert reg.value("state") == 1
@@ -54,6 +54,13 @@ class TestGauge:
     def test_unknown_agg_rejected(self):
         with pytest.raises(ValueError):
             MetricsRegistry().gauge("g", "g", agg="sum")
+
+    def test_stable_last_gauge_rejected(self):
+        # agg="last" is merge-order dependent, so a stable (snapshot-
+        # diffed) gauge may not use it: --jobs 4 could then legally
+        # diverge from --jobs 1.
+        with pytest.raises(ValueError, match="volatile"):
+            MetricsRegistry().gauge("g", "g", agg="last")
 
 
 class TestHistogram:

@@ -1,0 +1,105 @@
+"""Deterministic work profiler: counter attribution, not sampling.
+
+The profiler's whole claim is determinism: stacks are built from the
+builders' own work counters (comparisons, table probes, bitmap words,
+heuristic visits), so two runs -- serial or ``--jobs N`` -- produce
+byte-identical collapsed output.  These tests pin that, plus the
+collapsed-stack and Markdown export formats.
+"""
+
+import pytest
+
+from repro.asm import parse_asm
+from repro.cfg import apply_window, partition_blocks
+from repro.errors import ReproError
+from repro.obs.profile import (
+    BUILD_COUNTERS,
+    PROFILE_KERNELS,
+    WorkProfile,
+    profile_block,
+    profile_workload,
+    write_profile,
+)
+from repro.workloads import kernel_source
+
+
+def small_block():
+    program = parse_asm(kernel_source("daxpy"), name="daxpy")
+    return apply_window(partition_blocks(program), 16)[0]
+
+
+class TestWorkProfile:
+    def test_add_and_merge_commutative(self):
+        a = WorkProfile()
+        a.add(("k", "b", "build", "comparisons"), 3)
+        b = WorkProfile()
+        b.add(("k", "b", "build", "comparisons"), 4)
+        b.add(("k", "b2", "schedule", "instructions_issued"), 1)
+        a.merge(b.stacks)
+        assert a.stacks[("k", "b", "build", "comparisons")] == 7
+        assert a.total() == 8
+
+    def test_collapsed_format_sorted(self):
+        p = WorkProfile()
+        p.add(("z", "b", "build", "c"), 1)
+        p.add(("a", "b", "build", "c"), 2)
+        lines = p.collapsed().splitlines()
+        assert lines == ["a;b;build;c 2", "z;b;build;c 1"]
+
+    def test_markdown_tables(self):
+        p = WorkProfile()
+        p.add(("daxpy", "n2", "build", "comparisons"), 10)
+        p.add(("daxpy", "n2", "heuristics", "node_visits"), 4)
+        md = p.markdown()
+        assert "| builder |" in md
+        assert "n2" in md and "daxpy" in md
+
+
+class TestProfileBlock:
+    def test_phases_and_counters_present(self):
+        from repro.machine.presets import generic_risc
+        leaves = profile_block("daxpy", small_block(), generic_risc(),
+                               builders=("n2",))
+        phases = {stack[2] for stack in leaves}
+        assert phases == {"build", "heuristics", "schedule"}
+        counters = {stack[3] for stack in leaves
+                    if stack[2] == "build"}
+        assert counters <= set(BUILD_COUNTERS) | {"words_touched"}
+        assert leaves[("daxpy", "n2", "heuristics", "node_visits")] > 0
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ReproError):
+            profile_workload("not-a-machine", copies=1)
+
+
+class TestDeterminism:
+    def test_jobs_1_vs_2_byte_identical(self):
+        serial = profile_workload(copies=2, jobs=1)
+        parallel = profile_workload(copies=2, jobs=2)
+        assert serial.collapsed() == parallel.collapsed()
+        assert serial.collapsed()  # non-empty
+
+    def test_repeat_runs_identical(self):
+        assert profile_workload(copies=2, jobs=1).collapsed() \
+            == profile_workload(copies=2, jobs=1).collapsed()
+
+    def test_covers_all_profile_kernels(self):
+        profile = profile_workload(copies=2, jobs=1)
+        workloads = {stack[0] for stack in profile.stacks}
+        assert workloads == set(PROFILE_KERNELS)
+
+
+class TestExport:
+    def test_write_profile_files(self, tmp_path):
+        profile = profile_workload(copies=2, jobs=1,
+                                   builders=("n2",))
+        collapsed = tmp_path / "p.collapsed"
+        md = tmp_path / "p.md"
+        write_profile(profile, str(collapsed), str(md))
+        body = collapsed.read_text()
+        # flamegraph.pl format: "frame;frame;... count" per line
+        for line in body.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 0
+            assert len(stack.split(";")) == 4
+        assert md.read_text().startswith("#")
