@@ -63,6 +63,7 @@ MODULES = [
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.report",
     "repro.obs.expo", "repro.obs.profile",
     "repro.serve.protocol", "repro.serve.admission",
+    "repro.serve.overload",
     "repro.serve.engine", "repro.serve.server",
     "repro.serve.wal", "repro.serve.supervise",
     "repro.serve.loadtest", "repro.serve.chaosserve",

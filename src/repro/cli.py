@@ -364,6 +364,25 @@ def _cmd_chaos_serve(args: argparse.Namespace,
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_storm(args: argparse.Namespace,
+                     out: Callable[[str], None]) -> int:
+    from repro.serve.chaosserve import (
+        StormChaosConfig,
+        render_storm_chaos_report,
+        run_storm_chaos,
+    )
+    tracer, registry = _obs_from_args(args)
+    config = StormChaosConfig(
+        seed=args.seed,
+        requests=16 if args.quick else 48,
+        hog_mb=32 if args.quick else 48,
+        cooldown_s=20.0 if args.quick else 30.0)
+    report = run_storm_chaos(config, metrics=registry)
+    out(render_storm_chaos_report(report))
+    _write_obs(args, tracer, registry)
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos_kill_daemon(args: argparse.Namespace,
                            out: Callable[[str], None]) -> int:
     from repro.serve.chaosserve import (
@@ -387,6 +406,10 @@ def _cmd_chaos(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         if not args.serve:
             raise ReproError("--kill-daemon requires --serve")
         return _cmd_chaos_kill_daemon(args, out)
+    if args.storm:
+        if not args.serve:
+            raise ReproError("--storm requires --serve")
+        return _cmd_chaos_storm(args, out)
     if args.serve:
         return _cmd_chaos_serve(args, out)
     machine = MACHINES[args.machine]()
@@ -486,9 +509,15 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     from repro.serve.server import ReproServer, ServeConfig
     if args.supervised:
         return _cmd_serve_supervised(args, out)
+    from repro.serve.overload import OverloadConfig
     tracer, registry = _obs_from_args(args)
     chain = (tuple(p.strip() for p in args.chain.split(",") if p.strip())
              if args.chain else None)
+    overload = None
+    if not args.no_overload:
+        overload = OverloadConfig(
+            rss_budget_mb=args.rss_budget_mb,
+            priority_tenants=tuple(args.priority_tenant or ()))
     config = ServeConfig(
         address=args.address,
         workers=args.workers,
@@ -509,7 +538,8 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         quarantine_dir=args.quarantine_dir,
         wal_dir=args.wal_dir,
         columnar=args.columnar,
-        telemetry=args.telemetry)
+        telemetry=args.telemetry,
+        overload=overload)
     server = ReproServer(config, metrics=registry, tracer=tracer)
     out(f"! serve: listening on {args.address} "
         f"({args.workers} workers, queue {args.max_queued}, "
@@ -559,18 +589,22 @@ def _cmd_loadtest(args: argparse.Namespace,
         deadline_s=args.deadline,
         deadline_fraction=args.deadline_fraction,
         machine=args.machine,
-        idempotency_retry=args.idempotency_retry)
+        idempotency_retry=args.idempotency_retry,
+        storm=args.storm)
     report = run_loadtest(config, metrics=registry)
     out(render_loadtest_report(report))
     _write_obs(args, tracer, registry)
     # Silent loss anywhere voids the report: every request must have
     # reached a typed terminal frame.  With --idempotency-retry, a
     # single re-executed duplicate key also fails the run -- the
-    # exactly-once result contract admits no partial credit.
+    # exactly-once result contract admits no partial credit.  With
+    # --storm, a ladder that never came back to L0 is a failure too.
     accounted = (report.completed + report.rejected + report.errored
                  == report.sent)
+    recovered = (report.storm is None
+                 or bool(report.storm.get("recovered")))
     return (0 if accounted and report.errored == 0
-            and report.duplicate_results == 0 else 1)
+            and report.duplicate_results == 0 and recovered else 1)
 
 
 def _cmd_fsck(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -1089,6 +1123,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--storm-rate", type=float, default=0.25,
                        help="(--serve) probability a request carries "
                             "a too-small deadline")
+    chaos.add_argument("--storm", action="store_true",
+                       help="(--serve) overload storm: flood a tiny "
+                            "daemon with mixed-priority traffic while "
+                            "an in-process memory hog inflates its "
+                            "RSS; asserts the daemon survives, block "
+                            "accounting stays exact, priority "
+                            "tenants' error budget holds, and the "
+                            "degradation ladder returns to L0")
     chaos.add_argument("--kill-daemon", action="store_true",
                        help="(--serve) SIGKILL the daemon itself at "
                             "seeded instants under a real supervisor; "
@@ -1188,6 +1230,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "Prometheus text exposition format, "
                             "GET /healthz) at HOST:PORT or PORT; "
                             "implies a live metrics registry")
+    serve.add_argument("--no-overload", action="store_true",
+                       help="disable the adaptive overload ladder "
+                            "(pressure sentinel + degradation "
+                            "levels; see docs/overload.md)")
+    serve.add_argument("--rss-budget-mb", type=float, default=None,
+                       metavar="MB",
+                       help="RSS pressure budget for the overload "
+                            "ladder (unset: RSS is not a pressure "
+                            "signal)")
+    serve.add_argument("--priority-tenant", action="append",
+                       default=None, metavar="TENANT",
+                       help="tenant kept flowing at degradation "
+                            "level L3 (repeatable; tenants named "
+                            "'priority*' are priority class by "
+                            "convention)")
     serve.add_argument("--supervised", action="store_true",
                        help="run under a self-healing parent that "
                             "restarts a crashed daemon with "
@@ -1261,6 +1318,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "result rate must be exactly 0, else "
                                "exit 1).  Requires the daemon to run "
                                "with --wal-dir")
+    loadtest.add_argument("--storm", action="store_true",
+                          help="overload storm mode: flood the "
+                               "daemon with mixed-priority traffic "
+                               "and report SLOs split by priority "
+                               "class plus the degradation-ladder "
+                               "trajectory (max level, transitions, "
+                               "recovery to L0; non-recovery exits "
+                               "1)")
     loadtest.set_defaults(handler=_cmd_loadtest)
 
     top = sub.add_parser("top",

@@ -189,6 +189,23 @@ class PairwiseCache:
             self._entries.move_to_end(key)
         return entry
 
+    def resize(self, max_entries: int) -> None:
+        """Change the LRU cap, evicting oldest entries if shrinking.
+
+        The serve engine clamps warm caches under overload pressure
+        and restores them afterwards; counters are untouched.
+        """
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (emergency memory release); counters
+        survive so hit-rate history stays honest."""
+        self._entries.clear()
+
     def info(self) -> dict[str, int]:
         """Hit/miss/occupancy counters for reports and benchmarks."""
         return {"hits": self.hits, "misses": self.misses,

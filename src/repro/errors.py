@@ -197,8 +197,9 @@ class RequestRejected(ServeError):
 
     Attributes:
         reason: rejection code ("queue-full", "rate-limited",
-            "tenant-budget-exhausted", "draining", or
-            "request-too-large").
+            "tenant-budget-exhausted", "draining",
+            "request-too-large", "duplicate-in-flight", or
+            "overload").
         retry_after_s: seconds after which a retry may be admitted
             (None when retrying cannot help, e.g. an exhausted tenant
             work budget).

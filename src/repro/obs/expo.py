@@ -281,6 +281,50 @@ class RollingWindow:
                 return float(bound)
         return float(self.latency_bounds[-1])
 
+    def completion_rate_rps(self) -> float:
+        """Request terminations per second over the live window.
+
+        A cheap accessor (no latency-histogram aggregation) for hot
+        callers: the admission controller derives honest
+        ``retry_after_s`` hints from it on every queue-full or
+        overload rejection.
+        """
+        with self._lock:
+            count = sum(b["count"] for b in self._live(self._clock()))
+        return count / self.window_s
+
+    def recent(self, horizon_s: float | None = None) -> dict:
+        """Short-horizon aggregates for overload control.
+
+        The full window answers dashboard questions ("the last
+        minute"); a degradation ladder needs signals that *decay*
+        once pressure stops, or it cannot descend until old buckets
+        expire.  This aggregates only the buckets inside
+        ``horizon_s`` (default: three buckets, 15s at the default
+        geometry) -- p99 and queue depth over the recent past.
+        """
+        with self._lock:
+            now = self._clock()
+            if horizon_s is None:
+                horizon_s = 3 * self.bucket_s
+            n = max(1, min(self.n_buckets,
+                           int(round(horizon_s / self.bucket_s))))
+            floor = int(now // self.bucket_s) - n + 1
+            live = [b for b in self._buckets if b["epoch"] >= floor]
+            count = sum(b["count"] for b in live)
+            bins = [0] * (len(self.latency_bounds) + 1)
+            for b in live:
+                for i, v in enumerate(b["bins"]):
+                    bins[i] += v
+            depth = max((b["queue_depth_max"] for b in live),
+                        default=0)
+        return {
+            "horizon_s": n * self.bucket_s,
+            "requests": count,
+            "queue_depth_max": depth,
+            "p99_s": self._quantile(bins, count, 0.99),
+        }
+
     def snapshot(self) -> dict:
         """Aggregate the live window into one summary dict."""
         with self._lock:

@@ -693,12 +693,19 @@ def record_shed_blocks(metrics: MetricsRegistry | None, n: int,
 
 def record_queue_depth(metrics: MetricsRegistry | None,
                        depth: int) -> None:
-    """Record the admission queue depth at one observation point."""
+    """Record the admission queue depth at one observation point.
+
+    ``agg="last"`` matters: with the default max aggregation the
+    gauge would latch at its all-time peak and read as permanent
+    saturation after any burst.  The scrape sees the most recent
+    occupancy; per-window peaks come from the telemetry window.
+    """
     if metrics is None:
         return
     metrics.gauge("repro_queue_depth_max",
-                  "Deepest observed request queue (admitted, not yet "
-                  "executing).", volatile=True).set(depth)
+                  "Request queue occupancy (admitted, not yet "
+                  "finished) at the last observation.",
+                  volatile=True, agg="last").set(depth)
 
 
 def record_deadline(metrics: MetricsRegistry | None,
@@ -761,6 +768,45 @@ def record_wal_recovery(metrics: MetricsRegistry | None,
                     "Accepted-but-unfinished requests re-enqueued "
                     "from the WAL across daemon restarts.",
                     volatile=True).inc(recovered)
+
+
+def record_overload_transition(metrics: MetricsRegistry | None,
+                               from_level: str, to_level: str,
+                               direction: str) -> None:
+    """Record one degradation-ladder transition.
+
+    The live level itself is exported as the hand-built
+    ``repro_overload_level`` gauge in the server's exposition (it
+    must exist even when no registry does), so only the transition
+    counter lives here.
+
+    Args:
+        metrics: the registry (None = off).
+        from_level / to_level: level names (e.g. "normal",
+            "brownout").
+        direction: "ascend" or "descend".
+    """
+    if metrics is None:
+        return
+    metrics.counter("repro_overload_transitions_total",
+                    "Degradation-ladder transitions by source, "
+                    "target, and direction.",
+                    labels=("from", "to", "direction"),
+                    volatile=True).inc(
+        1, **{"from": from_level, "to": to_level,
+              "direction": direction})
+
+
+def record_overload_rejection(metrics: MetricsRegistry | None,
+                              tenant_class: str) -> None:
+    """Record one typed ``overload`` rejection by tenant class."""
+    if metrics is None:
+        return
+    metrics.counter("repro_overload_rejections_total",
+                    "Requests shed by the degradation ladder, by "
+                    "tenant priority class.",
+                    labels=("tenant_class",), volatile=True).inc(
+        1, tenant_class=tenant_class)
 
 
 def record_wal_dedup(metrics: MetricsRegistry | None) -> None:

@@ -335,6 +335,35 @@ def _durability(snapshot: dict | None) -> dict | None:
     }
 
 
+def _overload(snapshot: dict | None) -> dict | None:
+    """Overload-ladder summary: transitions and typed rejections.
+
+    Returns None when the snapshot carries no overload metrics (the
+    ladder never moved and nothing was shed), so existing reports
+    keep their shape.
+    """
+    transitions = _values(snapshot, "repro_overload_transitions_total")
+    rejections = _values(snapshot, "repro_overload_rejections_total")
+    if not transitions and not rejections:
+        return None
+    ascents = sum(v for k, v in transitions.items()
+                  if "direction=ascend" in k)
+    descents = sum(v for k, v in transitions.items()
+                   if "direction=descend" in k)
+    by_class = {}
+    for key, value in rejections.items():
+        if key.startswith("tenant_class="):
+            by_class[key[len("tenant_class="):]] = value
+    return {
+        "ladder transitions": sum(transitions.values()),
+        "ascents": ascents,
+        "descents": descents,
+        "overload rejections": sum(rejections.values()),
+        "best-effort rejections": by_class.get("best-effort", 0),
+        "priority rejections": by_class.get("priority", 0),
+    }
+
+
 def report_from(blocks: list[dict] | None = None,
                 snapshot: dict | None = None) -> dict:
     """Build the full report document from either or both inputs.
@@ -361,6 +390,7 @@ def report_from(blocks: list[dict] | None = None,
         "degradations": _degradations(blocks),
         "resilience": _resilience(blocks, snapshot),
         "durability": _durability(snapshot),
+        "overload": _overload(snapshot),
         "cache": _cache(snapshot),
     }
 
@@ -478,6 +508,13 @@ def render_markdown(report: dict) -> str:
         lines += ["## Durability", ""]
         lines += _md_table(["quantity", "value"],
                            [[k, durability[k]] for k in durability])
+        lines.append("")
+
+    overload = report.get("overload")
+    if overload:
+        lines += ["## Overload", ""]
+        lines += _md_table(["quantity", "value"],
+                           [[k, overload[k]] for k in overload])
         lines.append("")
 
     cache = report.get("cache")

@@ -34,15 +34,29 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import RequestRejected
-from repro.obs.metrics import MetricsRegistry, record_queue_depth, record_rejection
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_overload_rejection,
+    record_queue_depth,
+    record_rejection,
+)
 from repro.runner.watchdog import Budget
+from repro.serve.overload import (
+    L_EMERGENCY,
+    L_PRIORITIZED_SHED,
+    is_priority_tenant,
+)
 from repro.serve.protocol import (
     REJECT_BUDGET,
     REJECT_DRAINING,
+    REJECT_OVERLOAD,
     REJECT_QUEUE_FULL,
     REJECT_RATE_LIMITED,
     REJECT_TOO_LARGE,
 )
+
+#: retry hint used when the telemetry window has no completions yet
+FALLBACK_RETRY_AFTER_S = 0.05
 
 
 class TokenBucket:
@@ -153,6 +167,18 @@ class AdmissionController:
         metrics: optional registry; rejections and queue depth are
             recorded as they happen.
         clock: injectable monotonic clock (tests).
+        priority_tenants: tenant names in the ``priority`` class --
+            kept flowing at degradation level L3 while best-effort
+            tenants are shed (names starting with ``"priority"`` are
+            priority regardless; see
+            :func:`repro.serve.overload.is_priority_tenant`).
+        overload_level: callable returning the degradation ladder's
+            active level (None = no ladder; everything admits as L0).
+        completion_rate: callable returning the telemetry window's
+            observed request completions/second; rejections derive
+            their ``retry_after_s`` hints from it (None or an empty
+            window falls back to
+            :data:`FALLBACK_RETRY_AFTER_S`).
     """
 
     def __init__(self,
@@ -163,7 +189,10 @@ class AdmissionController:
                  tenant_max_blocks: int | None = None,
                  max_request_blocks: int = 10_000,
                  metrics: MetricsRegistry | None = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 priority_tenants: frozenset[str] = frozenset(),
+                 overload_level=None,
+                 completion_rate=None) -> None:
         if max_active < 1:
             raise ValueError(f"max_active must be >= 1, got {max_active}")
         if max_queued < 0:
@@ -176,6 +205,9 @@ class AdmissionController:
         self.max_request_blocks = max_request_blocks
         self.metrics = metrics
         self._clock = clock
+        self.priority_tenants = frozenset(priority_tenants)
+        self._overload_level = overload_level
+        self._completion_rate = completion_rate
         self._lock = threading.Lock()
         self._occupancy = 0
         self._occupancy_high_water = 0
@@ -222,7 +254,33 @@ class AdmissionController:
             ticket.released = True
             self._occupancy = max(0, self._occupancy - 1)
 
+    def _level(self) -> int:
+        return self._overload_level() \
+            if self._overload_level is not None else 0
+
+    def _retry_hint(self) -> float:
+        """An honest ``retry_after_s``: time for one slot to free.
+
+        Derived from the telemetry window's observed completion rate
+        (one completion frees one slot, so the expected wait is its
+        reciprocal), clamped to [fallback, 30s]; the fixed fallback
+        covers the empty window at boot.
+        """
+        rate = None
+        if self._completion_rate is not None:
+            rate = self._completion_rate()
+        if not rate or rate <= 0:
+            return FALLBACK_RETRY_AFTER_S
+        return round(min(30.0, max(FALLBACK_RETRY_AFTER_S,
+                                   1.0 / rate)), 4)
+
     # -- public surface -----------------------------------------------------
+
+    def priority_class(self, tenant: str) -> str:
+        """``"priority"`` or ``"best-effort"`` for one tenant."""
+        return "priority" \
+            if is_priority_tenant(tenant, self.priority_tenants) \
+            else "best-effort"
 
     def start_drain(self) -> None:
         """Stop admitting; subsequent admits reject with ``draining``."""
@@ -266,6 +324,8 @@ class AdmissionController:
         with self._lock:
             if self._draining:
                 return (False, REJECT_DRAINING)
+            if self._level() >= L_EMERGENCY:
+                return (False, REJECT_OVERLOAD)
             if self._occupancy >= self.max_active + self.max_queued:
                 return (False, REJECT_QUEUE_FULL)
             return (True, None)
@@ -285,6 +345,24 @@ class AdmissionController:
             if self._draining:
                 raise self._reject(state, tenant, REJECT_DRAINING,
                                    detail="server is shutting down")
+            level = self._level()
+            if level >= L_EMERGENCY:
+                # L4: admit nothing; in-flight requests finish.
+                record_overload_rejection(
+                    self.metrics, self.priority_class(tenant))
+                raise self._reject(
+                    state, tenant, REJECT_OVERLOAD,
+                    retry_after_s=self._retry_hint(),
+                    detail="emergency degradation: admitting nothing")
+            if level >= L_PRIORITIZED_SHED \
+                    and self.priority_class(tenant) != "priority":
+                # L3: shed best-effort tenants, keep priority flowing.
+                record_overload_rejection(self.metrics, "best-effort")
+                raise self._reject(
+                    state, tenant, REJECT_OVERLOAD,
+                    retry_after_s=self._retry_hint(),
+                    detail="prioritized shed: best-effort tenants "
+                           "are deferred")
             if n_blocks > self.max_request_blocks:
                 raise self._reject(
                     state, tenant, REJECT_TOO_LARGE,
@@ -293,7 +371,7 @@ class AdmissionController:
             if self._occupancy >= self.max_active + self.max_queued:
                 raise self._reject(
                     state, tenant, REJECT_QUEUE_FULL,
-                    retry_after_s=0.05,
+                    retry_after_s=self._retry_hint(),
                     detail=f"{self._occupancy} requests in flight")
             remaining = state.budget_remaining()
             if remaining is not None and n_blocks > remaining:
@@ -312,8 +390,11 @@ class AdmissionController:
             self._occupancy_high_water = max(self._occupancy_high_water,
                                              self._occupancy)
             if self.metrics is not None:
-                record_queue_depth(self.metrics,
-                                   self._occupancy_high_water)
+                # The gauge gets the *current* occupancy -- feeding it
+                # the monotone high-water mark froze the telemetry
+                # window's queue_depth_max at its all-time peak after
+                # any burst.  High water stays its own snapshot stat.
+                record_queue_depth(self.metrics, self._occupancy)
             return AdmissionTicket(controller=self, tenant=tenant,
                                    n_blocks=n_blocks)
 
@@ -375,15 +456,18 @@ class AdmissionController:
         with self._lock:
             return {
                 "occupancy": self._occupancy,
+                "occupancy_high_water": self._occupancy_high_water,
                 "max_active": self.max_active,
                 "max_queued": self.max_queued,
                 "draining": self._draining,
+                "overload_level": self._level(),
                 "admitted_total": self.admitted_total,
                 "rejected_total": self.rejected_total,
                 "rejections_by_reason": dict(sorted(
                     self.rejections_by_reason.items())),
                 "tenants": {
                     name: {
+                        "class": self.priority_class(name),
                         "requests_admitted": s.requests_admitted,
                         "requests_rejected": s.requests_rejected,
                         "blocks_charged": s.blocks_charged,

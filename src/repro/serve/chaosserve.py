@@ -28,6 +28,7 @@ after the traffic settles and again after a graceful drain:
 from __future__ import annotations
 
 import asyncio
+import gc
 import os
 import random
 import signal
@@ -42,7 +43,15 @@ from repro.runner.chaos import ChaosConfig
 from repro.runner.fsck import fsck_paths
 from repro.runner.journal import scan_lines
 from repro.serve import protocol
-from repro.serve.loadtest import _open
+from repro.serve.loadtest import (
+    LoadtestConfig,
+    LoadtestReport,
+    _open,
+    _run_storm,
+    generate_storm_mix,
+    mix_fingerprint,
+)
+from repro.serve.overload import OverloadConfig, process_rss_mb
 from repro.serve.server import BackgroundServer, ServeConfig
 from repro.serve.supervise import (
     DaemonSupervisor,
@@ -287,6 +296,267 @@ def run_serve_chaos(config: ServeChaosConfig,
                     pass
     report.wall_s = time.perf_counter() - t0
     return report
+
+
+# -- storm chaos: overload flood + in-daemon memory hog ---------------------
+
+
+@dataclass(frozen=True)
+class StormChaosConfig:
+    """Seeded plan for ``repro chaos --serve --storm``.
+
+    A deliberately tiny daemon (one worker, a two-deep queue) with an
+    aggressive :class:`~repro.serve.overload.OverloadConfig` is hit
+    with a storm-mix flood while an in-process memory hog inflates
+    the daemon's RSS past its budget.  The verdict:
+
+    * the daemon never crashes or OOMs -- the final drain completes
+      and zero requests terminate without a typed frame;
+    * block accounting stays exact through every degradation level
+      (``scheduled + degraded + quarantined + shed == admitted``);
+    * priority-class tenants' error budget holds (they retry through
+      the rejections and their admitted requests meet deadlines);
+    * the ladder engaged (max level >= 1) and descended back to L0
+      once the storm passed.
+
+    Attributes:
+        seed: drives the storm mix.
+        requests: flood size.
+        concurrency: client connections flooding in parallel.
+        priority_share: fraction of flood requests from
+            priority-class tenants.
+        copies_max: request size knob (blocks per request, 1..max).
+        hog_mb: size of the in-process allocation burst.
+        hog_hold_s: how long the hog is held before release.
+        cooldown_s: how long to wait for the ladder to return to L0.
+        drain_grace_s: server drain grace for the final drain.
+    """
+
+    seed: int = 0
+    requests: int = 48
+    concurrency: int = 8
+    priority_share: float = 0.25
+    copies_max: int = 2
+    hog_mb: int = 48
+    hog_hold_s: float = 1.0
+    cooldown_s: float = 30.0
+    drain_grace_s: float = 10.0
+
+
+@dataclass
+class StormChaosReport:
+    """What the storm chaos run observed and verified."""
+
+    requests_sent: int = 0
+    requests_completed: int = 0
+    requests_rejected: int = 0
+    requests_errored: int = 0
+    storm: dict = field(default_factory=dict)
+    blocks_admitted: int = 0
+    blocks_scheduled: int = 0
+    blocks_degraded: int = 0
+    blocks_quarantined: int = 0
+    blocks_shed: int = 0
+    lost_blocks: int = 0
+    priority_budget_ok: float = 1.0
+    besteffort_overload_rejections: int = 0
+    max_level: int = 0
+    recovered: bool = False
+    transitions_total: int = 0
+    descents_total: int = 0
+    hog_peak_rss_mb: float | None = None
+    drained_ok: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Survived, accounted, priority budget held, recovered."""
+        return (self.drained_ok
+                and self.requests_errored == 0
+                and self.lost_blocks == 0
+                and self.max_level >= 1
+                and self.recovered
+                and self.priority_budget_ok >= 0.9)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_sent": self.requests_sent,
+            "requests_completed": self.requests_completed,
+            "requests_rejected": self.requests_rejected,
+            "requests_errored": self.requests_errored,
+            "storm": self.storm,
+            "blocks_admitted": self.blocks_admitted,
+            "blocks_scheduled": self.blocks_scheduled,
+            "blocks_degraded": self.blocks_degraded,
+            "blocks_quarantined": self.blocks_quarantined,
+            "blocks_shed": self.blocks_shed,
+            "lost_blocks": self.lost_blocks,
+            "priority_budget_ok": self.priority_budget_ok,
+            "besteffort_overload_rejections":
+                self.besteffort_overload_rejections,
+            "max_level": self.max_level,
+            "recovered": self.recovered,
+            "transitions_total": self.transitions_total,
+            "descents_total": self.descents_total,
+            "hog_peak_rss_mb": self.hog_peak_rss_mb,
+            "drained_ok": self.drained_ok,
+            "ok": self.ok,
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+async def _storm_scenario(address: str, lt_config: LoadtestConfig,
+                          mix: list[dict],
+                          lt_report: LoadtestReport,
+                          config: StormChaosConfig,
+                          report: StormChaosReport) -> dict:
+    """Flood + memory hog concurrently, then settle the books."""
+
+    async def hog() -> None:
+        # The hog shares the daemon's process (BackgroundServer runs
+        # in-process), so this inflates the RSS the overload monitor
+        # samples.  Built by one C-level repeat: every page is
+        # written (so resident), and the GIL is not held across a
+        # Python loop that would starve the daemon's event loop for
+        # the whole flood.
+        ballast = bytearray(b"\x01") * (config.hog_mb << 20)
+        report.hog_peak_rss_mb = process_rss_mb()
+        await asyncio.sleep(config.hog_hold_s)
+        del ballast
+        gc.collect()
+
+    await asyncio.gather(
+        _run_storm(lt_config, mix, lt_report, None), hog())
+    for _ in range(600):
+        stats = await _read_stats(address)
+        if stats["admission"]["occupancy"] == 0 \
+                and stats["server"]["accounted"]:
+            return stats
+        await asyncio.sleep(0.05)
+    return await _read_stats(address)
+
+
+def run_storm_chaos(config: StormChaosConfig,
+                    metrics: MetricsRegistry | None = None
+                    ) -> StormChaosReport:
+    """Stand up a tiny daemon, storm it, audit ladder and books."""
+    report = StormChaosReport()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-storm-chaos-") \
+            as tmp:
+        overload = OverloadConfig(
+            # Aggressive: tick fast, dwell briefly, so a short flood
+            # walks the whole ladder and descends within cooldown.
+            interval_s=0.02,
+            dwell_s=(0.0, 0.05, 0.05, 0.08, 0.1),
+            dwell_up_s=0.02,
+            # p99 and RSS stay out of the ladder here: a one-worker
+            # daemon under flood has honest multi-second latencies,
+            # and the post-storm working set sits wherever the
+            # allocator left it -- neither decays on the cooldown
+            # timescale the scenario asserts on.  Occupancy drives
+            # the ladder; the hog asserts survival, not transitions
+            # (RSS-driven transitions are unit-tested with fake
+            # signals).
+            p99_budget_s=60.0)
+        serve_config = ServeConfig(
+            address=f"unix:{os.path.join(tmp, 'storm.sock')}",
+            workers=1,
+            max_queued=2,
+            jobs=1,
+            drain_grace_s=config.drain_grace_s,
+            task_timeout=30.0,
+            overload=overload)
+        background = BackgroundServer(serve_config,
+                                      metrics=metrics).start()
+        lt_config = LoadtestConfig(
+            address=background.address,
+            seed=config.seed,
+            requests=config.requests,
+            concurrency=config.concurrency,
+            copies_max=config.copies_max,
+            deadline_s=30.0,
+            priority_share=config.priority_share,
+            storm=True,
+            cooldown_s=config.cooldown_s)
+        mix = generate_storm_mix(lt_config)
+        lt_report = LoadtestReport(seed=config.seed,
+                                   fingerprint=mix_fingerprint(mix))
+        try:
+            stats = asyncio.run(_storm_scenario(
+                background.address, lt_config, mix, lt_report,
+                config, report))
+            server = stats["server"]
+            report.requests_sent = lt_report.sent
+            report.requests_completed = lt_report.completed
+            report.requests_rejected = lt_report.rejected
+            report.requests_errored = lt_report.errored
+            report.storm = lt_report.storm or {}
+            report.blocks_admitted = server["blocks_admitted"]
+            report.blocks_scheduled = server["blocks_scheduled"]
+            report.blocks_degraded = server["blocks_degraded"]
+            report.blocks_quarantined = server["blocks_quarantined"]
+            report.blocks_shed = server["blocks_shed"]
+            report.lost_blocks = (
+                server["blocks_admitted"]
+                - server["blocks_scheduled"]
+                - server["blocks_degraded"]
+                - server["blocks_quarantined"]
+                - server["blocks_shed"])
+            storm = report.storm
+            report.max_level = int(storm.get("max_level", 0))
+            report.recovered = bool(storm.get("recovered"))
+            report.transitions_total = int(
+                storm.get("transitions_total", 0))
+            report.descents_total = int(
+                storm.get("descents_total", 0))
+            by_class = storm.get("by_class", {})
+            report.priority_budget_ok = float(
+                by_class.get("priority", {}).get("budget_ok", 1.0))
+            report.besteffort_overload_rejections = int(
+                by_class.get("best-effort", {})
+                .get("rejected_overload", 0))
+            background.drain()
+            report.drained_ok = True
+        finally:
+            if not report.drained_ok:
+                try:
+                    background.drain(timeout=10.0)
+                except Exception:  # noqa: BLE001 - already failing
+                    pass
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def render_storm_chaos_report(report: StormChaosReport) -> str:
+    """Human-readable storm chaos verdict (CLI output)."""
+    doc = report.to_dict()
+    lines = [
+        f"! storm chaos: {doc['requests_sent']} requests "
+        f"({doc['requests_completed']} completed, "
+        f"{doc['requests_rejected']} rejected, "
+        f"{doc['requests_errored']} errored)",
+        f"! ladder: max L{doc['max_level']}, "
+        f"{doc['transitions_total']} transitions "
+        f"({doc['descents_total']} descents), "
+        f"{'recovered to L0' if doc['recovered'] else 'DID NOT RECOVER'}",
+        f"! priority: error budget "
+        f"{doc['priority_budget_ok']:.1%}; best-effort: "
+        f"{doc['besteffort_overload_rejections']} overload "
+        f"rejections",
+        f"! blocks: {doc['blocks_admitted']} admitted = "
+        f"{doc['blocks_scheduled']} scheduled + "
+        f"{doc['blocks_degraded']} degraded + "
+        f"{doc['blocks_quarantined']} quarantined + "
+        f"{doc['blocks_shed']} shed "
+        f"(lost {doc['lost_blocks']})",
+        f"! drain: {'clean' if doc['drained_ok'] else 'FAILED'}; "
+        f"hog peak RSS "
+        f"{doc['hog_peak_rss_mb'] or 0:.0f} MB",
+        f"! verdict: {'OK' if doc['ok'] else 'FAILED'} "
+        f"in {doc['wall_s']}s",
+    ]
+    return "\n".join(lines)
 
 
 # -- kill-daemon chaos: SIGKILL the daemon itself, audit the WAL ------------

@@ -83,6 +83,11 @@ def warm_cache(machine_name: str,
         with _all_caches_lock:
             _all_caches.append((threading.current_thread().name,
                                 machine_name, cache))
+    elif cache.max_entries != max_entries:
+        # The degradation ladder clamps warm caches at L1+ and
+        # restores them on descent; resizing here keeps the mutation
+        # on the cache's owning thread (the caches are lock-free).
+        cache.resize(max_entries)
     return cache
 
 
@@ -97,6 +102,24 @@ def cache_stats() -> dict:
             "entries": sum(len(c) for c in caches),
             "hit_rate": round(hits / (hits + misses), 4)
             if hits + misses else 0.0}
+
+
+def release_caches() -> int:
+    """Drop every warm cache's entries; returns entries released.
+
+    The degradation ladder's emergency action (L4): nothing new is
+    being admitted, so reclaiming the dependence caches is the
+    biggest memory lever left.  Best-effort against a request still
+    draining on another thread -- a concurrently-cleared entry just
+    costs that request a rebuild, never correctness (every dict
+    operation is individually atomic under the GIL).
+    """
+    with _all_caches_lock:
+        caches = [c for _t, _m, c in _all_caches]
+    released = sum(len(c) for c in caches)
+    for cache in caches:
+        cache.clear()
+    return released
 
 
 def cache_details() -> list[dict]:

@@ -34,10 +34,18 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry, record_request
 from repro.serve import protocol
+from repro.serve.overload import is_priority_tenant
 from repro.serve.protocol import parse_address
 
 #: kernels the generator draws from (all in workloads.kernels)
 MIX_KERNELS = ("daxpy", "dot_product", "livermore1", "figure1")
+
+#: resend attempts a storm-phase priority client makes before giving
+#: up (each waits out the rejection's honest ``retry_after_s`` hint)
+STORM_PRIORITY_RETRIES = 8
+
+#: longest a storm retry waits regardless of the hint, seconds
+STORM_RETRY_CAP_S = 0.5
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,18 @@ class LoadtestConfig:
             result store; a re-executed duplicate counts against
             ``duplicate_results``, which a durable daemon keeps at
             exactly 0.
+        storm: replace the polite mix with an overload storm --
+            a flood of best-effort traffic with a priority-class
+            minority -- and report SLOs split by tenant priority
+            class plus the daemon's degradation-ladder trajectory
+            (max level reached, transitions, recovery to L0).
+            Priority clients honour ``retry_after_s`` and retry up
+            to :data:`STORM_PRIORITY_RETRIES` times; best-effort
+            clients take the typed rejection and leave.
+        priority_share: fraction of storm requests from priority
+            tenants.
+        cooldown_s: how long after the storm to wait for the ladder
+            to descend back to L0 before reporting non-recovery.
     """
 
     address: str
@@ -77,6 +97,9 @@ class LoadtestConfig:
     machine: str = "generic"
     timeout_s: float = 60.0
     idempotency_retry: float = 0.0
+    storm: bool = False
+    priority_share: float = 0.25
+    cooldown_s: float = 30.0
 
 
 def generate_mix(config: LoadtestConfig) -> list[dict]:
@@ -100,6 +123,40 @@ def generate_mix(config: LoadtestConfig) -> list[dict]:
         if config.idempotency_retry > 0:
             message["key"] = f"lt-key-{config.seed}-{i}"
         mix.append(message)
+    return mix
+
+
+def generate_storm_mix(config: LoadtestConfig) -> list[dict]:
+    """The deterministic storm mix: flood + priority minority.
+
+    Tenant names carry the class: ``priority-N`` tenants are in the
+    priority class by the
+    :data:`~repro.serve.overload.PRIORITY_TENANT_PREFIX` naming
+    convention, ``besteffort-N`` tenants are not.  Every request
+    carries a deadline (a storm client that waits forever is not
+    measuring an SLO).
+    """
+    rng = random.Random(f"repro-loadtest-storm:{config.seed}")
+    stride = max(2, int(round(1.0 / max(0.01, min(
+        config.priority_share, 0.5)))))
+    mix = []
+    for i in range(config.requests):
+        if i % stride == 0:
+            tenant = f"priority-{(i // stride) % 2}"
+        else:
+            tenant = f"besteffort-{i % 3}"
+        mix.append({
+            "op": "schedule",
+            "id": f"st-{config.seed}-{i}",
+            "trace": f"st-trace-{config.seed}-{i}",
+            "tenant": tenant,
+            "machine": config.machine,
+            "deadline_s": config.deadline_s,
+            "workload": {
+                "kernel": MIX_KERNELS[rng.randrange(len(MIX_KERNELS))],
+                "copies": rng.randint(1, max(1, config.copies_max)),
+            },
+        })
     return mix
 
 
@@ -156,6 +213,7 @@ class LoadtestReport:
     duplicate_results: int = 0
     traced_frames: int = 0
     trace_mismatches: int = 0
+    storm: dict | None = None
 
     def percentile(self, q: float) -> float:
         """Nearest-rank latency percentile over completed requests."""
@@ -183,7 +241,7 @@ class LoadtestReport:
                 if self.deadlined else 1.0)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "seed": self.seed,
             "fingerprint": self.fingerprint,
             "sent": self.sent,
@@ -210,6 +268,9 @@ class LoadtestReport:
             "throughput_rps": round(self.throughput_rps, 3),
             "wall_s": round(self.wall_s, 3),
         }
+        if self.storm is not None:
+            doc["storm"] = self.storm
+        return doc
 
 
 async def _open(address: str):
@@ -349,6 +410,272 @@ async def _drive_retry(reader, writer, message: dict,
             report.retries_rejected += 1
 
 
+def _storm_class_stats() -> dict:
+    return {"sent": 0, "completed": 0, "rejected_overload": 0,
+            "rejected_other": 0, "errored": 0, "retries": 0,
+            "deadlined": 0, "deadlines_met": 0, "latencies": []}
+
+
+async def _poll_stats(address: str, timeout_s: float = 5.0) -> dict:
+    """One ``stats`` round trip on a fresh connection."""
+    reader, writer = await _open(address)
+    try:
+        writer.write(protocol.encode({"op": "stats",
+                                      "id": "storm-stats"}))
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(),
+                                      timeout=timeout_s)
+        if not line:
+            raise ReproError(
+                f"stats poll of {address!r}: daemon hung up")
+        return protocol.decode(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _storm_attempt(reader, writer, message: dict,
+                         timeout_s: float) -> dict:
+    """One storm send; returns the terminal outcome of the stream."""
+    t0 = time.perf_counter()
+    writer.write(protocol.encode(message))
+    await writer.drain()
+    outcome = {"status": "client-timeout", "reason": None,
+               "retry_after_s": None, "blocks": 0, "shed": {},
+               "deadline_met": None, "latency_s": 0.0}
+    try:
+        while True:
+            line = await asyncio.wait_for(reader.readline(),
+                                          timeout=timeout_s)
+            if not line:
+                outcome["status"] = "disconnected"
+                break
+            frame = protocol.decode(line)
+            if frame.get("id") != message["id"]:
+                continue
+            kind = frame.get("type")
+            if kind == "block":
+                outcome["blocks"] += 1
+            elif kind == "shed":
+                shed = outcome["shed"]
+                shed[frame["reason"]] = shed.get(frame["reason"],
+                                                 0) + 1
+            elif kind == "done":
+                outcome["status"] = "ok"
+                outcome["deadline_met"] = \
+                    frame["summary"].get("deadline_met")
+                break
+            elif kind == "rejected":
+                outcome["status"] = "rejected"
+                outcome["reason"] = frame.get("reason", "unknown")
+                outcome["retry_after_s"] = frame.get("retry_after_s")
+                break
+            elif kind == "error":
+                outcome["status"] = "error"
+                break
+    except asyncio.TimeoutError:
+        outcome["status"] = "client-timeout"
+    outcome["latency_s"] = time.perf_counter() - t0
+    return outcome
+
+
+async def _drive_storm(reader, writer, message: dict,
+                       report: LoadtestReport, classes: dict,
+                       lock: asyncio.Lock,
+                       metrics: MetricsRegistry | None,
+                       timeout_s: float) -> None:
+    """Drive one storm request with class-aware retry behaviour.
+
+    Priority-class clients honour the rejection's ``retry_after_s``
+    hint (capped at :data:`STORM_RETRY_CAP_S`) and resend up to
+    :data:`STORM_PRIORITY_RETRIES` times under a fresh request id;
+    best-effort clients take the typed rejection and leave.  The
+    request counts once in the report, under its final outcome.
+    """
+    tenant = message.get("tenant", "")
+    cls = ("priority" if is_priority_tenant(tenant, ())
+           else "best-effort")
+    attempts = 0
+    while True:
+        wire = message
+        if attempts:
+            wire = dict(message,
+                        id=f"{message['id']}-r{attempts}",
+                        trace=f"{message.get('trace', '')}"
+                              f"-r{attempts}")
+        outcome = await _storm_attempt(reader, writer, wire,
+                                       timeout_s)
+        if (outcome["status"] == "rejected" and cls == "priority"
+                and attempts < STORM_PRIORITY_RETRIES):
+            attempts += 1
+            hint = outcome["retry_after_s"]
+            if not isinstance(hint, (int, float)) or hint <= 0:
+                hint = 0.05
+            await asyncio.sleep(min(STORM_RETRY_CAP_S, hint))
+            continue
+        break
+    status = outcome["status"]
+    async with lock:
+        stats = classes[cls]
+        report.sent += 1
+        stats["sent"] += 1
+        stats["retries"] += attempts
+        report.blocks_done += outcome["blocks"]
+        for reason, count in outcome["shed"].items():
+            report.blocks_shed += count
+            report.shed_by_reason[reason] = \
+                report.shed_by_reason.get(reason, 0) + count
+        if status == "ok":
+            report.completed += 1
+            report.latencies_s.append(outcome["latency_s"])
+            stats["completed"] += 1
+            stats["latencies"].append(outcome["latency_s"])
+            if "deadline_s" in message:
+                report.deadlined += 1
+                stats["deadlined"] += 1
+                if outcome["deadline_met"]:
+                    report.deadlines_met += 1
+                    stats["deadlines_met"] += 1
+        elif status == "rejected":
+            reason = outcome["reason"] or "unknown"
+            report.rejected += 1
+            report.rejections_by_reason[reason] = \
+                report.rejections_by_reason.get(reason, 0) + 1
+            if reason == "overload":
+                stats["rejected_overload"] += 1
+            else:
+                stats["rejected_other"] += 1
+        else:
+            report.errored += 1
+            stats["errored"] += 1
+        if metrics is not None:
+            record_request(metrics, tenant,
+                           "ok" if status == "ok" else status,
+                           outcome["latency_s"])
+
+
+async def _run_storm(config: LoadtestConfig, mix: list[dict],
+                     report: LoadtestReport,
+                     metrics: MetricsRegistry | None) -> None:
+    """The storm phase: flood, sample the ladder, wait for recovery."""
+    lock = asyncio.Lock()
+    classes = {"priority": _storm_class_stats(),
+               "best-effort": _storm_class_stats()}
+    trajectory = {"levels_seen": set(), "max_level": 0, "samples": 0}
+    stop = asyncio.Event()
+
+    def _record_sample(overload: dict) -> None:
+        level = int(overload.get("level", 0))
+        trajectory["levels_seen"].add(level)
+        trajectory["max_level"] = max(
+            trajectory["max_level"], level,
+            int(overload.get("max_level", level)))
+        trajectory["samples"] += 1
+
+    async def sampler() -> None:
+        while not stop.is_set():
+            try:
+                frame = await _poll_stats(config.address)
+                _record_sample(frame.get("overload") or {})
+            except (ReproError, OSError, ValueError):
+                pass
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=0.2)
+            except asyncio.TimeoutError:
+                pass
+
+    queue: asyncio.Queue = asyncio.Queue()
+    for message in mix:
+        queue.put_nowait(message)
+
+    async def worker() -> None:
+        try:
+            reader, writer = await _open(config.address)
+        except (ConnectionError, FileNotFoundError, OSError) as exc:
+            raise ReproError(
+                f"loadtest cannot connect to {config.address!r}: "
+                f"{exc}")
+        try:
+            while True:
+                try:
+                    message = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                await _drive_storm(reader, writer, message, report,
+                                   classes, lock, metrics,
+                                   config.timeout_s)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    sampler_task = asyncio.ensure_future(sampler())
+    try:
+        await asyncio.gather(*(worker()
+                               for _ in range(config.concurrency)))
+    finally:
+        stop.set()
+        await sampler_task
+
+    # Cooldown: the acceptance criterion is not "the daemon survived"
+    # but "the ladder came back down" -- poll until L0 or give up.
+    # A flood shorter than the daemon's monitor interval ends before
+    # the latched queue-depth signal gets its first tick, so an L0
+    # read in the first couple of seconds may be *pre-ascent*, not
+    # recovery; hold the verdict through a short engagement grace
+    # unless the ladder has already been seen moving.
+    recovered = False
+    final: dict = {}
+    start = time.perf_counter()
+    deadline = start + max(0.0, config.cooldown_s)
+    grace = start + min(2.0, max(0.0, config.cooldown_s))
+    while True:
+        try:
+            frame = await _poll_stats(config.address)
+            final = frame.get("overload") or {}
+            _record_sample(final)
+            if int(final.get("level", 0)) == 0 \
+                    and (trajectory["max_level"] > 0
+                         or time.perf_counter() >= grace):
+                recovered = True
+                break
+        except (ReproError, OSError, ValueError):
+            pass
+        if time.perf_counter() >= deadline:
+            break
+        await asyncio.sleep(0.25)
+
+    by_class = {}
+    for cls, stats in classes.items():
+        latencies = sorted(stats.pop("latencies"))
+        p99 = 0.0
+        if latencies:
+            rank = min(len(latencies) - 1,
+                       max(0, round(0.99 * (len(latencies) - 1))))
+            p99 = latencies[rank]
+        stats["p99_s"] = round(p99, 6)
+        stats["budget_ok"] = round(
+            stats["deadlines_met"] / stats["deadlined"], 4) \
+            if stats["deadlined"] else 1.0
+        by_class[cls] = stats
+    report.storm = {
+        "by_class": by_class,
+        "max_level": trajectory["max_level"],
+        "levels_seen": sorted(trajectory["levels_seen"]),
+        "samples": trajectory["samples"],
+        "recovered": recovered,
+        "final_level": int(final.get("level", -1)) if final else -1,
+        "transitions_total": int(final.get("transitions_total", 0)),
+        "ascents_total": int(final.get("ascents_total", 0)),
+        "descents_total": int(final.get("descents_total", 0)),
+    }
+
+
 async def _run(config: LoadtestConfig, mix: list[dict],
                report: LoadtestReport,
                metrics: MetricsRegistry | None) -> None:
@@ -399,11 +726,15 @@ def run_loadtest(config: LoadtestConfig,
     Raises:
         ReproError: when the daemon is unreachable.
     """
-    mix = generate_mix(config)
+    mix = (generate_storm_mix(config) if config.storm
+           else generate_mix(config))
     report = LoadtestReport(seed=config.seed,
                             fingerprint=mix_fingerprint(mix))
     t0 = time.perf_counter()
-    asyncio.run(_run(config, mix, report, metrics))
+    if config.storm:
+        asyncio.run(_run_storm(config, mix, report, metrics))
+    else:
+        asyncio.run(_run(config, mix, report, metrics))
     report.wall_s = time.perf_counter() - t0
     return report
 
@@ -447,4 +778,24 @@ def render_loadtest_report(report: LoadtestReport) -> str:
             f"{doc['retries_rejected']} rejected, "
             f"{doc['duplicate_results']} duplicate results "
             f"({'OK' if doc['duplicate_results'] == 0 else 'FAILED'})")
+    storm = doc.get("storm")
+    if storm:
+        seen = "/".join(f"L{level}" for level in storm["levels_seen"])
+        lines.append(
+            f"! storm ladder: max L{storm['max_level']}, "
+            f"seen {seen or 'L?'}, "
+            f"{storm['transitions_total']} transitions "
+            f"({storm['ascents_total']} up, "
+            f"{storm['descents_total']} down), "
+            f"{'recovered to L0' if storm['recovered'] else 'DID NOT RECOVER'}")
+        for cls in sorted(storm["by_class"]):
+            s = storm["by_class"][cls]
+            lines.append(
+                f"! storm[{cls}]: {s['sent']} sent, "
+                f"{s['completed']} ok, "
+                f"{s['rejected_overload']} overload-rejected, "
+                f"{s['rejected_other']} other-rejected, "
+                f"{s['errored']} errored, {s['retries']} retries; "
+                f"budget {s['budget_ok']:.1%}, "
+                f"p99 {s['p99_s'] * 1000:.1f} ms")
     return "\n".join(lines)

@@ -70,9 +70,10 @@ REJECT_BUDGET = "tenant-budget-exhausted"
 REJECT_DRAINING = "draining"
 REJECT_TOO_LARGE = "request-too-large"
 REJECT_DUPLICATE = "duplicate-in-flight"
+REJECT_OVERLOAD = "overload"
 REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_RATE_LIMITED,
                   REJECT_BUDGET, REJECT_DRAINING, REJECT_TOO_LARGE,
-                  REJECT_DUPLICATE)
+                  REJECT_DUPLICATE, REJECT_OVERLOAD)
 
 #: longest accepted idempotency key, characters
 MAX_KEY_CHARS = 128

@@ -64,6 +64,7 @@ from repro.obs.expo import (
 )
 from repro.obs.metrics import (
     MetricsRegistry,
+    record_overload_transition,
     record_request,
     record_wal_dedup,
     record_wal_recovery,
@@ -76,9 +77,21 @@ from repro.serve.admission import AdmissionController
 from repro.serve.engine import (
     cache_details,
     cache_stats,
+    release_caches,
     request_blocks,
     run_request,
     warm_cache,
+)
+from repro.serve.overload import (
+    L_BROWNOUT,
+    L_EMERGENCY,
+    L_SHED_OPTIONAL,
+    LEVEL_NAMES,
+    DegradationLadder,
+    OverloadConfig,
+    OverloadMonitor,
+    OverloadSignals,
+    Transition,
 )
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -164,6 +177,11 @@ class ServeConfig:
             set and no registry was supplied, the server creates one
             so the endpoint is never empty.  None disables the
             listener (the ``metrics`` op still answers).
+        overload: adaptive overload control -- the pressure monitor
+            and degradation ladder of :mod:`repro.serve.overload`.
+            The default config is conservative (the ladder sits at L0
+            until a pressure signal approaches its budget); None
+            disables the monitor entirely.
     """
 
     address: str
@@ -191,6 +209,8 @@ class ServeConfig:
     dedup_entries: int = 1024
     columnar: bool = False
     telemetry: str | None = None
+    overload: OverloadConfig | None = field(
+        default_factory=OverloadConfig)
 
 
 @dataclass
@@ -286,6 +306,17 @@ class ReproServer:
         #: rates, queue depth) behind the ``metrics`` op / endpoint
         self.window = RollingWindow()
         self._telemetry_server: asyncio.AbstractServer | None = None
+        #: the degradation ladder + its monitor (None when disabled)
+        self.ladder: DegradationLadder | None = None
+        self.overload_monitor: OverloadMonitor | None = None
+        self._overload_task: asyncio.Task | None = None
+        if config.overload is not None:
+            self.ladder = DegradationLadder(
+                config.overload,
+                on_transition=self._on_overload_transition)
+            self.overload_monitor = OverloadMonitor(
+                self.ladder, self._overload_signals,
+                interval_s=config.overload.interval_s)
         self.admission = AdmissionController(
             max_active=config.workers,
             max_queued=config.max_queued,
@@ -293,7 +324,12 @@ class ReproServer:
             tenant_burst=config.tenant_burst,
             tenant_max_blocks=config.tenant_max_blocks,
             max_request_blocks=config.max_request_blocks,
-            metrics=metrics)
+            metrics=metrics,
+            priority_tenants=frozenset(
+                config.overload.priority_tenants)
+            if config.overload is not None else frozenset(),
+            overload_level=self.overload_level,
+            completion_rate=self.window.completion_rate_rps)
         self.stats = ServerStats()
         self.breaker = (CircuitBreaker(metrics=metrics)
                         if config.breaker else None)
@@ -373,6 +409,61 @@ class ReproServer:
             "cache": cache_stats(),
         })
 
+    # -- overload control ---------------------------------------------------
+
+    def overload_level(self) -> int:
+        """The degradation ladder's active level (0 when disabled)."""
+        return self.ladder.level if self.ladder is not None else 0
+
+    def _overload_signals(self) -> OverloadSignals:
+        """One pressure sample (the monitor fills in lag and RSS).
+
+        Uses the window's short-horizon reader, not the full 60s
+        snapshot: p99 and queue depth must decay once pressure stops
+        or the ladder cannot descend until old buckets expire.  Ten
+        seconds (two buckets) keeps the saturation latch long enough
+        to outlive any monitor interval and short enough that
+        post-storm descent starts promptly.
+        """
+        recent = self.window.recent(10.0)
+        return OverloadSignals(
+            occupancy=self.admission.occupancy,
+            capacity=self.config.workers + self.config.max_queued,
+            queue_depth=recent["queue_depth_max"],
+            p99_s=recent["p99_s"],
+            wal_backlog=len(self._inflight_keys))
+
+    def _on_overload_transition(self, event: Transition) -> None:
+        """Count, trace, and act on one ladder transition."""
+        record_overload_transition(
+            self.metrics,
+            from_level=LEVEL_NAMES[event.from_level],
+            to_level=LEVEL_NAMES[event.to_level],
+            direction=event.direction)
+        if self.tracer is not None:
+            with self._tracer_lock:
+                self.tracer.event("overload-transition",
+                                  **event.to_dict())
+        if event.to_level >= L_EMERGENCY:
+            # Emergency: nothing new admits, so the warm dependence
+            # caches are the biggest reclaimable allocation left.
+            release_caches()
+
+    async def _overload_loop(self) -> None:
+        """The monitor's periodic tick, on the event loop.
+
+        Sleeping *on the loop* is what makes the lag signal honest:
+        when the loop is starved the tick fires late and the monitor
+        measures exactly that overshoot.
+        """
+        interval = self.overload_monitor.interval_s
+        try:
+            while True:
+                await asyncio.sleep(interval)
+                self.overload_monitor.tick()
+        except asyncio.CancelledError:
+            pass
+
     # -- frame plumbing -----------------------------------------------------
 
     async def _send(self, writer: asyncio.StreamWriter,
@@ -451,6 +542,13 @@ class ReproServer:
                 "snapshot_loaded": self._snapshot_loaded,
             },
         }
+        if self.ladder is not None:
+            frame["overload"] = {
+                "level": self.ladder.level,
+                "level_name": self.ladder.level_name,
+                "score": round(self.ladder.score, 4),
+                "dominant": self.ladder.dominant,
+            }
         if self.breaker is not None:
             frame["breaker"] = {
                 b: self.breaker.state(b)
@@ -466,7 +564,10 @@ class ReproServer:
             stats = self.stats.to_dict()
         return {"type": "stats", "server": stats,
                 "admission": self.admission.snapshot(),
-                "cache": cache_stats()}
+                "cache": cache_stats(),
+                "overload": (self.overload_monitor.snapshot()
+                             if self.overload_monitor is not None
+                             else {"enabled": False})}
 
     def exposition_text(self) -> str:
         """The full Prometheus exposition: registry + window + server.
@@ -493,6 +594,17 @@ class ReproServer:
             "# TYPE repro_serve_draining gauge",
             f"repro_serve_draining {int(snapshot['draining'])}",
         ]
+        if self.ladder is not None:
+            server_lines += [
+                "# HELP repro_overload_level Active degradation-"
+                "ladder level (0 normal .. 4 emergency).",
+                "# TYPE repro_overload_level gauge",
+                f"repro_overload_level {self.ladder.level}",
+                "# HELP repro_overload_max_level Highest ladder "
+                "level reached since boot.",
+                "# TYPE repro_overload_max_level gauge",
+                f"repro_overload_max_level {self.ladder.max_level}",
+            ]
         parts.append("\n".join(server_lines) + "\n")
         return "".join(parts)
 
@@ -513,24 +625,44 @@ class ReproServer:
             request = dataclasses.replace(
                 request, deadline_s=self.config.default_deadline_s)
         cfg = self.config
+        # Degradation overrides, latched at execution start (the
+        # ladder may move mid-request; a request runs at one level):
+        # L1+ drops optional work (trace detail, warm-cache head
+        # room), L2+ swaps in the cheap brownout chain -- overriding
+        # even the client's chain preference -- and caps per-request
+        # parallelism.
+        level = self.overload_level()
+        chain = cfg.chain
+        jobs = cfg.jobs
+        cache_entries = cfg.cache_entries
+        degraded_trace = False
+        if cfg.overload is not None and level >= L_SHED_OPTIONAL:
+            cache_entries = min(cache_entries,
+                                cfg.overload.shed_cache_entries)
+            degraded_trace = True
+        if cfg.overload is not None and level >= L_BROWNOUT:
+            chain = cfg.overload.brownout_chain
+            jobs = min(jobs, cfg.overload.brownout_jobs)
+            if request.chain is not None:
+                request = dataclasses.replace(request, chain=None)
         # Each request records spans into a private tracer (the engine
         # runs on an executor thread); the entries are absorbed into
         # the server tracer afterwards under a lock, re-rooted, so
         # concurrent requests never interleave writes.
         private = Tracer(worker=request.id) \
-            if self.tracer is not None else None
+            if self.tracer is not None and not degraded_trace else None
         try:
             return run_request(
                 request, machine, blocks, emit,
-                chain_names=cfg.chain,
+                chain_names=chain,
                 block_wall_s=cfg.block_wall_s,
                 max_work=cfg.max_work,
-                cache=warm_cache(request.machine, cfg.cache_entries),
+                cache=warm_cache(request.machine, cache_entries),
                 metrics=self.metrics,
                 breaker=self.breaker,
                 cancelled=lambda: active.cancel_reason
                 or (SHED_DRAIN if self._drain_forced else None),
-                jobs=cfg.jobs,
+                jobs=jobs,
                 chaos=cfg.chaos,
                 retry=self._retry,
                 task_timeout=cfg.task_timeout,
@@ -1008,6 +1140,9 @@ class ReproServer:
             self._telemetry_server = await asyncio.start_server(
                 self._handle_telemetry, host=tparsed[1],
                 port=tparsed[2])
+        if self.overload_monitor is not None:
+            self._overload_task = asyncio.ensure_future(
+                self._overload_loop())
         self.ready_event.set()
         if self._recovered:
             # Replay accepted-but-unfinished WAL work behind the
@@ -1041,6 +1176,14 @@ class ReproServer:
     async def _drain(self) -> None:
         """Graceful shutdown: reject, grace, shed, exit."""
         self.admission.start_drain()
+        if self._overload_task is not None:
+            # The ladder's job is done once admission closes; freeze
+            # it at its final level for the post-mortem stats frame.
+            self._overload_task.cancel()
+            try:
+                await self._overload_task
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
         deadline = time.monotonic() + self.config.drain_grace_s
         while self._active and time.monotonic() < deadline:
             await asyncio.sleep(0.02)

@@ -104,6 +104,13 @@ def render_top(frames: dict, address: str = "") -> str:
         f"{wal.get('inflight_keys', 0)} in flight, "
         f"{wal.get('replayed', 0)} replayed",
     ]
+    overload = health.get("overload")
+    if overload:
+        lines.append(
+            f"overload: L{overload.get('level', 0)} "
+            f"{overload.get('level_name', 'normal')}, "
+            f"score {overload.get('score', 0):.2f} "
+            f"(dominant {overload.get('dominant', '-')})")
     threads = health.get("cache_threads", [])
     if threads:
         lines.append("warm caches:")
@@ -122,21 +129,42 @@ def render_top(frames: dict, address: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_unreachable(address: str, error: str,
+                       misses: int = 1) -> str:
+    """The panel shown while the daemon cannot be polled."""
+    return (f"repro top — {address or 'daemon'}   "
+            f"unreachable, retrying (x{misses})\n"
+            f"  {error}")
+
+
 def run_top(address: str, interval_s: float = 2.0, once: bool = False,
             out=None, sleep=time.sleep) -> None:
     """Poll-and-render loop (``once`` prints a single panel).
 
     Interactive mode clears the screen with ANSI home+clear between
-    redraws and stops cleanly on Ctrl-C.
+    redraws and stops cleanly on Ctrl-C.  A poll that fails mid-
+    session -- a ``--supervised`` daemon mid-restart, a drain race --
+    renders an "unreachable, retrying" panel and keeps polling
+    instead of crashing the dashboard; ``--once`` still propagates
+    the error (a scripted probe wants the non-zero exit).
+
+    Raises:
+        ReproError: only with ``once`` -- interactive mode retries.
     """
     import sys
     out = out or sys.stdout
+    misses = 0
     while True:
-        frames = poll_ops(address)
-        panel = render_top(frames, address)
         if once:
+            panel = render_top(poll_ops(address), address)
             out.write(panel + "\n")
             return
+        try:
+            panel = render_top(poll_ops(address), address)
+            misses = 0
+        except ReproError as exc:
+            misses += 1
+            panel = render_unreachable(address, str(exc), misses)
         out.write("\x1b[H\x1b[2J" + panel + "\n")
         out.flush()
         try:

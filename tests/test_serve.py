@@ -95,9 +95,10 @@ class TestProtocol:
                 {"id": "a", "asm": "nop", "tenant": ""})
 
     def test_rejection_reasons_are_a_closed_set(self):
-        assert len(protocol.REJECT_REASONS) == 6
-        assert len(set(protocol.REJECT_REASONS)) == 6
+        assert len(protocol.REJECT_REASONS) == 7
+        assert len(set(protocol.REJECT_REASONS)) == 7
         assert protocol.REJECT_DUPLICATE in protocol.REJECT_REASONS
+        assert protocol.REJECT_OVERLOAD in protocol.REJECT_REASONS
 
 
 class TestTokenBucket:
